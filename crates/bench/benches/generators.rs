@@ -1,0 +1,58 @@
+//! Criterion benches for the synthetic generators: random DAGs,
+//! Montage, and the LSDE platform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsg_dag::montage::{MontageComm, MontageSpec};
+use rsg_dag::RandomDagSpec;
+use rsg_platform::{Platform, ResourceGenSpec, TopologySpec};
+use std::hint::black_box;
+
+fn bench_random_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_dag_generate");
+    group.sample_size(20);
+    for n in [500usize, 4469] {
+        let spec = RandomDagSpec {
+            size: n,
+            ccr: 1.0,
+            parallelism: 0.5,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 40.0,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(spec.generate(seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_montage(c: &mut Criterion) {
+    c.bench_function("montage_4469_generate", |b| {
+        b.iter(|| black_box(MontageSpec::m4469(MontageComm::ActualFiles).generate()))
+    });
+}
+
+fn bench_platform(c: &mut Criterion) {
+    c.bench_function("platform_1000_clusters", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(Platform::generate(
+                ResourceGenSpec::paper_universe(),
+                TopologySpec::default(),
+                seed,
+            ))
+        })
+    });
+    c.bench_function("universe_rc_33667_hosts", |b| {
+        let p = Platform::paper_universe(1);
+        b.iter(|| black_box(p.universe_rc()))
+    });
+}
+
+criterion_group!(benches, bench_random_dag, bench_montage, bench_platform);
+criterion_main!(benches);

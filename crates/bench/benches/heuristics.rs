@@ -1,0 +1,78 @@
+//! Criterion benches for the scheduling kernels: wall-clock cost of
+//! each heuristic as the RC size grows — the real-world counterpart of
+//! the op-count scheduling-time model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsg_dag::RandomDagSpec;
+use rsg_platform::ResourceCollection;
+use rsg_sched::{ExecutionContext, HeuristicKind};
+use std::hint::black_box;
+
+fn dag(n: usize) -> rsg_dag::Dag {
+    RandomDagSpec {
+        size: n,
+        ccr: 0.1,
+        parallelism: 0.6,
+        density: 0.5,
+        regularity: 0.5,
+        mean_comp: 20.0,
+    }
+    .generate(42)
+}
+
+fn bench_heuristics_vs_rc_size(c: &mut Criterion) {
+    let dag = dag(500);
+    let mut group = c.benchmark_group("heuristic_vs_rc_size");
+    group.sample_size(20);
+    for hosts in [8usize, 64, 256] {
+        let rc = ResourceCollection::homogeneous(hosts, 1500.0);
+        for kind in [
+            HeuristicKind::Mcp,
+            HeuristicKind::Fca,
+            HeuristicKind::Fcfs,
+            HeuristicKind::Greedy,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), hosts),
+                &hosts,
+                |b, _| {
+                    let ctx = ExecutionContext::new(&dag, &rc);
+                    b.iter(|| black_box(kind.run(&ctx)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_dls(c: &mut Criterion) {
+    // DLS separately (it is much more expensive).
+    let dag = dag(200);
+    let rc = ResourceCollection::heterogeneous(32, 3000.0, 0.3, 1);
+    c.bench_function("dls_200x32", |b| {
+        let ctx = ExecutionContext::new(&dag, &rc);
+        b.iter(|| black_box(HeuristicKind::Dls.run(&ctx)))
+    });
+}
+
+fn bench_mcp_vs_dag_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcp_vs_dag_size");
+    group.sample_size(15);
+    let rc = ResourceCollection::homogeneous(64, 1500.0);
+    for n in [200usize, 800, 2000] {
+        let dag = dag(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let ctx = ExecutionContext::new(&dag, &rc);
+            b.iter(|| black_box(HeuristicKind::Mcp.run(&ctx)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_heuristics_vs_rc_size,
+    bench_dls,
+    bench_mcp_vs_dag_size
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the prediction-model kernels: knee detection,
+//! plane fitting and size-model prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsg_core::curve::Curve;
+use rsg_core::knee::{find_knee, find_knees};
+use rsg_core::planefit::PlaneFit;
+use std::hint::black_box;
+
+fn synthetic_curve(points: usize) -> Curve {
+    let mut size = 1usize;
+    Curve {
+        points: (0..points)
+            .map(|i| {
+                let t = 1000.0 / (size as f64) + 0.05 * size as f64 + (i % 3) as f64 * 0.01;
+                let p = (size, t);
+                size = (size as f64 * 1.3).ceil() as usize;
+                p
+            })
+            .collect(),
+    }
+}
+
+fn bench_knee(c: &mut Criterion) {
+    let curve = synthetic_curve(40);
+    c.bench_function("find_knee_40pts", |b| {
+        b.iter(|| black_box(find_knee(&curve, 0.001)))
+    });
+    c.bench_function("find_knees_ladder", |b| {
+        b.iter(|| black_box(find_knees(&curve, &rsg_core::THRESHOLD_LADDER)))
+    });
+}
+
+fn bench_planefit(c: &mut Criterion) {
+    let mut samples = Vec::new();
+    for i in 0..7 {
+        for j in 0..6 {
+            let x = 0.3 + 0.1 * i as f64;
+            let y = 0.2 * j as f64;
+            samples.push((x, y, 8.0 * x - 1.0 * y + 0.5));
+        }
+    }
+    c.bench_function("planefit_42samples", |b| {
+        b.iter(|| black_box(PlaneFit::fit(&samples)))
+    });
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    // Train once on the tiny grid; bench the prediction path.
+    let grid = rsg_core::observation::ObservationGrid::tiny();
+    let cfg = rsg_core::curve::CurveConfig::default();
+    let tables = rsg_core::observation::measure(&grid, &cfg, &[0.001], 0);
+    let model = rsg_core::SizePredictionModel::fit(&tables[0]);
+    c.bench_function("sizemodel_predict", |b| {
+        b.iter(|| black_box(model.predict_chars(black_box(333.0), 0.2, 0.65, 0.4)))
+    });
+}
+
+criterion_group!(benches, bench_knee, bench_planefit, bench_prediction);
+criterion_main!(benches);

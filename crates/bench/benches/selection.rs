@@ -1,0 +1,98 @@
+//! Criterion benches for the resource-selection substrates: the
+//! matchmaker, the vgES finder, the SWORD engine, and the three
+//! parsers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsg_platform::{Platform, ResourceGenSpec, TopologySpec};
+use rsg_select::classad::parse_classad;
+use rsg_select::sword::{parse_sword, write_sword};
+use rsg_select::vgdl::parse_vgdl;
+use rsg_select::{Matchmaker, SwordEngine, VgesFinder};
+use std::hint::black_box;
+
+fn platform() -> Platform {
+    Platform::generate(
+        ResourceGenSpec {
+            clusters: 300,
+            year: 2006,
+            target_hosts: Some(10_000),
+        },
+        TopologySpec::default(),
+        11,
+    )
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let p = platform();
+
+    let mm = Matchmaker::from_platform(&p);
+    let req = parse_classad(
+        r#"[ Type = "Job"; Count = 500;
+             Requirements = other.Type == "Machine" && other.Clock >= 2000;
+             Rank = other.Clock ]"#,
+    )
+    .unwrap();
+    c.bench_function("matchmaker_select_500_of_10000", |b| {
+        b.iter(|| black_box(mm.select_hosts(&req, &p)))
+    });
+
+    let finder = VgesFinder::default();
+    let vg = parse_vgdl(
+        "VG = TightBagOf(nodes) [100:500] [rank = Nodes] { nodes = [ Clock >= 2000 ] }",
+    )
+    .unwrap();
+    c.bench_function("vges_find_tightbag", |b| {
+        b.iter(|| black_box(finder.find(&p, &vg)))
+    });
+
+    let sword = parse_sword(
+        r#"<request>
+             <dist_query_budget>30</dist_query_budget>
+             <optimizer_budget>100</optimizer_budget>
+             <group>
+               <name>g</name>
+               <num_machines>500</num_machines>
+               <clock>2000.0, 3000.0, MAX, MAX, 1.0</clock>
+             </group>
+           </request>"#,
+    )
+    .unwrap();
+    c.bench_function("sword_select_500_of_10000", |b| {
+        b.iter(|| black_box(SwordEngine.select(&p, &sword)))
+    });
+}
+
+fn bench_parsers(c: &mut Criterion) {
+    let classad_src = r#"[ Type = "Job"; Owner = "somedude";
+        Ports = {
+          [ Label = cpu; Rank = cpu.KFlops/1E3 + cpu.Memory/32;
+            Constraint = cpu.Type == "Machine" && cpu.Arch == "OPTERON" ],
+          [ Label = cpu; Rank = cpu.MFlops/1E3;
+            Constraint = cpu.Arch == "INTEL" && cpu.OpSys == "LINUX" ]
+        } ]"#;
+    c.bench_function("parse_classad_gangmatch", |b| {
+        b.iter(|| black_box(parse_classad(classad_src).unwrap()))
+    });
+
+    let vgdl_src = r#"VG = ClusterOf(nodes) [32:64]
+        { nodes = [ (Processor == Opteron) && (Clock >= 2000) && (Memory >= 1024) ] }
+        close
+        TightBagOf(nodes2) [32:128] { nodes2 = [ Clock >= 1000 ] }"#;
+    c.bench_function("parse_vgdl_two_aggregates", |b| {
+        b.iter(|| black_box(parse_vgdl(vgdl_src).unwrap()))
+    });
+
+    let sword_req = parse_sword(
+        r#"<request><group><name>g</name><num_machines>5</num_machines>
+           <free_mem>256.0, 512.0, MAX, MAX, 100.0</free_mem></group></request>"#,
+    )
+    .unwrap();
+    let xml = write_sword(&sword_req);
+    c.bench_function("sword_xml_round_trip", |b| {
+        b.iter(|| black_box(parse_sword(&write_sword(black_box(&sword_req))).unwrap()))
+    });
+    let _ = xml;
+}
+
+criterion_group!(benches, bench_engines, bench_parsers);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation: bilinear interpolation of knee values across (DAG size,
+//! CCR) — the paper's choice — versus snapping to the nearest grid
+//! cell. Evaluated on midpoint configurations where interpolation
+//! should matter most.
+
+use rsg_bench::experiments::{instances, trained_size_model, Scale};
+use rsg_bench::report::{pct, Table};
+use rsg_core::curve::mean_turnaround;
+use rsg_core::optsearch::optimal_size_search;
+use rsg_dag::{DagStats, RandomDagSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (model, cfg) = trained_size_model(scale);
+    let strictest = model.strictest();
+    let (grid_sizes, grid_ccrs) = {
+        let (s, c) = strictest.axes();
+        (s.to_vec(), c.to_vec())
+    };
+
+    let mut table = Table::new(vec![
+        "config",
+        "bilinear size",
+        "nearest size",
+        "optimal",
+        "bilinear degradation",
+        "nearest degradation",
+    ]);
+    for sw in grid_sizes.windows(2) {
+        let n = ((sw[0] + sw[1]) / 2.0) as usize;
+        for cw in grid_ccrs.windows(2).take(2) {
+            let ccr = (cw[0] + cw[1]) / 2.0;
+            let spec = RandomDagSpec {
+                size: n,
+                ccr,
+                parallelism: 0.7,
+                density: 0.5,
+                regularity: 0.5,
+                mean_comp: 40.0,
+            };
+            let dags = instances(spec, scale.instances(), n as u64 ^ ccr.to_bits());
+            let stats = DagStats::measure(&dags[0]);
+            let bilinear = strictest.predict(&stats);
+            // Nearest-cell prediction: snap n and CCR to the closest
+            // grid values before predicting.
+            let snap = |xs: &[f64], x: f64| -> f64 {
+                *xs.iter()
+                    .min_by(|a, b| (**a - x).abs().total_cmp(&(**b - x).abs()))
+                    .unwrap()
+            };
+            let nearest = {
+                let k = strictest.predict_chars(
+                    snap(&grid_sizes, n as f64),
+                    snap(&grid_ccrs, ccr),
+                    stats.parallelism,
+                    stats.regularity,
+                );
+                (k.round() as usize).clamp(1, stats.width as usize)
+            };
+            let opt = optimal_size_search(&dags, bilinear, &cfg);
+            let d = |size: usize| {
+                (mean_turnaround(&dags, size, &cfg) / opt.turnaround_s - 1.0).max(0.0)
+            };
+            table.row(vec![
+                format!("n={n} ccr={ccr:.3}"),
+                bilinear.to_string(),
+                nearest.to_string(),
+                opt.size.to_string(),
+                pct(d(bilinear)),
+                pct(d(nearest)),
+            ]);
+        }
+    }
+    table.print("Ablation: bilinear vs nearest-cell size prediction on midpoint configs");
+}

@@ -1,0 +1,61 @@
+//! Ablation: does bisection-refinement of the knee between geometric
+//! ladder points improve the size prediction (vs the coarse ladder
+//! knee)? The model's plane fit absorbs ladder quantization, so the
+//! paper-relevant question is whether refinement changes prediction
+//! quality enough to justify its extra curve evaluations.
+
+use rsg_bench::experiments::{instances, Scale};
+use rsg_bench::report::{pct, Table};
+use rsg_core::curve::{mean_turnaround, turnaround_curve, CurveConfig};
+use rsg_core::knee::{find_knee, refine_knee};
+use rsg_core::optsearch::optimal_size_search;
+use rsg_dag::RandomDagSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = CurveConfig::default();
+    let mut table = Table::new(vec![
+        "config",
+        "coarse knee",
+        "refined knee",
+        "coarse degradation",
+        "refined degradation",
+        "extra evals",
+    ]);
+    for (label, n, ccr, alpha) in [
+        ("n=300 ccr=0.01 a=0.7", 300usize, 0.01, 0.7),
+        ("n=500 ccr=0.1  a=0.6", 500, 0.1, 0.6),
+        ("n=800 ccr=0.5  a=0.8", 800, 0.5, 0.8),
+    ] {
+        let spec = RandomDagSpec {
+            size: n,
+            ccr,
+            parallelism: alpha,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 40.0,
+        };
+        let dags = instances(spec, scale.instances(), n as u64);
+        let curve = turnaround_curve(&dags, &cfg);
+        let coarse = find_knee(&curve, 0.001);
+        let mut extra = 0usize;
+        let refined = refine_knee(&curve, 0.001, 6, |s| {
+            extra += 1;
+            mean_turnaround(&dags, s, &cfg)
+        });
+        // Quality: degradation of each knee vs the searched optimum.
+        let opt = optimal_size_search(&dags, coarse, &cfg);
+        let d = |size: usize| {
+            (mean_turnaround(&dags, size, &cfg) / opt.turnaround_s - 1.0).max(0.0)
+        };
+        table.row(vec![
+            label.to_string(),
+            coarse.to_string(),
+            refined.to_string(),
+            pct(d(coarse)),
+            pct(d(refined)),
+            extra.to_string(),
+        ]);
+    }
+    table.print("Ablation: knee refinement (6 bisection rounds) vs coarse ladder knee");
+}

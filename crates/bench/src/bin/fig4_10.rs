@@ -1,0 +1,12 @@
+//! Figure IV-10: varying CCR for random DAGs (Table IV-3 values).
+
+use rsg_bench::experiments::chapter4_random_sweep;
+
+fn main() {
+    chapter4_random_sweep(
+        "Figure IV-10: varying CCR (ratios vs Greedy/VG)",
+        "CCR",
+        &[0.1, 0.2, 1.0, 2.0, 10.0],
+        |spec, v| spec.ccr = v,
+    );
+}

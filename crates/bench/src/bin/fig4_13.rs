@@ -1,0 +1,12 @@
+//! Figure IV-13: varying regularity for random DAGs.
+
+use rsg_bench::experiments::chapter4_random_sweep;
+
+fn main() {
+    chapter4_random_sweep(
+        "Figure IV-13: varying regularity (ratios vs Greedy/VG)",
+        "regularity",
+        &[0.1, 0.2, 0.5, 0.8, 1.0],
+        |spec, v| spec.regularity = v,
+    );
+}

@@ -1,0 +1,12 @@
+//! Figure IV-14: varying mean computational cost for random DAGs.
+
+use rsg_bench::experiments::chapter4_random_sweep;
+
+fn main() {
+    chapter4_random_sweep(
+        "Figure IV-14: varying mean computational cost (ratios vs Greedy/VG)",
+        "mean comp (s)",
+        &[1.0, 5.0, 40.0, 100.0],
+        |spec, v| spec.mean_comp = v,
+    );
+}

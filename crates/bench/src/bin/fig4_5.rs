@@ -1,0 +1,37 @@
+//! Figure IV-5: running the Montage workflow with actual communication
+//! costs — scheduling time, makespan, selection time and turnaround
+//! for the six Table IV-1 schemes.
+
+use rsg_bench::experiments::{montage, six_schemes, universe, Scale};
+use rsg_bench::report::{secs, Table};
+use rsg_dag::montage::MontageComm;
+
+fn main() {
+    let scale = Scale::from_env();
+    let platform = universe(scale);
+    let dag = montage(scale, MontageComm::ActualFiles);
+    println!(
+        "Montage {} tasks on {} hosts ({:?} scale)",
+        dag.len(),
+        platform.total_hosts(),
+        scale
+    );
+
+    let mut table = Table::new(vec![
+        "scheme",
+        "sched time (s)",
+        "makespan (s)",
+        "VG time (s)",
+        "turnaround (s)",
+    ]);
+    for row in six_schemes(&dag, &platform, 3000.0) {
+        table.row(vec![
+            row.label.clone(),
+            secs(row.report.sched_time_s),
+            secs(row.report.makespan_s),
+            secs(row.report.selection_time_s),
+            secs(row.report.turnaround_s()),
+        ]);
+    }
+    table.print("Figure IV-5: Montage with actual communication costs");
+}

@@ -1,0 +1,60 @@
+//! Figures IV-7 and IV-8: Montage makespan and turnaround ratios
+//! relative to MCP-on-universe while varying the CCR
+//! {0.1, 0.5, 1, 2, 10}.
+
+use rsg_bench::experiments::{montage, six_schemes, universe, Scale};
+use rsg_bench::report::Table;
+use rsg_dag::montage::MontageComm;
+
+fn main() {
+    let scale = Scale::from_env();
+    let platform = universe(scale);
+    let ccrs = [0.1, 0.5, 1.0, 2.0, 10.0];
+
+    let mut makespan = Table::new(vec![
+        "CCR",
+        "MCP/top",
+        "MCP/VG",
+        "Greedy/universe",
+        "Greedy/top",
+        "Greedy/VG",
+    ]);
+    let mut turnaround = makespan.clone();
+
+    for &ccr in &ccrs {
+        let dag = montage(scale, MontageComm::Ccr(ccr));
+        let rows = six_schemes(&dag, &platform, 3000.0);
+        let baseline = rows
+            .iter()
+            .find(|r| r.label == "MCP / universe")
+            .expect("baseline scheme present");
+        let get = |label: &str, of_makespan: bool| -> String {
+            let r = rows.iter().find(|r| r.label == label).unwrap();
+            let (num, den) = if of_makespan {
+                (r.report.makespan_s, baseline.report.makespan_s)
+            } else {
+                (r.report.turnaround_s(), baseline.report.turnaround_s())
+            };
+            format!("{:.2}", num / den)
+        };
+        makespan.row(vec![
+            format!("{ccr}"),
+            get("MCP / top hosts", true),
+            get("MCP / VG", true),
+            get("Greedy / universe", true),
+            get("Greedy / top hosts", true),
+            get("Greedy / VG", true),
+        ]);
+        turnaround.row(vec![
+            format!("{ccr}"),
+            get("MCP / top hosts", false),
+            get("MCP / VG", false),
+            get("Greedy / universe", false),
+            get("Greedy / top hosts", false),
+            get("Greedy / VG", false),
+        ]);
+    }
+
+    makespan.print("Figure IV-7: Montage makespan ratio vs MCP-on-universe, varying CCR");
+    turnaround.print("Figure IV-8: Montage turnaround ratio vs MCP-on-universe, varying CCR");
+}

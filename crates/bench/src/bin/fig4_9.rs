@@ -1,0 +1,17 @@
+//! Figure IV-9: varying DAG sizes for random DAGs — turnaround ratios
+//! relative to Greedy-on-VG (Table IV-3 sizes).
+
+use rsg_bench::experiments::{chapter4_random_sweep, Scale};
+
+fn main() {
+    let sizes: Vec<f64> = match Scale::from_env() {
+        Scale::Full => vec![44.0, 447.0, 4469.0, 8938.0],
+        Scale::Fast => vec![44.0, 150.0, 450.0, 900.0],
+    };
+    chapter4_random_sweep(
+        "Figure IV-9: varying DAG size (ratios vs Greedy/VG)",
+        "size",
+        &sizes,
+        |spec, v| spec.size = v as usize,
+    );
+}

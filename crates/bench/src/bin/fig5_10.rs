@@ -1,0 +1,50 @@
+//! Figures V-10/V-11: change of the *optimal* RC size and optimal
+//! turnaround as clock-rate heterogeneity grows, plus the fitted
+//! linear size-adjustment used by the spec generator.
+
+use rsg_bench::experiments::{instances, trained_size_model, Scale};
+use rsg_bench::report::Table;
+use rsg_core::heterogeneity::{heterogeneity_sweep, HeterogeneityAdjustment};
+use rsg_dag::{DagStats, RandomDagSpec};
+use rsg_platform::CostModel;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (model, cfg) = trained_size_model(scale);
+    let hs = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+    let spec = RandomDagSpec {
+        size: match scale {
+            Scale::Full => 5000,
+            Scale::Fast => 500,
+        },
+        ccr: 0.1,
+        parallelism: 0.7,
+        density: 0.5,
+        regularity: 0.5,
+        mean_comp: 40.0,
+    };
+    let dags = instances(spec, scale.instances(), 31);
+    let prediction = model.strictest().predict(&DagStats::measure(&dags[0]));
+    let pts = heterogeneity_sweep(&dags, prediction, &cfg, &hs, &CostModel::default());
+
+    let mut table = Table::new(vec!["H", "optimal size", "optimal turnaround (s)"]);
+    for p in &pts {
+        table.row(vec![
+            format!("{}", p.heterogeneity),
+            p.optimal_size.to_string(),
+            format!("{:.1}", p.optimal_turnaround_s),
+        ]);
+    }
+    table.print("Figures V-10/V-11: optimal RC size and turnaround vs heterogeneity");
+
+    let adj = HeterogeneityAdjustment::fit(&pts);
+    println!(
+        "fitted size adjustment: size(H) = size(0) * (1 + {:.3} * H)",
+        adj.gamma
+    );
+    println!(
+        "tolerance for <=5% degradation: H <= {:.2}",
+        HeterogeneityAdjustment::tolerance_for(&pts, 0.05)
+    );
+}

@@ -1,0 +1,87 @@
+//! Figures V-16/V-17: performance degradation and relative cost of the
+//! size model under different scheduling heuristics and resource
+//! conditions (homogeneous / clock-heterogeneous / bandwidth-
+//! heterogeneous) — the Chapter V sensitivity analysis.
+
+use rsg_bench::experiments::{instances, trained_size_model, Scale};
+use rsg_bench::report::{pct, Table};
+use rsg_core::curve::{CurveConfig, RcFamily};
+use rsg_core::validate::validate_config;
+use rsg_dag::RandomDagSpec;
+use rsg_platform::CostModel;
+use rsg_sched::HeuristicKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    // The model is trained with the MCP reference heuristic; the
+    // sensitivity question is how far its predictions degrade when a
+    // different heuristic or resource condition is used.
+    let (model, base) = trained_size_model(scale);
+    let strictest = model.strictest();
+    let cost = CostModel::default();
+
+    let spec = RandomDagSpec {
+        size: match scale {
+            Scale::Full => 5000,
+            Scale::Fast => 500,
+        },
+        ccr: 0.1,
+        parallelism: 0.7,
+        density: 0.5,
+        regularity: 0.5,
+        mean_comp: 40.0,
+    };
+    let dags = instances(spec, scale.instances(), 55);
+
+    let conditions: Vec<(&str, RcFamily)> = vec![
+        ("homogeneous", base.rc_family),
+        (
+            "clock het 0.3",
+            RcFamily {
+                heterogeneity: 0.3,
+                ..base.rc_family
+            },
+        ),
+        (
+            "bw het 0.5",
+            RcFamily {
+                bw_heterogeneity: 0.5,
+                ..base.rc_family
+            },
+        ),
+    ];
+    let heuristics = [
+        HeuristicKind::Mcp,
+        HeuristicKind::Dls,
+        HeuristicKind::Fca,
+        HeuristicKind::Fcfs,
+    ];
+
+    let mut table = Table::new(vec![
+        "heuristic",
+        "condition",
+        "predicted",
+        "optimal",
+        "degradation",
+        "relative cost",
+    ]);
+    for &h in &heuristics {
+        for (cond, fam) in &conditions {
+            let cfg = CurveConfig {
+                heuristic: h,
+                rc_family: *fam,
+                ..base
+            };
+            let v = validate_config(&dags, strictest, &cfg, &cost);
+            table.row(vec![
+                h.to_string(),
+                cond.to_string(),
+                v.predicted_size.to_string(),
+                v.optimal_size.to_string(),
+                pct(v.degradation),
+                pct(v.relative_cost),
+            ]);
+        }
+    }
+    table.print("Figures V-16/V-17: heuristic x resource-condition sensitivity");
+}

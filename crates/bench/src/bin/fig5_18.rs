@@ -1,0 +1,82 @@
+//! Figures V-18…V-24: predicted RC size change as a function of SCR
+//! (the scheduling-to-computation clock-rate ratio), with the fitted
+//! power-law formulas of Figures V-23/V-24.
+
+use rsg_bench::experiments::{instances, Scale};
+use rsg_bench::report::Table;
+use rsg_core::curve::{CurveConfig, RcFamily};
+use rsg_core::scr::{scr_sweep, ScrModel};
+use rsg_dag::RandomDagSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let scrs = [0.25, 0.5, 1.0, 2.0, 4.0];
+    let base = CurveConfig::default();
+
+    let configs: Vec<(&str, RandomDagSpec, f64)> = vec![
+        (
+            "small DAG, homogeneous",
+            RandomDagSpec {
+                size: match scale {
+                    Scale::Full => 1000,
+                    Scale::Fast => 300,
+                },
+                ccr: 0.01,
+                parallelism: 0.7,
+                density: 0.5,
+                regularity: 0.5,
+                mean_comp: 5.0,
+            },
+            0.0,
+        ),
+        (
+            "larger DAG, homogeneous",
+            RandomDagSpec {
+                size: match scale {
+                    Scale::Full => 5000,
+                    Scale::Fast => 800,
+                },
+                ccr: 0.01,
+                parallelism: 0.9,
+                density: 0.5,
+                regularity: 0.5,
+                mean_comp: 5.0,
+            },
+            0.0,
+        ),
+        (
+            "larger DAG, heterogeneity 0.3",
+            RandomDagSpec {
+                size: match scale {
+                    Scale::Full => 5000,
+                    Scale::Fast => 800,
+                },
+                ccr: 0.01,
+                parallelism: 0.9,
+                density: 0.5,
+                regularity: 0.5,
+                mean_comp: 5.0,
+            },
+            0.3,
+        ),
+    ];
+
+    for (label, spec, het) in configs {
+        let dags = instances(spec, scale.instances(), het.to_bits() ^ spec.size as u64);
+        let cfg = CurveConfig {
+            rc_family: RcFamily {
+                heterogeneity: het,
+                ..base.rc_family
+            },
+            ..base
+        };
+        let pts = scr_sweep(&dags, &cfg, &scrs, 0.01);
+        let mut table = Table::new(vec!["SCR", "knee"]);
+        for p in &pts {
+            table.row(vec![format!("{}", p.scr), p.knee.to_string()]);
+        }
+        table.print(&format!("Figures V-18..V-22: knee vs SCR ({label})"));
+        let m = ScrModel::fit(&pts);
+        println!("Figure V-23/V-24 formula for {label}: {}\n", m.formula());
+    }
+}

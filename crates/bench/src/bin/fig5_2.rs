@@ -1,0 +1,56 @@
+//! Figure V-2: application turn-around time as a function of RC size
+//! for various regularity values (size 1000, CCR 0.01, parallelism
+//! 0.6 at full scale).
+
+use rsg_bench::experiments::{instances, Scale};
+use rsg_bench::report::{secs, Table};
+use rsg_core::curve::{turnaround_curve, CurveConfig};
+use rsg_dag::RandomDagSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = match scale {
+        Scale::Full => 1000,
+        Scale::Fast => 400,
+    };
+    let betas = [0.01, 0.1, 0.5, 1.0];
+    let cfg = CurveConfig::default();
+
+    let mut curves = Vec::new();
+    for &beta in &betas {
+        let spec = RandomDagSpec {
+            size: n,
+            ccr: 0.01,
+            parallelism: 0.6,
+            density: 0.5,
+            regularity: beta,
+            mean_comp: 40.0,
+        };
+        let dags = instances(spec, scale.instances(), beta.to_bits());
+        curves.push(turnaround_curve(&dags, &cfg));
+    }
+
+    // Join the sampled sizes across all curves.
+    let mut sizes: Vec<usize> = curves
+        .iter()
+        .flat_map(|c| c.points.iter().map(|&(s, _)| s))
+        .collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+
+    let mut table = Table::new(
+        std::iter::once("RC size".to_string())
+            .chain(betas.iter().map(|b| format!("beta={b}")))
+            .collect(),
+    );
+    for &s in &sizes {
+        let mut row = vec![s.to_string()];
+        for c in &curves {
+            row.push(c.at(s).map(secs).unwrap_or_else(|| "-".into()));
+        }
+        table.row(row);
+    }
+    table.print(&format!(
+        "Figure V-2: turnaround vs RC size (n={n}, CCR=0.01, alpha=0.6)"
+    ));
+}

@@ -1,0 +1,53 @@
+//! Figure V-4: the log2(knee) surface over (alpha, beta) is planar —
+//! fit the plane and report the mean relative error (the paper reports
+//! at most 16% for the 5000-task slice).
+
+use rsg_bench::experiments::{chapter5_anchor_size, instances, Scale};
+use rsg_bench::report::{pct, Table};
+use rsg_core::curve::{turnaround_curve, CurveConfig};
+use rsg_core::knee::find_knee;
+use rsg_core::planefit::PlaneFit;
+use rsg_dag::RandomDagSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = chapter5_anchor_size(scale);
+    let alphas = [0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let betas = [0.01, 0.1, 0.3, 0.5, 0.8, 1.0];
+    let cfg = CurveConfig::default();
+
+    let mut samples = Vec::new();
+    let mut table = Table::new(vec!["alpha", "beta", "knee", "log2(knee)"]);
+    for &a in &alphas {
+        for &b in &betas {
+            let spec = RandomDagSpec {
+                size: n,
+                ccr: 0.01,
+                parallelism: a,
+                density: 0.5,
+                regularity: b,
+                mean_comp: 40.0,
+            };
+            let dags = instances(spec, scale.instances(), a.to_bits() ^ b.to_bits());
+            let knee = find_knee(&turnaround_curve(&dags, &cfg), 0.001).max(1) as f64;
+            samples.push((a, b, knee.log2()));
+            table.row(vec![
+                format!("{a}"),
+                format!("{b}"),
+                format!("{knee}"),
+                format!("{:.3}", knee.log2()),
+            ]);
+        }
+    }
+    table.print(&format!("Figure V-4: log2 knee surface (n={n}, CCR=0.01)"));
+
+    let fit = PlaneFit::fit(&samples);
+    println!(
+        "planar fit: log2(knee) = {:.3}*alpha + {:.3}*beta + {:.3}",
+        fit.a, fit.b, fit.c
+    );
+    println!(
+        "mean relative error of the fit: {} (paper: <= 16%)",
+        pct(fit.mean_relative_error(&samples))
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure V-5: knee values as a function of DAG size (CCR 0.01,
+//! parallelism 0.7) for various regularity values.
+
+use rsg_bench::experiments::{instances, Scale};
+use rsg_bench::report::Table;
+use rsg_core::curve::{turnaround_curve, CurveConfig};
+use rsg_core::knee::find_knee;
+use rsg_dag::RandomDagSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes: Vec<usize> = match scale {
+        Scale::Full => vec![100, 500, 1000, 5000, 10_000],
+        Scale::Fast => vec![100, 300, 800],
+    };
+    let betas = [0.01, 0.5, 1.0];
+    let cfg = CurveConfig::default();
+
+    let mut table = Table::new(
+        std::iter::once("size".to_string())
+            .chain(betas.iter().map(|b| format!("beta={b}")))
+            .collect(),
+    );
+    for &n in &sizes {
+        let mut row = vec![n.to_string()];
+        for &b in &betas {
+            let spec = RandomDagSpec {
+                size: n,
+                ccr: 0.01,
+                parallelism: 0.7,
+                density: 0.5,
+                regularity: b,
+                mean_comp: 40.0,
+            };
+            let dags = instances(spec, scale.instances(), (n as u64) ^ b.to_bits());
+            row.push(find_knee(&turnaround_curve(&dags, &cfg), 0.001).to_string());
+        }
+        table.row(row);
+    }
+    table.print("Figure V-5: knee vs DAG size (CCR=0.01, alpha=0.7)");
+}

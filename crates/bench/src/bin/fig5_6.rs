@@ -1,0 +1,39 @@
+//! Figure V-6: knee values as a function of CCR (anchor size,
+//! regularity 0.01) for various parallelism values.
+
+use rsg_bench::experiments::{chapter5_anchor_size, instances, Scale};
+use rsg_bench::report::Table;
+use rsg_core::curve::{turnaround_curve, CurveConfig};
+use rsg_core::knee::find_knee;
+use rsg_dag::RandomDagSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = chapter5_anchor_size(scale);
+    let ccrs = [0.01, 0.1, 0.3, 0.5, 0.8, 1.0];
+    let alphas = [0.5, 0.7, 0.9];
+    let cfg = CurveConfig::default();
+
+    let mut table = Table::new(
+        std::iter::once("CCR".to_string())
+            .chain(alphas.iter().map(|a| format!("alpha={a}")))
+            .collect(),
+    );
+    for &ccr in &ccrs {
+        let mut row = vec![format!("{ccr}")];
+        for &a in &alphas {
+            let spec = RandomDagSpec {
+                size: n,
+                ccr,
+                parallelism: a,
+                density: 0.5,
+                regularity: 0.01,
+                mean_comp: 40.0,
+            };
+            let dags = instances(spec, scale.instances(), ccr.to_bits() ^ a.to_bits());
+            row.push(find_knee(&turnaround_curve(&dags, &cfg), 0.001).to_string());
+        }
+        table.row(row);
+    }
+    table.print(&format!("Figure V-6: knee vs CCR (n={n}, beta=0.01)"));
+}

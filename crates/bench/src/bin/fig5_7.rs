@@ -1,0 +1,68 @@
+//! Figure V-7: utility vs knee threshold — the threshold ladder trades
+//! turnaround degradation for (negative) relative cost; a 1%-for-10%
+//! utility picks an interior threshold.
+
+use rsg_bench::experiments::{instances, trained_size_model, Scale};
+use rsg_bench::report::{pct, Table};
+use rsg_core::curve::mean_turnaround;
+use rsg_core::optsearch::optimal_size_search;
+use rsg_core::utility::UtilityFunction;
+use rsg_dag::{DagStats, RandomDagSpec};
+use rsg_platform::CostModel;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (model, cfg) = trained_size_model(scale);
+    let cost = CostModel::default();
+
+    let spec = RandomDagSpec {
+        size: match scale {
+            Scale::Full => 5000,
+            Scale::Fast => 500,
+        },
+        ccr: 0.1,
+        parallelism: 0.7,
+        density: 0.5,
+        regularity: 0.5,
+        mean_comp: 40.0,
+    };
+    let dags = instances(spec, scale.instances(), 77);
+    let stats = DagStats::measure(&dags[0]);
+
+    // Ground truth optimum around the strictest prediction.
+    let predicted0 = model.strictest().predict(&stats);
+    let opt = optimal_size_search(&dags, predicted0, &cfg);
+    let c_opt = cost.execution_cost(&cfg.rc_family.build(opt.size), opt.turnaround_s);
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "threshold",
+        "predicted size",
+        "degradation",
+        "relative cost",
+        "utility (1%:10%)",
+    ]);
+    let utility = UtilityFunction::one_for_ten();
+    for m in &model.models {
+        let size = m.predict(&stats);
+        let t = mean_turnaround(&dags, size, &cfg);
+        let deg = (t / opt.turnaround_s - 1.0).max(0.0);
+        let c = cost.execution_cost(&cfg.rc_family.build(size), t);
+        let rel = cost.relative_cost(c, c_opt);
+        rows.push((m.theta, deg, rel));
+        table.row(vec![
+            pct(m.theta),
+            size.to_string(),
+            pct(deg),
+            pct(rel),
+            format!("{:.4}", utility.score(deg, rel)),
+        ]);
+    }
+    table.print("Figure V-7: utility vs threshold");
+    let pick = utility.choose(&rows);
+    println!(
+        "1%-for-10% utility selects threshold {} (row {})",
+        pct(rows[pick].0),
+        pick
+    );
+}

@@ -1,0 +1,52 @@
+//! Figures V-8/V-9: performance degradation and relative cost as a
+//! function of clock-rate heterogeneity when the homogeneous
+//! prediction is used unchanged.
+
+use rsg_bench::experiments::{instances, trained_size_model, Scale};
+use rsg_bench::report::{pct, Table};
+use rsg_core::heterogeneity::heterogeneity_sweep;
+use rsg_dag::{DagStats, RandomDagSpec};
+use rsg_platform::CostModel;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (model, cfg) = trained_size_model(scale);
+    let hs = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let sizes: Vec<usize> = match scale {
+        Scale::Full => vec![1000, 5000],
+        Scale::Fast => vec![300, 800],
+    };
+
+    for &n in &sizes {
+        let spec = RandomDagSpec {
+            size: n,
+            ccr: 0.1,
+            parallelism: 0.7,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 40.0,
+        };
+        let dags = instances(spec, scale.instances(), n as u64);
+        let prediction = model.strictest().predict(&DagStats::measure(&dags[0]));
+        let pts = heterogeneity_sweep(&dags, prediction, &cfg, &hs, &CostModel::default());
+        let mut table = Table::new(vec![
+            "H",
+            "degradation",
+            "relative cost",
+            "optimal size",
+            "optimal turnaround (s)",
+        ]);
+        for p in &pts {
+            table.row(vec![
+                format!("{}", p.heterogeneity),
+                pct(p.degradation),
+                pct(p.relative_cost),
+                p.optimal_size.to_string(),
+                format!("{:.1}", p.optimal_turnaround_s),
+            ]);
+        }
+        table.print(&format!(
+            "Figures V-8/V-9: heterogeneity sweep, homogeneous prediction {prediction} (n={n})"
+        ));
+    }
+}

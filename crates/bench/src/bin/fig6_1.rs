@@ -1,0 +1,62 @@
+//! Figure VI-1 and Figure VI-2: optimal application turn-around time
+//! per heuristic as a function of DAG size, and the MCP-vs-FCA
+//! decision surface over (size, CCR).
+
+use rsg_bench::experiments::Scale;
+use rsg_bench::report::{secs, Table};
+use rsg_core::curve::CurveConfig;
+use rsg_core::heurmodel::{HeuristicPredictionModel, HeuristicTraining};
+
+fn main() {
+    let scale = Scale::from_env();
+    let training = match scale {
+        Scale::Full => HeuristicTraining::paper(),
+        Scale::Fast => HeuristicTraining::fast(),
+    };
+    eprintln!(
+        "[training] heuristic model on {} x {} cells ...",
+        training.sizes.len(),
+        training.ccrs.len()
+    );
+    let model = HeuristicPredictionModel::train(&training, &CurveConfig::default());
+
+    // Figure VI-1: per-heuristic optimal turnaround vs size (first CCR).
+    let mut fig = Table::new(
+        std::iter::once("size".to_string())
+            .chain(training.heuristics.iter().map(|h| h.to_string()))
+            .collect(),
+    );
+    for (si, &n) in model.sizes.iter().enumerate() {
+        let cell = model.cell(si, 0);
+        let mut row = vec![n.to_string()];
+        for &(_, t) in &cell.optimal_turnaround {
+            row.push(secs(t));
+        }
+        fig.row(row);
+    }
+    fig.print(&format!(
+        "Figure VI-1: optimal turnaround per heuristic vs DAG size (CCR={})",
+        model.ccrs[0]
+    ));
+
+    // Figure VI-2: the winner per (size, CCR) cell.
+    let mut surface = Table::new(
+        std::iter::once("size\\CCR".to_string())
+            .chain(model.ccrs.iter().map(|c| format!("{c}")))
+            .collect(),
+    );
+    for (si, &n) in model.sizes.iter().enumerate() {
+        let mut row = vec![n.to_string()];
+        for ci in 0..model.ccrs.len() {
+            row.push(model.cell(si, ci).best().to_string());
+        }
+        surface.row(row);
+    }
+    surface.print("Figure VI-2: best-heuristic decision surface");
+    for &ccr in &model.ccrs {
+        match model.mcp_crossover_size(ccr) {
+            Some(n) => println!("CCR {ccr}: MCP loses the lead at size {n}"),
+            None => println!("CCR {ccr}: no crossover inside the grid"),
+        }
+    }
+}

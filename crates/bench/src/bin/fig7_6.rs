@@ -1,0 +1,48 @@
+//! Figure VII-6 / Table VII-2: application turn-around time as a
+//! function of compute clock rate and RC size — the surface behind the
+//! alternative-specification trade-off.
+
+use rsg_bench::experiments::{instances, Scale};
+use rsg_bench::report::{secs, Table};
+use rsg_core::curve::{mean_turnaround, CurveConfig, RcFamily};
+use rsg_dag::RandomDagSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let clocks = [3500.0, 3000.0, 2500.0, 2000.0, 1500.0];
+    let sizes: Vec<usize> = match scale {
+        Scale::Full => vec![50, 100, 200, 400, 800, 1600],
+        Scale::Fast => vec![25, 50, 100, 200, 400],
+    };
+    let spec = RandomDagSpec {
+        size: match scale {
+            Scale::Full => 5000,
+            Scale::Fast => 800,
+        },
+        ccr: 0.1,
+        parallelism: 0.8,
+        density: 0.5,
+        regularity: 0.8,
+        mean_comp: 40.0,
+    };
+    println!("Table VII-2 setup: n={}, CCR=0.1, alpha=0.8, clock tiers {:?}", spec.size, clocks);
+    let dags = instances(spec, scale.instances(), 88);
+
+    let mut table = Table::new(
+        std::iter::once("size\\clock".to_string())
+            .chain(clocks.iter().map(|c| format!("{c:.0} MHz")))
+            .collect(),
+    );
+    for &s in &sizes {
+        let mut row = vec![s.to_string()];
+        for &clock in &clocks {
+            let cfg = CurveConfig {
+                rc_family: RcFamily::homogeneous(clock),
+                ..CurveConfig::default()
+            };
+            row.push(secs(mean_turnaround(&dags, s, &cfg)));
+        }
+        table.row(row);
+    }
+    table.print("Figure VII-6: turnaround vs clock rate x RC size");
+}

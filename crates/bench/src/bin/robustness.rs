@@ -1,0 +1,74 @@
+//! Beyond the paper: robustness of the predicted-size schedule to
+//! runtime resource degradation — the operational scenario the vgMON
+//! monitor of Section II.4.1 exists to detect. Replays MCP schedules
+//! at the predicted RC size through the event-driven simulator while a
+//! fraction of hosts slows down mid-run.
+
+use rsg_bench::experiments::{instances, trained_size_model, Scale};
+use rsg_bench::report::Table;
+use rsg_dag::{DagStats, RandomDagSpec};
+use rsg_sched::simulator::{makespan_stretch, HostSlowdown, Perturbation};
+use rsg_sched::{ExecutionContext, HeuristicKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (model, cfg) = trained_size_model(scale);
+    let spec = RandomDagSpec {
+        size: match scale {
+            Scale::Full => 5000,
+            Scale::Fast => 500,
+        },
+        ccr: 0.1,
+        parallelism: 0.7,
+        density: 0.5,
+        regularity: 0.5,
+        mean_comp: 40.0,
+    };
+    let dags = instances(spec, scale.instances(), 0x52);
+    let predicted = model.strictest().predict(&DagStats::measure(&dags[0]));
+    let rc = cfg.rc_family.build(predicted);
+    println!("predicted RC size: {predicted} hosts");
+
+    let mut table = Table::new(vec![
+        "slowed hosts",
+        "slowdown factor",
+        "onset (fraction of makespan)",
+        "mean makespan stretch",
+    ]);
+    for &(frac_hosts, factor, onset) in &[
+        (0.1, 0.5, 0.0),
+        (0.1, 0.25, 0.0),
+        (0.25, 0.5, 0.0),
+        (0.25, 0.5, 0.5),
+        (0.5, 0.5, 0.0),
+        (0.1, 0.1, 0.25),
+    ] {
+        let mut total = 0.0;
+        for dag in &dags {
+            let ctx = ExecutionContext::new(dag, &rc);
+            let (s, _) = HeuristicKind::Mcp.run(&ctx);
+            let k = ((rc.len() as f64) * frac_hosts).ceil() as usize;
+            let p = Perturbation {
+                host_slowdowns: (0..k)
+                    .map(|h| HostSlowdown {
+                        host: h,
+                        from_s: s.makespan() * onset,
+                        factor,
+                    })
+                    .collect(),
+                comm_stretch: 1.0,
+            };
+            total += makespan_stretch(&ctx, &s, &p);
+        }
+        table.row(vec![
+            format!("{:.0}%", frac_hosts * 100.0),
+            format!("{factor}"),
+            format!("{onset}"),
+            format!("{:.3}x", total / dags.len() as f64),
+        ]);
+    }
+    table.print("Robustness: makespan stretch under mid-run host degradation");
+    println!("(even a few degraded hosts gate the whole DAG: static schedules are");
+    println!(" brittle, which is exactly why vgES pairs selection with the vgMON");
+    println!(" monitoring layer the paper describes)");
+}

@@ -1,0 +1,40 @@
+//! Table V-2: knee values over the alpha x beta grid for the anchor
+//! DAG size at CCR = 0.01 (5000 tasks in the paper).
+
+use rsg_bench::experiments::{chapter5_anchor_size, instances, Scale};
+use rsg_bench::report::Table;
+use rsg_core::curve::{turnaround_curve, CurveConfig};
+use rsg_core::knee::find_knee;
+use rsg_dag::RandomDagSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = chapter5_anchor_size(scale);
+    let alphas = [0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let betas = [0.01, 0.1, 0.3, 0.5, 0.8, 1.0];
+    let cfg = CurveConfig::default();
+
+    let mut table = Table::new(
+        std::iter::once("alpha\\beta".to_string())
+            .chain(betas.iter().map(|b| format!("{b}")))
+            .collect(),
+    );
+    for &a in &alphas {
+        let mut row = vec![format!("{a}")];
+        for &b in &betas {
+            let spec = RandomDagSpec {
+                size: n,
+                ccr: 0.01,
+                parallelism: a,
+                density: 0.5,
+                regularity: b,
+                mean_comp: 40.0,
+            };
+            let dags = instances(spec, scale.instances(), a.to_bits() ^ b.to_bits());
+            let curve = turnaround_curve(&dags, &cfg);
+            row.push(find_knee(&curve, 0.001).to_string());
+        }
+        table.row(row);
+    }
+    table.print(&format!("Table V-2: knee values (n={n}, CCR=0.01)"));
+}

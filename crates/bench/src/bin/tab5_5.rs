@@ -1,0 +1,76 @@
+//! Table V-5: validation of the size prediction model — average
+//! predicted-size difference, performance degradation and relative
+//! cost, split into four quadrants: {observation-set, midpoint} DAG
+//! sizes × {observation-set, midpoint} CCR values.
+
+use rsg_bench::experiments::{instances, trained_size_model, Scale};
+use rsg_bench::report::{pct, Table};
+use rsg_core::validate::{validate_config, ConfigValidation, ValidationSummary};
+use rsg_dag::RandomDagSpec;
+use rsg_platform::CostModel;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (model, cfg) = trained_size_model(scale);
+    let strictest = model.strictest();
+    let (grid_sizes, grid_ccrs) = strictest.axes();
+    let cost = CostModel::default();
+
+    let midpoints = |xs: &[f64]| -> Vec<f64> {
+        xs.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
+    };
+    let obs_sizes: Vec<f64> = grid_sizes.to_vec();
+    let mid_sizes = midpoints(grid_sizes);
+    let obs_ccrs: Vec<f64> = grid_ccrs.to_vec();
+    let mid_ccrs = midpoints(grid_ccrs);
+
+    // Validation points: per size, a couple of (alpha, beta) combos.
+    let combos = [(0.5, 0.5), (0.7, 0.9)];
+
+    let mut table = Table::new(vec![
+        "quadrant",
+        "sizes",
+        "avg size diff",
+        "avg degradation",
+        "avg relative cost",
+        "included",
+        "excluded",
+    ]);
+    for (q_label, sizes, ccrs) in [
+        ("obs sizes x obs CCR", &obs_sizes, &obs_ccrs),
+        ("obs sizes x mid CCR", &obs_sizes, &mid_ccrs),
+        ("mid sizes x obs CCR", &mid_sizes, &obs_ccrs),
+        ("mid sizes x mid CCR", &mid_sizes, &mid_ccrs),
+    ] {
+        for &n in sizes.iter() {
+            let mut results: Vec<ConfigValidation> = Vec::new();
+            for &ccr in ccrs.iter() {
+                for &(a, b) in &combos {
+                    let spec = RandomDagSpec {
+                        size: n as usize,
+                        ccr,
+                        parallelism: a,
+                        density: 0.5,
+                        regularity: b,
+                        mean_comp: 40.0,
+                    };
+                    let dags =
+                        instances(spec, scale.instances(), (n as u64) ^ ccr.to_bits());
+                    results.push(validate_config(&dags, strictest, &cfg, &cost));
+                }
+            }
+            let s = ValidationSummary::aggregate(&results);
+            table.row(vec![
+                q_label.to_string(),
+                format!("{}", n as usize),
+                pct(s.avg_size_diff),
+                pct(s.avg_degradation),
+                pct(s.avg_relative_cost),
+                s.included.to_string(),
+                s.excluded.to_string(),
+            ]);
+        }
+    }
+    table.print("Table V-5: size prediction model validation");
+    println!("(paper: size diff 9-17%, degradation 0.18-1.93%, relative cost negative)");
+}

@@ -1,0 +1,52 @@
+//! Table V-6: effects of varying DAG size between two observation
+//! points — the midpoint should be the worst case and intermediate
+//! sizes in between.
+
+use rsg_bench::experiments::{instances, trained_size_model, Scale};
+use rsg_bench::report::{pct, Table};
+use rsg_core::validate::validate_config;
+use rsg_dag::RandomDagSpec;
+use rsg_platform::CostModel;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (model, cfg) = trained_size_model(scale);
+    let strictest = model.strictest();
+    let (grid_sizes, _) = strictest.axes();
+    // The last two observation sizes bracket the sweep.
+    let lo = grid_sizes[grid_sizes.len() - 2] as usize;
+    let hi = *grid_sizes.last().unwrap() as usize;
+    let steps = 5usize;
+    let cost = CostModel::default();
+
+    let mut table = Table::new(vec![
+        "size",
+        "predicted",
+        "optimal",
+        "degradation",
+        "relative cost",
+    ]);
+    for k in 0..=steps {
+        let n = lo + (hi - lo) * k / steps;
+        let spec = RandomDagSpec {
+            size: n,
+            ccr: 0.1,
+            parallelism: 0.7,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 40.0,
+        };
+        let dags = instances(spec, scale.instances(), n as u64);
+        let v = validate_config(&dags, strictest, &cfg, &cost);
+        table.row(vec![
+            n.to_string(),
+            v.predicted_size.to_string(),
+            v.optimal_size.to_string(),
+            pct(v.degradation),
+            pct(v.relative_cost),
+        ]);
+    }
+    table.print(&format!(
+        "Table V-6: varying DAG size between observation points {lo} and {hi}"
+    ));
+}

@@ -1,0 +1,47 @@
+//! Table V-7: the current practice — requesting the DAG width — versus
+//! the prediction model: similar turnaround for small DAGs, but
+//! runaway size and cost as DAGs grow.
+
+use rsg_bench::experiments::{instances, trained_size_model, Scale};
+use rsg_bench::report::{pct, Table};
+use rsg_core::validate::{validate_config, validate_width_practice};
+use rsg_dag::RandomDagSpec;
+use rsg_platform::CostModel;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (model, cfg) = trained_size_model(scale);
+    let strictest = model.strictest();
+    let (grid_sizes, _) = strictest.axes();
+    let cost = CostModel::default();
+
+    let mut table = Table::new(vec![
+        "DAG size",
+        "width size diff",
+        "width degradation",
+        "width rel cost",
+        "model rel cost",
+    ]);
+    for &n in grid_sizes {
+        let spec = RandomDagSpec {
+            size: n as usize,
+            ccr: 0.1,
+            parallelism: 0.7,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 40.0,
+        };
+        let dags = instances(spec, scale.instances(), n.to_bits());
+        let base = validate_config(&dags, strictest, &cfg, &cost);
+        let width = validate_width_practice(&dags, &base, &cfg, &cost);
+        table.row(vec![
+            format!("{}", n as usize),
+            pct(width.size_diff),
+            pct(width.degradation),
+            pct(width.relative_cost),
+            pct(base.relative_cost),
+        ]);
+    }
+    table.print("Table V-7: DAG width as the RC size (current practice)");
+    println!("(paper: width practice up to ~880% size diff and 10x cost for big DAGs)");
+}

@@ -1,0 +1,78 @@
+//! Tables V-8/V-9: applying the predictive model to the Montage DAGs —
+//! level populations, then model-vs-current-practice across knee
+//! thresholds.
+
+use rsg_bench::experiments::{trained_size_model, Scale};
+use rsg_bench::report::{pct, Table};
+use rsg_core::curve::mean_turnaround;
+use rsg_core::optsearch::optimal_size_search;
+use rsg_dag::montage::{montage_1629_actual, montage_4469_actual};
+use rsg_dag::DagStats;
+use rsg_platform::CostModel;
+
+fn main() {
+    let scale = Scale::from_env();
+
+    // Table V-8: level populations.
+    let mut levels = Table::new(vec!["level", "task", "1629-task", "4469-task"]);
+    let d1629 = montage_1629_actual();
+    let d4469 = montage_4469_actual();
+    for (i, name) in rsg_dag::montage::MONTAGE_TASK_NAMES.iter().enumerate() {
+        levels.row(vec![
+            (i + 1).to_string(),
+            name.to_string(),
+            d1629.level_size(i as u32).to_string(),
+            d4469.level_size(i as u32).to_string(),
+        ]);
+    }
+    levels.print("Table V-8: Montage level populations");
+
+    let (model, cfg) = trained_size_model(scale);
+    let cost = CostModel::default();
+
+    let dags = match scale {
+        Scale::Full => vec![d1629, d4469],
+        Scale::Fast => vec![d1629],
+    };
+    for dag in &dags {
+        let stats = DagStats::measure(dag);
+        let insts = vec![dag.clone()];
+        let predicted0 = model.strictest().predict(&stats);
+        let opt = optimal_size_search(&insts, predicted0, &cfg);
+        let c_opt = cost.execution_cost(&cfg.rc_family.build(opt.size), opt.turnaround_s);
+
+        let mut table = Table::new(vec![
+            "threshold",
+            "model size",
+            "model degradation",
+            "model rel cost",
+        ]);
+        for m in &model.models {
+            let size = m.predict(&stats);
+            let t = mean_turnaround(&insts, size, &cfg);
+            let c = cost.execution_cost(&cfg.rc_family.build(size), t);
+            table.row(vec![
+                pct(m.theta),
+                size.to_string(),
+                pct((t / opt.turnaround_s - 1.0).max(0.0)),
+                pct(cost.relative_cost(c, c_opt)),
+            ]);
+        }
+        table.print(&format!(
+            "Table V-9: predictive model on Montage {} (optimal size {} @ {:.1}s)",
+            dag.len(),
+            opt.size,
+            opt.turnaround_s
+        ));
+
+        // Current practice: the width.
+        let width = stats.width as usize;
+        let t_w = mean_turnaround(&insts, width, &cfg);
+        let c_w = cost.execution_cost(&cfg.rc_family.build(width), t_w);
+        println!(
+            "current practice (width {width}): degradation {}, relative cost {}\n",
+            pct((t_w / opt.turnaround_s - 1.0).max(0.0)),
+            pct(cost.relative_cost(c_w, c_opt)),
+        );
+    }
+}

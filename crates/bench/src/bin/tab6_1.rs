@@ -1,0 +1,45 @@
+//! Table VI-1: the observation set used to derive the heuristic
+//! prediction model — DAG characteristics, heuristics compared, and
+//! instance policy, at both scales.
+
+use rsg_bench::experiments::Scale;
+use rsg_bench::report::Table;
+use rsg_core::heurmodel::HeuristicTraining;
+
+fn main() {
+    for (label, t) in [
+        ("fast preset", HeuristicTraining::fast()),
+        ("paper (Table VI-1)", HeuristicTraining::paper()),
+    ] {
+        let mut table = Table::new(vec!["characteristic", "values"]);
+        table.row(vec![
+            "DAG sizes".to_string(),
+            format!("{:?}", t.sizes),
+        ]);
+        table.row(vec!["CCR".to_string(), format!("{:?}", t.ccrs)]);
+        table.row(vec![
+            "heuristics".to_string(),
+            t.heuristics
+                .iter()
+                .map(|h| h.name())
+                .collect::<Vec<_>>()
+                .join(", "),
+        ]);
+        table.row(vec!["parallelism".to_string(), t.alpha.to_string()]);
+        table.row(vec!["regularity".to_string(), t.beta.to_string()]);
+        table.row(vec!["density".to_string(), t.density.to_string()]);
+        table.row(vec![
+            "mean comp (s)".to_string(),
+            t.mean_comp.to_string(),
+        ]);
+        table.row(vec![
+            "instances/cell".to_string(),
+            t.instances.to_string(),
+        ]);
+        table.print(&format!("Table VI-1: heuristic-model observation set ({label})"));
+    }
+    println!(
+        "active scale for the other chapter-VI binaries: {:?}",
+        Scale::from_env()
+    );
+}

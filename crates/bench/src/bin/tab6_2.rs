@@ -1,0 +1,56 @@
+//! Table VI-2: application turn-around times per heuristic for the
+//! smallest observation size (100 tasks in the paper) across RC sizes.
+
+use rsg_bench::experiments::{instances, Scale};
+use rsg_bench::report::{secs, Table};
+use rsg_core::curve::{turnaround_curve_sizes, CurveConfig};
+use rsg_dag::RandomDagSpec;
+use rsg_sched::HeuristicKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = RandomDagSpec {
+        size: 100,
+        ccr: 0.1,
+        parallelism: 0.7,
+        density: 0.5,
+        regularity: 0.5,
+        mean_comp: 40.0,
+    };
+    let dags = instances(spec, scale.instances(), 66);
+    let sizes = [1usize, 2, 4, 8, 16, 32];
+    let heuristics = [
+        HeuristicKind::Mcp,
+        HeuristicKind::Dls,
+        HeuristicKind::Fca,
+        HeuristicKind::Fcfs,
+        HeuristicKind::Greedy,
+    ];
+
+    let mut table = Table::new(
+        std::iter::once("RC size".to_string())
+            .chain(heuristics.iter().map(|h| h.to_string()))
+            .collect(),
+    );
+    let curves: Vec<_> = heuristics
+        .iter()
+        .map(|&h| {
+            turnaround_curve_sizes(
+                &dags,
+                &sizes,
+                &CurveConfig {
+                    heuristic: h,
+                    ..CurveConfig::default()
+                },
+            )
+        })
+        .collect();
+    for (i, &s) in sizes.iter().enumerate() {
+        let mut row = vec![s.to_string()];
+        for c in &curves {
+            row.push(secs(c.points[i].1));
+        }
+        table.row(row);
+    }
+    table.print("Table VI-2: turnaround per heuristic, DAG size 100");
+}

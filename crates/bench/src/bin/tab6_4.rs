@@ -1,0 +1,105 @@
+//! Tables VI-4/VI-5 and Figures VI-4/VI-5: validation of the combined
+//! heuristic + size prediction models on off-grid points — breakdown of
+//! correct / acceptable / wrong predictions and the mean degradation
+//! from the best possible turnaround.
+
+use rsg_bench::experiments::{instances, Scale};
+use rsg_bench::report::{pct, Table};
+use rsg_core::curve::{turnaround_curve, CurveConfig};
+use rsg_core::heurmodel::{HeuristicPredictionModel, HeuristicTraining};
+use rsg_dag::RandomDagSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let training = match scale {
+        Scale::Full => HeuristicTraining::paper(),
+        Scale::Fast => HeuristicTraining::fast(),
+    };
+    let cfg = CurveConfig::default();
+    let model = HeuristicPredictionModel::train(&training, &cfg);
+
+    // Validation points: geometric midpoints of the size grid at both
+    // on-grid and midpoint CCRs (Table VI-4).
+    let mut points: Vec<(usize, f64)> = Vec::new();
+    for w in training.sizes.windows(2) {
+        let mid = ((w[0] * w[1]) as f64).sqrt() as usize;
+        for cw in training.ccrs.windows(2) {
+            points.push((mid, (cw[0] + cw[1]) / 2.0));
+        }
+        points.push((mid, training.ccrs[0]));
+    }
+
+    let mut table = Table::new(vec![
+        "size",
+        "CCR",
+        "predicted",
+        "actual best",
+        "degradation",
+        "verdict",
+    ]);
+    let mut correct = 0usize;
+    let mut acceptable = 0usize;
+    let mut wrong = 0usize;
+    let mut total_deg = 0.0;
+    for &(n, ccr) in &points {
+        let spec = RandomDagSpec {
+            size: n,
+            ccr,
+            parallelism: training.alpha,
+            density: training.density,
+            regularity: training.beta,
+            mean_comp: training.mean_comp,
+        };
+        let dags = instances(spec, scale.instances(), n as u64 ^ ccr.to_bits());
+        let predicted = model.predict_chars(n as f64, ccr);
+        // Ground truth: every heuristic's optimal turnaround.
+        let mut best = (predicted, f64::INFINITY);
+        let mut predicted_t = f64::INFINITY;
+        for &h in &training.heuristics {
+            let t = turnaround_curve(
+                &dags,
+                &CurveConfig {
+                    heuristic: h,
+                    ..cfg
+                },
+            )
+            .argmin()
+            .1;
+            if t < best.1 {
+                best = (h, t);
+            }
+            if h == predicted {
+                predicted_t = t;
+            }
+        }
+        let deg = (predicted_t / best.1 - 1.0).max(0.0);
+        total_deg += deg;
+        let verdict = if predicted == best.0 {
+            correct += 1;
+            "correct"
+        } else if deg <= 0.05 {
+            acceptable += 1;
+            "acceptable (<=5%)"
+        } else {
+            wrong += 1;
+            "wrong"
+        };
+        table.row(vec![
+            n.to_string(),
+            format!("{ccr}"),
+            predicted.to_string(),
+            best.0.to_string(),
+            pct(deg),
+            verdict.to_string(),
+        ]);
+    }
+    table.print("Table VI-4 / Figure VI-4: heuristic model validation breakdown");
+    println!(
+        "correct: {correct}, acceptable: {acceptable}, wrong: {wrong} (of {})",
+        points.len()
+    );
+    println!(
+        "Figure VI-5: mean degradation from best possible turnaround: {}",
+        pct(total_deg / points.len() as f64)
+    );
+}

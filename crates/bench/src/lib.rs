@@ -1,0 +1,10 @@
+//! # rsg-bench — experiment harness shared code
+//!
+//! Experiment binaries (one per paper table/figure) live in `src/bin/`;
+//! Criterion benches in `benches/`. This library holds the shared
+//! output formatting and the fast/full experiment presets.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Table;

@@ -1,0 +1,122 @@
+//! Minimal argument parsing: positionals plus `--flag value` options,
+//! with typed accessors (kept dependency-free on purpose).
+
+use std::collections::BTreeMap;
+
+/// Argument-parsing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgError(pub String);
+
+/// A parsed argument vector.
+#[derive(Debug)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: BTreeMap<String, String>,
+    next_positional: usize,
+}
+
+impl Args {
+    /// Splits `argv` into positionals and `--key value` options.
+    pub fn new(argv: &[String]) -> Args {
+        let mut positionals = Vec::new();
+        let mut options = BTreeMap::new();
+        let mut i = 0usize;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                let value = argv.get(i + 1).cloned().unwrap_or_default();
+                options.insert(key.to_string(), value);
+                i += 2;
+            } else {
+                positionals.push(a.clone());
+                i += 1;
+            }
+        }
+        Args {
+            positionals,
+            options,
+            next_positional: 0,
+        }
+    }
+
+    /// Next positional argument, if any.
+    pub fn positional(&mut self) -> Option<String> {
+        let p = self.positionals.get(self.next_positional).cloned();
+        if p.is_some() {
+            self.next_positional += 1;
+        }
+        p
+    }
+
+    /// Required positional with a descriptive error.
+    pub fn require_positional(&mut self, what: &str) -> Result<String, ArgError> {
+        self.positional()
+            .ok_or_else(|| ArgError(format!("missing {what}")))
+    }
+
+    /// Optional string option.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.opt(key)
+            .ok_or_else(|| ArgError(format!("missing --{key}")))
+    }
+
+    /// Optional numeric option with a default.
+    pub fn num(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} expects a number, got '{v}'"))),
+        }
+    }
+
+    /// Optional integer option with a default.
+    pub fn int(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} expects an integer, got '{v}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::new(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn splits_positionals_and_options() {
+        let mut a = args(&["gen", "random", "--size", "100", "--out", "f.dag"]);
+        assert_eq!(a.positional().as_deref(), Some("gen"));
+        assert_eq!(a.positional().as_deref(), Some("random"));
+        assert_eq!(a.positional(), None);
+        assert_eq!(a.opt("size"), Some("100"));
+        assert_eq!(a.int("size", 0).unwrap(), 100);
+        assert_eq!(a.opt("out"), Some("f.dag"));
+        assert_eq!(a.num("ccr", 1.5).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn typed_errors() {
+        let a = args(&["--size", "abc"]);
+        assert!(a.int("size", 0).is_err());
+        assert!(a.require("missing").is_err());
+    }
+
+    #[test]
+    fn require_positional_message() {
+        let mut a = args(&[]);
+        let e = a.require_positional("input file").unwrap_err();
+        assert!(e.0.contains("input file"));
+    }
+}

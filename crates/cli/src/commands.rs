@@ -1,0 +1,302 @@
+//! The CLI commands.
+
+use crate::args::Args;
+use crate::CliError;
+use rsg_core::curve::{turnaround_curve, CurveConfig};
+use rsg_core::heurmodel::{HeuristicPredictionModel, HeuristicTraining};
+use rsg_core::knee::find_knees;
+use rsg_core::observation::ObservationGrid;
+use rsg_core::specgen::{GeneratorConfig, SpecGenerator};
+use rsg_core::ThresholdedSizeModel;
+use rsg_dag::io::{read_dag, to_dot, write_dag};
+use rsg_dag::{Dag, DagStats, RandomDagSpec};
+use rsg_sched::HeuristicKind;
+use std::io::{Read, Write};
+
+fn load_dag(path: &str) -> Result<Dag, CliError> {
+    let text = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s)?;
+        s
+    } else {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Failed(format!("cannot read {path}: {e}")))?
+    };
+    read_dag(&text).map_err(|e| CliError::Failed(e.to_string()))
+}
+
+fn emit(out_path: Option<&str>, content: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    match out_path {
+        Some(p) => {
+            std::fs::write(p, content)
+                .map_err(|e| CliError::Failed(format!("cannot write {p}: {e}")))?;
+            Ok(())
+        }
+        None => {
+            out.write_all(content.as_bytes())?;
+            Ok(())
+        }
+    }
+}
+
+/// `rsg gen random|montage …`
+pub fn gen(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let what = args.require_positional("generator (random|montage)")?;
+    let dag = match what.as_str() {
+        "random" => {
+            let spec = RandomDagSpec {
+                size: args.int("size", 1000)? as usize,
+                ccr: args.num("ccr", 0.1)?,
+                parallelism: args.num("parallelism", 0.5)?,
+                density: args.num("density", 0.5)?,
+                regularity: args.num("regularity", 0.5)?,
+                mean_comp: args.num("mean-comp", 40.0)?,
+            };
+            spec.generate(args.int("seed", 42)?)
+        }
+        "montage" => {
+            let tasks = args.int("tasks", 1629)?;
+            let comm = match args.opt("ccr") {
+                Some(_) => rsg_dag::montage::MontageComm::Ccr(args.num("ccr", 1.0)?),
+                None => rsg_dag::montage::MontageComm::ActualFiles,
+            };
+            match tasks {
+                1629 => rsg_dag::montage::MontageSpec::m1629(comm).generate(),
+                4469 => rsg_dag::montage::MontageSpec::m4469(comm).generate(),
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "--tasks must be 1629 or 4469, got {other}"
+                    )))
+                }
+            }
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown generator '{other}' (random|montage)"
+            )))
+        }
+    };
+    emit(args.opt("out"), &write_dag(&dag), out)
+}
+
+/// `rsg stats FILE`
+pub fn stats(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.require_positional("DAG file")?;
+    let dag = load_dag(&path)?;
+    let s = DagStats::measure(&dag);
+    writeln!(out, "name         {}", dag.name())?;
+    writeln!(out, "size         {}", s.size)?;
+    writeln!(out, "edges        {}", dag.edge_count())?;
+    writeln!(out, "height       {}", s.height)?;
+    writeln!(out, "width        {}", s.width)?;
+    writeln!(out, "tasks/level  {:.2}", s.tasks_per_level)?;
+    writeln!(out, "CCR          {:.4}", s.ccr)?;
+    writeln!(out, "parallelism  {:.3}", s.parallelism)?;
+    writeln!(out, "density      {:.3}", s.density)?;
+    writeln!(out, "regularity   {:.3}", s.regularity)?;
+    writeln!(out, "mean comp    {:.2} s", s.mean_comp)?;
+    writeln!(out, "total work   {:.1} s", dag.total_work())?;
+    Ok(())
+}
+
+/// `rsg curve FILE [--heuristic H] [--instances K]`
+pub fn curve(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.require_positional("DAG file")?;
+    let dag = load_dag(&path)?;
+    let heuristic = parse_heuristic(args.opt("heuristic").unwrap_or("MCP"))?;
+    let cfg = CurveConfig {
+        heuristic,
+        ..CurveConfig::default()
+    };
+    let c = turnaround_curve(std::slice::from_ref(&dag), &cfg);
+    writeln!(out, "{:>8}  {:>14}", "RC size", "turnaround (s)")?;
+    for &(s, t) in &c.points {
+        writeln!(out, "{s:>8}  {t:>14.2}")?;
+    }
+    let knees = find_knees(&c, &rsg_core::THRESHOLD_LADDER);
+    write!(out, "knee ladder: ")?;
+    for (theta, k) in rsg_core::THRESHOLD_LADDER.iter().zip(&knees) {
+        write!(out, "{}%→{k}  ", theta * 100.0)?;
+    }
+    writeln!(out)?;
+    Ok(())
+}
+
+/// `rsg train [--grid tiny|fast|paper] [--out FILE]`
+pub fn train(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let grid = match args.opt("grid").unwrap_or("fast") {
+        "tiny" => ObservationGrid::tiny(),
+        "fast" => ObservationGrid::fast(),
+        "paper" => ObservationGrid::paper(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "--grid must be tiny|fast|paper, got '{other}'"
+            )))
+        }
+    };
+    writeln!(
+        out,
+        "training on {} configurations x {} instances ...",
+        grid.cells(),
+        grid.instances
+    )?;
+    let cfg = CurveConfig::default();
+    let tables =
+        rsg_core::observation::measure(&grid, &cfg, &rsg_core::THRESHOLD_LADDER, 0);
+    let model = ThresholdedSizeModel::fit(&tables);
+    let text = model.to_tsv();
+    match args.opt("out") {
+        Some(p) => {
+            std::fs::write(p, &text)
+                .map_err(|e| CliError::Failed(format!("cannot write {p}: {e}")))?;
+            writeln!(out, "model written to {p}")?;
+        }
+        None => out.write_all(text.as_bytes())?,
+    }
+    Ok(())
+}
+
+fn load_model(path: &str) -> Result<ThresholdedSizeModel, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Failed(format!("cannot read model {path}: {e}")))?;
+    ThresholdedSizeModel::from_tsv(&text).map_err(|e| CliError::Failed(e.to_string()))
+}
+
+/// `rsg predict --model FILE DAGFILE`
+pub fn predict(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let model = load_model(args.require("model")?)?;
+    let path = args.require_positional("DAG file")?;
+    let dag = load_dag(&path)?;
+    let s = DagStats::measure(&dag);
+    writeln!(
+        out,
+        "DAG: {} tasks, width {}, CCR {:.4}, alpha {:.2}, beta {:.2}",
+        s.size, s.width, s.ccr, s.parallelism, s.regularity
+    )?;
+    writeln!(out, "{:>10}  {:>9}", "threshold", "RC size")?;
+    for m in &model.models {
+        writeln!(out, "{:>9.1}%  {:>9}", m.theta * 100.0, m.predict(&s))?;
+    }
+    Ok(())
+}
+
+/// `rsg spec --model FILE DAGFILE [--lang …] [--clock MHZ] [--het H]`
+pub fn spec(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let lang = args.opt("lang").unwrap_or("all").to_string();
+    if !["vgdl", "classad", "sword", "all"].contains(&lang.as_str()) {
+        return Err(CliError::Usage(format!(
+            "--lang must be vgdl|classad|sword|all, got '{lang}'"
+        )));
+    }
+    let model = load_model(args.require("model")?)?;
+    let path = args.require_positional("DAG file")?;
+    let dag = load_dag(&path)?;
+
+    // Heuristic: explicit flag, or a degenerate single-cell model
+    // defaulting to MCP (training a full heuristic model is a separate,
+    // slower step — `fig6_1` at experiment scale).
+    let heur_model = match (args.opt("heuristic-model"), args.opt("heuristic")) {
+        (Some(path), _) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Failed(format!("cannot read {path}: {e}")))?;
+            HeuristicPredictionModel::from_tsv(&text)
+                .map_err(|e| CliError::Failed(e.to_string()))?
+        }
+        (None, Some(h)) => fixed_heuristic_model(parse_heuristic(h)?),
+        (None, None) => fixed_heuristic_model(HeuristicKind::Mcp),
+    };
+    let generator = SpecGenerator::new(model, heur_model);
+    let cfg = GeneratorConfig {
+        target_clock_mhz: args.num("clock", 3500.0)?,
+        heterogeneity_tolerance: args.num("het", 0.0)?,
+        ..Default::default()
+    };
+    let spec = generator.generate(&dag, &cfg);
+    writeln!(
+        out,
+        "RC size {} (min {}), clocks {:.0}..{:.0} MHz, heuristic {}, threshold {:.1}%",
+        spec.rc_size,
+        spec.min_size,
+        spec.clock_mhz.0,
+        spec.clock_mhz.1,
+        spec.heuristic,
+        spec.threshold * 100.0
+    )?;
+    if lang == "vgdl" || lang == "all" {
+        writeln!(out, "\n--- vgDL ---")?;
+        writeln!(out, "{}", SpecGenerator::to_vgdl(&spec))?;
+    }
+    if lang == "classad" || lang == "all" {
+        writeln!(out, "\n--- ClassAd ---")?;
+        writeln!(out, "{}", SpecGenerator::to_classad(&spec))?;
+    }
+    if lang == "sword" || lang == "all" {
+        writeln!(out, "\n--- SWORD ---")?;
+        write!(
+            out,
+            "{}",
+            rsg_select::sword::write_sword(&SpecGenerator::to_sword(&spec))
+        )?;
+    }
+    Ok(())
+}
+
+/// `rsg train-heuristic [--preset fast|paper] [--out FILE]`
+pub fn train_heuristic(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let training = match args.opt("preset").unwrap_or("fast") {
+        "fast" => HeuristicTraining::fast(),
+        "paper" => HeuristicTraining::paper(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "--preset must be fast|paper, got '{other}'"
+            )))
+        }
+    };
+    writeln!(
+        out,
+        "training heuristic model on {} x {} cells ...",
+        training.sizes.len(),
+        training.ccrs.len()
+    )?;
+    let model = HeuristicPredictionModel::train(&training, &CurveConfig::default());
+    let text = model.to_tsv();
+    match args.opt("out") {
+        Some(p) => {
+            std::fs::write(p, &text)
+                .map_err(|e| CliError::Failed(format!("cannot write {p}: {e}")))?;
+            writeln!(out, "heuristic model written to {p}")?;
+        }
+        None => out.write_all(text.as_bytes())?,
+    }
+    Ok(())
+}
+
+/// `rsg dot FILE [--out FILE]`
+pub fn dot(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.require_positional("DAG file")?;
+    let dag = load_dag(&path)?;
+    emit(args.opt("out"), &to_dot(&dag), out)
+}
+
+fn parse_heuristic(s: &str) -> Result<HeuristicKind, CliError> {
+    HeuristicKind::parse(s)
+        .ok_or_else(|| CliError::Usage(format!("unknown heuristic '{s}' (MCP|DLS|FCA|FCFS|Greedy)")))
+}
+
+/// A degenerate heuristic model that always answers `h` — the CLI's
+/// default when no trained heuristic model is supplied.
+fn fixed_heuristic_model(h: HeuristicKind) -> HeuristicPredictionModel {
+    let training = HeuristicTraining {
+        sizes: vec![1],
+        ccrs: vec![0.0],
+        heuristics: vec![h],
+        alpha: 0.5,
+        beta: 0.5,
+        instances: 1,
+        mean_comp: 1.0,
+        density: 0.5,
+    };
+    // Train on a single trivial cell — milliseconds — so predict()
+    // always returns `h`.
+    HeuristicPredictionModel::train(&training, &CurveConfig::default())
+}

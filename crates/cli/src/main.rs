@@ -1,0 +1,20 @@
+//! The `rsg` binary: see [`rsg_cli::USAGE`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match rsg_cli::run(&argv, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(rsg_cli::CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", rsg_cli::USAGE);
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

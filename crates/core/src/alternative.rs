@@ -1,0 +1,281 @@
+//! Alternative resource specifications (Section VII.4).
+//!
+//! When the best resource request cannot be fulfilled — not enough
+//! 3.5 GHz hosts, say — the generator degrades the specification along
+//! an ordered ladder instead of failing: (1) a slower clock tier with a
+//! compensating size increase (the Figure VII-6/VII-7 trade-off), (2) a
+//! wider heterogeneity tolerance, (3) the smaller RC size of a more
+//! permissive knee threshold. A negotiation loop walks the ladder
+//! against an actual selector until something binds.
+
+use crate::curve::{mean_turnaround, CurveConfig, RcFamily};
+use crate::specgen::ResourceSpec;
+use rsg_dag::Dag;
+
+/// How a spec was degraded relative to the original.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// The original request.
+    None,
+    /// Moved to a slower clock tier with a compensating size increase.
+    SlowerClock,
+    /// Widened the tolerated clock range.
+    WiderHeterogeneity,
+    /// Accepted a smaller collection (more permissive threshold).
+    SmallerSize,
+}
+
+/// An alternative specification with its provenance and its predicted
+/// turnaround (for ordering).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alternative {
+    /// The degraded spec.
+    pub spec: ResourceSpec,
+    /// What was degraded.
+    pub degradation: Degradation,
+    /// Predicted turnaround of the degraded request, seconds.
+    pub predicted_turnaround_s: f64,
+}
+
+/// The size multiplier needed when moving from `clock_hi` to `clock_lo`
+/// so the slower tier matches the faster tier's turnaround, measured
+/// empirically on the DAG (Figure VII-7's "relative RC size
+/// threshold"). Returns `None` when no size on the slower tier matches
+/// within the DAG width.
+pub fn tier_size_threshold(
+    dags: &[Dag],
+    size_hi: usize,
+    clock_hi_mhz: f64,
+    clock_lo_mhz: f64,
+    cfg: &CurveConfig,
+) -> Option<f64> {
+    assert!(clock_lo_mhz < clock_hi_mhz);
+    let hi_cfg = CurveConfig {
+        rc_family: RcFamily {
+            clock_mhz: clock_hi_mhz,
+            ..cfg.rc_family
+        },
+        ..*cfg
+    };
+    let target = mean_turnaround(dags, size_hi, &hi_cfg);
+    let width = dags.iter().map(|d| d.width() as usize).max().unwrap_or(1);
+    let lo_cfg = CurveConfig {
+        rc_family: RcFamily {
+            clock_mhz: clock_lo_mhz,
+            ..cfg.rc_family
+        },
+        ..*cfg
+    };
+    // Walk sizes upward from size_hi until the slow tier matches (2%
+    // slack) or the width is exhausted.
+    let mut s = size_hi.max(1);
+    while s <= width {
+        let t = mean_turnaround(dags, s, &lo_cfg);
+        if t <= target * 1.02 {
+            return Some(s as f64 / size_hi.max(1) as f64);
+        }
+        s = ((s as f64) * 1.25).ceil() as usize;
+    }
+    None
+}
+
+/// Builds the ordered alternative ladder for a spec.
+///
+/// `clock_tiers` must be descending (e.g. `[3500, 3000, 2500]` MHz);
+/// `dags` ground the turnaround predictions.
+pub fn alternatives(
+    original: &ResourceSpec,
+    dags: &[Dag],
+    clock_tiers: &[f64],
+    cfg: &CurveConfig,
+) -> Vec<Alternative> {
+    let mut out = Vec::new();
+    let eval = |size: usize, clock: f64, het: f64| -> f64 {
+        let fam = RcFamily {
+            clock_mhz: clock,
+            heterogeneity: het,
+            ..cfg.rc_family
+        };
+        mean_turnaround(
+            dags,
+            size.max(1),
+            &CurveConfig {
+                rc_family: fam,
+                ..*cfg
+            },
+        )
+    };
+
+    // 0. The original.
+    out.push(Alternative {
+        spec: original.clone(),
+        degradation: Degradation::None,
+        predicted_turnaround_s: eval(original.rc_size as usize, original.clock_mhz.1, 0.0),
+    });
+
+    // 1. Slower clock tiers with compensating size.
+    let width = dags.iter().map(|d| d.width() as usize).max().unwrap_or(1);
+    for &tier in clock_tiers.iter().filter(|&&t| t < original.clock_mhz.1) {
+        let ratio = tier_size_threshold(
+            dags,
+            original.rc_size as usize,
+            original.clock_mhz.1,
+            tier,
+            cfg,
+        )
+        .unwrap_or(original.clock_mhz.1 / tier);
+        let new_size = (((original.rc_size as f64) * ratio).round() as usize).clamp(1, width);
+        let mut spec = original.clone();
+        spec.clock_mhz = (tier * (1.0 - het_of(original)), tier);
+        spec.rc_size = new_size as u32;
+        spec.min_size = spec.min_size.min(spec.rc_size);
+        out.push(Alternative {
+            spec,
+            degradation: Degradation::SlowerClock,
+            predicted_turnaround_s: eval(new_size, tier, 0.0),
+        });
+    }
+
+    // 2. Wider heterogeneity at the original tier.
+    {
+        let wider = (het_of(original) + 0.3).min(0.6);
+        let mut spec = original.clone();
+        spec.clock_mhz = (original.clock_mhz.1 * (1.0 - wider), original.clock_mhz.1);
+        out.push(Alternative {
+            spec,
+            degradation: Degradation::WiderHeterogeneity,
+            predicted_turnaround_s: eval(original.rc_size as usize, original.clock_mhz.1, wider),
+        });
+    }
+
+    // 3. Smaller size (the spec's own min_size floor).
+    if original.min_size < original.rc_size {
+        let mut spec = original.clone();
+        spec.rc_size = original.min_size;
+        out.push(Alternative {
+            spec,
+            degradation: Degradation::SmallerSize,
+            predicted_turnaround_s: eval(original.min_size as usize, original.clock_mhz.1, 0.0),
+        });
+    }
+
+    // Keep the original first; order the degraded tail by predicted
+    // turnaround.
+    out[1..].sort_by(|a, b| a.predicted_turnaround_s.total_cmp(&b.predicted_turnaround_s));
+    out
+}
+
+fn het_of(spec: &ResourceSpec) -> f64 {
+    if spec.clock_mhz.1 > 0.0 {
+        1.0 - spec.clock_mhz.0 / spec.clock_mhz.1
+    } else {
+        0.0
+    }
+}
+
+/// Walks the alternative ladder against a selector callback until one
+/// binds; returns the bound index and whatever the selector produced.
+pub fn negotiate<T>(
+    ladder: &[Alternative],
+    mut try_bind: impl FnMut(&ResourceSpec) -> Option<T>,
+) -> Option<(usize, T)> {
+    for (i, alt) in ladder.iter().enumerate() {
+        if let Some(bound) = try_bind(&alt.spec) {
+            return Some((i, bound));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_sched::HeuristicKind;
+    use rsg_select::vgdl::AggregateKind;
+
+    fn spec(size: u32, clock: f64) -> ResourceSpec {
+        ResourceSpec {
+            rc_size: size,
+            min_size: size / 2,
+            clock_mhz: (clock, clock),
+            heuristic: HeuristicKind::Mcp,
+            aggregate: AggregateKind::TightBagOf,
+            threshold: 0.001,
+            memory_mb: 512,
+        }
+    }
+
+    fn dags() -> Vec<Dag> {
+        vec![rsg_dag::workflows::fork_join(4, 40, 10.0, 0.05)]
+    }
+
+    #[test]
+    fn tier_threshold_requires_more_slow_hosts() {
+        let ds = dags();
+        let cfg = CurveConfig::default();
+        // From 3.5 GHz to 3.0 GHz, matching turnaround needs >= 1 x as
+        // many hosts (Figure VII-7 reports ratios above 1).
+        if let Some(r) = tier_size_threshold(&ds, 10, 3500.0, 3000.0, &cfg) {
+            assert!(r >= 1.0, "ratio {r}");
+        }
+    }
+
+    #[test]
+    fn ladder_contains_all_degradations() {
+        let ds = dags();
+        let alts = alternatives(
+            &spec(10, 3500.0),
+            &ds,
+            &[3500.0, 3000.0],
+            &CurveConfig::default(),
+        );
+        assert_eq!(alts[0].degradation, Degradation::None);
+        let kinds: Vec<_> = alts.iter().map(|a| a.degradation).collect();
+        assert!(kinds.contains(&Degradation::SlowerClock));
+        assert!(kinds.contains(&Degradation::WiderHeterogeneity));
+        assert!(kinds.contains(&Degradation::SmallerSize));
+        // Degraded tail sorted by predicted turnaround.
+        for w in alts[1..].windows(2) {
+            assert!(w[0].predicted_turnaround_s <= w[1].predicted_turnaround_s + 1e-9);
+        }
+    }
+
+    #[test]
+    fn negotiate_walks_until_bind() {
+        let ds = dags();
+        let alts = alternatives(
+            &spec(10, 3500.0),
+            &ds,
+            &[3500.0, 3000.0],
+            &CurveConfig::default(),
+        );
+        // Selector that rejects everything at 3.5 GHz.
+        let result = negotiate(&alts, |s| {
+            if s.clock_mhz.1 < 3500.0 {
+                Some(s.rc_size)
+            } else {
+                None
+            }
+        });
+        let (idx, size) = result.unwrap();
+        assert!(idx > 0);
+        assert!(size >= 1);
+        // Selector that always fails.
+        assert!(negotiate(&alts, |_| Option::<u32>::None).is_none());
+    }
+
+    #[test]
+    fn slower_tier_size_never_exceeds_width() {
+        let ds = dags();
+        let width = ds[0].width();
+        let alts = alternatives(
+            &spec(width, 3500.0),
+            &ds,
+            &[3500.0, 1750.0],
+            &CurveConfig::default(),
+        );
+        for a in &alts {
+            assert!(a.spec.rc_size <= width);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Turnaround-vs-RC-size curves (Figures V-2 / V-3).
+//!
+//! The raw material of the size prediction model: for one DAG
+//! configuration (averaged over instances), evaluate the application
+//! turn-around time over a ladder of RC sizes built from one consistent
+//! host family.
+
+use rsg_dag::Dag;
+use rsg_platform::ResourceCollection;
+use rsg_sched::{evaluate, HeuristicKind, SchedTimeModel, TurnaroundReport};
+
+/// A family of resource collections parameterized only by size, so that
+/// curves vary exactly one variable (prefix-stable heterogeneous draws,
+/// see [`ResourceCollection::heterogeneous`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RcFamily {
+    /// Nominal (fastest) clock, MHz.
+    pub clock_mhz: f64,
+    /// Clock heterogeneity in `[0, 1)` (0 = homogeneous, Section V.4).
+    pub heterogeneity: f64,
+    /// Bandwidth heterogeneity in `[0, 1)` (Section V.5).
+    pub bw_heterogeneity: f64,
+    /// Seed of the host draws.
+    pub seed: u64,
+}
+
+impl RcFamily {
+    /// Homogeneous family at the given clock — the Chapter V baseline.
+    pub fn homogeneous(clock_mhz: f64) -> RcFamily {
+        RcFamily {
+            clock_mhz,
+            heterogeneity: 0.0,
+            bw_heterogeneity: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Homogeneous family at the DAG reference clock (speed factor 1).
+    pub fn reference() -> RcFamily {
+        Self::homogeneous(rsg_dag::REFERENCE_CLOCK_MHZ)
+    }
+
+    /// Builds the RC of a given size.
+    pub fn build(&self, size: usize) -> ResourceCollection {
+        let rc = if self.heterogeneity == 0.0 {
+            ResourceCollection::homogeneous(size, self.clock_mhz)
+        } else {
+            ResourceCollection::heterogeneous(size, self.clock_mhz, self.heterogeneity, self.seed)
+        };
+        if self.bw_heterogeneity > 0.0 {
+            rc.with_bandwidth_heterogeneity(self.bw_heterogeneity, self.seed ^ 0xBEEF)
+        } else {
+            rc
+        }
+    }
+}
+
+/// Everything fixed while a curve sweeps RC size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurveConfig {
+    /// Scheduling heuristic.
+    pub heuristic: HeuristicKind,
+    /// Scheduling-time model.
+    pub time_model: SchedTimeModel,
+    /// Host family.
+    pub rc_family: RcFamily,
+}
+
+impl Default for CurveConfig {
+    fn default() -> Self {
+        CurveConfig {
+            heuristic: HeuristicKind::Mcp,
+            time_model: SchedTimeModel::default(),
+            rc_family: RcFamily::reference(),
+        }
+    }
+}
+
+/// A sampled turnaround-vs-size curve: `(rc_size, mean turnaround)`
+/// pairs in increasing size order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Curve {
+    /// Sampled points.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Curve {
+    /// The size with the lowest turnaround (smallest such size on ties).
+    pub fn argmin(&self) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for &(s, t) in &self.points {
+            if t < best.1 {
+                best = (s, t);
+            }
+        }
+        best
+    }
+
+    /// Turnaround at a sampled size, if that exact size was sampled.
+    pub fn at(&self, size: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(s, _)| *s == size)
+            .map(|(_, t)| *t)
+    }
+}
+
+/// Geometric size ladder from 1 to `max` (inclusive), growth ~1.35,
+/// always containing 1, 2 and `max`.
+pub fn size_ladder(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut out = vec![1usize];
+    let mut x = 2.0f64;
+    while (x as usize) < max {
+        let v = x as usize;
+        if *out.last().unwrap() != v {
+            out.push(v);
+        }
+        x *= 1.35;
+    }
+    if *out.last().unwrap() != max {
+        out.push(max);
+    }
+    out
+}
+
+/// Mean turnaround of `dags` on RCs of the exact given size.
+pub fn mean_turnaround(dags: &[Dag], size: usize, cfg: &CurveConfig) -> f64 {
+    let rc = cfg.rc_family.build(size);
+    let total: f64 = dags
+        .iter()
+        .map(|d| evaluate(d, &rc, cfg.heuristic, &cfg.time_model).turnaround_s())
+        .sum();
+    total / dags.len() as f64
+}
+
+/// Full report (not just the mean) for a single DAG at one size.
+pub fn report_at(dag: &Dag, size: usize, cfg: &CurveConfig) -> TurnaroundReport {
+    let rc = cfg.rc_family.build(size);
+    evaluate(dag, &rc, cfg.heuristic, &cfg.time_model)
+}
+
+/// Samples a turnaround curve for a set of DAG instances over the
+/// geometric ladder up to the DAGs' maximum width.
+pub fn turnaround_curve(dags: &[Dag], cfg: &CurveConfig) -> Curve {
+    assert!(!dags.is_empty());
+    let width = dags.iter().map(|d| d.width() as usize).max().unwrap();
+    turnaround_curve_sizes(dags, &size_ladder(width), cfg)
+}
+
+/// Samples a curve at explicit sizes.
+pub fn turnaround_curve_sizes(dags: &[Dag], sizes: &[usize], cfg: &CurveConfig) -> Curve {
+    let mut points: Vec<(usize, f64)> = sizes
+        .iter()
+        .map(|&s| (s, mean_turnaround(dags, s, cfg)))
+        .collect();
+    points.sort_by_key(|&(s, _)| s);
+    points.dedup_by_key(|&mut (s, _)| s);
+    Curve { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_dag::RandomDagSpec;
+
+    fn dags() -> Vec<Dag> {
+        (0..3)
+            .map(|seed| {
+                RandomDagSpec {
+                    size: 200,
+                    ccr: 0.1,
+                    parallelism: 0.6,
+                    density: 0.5,
+                    regularity: 0.5,
+                    mean_comp: 10.0,
+                }
+                .generate(seed)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ladder_shape() {
+        let l = size_ladder(100);
+        assert_eq!(l[0], 1);
+        assert!(l.contains(&2));
+        assert_eq!(*l.last().unwrap(), 100);
+        assert!(l.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(size_ladder(1), vec![1]);
+        assert_eq!(size_ladder(2), vec![1, 2]);
+    }
+
+    #[test]
+    fn curve_decreases_then_flattens() {
+        let ds = dags();
+        let c = turnaround_curve(&ds, &CurveConfig::default());
+        assert!(c.points.len() >= 5);
+        let first = c.points[0].1;
+        let (argmin, best) = c.argmin();
+        assert!(best < first, "parallelism should help");
+        assert!(argmin > 1);
+    }
+
+    #[test]
+    fn argmin_finds_smallest_min() {
+        let c = Curve {
+            points: vec![(1, 10.0), (2, 5.0), (4, 5.0), (8, 6.0)],
+        };
+        assert_eq!(c.argmin(), (2, 5.0));
+        assert_eq!(c.at(4), Some(5.0));
+        assert_eq!(c.at(3), None);
+    }
+
+    #[test]
+    fn heterogeneous_family_prefix_consistency() {
+        let fam = RcFamily {
+            clock_mhz: 3000.0,
+            heterogeneity: 0.3,
+            bw_heterogeneity: 0.0,
+            seed: 5,
+        };
+        let small = fam.build(10);
+        let big = fam.build(30);
+        assert_eq!(&big.clocks()[..10], small.clocks());
+    }
+
+    #[test]
+    fn reference_family_has_unit_speed() {
+        let rc = RcFamily::reference().build(4);
+        assert_eq!(rc.clock_mhz(0), rsg_dag::REFERENCE_CLOCK_MHZ);
+    }
+}

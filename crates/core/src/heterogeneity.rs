@@ -1,0 +1,199 @@
+//! Clock-rate-heterogeneity extension (Section V.4).
+//!
+//! The base model assumes homogeneous resources; real collections have
+//! a clock-rate spread. This module sweeps heterogeneity `H = 1 −
+//! min/max` and measures (Figures V-8…V-11): the performance
+//! degradation of using the homogeneous prediction on heterogeneous
+//! resources, the relative cost, and how the optimal RC size and
+//! turnaround shift. A linear adjustment factor fitted on the sweep
+//! lets the spec generator scale its prediction for a requested
+//! heterogeneity tolerance.
+
+use crate::curve::{mean_turnaround, CurveConfig, RcFamily};
+use crate::optsearch::optimal_size_search;
+use rsg_dag::Dag;
+use rsg_platform::CostModel;
+
+/// One point of a heterogeneity sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeterogeneityPoint {
+    /// Clock heterogeneity H.
+    pub heterogeneity: f64,
+    /// Degradation of using the homogeneous prediction at this H.
+    pub degradation: f64,
+    /// Relative cost of the same.
+    pub relative_cost: f64,
+    /// Optimal RC size at this H.
+    pub optimal_size: usize,
+    /// Optimal turnaround at this H, seconds.
+    pub optimal_turnaround_s: f64,
+}
+
+/// Sweeps heterogeneity values for one DAG configuration, holding the
+/// homogeneous prediction fixed (Figures V-8…V-11).
+pub fn heterogeneity_sweep(
+    dags: &[Dag],
+    homogeneous_prediction: usize,
+    base: &CurveConfig,
+    hs: &[f64],
+    cost: &CostModel,
+) -> Vec<HeterogeneityPoint> {
+    hs.iter()
+        .map(|&h| {
+            let cfg = CurveConfig {
+                rc_family: RcFamily {
+                    heterogeneity: h,
+                    ..base.rc_family
+                },
+                ..*base
+            };
+            let t_pred = mean_turnaround(dags, homogeneous_prediction, &cfg);
+            let s = optimal_size_search(dags, homogeneous_prediction, &cfg);
+            let c_pred =
+                cost.execution_cost(&cfg.rc_family.build(homogeneous_prediction), t_pred);
+            let c_opt = cost.execution_cost(&cfg.rc_family.build(s.size), s.turnaround_s);
+            HeterogeneityPoint {
+                heterogeneity: h,
+                degradation: (t_pred / s.turnaround_s - 1.0).max(0.0),
+                relative_cost: cost.relative_cost(c_pred, c_opt),
+                optimal_size: s.size,
+                optimal_turnaround_s: s.turnaround_s,
+            }
+        })
+        .collect()
+}
+
+/// Linear size-adjustment model: `size(H) ≈ size(0) · (1 + gamma · H)`,
+/// fitted by least squares on a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeterogeneityAdjustment {
+    /// Fitted slope γ.
+    pub gamma: f64,
+}
+
+impl HeterogeneityAdjustment {
+    /// Fits γ from sweep points (H = 0 must be present as reference).
+    pub fn fit(points: &[HeterogeneityPoint]) -> HeterogeneityAdjustment {
+        let base = points
+            .iter()
+            .find(|p| p.heterogeneity == 0.0)
+            .map(|p| p.optimal_size as f64)
+            .unwrap_or_else(|| points[0].optimal_size as f64)
+            .max(1.0);
+        // Least squares through origin on y = size/base − 1 vs H.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for p in points {
+            let y = p.optimal_size as f64 / base - 1.0;
+            num += p.heterogeneity * y;
+            den += p.heterogeneity * p.heterogeneity;
+        }
+        HeterogeneityAdjustment {
+            gamma: if den > 0.0 { num / den } else { 0.0 },
+        }
+    }
+
+    /// Adjusted size for heterogeneity `h`.
+    pub fn adjust(&self, homogeneous_size: usize, h: f64) -> usize {
+        ((homogeneous_size as f64) * (1.0 + self.gamma * h))
+            .round()
+            .max(1.0) as usize
+    }
+
+    /// The heterogeneity tolerance at which predicted degradation would
+    /// exceed `max_degradation`, assuming degradation grows like
+    /// `slope · H` (fitted separately from a sweep's degradations).
+    pub fn tolerance_for(points: &[HeterogeneityPoint], max_degradation: f64) -> f64 {
+        // Fit degradation = slope * H through the origin.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for p in points {
+            num += p.heterogeneity * p.degradation;
+            den += p.heterogeneity * p.heterogeneity;
+        }
+        let slope = if den > 0.0 { num / den } else { 0.0 };
+        if slope <= 0.0 {
+            0.9 // degradation insensitive to H: tolerate almost anything
+        } else {
+            (max_degradation / slope).clamp(0.0, 0.9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_dag::RandomDagSpec;
+
+    fn dags() -> Vec<Dag> {
+        (0..2)
+            .map(|s| {
+                RandomDagSpec {
+                    size: 150,
+                    ccr: 0.1,
+                    parallelism: 0.6,
+                    density: 0.5,
+                    regularity: 0.8,
+                    mean_comp: 15.0,
+                }
+                .generate(s)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_shapes() {
+        let ds = dags();
+        let cfg = CurveConfig::default();
+        let pts = heterogeneity_sweep(&ds, 10, &cfg, &[0.0, 0.3], &CostModel::default());
+        assert_eq!(pts.len(), 2);
+        // At H=0 the "homogeneous prediction" is exactly evaluated; its
+        // degradation is bounded by search noise.
+        assert!(pts[0].degradation >= 0.0);
+        // Heterogeneous hosts are slower on average -> optimal
+        // turnaround cannot improve.
+        assert!(pts[1].optimal_turnaround_s >= pts[0].optimal_turnaround_s * 0.95);
+    }
+
+    #[test]
+    fn adjustment_fit_and_apply() {
+        let pts = vec![
+            HeterogeneityPoint {
+                heterogeneity: 0.0,
+                degradation: 0.0,
+                relative_cost: 0.0,
+                optimal_size: 100,
+                optimal_turnaround_s: 10.0,
+            },
+            HeterogeneityPoint {
+                heterogeneity: 0.5,
+                degradation: 0.1,
+                relative_cost: 0.0,
+                optimal_size: 120,
+                optimal_turnaround_s: 11.0,
+            },
+        ];
+        let adj = HeterogeneityAdjustment::fit(&pts);
+        assert!((adj.gamma - 0.4).abs() < 1e-9, "gamma {}", adj.gamma);
+        assert_eq!(adj.adjust(100, 0.5), 120);
+        assert_eq!(adj.adjust(100, 0.0), 100);
+    }
+
+    #[test]
+    fn tolerance_inverse_to_slope() {
+        let mk = |h: f64, d: f64| HeterogeneityPoint {
+            heterogeneity: h,
+            degradation: d,
+            relative_cost: 0.0,
+            optimal_size: 10,
+            optimal_turnaround_s: 1.0,
+        };
+        // degradation = 0.2 * H -> tolerance for 5% = 0.25.
+        let pts = vec![mk(0.0, 0.0), mk(0.5, 0.1)];
+        let tol = HeterogeneityAdjustment::tolerance_for(&pts, 0.05);
+        assert!((tol - 0.25).abs() < 1e-9, "tol {tol}");
+        // Insensitive: wide tolerance.
+        let flat = vec![mk(0.0, 0.0), mk(0.5, 0.0)];
+        assert_eq!(HeterogeneityAdjustment::tolerance_for(&flat, 0.05), 0.9);
+    }
+}

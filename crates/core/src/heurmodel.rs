@@ -1,0 +1,302 @@
+//! The heuristic prediction model (Chapter VI).
+//!
+//! Application performance depends on the scheduling heuristic as much
+//! as on the RC: MCP wins for small DAGs where its placement quality
+//! dominates, cheaper heuristics (FCA) win for large DAGs where MCP's
+//! scheduling time eats the gains (Figure VI-1), with the crossover
+//! depending on CCR (Figure VI-2). The model tabulates, per `(DAG
+//! size, CCR)` cell, the heuristic with the best *optimal turnaround*
+//! (each heuristic evaluated at its own best RC size) and predicts by
+//! nearest grid cell (log-scale on size).
+
+use crate::curve::{turnaround_curve, CurveConfig};
+use rayon::prelude::*;
+use rsg_dag::{DagStats, RandomDagSpec};
+use rsg_sched::HeuristicKind;
+
+/// Per-cell training result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// DAG size of the cell.
+    pub size: usize,
+    /// CCR of the cell.
+    pub ccr: f64,
+    /// Optimal turnaround per heuristic, seconds (each at its own best
+    /// RC size) — the Figure VI-1 series.
+    pub optimal_turnaround: Vec<(HeuristicKind, f64)>,
+}
+
+impl CellResult {
+    /// The winning heuristic of the cell.
+    pub fn best(&self) -> HeuristicKind {
+        self.optimal_turnaround
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one heuristic")
+            .0
+    }
+}
+
+/// Trained heuristic prediction model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeuristicPredictionModel {
+    /// Grid sizes (ascending).
+    pub sizes: Vec<usize>,
+    /// Grid CCRs (ascending).
+    pub ccrs: Vec<f64>,
+    /// Training detail per cell, row-major `(size, ccr)`.
+    pub cells: Vec<CellResult>,
+}
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct HeuristicTraining {
+    /// DAG sizes of the observation set (Table VI-1).
+    pub sizes: Vec<usize>,
+    /// CCR values.
+    pub ccrs: Vec<f64>,
+    /// Heuristics to compare.
+    pub heuristics: Vec<HeuristicKind>,
+    /// Fixed parallelism of the training DAGs.
+    pub alpha: f64,
+    /// Fixed regularity.
+    pub beta: f64,
+    /// Instances per cell.
+    pub instances: usize,
+    /// Mean computational cost.
+    pub mean_comp: f64,
+    /// Density of the training DAGs.
+    pub density: f64,
+}
+
+impl HeuristicTraining {
+    /// A fast preset (minutes of training) comparing MCP against the
+    /// cheap heuristics. The size range reaches far enough for MCP's
+    /// scheduling time to lose the lead (the Figure VI-1 crossover),
+    /// with the mean cost scaled down to keep makespans commensurate.
+    pub fn fast() -> HeuristicTraining {
+        HeuristicTraining {
+            sizes: vec![200, 1000, 4000],
+            ccrs: vec![0.01, 0.5],
+            heuristics: vec![
+                HeuristicKind::Mcp,
+                HeuristicKind::Fca,
+                HeuristicKind::Fcfs,
+                HeuristicKind::Greedy,
+            ],
+            alpha: 0.8,
+            beta: 0.8,
+            instances: 2,
+            mean_comp: 5.0,
+            density: 0.2,
+        }
+    }
+
+    /// The Table VI-1 observation set (paper scale).
+    pub fn paper() -> HeuristicTraining {
+        HeuristicTraining {
+            sizes: vec![100, 500, 1000, 5000, 10_000],
+            ccrs: vec![0.01, 0.1, 0.3, 0.5, 0.8, 1.0],
+            heuristics: vec![
+                HeuristicKind::Mcp,
+                HeuristicKind::Dls,
+                HeuristicKind::Fca,
+                HeuristicKind::Fcfs,
+            ],
+            alpha: 0.7,
+            beta: 0.5,
+            instances: 10,
+            mean_comp: 40.0,
+            density: 0.5,
+        }
+    }
+}
+
+impl HeuristicPredictionModel {
+    /// Trains the model: per cell, per heuristic, the minimum of the
+    /// turnaround-vs-size curve.
+    pub fn train(t: &HeuristicTraining, base: &CurveConfig) -> HeuristicPredictionModel {
+        let cells: Vec<(usize, f64)> = t
+            .sizes
+            .iter()
+            .flat_map(|&n| t.ccrs.iter().map(move |&c| (n, c)))
+            .collect();
+        let results: Vec<CellResult> = cells
+            .par_iter()
+            .map(|&(n, ccr)| {
+                let spec = RandomDagSpec {
+                    size: n,
+                    ccr,
+                    parallelism: t.alpha,
+                    density: t.density,
+                    regularity: t.beta,
+                    mean_comp: t.mean_comp,
+                };
+                let dags: Vec<_> = (0..t.instances)
+                    .map(|k| spec.generate(0xC0FFEE ^ (n as u64) << 20 ^ (k as u64)))
+                    .collect();
+                let optimal_turnaround = t
+                    .heuristics
+                    .iter()
+                    .map(|&h| {
+                        let cfg = CurveConfig {
+                            heuristic: h,
+                            ..*base
+                        };
+                        let curve = turnaround_curve(&dags, &cfg);
+                        (h, curve.argmin().1)
+                    })
+                    .collect();
+                CellResult {
+                    size: n,
+                    ccr,
+                    optimal_turnaround,
+                }
+            })
+            .collect();
+        HeuristicPredictionModel {
+            sizes: t.sizes.clone(),
+            ccrs: t.ccrs.clone(),
+            cells: results,
+        }
+    }
+
+    /// Cell at grid indices.
+    pub fn cell(&self, si: usize, ci: usize) -> &CellResult {
+        &self.cells[si * self.ccrs.len() + ci]
+    }
+
+    /// Predicts the best heuristic for a DAG by nearest grid cell
+    /// (log-scale distance on size, linear on CCR).
+    pub fn predict(&self, stats: &DagStats) -> HeuristicKind {
+        self.predict_chars(stats.size as f64, stats.ccr)
+    }
+
+    /// Predicts from explicit characteristics.
+    pub fn predict_chars(&self, n: f64, ccr: f64) -> HeuristicKind {
+        let si = nearest_log(&self.sizes, n);
+        let ci = nearest(&self.ccrs, ccr);
+        self.cell(si, ci).best()
+    }
+
+    /// The crossover DAG size (if any) at which the winner at the given
+    /// CCR switches away from MCP — the Figure VI-2 boundary.
+    pub fn mcp_crossover_size(&self, ccr: f64) -> Option<usize> {
+        let ci = nearest(&self.ccrs, ccr);
+        let mut saw_mcp = false;
+        for (si, &n) in self.sizes.iter().enumerate() {
+            let best = self.cell(si, ci).best();
+            if best == HeuristicKind::Mcp {
+                saw_mcp = true;
+            } else if saw_mcp {
+                return Some(n);
+            }
+        }
+        None
+    }
+}
+
+fn nearest(xs: &[f64], x: f64) -> usize {
+    xs.iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| (*a - x).abs().total_cmp(&(*b - x).abs()))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn nearest_log(xs: &[usize], x: f64) -> usize {
+    let lx = x.max(1.0).ln();
+    xs.iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            ((**a as f64).ln() - lx)
+                .abs()
+                .total_cmp(&(((**b as f64).ln()) - lx).abs())
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> HeuristicPredictionModel {
+        let mut t = HeuristicTraining::fast();
+        t.sizes = vec![50, 200];
+        t.instances = 2;
+        HeuristicPredictionModel::train(&t, &CurveConfig::default())
+    }
+
+    #[test]
+    fn training_produces_all_cells() {
+        let m = trained();
+        assert_eq!(m.cells.len(), 2 * 2);
+        for c in &m.cells {
+            assert_eq!(c.optimal_turnaround.len(), 4);
+            assert!(c.optimal_turnaround.iter().all(|(_, t)| *t > 0.0));
+        }
+    }
+
+    #[test]
+    fn prediction_returns_trained_heuristic() {
+        let m = trained();
+        let h = m.predict_chars(100.0, 0.1);
+        assert!(
+            [
+                HeuristicKind::Mcp,
+                HeuristicKind::Fca,
+                HeuristicKind::Fcfs,
+                HeuristicKind::Greedy
+            ]
+            .contains(&h)
+        );
+    }
+
+    #[test]
+    fn nearest_helpers() {
+        assert_eq!(nearest(&[0.01, 0.5, 1.0], 0.4), 1);
+        assert_eq!(nearest(&[0.01, 0.5, 1.0], 0.05), 0);
+        assert_eq!(nearest_log(&[100, 1000, 10000], 3000.0), 1);
+        assert_eq!(nearest_log(&[100, 1000, 10000], 4000.0), 2);
+    }
+
+    #[test]
+    fn best_is_minimum() {
+        let c = CellResult {
+            size: 10,
+            ccr: 0.1,
+            optimal_turnaround: vec![
+                (HeuristicKind::Mcp, 5.0),
+                (HeuristicKind::Fca, 3.0),
+                (HeuristicKind::Fcfs, 9.0),
+            ],
+        };
+        assert_eq!(c.best(), HeuristicKind::Fca);
+    }
+
+    #[test]
+    fn crossover_detection() {
+        // Construct a model by hand: MCP wins small, FCA wins large.
+        let mk = |size: usize, winner: HeuristicKind| CellResult {
+            size,
+            ccr: 0.1,
+            optimal_turnaround: vec![
+                (HeuristicKind::Mcp, if winner == HeuristicKind::Mcp { 1.0 } else { 2.0 }),
+                (HeuristicKind::Fca, if winner == HeuristicKind::Fca { 1.0 } else { 2.0 }),
+            ],
+        };
+        let m = HeuristicPredictionModel {
+            sizes: vec![100, 1000, 10000],
+            ccrs: vec![0.1],
+            cells: vec![
+                mk(100, HeuristicKind::Mcp),
+                mk(1000, HeuristicKind::Mcp),
+                mk(10000, HeuristicKind::Fca),
+            ],
+        };
+        assert_eq!(m.mcp_crossover_size(0.1), Some(10000));
+        assert_eq!(m.predict_chars(150.0, 0.1), HeuristicKind::Mcp);
+        assert_eq!(m.predict_chars(9000.0, 0.1), HeuristicKind::Fca);
+    }
+}

@@ -1,0 +1,266 @@
+//! Specification generation for mixed-parallel applications — the
+//! extension the dissertation sketches in Section III.1: "generating
+//! resource specifications requiring clusters instead of hosts for each
+//! node in the DAG".
+//!
+//! Tasks are partitioned by processor demand into *classes*; each class
+//! with demand > 1 becomes a set of `ClusterOf` aggregates (one per
+//! concurrently runnable task of that class, capped), while the
+//! sequential tasks reuse the scalar size-prediction model. The result
+//! renders as a multi-aggregate vgDL joined by `close` connectives —
+//! exactly the language feature vgDL was designed around (Figure II-1).
+
+use crate::specgen::{GeneratorConfig, ResourceSpec, SpecGenerator};
+use rsg_dag::mixed::MixedDag;
+use rsg_dag::DagStats;
+use rsg_select::vgdl::{Aggregate, AggregateKind, CmpOp, NodeConstraint, Proximity, VgdlSpec};
+
+/// Cluster request for one demand class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassRequest {
+    /// Processors per cluster (the class demand).
+    pub procs: u32,
+    /// Concurrent clusters requested (bounded class width).
+    pub clusters: u32,
+}
+
+/// A mixed-parallel resource specification: scalar hosts for the
+/// sequential tasks plus clusters per data-parallel class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedResourceSpec {
+    /// Specification for the sequential (demand = 1) portion.
+    pub base: ResourceSpec,
+    /// Cluster classes, largest demand first.
+    pub classes: Vec<ClassRequest>,
+}
+
+/// Upper bound on concurrent clusters requested per class — grid sites
+/// rarely co-allocate more, and the vgDL stays readable.
+pub const MAX_CLUSTERS_PER_CLASS: u32 = 8;
+
+impl SpecGenerator {
+    /// Generates a mixed-parallel specification. The scalar model
+    /// predicts the sequential portion; each demand class requests as
+    /// many clusters as its per-level task concurrency, capped at
+    /// [`MAX_CLUSTERS_PER_CLASS`].
+    pub fn generate_mixed(&self, m: &MixedDag, cfg: &GeneratorConfig) -> MixedResourceSpec {
+        let dag = m.dag();
+        let base = self.generate_from_stats(&DagStats::measure(dag), cfg);
+
+        let mut classes = Vec::new();
+        for demand in m.demand_classes() {
+            if demand <= 1 {
+                continue;
+            }
+            // Class width: the max number of class-`demand` tasks in any
+            // level — the most clusters that could run concurrently.
+            let mut per_level = vec![0u32; dag.height() as usize];
+            for t in dag.tasks() {
+                if m.profile(t).demand == demand {
+                    per_level[dag.level(t) as usize] += 1;
+                }
+            }
+            let width = per_level.iter().copied().max().unwrap_or(0);
+            if width == 0 {
+                continue;
+            }
+            classes.push(ClassRequest {
+                procs: demand,
+                clusters: width.min(MAX_CLUSTERS_PER_CLASS),
+            });
+        }
+        MixedResourceSpec { base, classes }
+    }
+
+    /// Renders a mixed spec as multi-aggregate vgDL: the sequential
+    /// TightBag first, then one `ClusterOf` per requested cluster,
+    /// joined `close` (intermediate data flows between the stages).
+    pub fn to_vgdl_mixed(spec: &MixedResourceSpec) -> VgdlSpec {
+        let mut aggregates = Vec::new();
+        // Sequential portion (if any hosts are needed).
+        let base_vgdl = Self::to_vgdl(&spec.base);
+        let (_, base_agg) = base_vgdl.aggregates.into_iter().next().expect("one aggregate");
+        aggregates.push((None, base_agg));
+
+        for (k, class) in spec.classes.iter().enumerate() {
+            for c in 0..class.clusters {
+                let var = format!("c{}_{}", k, c);
+                aggregates.push((
+                    Some(Proximity::Close),
+                    Aggregate {
+                        kind: AggregateKind::ClusterOf,
+                        var,
+                        min: class.procs,
+                        max: class.procs,
+                        rank: Some("Clock".into()),
+                        constraints: vec![
+                            NodeConstraint::num("Clock", CmpOp::Ge, spec.base.clock_mhz.0),
+                            NodeConstraint::num(
+                                "Memory",
+                                CmpOp::Ge,
+                                spec.base.memory_mb as f64,
+                            ),
+                        ],
+                    },
+                ));
+            }
+        }
+        VgdlSpec { aggregates }
+    }
+}
+
+impl SpecGenerator {
+    /// Renders a mixed spec as a Gangmatching ClassAd (Figure II-2
+    /// style): one `Ports` entry per requested cluster, each
+    /// constraining a whole-cluster candidate ad (`Hosts >= procs`),
+    /// plus the scalar attributes of the sequential portion.
+    pub fn to_classad_mixed(spec: &MixedResourceSpec) -> rsg_select::classad::ClassAd {
+        use rsg_select::classad::{BinOp, ClassAd, Expr};
+        let mut ad = Self::to_classad(&spec.base);
+        let mut ports = Vec::new();
+        for class in &spec.classes {
+            for _ in 0..class.clusters {
+                let mut port = ClassAd::new();
+                port.set("Label", Expr::attr("cluster"));
+                port.set(
+                    "Rank",
+                    Expr::scoped("cluster", "Clock"),
+                );
+                port.set(
+                    "Constraint",
+                    Expr::and_all(vec![
+                        Expr::bin(
+                            BinOp::Eq,
+                            Expr::scoped("cluster", "Type"),
+                            Expr::Str("Machine".into()),
+                        ),
+                        Expr::bin(
+                            BinOp::Ge,
+                            Expr::scoped("cluster", "Hosts"),
+                            Expr::Num(class.procs as f64),
+                        ),
+                        Expr::bin(
+                            BinOp::Ge,
+                            Expr::scoped("cluster", "Clock"),
+                            Expr::Num(spec.base.clock_mhz.0),
+                        ),
+                    ]),
+                );
+                ports.push(port);
+            }
+        }
+        if !ports.is_empty() {
+            ad.set("Ports", Expr::AdList(ports));
+        }
+        ad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::CurveConfig;
+    use crate::heurmodel::{HeuristicPredictionModel, HeuristicTraining};
+    use crate::observation::{measure, ObservationGrid};
+    use crate::sizemodel::ThresholdedSizeModel;
+    use rsg_dag::mixed::random_mixed;
+    use rsg_dag::RandomDagSpec;
+
+    fn generator() -> SpecGenerator {
+        let grid = ObservationGrid::tiny();
+        let cfg = CurveConfig::default();
+        let tables = measure(&grid, &cfg, &[0.001], 0);
+        let mut t = HeuristicTraining::fast();
+        t.sizes = vec![50, 200];
+        t.instances = 1;
+        SpecGenerator::new(
+            ThresholdedSizeModel::fit(&tables),
+            HeuristicPredictionModel::train(&t, &cfg),
+        )
+    }
+
+    fn mixed() -> MixedDag {
+        random_mixed(
+            RandomDagSpec {
+                size: 80,
+                ccr: 0.1,
+                parallelism: 0.5,
+                density: 0.5,
+                regularity: 0.5,
+                mean_comp: 50.0,
+            },
+            &[1, 16, 64],
+            3,
+        )
+    }
+
+    #[test]
+    fn classes_cover_parallel_demands() {
+        let spec = generator().generate_mixed(&mixed(), &GeneratorConfig::default());
+        // Demands 16 and 64 appear; demand 1 folded into the base.
+        let procs: Vec<u32> = spec.classes.iter().map(|c| c.procs).collect();
+        assert!(procs.contains(&64));
+        assert!(procs.contains(&16));
+        assert!(!procs.contains(&1));
+        for c in &spec.classes {
+            assert!(c.clusters >= 1 && c.clusters <= MAX_CLUSTERS_PER_CLASS);
+        }
+        // Largest demand first.
+        assert!(procs.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn mixed_vgdl_renders_and_parses() {
+        let gen = generator();
+        let spec = gen.generate_mixed(&mixed(), &GeneratorConfig::default());
+        let vgdl = SpecGenerator::to_vgdl_mixed(&spec);
+        let text = vgdl.to_string();
+        assert!(text.contains("ClusterOf"));
+        assert!(text.contains("close"));
+        let re = rsg_select::vgdl::parse_vgdl(&text).unwrap();
+        assert_eq!(re, vgdl);
+        // One aggregate for the base + one per requested cluster.
+        let total_clusters: u32 = spec.classes.iter().map(|c| c.clusters).sum();
+        assert_eq!(vgdl.aggregates.len() as u32, 1 + total_clusters);
+    }
+
+    #[test]
+    fn mixed_classad_gangmatch_ports() {
+        let gen = generator();
+        let spec = gen.generate_mixed(&mixed(), &GeneratorConfig::default());
+        let ad = SpecGenerator::to_classad_mixed(&spec);
+        let text = ad.to_string();
+        // Round-trips through the ClassAd parser.
+        let re = rsg_select::classad::parse_classad(&text).unwrap();
+        assert_eq!(re, ad);
+        // One port per requested cluster.
+        match ad.get("Ports") {
+            Some(rsg_select::classad::Expr::AdList(ports)) => {
+                let want: u32 = spec.classes.iter().map(|c| c.clusters).sum();
+                assert_eq!(ports.len() as u32, want);
+                assert!(ports.iter().all(|p| p.get("Constraint").is_some()));
+            }
+            other => panic!("Ports missing: {other:?}"),
+        }
+        // Gangmatching binds against cluster ads with enough hosts.
+        let mut mm = rsg_select::Matchmaker::new();
+        for i in 0..40u32 {
+            let mut m = rsg_select::classad::ClassAd::new();
+            m.set("Type", rsg_select::classad::Expr::Str("Machine".into()));
+            m.set("Hosts", rsg_select::classad::Expr::Num(80.0 + i as f64));
+            m.set("Clock", rsg_select::classad::Expr::Num(3600.0));
+            mm.advertise(m);
+        }
+        let gang = mm.gangmatch(&ad);
+        assert!(gang.is_some(), "gangmatch should bind all ports");
+    }
+
+    #[test]
+    fn all_sequential_has_no_classes() {
+        let dag = rsg_dag::workflows::fork_join(2, 10, 5.0, 0.1);
+        let profiles = vec![rsg_dag::ParallelProfile::sequential(); dag.len()];
+        let m = MixedDag::new(dag, profiles);
+        let spec = generator().generate_mixed(&m, &GeneratorConfig::default());
+        assert!(spec.classes.is_empty());
+    }
+}

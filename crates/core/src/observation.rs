@@ -1,0 +1,280 @@
+//! Observation-set driver (Section V.2.3).
+//!
+//! The paper builds its size prediction model by measuring knee values
+//! over the cross product of DAG characteristics in Table V-1 (1260
+//! configurations × 10 instances). This module drives that sweep — in
+//! parallel with rayon — and stores the per-cell knees for every
+//! threshold of interest.
+
+use crate::curve::{turnaround_curve, CurveConfig};
+use crate::knee::{find_knee, refine_knee};
+use rayon::prelude::*;
+use rsg_dag::{Dag, RandomDagSpec};
+
+/// The observation-grid axes (Table V-1) and instance count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationGrid {
+    /// DAG sizes (tasks).
+    pub sizes: Vec<usize>,
+    /// CCR values.
+    pub ccrs: Vec<f64>,
+    /// Parallelism values α.
+    pub alphas: Vec<f64>,
+    /// Regularity values β.
+    pub betas: Vec<f64>,
+    /// Fixed density δ.
+    pub density: f64,
+    /// Fixed mean computational cost ω, seconds.
+    pub mean_comp: f64,
+    /// Instances per configuration.
+    pub instances: usize,
+}
+
+impl ObservationGrid {
+    /// The full Table V-1 grid: 5 × 6 × 7 × 6 = 1260 configurations, 10
+    /// instances each. Paper-scale: hours of CPU even in Rust.
+    pub fn paper() -> ObservationGrid {
+        ObservationGrid {
+            sizes: vec![100, 500, 1000, 5000, 10_000],
+            ccrs: vec![0.01, 0.1, 0.3, 0.5, 0.8, 1.0],
+            alphas: vec![0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+            betas: vec![0.01, 0.1, 0.3, 0.5, 0.8, 1.0],
+            density: 0.5,
+            mean_comp: 40.0,
+            instances: 10,
+        }
+    }
+
+    /// A reduced grid that trains a usable model in seconds-to-minutes;
+    /// the default for examples and the `fast` experiment preset.
+    pub fn fast() -> ObservationGrid {
+        ObservationGrid {
+            sizes: vec![100, 300, 800],
+            ccrs: vec![0.01, 0.1, 0.5, 1.0],
+            alphas: vec![0.3, 0.5, 0.7, 0.9],
+            betas: vec![0.01, 0.5, 1.0],
+            density: 0.5,
+            mean_comp: 40.0,
+            instances: 3,
+        }
+    }
+
+    /// A minimal grid for unit tests.
+    pub fn tiny() -> ObservationGrid {
+        ObservationGrid {
+            sizes: vec![50, 200],
+            ccrs: vec![0.01, 0.5],
+            alphas: vec![0.4, 0.7],
+            betas: vec![0.1, 0.9],
+            density: 0.5,
+            mean_comp: 20.0,
+            instances: 2,
+        }
+    }
+
+    /// Number of configurations (cells).
+    pub fn cells(&self) -> usize {
+        self.sizes.len() * self.ccrs.len() * self.alphas.len() * self.betas.len()
+    }
+
+    fn index(&self, si: usize, ci: usize, ai: usize, bi: usize) -> usize {
+        ((si * self.ccrs.len() + ci) * self.alphas.len() + ai) * self.betas.len() + bi
+    }
+
+    /// The [`RandomDagSpec`] of one cell.
+    pub fn spec(&self, si: usize, ci: usize, ai: usize, bi: usize) -> RandomDagSpec {
+        RandomDagSpec {
+            size: self.sizes[si],
+            ccr: self.ccrs[ci],
+            parallelism: self.alphas[ai],
+            density: self.density,
+            regularity: self.betas[bi],
+            mean_comp: self.mean_comp,
+        }
+    }
+
+    /// Deterministic instances of one cell.
+    pub fn instances_of(&self, si: usize, ci: usize, ai: usize, bi: usize) -> Vec<Dag> {
+        let spec = self.spec(si, ci, ai, bi);
+        let base = cell_seed(si, ci, ai, bi);
+        (0..self.instances)
+            .map(|k| spec.generate(base.wrapping_add(k as u64)))
+            .collect()
+    }
+}
+
+/// Deterministic seed per grid cell.
+fn cell_seed(si: usize, ci: usize, ai: usize, bi: usize) -> u64 {
+    let mut z = (si as u64) << 48 | (ci as u64) << 32 | (ai as u64) << 16 | bi as u64;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Measured knee values over a grid for one threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KneeTable {
+    /// The grid the knees were measured on.
+    pub grid: ObservationGrid,
+    /// The knee threshold θ.
+    pub theta: f64,
+    knees: Vec<f64>,
+}
+
+impl KneeTable {
+    /// Knee at a cell.
+    pub fn knee(&self, si: usize, ci: usize, ai: usize, bi: usize) -> f64 {
+        self.knees[self.grid.index(si, ci, ai, bi)]
+    }
+
+    /// The `(α, β, log2 knee)` samples of one `(size, CCR)` slice — the
+    /// Figure V-4 surface.
+    pub fn plane_samples(&self, si: usize, ci: usize) -> Vec<(f64, f64, f64)> {
+        let mut out = Vec::new();
+        for (ai, &a) in self.grid.alphas.iter().enumerate() {
+            for (bi, &b) in self.grid.betas.iter().enumerate() {
+                let k = self.knee(si, ci, ai, bi).max(1.0);
+                out.push((a, b, k.log2()));
+            }
+        }
+        out
+    }
+}
+
+/// Measures knee tables for every threshold in `thetas` over the grid.
+/// `refine_rounds > 0` bisects between ladder points for sharper knees.
+pub fn measure(
+    grid: &ObservationGrid,
+    cfg: &CurveConfig,
+    thetas: &[f64],
+    refine_rounds: u32,
+) -> Vec<KneeTable> {
+    let cells: Vec<(usize, usize, usize, usize)> = (0..grid.sizes.len())
+        .flat_map(|si| {
+            (0..grid.ccrs.len()).flat_map(move |ci| {
+                (0..grid.alphas.len())
+                    .flat_map(move |ai| (0..grid.betas.len()).map(move |bi| (si, ci, ai, bi)))
+            })
+        })
+        .collect();
+
+    // Per-cell knees for each theta, in parallel over cells.
+    let per_cell: Vec<Vec<f64>> = cells
+        .par_iter()
+        .map(|&(si, ci, ai, bi)| {
+            let dags = grid.instances_of(si, ci, ai, bi);
+            let curve = turnaround_curve(&dags, cfg);
+            thetas
+                .iter()
+                .map(|&theta| {
+                    let k = if refine_rounds > 0 {
+                        refine_knee(&curve, theta, refine_rounds, |s| {
+                            crate::curve::mean_turnaround(&dags, s, cfg)
+                        })
+                    } else {
+                        find_knee(&curve, theta)
+                    };
+                    k as f64
+                })
+                .collect()
+        })
+        .collect();
+
+    thetas
+        .iter()
+        .enumerate()
+        .map(|(ti, &theta)| {
+            let mut knees = vec![0.0f64; grid.cells()];
+            for (cell_idx, &(si, ci, ai, bi)) in cells.iter().enumerate() {
+                knees[grid.index(si, ci, ai, bi)] = per_cell[cell_idx][ti];
+            }
+            KneeTable {
+                grid: grid.clone(),
+                theta,
+                knees,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_measures() {
+        let grid = ObservationGrid::tiny();
+        let tables = measure(&grid, &CurveConfig::default(), &[0.001, 0.05], 0);
+        assert_eq!(tables.len(), 2);
+        let t = &tables[0];
+        for si in 0..grid.sizes.len() {
+            for ci in 0..grid.ccrs.len() {
+                for ai in 0..grid.alphas.len() {
+                    for bi in 0..grid.betas.len() {
+                        let k = t.knee(si, ci, ai, bi);
+                        assert!(k >= 1.0, "knee {k} must be >= 1");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knee_grows_with_parallelism() {
+        // Low-CCR slice: higher α needs more hosts (Table V-2 trend).
+        let grid = ObservationGrid {
+            sizes: vec![300],
+            ccrs: vec![0.01],
+            alphas: vec![0.3, 0.8],
+            betas: vec![0.8],
+            density: 0.5,
+            mean_comp: 20.0,
+            instances: 2,
+        };
+        let t = &measure(&grid, &CurveConfig::default(), &[0.001], 0)[0];
+        let low = t.knee(0, 0, 0, 0);
+        let high = t.knee(0, 0, 1, 0);
+        assert!(
+            high > low,
+            "knee should grow with parallelism: α=0.3 → {low}, α=0.8 → {high}"
+        );
+    }
+
+    #[test]
+    fn higher_threshold_never_bigger_knee() {
+        let grid = ObservationGrid::tiny();
+        let tables = measure(&grid, &CurveConfig::default(), &[0.001, 0.10], 0);
+        for si in 0..grid.sizes.len() {
+            for ci in 0..grid.ccrs.len() {
+                for ai in 0..grid.alphas.len() {
+                    for bi in 0..grid.betas.len() {
+                        assert!(
+                            tables[1].knee(si, ci, ai, bi) <= tables[0].knee(si, ci, ai, bi)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_instances_deterministic() {
+        let grid = ObservationGrid::tiny();
+        let a = grid.instances_of(0, 0, 0, 0);
+        let b = grid.instances_of(0, 0, 0, 0);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].edge_count(), b[0].edge_count());
+        let c = grid.instances_of(0, 0, 0, 1);
+        // Different cell, different DAG shape (regularity differs).
+        assert!(a[0].level_sizes() != c[0].level_sizes() || a[0].edge_count() != c[0].edge_count());
+    }
+
+    #[test]
+    fn plane_samples_cover_slice() {
+        let grid = ObservationGrid::tiny();
+        let t = &measure(&grid, &CurveConfig::default(), &[0.001], 0)[0];
+        let samples = t.plane_samples(0, 0);
+        assert_eq!(samples.len(), grid.alphas.len() * grid.betas.len());
+        assert!(samples.iter().all(|&(_, _, z)| z >= 0.0));
+    }
+}

@@ -1,0 +1,385 @@
+//! Model persistence: a small self-describing TSV format for trained
+//! models, so a model trained once (hours at paper scale) can be
+//! reused across sessions and shipped alongside the library.
+//!
+//! Format, line-oriented:
+//!
+//! ```text
+//! rsg-size-model<TAB>v1
+//! theta<TAB>0.001
+//! sizes<TAB>100<TAB>500<TAB>1000
+//! ccrs<TAB>0.01<TAB>0.1
+//! fit<TAB><si><TAB><ci><TAB><a><TAB><b><TAB><c>
+//! ...
+//! end
+//! ```
+//!
+//! A [`ThresholdedSizeModel`] is a concatenation of sections.
+
+use crate::planefit::PlaneFit;
+use crate::sizemodel::{SizePredictionModel, ThresholdedSizeModel};
+use std::fmt;
+
+/// Errors from decoding persisted models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistError(pub String);
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl SizePredictionModel {
+    /// Serializes the model.
+    pub fn to_tsv(&self) -> String {
+        let (sizes, ccrs) = self.axes();
+        let mut out = String::from("rsg-size-model\tv1\n");
+        out.push_str(&format!("theta\t{}\n", self.theta));
+        out.push_str("sizes");
+        for s in sizes {
+            out.push_str(&format!("\t{s}"));
+        }
+        out.push('\n');
+        out.push_str("ccrs");
+        for c in ccrs {
+            out.push_str(&format!("\t{c}"));
+        }
+        out.push('\n');
+        for si in 0..sizes.len() {
+            for ci in 0..ccrs.len() {
+                let f = self.plane(si, ci);
+                out.push_str(&format!("fit\t{si}\t{ci}\t{}\t{}\t{}\n", f.a, f.b, f.c));
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Decodes one model section starting at `lines`; returns the model
+    /// and the number of lines consumed.
+    pub fn from_tsv_lines(lines: &[&str]) -> Result<(SizePredictionModel, usize), PersistError> {
+        let mut i = 0usize;
+        let next = |i: &mut usize| -> Result<&str, PersistError> {
+            let l = lines
+                .get(*i)
+                .ok_or_else(|| PersistError("unexpected end".into()))?;
+            *i += 1;
+            Ok(l)
+        };
+        let header = next(&mut i)?;
+        if !header.starts_with("rsg-size-model\tv1") {
+            return Err(PersistError(format!("bad header '{header}'")));
+        }
+        let theta_line = next(&mut i)?;
+        let theta: f64 = theta_line
+            .strip_prefix("theta\t")
+            .ok_or_else(|| PersistError("missing theta".into()))?
+            .parse()
+            .map_err(|_| PersistError("bad theta".into()))?;
+        let parse_axis = |line: &str, tag: &str| -> Result<Vec<f64>, PersistError> {
+            let rest = line
+                .strip_prefix(tag)
+                .ok_or_else(|| PersistError(format!("missing {tag}")))?;
+            rest.split('\t')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse::<f64>()
+                        .map_err(|_| PersistError(format!("bad {tag} value '{s}'")))
+                })
+                .collect()
+        };
+        let sizes = parse_axis(next(&mut i)?, "sizes")?;
+        let ccrs = parse_axis(next(&mut i)?, "ccrs")?;
+        let mut fits = vec![
+            PlaneFit {
+                a: 0.0,
+                b: 0.0,
+                c: 0.0
+            };
+            sizes.len() * ccrs.len()
+        ];
+        let mut seen = 0usize;
+        loop {
+            let line = next(&mut i)?;
+            if line == "end" {
+                break;
+            }
+            let mut parts = line.split('\t');
+            if parts.next() != Some("fit") {
+                return Err(PersistError(format!("expected fit line, got '{line}'")));
+            }
+            let mut num = || -> Result<f64, PersistError> {
+                parts
+                    .next()
+                    .ok_or_else(|| PersistError("short fit line".into()))?
+                    .parse()
+                    .map_err(|_| PersistError("bad fit number".into()))
+            };
+            let si = num()? as usize;
+            let ci = num()? as usize;
+            let (a, b, c) = (num()?, num()?, num()?);
+            let idx = si * ccrs.len() + ci;
+            if idx >= fits.len() {
+                return Err(PersistError("fit index out of range".into()));
+            }
+            fits[idx] = PlaneFit { a, b, c };
+            seen += 1;
+        }
+        if seen != fits.len() {
+            return Err(PersistError(format!(
+                "expected {} fits, found {seen}",
+                fits.len()
+            )));
+        }
+        Ok((
+            SizePredictionModel::from_parts(theta, sizes, ccrs, fits),
+            i,
+        ))
+    }
+
+    /// Decodes a single-model document.
+    pub fn from_tsv(text: &str) -> Result<SizePredictionModel, PersistError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let (m, _) = Self::from_tsv_lines(&lines)?;
+        Ok(m)
+    }
+}
+
+impl ThresholdedSizeModel {
+    /// Serializes the full threshold ladder.
+    pub fn to_tsv(&self) -> String {
+        self.models.iter().map(|m| m.to_tsv()).collect()
+    }
+
+    /// Decodes a ladder document.
+    pub fn from_tsv(text: &str) -> Result<ThresholdedSizeModel, PersistError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut models = Vec::new();
+        let mut pos = 0usize;
+        while pos < lines.len() {
+            if lines[pos].trim().is_empty() {
+                pos += 1;
+                continue;
+            }
+            let (m, used) = SizePredictionModel::from_tsv_lines(&lines[pos..])?;
+            models.push(m);
+            pos += used;
+        }
+        if models.is_empty() {
+            return Err(PersistError("no models in document".into()));
+        }
+        models.sort_by(|a, b| a.theta.total_cmp(&b.theta));
+        Ok(ThresholdedSizeModel { models })
+    }
+}
+
+impl crate::heurmodel::HeuristicPredictionModel {
+    /// Serializes the heuristic model:
+    ///
+    /// ```text
+    /// rsg-heur-model<TAB>v1
+    /// sizes<TAB>...
+    /// ccrs<TAB>...
+    /// cell<TAB><si><TAB><ci><TAB>MCP:12.5<TAB>FCA:13.1 ...
+    /// end
+    /// ```
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("rsg-heur-model\tv1\n");
+        out.push_str("sizes");
+        for s in &self.sizes {
+            out.push_str(&format!("\t{s}"));
+        }
+        out.push('\n');
+        out.push_str("ccrs");
+        for c in &self.ccrs {
+            out.push_str(&format!("\t{c}"));
+        }
+        out.push('\n');
+        for si in 0..self.sizes.len() {
+            for ci in 0..self.ccrs.len() {
+                let cell = self.cell(si, ci);
+                out.push_str(&format!("cell\t{si}\t{ci}"));
+                for (h, t) in &cell.optimal_turnaround {
+                    out.push_str(&format!("\t{}:{}", h.name(), t));
+                }
+                out.push('\n');
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Decodes a heuristic-model document.
+    pub fn from_tsv(text: &str) -> Result<crate::heurmodel::HeuristicPredictionModel, PersistError> {
+        use crate::heurmodel::{CellResult, HeuristicPredictionModel};
+        use rsg_sched::HeuristicKind;
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| PersistError("empty".into()))?;
+        if !header.starts_with("rsg-heur-model\tv1") {
+            return Err(PersistError(format!("bad header '{header}'")));
+        }
+        let axis = |line: Option<&str>, tag: &str| -> Result<Vec<f64>, PersistError> {
+            let line = line.ok_or_else(|| PersistError(format!("missing {tag}")))?;
+            line.strip_prefix(tag)
+                .ok_or_else(|| PersistError(format!("missing {tag}")))?
+                .split('\t')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse::<f64>()
+                        .map_err(|_| PersistError(format!("bad {tag} value '{s}'")))
+                })
+                .collect()
+        };
+        let sizes: Vec<usize> = axis(lines.next(), "sizes")?
+            .into_iter()
+            .map(|s| s as usize)
+            .collect();
+        let ccrs = axis(lines.next(), "ccrs")?;
+        let mut cells: Vec<Option<CellResult>> = vec![None; sizes.len() * ccrs.len()];
+        for line in lines {
+            if line == "end" {
+                break;
+            }
+            let mut parts = line.split('\t');
+            if parts.next() != Some("cell") {
+                return Err(PersistError(format!("expected cell line, got '{line}'")));
+            }
+            let si: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| PersistError("bad cell si".into()))?;
+            let ci: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| PersistError("bad cell ci".into()))?;
+            let mut optimal_turnaround = Vec::new();
+            for pair in parts {
+                let (name, t) = pair
+                    .split_once(':')
+                    .ok_or_else(|| PersistError(format!("bad pair '{pair}'")))?;
+                let h = HeuristicKind::parse(name)
+                    .ok_or_else(|| PersistError(format!("unknown heuristic '{name}'")))?;
+                let t: f64 = t
+                    .parse()
+                    .map_err(|_| PersistError(format!("bad turnaround '{t}'")))?;
+                optimal_turnaround.push((h, t));
+            }
+            if optimal_turnaround.is_empty() {
+                return Err(PersistError("cell with no heuristics".into()));
+            }
+            let idx = si * ccrs.len() + ci;
+            if idx >= cells.len() {
+                return Err(PersistError("cell index out of range".into()));
+            }
+            cells[idx] = Some(CellResult {
+                size: sizes[si],
+                ccr: ccrs[ci],
+                optimal_turnaround,
+            });
+        }
+        let cells: Option<Vec<CellResult>> = cells.into_iter().collect();
+        let cells = cells.ok_or_else(|| PersistError("missing cells".into()))?;
+        Ok(HeuristicPredictionModel { sizes, ccrs, cells })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::CurveConfig;
+    use crate::observation::{measure, ObservationGrid};
+
+    fn trained() -> ThresholdedSizeModel {
+        let grid = ObservationGrid::tiny();
+        let tables = measure(&grid, &CurveConfig::default(), &[0.001, 0.05], 0);
+        ThresholdedSizeModel::fit(&tables)
+    }
+
+    #[test]
+    fn round_trip_single_model() {
+        let ladder = trained();
+        let m = ladder.strictest();
+        let text = m.to_tsv();
+        let back = SizePredictionModel::from_tsv(&text).unwrap();
+        assert_eq!(back.theta, m.theta);
+        // Predictions must match bit-for-bit (axes + fits identical).
+        for &(n, ccr, a, b) in &[(100.0, 0.01, 0.5, 0.5), (170.0, 0.3, 0.7, 0.9)] {
+            assert_eq!(
+                back.predict_chars(n, ccr, a, b),
+                m.predict_chars(n, ccr, a, b)
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_ladder() {
+        let ladder = trained();
+        let text = ladder.to_tsv();
+        let back = ThresholdedSizeModel::from_tsv(&text).unwrap();
+        assert_eq!(back.thresholds(), ladder.thresholds());
+        assert_eq!(
+            back.strictest().predict_chars(120.0, 0.1, 0.6, 0.5),
+            ladder.strictest().predict_chars(120.0, 0.1, 0.6, 0.5)
+        );
+    }
+
+    #[test]
+    fn corrupt_documents_rejected() {
+        assert!(SizePredictionModel::from_tsv("").is_err());
+        assert!(SizePredictionModel::from_tsv("garbage\t1\n").is_err());
+        let good = trained().strictest().to_tsv();
+        // Drop the final fit line -> count mismatch.
+        let truncated: String = {
+            let mut lines: Vec<&str> = good.lines().collect();
+            let last_fit = lines.iter().rposition(|l| l.starts_with("fit")).unwrap();
+            lines.remove(last_fit);
+            lines.join("\n")
+        };
+        assert!(SizePredictionModel::from_tsv(&truncated).is_err());
+        assert!(ThresholdedSizeModel::from_tsv("\n\n").is_err());
+    }
+
+    #[test]
+    fn heuristic_model_round_trip() {
+        let mut t = crate::heurmodel::HeuristicTraining::fast();
+        t.sizes = vec![50, 200];
+        t.instances = 1;
+        let m = crate::heurmodel::HeuristicPredictionModel::train(&t, &CurveConfig::default());
+        let text = m.to_tsv();
+        let back = crate::heurmodel::HeuristicPredictionModel::from_tsv(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(
+            back.predict_chars(120.0, 0.3),
+            m.predict_chars(120.0, 0.3)
+        );
+    }
+
+    #[test]
+    fn heuristic_model_corrupt_rejected() {
+        assert!(crate::heurmodel::HeuristicPredictionModel::from_tsv("").is_err());
+        assert!(crate::heurmodel::HeuristicPredictionModel::from_tsv(
+            "rsg-heur-model\tv1\nsizes\t10\nccrs\t0.1\nend\n"
+        )
+        .is_err(), "missing cells must be rejected");
+        assert!(crate::heurmodel::HeuristicPredictionModel::from_tsv(
+            "rsg-heur-model\tv1\nsizes\t10\nccrs\t0.1\ncell\t0\t0\tBogus:1\nend\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn extra_whitespace_between_sections_ok() {
+        let ladder = trained();
+        let text = ladder
+            .models
+            .iter()
+            .map(|m| m.to_tsv())
+            .collect::<Vec<_>>()
+            .join("\n\n");
+        let back = ThresholdedSizeModel::from_tsv(&text).unwrap();
+        assert_eq!(back.models.len(), ladder.models.len());
+    }
+}

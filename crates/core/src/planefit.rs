@@ -1,0 +1,188 @@
+//! Least-squares plane fit (Section V.2.4).
+//!
+//! For a fixed DAG size and CCR the paper observes that
+//! `log2(knee) ≈ a·α + b·β + c` (Figure V-4) and solves the 3×3 normal
+//! equations for `(a, b, c)` by minimizing the mean squared error over
+//! the observation grid.
+
+/// A fitted plane `z = a·x + b·y + c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneFit {
+    /// Coefficient of the first coordinate (parallelism α).
+    pub a: f64,
+    /// Coefficient of the second coordinate (regularity β).
+    pub b: f64,
+    /// Intercept.
+    pub c: f64,
+}
+
+impl PlaneFit {
+    /// Fits the plane to `(x, y, z)` samples by the normal equations of
+    /// Section V.2.4. Requires ≥ 3 non-degenerate samples.
+    pub fn fit(samples: &[(f64, f64, f64)]) -> PlaneFit {
+        assert!(samples.len() >= 3, "need at least 3 samples");
+        let n = samples.len() as f64;
+        let (mut sxx, mut sxy, mut sx, mut syy, mut sy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let (mut szx, mut szy, mut sz) = (0.0, 0.0, 0.0);
+        for &(x, y, z) in samples {
+            sxx += x * x;
+            sxy += x * y;
+            sx += x;
+            syy += y * y;
+            sy += y;
+            szx += z * x;
+            szy += z * y;
+            sz += z;
+        }
+        let m = [[sxx, sxy, sx], [sxy, syy, sy], [sx, sy, n]];
+        let rhs = [szx, szy, sz];
+        let sol = solve3(m, rhs);
+        PlaneFit {
+            a: sol[0],
+            b: sol[1],
+            c: sol[2],
+        }
+    }
+
+    /// Predicted `z` at `(x, y)`.
+    #[inline]
+    pub fn predict(&self, x: f64, y: f64) -> f64 {
+        self.a * x + self.b * y + self.c
+    }
+
+    /// Mean relative error of the fit over samples whose `z != 0`.
+    pub fn mean_relative_error(&self, samples: &[(f64, f64, f64)]) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for &(x, y, z) in samples {
+            if z.abs() > 1e-12 {
+                total += ((self.predict(x, y) - z) / z).abs();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial
+/// pivoting. Degenerate systems fall back to a least-norm-ish answer by
+/// perturbing the pivot (observation grids are never degenerate in
+/// practice; the guard keeps the fit total).
+fn solve3(mut m: [[f64; 3]; 3], mut rhs: [f64; 3]) -> [f64; 3] {
+    for col in 0..3 {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..3 {
+            if m[r][col].abs() > m[piv][col].abs() {
+                piv = r;
+            }
+        }
+        m.swap(col, piv);
+        rhs.swap(col, piv);
+        let p = if m[col][col].abs() < 1e-12 {
+            1e-12
+        } else {
+            m[col][col]
+        };
+        for r in col + 1..3 {
+            let f = m[r][col] / p;
+            let pivot_row = m[col];
+            for (k, cell) in m[r].iter_mut().enumerate().skip(col) {
+                *cell -= f * pivot_row[k];
+            }
+            rhs[r] -= f * rhs[col];
+        }
+    }
+    let mut x = [0.0f64; 3];
+    for row in (0..3).rev() {
+        let mut acc = rhs[row];
+        for k in row + 1..3 {
+            acc -= m[row][k] * x[k];
+        }
+        let p = if m[row][row].abs() < 1e-12 {
+            1e-12
+        } else {
+            m[row][row]
+        };
+        x[row] = acc / p;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_recovery_of_planar_data() {
+        let truth = PlaneFit {
+            a: 3.5,
+            b: -1.25,
+            c: 0.75,
+        };
+        let mut samples = Vec::new();
+        for &x in &[0.3, 0.5, 0.7, 0.9] {
+            for &y in &[0.0, 0.5, 1.0] {
+                samples.push((x, y, truth.predict(x, y)));
+            }
+        }
+        let fit = PlaneFit::fit(&samples);
+        assert!((fit.a - truth.a).abs() < 1e-9);
+        assert!((fit.b - truth.b).abs() < 1e-9);
+        assert!((fit.c - truth.c).abs() < 1e-9);
+        assert!(fit.mean_relative_error(&samples) < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        let truth = PlaneFit {
+            a: 2.0,
+            b: 1.0,
+            c: -0.5,
+        };
+        let mut samples = Vec::new();
+        let mut sign = 1.0;
+        for &x in &[0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
+            for &y in &[0.01, 0.1, 0.3, 0.5, 0.8, 1.0] {
+                samples.push((x, y, truth.predict(x, y) + sign * 0.05));
+                sign = -sign;
+            }
+        }
+        let fit = PlaneFit::fit(&samples);
+        assert!((fit.a - truth.a).abs() < 0.2);
+        assert!((fit.b - truth.b).abs() < 0.2);
+    }
+
+    #[test]
+    fn solve3_identity() {
+        let x = solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [5.0, -2.0, 3.0]);
+        assert_eq!(x, [5.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve3_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let x = solve3(
+            [[0.0, 2.0, 1.0], [1.0, 1.0, 1.0], [2.0, 0.0, 1.0]],
+            [7.0, 6.0, 5.0],
+        );
+        // Verify by substitution.
+        let check = |row: [f64; 3], rhs: f64| {
+            let v = row[0] * x[0] + row[1] * x[1] + row[2] * x[2];
+            assert!((v - rhs).abs() < 1e-9, "{v} vs {rhs}");
+        };
+        check([0.0, 2.0, 1.0], 7.0);
+        check([1.0, 1.0, 1.0], 6.0);
+        check([2.0, 0.0, 1.0], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 samples")]
+    fn too_few_samples_panics() {
+        PlaneFit::fit(&[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,162 @@
+//! SCR — scheduling-to-computation clock-rate ratio (Section V.7).
+//!
+//! The knee exists because scheduling time grows with RC size; a faster
+//! scheduler (higher SCR) pushes the knee outward, a slower one pulls
+//! it in. The paper plots predicted RC size change against SCR
+//! (Figures V-18…V-22) and fits per-configuration formulas (Figures
+//! V-23/V-24). We model the shift as a power law `knee(SCR) ≈ knee(1) ·
+//! SCR^γ` fitted on log-log samples.
+
+use crate::curve::{turnaround_curve, CurveConfig};
+use crate::knee::find_knee;
+use rsg_dag::Dag;
+use rsg_sched::SchedTimeModel;
+
+/// One SCR sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScrPoint {
+    /// Scheduler-to-compute clock ratio (1 = the paper's 2.80 GHz
+    /// scheduler with the default compute clock).
+    pub scr: f64,
+    /// Measured knee at this SCR.
+    pub knee: usize,
+}
+
+/// Sweeps the scheduler clock and measures the knee at each SCR.
+pub fn scr_sweep(dags: &[Dag], base: &CurveConfig, scrs: &[f64], theta: f64) -> Vec<ScrPoint> {
+    scrs.iter()
+        .map(|&scr| {
+            let cfg = CurveConfig {
+                time_model: SchedTimeModel {
+                    scheduler_clock_mhz: rsg_sched::SCHEDULER_CLOCK_MHZ * scr,
+                    ..base.time_model
+                },
+                ..*base
+            };
+            let curve = turnaround_curve(dags, &cfg);
+            ScrPoint {
+                scr,
+                knee: find_knee(&curve, theta),
+            }
+        })
+        .collect()
+}
+
+/// Fitted power law `knee(SCR) = k1 · SCR^γ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScrModel {
+    /// Knee at SCR = 1.
+    pub k1: f64,
+    /// Exponent γ ≥ 0 (faster scheduler, bigger best RC).
+    pub gamma: f64,
+}
+
+impl ScrModel {
+    /// Fits on log-log least squares.
+    pub fn fit(points: &[ScrPoint]) -> ScrModel {
+        assert!(points.len() >= 2);
+        let xs: Vec<f64> = points.iter().map(|p| p.scr.ln()).collect();
+        let ys: Vec<f64> = points.iter().map(|p| (p.knee.max(1) as f64).ln()).collect();
+        let n = xs.len() as f64;
+        let sx: f64 = xs.iter().sum();
+        let sy: f64 = ys.iter().sum();
+        let sxx: f64 = xs.iter().map(|x| x * x).sum();
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+        let den = n * sxx - sx * sx;
+        let gamma = if den.abs() < 1e-12 {
+            0.0
+        } else {
+            (n * sxy - sx * sy) / den
+        };
+        let intercept = (sy - gamma * sx) / n;
+        ScrModel {
+            k1: intercept.exp(),
+            gamma,
+        }
+    }
+
+    /// Knee predicted at a given SCR.
+    pub fn predict(&self, scr: f64) -> f64 {
+        (self.k1 * scr.powf(self.gamma)).max(1.0)
+    }
+
+    /// Scales an externally predicted size from SCR = 1 to `scr`.
+    pub fn rescale(&self, size_at_unit_scr: usize, scr: f64) -> usize {
+        ((size_at_unit_scr as f64) * scr.powf(self.gamma))
+            .round()
+            .max(1.0) as usize
+    }
+
+    /// Renders the fitted formula (the Figure V-23 presentation).
+    pub fn formula(&self) -> String {
+        format!("knee(SCR) = {:.1} * SCR^{:.3}", self.k1, self.gamma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_dag::RandomDagSpec;
+
+    #[test]
+    fn fit_recovers_power_law() {
+        let pts = vec![
+            ScrPoint { scr: 0.5, knee: 71 },
+            ScrPoint { scr: 1.0, knee: 100 },
+            ScrPoint { scr: 2.0, knee: 141 },
+            ScrPoint { scr: 4.0, knee: 200 },
+        ];
+        let m = ScrModel::fit(&pts);
+        assert!((m.gamma - 0.5).abs() < 0.02, "gamma {}", m.gamma);
+        assert!((m.k1 - 100.0).abs() < 3.0, "k1 {}", m.k1);
+        assert!((m.predict(1.0) - 100.0).abs() < 3.0);
+        assert_eq!(m.rescale(100, 4.0), ((100.0 * 4.0f64.powf(m.gamma)).round()) as usize);
+        assert!(m.formula().starts_with("knee(SCR) ="));
+    }
+
+    #[test]
+    fn sweep_knee_monotone_in_scr() {
+        // Faster scheduler -> scheduling gets cheaper -> the knee moves
+        // to (weakly) larger RCs.
+        let dags: Vec<Dag> = (0..2)
+            .map(|s| {
+                RandomDagSpec {
+                    size: 200,
+                    ccr: 0.05,
+                    parallelism: 0.7,
+                    density: 0.5,
+                    regularity: 0.8,
+                    mean_comp: 5.0,
+                }
+                .generate(s)
+            })
+            .collect();
+        // Use a deliberately expensive per-op cost so scheduling time
+        // matters at this small scale.
+        let cfg = CurveConfig {
+            time_model: SchedTimeModel {
+                sec_per_op: 2e-4,
+                ..SchedTimeModel::default()
+            },
+            ..CurveConfig::default()
+        };
+        let pts = scr_sweep(&dags, &cfg, &[0.25, 1.0, 4.0], 0.02);
+        assert!(
+            pts[0].knee <= pts[2].knee,
+            "knee at SCR 0.25 ({}) should not exceed knee at SCR 4 ({})",
+            pts[0].knee,
+            pts[2].knee
+        );
+    }
+
+    #[test]
+    fn degenerate_single_scr_fit() {
+        let pts = vec![
+            ScrPoint { scr: 1.0, knee: 50 },
+            ScrPoint { scr: 1.0, knee: 50 },
+        ];
+        let m = ScrModel::fit(&pts);
+        assert_eq!(m.gamma, 0.0);
+        assert!((m.predict(8.0) - 50.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The RC size prediction model (Sections V.2.4–V.2.5).
+//!
+//! One plane `log2(knee) = a·α + b·β + c` is fitted per `(DAG size,
+//! CCR)` grid cell; predictions for off-grid sizes and CCRs linearly
+//! interpolate the *knee values* (not the planes' coefficients) between
+//! the two surrounding sample points on each axis, exactly as the paper
+//! interpolates its experimental curves (Figures V-5/V-6).
+
+use crate::observation::KneeTable;
+use crate::planefit::PlaneFit;
+use rsg_dag::DagStats;
+
+/// Size prediction model for one knee threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizePredictionModel {
+    /// Knee threshold θ the model was trained for.
+    pub theta: f64,
+    sizes: Vec<f64>,
+    ccrs: Vec<f64>,
+    /// Row-major `(size, ccr)` plane fits.
+    fits: Vec<PlaneFit>,
+}
+
+impl SizePredictionModel {
+    /// Fits the model from a measured knee table.
+    pub fn fit(table: &KneeTable) -> SizePredictionModel {
+        let g = &table.grid;
+        let mut fits = Vec::with_capacity(g.sizes.len() * g.ccrs.len());
+        for si in 0..g.sizes.len() {
+            for ci in 0..g.ccrs.len() {
+                fits.push(PlaneFit::fit(&table.plane_samples(si, ci)));
+            }
+        }
+        SizePredictionModel {
+            theta: table.theta,
+            sizes: g.sizes.iter().map(|&s| s as f64).collect(),
+            ccrs: g.ccrs.clone(),
+            fits,
+        }
+    }
+
+    /// Reassembles a model from its parts (used by the TSV decoder).
+    /// `fits` is row-major `(size, ccr)` and must match the axes.
+    pub fn from_parts(
+        theta: f64,
+        sizes: Vec<f64>,
+        ccrs: Vec<f64>,
+        fits: Vec<PlaneFit>,
+    ) -> SizePredictionModel {
+        assert_eq!(fits.len(), sizes.len() * ccrs.len());
+        SizePredictionModel {
+            theta,
+            sizes,
+            ccrs,
+            fits,
+        }
+    }
+
+    fn fit_at(&self, si: usize, ci: usize) -> &PlaneFit {
+        &self.fits[si * self.ccrs.len() + ci]
+    }
+
+    /// Knee predicted by the plane of one grid cell.
+    fn cell_knee(&self, si: usize, ci: usize, alpha: f64, beta: f64) -> f64 {
+        self.fit_at(si, ci).predict(alpha, beta).exp2()
+    }
+
+    /// Predicts the best RC size for explicit DAG characteristics. The
+    /// result is clamped to at least 1; callers typically also clamp to
+    /// the DAG width.
+    pub fn predict_chars(&self, n: f64, ccr: f64, alpha: f64, beta: f64) -> f64 {
+        let (s0, s1, st) = bracket(&self.sizes, n);
+        let (c0, c1, ct) = bracket(&self.ccrs, ccr);
+        // Bilinear interpolation of knee values.
+        let k00 = self.cell_knee(s0, c0, alpha, beta);
+        let k01 = self.cell_knee(s0, c1, alpha, beta);
+        let k10 = self.cell_knee(s1, c0, alpha, beta);
+        let k11 = self.cell_knee(s1, c1, alpha, beta);
+        let k0 = k00 + (k01 - k00) * ct;
+        let k1 = k10 + (k11 - k10) * ct;
+        (k0 + (k1 - k0) * st).max(1.0)
+    }
+
+    /// Predicts the best RC size for a measured DAG, clamped to the
+    /// DAG width (no RC larger than the width is ever useful).
+    pub fn predict(&self, stats: &DagStats) -> usize {
+        let k = self.predict_chars(
+            stats.size as f64,
+            stats.ccr,
+            stats.parallelism,
+            stats.regularity,
+        );
+        (k.round() as usize).clamp(1, stats.width.max(1) as usize)
+    }
+
+    /// Grid axes (sizes, ccrs) — exposed for reporting.
+    pub fn axes(&self) -> (&[f64], &[f64]) {
+        (&self.sizes, &self.ccrs)
+    }
+
+    /// The plane fitted for grid cell `(si, ci)`.
+    pub fn plane(&self, si: usize, ci: usize) -> &PlaneFit {
+        self.fit_at(si, ci)
+    }
+}
+
+/// Finds the bracketing indices and interpolation weight of `x` in the
+/// ascending axis `xs`; out-of-range values clamp to the edge cells.
+fn bracket(xs: &[f64], x: f64) -> (usize, usize, f64) {
+    assert!(!xs.is_empty());
+    if xs.len() == 1 || x <= xs[0] {
+        return (0, 0, 0.0);
+    }
+    let last = xs.len() - 1;
+    if x >= xs[last] {
+        return (last, last, 0.0);
+    }
+    let hi = xs.partition_point(|&v| v < x).max(1);
+    let lo = hi - 1;
+    let t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+    (lo, hi, t)
+}
+
+/// Models for the whole threshold ladder (Section V.3.2.3): one
+/// [`SizePredictionModel`] per θ, sharing the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdedSizeModel {
+    /// Models indexed like the thresholds they were trained for,
+    /// ascending θ.
+    pub models: Vec<SizePredictionModel>,
+}
+
+impl ThresholdedSizeModel {
+    /// Fits a model per knee table.
+    pub fn fit(tables: &[KneeTable]) -> ThresholdedSizeModel {
+        let mut models: Vec<SizePredictionModel> =
+            tables.iter().map(SizePredictionModel::fit).collect();
+        models.sort_by(|a, b| a.theta.total_cmp(&b.theta));
+        ThresholdedSizeModel { models }
+    }
+
+    /// The model for the exact threshold, if trained.
+    pub fn for_threshold(&self, theta: f64) -> Option<&SizePredictionModel> {
+        self.models
+            .iter()
+            .find(|m| (m.theta - theta).abs() < 1e-12)
+    }
+
+    /// The strictest (smallest-θ) model — the paper's 0.1% default.
+    pub fn strictest(&self) -> &SizePredictionModel {
+        &self.models[0]
+    }
+
+    /// Available thresholds, ascending.
+    pub fn thresholds(&self) -> Vec<f64> {
+        self.models.iter().map(|m| m.theta).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::CurveConfig;
+    use crate::observation::{measure, ObservationGrid};
+
+    fn trained() -> ThresholdedSizeModel {
+        let grid = ObservationGrid::tiny();
+        let tables = measure(&grid, &CurveConfig::default(), &[0.001, 0.05], 0);
+        ThresholdedSizeModel::fit(&tables)
+    }
+
+    #[test]
+    fn bracket_basics() {
+        let xs = [1.0, 2.0, 4.0];
+        assert_eq!(bracket(&xs, 0.5), (0, 0, 0.0));
+        assert_eq!(bracket(&xs, 5.0), (2, 2, 0.0));
+        let (lo, hi, t) = bracket(&xs, 3.0);
+        assert_eq!((lo, hi), (1, 2));
+        assert!((t - 0.5).abs() < 1e-12);
+        // An exact grid point interpolates to itself from either cell.
+        let (lo, hi, t) = bracket(&xs, 2.0);
+        let v = xs[lo] + (xs[hi] - xs[lo]) * t;
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_positive_and_bounded() {
+        let m = trained();
+        let model = m.strictest();
+        for &(n, ccr, a, b) in &[
+            (100.0, 0.01, 0.5, 0.5),
+            (125.0, 0.3, 0.6, 0.2),
+            (200.0, 0.5, 0.7, 0.9),
+        ] {
+            let k = model.predict_chars(n, ccr, a, b);
+            assert!(k >= 1.0, "knee {k}");
+            assert!(k < 10_000.0, "knee {k} absurd");
+        }
+    }
+
+    #[test]
+    fn interpolation_is_between_cells() {
+        let m = trained();
+        let model = m.strictest();
+        let lo = model.predict_chars(50.0, 0.01, 0.6, 0.5);
+        let hi = model.predict_chars(200.0, 0.01, 0.6, 0.5);
+        let mid = model.predict_chars(125.0, 0.01, 0.6, 0.5);
+        let (a, b) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        assert!(
+            mid >= a - 1e-9 && mid <= b + 1e-9,
+            "mid {mid} outside [{a}, {b}]"
+        );
+    }
+
+    #[test]
+    fn predict_clamps_to_width() {
+        let m = trained();
+        let model = m.strictest();
+        let dag = rsg_dag::workflows::bag(10, 5.0);
+        let stats = rsg_dag::DagStats::measure(&dag);
+        let k = model.predict(&stats);
+        assert!((1..=10).contains(&k));
+    }
+
+    #[test]
+    fn threshold_lookup() {
+        let m = trained();
+        assert!(m.for_threshold(0.001).is_some());
+        assert!(m.for_threshold(0.02).is_none());
+        assert_eq!(m.thresholds(), vec![0.001, 0.05]);
+        assert_eq!(m.strictest().theta, 0.001);
+    }
+
+    #[test]
+    fn parallelism_increases_prediction_on_low_ccr() {
+        let m = trained();
+        let model = m.strictest();
+        let low = model.predict_chars(200.0, 0.01, 0.4, 0.8);
+        let high = model.predict_chars(200.0, 0.01, 0.7, 0.8);
+        assert!(
+            high > low,
+            "α=0.7 should need more hosts than α=0.4: {high} vs {low}"
+        );
+    }
+}

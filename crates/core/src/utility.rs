@@ -1,0 +1,126 @@
+//! Performance/cost utility functions (Section V.3.2.3).
+//!
+//! "A user may wish to trade off a 1% decrease in performance for a 10%
+//! decrease in cost": the model exposes predicted sizes for the whole
+//! threshold ladder, and the utility function chooses the threshold
+//! whose (degradation, cost) combination scores best — or the best
+//! degradation within a budget.
+
+/// A linear performance/cost trade-off. With `perf_weight = 10` and
+/// `cost_weight = 1`, one percent of degradation is worth ten percent of
+/// cost — the paper's 1%/10% example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilityFunction {
+    /// Weight on turnaround degradation.
+    pub perf_weight: f64,
+    /// Weight on relative cost.
+    pub cost_weight: f64,
+}
+
+impl Default for UtilityFunction {
+    fn default() -> Self {
+        // Minimize the plain sum of degradation and relative cost, the
+        // "simple utility function" used for the Montage table (V-9).
+        UtilityFunction {
+            perf_weight: 1.0,
+            cost_weight: 1.0,
+        }
+    }
+}
+
+impl UtilityFunction {
+    /// The paper's 1%-performance-for-10%-cost example.
+    pub fn one_for_ten() -> UtilityFunction {
+        UtilityFunction {
+            perf_weight: 10.0,
+            cost_weight: 1.0,
+        }
+    }
+
+    /// Utility score — lower is better.
+    pub fn score(&self, degradation: f64, relative_cost: f64) -> f64 {
+        self.perf_weight * degradation + self.cost_weight * relative_cost
+    }
+
+    /// Chooses the best `(threshold, degradation, relative_cost)` row.
+    /// Returns the index of the winner.
+    pub fn choose(&self, rows: &[(f64, f64, f64)]) -> usize {
+        assert!(!rows.is_empty());
+        let mut best = 0usize;
+        let mut best_score = f64::INFINITY;
+        for (i, &(_, deg, cost)) in rows.iter().enumerate() {
+            let s = self.score(deg, cost);
+            if s < best_score {
+                best_score = s;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Budget mode: the row with the least degradation whose absolute
+    /// cost fits the budget; `None` when nothing fits.
+    pub fn choose_within_budget(
+        rows: &[(f64, f64, f64)],
+        costs_dollars: &[f64],
+        budget_dollars: f64,
+    ) -> Option<usize> {
+        assert_eq!(rows.len(), costs_dollars.len());
+        rows.iter()
+            .enumerate()
+            .filter(|(i, _)| costs_dollars[*i] <= budget_dollars)
+            .min_by(|(_, a), (_, b)| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_for_ten_prefers_cheap_when_degradation_small() {
+        let u = UtilityFunction::one_for_ten();
+        // (threshold, degradation, relative cost)
+        let rows = [
+            (0.001, 0.000, 0.00),
+            (0.02, 0.009, -0.15), // ~1% slower, 15% cheaper
+            (0.10, 0.060, -0.25), // 6% slower, 25% cheaper
+        ];
+        assert_eq!(u.choose(&rows), 1, "1%-for-10% picks the 2% threshold");
+    }
+
+    #[test]
+    fn pure_performance_picks_strictest() {
+        let u = UtilityFunction {
+            perf_weight: 1.0,
+            cost_weight: 0.0,
+        };
+        let rows = [(0.001, 0.0, 0.0), (0.05, 0.04, -0.5)];
+        assert_eq!(u.choose(&rows), 0);
+    }
+
+    #[test]
+    fn budget_mode() {
+        let rows = [(0.001, 0.0, 0.0), (0.02, 0.01, -0.2), (0.10, 0.08, -0.4)];
+        let costs = [10.0, 8.0, 6.0];
+        assert_eq!(
+            UtilityFunction::choose_within_budget(&rows, &costs, 9.0),
+            Some(1)
+        );
+        assert_eq!(
+            UtilityFunction::choose_within_budget(&rows, &costs, 5.0),
+            None
+        );
+        assert_eq!(
+            UtilityFunction::choose_within_budget(&rows, &costs, 100.0),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn score_is_linear() {
+        let u = UtilityFunction::default();
+        assert!((u.score(0.01, -0.10) + 0.09).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Validation harness (Section V.3): measures, per DAG configuration,
+//! how far the model's predicted RC size is from the search-derived
+//! optimum in size, turnaround degradation, and EC2-style relative
+//! cost — the three Table V-5 metrics — plus the "current practice"
+//! comparison of Table V-7 (DAG width as the RC size).
+
+use crate::curve::{mean_turnaround, CurveConfig};
+use crate::optsearch::optimal_size_search;
+use crate::sizemodel::SizePredictionModel;
+use rsg_dag::{Dag, DagStats};
+use rsg_platform::CostModel;
+
+/// Metrics for one DAG configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigValidation {
+    /// Model-predicted RC size.
+    pub predicted_size: usize,
+    /// Search-derived optimal RC size.
+    pub optimal_size: usize,
+    /// Mean turnaround at the predicted size, seconds.
+    pub predicted_turnaround_s: f64,
+    /// Mean turnaround at the optimal size, seconds.
+    pub optimal_turnaround_s: f64,
+    /// `|pred − opt| / opt`.
+    pub size_diff: f64,
+    /// `T_pred / T_opt − 1` (≥ 0 up to search noise).
+    pub degradation: f64,
+    /// EC2-relative cost: `cost_pred / cost_opt − 1`.
+    pub relative_cost: f64,
+    /// Whether the paper would exclude the configuration (single-host
+    /// optimum: high CCR + low parallelism, Section V.3.2.2).
+    pub excluded: bool,
+}
+
+/// Validates the model on one set of DAG instances (one configuration).
+pub fn validate_config(
+    dags: &[Dag],
+    model: &SizePredictionModel,
+    cfg: &CurveConfig,
+    cost: &CostModel,
+) -> ConfigValidation {
+    let stats = DagStats::measure(&dags[0]);
+    let predicted = model.predict(&stats);
+    let t_pred = mean_turnaround(dags, predicted, cfg);
+    let search = optimal_size_search(dags, predicted, cfg);
+    let (optimal, t_opt) = (search.size, search.turnaround_s);
+
+    let cost_of = |size: usize, t: f64| cost.execution_cost(&cfg.rc_family.build(size), t);
+    let c_pred = cost_of(predicted, t_pred);
+    let c_opt = cost_of(optimal, t_opt);
+
+    ConfigValidation {
+        predicted_size: predicted,
+        optimal_size: optimal,
+        predicted_turnaround_s: t_pred,
+        optimal_turnaround_s: t_opt,
+        size_diff: (predicted as f64 - optimal as f64).abs() / optimal.max(1) as f64,
+        degradation: (t_pred / t_opt - 1.0).max(0.0),
+        relative_cost: cost.relative_cost(c_pred, c_opt),
+        excluded: optimal <= 1,
+    }
+}
+
+/// The current practice of Section V.3.3: request the DAG width.
+pub fn validate_width_practice(
+    dags: &[Dag],
+    baseline: &ConfigValidation,
+    cfg: &CurveConfig,
+    cost: &CostModel,
+) -> ConfigValidation {
+    let width = dags.iter().map(|d| d.width() as usize).max().unwrap_or(1);
+    let t_width = mean_turnaround(dags, width, cfg);
+    let c_width = cost.execution_cost(&cfg.rc_family.build(width), t_width);
+    let c_opt = cost.execution_cost(
+        &cfg.rc_family.build(baseline.optimal_size),
+        baseline.optimal_turnaround_s,
+    );
+    ConfigValidation {
+        predicted_size: width,
+        optimal_size: baseline.optimal_size,
+        predicted_turnaround_s: t_width,
+        optimal_turnaround_s: baseline.optimal_turnaround_s,
+        size_diff: (width as f64 - baseline.optimal_size as f64).abs()
+            / baseline.optimal_size.max(1) as f64,
+        degradation: (t_width / baseline.optimal_turnaround_s - 1.0).max(0.0),
+        relative_cost: cost.relative_cost(c_width, c_opt),
+        excluded: baseline.excluded,
+    }
+}
+
+/// Aggregate over configurations (one Table V-5 cell).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ValidationSummary {
+    /// Mean `size_diff` over included configurations.
+    pub avg_size_diff: f64,
+    /// Mean degradation.
+    pub avg_degradation: f64,
+    /// Mean relative cost (negative = cheaper than optimal config).
+    pub avg_relative_cost: f64,
+    /// Configurations included.
+    pub included: usize,
+    /// Configurations excluded (single-host optimum).
+    pub excluded: usize,
+}
+
+impl ValidationSummary {
+    /// Aggregates per-config validations, skipping excluded ones.
+    pub fn aggregate(configs: &[ConfigValidation]) -> ValidationSummary {
+        let mut s = ValidationSummary::default();
+        for c in configs {
+            if c.excluded {
+                s.excluded += 1;
+                continue;
+            }
+            s.avg_size_diff += c.size_diff;
+            s.avg_degradation += c.degradation;
+            s.avg_relative_cost += c.relative_cost;
+            s.included += 1;
+        }
+        if s.included > 0 {
+            let n = s.included as f64;
+            s.avg_size_diff /= n;
+            s.avg_degradation /= n;
+            s.avg_relative_cost /= n;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::{measure, ObservationGrid};
+    use crate::sizemodel::ThresholdedSizeModel;
+    use rsg_dag::RandomDagSpec;
+
+    fn model_and_cfg() -> (ThresholdedSizeModel, CurveConfig) {
+        let grid = ObservationGrid::tiny();
+        let cfg = CurveConfig::default();
+        let tables = measure(&grid, &cfg, &[0.001], 0);
+        (ThresholdedSizeModel::fit(&tables), cfg)
+    }
+
+    #[test]
+    fn validation_on_observation_cell_is_tight() {
+        let (model, cfg) = model_and_cfg();
+        // Validate on a config close to an observation cell.
+        let dags: Vec<_> = (0..2)
+            .map(|s| {
+                RandomDagSpec {
+                    size: 200,
+                    ccr: 0.01,
+                    parallelism: 0.7,
+                    density: 0.5,
+                    regularity: 0.9,
+                    mean_comp: 20.0,
+                }
+                .generate(100 + s)
+            })
+            .collect();
+        let v = validate_config(&dags, model.strictest(), &cfg, &CostModel::default());
+        assert!(
+            v.degradation < 0.25,
+            "degradation {} too large for an on-grid config",
+            v.degradation
+        );
+        assert!(v.predicted_size >= 1);
+        assert!(v.optimal_turnaround_s <= v.predicted_turnaround_s + 1e-9);
+    }
+
+    #[test]
+    fn width_practice_is_larger_and_pricier() {
+        let (model, cfg) = model_and_cfg();
+        let dags: Vec<_> = (0..2)
+            .map(|s| {
+                RandomDagSpec {
+                    size: 200,
+                    ccr: 0.5,
+                    parallelism: 0.7,
+                    density: 0.5,
+                    regularity: 0.9,
+                    mean_comp: 20.0,
+                }
+                .generate(200 + s)
+            })
+            .collect();
+        let cost = CostModel::default();
+        let base = validate_config(&dags, model.strictest(), &cfg, &cost);
+        let width = validate_width_practice(&dags, &base, &cfg, &cost);
+        assert!(width.predicted_size >= base.optimal_size);
+        assert!(
+            width.relative_cost >= base.relative_cost,
+            "width practice should not be cheaper: {} vs {}",
+            width.relative_cost,
+            base.relative_cost
+        );
+    }
+
+    #[test]
+    fn summary_aggregation() {
+        let c = ConfigValidation {
+            predicted_size: 10,
+            optimal_size: 12,
+            predicted_turnaround_s: 11.0,
+            optimal_turnaround_s: 10.0,
+            size_diff: 2.0 / 12.0,
+            degradation: 0.1,
+            relative_cost: -0.05,
+            excluded: false,
+        };
+        let mut excluded = c;
+        excluded.excluded = true;
+        let s = ValidationSummary::aggregate(&[c, c, excluded]);
+        assert_eq!(s.included, 2);
+        assert_eq!(s.excluded, 1);
+        assert!((s.avg_degradation - 0.1).abs() < 1e-12);
+        assert!((s.avg_relative_cost + 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,240 @@
+//! DAG file I/O: a minimal line-oriented text format plus Graphviz DOT
+//! export.
+//!
+//! The text format is self-describing and diff-friendly:
+//!
+//! ```text
+//! rsg-dag v1
+//! name montage-1629
+//! refclock 1500
+//! task 0 8.2
+//! task 1 2.0
+//! edge 0 1 0.0032
+//! end
+//! ```
+//!
+//! Task ids must be dense `0..n` and appear before the edges that use
+//! them. Costs are seconds (reference CPU / reference bandwidth).
+
+use crate::graph::{Dag, DagBuilder, TaskId};
+use std::fmt;
+
+/// Errors from decoding the DAG text format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagIoError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Message.
+    pub msg: String,
+}
+
+impl fmt::Display for DagIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dag decode error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for DagIoError {}
+
+/// Serializes a DAG to the text format.
+pub fn write_dag(dag: &Dag) -> String {
+    let mut out = String::with_capacity(dag.len() * 16);
+    out.push_str("rsg-dag v1\n");
+    if !dag.name().is_empty() {
+        out.push_str(&format!("name {}\n", dag.name()));
+    }
+    out.push_str(&format!("refclock {}\n", dag.reference_clock_mhz()));
+    for t in dag.tasks() {
+        out.push_str(&format!("task {} {}\n", t.0, dag.comp(t)));
+    }
+    for t in dag.tasks() {
+        for e in dag.children(t) {
+            out.push_str(&format!("edge {} {} {}\n", t.0, e.task.0, e.comm));
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses the text format.
+pub fn read_dag(text: &str) -> Result<Dag, DagIoError> {
+    let err = |line: usize, msg: &str| DagIoError {
+        line,
+        msg: msg.to_string(),
+    };
+    let mut lines = text.lines().enumerate();
+    let (i, header) = lines
+        .next()
+        .ok_or_else(|| err(1, "empty document"))?;
+    if header.trim() != "rsg-dag v1" {
+        return Err(err(i + 1, "expected 'rsg-dag v1' header"));
+    }
+
+    let mut b = DagBuilder::new();
+    let mut next_task = 0u32;
+    let mut saw_end = false;
+    for (i, raw) in lines {
+        let line = raw.trim();
+        let lno = i + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("name") => {
+                b.name(parts.collect::<Vec<_>>().join(" "));
+            }
+            Some("refclock") => {
+                let v: f64 = parts
+                    .next()
+                    .ok_or_else(|| err(lno, "refclock needs a value"))?
+                    .parse()
+                    .map_err(|_| err(lno, "bad refclock"))?;
+                b.reference_clock_mhz(v);
+            }
+            Some("task") => {
+                let id: u32 = parts
+                    .next()
+                    .ok_or_else(|| err(lno, "task needs an id"))?
+                    .parse()
+                    .map_err(|_| err(lno, "bad task id"))?;
+                if id != next_task {
+                    return Err(err(lno, "task ids must be dense and in order"));
+                }
+                let comp: f64 = parts
+                    .next()
+                    .ok_or_else(|| err(lno, "task needs a cost"))?
+                    .parse()
+                    .map_err(|_| err(lno, "bad task cost"))?;
+                b.add_task(comp);
+                next_task += 1;
+            }
+            Some("edge") => {
+                let mut num = |what: &str| -> Result<f64, DagIoError> {
+                    parts
+                        .next()
+                        .ok_or_else(|| err(lno, what))?
+                        .parse()
+                        .map_err(|_| err(lno, what))
+                };
+                let p = num("edge needs a parent id")? as u32;
+                let c = num("edge needs a child id")? as u32;
+                let w = num("edge needs a cost")?;
+                b.add_edge(TaskId(p), TaskId(c), w)
+                    .map_err(|e| err(lno, &e.to_string()))?;
+            }
+            Some("end") => {
+                saw_end = true;
+                break;
+            }
+            Some(other) => return Err(err(lno, &format!("unknown directive '{other}'"))),
+            None => unreachable!(),
+        }
+    }
+    if !saw_end {
+        return Err(err(text.lines().count(), "missing 'end'"));
+    }
+    b.build().map_err(|e| err(0, &e.to_string()))
+}
+
+/// Exports a DAG as Graphviz DOT (tasks labeled with their costs).
+pub fn to_dot(dag: &Dag) -> String {
+    let mut out = String::from("digraph rsg {\n  rankdir=TB;\n  node [shape=circle];\n");
+    for t in dag.tasks() {
+        out.push_str(&format!(
+            "  t{} [label=\"t{}\\n{:.1}s\"];\n",
+            t.0,
+            t.0,
+            dag.comp(t)
+        ));
+    }
+    for t in dag.tasks() {
+        for e in dag.children(t) {
+            out.push_str(&format!(
+                "  t{} -> t{} [label=\"{:.2}\"];\n",
+                t.0, e.task.0, e.comm
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DagStats;
+
+    #[test]
+    fn round_trip_montage() {
+        let dag = crate::montage::montage_1629_actual();
+        let text = write_dag(&dag);
+        let back = read_dag(&text).unwrap();
+        assert_eq!(back.len(), dag.len());
+        assert_eq!(back.edge_count(), dag.edge_count());
+        assert_eq!(back.name(), dag.name());
+        assert_eq!(DagStats::measure(&back), DagStats::measure(&dag));
+    }
+
+    #[test]
+    fn round_trip_random() {
+        let dag = crate::RandomDagSpec {
+            size: 120,
+            ccr: 0.4,
+            parallelism: 0.6,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 10.0,
+        }
+        .generate(9);
+        let back = read_dag(&write_dag(&dag)).unwrap();
+        assert_eq!(back.level_sizes(), dag.level_sizes());
+        let (a, b) = (DagStats::measure(&dag), DagStats::measure(&back));
+        assert!((a.ccr - b.ccr).abs() < 1e-12);
+        assert!((a.mean_comp - b.mean_comp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert!(read_dag("").is_err());
+        assert!(read_dag("not a header\n").is_err());
+        let e = read_dag("rsg-dag v1\ntask 1 5\nend\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("dense"));
+        let e = read_dag("rsg-dag v1\ntask 0 5\nedge 0 9 1\nend\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = read_dag("rsg-dag v1\ntask 0 5\n").unwrap_err();
+        assert!(e.msg.contains("missing 'end'"));
+        let e = read_dag("rsg-dag v1\nfrobnicate\nend\n").unwrap_err();
+        assert!(e.msg.contains("unknown directive"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ok() {
+        let text = "rsg-dag v1\n# a comment\n\ntask 0 5\ntask 1 6\nedge 0 1 0.5\nend\n";
+        let dag = read_dag(text).unwrap();
+        assert_eq!(dag.len(), 2);
+        assert_eq!(dag.edge_count(), 1);
+    }
+
+    #[test]
+    fn dot_export_mentions_every_task() {
+        let dag = crate::workflows::fork_join(1, 3, 2.0, 0.1);
+        let dot = to_dot(&dag);
+        assert!(dot.starts_with("digraph"));
+        for t in dag.tasks() {
+            assert!(dot.contains(&format!("t{} ", t.0)) || dot.contains(&format!("t{} [", t.0)));
+        }
+        assert_eq!(dot.matches("->").count(), dag.edge_count());
+    }
+
+    #[test]
+    fn name_with_spaces_round_trips() {
+        let mut b = DagBuilder::new();
+        b.name("my cool workflow");
+        b.add_task(1.0);
+        let dag = b.build().unwrap();
+        let back = read_dag(&write_dag(&dag)).unwrap();
+        assert_eq!(back.name(), "my cool workflow");
+    }
+}

@@ -1,0 +1,301 @@
+//! The Montage astronomy workflow (Sections IV.2.1, V.3.4.1, VII.2).
+//!
+//! Montage builds a mosaic of a sky region on demand. Its workflow is a
+//! seven-level DAG (Table IV-2); the two instances evaluated in the paper
+//! are the 1629-task (three square degree) and 4469-task (five square
+//! degree, M16/Eagle-Nebula) mosaics with level populations from Table
+//! V-8:
+//!
+//! | level | task          | 1629-task | 4469-task | runtime (s @1.5 GHz) |
+//! |-------|---------------|-----------|-----------|----------------------|
+//! | 1     | mProject      | 334       | 892       | 8.2                  |
+//! | 2     | mDiffFit      | 935       | 2633      | 2                    |
+//! | 3     | mConcatFit    | 1         | 1         | 68                   |
+//! | 4     | mBgModel      | 1         | 1         | 56                   |
+//! | 5     | mBackground   | 334       | 892       | 1                    |
+//! | 6     | mImgtbl       | 12        | 25        | 6                    |
+//! | 7     | mAdd          | 12        | 25        | 40                   |
+//!
+//! Wiring (reconstructed from the figure descriptions): every mDiffFit
+//! compares two overlapping reprojected images (two mProject parents);
+//! mConcatFit gathers all difference fits; mBgModel consumes the global
+//! fit; every mBackground corrects one reprojected image (parents:
+//! mBgModel and the corresponding mProject); mImgtbl tiles partition the
+//! corrected images; each mAdd registers one tile.
+//!
+//! Communication: intermediate files range from ~300 bytes to ~4 MB
+//! (Section IV.3.1), negligible at the 10 Gbps reference bandwidth; the
+//! [`MontageSpec::ccr`] knob rescales all edges to a target CCR as the
+//! paper does in Figures IV-6…IV-8.
+
+use crate::graph::{Dag, DagBuilder, TaskId};
+use crate::REFERENCE_BANDWIDTH_BPS;
+
+/// Per-level task runtimes on the 1.5 GHz reference host (Table IV-2).
+pub const MONTAGE_RUNTIMES: [f64; 7] = [8.2, 2.0, 68.0, 56.0, 1.0, 6.0, 40.0];
+
+/// Task names per level.
+pub const MONTAGE_TASK_NAMES: [&str; 7] = [
+    "mProject",
+    "mDiffFit",
+    "mConcatFit",
+    "mBgModel",
+    "mBackground",
+    "mImgtbl",
+    "mAdd",
+];
+
+/// Level populations of the 4469-task (five square degree) instance.
+pub const MONTAGE_4469_LEVELS: [usize; 7] = [892, 2633, 1, 1, 892, 25, 25];
+
+/// Level populations of the 1629-task (three square degree) instance.
+pub const MONTAGE_1629_LEVELS: [usize; 7] = [334, 935, 1, 1, 334, 12, 12];
+
+/// Communication model for the Montage edges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MontageComm {
+    /// Actual file sizes: ~4 MB images, ~300 B fit tables (Section
+    /// IV.3.1), converted to seconds at the reference bandwidth.
+    ActualFiles,
+    /// All edge costs scaled so the DAG-wide CCR equals the target
+    /// (e.g. 1.0 in Figure IV-6), computed as `ccr × w_v(parent)`.
+    Ccr(f64),
+}
+
+/// Parameterized Montage workflow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MontageSpec {
+    /// Number of mProject (input image) tasks.
+    pub projects: usize,
+    /// Number of mDiffFit tasks.
+    pub diffs: usize,
+    /// Number of mosaic tiles (mImgtbl/mAdd pairs).
+    pub tiles: usize,
+    /// Communication model.
+    pub comm: MontageComm,
+}
+
+impl MontageSpec {
+    /// The 4469-task instance of Tables IV-2 / V-8.
+    pub fn m4469(comm: MontageComm) -> MontageSpec {
+        MontageSpec {
+            projects: MONTAGE_4469_LEVELS[0],
+            diffs: MONTAGE_4469_LEVELS[1],
+            tiles: MONTAGE_4469_LEVELS[5],
+            comm,
+        }
+    }
+
+    /// The 1629-task instance of Table V-8.
+    pub fn m1629(comm: MontageComm) -> MontageSpec {
+        MontageSpec {
+            projects: MONTAGE_1629_LEVELS[0],
+            diffs: MONTAGE_1629_LEVELS[1],
+            tiles: MONTAGE_1629_LEVELS[5],
+            comm,
+        }
+    }
+
+    /// A parametric instance scaled from `projects` input images, using
+    /// the same diff/tile ratios as the 4469-task mosaic.
+    pub fn scaled(projects: usize, comm: MontageComm) -> MontageSpec {
+        let projects = projects.max(2);
+        MontageSpec {
+            projects,
+            diffs: ((projects as f64) * 2633.0 / 892.0).round() as usize,
+            tiles: (((projects as f64) * 25.0 / 892.0).round() as usize).max(1),
+            comm,
+        }
+    }
+
+    /// Total number of tasks in the generated workflow.
+    pub fn total_tasks(&self) -> usize {
+        self.projects * 2 + self.diffs + 2 + self.tiles * 2
+    }
+
+    /// Generates the workflow DAG.
+    pub fn generate(&self) -> Dag {
+        let n = self.total_tasks();
+        let mut b = DagBuilder::with_capacity(n, self.diffs * 3 + self.projects * 3);
+        b.name(format!("montage-{n}"));
+
+        let image_file = 4.0e6 * 8.0 / REFERENCE_BANDWIDTH_BPS; // 4 MB
+        let table_file = 300.0 * 8.0 / REFERENCE_BANDWIDTH_BPS; // 300 B
+        let comm = |parent_comp: f64, big: bool| -> f64 {
+            match self.comm {
+                MontageComm::ActualFiles => {
+                    if big {
+                        image_file
+                    } else {
+                        table_file
+                    }
+                }
+                MontageComm::Ccr(ccr) => ccr * parent_comp,
+            }
+        };
+
+        // Level 1: mProject.
+        let projects: Vec<TaskId> = (0..self.projects)
+            .map(|_| b.add_task(MONTAGE_RUNTIMES[0]))
+            .collect();
+
+        // Level 2: mDiffFit, two overlapping-image parents each.
+        let mut diffs: Vec<TaskId> = Vec::with_capacity(self.diffs);
+        for j in 0..self.diffs {
+            let t = b.add_task(MONTAGE_RUNTIMES[1]);
+            let p = self.projects;
+            let a = j % p;
+            // A second, distinct neighbour; stride grows with the wrap
+            // count so pairs stay distinct across the ~3x oversampling.
+            let stride = 1 + j / p;
+            let mut c = (a + stride) % p;
+            if c == a {
+                c = (a + 1) % p;
+            }
+            b.add_edge(projects[a], t, comm(MONTAGE_RUNTIMES[0], true))
+                .unwrap();
+            b.add_edge(projects[c], t, comm(MONTAGE_RUNTIMES[0], true))
+                .unwrap();
+            diffs.push(t);
+        }
+
+        // Level 3: mConcatFit gathers every difference fit.
+        let concat = b.add_task(MONTAGE_RUNTIMES[2]);
+        for &d in &diffs {
+            b.add_edge(d, concat, comm(MONTAGE_RUNTIMES[1], false))
+                .unwrap();
+        }
+
+        // Level 4: mBgModel.
+        let bgmodel = b.add_task(MONTAGE_RUNTIMES[3]);
+        b.add_edge(concat, bgmodel, comm(MONTAGE_RUNTIMES[2], false))
+            .unwrap();
+
+        // Level 5: mBackground, one per input image; parents: the global
+        // background model plus the image's own mProject output.
+        let mut backgrounds: Vec<TaskId> = Vec::with_capacity(self.projects);
+        for (i, &p) in projects.iter().enumerate() {
+            let t = b.add_task(MONTAGE_RUNTIMES[4]);
+            b.add_edge(bgmodel, t, comm(MONTAGE_RUNTIMES[3], false))
+                .unwrap();
+            b.add_edge(p, t, comm(MONTAGE_RUNTIMES[0], true)).unwrap();
+            backgrounds.push(t);
+            let _ = i;
+        }
+
+        // Level 6/7: mImgtbl + mAdd per tile; images partitioned across
+        // tiles round-robin.
+        for tile in 0..self.tiles {
+            let imgtbl = b.add_task(MONTAGE_RUNTIMES[5]);
+            for (i, &bg) in backgrounds.iter().enumerate() {
+                if i % self.tiles == tile {
+                    b.add_edge(bg, imgtbl, comm(MONTAGE_RUNTIMES[4], true))
+                        .unwrap();
+                }
+            }
+            let add = b.add_task(MONTAGE_RUNTIMES[6]);
+            b.add_edge(imgtbl, add, comm(MONTAGE_RUNTIMES[5], true))
+                .unwrap();
+        }
+
+        b.build().expect("montage generator produces a valid DAG")
+    }
+}
+
+/// Convenience: the 4469-task mosaic with actual file-transfer costs.
+pub fn montage_4469_actual() -> Dag {
+    MontageSpec::m4469(MontageComm::ActualFiles).generate()
+}
+
+/// Convenience: the 1629-task mosaic with actual file-transfer costs.
+pub fn montage_1629_actual() -> Dag {
+    MontageSpec::m1629(MontageComm::ActualFiles).generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DagStats;
+
+    #[test]
+    fn montage_4469_level_populations_match_table() {
+        let d = montage_4469_actual();
+        assert_eq!(d.len(), 4469);
+        assert_eq!(
+            d.level_sizes(),
+            &[892, 2633, 1, 1, 892, 25, 25],
+            "Table V-8 populations"
+        );
+        assert_eq!(d.width(), 2633);
+        assert_eq!(d.height(), 7);
+    }
+
+    #[test]
+    fn montage_1629_level_populations_match_table() {
+        let d = montage_1629_actual();
+        assert_eq!(d.len(), 1629);
+        assert_eq!(d.level_sizes(), &[334, 935, 1, 1, 334, 12, 12]);
+    }
+
+    #[test]
+    fn montage_has_negative_regularity() {
+        // Section V.3.4.1: "Both of these Montage DAGs have negative
+        // regularity numbers."
+        for d in [montage_4469_actual(), montage_1629_actual()] {
+            let s = DagStats::measure(&d);
+            assert!(s.regularity < 0.0, "measured {}", s.regularity);
+        }
+    }
+
+    #[test]
+    fn actual_comm_costs_are_small() {
+        // Largest file is 4 MB at 10 Gbps = 3.2 ms: CCR well below 0.01.
+        let d = montage_4469_actual();
+        let s = DagStats::measure(&d);
+        assert!(s.ccr < 0.01, "measured {}", s.ccr);
+    }
+
+    #[test]
+    fn ccr_mode_hits_target() {
+        let d = MontageSpec::m4469(MontageComm::Ccr(1.0)).generate();
+        let s = DagStats::measure(&d);
+        assert!((s.ccr - 1.0).abs() < 1e-9, "measured {}", s.ccr);
+    }
+
+    #[test]
+    fn diff_parents_are_two_distinct_projects() {
+        let d = montage_4469_actual();
+        // Level-1 tasks are the mDiffFit band.
+        for t in d.tasks().filter(|t| d.level(*t) == 1) {
+            let ps = d.parents(t);
+            assert_eq!(ps.len(), 2);
+            assert_ne!(ps[0].task, ps[1].task);
+            assert_eq!(d.level(ps[0].task), 0);
+            assert_eq!(d.level(ps[1].task), 0);
+        }
+    }
+
+    #[test]
+    fn concat_gathers_all_diffs() {
+        let d = montage_1629_actual();
+        let concat = d.tasks().find(|t| d.level(*t) == 2).unwrap();
+        assert_eq!(d.parents(concat).len(), 935);
+    }
+
+    #[test]
+    fn scaled_instance_plausible() {
+        let spec = MontageSpec::scaled(100, MontageComm::Ccr(0.1));
+        let d = spec.generate();
+        assert_eq!(d.height(), 7);
+        assert_eq!(d.len(), spec.total_tasks());
+    }
+
+    #[test]
+    fn every_add_has_one_imgtbl_parent() {
+        let d = montage_4469_actual();
+        for t in d.tasks().filter(|t| d.level(*t) == 6) {
+            assert_eq!(d.parents(t).len(), 1);
+            assert_eq!(d.level(d.parents(t)[0].task), 5);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Auxiliary workflow shapes mentioned by the paper.
+//!
+//! Section V.3.4 points out two application classes that do *not* need
+//! the size-prediction model: compute-intensive bags such as EMAN (the
+//! DAG width is optimal) and parallel-chain structures such as the SCEC
+//! earthquake workflows (the number of chains is optimal). These
+//! generators let the tests and examples demonstrate both claims, and
+//! provide simple fixtures (chains, bags, fork/join) for unit tests.
+
+use crate::graph::{Dag, DagBuilder, TaskId};
+
+/// A linear chain of `n` tasks (parallelism 0): each task depends on the
+/// previous one.
+pub fn chain(n: usize, comp: f64, comm: f64) -> Dag {
+    assert!(n >= 1);
+    let mut b = DagBuilder::with_capacity(n, n.saturating_sub(1));
+    b.name(format!("chain-{n}"));
+    let mut prev: Option<TaskId> = None;
+    for _ in 0..n {
+        let t = b.add_task(comp);
+        if let Some(p) = prev {
+            b.add_edge(p, t, comm).unwrap();
+        }
+        prev = Some(t);
+    }
+    b.build().unwrap()
+}
+
+/// A bag of `n` independent tasks (parallelism 1) — the EMAN-style
+/// compute-intensive shape.
+pub fn bag(n: usize, comp: f64) -> Dag {
+    assert!(n >= 1);
+    let mut b = DagBuilder::with_capacity(n, 0);
+    b.name(format!("bag-{n}"));
+    for _ in 0..n {
+        b.add_task(comp);
+    }
+    b.build().unwrap()
+}
+
+/// SCEC-style bundle: `chains` independent chains of `len` tasks each
+/// (Section V.3.4: "the SCEC DAGs are composed of parallel chains. For
+/// such DAGs, the optimal size would equal the number of chains").
+pub fn scec_chains(chains: usize, len: usize, comp: f64, comm: f64) -> Dag {
+    assert!(chains >= 1 && len >= 1);
+    let mut b = DagBuilder::with_capacity(chains * len, chains * len.saturating_sub(1));
+    b.name(format!("scec-{chains}x{len}"));
+    for _ in 0..chains {
+        let mut prev: Option<TaskId> = None;
+        for _ in 0..len {
+            let t = b.add_task(comp);
+            if let Some(p) = prev {
+                b.add_edge(p, t, comm).unwrap();
+            }
+            prev = Some(t);
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Fork/join pipeline: a source task fans out to `width` workers which
+/// join into a sink, repeated for `stages` stages.
+pub fn fork_join(stages: usize, width: usize, comp: f64, comm: f64) -> Dag {
+    assert!(stages >= 1 && width >= 1);
+    let mut b = DagBuilder::with_capacity(stages * (width + 2), stages * width * 2);
+    b.name(format!("forkjoin-{stages}x{width}"));
+    let mut prev_sink: Option<TaskId> = None;
+    for _ in 0..stages {
+        let src = b.add_task(comp);
+        if let Some(ps) = prev_sink {
+            b.add_edge(ps, src, comm).unwrap();
+        }
+        let sink = b.add_task(comp);
+        for _ in 0..width {
+            let w = b.add_task(comp);
+            b.add_edge(src, w, comm).unwrap();
+            b.add_edge(w, sink, comm).unwrap();
+        }
+        prev_sink = Some(sink);
+    }
+    b.build().unwrap()
+}
+
+/// EMAN-style refinement: a huge bag of equal compute-heavy "classalign"
+/// tasks between thin pre/post phases — the width dominates everything.
+pub fn eman_like(width: usize, comp: f64) -> Dag {
+    assert!(width >= 1);
+    let mut b = DagBuilder::with_capacity(width + 2, width * 2);
+    b.name(format!("eman-{width}"));
+    let pre = b.add_task(comp / 10.0);
+    let post = b.add_task(comp / 10.0);
+    for _ in 0..width {
+        let t = b.add_task(comp);
+        b.add_edge(pre, t, 0.001).unwrap();
+        b.add_edge(t, post, 0.001).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// LIGO-inspiral-style workflow (the physics workflows of Section
+/// III.1.1 [54, 55]): `groups` independent template banks, each a
+/// fan-out of `width` matched-filter tasks feeding a per-group
+/// coincidence task, with a final global veto/merge stage.
+pub fn ligo_like(groups: usize, width: usize, comp: f64, comm: f64) -> Dag {
+    assert!(groups >= 1 && width >= 1);
+    let mut b = DagBuilder::with_capacity(groups * (width + 2) + 1, groups * (2 * width + 2));
+    b.name(format!("ligo-{groups}x{width}"));
+    let merge = b.add_task(comp);
+    for _ in 0..groups {
+        let bank = b.add_task(comp / 4.0);
+        let coinc = b.add_task(comp / 2.0);
+        for _ in 0..width {
+            let filt = b.add_task(comp);
+            b.add_edge(bank, filt, comm).unwrap();
+            b.add_edge(filt, coinc, comm).unwrap();
+        }
+        b.add_edge(coinc, merge, comm).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// CyberShake-style post-processing: `sites` independent two-stage
+/// pipelines (seismogram synthesis then peak extraction) over shared
+/// rupture inputs, gathered by one hazard-curve task.
+pub fn cybershake_like(sites: usize, comp: f64, comm: f64) -> Dag {
+    assert!(sites >= 1);
+    let mut b = DagBuilder::with_capacity(2 * sites + 2, 3 * sites + 1);
+    b.name(format!("cybershake-{sites}"));
+    let rupture = b.add_task(comp / 2.0);
+    let hazard = b.add_task(comp);
+    for _ in 0..sites {
+        let synth = b.add_task(comp);
+        let peak = b.add_task(comp / 5.0);
+        b.add_edge(rupture, synth, comm).unwrap();
+        b.add_edge(synth, peak, comm).unwrap();
+        b.add_edge(peak, hazard, comm / 10.0).unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DagStats;
+
+    #[test]
+    fn chain_shape() {
+        let d = chain(12, 4.0, 1.0);
+        assert_eq!(d.len(), 12);
+        assert_eq!(d.height(), 12);
+        assert_eq!(d.width(), 1);
+        assert_eq!(d.edge_count(), 11);
+    }
+
+    #[test]
+    fn bag_shape() {
+        let d = bag(30, 2.0);
+        assert_eq!(d.height(), 1);
+        assert_eq!(d.width(), 30);
+        assert_eq!(d.edge_count(), 0);
+    }
+
+    #[test]
+    fn scec_shape() {
+        let d = scec_chains(8, 5, 10.0, 0.1);
+        assert_eq!(d.len(), 40);
+        assert_eq!(d.height(), 5);
+        assert_eq!(d.width(), 8);
+        // Each level holds exactly one task per chain.
+        assert!(d.level_sizes().iter().all(|&s| s == 8));
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let d = fork_join(3, 4, 1.0, 0.5);
+        assert_eq!(d.len(), 3 * 6);
+        // stages chain: src, workers, sink per stage => 3 levels/stage.
+        assert_eq!(d.height(), 9);
+        assert_eq!(d.width(), 4);
+    }
+
+    #[test]
+    fn ligo_shape() {
+        let d = ligo_like(4, 10, 20.0, 1.0);
+        assert_eq!(d.len(), 1 + 4 * 12);
+        // bank -> filters -> coinc -> merge: 4 levels.
+        assert_eq!(d.height(), 4);
+        assert_eq!(d.width(), 40);
+        // Exactly one exit (the merge).
+        assert_eq!(d.exits().count(), 1);
+    }
+
+    #[test]
+    fn cybershake_shape() {
+        let d = cybershake_like(16, 30.0, 2.0);
+        assert_eq!(d.len(), 2 + 32);
+        assert_eq!(d.height(), 4);
+        assert_eq!(d.width(), 16);
+        assert_eq!(d.entries().count(), 1);
+        assert_eq!(d.exits().count(), 1);
+    }
+
+    #[test]
+    fn eman_is_wide_and_compute_bound() {
+        let d = eman_like(100, 50.0);
+        let s = DagStats::measure(&d);
+        assert_eq!(d.width(), 100);
+        assert!(s.ccr < 0.01);
+        assert_eq!(d.height(), 3);
+    }
+}

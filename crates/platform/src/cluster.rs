@@ -1,0 +1,105 @@
+//! Clusters — the building blocks of LSDEs (Section III.2.1).
+//!
+//! Following the paper's compute-resource model, a cluster is a set of
+//! hosts with (nearly) identical characteristics: the same architecture,
+//! clock rate and memory. Heterogeneity in the LSDE arises *between*
+//! clusters.
+
+use std::fmt;
+
+/// Identifier of a cluster within one [`Platform`](crate::Platform).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterId(pub u32);
+
+impl ClusterId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Processor architecture of a cluster's hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// AMD Opteron.
+    Opteron,
+    /// Intel Xeon.
+    Xeon,
+    /// Intel Pentium-class.
+    Pentium,
+}
+
+impl Arch {
+    /// Canonical string as used in resource descriptions ("OPTERON",
+    /// "XEON", "INTEL").
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Arch::Opteron => "OPTERON",
+            Arch::Xeon => "XEON",
+            Arch::Pentium => "INTEL",
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One cluster of homogeneous hosts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Identifier within the platform.
+    pub id: ClusterId,
+    /// Number of hosts.
+    pub hosts: u32,
+    /// Per-host clock rate, MHz.
+    pub clock_mhz: f64,
+    /// Per-host memory, MB.
+    pub memory_mb: u32,
+    /// Host architecture.
+    pub arch: Arch,
+    /// Deployment year (drives the clock-rate distribution in the
+    /// generator).
+    pub year: u32,
+}
+
+impl Cluster {
+    /// Aggregate compute capacity of the cluster in GHz (hosts × clock).
+    pub fn capacity_ghz(&self) -> f64 {
+        self.hosts as f64 * self.clock_mhz / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity() {
+        let c = Cluster {
+            id: ClusterId(0),
+            hosts: 10,
+            clock_mhz: 2500.0,
+            memory_mb: 2048,
+            arch: Arch::Xeon,
+            year: 2006,
+        };
+        assert!((c.capacity_ghz() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arch_strings() {
+        assert_eq!(Arch::Opteron.as_str(), "OPTERON");
+        assert_eq!(Arch::Xeon.to_string(), "XEON");
+        assert_eq!(Arch::Pentium.as_str(), "INTEL");
+    }
+}

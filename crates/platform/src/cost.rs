@@ -1,0 +1,86 @@
+//! Resource cost model (Section V.3.2.1).
+//!
+//! "Rather than coming up with an arbitrary metric, we chose to use the
+//! same one as an existing production system …: Amazon's Elastic Cloud.
+//! In this system, each 'instance', that is a (virtual) 1.7 GHz x86
+//! processor machine, is $0.10 per hour. We simply scale this cost by
+//! our simulated resources' clock rates and compute total cost for
+//! application executions."
+
+use crate::rc::ResourceCollection;
+
+/// EC2-derived cost model: dollars per hour per 1.7 GHz instance, scaled
+/// linearly by clock rate. Hosts are charged for the full duration the
+/// collection is held.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Price of a 1.7 GHz instance per hour (default $0.10).
+    pub dollars_per_hour: f64,
+    /// Reference clock of the priced instance, MHz (default 1700).
+    pub reference_clock_mhz: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            dollars_per_hour: 0.10,
+            reference_clock_mhz: 1700.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Hourly rate of one host at `clock_mhz`.
+    pub fn host_rate(&self, clock_mhz: f64) -> f64 {
+        self.dollars_per_hour * clock_mhz / self.reference_clock_mhz
+    }
+
+    /// Cost of holding the whole RC for `duration_s` seconds.
+    pub fn execution_cost(&self, rc: &ResourceCollection, duration_s: f64) -> f64 {
+        let hours = duration_s / 3600.0;
+        rc.clocks().iter().map(|&c| self.host_rate(c)).sum::<f64>() * hours
+    }
+
+    /// The paper's *relative cost*: cost of the evaluated configuration
+    /// versus the optimal one, as a signed fraction. "A positive value
+    /// … indicates the prediction model predicted a size greater than
+    /// the size for the optimal application turn-around time"; negative
+    /// means cheaper.
+    pub fn relative_cost(&self, evaluated: f64, optimal: f64) -> f64 {
+        if optimal == 0.0 {
+            0.0
+        } else {
+            evaluated / optimal - 1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rc::ResourceCollection;
+
+    #[test]
+    fn reference_instance_is_ten_cents() {
+        let m = CostModel::default();
+        assert!((m.host_rate(1700.0) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_scales_with_clock_size_and_time() {
+        let m = CostModel::default();
+        let rc = ResourceCollection::homogeneous(10, 3400.0);
+        // 10 hosts at 2x the reference rate for half an hour = 10*0.2*0.5
+        let c = m.execution_cost(&rc, 1800.0);
+        assert!((c - 1.0).abs() < 1e-12, "cost {c}");
+    }
+
+    #[test]
+    fn relative_cost_signs() {
+        let m = CostModel::default();
+        assert!(m.relative_cost(2.0, 1.0) > 0.0);
+        assert!(m.relative_cost(0.5, 1.0) < 0.0);
+        assert_eq!(m.relative_cost(1.0, 1.0), 0.0);
+        assert_eq!(m.relative_cost(1.0, 0.0), 0.0);
+    }
+}

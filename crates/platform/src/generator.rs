@@ -1,0 +1,237 @@
+//! Synthetic compute-resource generator (Section III.2.1).
+//!
+//! Re-implementation of the Kee/Casanova/Chien generator the paper uses:
+//! it instantiates an LSDE as a list of clusters whose sizes and clock
+//! rates follow statistical models of deployed resources, with a
+//! *technology year* knob so future, larger platforms can be explored.
+//!
+//! Model choices (documented substitutions — the original generator's
+//! exact parameterization is not in the paper):
+//!
+//! * cluster sizes are log-normal, calibrated so the default 1000-cluster
+//!   universe holds ≈ 33.7 hosts per cluster (the paper's 33,667-host
+//!   universe); an optional `target_hosts` pins the total host count
+//!   exactly by adjusting the final clusters;
+//! * clock rates follow a purchase-age model: a cluster deployed `a`
+//!   years before the target year carries commodity CPUs between 55% and
+//!   100% of that year's top clock, with the top clock growing ~30% per
+//!   year from a 3.2 GHz baseline in 2005 (clamped to plausible
+//!   commodity range);
+//! * architectures are drawn 40% Xeon / 35% Opteron / 25% Pentium;
+//! * memory correlates loosely with clock (0.25 MB per MHz, quantized to
+//!   powers of two between 512 MB and 8 GB).
+
+use crate::cluster::{Arch, Cluster, ClusterId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic compute-resource generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceGenSpec {
+    /// Number of clusters to generate.
+    pub clusters: usize,
+    /// Technology year; drives the clock-rate distribution.
+    pub year: u32,
+    /// If set, the total host count is adjusted to exactly this value.
+    pub target_hosts: Option<usize>,
+}
+
+impl Default for ResourceGenSpec {
+    fn default() -> Self {
+        ResourceGenSpec {
+            clusters: 1000,
+            year: 2006,
+            target_hosts: None,
+        }
+    }
+}
+
+impl ResourceGenSpec {
+    /// The Chapter IV resource universe: 1000 clusters, 33,667 hosts.
+    pub fn paper_universe() -> ResourceGenSpec {
+        ResourceGenSpec {
+            clusters: 1000,
+            year: 2006,
+            target_hosts: Some(33_667),
+        }
+    }
+
+    /// Top commodity clock rate (MHz) for a given year.
+    pub fn top_clock_mhz(year: u32) -> f64 {
+        let base_year = 2005i32;
+        let growth: f64 = 1.30;
+        let dy = year as i32 - base_year;
+        (3200.0 * growth.powi(dy)).clamp(800.0, 32_000.0)
+    }
+
+    /// Generates the cluster list. Deterministic for a given
+    /// `(spec, seed)`.
+    pub fn generate(&self, seed: u64) -> Vec<Cluster> {
+        assert!(self.clusters >= 1, "need at least one cluster");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(self.clusters);
+        for i in 0..self.clusters {
+            let hosts = sample_cluster_size(&mut rng);
+            let age = rng.gen_range(0.0..3.0);
+            let deploy_year = (self.year as f64 - age).floor() as u32;
+            let top = Self::top_clock_mhz(deploy_year);
+            let clock = quantize_clock(top * rng.gen_range(0.55..1.0));
+            let arch = match rng.gen_range(0.0..1.0) {
+                x if x < 0.40 => Arch::Xeon,
+                x if x < 0.75 => Arch::Opteron,
+                _ => Arch::Pentium,
+            };
+            out.push(Cluster {
+                id: ClusterId(i as u32),
+                hosts,
+                clock_mhz: clock,
+                memory_mb: memory_for_clock(clock),
+                arch,
+                year: deploy_year,
+            });
+        }
+
+        if let Some(target) = self.target_hosts {
+            adjust_total_hosts(&mut out, target);
+        }
+        out
+    }
+}
+
+/// Log-normal cluster size: median 24 hosts, σ = 0.8 (mean ≈ 33),
+/// clamped to [1, 1024].
+fn sample_cluster_size<R: Rng>(rng: &mut R) -> u32 {
+    let mu = (24.0f64).ln();
+    let sigma = 0.8;
+    let z = standard_normal(rng);
+    let size = (mu + sigma * z).exp().round();
+    (size as u32).clamp(1, 1024)
+}
+
+/// Box–Muller standard normal (kept in-repo to stay within the allowed
+/// crate set).
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Clocks are sold in 100 MHz steps.
+fn quantize_clock(mhz: f64) -> f64 {
+    (mhz / 100.0).round() * 100.0
+}
+
+/// Memory loosely correlated with clock, power-of-two MB in [512, 8192].
+fn memory_for_clock(clock_mhz: f64) -> u32 {
+    let raw = clock_mhz * 0.25 * 4.0; // ~1 GB per GHz
+    let mut mem = 512u32;
+    while (mem as f64) < raw && mem < 8192 {
+        mem *= 2;
+    }
+    mem
+}
+
+/// Adds/removes hosts from the tail clusters until the total matches.
+fn adjust_total_hosts(clusters: &mut [Cluster], target: usize) {
+    let mut total: isize = clusters.iter().map(|c| c.hosts as isize).sum();
+    let want = target as isize;
+    let n = clusters.len();
+    let mut i = 0usize;
+    while total != want {
+        let c = &mut clusters[n - 1 - (i % n)];
+        if total < want {
+            c.hosts += 1;
+            total += 1;
+        } else if c.hosts > 1 {
+            c.hosts -= 1;
+            total -= 1;
+        }
+        i += 1;
+        // Safety valve: cannot shrink below one host per cluster.
+        if i > 10_000_000 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_universe_host_count_is_exact() {
+        let clusters = ResourceGenSpec::paper_universe().generate(42);
+        assert_eq!(clusters.len(), 1000);
+        let hosts: u32 = clusters.iter().map(|c| c.hosts).sum();
+        assert_eq!(hosts, 33_667);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = ResourceGenSpec::default();
+        let a = spec.generate(1);
+        let b = spec.generate(1);
+        assert_eq!(a, b);
+        let c = spec.generate(2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clock_rates_in_plausible_range() {
+        let clusters = ResourceGenSpec::default().generate(7);
+        for c in &clusters {
+            assert!(
+                c.clock_mhz >= 800.0 && c.clock_mhz <= 6000.0,
+                "clock {} out of 2006-era range",
+                c.clock_mhz
+            );
+            assert_eq!(c.clock_mhz % 100.0, 0.0);
+        }
+    }
+
+    #[test]
+    fn year_trend_increases_clocks() {
+        let c2006 = ResourceGenSpec::top_clock_mhz(2006);
+        let c2010 = ResourceGenSpec::top_clock_mhz(2010);
+        assert!(c2010 > c2006 * 2.0);
+    }
+
+    #[test]
+    fn mean_cluster_size_near_paper() {
+        let clusters = ResourceGenSpec {
+            clusters: 4000,
+            year: 2006,
+            target_hosts: None,
+        }
+        .generate(3);
+        let mean =
+            clusters.iter().map(|c| c.hosts as f64).sum::<f64>() / clusters.len() as f64;
+        assert!(
+            (20.0..55.0).contains(&mean),
+            "mean cluster size {mean} should be near the paper's 33.7"
+        );
+    }
+
+    #[test]
+    fn memory_is_power_of_two_in_range() {
+        for c in ResourceGenSpec::default().generate(11) {
+            assert!(c.memory_mb.is_power_of_two());
+            assert!((512..=8192).contains(&c.memory_mb));
+        }
+    }
+
+    #[test]
+    fn adjust_handles_both_directions() {
+        let mut up = ResourceGenSpec {
+            clusters: 10,
+            year: 2006,
+            target_hosts: None,
+        }
+        .generate(5);
+        let total: u32 = up.iter().map(|c| c.hosts).sum();
+        adjust_total_hosts(&mut up, (total + 17) as usize);
+        assert_eq!(up.iter().map(|c| c.hosts).sum::<u32>(), total + 17);
+        adjust_total_hosts(&mut up, (total - 5) as usize);
+        assert_eq!(up.iter().map(|c| c.hosts).sum::<u32>(), total - 5);
+    }
+}

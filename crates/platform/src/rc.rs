@@ -1,0 +1,366 @@
+//! Resource collections (Chapter V).
+//!
+//! A *resource collection* (RC) is the set of hosts a resource-selection
+//! system hands to the application; the paper characterizes an RC by its
+//! size, its clock-rate heterogeneity, and the network-connectivity
+//! heterogeneity among its hosts (Section V.1). This module carries that
+//! triple in a form the scheduling heuristics can query in O(1) per
+//! task-host decision.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Communication-cost scaling between RC hosts.
+///
+/// Edge costs in a DAG are seconds at the reference bandwidth; placing
+/// parent and child on hosts `i ≠ j` multiplies the edge cost by
+/// `comm_factor(i, j) ≥ 1`. Same-host placement always costs zero.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommModel {
+    /// All pairs communicate at the reference bandwidth (homogeneous
+    /// connectivity, the Chapter V baseline).
+    Uniform,
+    /// Per-host slowdown factors; a pair is as slow as its slower
+    /// endpoint: `factor(i,j) = max(f_i, f_j)`.
+    PerHostFactor(Vec<f64>),
+    /// Cluster-structured connectivity: hosts belong to clusters, and a
+    /// dense `k×k` factor matrix gives the inter-cluster slowdown
+    /// (diagonal 1.0). Built from a [`Platform`](crate::Platform).
+    Clustered {
+        /// Cluster index of each host (into the factor matrix).
+        host_cluster: Vec<u32>,
+        /// Number of distinct clusters `k`.
+        k: usize,
+        /// Row-major `k×k` slowdown factors, ≥ 1, diagonal 1.
+        factors: Vec<f64>,
+    },
+}
+
+/// A set of hosts on which an application can be scheduled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceCollection {
+    clocks_mhz: Vec<f64>,
+    comm: CommModel,
+}
+
+impl ResourceCollection {
+    /// Builds an RC from explicit clocks and a communication model.
+    pub fn new(clocks_mhz: Vec<f64>, comm: CommModel) -> ResourceCollection {
+        assert!(!clocks_mhz.is_empty(), "an RC needs at least one host");
+        assert!(
+            clocks_mhz.iter().all(|c| c.is_finite() && *c > 0.0),
+            "clock rates must be positive"
+        );
+        if let CommModel::PerHostFactor(f) = &comm {
+            assert_eq!(f.len(), clocks_mhz.len());
+        }
+        if let CommModel::Clustered { host_cluster, k, factors } = &comm {
+            assert_eq!(host_cluster.len(), clocks_mhz.len());
+            assert_eq!(factors.len(), k * k);
+        }
+        ResourceCollection {
+            clocks_mhz,
+            comm,
+        }
+    }
+
+    /// A homogeneous RC: `size` hosts at `clock_mhz`, homogeneous
+    /// connectivity — the baseline of Section V.2.
+    pub fn homogeneous(size: usize, clock_mhz: f64) -> ResourceCollection {
+        ResourceCollection::new(vec![clock_mhz; size], CommModel::Uniform)
+    }
+
+    /// A clock-heterogeneous RC (Section V.4): clocks drawn uniformly in
+    /// `[clock·(1−h), clock]`, so `h = 0` is homogeneous and `h = 0.3`
+    /// means hosts as slow as 70% of the nominal clock. Deterministic
+    /// per `(size, h, seed)`, and *prefix-stable*: the first `k` hosts of
+    /// an RC of size `s₁ > k` equal the hosts of a size-`k` RC built with
+    /// the same seed, so turnaround-vs-size curves vary only the size.
+    pub fn heterogeneous(
+        size: usize,
+        clock_mhz: f64,
+        heterogeneity: f64,
+        seed: u64,
+    ) -> ResourceCollection {
+        assert!(
+            (0.0..1.0).contains(&heterogeneity),
+            "heterogeneity must be in [0,1)"
+        );
+        if heterogeneity == 0.0 {
+            return Self::homogeneous(size, clock_mhz);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lo = clock_mhz * (1.0 - heterogeneity);
+        let clocks = (0..size).map(|_| rng.gen_range(lo..=clock_mhz)).collect();
+        ResourceCollection::new(clocks, CommModel::Uniform)
+    }
+
+    /// Adds bandwidth heterogeneity (Section V.5): each host gets a link
+    /// slowdown factor drawn uniformly in `[1, 1/(1−h)]`.
+    pub fn with_bandwidth_heterogeneity(mut self, heterogeneity: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&heterogeneity),
+            "bandwidth heterogeneity must be in [0,1)"
+        );
+        if heterogeneity == 0.0 {
+            self.comm = CommModel::Uniform;
+            return self;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hi = 1.0 / (1.0 - heterogeneity);
+        let f = (0..self.len()).map(|_| rng.gen_range(1.0..=hi)).collect();
+        self.comm = CommModel::PerHostFactor(f);
+        self
+    }
+
+    /// Space-sharing model of Section III.2.3: "for a processor with
+    /// clock rate of 3.0 GHz that is being space shared by five virtual
+    /// processors, we can model each virtual processor as having clock
+    /// rate of 0.6 GHz and any application using that virtual processor
+    /// has dedicated access". Returns an RC with `ways` virtual
+    /// processors per physical host, each at `clock / ways`.
+    pub fn space_shared(&self, ways: u32) -> ResourceCollection {
+        assert!(ways >= 1, "space sharing needs at least one way");
+        let mut clocks = Vec::with_capacity(self.len() * ways as usize);
+        for &c in &self.clocks_mhz {
+            for _ in 0..ways {
+                clocks.push(c / ways as f64);
+            }
+        }
+        let comm = match &self.comm {
+            CommModel::Uniform => CommModel::Uniform,
+            CommModel::PerHostFactor(f) => {
+                let mut out = Vec::with_capacity(f.len() * ways as usize);
+                for &x in f {
+                    for _ in 0..ways {
+                        out.push(x);
+                    }
+                }
+                CommModel::PerHostFactor(out)
+            }
+            CommModel::Clustered {
+                host_cluster,
+                k,
+                factors,
+            } => {
+                let mut out = Vec::with_capacity(host_cluster.len() * ways as usize);
+                for &c in host_cluster {
+                    for _ in 0..ways {
+                        out.push(c);
+                    }
+                }
+                CommModel::Clustered {
+                    host_cluster: out,
+                    k: *k,
+                    factors: factors.clone(),
+                }
+            }
+        };
+        ResourceCollection::new(clocks, comm)
+    }
+
+    /// Number of hosts (the RC size).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.clocks_mhz.len()
+    }
+
+    /// True when the RC has no hosts (never for constructed RCs).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.clocks_mhz.is_empty()
+    }
+
+    /// Clock rate of host `i` in MHz.
+    #[inline]
+    pub fn clock_mhz(&self, i: usize) -> f64 {
+        self.clocks_mhz[i]
+    }
+
+    /// All clock rates.
+    #[inline]
+    pub fn clocks(&self) -> &[f64] {
+        &self.clocks_mhz
+    }
+
+    /// Fastest clock in the RC, MHz.
+    pub fn fastest_clock_mhz(&self) -> f64 {
+        self.clocks_mhz.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Slowest clock in the RC, MHz.
+    pub fn slowest_clock_mhz(&self) -> f64 {
+        self.clocks_mhz.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Measured clock heterogeneity `1 − min/max`.
+    pub fn clock_heterogeneity(&self) -> f64 {
+        1.0 - self.slowest_clock_mhz() / self.fastest_clock_mhz()
+    }
+
+    /// Execution-speed factor of host `i` relative to a DAG's reference
+    /// clock: task time on the host = `w_v / speed_factor`.
+    #[inline]
+    pub fn speed_factor(&self, i: usize, dag_ref_clock_mhz: f64) -> f64 {
+        self.clocks_mhz[i] / dag_ref_clock_mhz
+    }
+
+    /// Communication slowdown factor between hosts `i` and `j`
+    /// (`i == j` → 0: co-located tasks exchange data for free).
+    #[inline]
+    pub fn comm_factor(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        match &self.comm {
+            CommModel::Uniform => 1.0,
+            CommModel::PerHostFactor(f) => f[i].max(f[j]),
+            CommModel::Clustered {
+                host_cluster,
+                k,
+                factors,
+            } => {
+                let (a, b) = (host_cluster[i] as usize, host_cluster[j] as usize);
+                factors[a * k + b]
+            }
+        }
+    }
+
+    /// The communication model.
+    pub fn comm_model(&self) -> &CommModel {
+        &self.comm
+    }
+
+    /// The first `k` hosts as a new RC (used to sweep RC sizes over one
+    /// consistent host family). `k` is clamped to the RC size.
+    pub fn prefix(&self, k: usize) -> ResourceCollection {
+        let k = k.clamp(1, self.len());
+        let clocks = self.clocks_mhz[..k].to_vec();
+        let comm = match &self.comm {
+            CommModel::Uniform => CommModel::Uniform,
+            CommModel::PerHostFactor(f) => CommModel::PerHostFactor(f[..k].to_vec()),
+            CommModel::Clustered {
+                host_cluster,
+                k: nk,
+                factors,
+            } => CommModel::Clustered {
+                host_cluster: host_cluster[..k].to_vec(),
+                k: *nk,
+                factors: factors.clone(),
+            },
+        };
+        ResourceCollection::new(clocks, comm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_basics() {
+        let rc = ResourceCollection::homogeneous(8, 2800.0);
+        assert_eq!(rc.len(), 8);
+        assert_eq!(rc.clock_heterogeneity(), 0.0);
+        assert_eq!(rc.comm_factor(0, 0), 0.0);
+        assert_eq!(rc.comm_factor(0, 1), 1.0);
+        assert!((rc.speed_factor(3, 1400.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_range_and_determinism() {
+        let rc = ResourceCollection::heterogeneous(100, 3000.0, 0.3, 7);
+        assert!(rc.fastest_clock_mhz() <= 3000.0);
+        assert!(rc.slowest_clock_mhz() >= 2100.0 - 1e-9);
+        assert!(rc.clock_heterogeneity() <= 0.3 + 1e-9);
+        let rc2 = ResourceCollection::heterogeneous(100, 3000.0, 0.3, 7);
+        assert_eq!(rc, rc2);
+    }
+
+    #[test]
+    fn heterogeneous_prefix_stable() {
+        let big = ResourceCollection::heterogeneous(50, 3000.0, 0.4, 3);
+        let small = ResourceCollection::heterogeneous(20, 3000.0, 0.4, 3);
+        assert_eq!(&big.clocks()[..20], small.clocks());
+        assert_eq!(big.prefix(20), small);
+    }
+
+    #[test]
+    fn zero_heterogeneity_is_homogeneous() {
+        let rc = ResourceCollection::heterogeneous(5, 2000.0, 0.0, 1);
+        assert_eq!(rc, ResourceCollection::homogeneous(5, 2000.0));
+    }
+
+    #[test]
+    fn bandwidth_heterogeneity_factors() {
+        let rc = ResourceCollection::homogeneous(10, 2800.0)
+            .with_bandwidth_heterogeneity(0.5, 11);
+        for i in 0..10 {
+            for j in 0..10 {
+                let f = rc.comm_factor(i, j);
+                if i == j {
+                    assert_eq!(f, 0.0);
+                } else {
+                    assert!((1.0..=2.0 + 1e-9).contains(&f), "factor {f}");
+                    assert_eq!(f, rc.comm_factor(j, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_comm_lookup() {
+        let rc = ResourceCollection::new(
+            vec![2000.0, 2000.0, 3000.0],
+            CommModel::Clustered {
+                host_cluster: vec![0, 0, 1],
+                k: 2,
+                factors: vec![1.0, 4.0, 4.0, 1.0],
+            },
+        );
+        assert_eq!(rc.comm_factor(0, 1), 1.0); // same cluster
+        assert_eq!(rc.comm_factor(0, 2), 4.0);
+        assert_eq!(rc.comm_factor(1, 1), 0.0); // same host
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn empty_rc_rejected() {
+        ResourceCollection::new(vec![], CommModel::Uniform);
+    }
+
+    #[test]
+    fn space_sharing_splits_clocks() {
+        // The paper's own example: 3.0 GHz shared five ways -> 0.6 GHz.
+        let rc = ResourceCollection::homogeneous(2, 3000.0).space_shared(5);
+        assert_eq!(rc.len(), 10);
+        assert!(rc.clocks().iter().all(|&c| (c - 600.0).abs() < 1e-9));
+        // Aggregate capacity is conserved.
+        let total: f64 = rc.clocks().iter().sum();
+        assert!((total - 6000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn space_sharing_preserves_cluster_structure() {
+        let rc = ResourceCollection::new(
+            vec![2000.0, 3000.0],
+            CommModel::Clustered {
+                host_cluster: vec![0, 1],
+                k: 2,
+                factors: vec![1.0, 4.0, 4.0, 1.0],
+            },
+        )
+        .space_shared(2);
+        assert_eq!(rc.len(), 4);
+        // Virtual processors of the same physical host share a cluster.
+        assert_eq!(rc.comm_factor(0, 1), 1.0);
+        assert_eq!(rc.comm_factor(0, 2), 4.0);
+    }
+
+    #[test]
+    fn prefix_clamps() {
+        let rc = ResourceCollection::homogeneous(4, 1000.0);
+        assert_eq!(rc.prefix(0).len(), 1);
+        assert_eq!(rc.prefix(99).len(), 4);
+    }
+}

@@ -1,0 +1,142 @@
+//! Execution context: a DAG paired with a resource collection.
+//!
+//! Implements the execution model of Section III: uniform processors
+//! (task time inversely proportional to clock rate), non-preemptive
+//! tasks, data transfers charged in seconds at the reference bandwidth
+//! scaled by the RC's pairwise communication factor, free intra-host
+//! transfers.
+
+use rsg_dag::{Dag, TaskId};
+use rsg_platform::ResourceCollection;
+
+/// A scheduling problem instance: `(dag, rc)` plus precomputed speed
+/// factors.
+pub struct ExecutionContext<'a> {
+    /// The workflow to schedule.
+    pub dag: &'a Dag,
+    /// The resource collection to schedule onto.
+    pub rc: &'a ResourceCollection,
+    speed: Vec<f64>,
+}
+
+impl<'a> ExecutionContext<'a> {
+    /// Pairs a DAG with an RC.
+    pub fn new(dag: &'a Dag, rc: &'a ResourceCollection) -> ExecutionContext<'a> {
+        let refclk = dag.reference_clock_mhz();
+        let speed = (0..rc.len()).map(|h| rc.speed_factor(h, refclk)).collect();
+        ExecutionContext { dag, rc, speed }
+    }
+
+    /// Number of hosts.
+    #[inline]
+    pub fn hosts(&self) -> usize {
+        self.speed.len()
+    }
+
+    /// Execution time of task `t` on host `h`, seconds.
+    #[inline]
+    pub fn task_time(&self, t: TaskId, h: usize) -> f64 {
+        self.dag.comp(t) / self.speed[h]
+    }
+
+    /// Speed factor of host `h` relative to the DAG reference clock.
+    #[inline]
+    pub fn speed(&self, h: usize) -> f64 {
+        self.speed[h]
+    }
+
+    /// Transfer time of an edge with reference cost `comm` seconds from
+    /// host `from` to host `to` (0 when co-located).
+    #[inline]
+    pub fn comm_time(&self, comm: f64, from: usize, to: usize) -> f64 {
+        comm * self.rc.comm_factor(from, to)
+    }
+
+    /// Earliest time the inputs of `t` are available on host `h`, given
+    /// parent finish times and placements. Returns 0 for entry tasks.
+    #[inline]
+    pub fn data_ready(&self, t: TaskId, h: usize, finish: &[f64], host_of: &[u32]) -> f64 {
+        let mut ready = 0.0f64;
+        for e in self.dag.parents(t) {
+            let p = e.task.index();
+            let arr = finish[p] + self.comm_time(e.comm, host_of[p] as usize, h);
+            if arr > ready {
+                ready = arr;
+            }
+        }
+        ready
+    }
+
+    /// Index of (one of) the fastest hosts.
+    pub fn fastest_host(&self) -> usize {
+        let mut best = 0usize;
+        for h in 1..self.speed.len() {
+            if self.speed[h] > self.speed[best] {
+                best = h;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_dag::DagBuilder;
+    use rsg_platform::ResourceCollection;
+
+    fn two_task_dag() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(15.0);
+        let c = b.add_task(30.0);
+        b.add_edge(a, c, 4.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn task_time_scales_with_clock() {
+        let dag = two_task_dag(); // ref clock 1500 MHz
+        let rc = ResourceCollection::new(
+            vec![1500.0, 3000.0],
+            rsg_platform::CommModel::Uniform,
+        );
+        let ctx = ExecutionContext::new(&dag, &rc);
+        assert!((ctx.task_time(TaskId(0), 0) - 15.0).abs() < 1e-12);
+        assert!((ctx.task_time(TaskId(0), 1) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_time_zero_same_host() {
+        let dag = two_task_dag();
+        let rc = ResourceCollection::homogeneous(2, 1500.0);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        assert_eq!(ctx.comm_time(4.0, 1, 1), 0.0);
+        assert!((ctx.comm_time(4.0, 0, 1) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_ready_accounts_for_placement() {
+        let dag = two_task_dag();
+        let rc = ResourceCollection::homogeneous(2, 1500.0);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let finish = vec![15.0, 0.0];
+        let host_of = vec![0u32, 0u32];
+        // Child on same host as parent: data ready when parent ends.
+        assert!((ctx.data_ready(TaskId(1), 0, &finish, &host_of) - 15.0).abs() < 1e-12);
+        // Different host: + transfer.
+        assert!((ctx.data_ready(TaskId(1), 1, &finish, &host_of) - 19.0).abs() < 1e-12);
+        // Entry task: zero.
+        assert_eq!(ctx.data_ready(TaskId(0), 1, &finish, &host_of), 0.0);
+    }
+
+    #[test]
+    fn fastest_host_found() {
+        let dag = two_task_dag();
+        let rc = ResourceCollection::new(
+            vec![1000.0, 3000.0, 2000.0],
+            rsg_platform::CommModel::Uniform,
+        );
+        let ctx = ExecutionContext::new(&dag, &rc);
+        assert_eq!(ctx.fastest_host(), 1);
+    }
+}

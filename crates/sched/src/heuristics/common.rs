@@ -1,0 +1,188 @@
+//! Shared machinery for the list schedulers: totally ordered f64 keys,
+//! host heaps, and ready-task propagation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rsg_dag::{Dag, TaskId};
+
+/// Total-order wrapper for f64 heap keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F64(pub f64);
+
+impl Eq for F64 {}
+
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Min-heap of hosts keyed by `(ready_time, tie_break)`.
+///
+/// `tie_break` lets the greedy heuristic permute hosts pseudo-randomly
+/// ("a random available host", Section IV.2.3) while FCFS uses the plain
+/// host index.
+#[derive(Debug)]
+pub struct HostHeap {
+    heap: BinaryHeap<Reverse<(F64, u32, u32)>>,
+}
+
+impl HostHeap {
+    /// Builds a heap over `hosts` hosts, all ready at time 0, using the
+    /// provided tie-break key per host.
+    pub fn new(hosts: usize, tie_break: impl Fn(usize) -> u32) -> HostHeap {
+        let heap = (0..hosts)
+            .map(|h| Reverse((F64(0.0), tie_break(h), h as u32)))
+            .collect();
+        HostHeap { heap }
+    }
+
+    /// Pops the host with the earliest ready time.
+    pub fn pop(&mut self) -> (f64, usize) {
+        let Reverse((F64(t), _, h)) = self.heap.pop().expect("host heap never empties");
+        (t, h as usize)
+    }
+
+    /// Returns a host to the heap with a new ready time.
+    pub fn push(&mut self, host: usize, ready: f64, tie: u32) {
+        self.heap.push(Reverse((F64(ready), tie, host as u32)));
+    }
+}
+
+/// Tracks which tasks become ready (all parents scheduled) as scheduling
+/// progresses; yields them in FIFO order.
+#[derive(Debug)]
+pub struct ReadyTracker {
+    remaining_parents: Vec<u32>,
+    queue: Vec<TaskId>,
+    head: usize,
+}
+
+impl ReadyTracker {
+    /// Initializes with the DAG's entry tasks ready.
+    pub fn new(dag: &Dag) -> ReadyTracker {
+        let remaining_parents: Vec<u32> = dag
+            .tasks()
+            .map(|t| dag.parents(t).len() as u32)
+            .collect();
+        let queue: Vec<TaskId> = dag.entries().collect();
+        ReadyTracker {
+            remaining_parents,
+            queue,
+            head: 0,
+        }
+    }
+
+    /// Next ready task in FIFO order, if any.
+    pub fn pop(&mut self) -> Option<TaskId> {
+        if self.head < self.queue.len() {
+            let t = self.queue[self.head];
+            self.head += 1;
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    /// Marks `t` scheduled, enqueueing children whose last dependency
+    /// this was.
+    pub fn complete(&mut self, dag: &Dag, t: TaskId) {
+        for e in dag.children(t) {
+            let c = e.task;
+            self.remaining_parents[c.index()] -= 1;
+            if self.remaining_parents[c.index()] == 0 {
+                self.queue.push(c);
+            }
+        }
+    }
+}
+
+/// Deterministic pseudo-random permutation key (SplitMix64 scramble) for
+/// greedy tie-breaking.
+#[inline]
+pub fn scramble(seed: u64, h: usize) -> u32 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(h as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as u32
+}
+
+/// Integer log2 used for heap-operation op-counting (≥ 1).
+#[inline]
+pub fn log2_ops(n: usize) -> u64 {
+    (usize::BITS - 1 - n.max(2).leading_zeros()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_dag::DagBuilder;
+
+    #[test]
+    fn f64_total_order() {
+        let mut v = vec![F64(2.0), F64(-1.0), F64(0.5)];
+        v.sort();
+        assert_eq!(v, vec![F64(-1.0), F64(0.5), F64(2.0)]);
+    }
+
+    #[test]
+    fn host_heap_pops_earliest() {
+        let mut h = HostHeap::new(3, |h| h as u32);
+        let (t0, h0) = h.pop();
+        assert_eq!((t0, h0), (0.0, 0));
+        h.push(h0, 10.0, h0 as u32);
+        let (_, h1) = h.pop();
+        assert_eq!(h1, 1);
+        h.push(h1, 5.0, h1 as u32);
+        let (_, h2) = h.pop();
+        assert_eq!(h2, 2);
+        h.push(h2, 7.0, h2 as u32);
+        // Now ready times are 10, 5, 7 -> host 1 first.
+        assert_eq!(h.pop().1, 1);
+    }
+
+    #[test]
+    fn ready_tracker_fifo_and_propagation() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        let d = b.add_task(1.0);
+        b.add_edge(a, d, 0.0).unwrap();
+        b.add_edge(c, d, 0.0).unwrap();
+        let dag = b.build().unwrap();
+        let mut r = ReadyTracker::new(&dag);
+        assert_eq!(r.pop(), Some(a));
+        r.complete(&dag, a);
+        assert_eq!(r.pop(), Some(c));
+        // d not ready until c completes.
+        assert_eq!(r.pop(), None);
+        r.complete(&dag, c);
+        assert_eq!(r.pop(), Some(d));
+        r.complete(&dag, d);
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn scramble_is_deterministic_and_spread() {
+        let a = scramble(1, 5);
+        assert_eq!(a, scramble(1, 5));
+        assert_ne!(scramble(1, 5), scramble(1, 6));
+        assert_ne!(scramble(1, 5), scramble(2, 5));
+    }
+
+    #[test]
+    fn log2_floor() {
+        assert_eq!(log2_ops(1), 1);
+        assert_eq!(log2_ops(2), 1);
+        assert_eq!(log2_ops(1024), 10);
+    }
+}

@@ -1,0 +1,251 @@
+//! DLS — Dynamic Level Scheduling (Sih & Lee), Figure V-13.
+//!
+//! At each step DLS evaluates every (ready task, host) pair and commits
+//! the pair with the greatest *dynamic level*
+//!
+//! ```text
+//! DL(t, h) = SL(t) − max(data_ready(t, h), host_ready(h)) + Δ(t, h)
+//! Δ(t, h)  = w̄(t) − w(t, h)
+//! ```
+//!
+//! where `SL` is the static level (bottom level on node weights only)
+//! and `w̄(t)` the task's execution time on a median-speed host. DLS is
+//! the most expensive heuristic in the Chapter V.6 comparison — its
+//! elementary-operation count reflects every pair evaluation actually
+//! performed.
+//!
+//! Implementation note: a full `|ready| × P` rescan per step is
+//! `O(V² P)` in the worst case; we keep the rescan exact but incremental
+//! — after committing a pair only the modified host's column, the
+//! newly-ready tasks, and any task whose cached best host was the
+//! modified one are re-evaluated. The op count only charges evaluations
+//! actually done, which is what a careful implementation (like the
+//! authors') would spend.
+
+use super::{Heuristic, HeuristicKind};
+use crate::context::ExecutionContext;
+use crate::schedule::Schedule;
+use crate::timemodel::OpCount;
+use rsg_dag::{CriticalPathInfo, TaskId};
+
+/// Dynamic Level Scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dls;
+
+struct Cand {
+    task: TaskId,
+    best_dl: f64,
+    best_host: usize,
+    best_start: f64,
+}
+
+impl Heuristic for Dls {
+    fn kind(&self) -> HeuristicKind {
+        HeuristicKind::Dls
+    }
+
+    fn schedule(&self, ctx: &ExecutionContext<'_>) -> (Schedule, OpCount) {
+        let dag = ctx.dag;
+        let n = dag.len();
+        let hosts = ctx.hosts();
+        let mut ops = OpCount::default();
+
+        let info = CriticalPathInfo::compute(dag);
+        ops += 2 * (n as u64 + dag.edge_count() as u64);
+
+        // Median-speed execution time per task.
+        let median_speed = {
+            let mut sp: Vec<f64> = (0..hosts).map(|h| ctx.speed(h)).collect();
+            sp.sort_by(f64::total_cmp);
+            sp[sp.len() / 2]
+        };
+
+        let mut sched = Schedule::with_capacity(n);
+        let mut host_ready = vec![0.0f64; hosts];
+        let mut remaining_parents: Vec<u32> =
+            dag.tasks().map(|t| dag.parents(t).len() as u32).collect();
+
+        // Evaluates DL over all hosts for one task; returns the best.
+        let eval_all = |t: TaskId,
+                        sched: &Schedule,
+                        host_ready: &[f64],
+                        ops: &mut OpCount|
+         -> (f64, usize, f64) {
+            let sl = info.static_level[t.index()];
+            let wbar = dag.comp(t) / median_speed;
+            let mut best = (f64::NEG_INFINITY, 0usize, 0.0f64);
+            for (h, &ready) in host_ready.iter().enumerate() {
+                let start = ready.max(ctx.data_ready(t, h, &sched.finish, &sched.host));
+                let dl = sl - start + (wbar - ctx.task_time(t, h));
+                if dl > best.0 {
+                    best = (dl, h, start);
+                }
+            }
+            *ops += hosts as u64 * (2 + dag.parents(t).len() as u64);
+            best
+        };
+
+        let mut ready: Vec<Cand> = Vec::new();
+        for t in dag.entries() {
+            let (dl, h, st) = eval_all(t, &sched, &host_ready, &mut ops);
+            ready.push(Cand {
+                task: t,
+                best_dl: dl,
+                best_host: h,
+                best_start: st,
+            });
+        }
+
+        let mut scheduled = 0usize;
+        while scheduled < n {
+            // Commit the globally best (task, host) pair.
+            let (bi, _) = ready
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.best_dl
+                        .total_cmp(&b.best_dl)
+                        .then(b.task.cmp(&a.task))
+                })
+                .expect("ready set non-empty while tasks remain");
+            ops += ready.len() as u64;
+            let cand = ready.swap_remove(bi);
+            let t = cand.task;
+            let i = t.index();
+            let h = cand.best_host;
+            let start = cand.best_start;
+            let finish = start + ctx.task_time(t, h);
+            sched.host[i] = h as u32;
+            sched.start[i] = start;
+            sched.finish[i] = finish;
+            host_ready[h] = finish;
+            scheduled += 1;
+
+            // Newly ready children: full evaluation.
+            for e in dag.children(t) {
+                let c = e.task;
+                remaining_parents[c.index()] -= 1;
+                if remaining_parents[c.index()] == 0 {
+                    let (dl, bh, st) = eval_all(c, &sched, &host_ready, &mut ops);
+                    ready.push(Cand {
+                        task: c,
+                        best_dl: dl,
+                        best_host: bh,
+                        best_start: st,
+                    });
+                }
+            }
+
+            // Existing candidates: only host h changed. Re-evaluate that
+            // column; tasks whose cached best was h need a full rescan
+            // (their best may have degraded).
+            for cand in ready.iter_mut() {
+                let t2 = cand.task;
+                if cand.best_host == h {
+                    let (dl, bh, st) = eval_all(t2, &sched, &host_ready, &mut ops);
+                    cand.best_dl = dl;
+                    cand.best_host = bh;
+                    cand.best_start = st;
+                } else {
+                    let sl = info.static_level[t2.index()];
+                    let wbar = dag.comp(t2) / median_speed;
+                    let start =
+                        host_ready[h].max(ctx.data_ready(t2, h, &sched.finish, &sched.host));
+                    let dl = sl - start + (wbar - ctx.task_time(t2, h));
+                    ops += 2 + dag.parents(t2).len() as u64;
+                    if dl > cand.best_dl {
+                        cand.best_dl = dl;
+                        cand.best_host = h;
+                        cand.best_start = start;
+                    }
+                }
+            }
+        }
+
+        (sched, ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_dag::RandomDagSpec;
+    use rsg_platform::ResourceCollection;
+
+    #[test]
+    fn dls_valid_and_sensible_on_random_dag() {
+        let dag = RandomDagSpec {
+            size: 150,
+            ccr: 0.5,
+            parallelism: 0.6,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 10.0,
+        }
+        .generate(7);
+        let rc = ResourceCollection::heterogeneous(12, 3000.0, 0.3, 3);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (s, ops) = Dls.schedule(&ctx);
+        s.validate(&ctx).unwrap();
+        assert!(ops.0 > 0);
+    }
+
+    #[test]
+    fn dls_prefers_fast_hosts_for_chain() {
+        let dag = rsg_dag::workflows::chain(4, 10.0, 0.0);
+        let rc = ResourceCollection::new(
+            vec![1500.0, 6000.0],
+            rsg_platform::CommModel::Uniform,
+        );
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (s, _) = Dls.schedule(&ctx);
+        s.validate(&ctx).unwrap();
+        assert!((s.makespan() - 10.0).abs() < 1e-9, "{}", s.makespan());
+        assert!(s.host.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn dls_is_most_expensive() {
+        let dag = RandomDagSpec {
+            size: 200,
+            ccr: 0.5,
+            parallelism: 0.6,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 10.0,
+        }
+        .generate(8);
+        let rc = ResourceCollection::homogeneous(50, 1500.0);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (_, dls_ops) = Dls.schedule(&ctx);
+        let (_, mcp_ops) = super::super::Mcp.schedule(&ctx);
+        assert!(
+            dls_ops.0 > mcp_ops.0,
+            "dls {} should exceed mcp {}",
+            dls_ops.0,
+            mcp_ops.0
+        );
+    }
+
+    #[test]
+    fn dls_incremental_matches_quality_of_mcp_roughly() {
+        // DLS and MCP should be within 2x of each other on a moderate
+        // workload (both are critical-path heuristics).
+        let dag = RandomDagSpec {
+            size: 120,
+            ccr: 1.0,
+            parallelism: 0.5,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 20.0,
+        }
+        .generate(11);
+        let rc = ResourceCollection::homogeneous(10, 1500.0);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (d, _) = Dls.schedule(&ctx);
+        let (m, _) = super::super::Mcp.schedule(&ctx);
+        d.validate(&ctx).unwrap();
+        let ratio = d.makespan() / m.makespan();
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+}

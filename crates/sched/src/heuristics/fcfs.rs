@@ -1,0 +1,95 @@
+//! First-Come-First-Serve (Figure V-15).
+//!
+//! Ready tasks are served in FIFO order and placed on the first
+//! available host (smallest ready time, deterministic host-index
+//! tie-break). Like the greedy heuristic it ignores clock rates and
+//! communication, but its host choice is stable rather than randomized —
+//! the cheapest heuristic in the Chapter V.6 comparison.
+
+use super::common::{log2_ops, HostHeap, ReadyTracker};
+use super::{Heuristic, HeuristicKind};
+use crate::context::ExecutionContext;
+use crate::schedule::Schedule;
+use crate::timemodel::OpCount;
+
+/// First-come-first-serve scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fcfs;
+
+impl Heuristic for Fcfs {
+    fn kind(&self) -> HeuristicKind {
+        HeuristicKind::Fcfs
+    }
+
+    fn schedule(&self, ctx: &ExecutionContext<'_>) -> (Schedule, OpCount) {
+        let dag = ctx.dag;
+        let n = dag.len();
+        let hosts = ctx.hosts();
+        let mut ops = OpCount::default();
+
+        let mut sched = Schedule::with_capacity(n);
+        let mut ready = ReadyTracker::new(dag);
+        let mut heap = HostHeap::new(hosts, |h| h as u32);
+
+        while let Some(t) = ready.pop() {
+            let i = t.index();
+            let (avail, h) = heap.pop();
+            let start = avail.max(ctx.data_ready(t, h, &sched.finish, &sched.host));
+            let finish = start + ctx.task_time(t, h);
+            sched.host[i] = h as u32;
+            sched.start[i] = start;
+            sched.finish[i] = finish;
+            heap.push(h, finish, h as u32);
+            ready.complete(dag, t);
+            ops += log2_ops(hosts) + dag.parents(t).len() as u64 + 1;
+        }
+
+        (sched, ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_platform::ResourceCollection;
+
+    #[test]
+    fn fcfs_is_deterministic() {
+        let dag = rsg_dag::RandomDagSpec {
+            size: 80,
+            ccr: 0.5,
+            parallelism: 0.6,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 10.0,
+        }
+        .generate(1);
+        let rc = ResourceCollection::homogeneous(10, 1500.0);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (a, _) = Fcfs.schedule(&ctx);
+        let (b, _) = Fcfs.schedule(&ctx);
+        assert_eq!(a, b);
+        a.validate(&ctx).unwrap();
+    }
+
+    #[test]
+    fn fcfs_first_tasks_go_to_low_indices() {
+        let dag = rsg_dag::workflows::bag(3, 5.0);
+        let rc = ResourceCollection::homogeneous(10, 1500.0);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (s, _) = Fcfs.schedule(&ctx);
+        assert_eq!(&s.host[..], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn fcfs_chain_on_fresh_hosts_pays_transfers() {
+        // A chain over idle hosts: FCFS hops to a fresh host each task
+        // (all hosts ready at 0, lowest index first), paying every edge.
+        let dag = rsg_dag::workflows::chain(3, 10.0, 5.0);
+        let rc = ResourceCollection::homogeneous(3, 1500.0);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (s, _) = Fcfs.schedule(&ctx);
+        s.validate(&ctx).unwrap();
+        assert!((s.makespan() - 40.0).abs() < 1e-9, "{}", s.makespan());
+    }
+}

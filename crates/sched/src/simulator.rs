@@ -1,0 +1,331 @@
+//! Discrete-event replay of a schedule, with perturbation injection.
+//!
+//! The list schedulers compute start/finish times analytically under
+//! the Section III model. This module *replays* a schedule's placement
+//! decisions (host assignment + per-host task order) through an
+//! event-driven engine, which serves two purposes:
+//!
+//! 1. **Cross-validation** — an independent executable semantics: on an
+//!    unperturbed run the replayed timeline must reproduce the
+//!    heuristic's analytic times exactly (tested to 1e-9).
+//! 2. **Robustness analysis** — the engine accepts *perturbations*
+//!    (host slowdowns from time `t`, à la the resource overload the
+//!    paper's monitoring section worries about, and transfer slowdowns)
+//!    and reports how the makespan stretches when the static schedule
+//!    meets a degraded platform — the operational risk the vgMON
+//!    monitor of Section II.4.1 exists to detect.
+//!
+//! Replay keeps the *decisions* (assignment and per-host order) fixed
+//! and recomputes the *times*; tasks still wait for their inputs, so
+//! the replayed timeline is always causally consistent.
+
+use crate::context::ExecutionContext;
+use crate::schedule::Schedule;
+use rsg_dag::TaskId;
+
+/// A host slowdown active from `from_s` onward: the host executes at
+/// `factor` times its nominal speed (factor 0.25 = four times slower;
+/// factor 0 is forbidden — use a tiny positive factor for "almost
+/// failed").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostSlowdown {
+    /// Host index.
+    pub host: usize,
+    /// Time the degradation starts, seconds.
+    pub from_s: f64,
+    /// Speed multiplier in `(0, 1]`.
+    pub factor: f64,
+}
+
+/// Perturbations applied during replay.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Perturbation {
+    /// Host slowdowns (at most one per host is honoured; the first
+    /// listed wins).
+    pub host_slowdowns: Vec<HostSlowdown>,
+    /// Global multiplier on every inter-host transfer (≥ 1; contention).
+    pub comm_stretch: f64,
+}
+
+impl Perturbation {
+    /// No perturbation.
+    pub fn none() -> Perturbation {
+        Perturbation {
+            host_slowdowns: Vec::new(),
+            comm_stretch: 1.0,
+        }
+    }
+
+    fn slowdown_for(&self, host: usize) -> Option<HostSlowdown> {
+        self.host_slowdowns
+            .iter()
+            .copied()
+            .find(|s| s.host == host)
+    }
+
+    fn comm_factor(&self) -> f64 {
+        if self.comm_stretch < 1.0 {
+            1.0
+        } else {
+            self.comm_stretch
+        }
+    }
+}
+
+/// Result of a replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Replayed start times.
+    pub start: Vec<f64>,
+    /// Replayed finish times.
+    pub finish: Vec<f64>,
+    /// Replayed makespan.
+    pub makespan: f64,
+}
+
+/// Execution duration of a task on a host under a slowdown: the work is
+/// `nominal` seconds at full speed; any part executed after `from_s`
+/// proceeds at `factor` speed.
+fn perturbed_duration(start: f64, nominal: f64, slow: Option<HostSlowdown>) -> f64 {
+    match slow {
+        None => nominal,
+        Some(s) => {
+            assert!(s.factor > 0.0, "use a positive slowdown factor");
+            if start >= s.from_s {
+                nominal / s.factor
+            } else {
+                let fast_window = s.from_s - start;
+                if nominal <= fast_window {
+                    nominal
+                } else {
+                    fast_window + (nominal - fast_window) / s.factor
+                }
+            }
+        }
+    }
+}
+
+/// Replays `schedule` on `ctx` under `perturbation`, keeping host
+/// assignment and per-host task order fixed.
+pub fn replay(
+    ctx: &ExecutionContext<'_>,
+    schedule: &Schedule,
+    perturbation: &Perturbation,
+) -> ReplayOutcome {
+    let dag = ctx.dag;
+    let n = dag.len();
+    assert_eq!(schedule.host.len(), n, "schedule must cover the DAG");
+
+    // Per-host execution order: by original start time.
+    let mut per_host: Vec<Vec<usize>> = vec![Vec::new(); ctx.hosts()];
+    for i in 0..n {
+        per_host[schedule.host[i] as usize].push(i);
+    }
+    for tasks in &mut per_host {
+        tasks.sort_by(|&a, &b| {
+            schedule.start[a]
+                .total_cmp(&schedule.start[b])
+                .then(a.cmp(&b))
+        });
+    }
+
+    // Event-driven sweep: a task runs when (a) it is next in its host's
+    // order, (b) the host is free, (c) its inputs have arrived.
+    let mut start = vec![f64::NAN; n];
+    let mut finish = vec![f64::NAN; n];
+    let mut host_ready = vec![0.0f64; ctx.hosts()];
+    let mut next_slot = vec![0usize; ctx.hosts()];
+    let mut done = vec![false; n];
+    let comm_stretch = perturbation.comm_factor();
+
+    let mut completed = 0usize;
+    while completed < n {
+        // Find the runnable (host, task) with the earliest feasible
+        // start; tie-break by host index for determinism.
+        let mut best: Option<(f64, usize, usize)> = None; // (start, host, task)
+        for h in 0..ctx.hosts() {
+            let Some(&i) = per_host[h].get(next_slot[h]) else {
+                continue;
+            };
+            let t = TaskId(i as u32);
+            // Inputs ready?
+            let mut data_ready = 0.0f64;
+            let mut inputs_done = true;
+            for e in dag.parents(t) {
+                let p = e.task.index();
+                if !done[p] {
+                    inputs_done = false;
+                    break;
+                }
+                let from = schedule.host[p] as usize;
+                let base = ctx.comm_time(e.comm, from, h);
+                let arr = finish[p] + if from == h { 0.0 } else { base * comm_stretch };
+                data_ready = data_ready.max(arr);
+            }
+            if !inputs_done {
+                continue;
+            }
+            let s = host_ready[h].max(data_ready);
+            if best.is_none() || s < best.unwrap().0 {
+                best = Some((s, h, i));
+            }
+        }
+        let (s, h, i) = best.expect("replay must always make progress on a valid schedule");
+        let t = TaskId(i as u32);
+        let dur = perturbed_duration(s, ctx.task_time(t, h), perturbation.slowdown_for(h));
+        start[i] = s;
+        finish[i] = s + dur;
+        host_ready[h] = finish[i];
+        next_slot[h] += 1;
+        done[i] = true;
+        completed += 1;
+    }
+
+    let makespan = finish.iter().copied().fold(0.0f64, f64::max)
+        - start.iter().copied().fold(f64::INFINITY, f64::min).max(0.0);
+    ReplayOutcome {
+        start,
+        finish,
+        makespan,
+    }
+}
+
+/// Robustness of a schedule: makespan stretch factor under the
+/// perturbation (1.0 = unaffected).
+pub fn makespan_stretch(
+    ctx: &ExecutionContext<'_>,
+    schedule: &Schedule,
+    perturbation: &Perturbation,
+) -> f64 {
+    let base = replay(ctx, schedule, &Perturbation::none()).makespan;
+    let hit = replay(ctx, schedule, perturbation).makespan;
+    hit / base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::HeuristicKind;
+    use rsg_dag::RandomDagSpec;
+    use rsg_platform::ResourceCollection;
+
+    fn fixture(seed: u64) -> (rsg_dag::Dag, ResourceCollection) {
+        let dag = RandomDagSpec {
+            size: 80,
+            ccr: 0.5,
+            parallelism: 0.6,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 10.0,
+        }
+        .generate(seed);
+        let rc = ResourceCollection::heterogeneous(8, 3000.0, 0.3, seed);
+        (dag, rc)
+    }
+
+    #[test]
+    fn unperturbed_replay_reproduces_analytic_times() {
+        for seed in 0..4 {
+            let (dag, rc) = fixture(seed);
+            let ctx = ExecutionContext::new(&dag, &rc);
+            for kind in HeuristicKind::all() {
+                let (s, _) = kind.run(&ctx);
+                let r = replay(&ctx, &s, &Perturbation::none());
+                for i in 0..dag.len() {
+                    assert!(
+                        (r.start[i] - s.start[i]).abs() < 1e-9,
+                        "{kind} seed {seed} task {i}: replay start {} vs analytic {}",
+                        r.start[i],
+                        s.start[i]
+                    );
+                    assert!((r.finish[i] - s.finish[i]).abs() < 1e-9);
+                }
+                assert!((r.makespan - s.makespan()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn slowdown_stretches_makespan() {
+        let (dag, rc) = fixture(7);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (s, _) = HeuristicKind::Mcp.run(&ctx);
+        let p = Perturbation {
+            host_slowdowns: vec![HostSlowdown {
+                host: s.host[0] as usize,
+                from_s: 0.0,
+                factor: 0.25,
+            }],
+            comm_stretch: 1.0,
+        };
+        let stretch = makespan_stretch(&ctx, &s, &p);
+        assert!(stretch > 1.0, "stretch {stretch}");
+        // Replay stays causally consistent.
+        let r = replay(&ctx, &s, &p);
+        for t in dag.tasks() {
+            for e in dag.parents(t) {
+                assert!(
+                    r.start[t.index()] + 1e-9 >= r.finish[e.task.index()],
+                    "child before parent under perturbation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comm_stretch_hurts_cross_host_edges_only() {
+        // One-host schedule is immune to communication contention.
+        let (dag, _) = fixture(9);
+        let rc1 = ResourceCollection::homogeneous(1, 3000.0);
+        let ctx = ExecutionContext::new(&dag, &rc1);
+        let (s, _) = HeuristicKind::Mcp.run(&ctx);
+        let p = Perturbation {
+            host_slowdowns: vec![],
+            comm_stretch: 10.0,
+        };
+        assert!((makespan_stretch(&ctx, &s, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perturbed_duration_piecewise() {
+        let slow = Some(HostSlowdown {
+            host: 0,
+            from_s: 10.0,
+            factor: 0.5,
+        });
+        // Entirely before the slowdown.
+        assert_eq!(perturbed_duration(0.0, 5.0, slow), 5.0);
+        // Entirely after: doubled.
+        assert_eq!(perturbed_duration(20.0, 5.0, slow), 10.0);
+        // Straddling: 5 s fast + 5 s of work at half speed = 5 + 10.
+        assert_eq!(perturbed_duration(5.0, 10.0, slow), 15.0);
+        // No slowdown.
+        assert_eq!(perturbed_duration(0.0, 7.0, None), 7.0);
+    }
+
+    #[test]
+    fn late_slowdown_spares_early_tasks() {
+        let (dag, rc) = fixture(11);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (s, _) = HeuristicKind::Mcp.run(&ctx);
+        let horizon = s.makespan();
+        let p_late = Perturbation {
+            host_slowdowns: vec![HostSlowdown {
+                host: 0,
+                from_s: horizon * 2.0, // after everything finished
+                factor: 0.1,
+            }],
+            comm_stretch: 1.0,
+        };
+        assert!((makespan_stretch(&ctx, &s, &p_late) - 1.0).abs() < 1e-9);
+        let p_early = Perturbation {
+            host_slowdowns: vec![HostSlowdown {
+                host: 0,
+                from_s: 0.0,
+                factor: 0.1,
+            }],
+            comm_stretch: 1.0,
+        };
+        assert!(makespan_stretch(&ctx, &s, &p_early) >= 1.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! The scheduling-time model.
+//!
+//! The paper measures the wall-clock execution time of each heuristic on
+//! a 2.80 GHz Xeon and folds it into the turn-around time; its knee
+//! phenomenon (Chapter V) exists *because* scheduling time grows
+//! polynomially with the RC size. Re-measuring wall-clock here would tie
+//! every experiment to this machine and to Rust's constant factors, so
+//! the default is a deterministic model: heuristics count their
+//! elementary operations (task–host placement evaluations, priority
+//! computations, heap operations) and [`SchedTimeModel`] converts the
+//! count to seconds at a configurable scheduler clock. The per-op cost
+//! is calibrated so that MCP over the 33,667-host universe costs tens of
+//! minutes, matching the regime of Figure IV-5 (see DESIGN.md,
+//! substitution 2).
+
+/// Count of elementary scheduling operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCount(pub u64);
+
+impl OpCount {
+    /// Adds `n` operations.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+}
+
+impl std::ops::AddAssign<u64> for OpCount {
+    #[inline]
+    fn add_assign(&mut self, n: u64) {
+        self.0 += n;
+    }
+}
+
+/// Converts operation counts into scheduling seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedTimeModel {
+    /// Seconds per elementary operation at the reference scheduler
+    /// clock (2.80 GHz).
+    pub sec_per_op: f64,
+    /// Clock rate of the machine running the scheduler, MHz. Scaling
+    /// this is exactly the paper's SCR experiment (Section V.7).
+    pub scheduler_clock_mhz: f64,
+}
+
+impl Default for SchedTimeModel {
+    fn default() -> Self {
+        SchedTimeModel {
+            // ~2 µs per task-host placement evaluation at 2.80 GHz: a
+            // few thousand machine cycles per evaluation including data
+            // structure and memory traffic, calibrated against the
+            // Figure IV-5 regime (MCP over 33,667 hosts ≈ tens of
+            // minutes of scheduling for a 4469-task DAG).
+            sec_per_op: 2.0e-6,
+            scheduler_clock_mhz: crate::SCHEDULER_CLOCK_MHZ,
+        }
+    }
+}
+
+impl SchedTimeModel {
+    /// A model with the default per-op cost on a scheduler of the given
+    /// clock rate.
+    pub fn with_scheduler_clock(mhz: f64) -> SchedTimeModel {
+        SchedTimeModel {
+            scheduler_clock_mhz: mhz,
+            ..Default::default()
+        }
+    }
+
+    /// Scheduling seconds for `ops` operations.
+    pub fn seconds(&self, ops: OpCount) -> f64 {
+        ops.0 as f64 * self.sec_per_op * (crate::SCHEDULER_CLOCK_MHZ / self.scheduler_clock_mhz)
+    }
+
+    /// The paper's SCR — scheduling-to-computation clock-rate ratio
+    /// (Section V.7) — relative to the 2.80 GHz reference scheduler and
+    /// a compute-host clock in MHz.
+    pub fn scr(&self, compute_clock_mhz: f64) -> f64 {
+        self.scheduler_clock_mhz / compute_clock_mhz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_scale_linearly_with_ops() {
+        let m = SchedTimeModel::default();
+        let a = m.seconds(OpCount(1_000));
+        let b = m.seconds(OpCount(2_000));
+        assert!((b - 2.0 * a).abs() < 1e-15);
+    }
+
+    #[test]
+    fn faster_scheduler_is_faster() {
+        let slow = SchedTimeModel::with_scheduler_clock(1400.0);
+        let fast = SchedTimeModel::with_scheduler_clock(5600.0);
+        let ops = OpCount(1_000_000);
+        assert!(slow.seconds(ops) > fast.seconds(ops));
+        // 2x reference clock halves the time.
+        let double = SchedTimeModel::with_scheduler_clock(5600.0);
+        let reference = SchedTimeModel::default();
+        assert!((reference.seconds(ops) / double.seconds(ops) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_calibration_regime() {
+        // MCP over the universe: (V + E)·P ≈ (4469 + 13000) × 33667
+        // placement evaluations ≈ 5.9e8 ops → should land in the
+        // tens-of-minutes regime (Figure IV-5).
+        let m = SchedTimeModel::default();
+        let secs = m.seconds(OpCount(588_000_000));
+        assert!(
+            (600.0..7200.0).contains(&secs),
+            "universe MCP scheduling time {secs} s should be tens of minutes"
+        );
+    }
+
+    #[test]
+    fn scr_ratio() {
+        let m = SchedTimeModel::default();
+        assert!((m.scr(2800.0) - 1.0).abs() < 1e-12);
+        assert!((m.scr(1400.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opcount_add() {
+        let mut c = OpCount::default();
+        c += 5;
+        c.add(7);
+        assert_eq!(c, OpCount(12));
+    }
+}

@@ -1,0 +1,143 @@
+//! Application turn-around time accounting (Section III.2.3): the sum of
+//! the scheduling-heuristic execution time and the application makespan,
+//! plus — when explicit resource selection is used — the time spent by
+//! the resource-selection system.
+
+use crate::context::ExecutionContext;
+use crate::heuristics::HeuristicKind;
+use crate::schedule::Schedule;
+use crate::timemodel::{OpCount, SchedTimeModel};
+use rsg_dag::Dag;
+use rsg_platform::ResourceCollection;
+use std::time::Instant;
+
+/// Everything measured for one (DAG, RC, heuristic) evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TurnaroundReport {
+    /// Heuristic evaluated.
+    pub heuristic: HeuristicKind,
+    /// RC size used.
+    pub rc_size: usize,
+    /// Modeled scheduling time, seconds (op-count model).
+    pub sched_time_s: f64,
+    /// Application makespan, seconds.
+    pub makespan_s: f64,
+    /// Resource-selection time, seconds (0 for implicit selection).
+    pub selection_time_s: f64,
+    /// Wall-clock actually spent running the heuristic here, seconds.
+    pub wallclock_s: f64,
+    /// Raw operation count.
+    pub ops: OpCount,
+}
+
+impl TurnaroundReport {
+    /// The figure of merit: scheduling time + makespan + selection time.
+    pub fn turnaround_s(&self) -> f64 {
+        self.sched_time_s + self.makespan_s + self.selection_time_s
+    }
+}
+
+/// Runs `heuristic` on `(dag, rc)` and assembles the report. The
+/// schedule itself is discarded; use [`evaluate_with_schedule`] to keep
+/// it.
+pub fn evaluate(
+    dag: &Dag,
+    rc: &ResourceCollection,
+    heuristic: HeuristicKind,
+    model: &SchedTimeModel,
+) -> TurnaroundReport {
+    evaluate_with_schedule(dag, rc, heuristic, model).0
+}
+
+/// Like [`evaluate`] but also returns the schedule.
+pub fn evaluate_with_schedule(
+    dag: &Dag,
+    rc: &ResourceCollection,
+    heuristic: HeuristicKind,
+    model: &SchedTimeModel,
+) -> (TurnaroundReport, Schedule) {
+    let ctx = ExecutionContext::new(dag, rc);
+    let t0 = Instant::now();
+    let (sched, ops) = heuristic.run(&ctx);
+    let wallclock_s = t0.elapsed().as_secs_f64();
+    debug_assert!(sched.validate(&ctx).is_ok(), "heuristic produced invalid schedule");
+    let report = TurnaroundReport {
+        heuristic,
+        rc_size: rc.len(),
+        sched_time_s: model.seconds(ops),
+        makespan_s: sched.makespan(),
+        selection_time_s: 0.0,
+        wallclock_s,
+        ops,
+    };
+    (report, sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_dag::RandomDagSpec;
+
+    #[test]
+    fn turnaround_sums_components() {
+        let r = TurnaroundReport {
+            heuristic: HeuristicKind::Mcp,
+            rc_size: 4,
+            sched_time_s: 1.5,
+            makespan_s: 10.0,
+            selection_time_s: 0.5,
+            wallclock_s: 0.0,
+            ops: OpCount(100),
+        };
+        assert!((r.turnaround_s() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_reports_consistent_numbers() {
+        let dag = RandomDagSpec {
+            size: 100,
+            ccr: 0.5,
+            parallelism: 0.6,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 10.0,
+        }
+        .generate(1);
+        let rc = ResourceCollection::homogeneous(8, 1500.0);
+        let model = SchedTimeModel::default();
+        let (r, s) = evaluate_with_schedule(&dag, &rc, HeuristicKind::Mcp, &model);
+        assert_eq!(r.rc_size, 8);
+        assert!((r.makespan_s - s.makespan()).abs() < 1e-12);
+        assert!(r.sched_time_s > 0.0);
+        assert_eq!(r.sched_time_s, model.seconds(r.ops));
+    }
+
+    #[test]
+    fn bigger_rc_costs_more_scheduling_for_mcp() {
+        let dag = RandomDagSpec {
+            size: 200,
+            ccr: 0.1,
+            parallelism: 0.7,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 10.0,
+        }
+        .generate(2);
+        let model = SchedTimeModel::default();
+        let small = evaluate(
+            &dag,
+            &ResourceCollection::homogeneous(10, 1500.0),
+            HeuristicKind::Mcp,
+            &model,
+        );
+        let big = evaluate(
+            &dag,
+            &ResourceCollection::homogeneous(200, 1500.0),
+            HeuristicKind::Mcp,
+            &model,
+        );
+        assert!(big.sched_time_s > small.sched_time_s * 5.0);
+        // ... while the makespan should not get worse.
+        assert!(big.makespan_s <= small.makespan_s + 1e-9);
+    }
+}

@@ -1,0 +1,345 @@
+//! The Condor matchmaker: bilateral matchmaking plus Gangmatching
+//! (Section II.4.2.1).
+//!
+//! Bilateral matching pairs one request ad with one machine ad such that
+//! both sides' `Requirements`/`Constraint` evaluate true against each
+//! other; among compatible machines the requester's `Rank` (higher is
+//! better) decides. Gangmatching generalizes this to a job with a
+//! `Ports` list: each port is bound to a distinct machine satisfying the
+//! port's `Constraint`, maximizing the port's `Rank`.
+
+use super::{eval, ClassAd, Env, Expr, Value};
+use rsg_platform::{Cluster, Platform, ResourceCollection};
+
+/// A pool of machine ads with matchmaking queries.
+#[derive(Debug, Clone, Default)]
+pub struct Matchmaker {
+    machines: Vec<ClassAd>,
+}
+
+/// A machine ad for one cluster of a platform (one ad per cluster; the
+/// `Hosts` attribute carries the multiplicity).
+pub fn machine_ad(c: &Cluster) -> ClassAd {
+    let mut ad = ClassAd::new();
+    ad.set("Type", Expr::Str("Machine".into()));
+    ad.set("Name", Expr::Str(format!("cluster{}", c.id.0)));
+    ad.set("Arch", Expr::Str(c.arch.as_str().into()));
+    ad.set("OpSys", Expr::Str("LINUX".into()));
+    ad.set("Clock", Expr::Num(c.clock_mhz));
+    ad.set("KFlops", Expr::Num(c.clock_mhz * 500.0));
+    ad.set("Memory", Expr::Num(c.memory_mb as f64));
+    ad.set("Hosts", Expr::Num(c.hosts as f64));
+    ad.set("State", Expr::Str("Unclaimed".into()));
+    ad
+}
+
+impl Matchmaker {
+    /// An empty pool.
+    pub fn new() -> Matchmaker {
+        Matchmaker::default()
+    }
+
+    /// A pool advertising every cluster of a platform.
+    pub fn from_platform(p: &Platform) -> Matchmaker {
+        Matchmaker {
+            machines: p.clusters().iter().map(machine_ad).collect(),
+        }
+    }
+
+    /// Adds a machine ad.
+    pub fn advertise(&mut self, ad: ClassAd) {
+        self.machines.push(ad);
+    }
+
+    /// Number of advertised machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True when no machines are advertised.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Bilateral matchmaking: the best machine for `request`.
+    ///
+    /// The request's `Requirements` is evaluated with the machine bound
+    /// to the `other` scope (and vice versa for the machine's own
+    /// `Requirements`, when present); ties broken by ad order.
+    pub fn matchmake(&self, request: &ClassAd) -> Option<&ClassAd> {
+        let mut best: Option<(&ClassAd, f64)> = None;
+        for m in &self.machines {
+            if !Self::mutual(request, m) {
+                continue;
+            }
+            let env = Env::with_self(request).scope("other", m).scope("cpu", m);
+            let rank = match request.eval_attr("Rank", &env) {
+                Value::Num(n) => n,
+                Value::Bool(true) => 1.0,
+                _ => 0.0,
+            };
+            if best.is_none() || rank > best.unwrap().1 {
+                best = Some((m, rank));
+            }
+        }
+        best.map(|(m, _)| m)
+    }
+
+    fn mutual(request: &ClassAd, machine: &ClassAd) -> bool {
+        let env_r = Env::with_self(request)
+            .scope("other", machine)
+            .scope("cpu", machine);
+        let req_ok = match request.get("Requirements").or(request.get("Constraint")) {
+            Some(e) => eval(e, &env_r, 0).truthy(),
+            None => true,
+        };
+        if !req_ok {
+            return false;
+        }
+        let env_m = Env::with_self(machine).scope("other", request);
+        match machine.get("Requirements").or(machine.get("Constraint")) {
+            Some(e) => eval(e, &env_m, 0).truthy(),
+            None => true,
+        }
+    }
+
+    /// Gangmatching: binds each port of `request.Ports` to a distinct
+    /// machine maximizing the port's `Rank` under its `Constraint`.
+    /// Returns `None` if any port cannot be satisfied.
+    pub fn gangmatch(&self, request: &ClassAd) -> Option<Vec<&ClassAd>> {
+        let ports = match request.get("Ports") {
+            Some(Expr::AdList(ports)) => ports,
+            _ => return None,
+        };
+        let mut used = vec![false; self.machines.len()];
+        let mut bound = Vec::with_capacity(ports.len());
+        for port in ports {
+            let label = match port.get("Label") {
+                Some(Expr::Ref(path)) => path[0].clone(),
+                Some(Expr::Str(s)) => s.clone(),
+                _ => "cpu".to_string(),
+            };
+            let mut best: Option<(usize, f64)> = None;
+            for (i, m) in self.machines.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let env = Env::with_self(port)
+                    .scope(&label, m)
+                    .scope("other", m);
+                let ok = match port.get("Constraint").or(port.get("Requirements")) {
+                    Some(e) => eval(e, &env, 0).truthy(),
+                    None => true,
+                };
+                if !ok {
+                    continue;
+                }
+                let rank = match port.eval_attr("Rank", &env) {
+                    Value::Num(n) => n,
+                    Value::Bool(true) => 1.0,
+                    _ => 0.0,
+                };
+                if best.is_none() || rank > best.unwrap().1 {
+                    best = Some((i, rank));
+                }
+            }
+            let (i, _) = best?;
+            used[i] = true;
+            bound.push(&self.machines[i]);
+        }
+        Some(bound)
+    }
+
+    /// Builds a resource collection from a matched count-style request:
+    /// the request carries `Count` (hosts wanted) and `Requirements`
+    /// over Clock/Arch/Memory; machines are cluster ads. Hosts are
+    /// gathered from the highest-ranked qualifying clusters.
+    pub fn select_hosts(
+        &self,
+        request: &ClassAd,
+        platform: &Platform,
+    ) -> Option<ResourceCollection> {
+        let count = match request.get("Count") {
+            Some(Expr::Num(n)) => *n as usize,
+            _ => 1,
+        };
+        // Rank all qualifying machines.
+        let mut ranked: Vec<(usize, f64)> = Vec::new();
+        for (i, m) in self.machines.iter().enumerate() {
+            if !Self::mutual(request, m) {
+                continue;
+            }
+            let env = Env::with_self(request).scope("other", m).scope("cpu", m);
+            let rank = match request.eval_attr("Rank", &env) {
+                Value::Num(n) => n,
+                _ => 0.0,
+            };
+            ranked.push((i, rank));
+        }
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut picks = Vec::new();
+        let mut remaining = count;
+        for (i, _) in ranked {
+            if remaining == 0 {
+                break;
+            }
+            // Cluster index encoded by ad order for platform pools.
+            let c = &platform.clusters()[i];
+            let take = (c.hosts as usize).min(remaining);
+            picks.push((c.id, take as u32));
+            remaining -= take;
+        }
+        if remaining > 0 || picks.is_empty() {
+            return None;
+        }
+        Some(platform.rc_from_picks(&picks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classad::{parse_classad, BinOp};
+    use rsg_platform::{ResourceGenSpec, TopologySpec};
+
+    fn pool() -> Matchmaker {
+        let mut mm = Matchmaker::new();
+        for (arch, mem, kflops) in [
+            ("INTEL", 512.0, 20_000.0),
+            ("OPTERON", 2048.0, 90_000.0),
+            ("OPTERON", 4096.0, 150_000.0),
+        ] {
+            let mut ad = ClassAd::new();
+            ad.set("Type", Expr::Str("Machine".into()));
+            ad.set("Arch", Expr::Str(arch.into()));
+            ad.set("OpSys", Expr::Str("LINUX".into()));
+            ad.set("Memory", Expr::Num(mem));
+            ad.set("KFlops", Expr::Num(kflops));
+            mm.advertise(ad);
+        }
+        mm
+    }
+
+    #[test]
+    fn bilateral_match_picks_highest_rank() {
+        let mm = pool();
+        let req = parse_classad(
+            r#"[ Type = "Job";
+                 Requirements = other.Arch == "OPTERON" && other.Memory >= 1024;
+                 Rank = other.KFlops ]"#,
+        )
+        .unwrap();
+        let m = mm.matchmake(&req).unwrap();
+        assert_eq!(m.get("Memory"), Some(&Expr::Num(4096.0)));
+    }
+
+    #[test]
+    fn bilateral_match_respects_machine_requirements() {
+        let mut mm = Matchmaker::new();
+        let mut picky = ClassAd::new();
+        picky.set("Type", Expr::Str("Machine".into()));
+        picky.set("Arch", Expr::Str("INTEL".into()));
+        picky.set(
+            "Requirements",
+            Expr::bin(
+                BinOp::Le,
+                Expr::scoped("other", "ImageSize"),
+                Expr::Num(100.0),
+            ),
+        );
+        mm.advertise(picky);
+        let small = parse_classad(r#"[ ImageSize = 50; Requirements = true ]"#).unwrap();
+        let big = parse_classad(r#"[ ImageSize = 500; Requirements = true ]"#).unwrap();
+        assert!(mm.matchmake(&small).is_some());
+        assert!(mm.matchmake(&big).is_none());
+    }
+
+    #[test]
+    fn no_match_when_constraints_unsatisfiable() {
+        let mm = pool();
+        let req = parse_classad(
+            r#"[ Requirements = other.Arch == "SPARC" ]"#,
+        )
+        .unwrap();
+        assert!(mm.matchmake(&req).is_none());
+    }
+
+    #[test]
+    fn gangmatch_binds_distinct_machines() {
+        let mm = pool();
+        let req = parse_classad(
+            r#"[ Type = "Job";
+                 Ports = {
+                   [ Label = cpu;
+                     Rank = cpu.KFlops;
+                     Constraint = cpu.Arch == "OPTERON" ],
+                   [ Label = cpu;
+                     Rank = cpu.KFlops;
+                     Constraint = cpu.Arch == "OPTERON" ]
+                 } ]"#,
+        )
+        .unwrap();
+        let gang = mm.gangmatch(&req).unwrap();
+        assert_eq!(gang.len(), 2);
+        assert_ne!(
+            gang[0].get("KFlops"),
+            gang[1].get("KFlops"),
+            "distinct machines"
+        );
+    }
+
+    #[test]
+    fn gangmatch_fails_if_any_port_unbound() {
+        let mm = pool();
+        let req = parse_classad(
+            r#"[ Ports = {
+                   [ Constraint = other.Arch == "OPTERON" ],
+                   [ Constraint = other.Arch == "OPTERON" ],
+                   [ Constraint = other.Arch == "OPTERON" ]
+                 } ]"#,
+        )
+        .unwrap();
+        // Only two Opterons in the pool.
+        assert!(mm.gangmatch(&req).is_none());
+    }
+
+    #[test]
+    fn select_hosts_from_platform() {
+        let p = Platform::generate(
+            ResourceGenSpec {
+                clusters: 30,
+                year: 2006,
+                target_hosts: Some(900),
+            },
+            TopologySpec::default(),
+            3,
+        );
+        let mm = Matchmaker::from_platform(&p);
+        let req = parse_classad(
+            r#"[ Type = "Job";
+                 Count = 100;
+                 Requirements = other.Type == "Machine" && other.Clock >= 1000;
+                 Rank = other.Clock ]"#,
+        )
+        .unwrap();
+        let rc = mm.select_hosts(&req, &p).unwrap();
+        assert_eq!(rc.len(), 100);
+        assert!(rc.slowest_clock_mhz() >= 1000.0);
+    }
+
+    #[test]
+    fn select_hosts_fails_when_pool_too_small() {
+        let p = Platform::generate(
+            ResourceGenSpec {
+                clusters: 5,
+                year: 2006,
+                target_hosts: Some(50),
+            },
+            TopologySpec::default(),
+            4,
+        );
+        let mm = Matchmaker::from_platform(&p);
+        let req = parse_classad(r#"[ Count = 500; Requirements = true ]"#).unwrap();
+        assert!(mm.select_hosts(&req, &p).is_none());
+    }
+}

@@ -1,0 +1,555 @@
+//! Condor Classified Advertisements (Section II.4.2).
+//!
+//! ClassAds are attribute→expression records used both by resource
+//! providers ("machine ads", Figure II-3) and requesters ("job ads",
+//! Figure II-2). This module implements the expression language subset
+//! the paper exercises — arithmetic, comparisons, boolean connectives,
+//! dotted scope references (`cpu.KFlops`, `other.Memory`), nested ad
+//! lists for Gangmatching ports — with a printer that reproduces the
+//! paper's formatting, a parser for round-tripping, and evaluation
+//! under a scope environment.
+
+mod matchmaker;
+mod parser;
+
+pub use matchmaker::{machine_ad, Matchmaker};
+pub use parser::parse_classad;
+
+use std::fmt;
+
+/// Binary operators, printed in Condor syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// A ClassAd expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Attribute reference, possibly scoped: `Memory`, `cpu.KFlops`.
+    Ref(Vec<String>),
+    /// Negation `!e` or `-e`.
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A list of nested ads (Gangmatching `Ports`).
+    AdList(Vec<ClassAd>),
+}
+
+impl Expr {
+    /// Convenience: `lhs op rhs`.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience: an unscoped attribute reference.
+    pub fn attr(name: &str) -> Expr {
+        Expr::Ref(vec![name.to_string()])
+    }
+
+    /// Convenience: a scoped attribute reference.
+    pub fn scoped(scope: &str, name: &str) -> Expr {
+        Expr::Ref(vec![scope.to_string(), name.to_string()])
+    }
+
+    /// Conjunction of several expressions.
+    pub fn and_all(mut terms: Vec<Expr>) -> Expr {
+        assert!(!terms.is_empty());
+        let mut acc = terms.remove(0);
+        for t in terms {
+            acc = Expr::bin(BinOp::And, acc, t);
+        }
+        acc
+    }
+}
+
+/// Runtime value of an evaluated expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Number.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Reference to a missing attribute, or a type error.
+    Undefined,
+}
+
+impl Value {
+    /// Condor truthiness: booleans as-is, nonzero numbers true,
+    /// undefined false.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0,
+            Value::Str(_) => false,
+            Value::Undefined => false,
+        }
+    }
+
+    /// Numeric view, if any.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from parsing or evaluating ClassAds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassAdError {
+    /// Parse failure with position and message.
+    Parse(usize, String),
+    /// Evaluation recursion limit hit (self-referential attributes).
+    RecursionLimit,
+}
+
+impl fmt::Display for ClassAdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassAdError::Parse(pos, msg) => write!(f, "parse error at {pos}: {msg}"),
+            ClassAdError::RecursionLimit => write!(f, "attribute recursion limit"),
+        }
+    }
+}
+
+impl std::error::Error for ClassAdError {}
+
+/// An ordered attribute→expression record.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClassAd {
+    attrs: Vec<(String, Expr)>,
+}
+
+impl ClassAd {
+    /// An empty ad.
+    pub fn new() -> ClassAd {
+        ClassAd::default()
+    }
+
+    /// Sets (or replaces) an attribute.
+    pub fn set(&mut self, name: &str, e: Expr) -> &mut Self {
+        if let Some(slot) = self
+            .attrs
+            .iter_mut()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        {
+            slot.1 = e;
+        } else {
+            self.attrs.push((name.to_string(), e));
+        }
+        self
+    }
+
+    /// Case-insensitive attribute lookup.
+    pub fn get(&self, name: &str) -> Option<&Expr> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, e)| e)
+    }
+
+    /// All attributes in insertion order.
+    pub fn attrs(&self) -> &[(String, Expr)] {
+        &self.attrs
+    }
+
+    /// Evaluates attribute `name` under the scope environment. The
+    /// first scope is "self" (unqualified lookups try it first), later
+    /// scopes are candidates (`other`, port labels, …).
+    pub fn eval_attr(&self, name: &str, env: &Env<'_>) -> Value {
+        match self.get(name) {
+            Some(e) => eval(e, env, 0),
+            None => Value::Undefined,
+        }
+    }
+}
+
+/// Scope environment for evaluation: `(scope name, ad)` pairs, self
+/// first.
+#[derive(Debug, Clone, Default)]
+pub struct Env<'a> {
+    scopes: Vec<(&'a str, &'a ClassAd)>,
+}
+
+impl<'a> Env<'a> {
+    /// An environment with just a self scope.
+    pub fn with_self(ad: &'a ClassAd) -> Env<'a> {
+        Env {
+            scopes: vec![("self", ad)],
+        }
+    }
+
+    /// Adds a named scope (e.g. `other`, a port label).
+    pub fn scope(mut self, name: &'a str, ad: &'a ClassAd) -> Env<'a> {
+        self.scopes.push((name, ad));
+        self
+    }
+
+    fn lookup_scoped(&self, scope: &str, attr: &str) -> Option<&'a Expr> {
+        self.scopes
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(scope))
+            .and_then(|(_, ad)| ad.get(attr))
+    }
+
+    fn lookup_unscoped(&self, attr: &str) -> Option<&'a Expr> {
+        self.scopes.iter().find_map(|(_, ad)| ad.get(attr))
+    }
+}
+
+const MAX_DEPTH: u32 = 32;
+
+/// Evaluates an expression under an environment.
+pub fn eval(e: &Expr, env: &Env<'_>, depth: u32) -> Value {
+    if depth > MAX_DEPTH {
+        return Value::Undefined;
+    }
+    match e {
+        Expr::Num(n) => Value::Num(*n),
+        Expr::Str(s) => Value::Str(s.clone()),
+        Expr::Bool(b) => Value::Bool(*b),
+        Expr::AdList(_) => Value::Undefined,
+        Expr::Ref(path) => {
+            let target = match path.len() {
+                1 => env.lookup_unscoped(&path[0]),
+                _ => env
+                    .lookup_scoped(&path[0], &path[1])
+                    .or_else(|| env.lookup_unscoped(path.last().unwrap())),
+            };
+            match target {
+                Some(inner) => eval(inner, env, depth + 1),
+                None => Value::Undefined,
+            }
+        }
+        Expr::Not(inner) => Value::Bool(!eval(inner, env, depth + 1).truthy()),
+        Expr::Neg(inner) => match eval(inner, env, depth + 1).as_num() {
+            Some(n) => Value::Num(-n),
+            None => Value::Undefined,
+        },
+        Expr::Bin(op, l, r) => {
+            // Short-circuit logical connectives.
+            match op {
+                BinOp::And => {
+                    if !eval(l, env, depth + 1).truthy() {
+                        return Value::Bool(false);
+                    }
+                    return Value::Bool(eval(r, env, depth + 1).truthy());
+                }
+                BinOp::Or => {
+                    if eval(l, env, depth + 1).truthy() {
+                        return Value::Bool(true);
+                    }
+                    return Value::Bool(eval(r, env, depth + 1).truthy());
+                }
+                _ => {}
+            }
+            let lv = eval(l, env, depth + 1);
+            let rv = eval(r, env, depth + 1);
+            eval_binop(*op, &lv, &rv)
+        }
+    }
+}
+
+fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Value {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div => match (l.as_num(), r.as_num()) {
+            (Some(a), Some(b)) => {
+                let v = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => {
+                        if b == 0.0 {
+                            return Value::Undefined;
+                        }
+                        a / b
+                    }
+                    _ => unreachable!(),
+                };
+                Value::Num(v)
+            }
+            _ => Value::Undefined,
+        },
+        Eq | Ne => {
+            let eq = match (l, r) {
+                (Value::Str(a), Value::Str(b)) => Some(a.eq_ignore_ascii_case(b)),
+                (Value::Undefined, _) | (_, Value::Undefined) => None,
+                _ => match (l.as_num(), r.as_num()) {
+                    (Some(a), Some(b)) => Some(a == b),
+                    _ => None,
+                },
+            };
+            match eq {
+                Some(e) => Value::Bool(if op == Eq { e } else { !e }),
+                None => Value::Undefined,
+            }
+        }
+        Lt | Le | Gt | Ge => match (l.as_num(), r.as_num()) {
+            (Some(a), Some(b)) => Value::Bool(match op {
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+                _ => unreachable!(),
+            }),
+            _ => match (l, r) {
+                (Value::Str(a), Value::Str(b)) => {
+                    let c = a.to_lowercase().cmp(&b.to_lowercase());
+                    Value::Bool(match op {
+                        Lt => c.is_lt(),
+                        Le => c.is_le(),
+                        Gt => c.is_gt(),
+                        Ge => c.is_ge(),
+                        _ => unreachable!(),
+                    })
+                }
+                _ => Value::Undefined,
+            },
+        },
+        And | Or => unreachable!("handled by short-circuit"),
+    }
+}
+
+// ---------------------------------------------------------------- print
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.print(f, 0)
+    }
+}
+
+impl Expr {
+    fn print(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        match self {
+            Expr::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Expr::Str(s) => write!(f, "\"{s}\""),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Ref(path) => write!(f, "{}", path.join(".")),
+            Expr::Not(e) => {
+                write!(f, "!")?;
+                e.print(f, indent)
+            }
+            Expr::Neg(e) => {
+                write!(f, "-")?;
+                e.print(f, indent)
+            }
+            Expr::Bin(op, l, r) => {
+                l.print(f, indent)?;
+                write!(f, " {} ", op.symbol())?;
+                r.print(f, indent)
+            }
+            Expr::AdList(ads) => {
+                writeln!(f, "{{")?;
+                for (i, ad) in ads.iter().enumerate() {
+                    ad.print(f, indent + 2)?;
+                    if i + 1 < ads.len() {
+                        writeln!(f, ",")?;
+                    } else {
+                        writeln!(f)?;
+                    }
+                }
+                write!(f, "{:indent$}}}", "", indent = indent)
+            }
+        }
+    }
+}
+
+impl ClassAd {
+    fn print(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        writeln!(f, "{:indent$}[", "", indent = indent)?;
+        for (i, (name, e)) in self.attrs.iter().enumerate() {
+            write!(f, "{:indent$}{name} = ", "", indent = indent + 2)?;
+            e.print(f, indent + 2)?;
+            if i + 1 < self.attrs.len() {
+                writeln!(f, ";")?;
+            } else {
+                writeln!(f)?;
+            }
+        }
+        write!(f, "{:indent$}]", "", indent = indent)
+    }
+}
+
+impl fmt::Display for ClassAd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.print(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> ClassAd {
+        let mut ad = ClassAd::new();
+        ad.set("Type", Expr::Str("Machine".into()));
+        ad.set("Arch", Expr::Str("OPTERON".into()));
+        ad.set("OpSys", Expr::Str("LINUX".into()));
+        ad.set("Memory", Expr::Num(2048.0));
+        ad.set("KFlops", Expr::Num(300_000.0));
+        ad
+    }
+
+    #[test]
+    fn eval_constraint_true() {
+        let m = machine();
+        let c = Expr::and_all(vec![
+            Expr::bin(BinOp::Eq, Expr::scoped("cpu", "Type"), Expr::Str("Machine".into())),
+            Expr::bin(BinOp::Eq, Expr::scoped("cpu", "Arch"), Expr::Str("OPTERON".into())),
+            Expr::bin(BinOp::Ge, Expr::scoped("cpu", "Memory"), Expr::Num(1024.0)),
+        ]);
+        let empty = ClassAd::new();
+        let env = Env::with_self(&empty).scope("cpu", &m);
+        assert!(eval(&c, &env, 0).truthy());
+    }
+
+    #[test]
+    fn eval_rank_arithmetic() {
+        // Rank = cpu.KFlops/1E3 + cpu.Memory/32 (Figure II-2).
+        let m = machine();
+        let rank = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Div, Expr::scoped("cpu", "KFlops"), Expr::Num(1e3)),
+            Expr::bin(BinOp::Div, Expr::scoped("cpu", "Memory"), Expr::Num(32.0)),
+        );
+        let empty = ClassAd::new();
+        let env = Env::with_self(&empty).scope("cpu", &m);
+        assert_eq!(eval(&rank, &env, 0), Value::Num(300.0 + 64.0));
+    }
+
+    #[test]
+    fn undefined_attribute_is_undefined() {
+        let m = machine();
+        let env = Env::with_self(&m);
+        assert_eq!(m.eval_attr("Nope", &env), Value::Undefined);
+        let e = Expr::bin(BinOp::Ge, Expr::attr("Nope"), Expr::Num(5.0));
+        assert_eq!(eval(&e, &env, 0), Value::Undefined);
+        assert!(!eval(&e, &env, 0).truthy());
+    }
+
+    #[test]
+    fn string_compare_case_insensitive() {
+        let e = Expr::bin(
+            BinOp::Eq,
+            Expr::Str("linux".into()),
+            Expr::Str("LINUX".into()),
+        );
+        let empty = ClassAd::new();
+        assert!(eval(&e, &Env::with_self(&empty), 0).truthy());
+    }
+
+    #[test]
+    fn self_reference_hits_recursion_limit_gracefully() {
+        let mut ad = ClassAd::new();
+        ad.set("X", Expr::attr("X"));
+        let env = Env::with_self(&ad);
+        assert_eq!(ad.eval_attr("X", &env), Value::Undefined);
+    }
+
+    #[test]
+    fn division_by_zero_undefined() {
+        let e = Expr::bin(BinOp::Div, Expr::Num(1.0), Expr::Num(0.0));
+        let empty = ClassAd::new();
+        assert_eq!(eval(&e, &Env::with_self(&empty), 0), Value::Undefined);
+    }
+
+    #[test]
+    fn display_matches_condor_style() {
+        let mut ad = ClassAd::new();
+        ad.set("Type", Expr::Str("Job".into()));
+        ad.set(
+            "Requirements",
+            Expr::bin(
+                BinOp::And,
+                Expr::bin(BinOp::Eq, Expr::scoped("other", "Arch"), Expr::Str("INTEL".into())),
+                Expr::bin(BinOp::Ge, Expr::scoped("other", "Memory"), Expr::Num(512.0)),
+            ),
+        );
+        let s = ad.to_string();
+        assert!(s.contains("Type = \"Job\";"));
+        assert!(s.contains("other.Arch == \"INTEL\" && other.Memory >= 512"));
+        assert!(s.starts_with('[') && s.ends_with(']'));
+    }
+
+    #[test]
+    fn set_replaces_case_insensitively() {
+        let mut ad = ClassAd::new();
+        ad.set("memory", Expr::Num(1.0));
+        ad.set("Memory", Expr::Num(2.0));
+        assert_eq!(ad.attrs().len(), 1);
+        assert_eq!(ad.get("MEMORY"), Some(&Expr::Num(2.0)));
+    }
+
+    #[test]
+    fn short_circuit_and() {
+        // false && undefined -> false (not undefined).
+        let e = Expr::bin(
+            BinOp::And,
+            Expr::Bool(false),
+            Expr::attr("Missing"),
+        );
+        let empty = ClassAd::new();
+        assert_eq!(eval(&e, &Env::with_self(&empty), 0), Value::Bool(false));
+    }
+}

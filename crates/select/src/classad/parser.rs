@@ -1,0 +1,517 @@
+//! Recursive-descent parser for the ClassAd subset the paper uses,
+//! enabling round-trips of generated specifications (Figure VII-3) and
+//! of the paper's own example ads (Figures II-2 / II-3).
+
+use super::{BinOp, ClassAd, ClassAdError, Expr};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    Dot,
+    Assign,
+    Op(BinOp),
+    Not,
+    Ident(String),
+    Str(String),
+    Num(f64),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> ClassAdError {
+        ClassAdError::Parse(self.pos, msg.to_string())
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Tok)>, ClassAdError> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            let start = self.pos;
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'[' => {
+                    out.push((start, Tok::LBracket));
+                    self.pos += 1;
+                }
+                b']' => {
+                    out.push((start, Tok::RBracket));
+                    self.pos += 1;
+                }
+                b'{' => {
+                    out.push((start, Tok::LBrace));
+                    self.pos += 1;
+                }
+                b'}' => {
+                    out.push((start, Tok::RBrace));
+                    self.pos += 1;
+                }
+                b'(' => {
+                    out.push((start, Tok::LParen));
+                    self.pos += 1;
+                }
+                b')' => {
+                    out.push((start, Tok::RParen));
+                    self.pos += 1;
+                }
+                b';' => {
+                    out.push((start, Tok::Semi));
+                    self.pos += 1;
+                }
+                b',' => {
+                    out.push((start, Tok::Comma));
+                    self.pos += 1;
+                }
+                b'.' => {
+                    out.push((start, Tok::Dot));
+                    self.pos += 1;
+                }
+                b'+' => {
+                    out.push((start, Tok::Op(BinOp::Add)));
+                    self.pos += 1;
+                }
+                b'-' => {
+                    out.push((start, Tok::Op(BinOp::Sub)));
+                    self.pos += 1;
+                }
+                b'*' => {
+                    out.push((start, Tok::Op(BinOp::Mul)));
+                    self.pos += 1;
+                }
+                b'/' => {
+                    out.push((start, Tok::Op(BinOp::Div)));
+                    self.pos += 1;
+                }
+                b'=' if self.peek(1) == Some(b'=') => {
+                    out.push((start, Tok::Op(BinOp::Eq)));
+                    self.pos += 2;
+                }
+                b'=' => {
+                    out.push((start, Tok::Assign));
+                    self.pos += 1;
+                }
+                b'!' if self.peek(1) == Some(b'=') => {
+                    out.push((start, Tok::Op(BinOp::Ne)));
+                    self.pos += 2;
+                }
+                b'!' => {
+                    out.push((start, Tok::Not));
+                    self.pos += 1;
+                }
+                b'<' if self.peek(1) == Some(b'=') => {
+                    out.push((start, Tok::Op(BinOp::Le)));
+                    self.pos += 2;
+                }
+                b'<' => {
+                    out.push((start, Tok::Op(BinOp::Lt)));
+                    self.pos += 1;
+                }
+                b'>' if self.peek(1) == Some(b'=') => {
+                    out.push((start, Tok::Op(BinOp::Ge)));
+                    self.pos += 2;
+                }
+                b'>' => {
+                    out.push((start, Tok::Op(BinOp::Gt)));
+                    self.pos += 1;
+                }
+                b'&' if self.peek(1) == Some(b'&') => {
+                    out.push((start, Tok::Op(BinOp::And)));
+                    self.pos += 2;
+                }
+                b'|' if self.peek(1) == Some(b'|') => {
+                    out.push((start, Tok::Op(BinOp::Or)));
+                    self.pos += 2;
+                }
+                b'"' | b'\'' => {
+                    let quote = c;
+                    self.pos += 1;
+                    let s0 = self.pos;
+                    while self.pos < self.src.len() && self.src[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.src.len() {
+                        return Err(self.error("unterminated string"));
+                    }
+                    let s = String::from_utf8_lossy(&self.src[s0..self.pos]).into_owned();
+                    self.pos += 1;
+                    out.push((start, Tok::Str(s)));
+                }
+                b'0'..=b'9' => {
+                    let s0 = self.pos;
+                    while self.pos < self.src.len()
+                        && matches!(self.src[self.pos], b'0'..=b'9' | b'.' | b'e' | b'E')
+                    {
+                        // 'E' might start an exponent; accept +/- after it.
+                        if matches!(self.src[self.pos], b'e' | b'E')
+                            && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                        {
+                            self.pos += 1;
+                        }
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[s0..self.pos]).unwrap();
+                    // Magnitude suffixes: 100M, 4K, 2G.
+                    let (mult, skip) = match self.src.get(self.pos) {
+                        Some(b'K') | Some(b'k') => (1024.0, 1),
+                        Some(b'M') | Some(b'm') => (1024.0 * 1024.0, 1),
+                        Some(b'G') | Some(b'g') => (1024.0 * 1024.0 * 1024.0, 1),
+                        _ => (1.0, 0),
+                    };
+                    self.pos += skip;
+                    let n: f64 = text
+                        .parse()
+                        .map_err(|_| self.error("bad number"))?;
+                    out.push((s0, Tok::Num(n * mult)));
+                }
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                    let s0 = self.pos;
+                    while self.pos < self.src.len()
+                        && matches!(self.src[self.pos], b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.src[s0..self.pos]).unwrap().to_string();
+                    out.push((s0, Tok::Ident(s)));
+                }
+                _ => return Err(self.error("unexpected character")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: &str) -> ClassAdError {
+        let pos = self.toks.get(self.pos).map(|(p, _)| *p).unwrap_or(0);
+        ClassAdError::Parse(pos, msg.to_string())
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ClassAdError> {
+        match self.next() {
+            Some(ref got) if got == t => Ok(()),
+            _ => Err(self.err(what)),
+        }
+    }
+
+    fn ad(&mut self) -> Result<ClassAd, ClassAdError> {
+        self.expect(&Tok::LBracket, "expected '['")?;
+        let mut ad = ClassAd::new();
+        loop {
+            match self.peek() {
+                Some(Tok::RBracket) => {
+                    self.next();
+                    break;
+                }
+                Some(Tok::Ident(_)) => {
+                    let name = match self.next() {
+                        Some(Tok::Ident(n)) => n,
+                        _ => unreachable!(),
+                    };
+                    self.expect(&Tok::Assign, "expected '='")?;
+                    let e = self.expr()?;
+                    ad.set(&name, e);
+                    if let Some(Tok::Semi) = self.peek() {
+                        self.next();
+                    }
+                }
+                _ => return Err(self.err("expected attribute or ']'")),
+            }
+        }
+        Ok(ad)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ClassAdError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ClassAdError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&Tok::Op(BinOp::Or)) {
+            self.next();
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ClassAdError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == Some(&Tok::Op(BinOp::And)) {
+            self.next();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ClassAdError> {
+        let lhs = self.add_expr()?;
+        if let Some(Tok::Op(op)) = self.peek() {
+            let op = *op;
+            if matches!(
+                op,
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+            ) {
+                self.next();
+                let rhs = self.add_expr()?;
+                return Ok(Expr::bin(op, lhs, rhs));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ClassAdError> {
+        let mut lhs = self.mul_expr()?;
+        while let Some(Tok::Op(op)) = self.peek() {
+            let op = *op;
+            if matches!(op, BinOp::Add | BinOp::Sub) {
+                self.next();
+                let rhs = self.mul_expr()?;
+                lhs = Expr::bin(op, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ClassAdError> {
+        let mut lhs = self.unary()?;
+        while let Some(Tok::Op(op)) = self.peek() {
+            let op = *op;
+            if matches!(op, BinOp::Mul | BinOp::Div) {
+                self.next();
+                let rhs = self.unary()?;
+                lhs = Expr::bin(op, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ClassAdError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.next();
+                Ok(Expr::Not(Box::new(self.unary()?)))
+            }
+            Some(Tok::Op(BinOp::Sub)) => {
+                self.next();
+                Ok(Expr::Neg(Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ClassAdError> {
+        match self.peek().cloned() {
+            Some(Tok::Num(n)) => {
+                self.next();
+                Ok(Expr::Num(n))
+            }
+            Some(Tok::Str(s)) => {
+                self.next();
+                Ok(Expr::Str(s))
+            }
+            Some(Tok::Ident(id)) => {
+                self.next();
+                if id.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::Bool(true));
+                }
+                if id.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::Bool(false));
+                }
+                let mut path = vec![id];
+                while self.peek() == Some(&Tok::Dot) {
+                    self.next();
+                    match self.next() {
+                        Some(Tok::Ident(p)) => path.push(p),
+                        _ => return Err(self.err("expected identifier after '.'")),
+                    }
+                }
+                Ok(Expr::Ref(path))
+            }
+            Some(Tok::LParen) => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "expected ')'")?;
+                Ok(e)
+            }
+            Some(Tok::LBrace) => {
+                self.next();
+                let mut ads = Vec::new();
+                loop {
+                    if self.peek() == Some(&Tok::RBrace) {
+                        self.next();
+                        break;
+                    }
+                    ads.push(self.ad()?);
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.next();
+                    }
+                }
+                Ok(Expr::AdList(ads))
+            }
+            Some(Tok::LBracket) => Ok(Expr::AdList(vec![self.ad()?])),
+            _ => Err(self.err("expected expression")),
+        }
+    }
+}
+
+/// Parses one ClassAd from text.
+pub fn parse_classad(src: &str) -> Result<ClassAd, ClassAdError> {
+    let toks = Lexer::new(src).tokens()?;
+    let mut p = Parser { toks, pos: 0 };
+    let ad = p.ad()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing input after ad"));
+    }
+    Ok(ad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classad::{eval, Env, Value};
+
+    #[test]
+    fn parses_workstation_ad_figure_ii3() {
+        let src = r#"
+            [ Type = "Machine";
+              Activity = "Idle";
+              KeybrdIdle = '00:23:12';
+              Disk = 323.4M;
+              Memory = 512M;
+              State = "Unclaimed";
+              LoadAvg = 0.042969;
+              Mips = 104;
+              Arch = "INTEL";
+              OpSys = "LINUX";
+              KFlops = 21893;
+            ]"#;
+        let ad = parse_classad(src).unwrap();
+        assert_eq!(ad.attrs().len(), 11);
+        let env = Env::with_self(&ad);
+        assert_eq!(ad.eval_attr("Mips", &env), Value::Num(104.0));
+        // 512M suffix expands.
+        assert_eq!(
+            ad.eval_attr("Memory", &env),
+            Value::Num(512.0 * 1024.0 * 1024.0)
+        );
+    }
+
+    #[test]
+    fn parses_gangmatch_request_figure_ii2() {
+        let src = r#"
+            [ Type = "Job";
+              Owner = "somedude";
+              Cmd = "run_simulation";
+              Ports = {
+                [ Label = cpu;
+                  ImageSize = 100M;
+                  Rank = cpu.KFlops/1E3 + cpu.Memory/32;
+                  Constraint = cpu.Type == "Machine" &&
+                               cpu.Arch == "OPTERON" &&
+                               cpu.OpSys == "LINUX"
+                ],
+                [ Label = cpu;
+                  ImageSize = 100M;
+                  Rank = cpu.MFlops/1E3 + cpu.Memory/32;
+                  Constraint = cpu.Type == "Machine" &&
+                               cpu.Arch == "INTEL" &&
+                               cpu.OpSys == "LINUX"
+                ]
+              }
+            ]"#;
+        let ad = parse_classad(src).unwrap();
+        match ad.get("Ports") {
+            Some(crate::classad::Expr::AdList(ports)) => {
+                assert_eq!(ports.len(), 2);
+                assert!(ports[0].get("Constraint").is_some());
+            }
+            other => panic!("Ports should be an ad list, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_print_parse() {
+        let src = r#"[ Type = "Job"; Requirements = other.Memory >= 512 && other.Arch == "INTEL"; Rank = other.KFlops / 1000 ]"#;
+        let ad = parse_classad(src).unwrap();
+        let printed = ad.to_string();
+        let re = parse_classad(&printed).unwrap();
+        assert_eq!(ad, re);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ad = parse_classad("[ // a comment\n X = 1; ]").unwrap();
+        assert_eq!(ad.get("X"), Some(&crate::classad::Expr::Num(1.0)));
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_classad("[ X = ; ]").unwrap_err();
+        assert!(matches!(err, ClassAdError::Parse(_, _)));
+    }
+
+    #[test]
+    fn precedence_mul_before_add_before_cmp() {
+        let ad = parse_classad("[ X = 1 + 2 * 3 >= 7 ]").unwrap();
+        let env = Env::with_self(&ad);
+        assert_eq!(eval(ad.get("X").unwrap(), &env, 0), Value::Bool(true));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let ad = parse_classad("[ X = 1E3; Y = 2.5e-2 ]").unwrap();
+        let env = Env::with_self(&ad);
+        assert_eq!(ad.eval_attr("X", &env), Value::Num(1000.0));
+        assert_eq!(ad.eval_attr("Y", &env), Value::Num(0.025));
+    }
+}

@@ -1,0 +1,34 @@
+//! # rsg-select — resource-selection systems
+//!
+//! Implements the three resource-selection substrates the paper targets
+//! (Section II.4), each with its description language **and** a working
+//! selection engine over an [`rsg_platform::Platform`], so that
+//! specifications produced by the generator of Chapter VII can actually
+//! be executed end-to-end:
+//!
+//! * [`classad`] — Condor Classified Advertisements: expression AST,
+//!   parser, printer, bilateral matchmaking, and Gangmatching over
+//!   ports (Figures II-2/II-3).
+//! * [`vgdl`] — the Virtual Grid Description Language of vgES:
+//!   ClusterOf/TightBagOf/LooseBagOf aggregates with attribute
+//!   constraints and rank functions (Figure II-1), plus a vgES-like
+//!   finder that composes a Virtual Grid from the platform.
+//! * [`sword`] — SWORD XML queries: groups with per-node attribute
+//!   ranges and penalties plus inter-group constraints (Figure II-4),
+//!   and a penalty-minimizing group-selection engine.
+//!
+//! A shared [`selection_time`] model accounts for the time the
+//! resource-selection step itself takes, which Chapter IV folds into the
+//! application turn-around time.
+
+#![warn(missing_docs)]
+
+pub mod classad;
+pub mod selection_time;
+pub mod sword;
+pub mod vgdl;
+
+pub use classad::{ClassAd, ClassAdError, Matchmaker};
+pub use selection_time::SelectionTimeModel;
+pub use sword::{SwordEngine, SwordRequest};
+pub use vgdl::{VgesFinder, VgdlError, VgdlSpec};

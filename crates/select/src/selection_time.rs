@@ -1,0 +1,51 @@
+//! Resource-selection time model.
+//!
+//! Chapter IV folds "the time to obtain a VG when applicable" into the
+//! application turn-around time (Figure IV-5). The vgFAB resolves
+//! queries against a relational database of cluster records, so its
+//! latency is modeled as a fixed query overhead plus a per-cluster scan
+//! cost — deterministic and small (seconds), matching the narrow
+//! "VG time" slice in the paper's bars.
+
+/// Deterministic selection-time model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionTimeModel {
+    /// Fixed query overhead, seconds.
+    pub base_s: f64,
+    /// Cost per cluster record scanned, seconds.
+    pub per_cluster_s: f64,
+}
+
+impl Default for SelectionTimeModel {
+    fn default() -> Self {
+        SelectionTimeModel {
+            base_s: 0.5,
+            per_cluster_s: 1.0e-3,
+        }
+    }
+}
+
+impl SelectionTimeModel {
+    /// Selection time for a query that scanned `clusters` records.
+    pub fn seconds(&self, clusters: usize) -> f64 {
+        self.base_s + self.per_cluster_s * clusters as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_universe_selection_is_seconds() {
+        let m = SelectionTimeModel::default();
+        let t = m.seconds(1000);
+        assert!((1.0..5.0).contains(&t), "VG time {t}s should be ~seconds");
+    }
+
+    #[test]
+    fn monotone_in_clusters() {
+        let m = SelectionTimeModel::default();
+        assert!(m.seconds(10) < m.seconds(1000));
+    }
+}

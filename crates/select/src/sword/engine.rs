@@ -1,0 +1,249 @@
+//! A SWORD-like selection engine: maps a [`SwordRequest`] onto a
+//! [`Platform`], minimizing total penalty while honouring hard ranges
+//! and inter-group latency constraints (Section II.4.3: "SWORD
+//! endeavors to locate the lowest cost resource configuration while
+//! meeting user requirements").
+
+use super::{SwordGroup, SwordRequest};
+use rsg_platform::{Cluster, ClusterId, Platform, ResourceCollection};
+
+/// Penalty-minimizing group selector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwordEngine;
+
+impl SwordEngine {
+    /// Attribute value of a cluster for the SWORD attribute vocabulary.
+    fn attr_value(c: &Cluster, name: &str) -> Option<f64> {
+        match name.to_ascii_lowercase().as_str() {
+            // Dedicated resources in our model: zero load.
+            "cpu_load" => Some(0.0),
+            "free_mem" => Some(c.memory_mb as f64),
+            // Disk modeled proportional to memory (GB scale).
+            "free_disk" => Some(c.memory_mb as f64 * 2.0),
+            "clock" => Some(c.clock_mhz),
+            "num_cpus" | "hosts" => Some(c.hosts as f64),
+            // Intra-group latency handled at the group level; per-node
+            // latency attribute treated as intra-cluster (negligible).
+            "latency" => Some(0.05),
+            _ => None,
+        }
+    }
+
+    /// Per-cluster penalty for a group, `None` if inadmissible.
+    fn cluster_cost(g: &SwordGroup, c: &Cluster) -> Option<f64> {
+        let mut total = 0.0;
+        for a in &g.attrs {
+            let v = Self::attr_value(c, &a.name)?;
+            let cost = a.cost(v);
+            if cost.is_infinite() {
+                return None;
+            }
+            total += cost;
+        }
+        if let Some(os) = &g.os {
+            if !os.eq_ignore_ascii_case("linux") {
+                return None; // our synthetic universe is Linux-only
+            }
+        }
+        Some(total)
+    }
+
+    /// Selects hosts for every group, returning one RC spanning all
+    /// groups, or `None` when any group or inter-group constraint
+    /// cannot be met.
+    pub fn select(&self, platform: &Platform, req: &SwordRequest) -> Option<ResourceCollection> {
+        let mut all_picks: Vec<(ClusterId, u32)> = Vec::new();
+        let mut group_anchor: Vec<(String, ClusterId)> = Vec::new();
+
+        for g in &req.groups {
+            // Rank admissible clusters by penalty, then prefer faster.
+            let mut ranked: Vec<(&Cluster, f64)> = platform
+                .clusters()
+                .iter()
+                .filter_map(|c| Self::cluster_cost(g, c).map(|cost| (c, cost)))
+                .collect();
+            ranked.sort_by(|a, b| {
+                a.1.total_cmp(&b.1)
+                    .then(b.0.clock_mhz.total_cmp(&a.0.clock_mhz))
+                    .then(a.0.id.cmp(&b.0.id))
+            });
+
+            let mut remaining = g.num_machines as usize;
+            let mut picks: Vec<(ClusterId, u32)> = Vec::new();
+            for (c, _) in ranked {
+                if remaining == 0 {
+                    break;
+                }
+                // Hosts already granted to earlier groups are taken.
+                let already = all_picks
+                    .iter()
+                    .find(|(id, _)| *id == c.id)
+                    .map(|&(_, n)| n as usize)
+                    .unwrap_or(0);
+                let free = (c.hosts as usize).saturating_sub(already);
+                if free == 0 {
+                    continue;
+                }
+                // Inter-group constraints against already-anchored
+                // groups.
+                let ok = req.constraints.iter().all(|k| {
+                    let other = if k.groups.0 == g.name {
+                        Some(&k.groups.1)
+                    } else if k.groups.1 == g.name {
+                        Some(&k.groups.0)
+                    } else {
+                        None
+                    };
+                    match other.and_then(|o| {
+                        group_anchor.iter().find(|(n, _)| n == o).map(|(_, id)| *id)
+                    }) {
+                        Some(anchor) => {
+                            let lat = platform.latency_ms(anchor, c.id);
+                            k.attr.admissible(lat)
+                        }
+                        None => true,
+                    }
+                });
+                if !ok {
+                    continue;
+                }
+                let take = free.min(remaining);
+                picks.push((c.id, take as u32));
+                remaining -= take;
+            }
+            if remaining > 0 {
+                return None;
+            }
+            if let Some(&(first, _)) = picks.first() {
+                group_anchor.push((g.name.clone(), first));
+            }
+            for p in picks {
+                if let Some(slot) = all_picks.iter_mut().find(|(id, _)| *id == p.0) {
+                    let cap = platform.clusters()[p.0.index()].hosts;
+                    slot.1 = (slot.1 + p.1).min(cap);
+                } else {
+                    all_picks.push(p);
+                }
+            }
+        }
+        if all_picks.is_empty() {
+            None
+        } else {
+            Some(platform.rc_from_picks(&all_picks))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sword::{AttrRange, Bound, SwordRequest};
+    use rsg_platform::{ResourceGenSpec, TopologySpec};
+
+    fn platform() -> Platform {
+        Platform::generate(
+            ResourceGenSpec {
+                clusters: 60,
+                year: 2006,
+                target_hosts: Some(2000),
+            },
+            TopologySpec::default(),
+            21,
+        )
+    }
+
+    fn clock_group(name: &str, machines: u32, min_clock: f64) -> SwordGroup {
+        SwordGroup {
+            name: name.into(),
+            num_machines: machines,
+            attrs: vec![AttrRange {
+                name: "clock".into(),
+                req_min: min_clock,
+                des_min: min_clock,
+                des_max: Bound::Max,
+                req_max: Bound::Max,
+                penalty: 0.0,
+            }],
+            os: Some("Linux".into()),
+            region: None,
+        }
+    }
+
+    #[test]
+    fn selects_requested_count() {
+        let p = platform();
+        let req = SwordRequest::with_groups(vec![clock_group("G", 50, 1500.0)]);
+        let rc = SwordEngine.select(&p, &req).unwrap();
+        assert_eq!(rc.len(), 50);
+        assert!(rc.slowest_clock_mhz() >= 1500.0);
+    }
+
+    #[test]
+    fn infeasible_clock_fails() {
+        let p = platform();
+        let req = SwordRequest::with_groups(vec![clock_group("G", 10, 1e6)]);
+        assert!(SwordEngine.select(&p, &req).is_none());
+    }
+
+    #[test]
+    fn penalty_prefers_desired_range() {
+        // Two groups: one desiring >= a high clock with a penalty below
+        // it; engine should pick the fastest clusters first.
+        let p = platform();
+        let top_clock = p
+            .clusters()
+            .iter()
+            .map(|c| c.clock_mhz)
+            .fold(0.0f64, f64::max);
+        let g = SwordGroup {
+            name: "fast".into(),
+            num_machines: 5,
+            attrs: vec![AttrRange {
+                name: "clock".into(),
+                req_min: 0.0,
+                des_min: top_clock,
+                des_max: Bound::Max,
+                req_max: Bound::Max,
+                penalty: 1.0,
+            }],
+            os: None,
+            region: None,
+        };
+        let rc = SwordEngine
+            .select(&p, &SwordRequest::with_groups(vec![g]))
+            .unwrap();
+        assert!(rc.slowest_clock_mhz() >= top_clock * 0.8);
+    }
+
+    #[test]
+    fn two_groups_combined() {
+        let p = platform();
+        let req = SwordRequest::with_groups(vec![
+            clock_group("A", 20, 1000.0),
+            clock_group("B", 20, 1000.0),
+        ]);
+        let rc = SwordEngine.select(&p, &req).unwrap();
+        assert!(rc.len() >= 40, "overlapping clusters may merge, {} hosts", rc.len());
+    }
+
+    #[test]
+    fn figure_ii4_style_request_parses_and_selects() {
+        let p = platform();
+        let req = crate::sword::parse_sword(
+            r#"<request>
+                 <dist_query_budget>30</dist_query_budget>
+                 <optimizer_budget>100</optimizer_budget>
+                 <group>
+                   <name>G</name>
+                   <num_machines>8</num_machines>
+                   <cpu_load>0.0, 0.0, 0.1, 0.5, 0.0</cpu_load>
+                   <free_mem>256.0, 512.0, MAX, MAX, 100.0</free_mem>
+                   <os><value>Linux, 0.0</value></os>
+                 </group>
+               </request>"#,
+        )
+        .unwrap();
+        let rc = SwordEngine.select(&p, &req).unwrap();
+        assert_eq!(rc.len(), 8);
+    }
+}

@@ -1,0 +1,183 @@
+//! SWORD — scalable wide-area resource discovery (Section II.4.3).
+//!
+//! A SWORD query is an XML document with (1) resource-consumption
+//! budgets for evaluating the query, (2) groups of machines with
+//! per-node attribute requirements, and (3) pair-wise inter-group
+//! constraints. Per-attribute requirements are five-tuples
+//!
+//! ```text
+//! (required-min, desired-min, desired-max, required-max, penalty)
+//! ```
+//!
+//! — values inside the required range but outside the desired range
+//! accrue `penalty` per unit of distance; SWORD "endeavors to locate
+//! the lowest cost resource configuration" (Figure II-4).
+
+mod engine;
+mod xml;
+
+pub use engine::SwordEngine;
+pub use xml::{parse_sword, write_sword};
+
+use std::fmt;
+
+/// A bound that may be a number or the sentinel `MAX`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    /// Finite bound.
+    Value(f64),
+    /// Unbounded (`MAX` in the XML).
+    Max,
+}
+
+impl Bound {
+    /// The numeric value, `+∞` for `Max`.
+    pub fn value(self) -> f64 {
+        match self {
+            Bound::Value(v) => v,
+            Bound::Max => f64::INFINITY,
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Value(v) => write!(f, "{v:.1}"),
+            Bound::Max => write!(f, "MAX"),
+        }
+    }
+}
+
+/// One per-node attribute requirement five-tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrRange {
+    /// Attribute name (`cpu_load`, `free_mem`, `free_disk`, `clock`, …).
+    pub name: String,
+    /// Required minimum (hard).
+    pub req_min: f64,
+    /// Desired minimum.
+    pub des_min: f64,
+    /// Desired maximum.
+    pub des_max: Bound,
+    /// Required maximum (hard).
+    pub req_max: Bound,
+    /// Penalty per unit outside the desired range (within required).
+    pub penalty: f64,
+}
+
+impl AttrRange {
+    /// Hard accept/reject.
+    pub fn admissible(&self, x: f64) -> bool {
+        x >= self.req_min && x <= self.req_max.value()
+    }
+
+    /// Penalty cost of value `x` (0 inside the desired range,
+    /// `penalty × distance` outside it, infinite outside the required
+    /// range).
+    pub fn cost(&self, x: f64) -> f64 {
+        if !self.admissible(x) {
+            return f64::INFINITY;
+        }
+        if x < self.des_min {
+            (self.des_min - x) * self.penalty
+        } else if x > self.des_max.value() {
+            (x - self.des_max.value()) * self.penalty
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One machine group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwordGroup {
+    /// Group name.
+    pub name: String,
+    /// Number of machines requested.
+    pub num_machines: u32,
+    /// Attribute five-tuples.
+    pub attrs: Vec<AttrRange>,
+    /// Required operating system, if any.
+    pub os: Option<String>,
+    /// `network_coordinate_center`, e.g. `North_America`.
+    pub region: Option<String>,
+}
+
+/// A pair-wise constraint between two groups (inter-group latency in
+/// the paper's example).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterGroupConstraint {
+    /// The two group names.
+    pub groups: (String, String),
+    /// The constrained attribute (typically `latency`).
+    pub attr: AttrRange,
+}
+
+/// A complete SWORD request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwordRequest {
+    /// Max nodes visited in the distributed query.
+    pub dist_query_budget: u32,
+    /// Max optimization time, seconds.
+    pub optimizer_budget: u32,
+    /// The machine groups.
+    pub groups: Vec<SwordGroup>,
+    /// Inter-group constraints.
+    pub constraints: Vec<InterGroupConstraint>,
+}
+
+impl SwordRequest {
+    /// A request with the paper's default budgets (Figure II-4: 30
+    /// nodes / 100 s).
+    pub fn with_groups(groups: Vec<SwordGroup>) -> SwordRequest {
+        SwordRequest {
+            dist_query_budget: 30,
+            optimizer_budget: 100,
+            groups,
+            constraints: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_range_cost_shape() {
+        let r = AttrRange {
+            name: "free_mem".into(),
+            req_min: 256.0,
+            des_min: 512.0,
+            des_max: Bound::Max,
+            req_max: Bound::Max,
+            penalty: 0.5,
+        };
+        assert!(!r.admissible(100.0));
+        assert_eq!(r.cost(100.0), f64::INFINITY);
+        assert_eq!(r.cost(600.0), 0.0);
+        assert!((r.cost(300.0) - (512.0 - 300.0) * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_desired_penalized() {
+        let r = AttrRange {
+            name: "cpu_load".into(),
+            req_min: 0.0,
+            des_min: 0.0,
+            des_max: Bound::Value(0.1),
+            req_max: Bound::Value(0.5),
+            penalty: 10.0,
+        };
+        assert_eq!(r.cost(0.05), 0.0);
+        assert!((r.cost(0.3) - 2.0).abs() < 1e-12);
+        assert_eq!(r.cost(0.6), f64::INFINITY);
+    }
+
+    #[test]
+    fn bound_display() {
+        assert_eq!(Bound::Max.to_string(), "MAX");
+        assert_eq!(Bound::Value(256.0).to_string(), "256.0");
+    }
+}

@@ -1,0 +1,376 @@
+//! SWORD XML writer and parser for the Figure II-4 query dialect.
+
+use super::{AttrRange, Bound, InterGroupConstraint, SwordGroup, SwordRequest};
+
+/// Renders a request as the paper's XML dialect.
+pub fn write_sword(req: &SwordRequest) -> String {
+    let mut out = String::new();
+    out.push_str("<request>\n");
+    out.push_str(&format!(
+        "  <dist_query_budget>{}</dist_query_budget>\n",
+        req.dist_query_budget
+    ));
+    out.push_str(&format!(
+        "  <optimizer_budget>{}</optimizer_budget>\n",
+        req.optimizer_budget
+    ));
+    for g in &req.groups {
+        out.push_str("  <group>\n");
+        out.push_str(&format!("    <name>{}</name>\n", g.name));
+        out.push_str(&format!(
+            "    <num_machines>{}</num_machines>\n",
+            g.num_machines
+        ));
+        for a in &g.attrs {
+            out.push_str(&format!(
+                "    <{n}>{}, {}, {}, {}, {}</{n}>\n",
+                fmt_num(a.req_min),
+                fmt_num(a.des_min),
+                a.des_max,
+                a.req_max,
+                fmt_num(a.penalty),
+                n = a.name
+            ));
+        }
+        if let Some(os) = &g.os {
+            out.push_str("    <os>\n");
+            out.push_str(&format!("      <value>{os}, 0.0</value>\n"));
+            out.push_str("    </os>\n");
+        }
+        if let Some(region) = &g.region {
+            out.push_str("    <network_coordinate_center>\n");
+            out.push_str(&format!("      <value>{region}, 0.0</value>\n"));
+            out.push_str("    </network_coordinate_center>\n");
+        }
+        out.push_str("  </group>\n");
+    }
+    for c in &req.constraints {
+        out.push_str("  <constraint>\n");
+        out.push_str(&format!(
+            "    <group_names>{} {}</group_names>\n",
+            c.groups.0, c.groups.1
+        ));
+        let a = &c.attr;
+        out.push_str(&format!(
+            "    <{n}>{}, {}, {}, {}, {}</{n}>\n",
+            fmt_num(a.req_min),
+            fmt_num(a.des_min),
+            a.des_max,
+            a.req_max,
+            fmt_num(a.penalty),
+            n = a.name
+        ));
+        out.push_str("  </constraint>\n");
+    }
+    out.push_str("</request>\n");
+    out
+}
+
+fn fmt_num(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e12 {
+        format!("{:.1}", x)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Parse error for the SWORD XML dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwordParseError(pub String);
+
+impl std::fmt::Display for SwordParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SWORD XML parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SwordParseError {}
+
+/// Parses the Figure II-4 dialect. Minimal, hand-rolled: elements only,
+/// no attributes or escaping, which is all the dialect uses.
+pub fn parse_sword(src: &str) -> Result<SwordRequest, SwordParseError> {
+    let mut doc = XmlCursor::new(src);
+    doc.open("request")?;
+    let mut req = SwordRequest {
+        dist_query_budget: 0,
+        optimizer_budget: 0,
+        groups: Vec::new(),
+        constraints: Vec::new(),
+    };
+    while let Some(tag) = doc.peek_open() {
+        match tag.as_str() {
+            "dist_query_budget" => {
+                req.dist_query_budget = doc
+                    .text_element("dist_query_budget")?
+                    .trim()
+                    .parse()
+                    .map_err(|_| SwordParseError("bad budget".into()))?;
+            }
+            "optimizer_budget" => {
+                req.optimizer_budget = doc
+                    .text_element("optimizer_budget")?
+                    .trim()
+                    .parse()
+                    .map_err(|_| SwordParseError("bad budget".into()))?;
+            }
+            "group" => req.groups.push(parse_group(&mut doc)?),
+            "constraint" => req.constraints.push(parse_constraint(&mut doc)?),
+            other => return Err(SwordParseError(format!("unexpected element <{other}>"))),
+        }
+    }
+    doc.close("request")?;
+    Ok(req)
+}
+
+fn parse_group(doc: &mut XmlCursor<'_>) -> Result<SwordGroup, SwordParseError> {
+    doc.open("group")?;
+    let mut g = SwordGroup {
+        name: String::new(),
+        num_machines: 0,
+        attrs: Vec::new(),
+        os: None,
+        region: None,
+    };
+    while let Some(tag) = doc.peek_open() {
+        match tag.as_str() {
+            "name" => g.name = doc.text_element("name")?.trim().to_string(),
+            "num_machines" => {
+                g.num_machines = doc
+                    .text_element("num_machines")?
+                    .trim()
+                    .parse()
+                    .map_err(|_| SwordParseError("bad num_machines".into()))?;
+            }
+            "os" => {
+                doc.open("os")?;
+                let v = doc.text_element("value")?;
+                g.os = Some(first_field(&v));
+                doc.close("os")?;
+            }
+            "network_coordinate_center" => {
+                doc.open("network_coordinate_center")?;
+                let v = doc.text_element("value")?;
+                g.region = Some(first_field(&v));
+                doc.close("network_coordinate_center")?;
+            }
+            attr => {
+                let name = attr.to_string();
+                let text = doc.text_element(&name)?;
+                g.attrs.push(parse_tuple(&name, &text)?);
+            }
+        }
+    }
+    doc.close("group")?;
+    Ok(g)
+}
+
+fn parse_constraint(doc: &mut XmlCursor<'_>) -> Result<InterGroupConstraint, SwordParseError> {
+    doc.open("constraint")?;
+    let names = doc.text_element("group_names")?;
+    let mut it = names.split_whitespace();
+    let a = it
+        .next()
+        .ok_or_else(|| SwordParseError("missing group name".into()))?
+        .to_string();
+    let b = it
+        .next()
+        .ok_or_else(|| SwordParseError("missing second group name".into()))?
+        .to_string();
+    let tag = doc
+        .peek_open()
+        .ok_or_else(|| SwordParseError("missing constraint attribute".into()))?;
+    let text = doc.text_element(&tag)?;
+    let attr = parse_tuple(&tag, &text)?;
+    doc.close("constraint")?;
+    Ok(InterGroupConstraint {
+        groups: (a, b),
+        attr,
+    })
+}
+
+fn first_field(s: &str) -> String {
+    s.split(',').next().unwrap_or("").trim().to_string()
+}
+
+fn parse_tuple(name: &str, text: &str) -> Result<AttrRange, SwordParseError> {
+    let parts: Vec<&str> = text.split(',').map(str::trim).collect();
+    if parts.len() != 5 {
+        return Err(SwordParseError(format!(
+            "attribute <{name}> needs 5 comma-separated values"
+        )));
+    }
+    let num = |s: &str| -> Result<f64, SwordParseError> {
+        s.parse()
+            .map_err(|_| SwordParseError(format!("bad number '{s}' in <{name}>")))
+    };
+    let bound = |s: &str| -> Result<Bound, SwordParseError> {
+        if s.eq_ignore_ascii_case("MAX") {
+            Ok(Bound::Max)
+        } else {
+            Ok(Bound::Value(num(s)?))
+        }
+    };
+    Ok(AttrRange {
+        name: name.to_string(),
+        req_min: num(parts[0])?,
+        des_min: num(parts[1])?,
+        des_max: bound(parts[2])?,
+        req_max: bound(parts[3])?,
+        penalty: num(parts[4])?,
+    })
+}
+
+/// Tiny element-only XML cursor.
+struct XmlCursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> XmlCursor<'a> {
+    fn new(src: &'a str) -> XmlCursor<'a> {
+        XmlCursor { src, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Peeks the next opening tag name without consuming it.
+    fn peek_open(&mut self) -> Option<String> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if !rest.starts_with('<') || rest.starts_with("</") {
+            return None;
+        }
+        let end = rest.find('>')?;
+        Some(rest[1..end].to_string())
+    }
+
+    fn open(&mut self, tag: &str) -> Result<(), SwordParseError> {
+        self.skip_ws();
+        let expect = format!("<{tag}>");
+        if self.src[self.pos..].starts_with(&expect) {
+            self.pos += expect.len();
+            Ok(())
+        } else {
+            Err(SwordParseError(format!("expected <{tag}>")))
+        }
+    }
+
+    fn close(&mut self, tag: &str) -> Result<(), SwordParseError> {
+        self.skip_ws();
+        let expect = format!("</{tag}>");
+        if self.src[self.pos..].starts_with(&expect) {
+            self.pos += expect.len();
+            Ok(())
+        } else {
+            Err(SwordParseError(format!("expected </{tag}>")))
+        }
+    }
+
+    /// Consumes `<tag>text</tag>` and returns the text.
+    fn text_element(&mut self, tag: &str) -> Result<String, SwordParseError> {
+        self.open(tag)?;
+        let close = format!("</{tag}>");
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .find(&close)
+            .ok_or_else(|| SwordParseError(format!("missing </{tag}>")))?;
+        let text = rest[..end].to_string();
+        self.pos += end + close.len();
+        Ok(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure II-4, verbatim (modulo whitespace).
+    const FIGURE_II4: &str = r#"
+<request>
+  <dist_query_budget>30</dist_query_budget>
+  <optimizer_budget>100</optimizer_budget>
+  <group>
+    <name>Cluster_NA</name>
+    <num_machines>5</num_machines>
+    <cpu_load>0.5, 0.1, 0.1, 0.0, 0.0</cpu_load>
+    <free_mem>256.0, 512.0, MAX, MAX, 100.0</free_mem>
+    <free_disk>500.0, 1000.0, MAX, MAX, 5.0</free_disk>
+    <latency>0.0, 0.0, 10.0, 20.0, 0.5</latency>
+    <os>
+      <value>Linux, 0.0</value>
+    </os>
+    <network_coordinate_center>
+      <value>North_America, 0.0</value>
+    </network_coordinate_center>
+  </group>
+  <group>
+    <name>Cluster_Europe</name>
+    <num_machines>5</num_machines>
+    <cpu_load>0.5, 0.1, 0.1, 0.0, 0.0</cpu_load>
+    <free_mem>256.0, 512.0, MAX, MAX, 100.0</free_mem>
+    <free_disk>500.0, 1000.0, MAX, MAX, 5.0</free_disk>
+    <latency>0.0, 0.0, 10.0, 20.0, 0.5</latency>
+    <os>
+      <value>Linux, 0.0</value>
+    </os>
+    <network_coordinate_center>
+      <value>Europe, 0.0</value>
+    </network_coordinate_center>
+  </group>
+  <constraint>
+    <group_names>Cluster_NA Cluster_Europe</group_names>
+    <latency>0.0, 0.0, 50.0, 100.0, 0.5</latency>
+  </constraint>
+</request>
+"#;
+
+    #[test]
+    fn parses_figure_ii4() {
+        let req = parse_sword(FIGURE_II4).unwrap();
+        assert_eq!(req.dist_query_budget, 30);
+        assert_eq!(req.optimizer_budget, 100);
+        assert_eq!(req.groups.len(), 2);
+        let g = &req.groups[0];
+        assert_eq!(g.name, "Cluster_NA");
+        assert_eq!(g.num_machines, 5);
+        assert_eq!(g.attrs.len(), 4);
+        assert_eq!(g.os.as_deref(), Some("Linux"));
+        assert_eq!(g.region.as_deref(), Some("North_America"));
+        let mem = g.attrs.iter().find(|a| a.name == "free_mem").unwrap();
+        assert_eq!(mem.req_min, 256.0);
+        assert_eq!(mem.des_min, 512.0);
+        assert_eq!(mem.des_max, Bound::Max);
+        assert_eq!(mem.penalty, 100.0);
+        assert_eq!(req.constraints.len(), 1);
+        assert_eq!(
+            req.constraints[0].groups,
+            ("Cluster_NA".to_string(), "Cluster_Europe".to_string())
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let req = parse_sword(FIGURE_II4).unwrap();
+        let xml = write_sword(&req);
+        let re = parse_sword(&xml).unwrap();
+        assert_eq!(req, re);
+    }
+
+    #[test]
+    fn tuple_arity_enforced() {
+        let err = parse_sword(
+            "<request><group><name>g</name><num_machines>1</num_machines><clock>1, 2, 3</clock></group></request>",
+        )
+        .unwrap_err();
+        assert!(err.0.contains("5 comma-separated"));
+    }
+
+    #[test]
+    fn missing_close_reported() {
+        assert!(parse_sword("<request><group><name>g</name>").is_err());
+    }
+}

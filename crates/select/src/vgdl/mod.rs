@@ -1,0 +1,339 @@
+//! vgDL — the Virtual Grid Description Language of vgES (Section
+//! II.4.1.1) and a vgES-like finder.
+//!
+//! vgDL describes hierarchical resource aggregates with qualitative
+//! network proximity:
+//!
+//! ```text
+//! VG = ClusterOf(nodes) [32:64]
+//!        { nodes = [ (Processor == "Opteron") && (Clock >= 2000) && (Memory >= 1024) ] }
+//!      close
+//!      TightBagOf(nodes2) [32:128]
+//!        { nodes2 = [ Clock >= 1000 ] }
+//! ```
+//!
+//! Three aggregate types are distinguished by homogeneity and network
+//! connectivity: `LooseBag` (heterogeneous, possibly poor connectivity),
+//! `TightBag` (heterogeneous, good connectivity) and `Cluster`
+//! (well-connected near-identical nodes). "Good" is a network latency
+//! threshold.
+
+mod finder;
+mod parser;
+
+pub use finder::VgesFinder;
+pub use parser::parse_vgdl;
+
+use std::fmt;
+
+/// Aggregate type (Section II.4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateKind {
+    /// Heterogeneous nodes, possibly poor connectivity.
+    LooseBagOf,
+    /// Heterogeneous nodes, good connectivity.
+    TightBagOf,
+    /// Well-connected, (nearly) identical nodes.
+    ClusterOf,
+}
+
+impl AggregateKind {
+    /// Keyword as written in vgDL.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggregateKind::LooseBagOf => "LooseBagOf",
+            AggregateKind::TightBagOf => "TightBagOf",
+            AggregateKind::ClusterOf => "ClusterOf",
+        }
+    }
+}
+
+/// Comparison operators allowed in node constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+}
+
+impl CmpOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ge => ">=",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Lt => "<",
+        }
+    }
+}
+
+/// Constraint value: numeric or symbolic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintValue {
+    /// Numeric (Clock in MHz, Memory in MB, …).
+    Num(f64),
+    /// Symbolic (processor type, OS).
+    Sym(String),
+}
+
+impl fmt::Display for ConstraintValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintValue::Num(n) => {
+                if n.fract() == 0.0 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            ConstraintValue::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One attribute constraint, e.g. `Clock >= 2000`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeConstraint {
+    /// Attribute name (`Clock`, `Memory`, `Processor`, …).
+    pub attr: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand value.
+    pub value: ConstraintValue,
+}
+
+impl NodeConstraint {
+    /// Numeric constraint shorthand.
+    pub fn num(attr: &str, op: CmpOp, v: f64) -> NodeConstraint {
+        NodeConstraint {
+            attr: attr.to_string(),
+            op,
+            value: ConstraintValue::Num(v),
+        }
+    }
+
+    /// Symbolic equality shorthand.
+    pub fn sym(attr: &str, v: &str) -> NodeConstraint {
+        NodeConstraint {
+            attr: attr.to_string(),
+            op: CmpOp::Eq,
+            value: ConstraintValue::Sym(v.to_string()),
+        }
+    }
+
+    /// Evaluates the constraint against numeric/symbolic attribute
+    /// accessors.
+    pub fn satisfied(&self, num_attr: impl Fn(&str) -> Option<f64>, sym_attr: impl Fn(&str) -> Option<String>) -> bool {
+        match &self.value {
+            ConstraintValue::Num(v) => match num_attr(&self.attr) {
+                Some(x) => match self.op {
+                    CmpOp::Eq => x == *v,
+                    CmpOp::Ge => x >= *v,
+                    CmpOp::Le => x <= *v,
+                    CmpOp::Gt => x > *v,
+                    CmpOp::Lt => x < *v,
+                },
+                None => false,
+            },
+            ConstraintValue::Sym(v) => match sym_attr(&self.attr) {
+                Some(x) => x.eq_ignore_ascii_case(v) == (self.op == CmpOp::Eq),
+                None => false,
+            },
+        }
+    }
+}
+
+/// One resource aggregate request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Aggregate type.
+    pub kind: AggregateKind,
+    /// Node-set variable name (`nodes`).
+    pub var: String,
+    /// Minimum acceptable node count.
+    pub min: u32,
+    /// Maximum requested node count.
+    pub max: u32,
+    /// Optional rank expression (`Nodes` to prefer bigger bags, `Clock`
+    /// to prefer faster ones).
+    pub rank: Option<String>,
+    /// Conjunction of node constraints.
+    pub constraints: Vec<NodeConstraint>,
+}
+
+impl Aggregate {
+    /// Minimum clock constraint if present, MHz.
+    pub fn min_clock_mhz(&self) -> Option<f64> {
+        self.constraints
+            .iter()
+            .filter(|c| c.attr.eq_ignore_ascii_case("Clock"))
+            .filter_map(|c| match (&c.value, c.op) {
+                (ConstraintValue::Num(v), CmpOp::Ge) | (ConstraintValue::Num(v), CmpOp::Gt) => {
+                    Some(*v)
+                }
+                _ => None,
+            })
+            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+    }
+
+    /// Maximum clock constraint if present, MHz.
+    pub fn max_clock_mhz(&self) -> Option<f64> {
+        self.constraints
+            .iter()
+            .filter(|c| c.attr.eq_ignore_ascii_case("Clock"))
+            .filter_map(|c| match (&c.value, c.op) {
+                (ConstraintValue::Num(v), CmpOp::Le) | (ConstraintValue::Num(v), CmpOp::Lt) => {
+                    Some(*v)
+                }
+                _ => None,
+            })
+            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
+    }
+}
+
+/// Proximity connective between consecutive aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proximity {
+    /// "close" — low latency between the aggregates.
+    Close,
+    /// "far" — no proximity requirement.
+    Far,
+}
+
+/// A complete vgDL specification: one or more aggregates joined by
+/// proximity connectives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VgdlSpec {
+    /// Aggregates with the connective *preceding* each one (the first
+    /// entry has none).
+    pub aggregates: Vec<(Option<Proximity>, Aggregate)>,
+}
+
+impl VgdlSpec {
+    /// Single-aggregate convenience.
+    pub fn single(agg: Aggregate) -> VgdlSpec {
+        VgdlSpec {
+            aggregates: vec![(None, agg)],
+        }
+    }
+}
+
+/// Errors from vgDL parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VgdlError {
+    /// Byte offset of the failure.
+    pub pos: usize,
+    /// Message.
+    pub msg: String,
+}
+
+impl fmt::Display for VgdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vgDL parse error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for VgdlError {}
+
+impl fmt::Display for VgdlSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "VG =")?;
+        for (i, (prox, agg)) in self.aggregates.iter().enumerate() {
+            if i > 0 {
+                match prox {
+                    Some(Proximity::Close) => writeln!(f, "  close")?,
+                    Some(Proximity::Far) => writeln!(f, "  far")?,
+                    None => {}
+                }
+            }
+            writeln!(
+                f,
+                "  {}({}) [{}:{}]",
+                agg.kind.keyword(),
+                agg.var,
+                agg.min,
+                agg.max
+            )?;
+            if let Some(rank) = &agg.rank {
+                writeln!(f, "  [rank = {rank}]")?;
+            }
+            writeln!(f, "  {{")?;
+            let body = agg
+                .constraints
+                .iter()
+                .map(|c| format!("({} {} {})", c.attr, c.op.symbol(), c.value))
+                .collect::<Vec<_>>()
+                .join(" && ");
+            writeln!(f, "    {} = [ {} ]", agg.var, body)?;
+            writeln!(f, "  }}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::montage_vgdl;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure IV-4 request: TightBag of 500..2633 hosts with clock
+    /// >= 3 GHz, ranked by node count.
+    pub(crate) fn montage_vgdl() -> VgdlSpec {
+        VgdlSpec::single(Aggregate {
+            kind: AggregateKind::TightBagOf,
+            var: "nodes".into(),
+            min: 500,
+            max: 2633,
+            rank: Some("Nodes".into()),
+            constraints: vec![NodeConstraint::num("Clock", CmpOp::Ge, 3000.0)],
+        })
+    }
+
+    #[test]
+    fn display_contains_figure_elements() {
+        let s = montage_vgdl().to_string();
+        assert!(s.contains("TightBagOf(nodes) [500:2633]"));
+        assert!(s.contains("[rank = Nodes]"));
+        assert!(s.contains("(Clock >= 3000)"));
+    }
+
+    #[test]
+    fn min_max_clock_extraction() {
+        let agg = Aggregate {
+            kind: AggregateKind::ClusterOf,
+            var: "n".into(),
+            min: 1,
+            max: 10,
+            rank: None,
+            constraints: vec![
+                NodeConstraint::num("Clock", CmpOp::Ge, 2000.0),
+                NodeConstraint::num("Clock", CmpOp::Le, 3500.0),
+                NodeConstraint::num("Memory", CmpOp::Ge, 1024.0),
+            ],
+        };
+        assert_eq!(agg.min_clock_mhz(), Some(2000.0));
+        assert_eq!(agg.max_clock_mhz(), Some(3500.0));
+    }
+
+    #[test]
+    fn constraint_satisfaction() {
+        let c = NodeConstraint::num("Clock", CmpOp::Ge, 2000.0);
+        assert!(c.satisfied(|a| (a == "Clock").then_some(2500.0), |_| None));
+        assert!(!c.satisfied(|a| (a == "Clock").then_some(1500.0), |_| None));
+        let s = NodeConstraint::sym("Processor", "Opteron");
+        assert!(s.satisfied(|_| None, |a| (a == "Processor").then(|| "OPTERON".to_string())));
+        assert!(!s.satisfied(|_| None, |_| None));
+    }
+}
+
+

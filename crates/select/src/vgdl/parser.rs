@@ -1,0 +1,293 @@
+//! Parser for the vgDL subset (round-trips the printer output and the
+//! paper's Figure II-1 / IV-4 examples).
+
+use super::{
+    Aggregate, AggregateKind, CmpOp, ConstraintValue, NodeConstraint, Proximity, VgdlError,
+    VgdlSpec,
+};
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, msg: &str) -> VgdlError {
+        VgdlError {
+            pos: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        // Clamp against overruns from unterminated-literal recovery.
+        self.pos = self.pos.min(self.src.len());
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, lit: &str) -> Result<(), VgdlError> {
+        if self.eat(lit) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, VgdlError> {
+        self.skip_ws();
+        let s0 = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == s0 {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(std::str::from_utf8(&self.src[s0..self.pos])
+            .unwrap()
+            .to_string())
+    }
+
+    fn number(&mut self) -> Result<f64, VgdlError> {
+        self.skip_ws();
+        let s0 = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_digit() || self.src[self.pos] == b'.')
+        {
+            self.pos += 1;
+        }
+        if self.pos == s0 {
+            return Err(self.err("expected number"));
+        }
+        std::str::from_utf8(&self.src[s0..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn peek_is(&mut self, lit: &str) -> bool {
+        self.skip_ws();
+        self.src[self.pos..].starts_with(lit.as_bytes())
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+}
+
+/// Parses a vgDL specification of the form
+/// `VG = <aggregate> [close|far <aggregate>]*`.
+pub fn parse_vgdl(src: &str) -> Result<VgdlSpec, VgdlError> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    // Optional "VG =" prefix.
+    {
+        let save = c.pos;
+        if c.eat("VG") && !c.eat("=") {
+            c.pos = save;
+        }
+    }
+    let mut aggregates = Vec::new();
+    let first = parse_aggregate(&mut c)?;
+    aggregates.push((None, first));
+    loop {
+        if c.at_end() {
+            break;
+        }
+        let prox = if c.eat("close") {
+            Some(Proximity::Close)
+        } else if c.eat("far") {
+            Some(Proximity::Far)
+        } else if c.peek_is("ClusterOf") || c.peek_is("TightBagOf") || c.peek_is("LooseBagOf") {
+            None
+        } else {
+            return Err(c.err("expected 'close', 'far' or an aggregate"));
+        };
+        let agg = parse_aggregate(&mut c)?;
+        aggregates.push((prox, agg));
+    }
+    Ok(VgdlSpec { aggregates })
+}
+
+fn parse_aggregate(c: &mut Cursor<'_>) -> Result<Aggregate, VgdlError> {
+    let kind = if c.eat("ClusterOf") {
+        AggregateKind::ClusterOf
+    } else if c.eat("TightBagOf") {
+        AggregateKind::TightBagOf
+    } else if c.eat("LooseBagOf") {
+        AggregateKind::LooseBagOf
+    } else {
+        return Err(c.err("expected aggregate keyword"));
+    };
+    c.expect("(")?;
+    let var = c.ident()?;
+    c.expect(")")?;
+    c.expect("[")?;
+    let min = c.number()? as u32;
+    c.expect(":")?;
+    let max = c.number()? as u32;
+    c.expect("]")?;
+
+    // Optional [rank = X].
+    let mut rank = None;
+    {
+        let save = c.pos;
+        if c.eat("[") {
+            if c.eat("rank") {
+                c.expect("=")?;
+                rank = Some(c.ident()?);
+                c.expect("]")?;
+            } else {
+                c.pos = save;
+            }
+        }
+    }
+
+    c.expect("{")?;
+    let var2 = c.ident()?;
+    if var2 != var {
+        return Err(c.err("node-set variable mismatch"));
+    }
+    c.expect("=")?;
+    c.expect("[")?;
+    let mut constraints = Vec::new();
+    loop {
+        constraints.push(parse_constraint(c)?);
+        if c.eat("&&") {
+            continue;
+        }
+        break;
+    }
+    c.expect("]")?;
+    c.expect("}")?;
+    Ok(Aggregate {
+        kind,
+        var,
+        min,
+        max,
+        rank,
+        constraints,
+    })
+}
+
+fn parse_constraint(c: &mut Cursor<'_>) -> Result<NodeConstraint, VgdlError> {
+    let parens = c.eat("(");
+    let attr = c.ident()?;
+    let op = if c.eat("==") {
+        CmpOp::Eq
+    } else if c.eat(">=") {
+        CmpOp::Ge
+    } else if c.eat("<=") {
+        CmpOp::Le
+    } else if c.eat(">") {
+        CmpOp::Gt
+    } else if c.eat("<") {
+        CmpOp::Lt
+    } else {
+        return Err(c.err("expected comparison operator"));
+    };
+    c.skip_ws();
+    let value = if c.pos < c.src.len() && (c.src[c.pos].is_ascii_digit() || c.src[c.pos] == b'.') {
+        ConstraintValue::Num(c.number()?)
+    } else if c.src.get(c.pos) == Some(&b'"') {
+        c.pos += 1;
+        let s0 = c.pos;
+        while c.pos < c.src.len() && c.src[c.pos] != b'"' {
+            c.pos += 1;
+        }
+        if c.pos >= c.src.len() {
+            return Err(c.err("unterminated string"));
+        }
+        let s = std::str::from_utf8(&c.src[s0..c.pos]).unwrap().to_string();
+        c.pos += 1;
+        ConstraintValue::Sym(s)
+    } else {
+        ConstraintValue::Sym(c.ident()?)
+    };
+    if parens {
+        c.expect(")")?;
+    }
+    Ok(NodeConstraint { attr, op, value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure_ii1() {
+        let src = r#"
+            VG =
+              ClusterOf(nodes) [32:64]
+              {
+                nodes = [ (Processor == Opteron) && (Clock >= 2000) && (Memory >= 1024) ]
+              }
+              close
+              TightBagOf(nodes2) [32:128]
+              {
+                nodes2 = [ Clock >= 1000 ]
+              }
+        "#;
+        let spec = parse_vgdl(src).unwrap();
+        assert_eq!(spec.aggregates.len(), 2);
+        let (p0, a0) = &spec.aggregates[0];
+        assert_eq!(*p0, None);
+        assert_eq!(a0.kind, AggregateKind::ClusterOf);
+        assert_eq!((a0.min, a0.max), (32, 64));
+        assert_eq!(a0.constraints.len(), 3);
+        let (p1, a1) = &spec.aggregates[1];
+        assert_eq!(*p1, Some(Proximity::Close));
+        assert_eq!(a1.kind, AggregateKind::TightBagOf);
+        assert_eq!(a1.min_clock_mhz(), Some(1000.0));
+    }
+
+    #[test]
+    fn parses_figure_iv4_with_rank() {
+        let src = r#"
+            VG = TightBagOf(nodes) [500:2633]
+            [rank = Nodes] {
+              nodes = [ (Clock>=3000) ]
+            }
+        "#;
+        let spec = parse_vgdl(src).unwrap();
+        let agg = &spec.aggregates[0].1;
+        assert_eq!(agg.rank.as_deref(), Some("Nodes"));
+        assert_eq!((agg.min, agg.max), (500, 2633));
+    }
+
+    #[test]
+    fn round_trip() {
+        let spec = crate::vgdl::montage_vgdl();
+        let printed = spec.to_string();
+        let re = parse_vgdl(&printed).unwrap();
+        assert_eq!(spec, re);
+    }
+
+    #[test]
+    fn var_mismatch_rejected() {
+        let src = "ClusterOf(a) [1:2] { b = [ Clock >= 1 ] }";
+        assert!(parse_vgdl(src).is_err());
+    }
+
+    #[test]
+    fn garbage_rejected_with_position() {
+        let err = parse_vgdl("WeirdBagOf(x) [1:2] { x = [ Clock >= 1 ] }").unwrap_err();
+        assert!(err.to_string().contains("aggregate keyword"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Alternative specification negotiation (Section VII.4): what happens
+//! when the best resource request cannot be fulfilled.
+//!
+//! Builds a platform that is deliberately short on fast hosts, generates
+//! the optimal specification, watches the vgES finder reject it, and
+//! walks the degraded-alternative ladder until a collection binds.
+//!
+//! ```sh
+//! cargo run --release --example alternative_specs
+//! ```
+
+use rsg::core::alternative::{alternatives, negotiate, Degradation};
+use rsg::prelude::*;
+
+fn main() {
+    // A modest universe, 2006-era: few (if any) 3.5 GHz hosts.
+    let platform = Platform::generate(
+        ResourceGenSpec {
+            clusters: 120,
+            year: 2005,
+            target_hosts: Some(3000),
+        },
+        Default::default(),
+        7,
+    );
+    let fastest = platform
+        .clusters()
+        .iter()
+        .map(|c| c.clock_mhz)
+        .fold(0.0f64, f64::max);
+    println!(
+        "Universe: {} hosts, fastest clock {:.0} MHz",
+        platform.total_hosts(),
+        fastest
+    );
+
+    // Train models quickly and generate the optimal spec for a
+    // fork/join workload, demanding 3.5 GHz (unfulfillable here).
+    let grid = ObservationGrid::tiny();
+    let cfg = CurveConfig::default();
+    let tables = rsg::core::observation::measure(&grid, &cfg, &[0.001, 0.05], 0);
+    let size_model = ThresholdedSizeModel::fit(&tables);
+    let mut training = rsg::core::heurmodel::HeuristicTraining::fast();
+    training.sizes = vec![50, 200];
+    training.instances = 1;
+    let heur_model = HeuristicPredictionModel::train(&training, &cfg);
+    let generator = SpecGenerator::new(size_model, heur_model);
+
+    let dag = rsg::dag::workflows::fork_join(4, 64, 20.0, 0.5);
+    let spec = generator.generate(
+        &dag,
+        &rsg::core::specgen::GeneratorConfig {
+            target_clock_mhz: 3500.0,
+            ..Default::default()
+        },
+    );
+    println!(
+        "\nOptimal request: {} hosts at {:.0}..{:.0} MHz ({:?})",
+        spec.rc_size, spec.clock_mhz.0, spec.clock_mhz.1, spec.aggregate
+    );
+
+    // Build the degradation ladder against slower clock tiers.
+    let dags = vec![dag];
+    let ladder = alternatives(&spec, &dags, &[3500.0, 3000.0, 2500.0, 2000.0], &cfg);
+    println!("\nAlternative ladder ({} entries):", ladder.len());
+    for (i, alt) in ladder.iter().enumerate() {
+        println!(
+            "  [{i}] {:?}: {} hosts at {:.0}..{:.0} MHz, predicted turnaround {:.1} s",
+            alt.degradation,
+            alt.spec.rc_size,
+            alt.spec.clock_mhz.0,
+            alt.spec.clock_mhz.1,
+            alt.predicted_turnaround_s
+        );
+    }
+
+    // Negotiate against the real vgES finder.
+    let finder = VgesFinder::default();
+    let outcome = negotiate(&ladder, |s| {
+        let vgdl = SpecGenerator::to_vgdl(s);
+        finder.find(&platform, &vgdl)
+    });
+    match outcome {
+        Some((idx, rc)) => {
+            let alt = &ladder[idx];
+            println!(
+                "\nBound alternative [{idx}] ({:?}): {} hosts, clocks {:.0}..{:.0} MHz",
+                alt.degradation,
+                rc.len(),
+                rc.slowest_clock_mhz(),
+                rc.fastest_clock_mhz()
+            );
+            if alt.degradation != Degradation::None {
+                println!("The original request was degraded — as Section VII.4 prescribes.");
+            }
+            // Prove the collection works end-to-end.
+            let report = evaluate(
+                &dags[0],
+                &rc,
+                alt.spec.heuristic,
+                &SchedTimeModel::default(),
+            );
+            println!(
+                "Scheduled with {}: makespan {:.1} s, turnaround {:.1} s",
+                alt.spec.heuristic,
+                report.makespan_s,
+                report.turnaround_s()
+            );
+        }
+        None => println!("\nNo alternative could be bound — universe too constrained."),
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: from a workflow DAG to resource specifications in the
+//! three target languages.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rsg::prelude::*;
+
+fn main() {
+    // The application: the paper's 1629-task Montage mosaic (Table V-8)
+    // with its actual intermediate-file transfer costs.
+    let dag = rsg::dag::montage::montage_1629_actual();
+    let stats = DagStats::measure(&dag);
+    println!("Application: {} ({} tasks)", dag.name(), dag.len());
+    println!(
+        "  width={} height={} CCR={:.4} parallelism={:.2} regularity={:.2}\n",
+        stats.width, stats.height, stats.ccr, stats.parallelism, stats.regularity
+    );
+
+    // Train the prediction models on a reduced observation grid
+    // (seconds; ObservationGrid::paper() reproduces Table V-1 at full
+    // scale).
+    println!("Training size prediction model (fast grid)...");
+    let grid = ObservationGrid::fast();
+    let cfg = CurveConfig::default();
+    let tables = rsg::core::observation::measure(&grid, &cfg, &rsg::core::THRESHOLD_LADDER, 0);
+    let size_model = ThresholdedSizeModel::fit(&tables);
+
+    println!("Training heuristic prediction model...");
+    let training = rsg::core::heurmodel::HeuristicTraining::fast();
+    let heur_model = HeuristicPredictionModel::train(&training, &cfg);
+
+    // Generate the specification.
+    let generator = SpecGenerator::new(size_model, heur_model);
+    let spec = generator.generate(&dag, &GeneratorConfig::default());
+    println!("\nGenerated specification:");
+    println!("  RC size        : {} (min acceptable {})", spec.rc_size, spec.min_size);
+    println!(
+        "  clock range    : {:.0}..{:.0} MHz",
+        spec.clock_mhz.0, spec.clock_mhz.1
+    );
+    println!("  heuristic      : {}", spec.heuristic);
+    println!("  aggregate      : {:?}", spec.aggregate);
+    println!("  knee threshold : {:.1}%", spec.threshold * 100.0);
+
+    println!("\n--- vgDL (vgES) — Figure VII-5 style ---");
+    println!("{}", SpecGenerator::to_vgdl(&spec));
+
+    println!("--- ClassAd (Condor) — Figure VII-3 style ---");
+    println!("{}\n", SpecGenerator::to_classad(&spec));
+
+    println!("--- SWORD XML — Figure VII-4 style ---");
+    println!(
+        "{}",
+        rsg::select::sword::write_sword(&SpecGenerator::to_sword(&spec))
+    );
+}

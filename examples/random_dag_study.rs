@@ -1,0 +1,82 @@
+//! Turnaround-vs-RC-size knee study on random DAGs — the Figure V-2/V-3
+//! phenomenon, live.
+//!
+//! Sweeps RC sizes for several DAG configurations and prints the
+//! turnaround curve, the detected knee at the 0.1% threshold, and the
+//! threshold ladder's size/performance trade-off.
+//!
+//! ```sh
+//! cargo run --release --example random_dag_study
+//! ```
+
+use rsg::core::knee::{find_knee, find_knees};
+use rsg::prelude::*;
+
+fn main() {
+    let cfg = CurveConfig::default();
+
+    for (label, spec) in [
+        (
+            "n=1000 CCR=0.01 α=0.6 β=0.5 (Figure V-2 regime)",
+            RandomDagSpec {
+                size: 1000,
+                ccr: 0.01,
+                parallelism: 0.6,
+                density: 0.5,
+                regularity: 0.5,
+                mean_comp: 40.0,
+            },
+        ),
+        (
+            "n=1000 CCR=0.5  α=0.6 β=0.5 (communication matters)",
+            RandomDagSpec {
+                size: 1000,
+                ccr: 0.5,
+                parallelism: 0.6,
+                density: 0.5,
+                regularity: 0.5,
+                mean_comp: 40.0,
+            },
+        ),
+        (
+            "n=2000 CCR=0.01 α=0.7 β=0.1 (irregular, wide)",
+            RandomDagSpec {
+                size: 2000,
+                ccr: 0.01,
+                parallelism: 0.7,
+                density: 0.5,
+                regularity: 0.1,
+                mean_comp: 40.0,
+            },
+        ),
+    ] {
+        println!("== {label} ==");
+        let dags: Vec<_> = (0..3).map(|s| spec.generate(s)).collect();
+        let curve = turnaround_curve(&dags, &cfg);
+
+        println!("{:>8}  {:>14}", "RC size", "turnaround (s)");
+        for &(size, t) in &curve.points {
+            println!("{size:>8}  {t:>14.2}");
+        }
+
+        let knee = find_knee(&curve, 0.001);
+        println!("knee @0.1% threshold: {knee} hosts");
+
+        let ladder = rsg::core::THRESHOLD_LADDER;
+        let knees = find_knees(&curve, &ladder);
+        print!("threshold ladder: ");
+        for (theta, k) in ladder.iter().zip(&knees) {
+            print!("{}%→{k}  ", theta * 100.0);
+        }
+        println!("\n(smaller collections as the user tolerates more degradation)\n");
+    }
+
+    // SCEC-style chains: the structural case where the model is not
+    // needed — the optimal size equals the number of chains (§V.3.4).
+    let chains = 16usize;
+    let scec = rsg::dag::workflows::scec_chains(chains, 20, 30.0, 0.5);
+    let curve = turnaround_curve(&[scec], &cfg);
+    let knee = find_knee(&curve, 0.001);
+    println!("== SCEC chain bundle ({chains} chains) ==");
+    println!("knee: {knee} hosts (expected: the chain count, {chains})");
+}

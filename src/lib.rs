@@ -1,0 +1,80 @@
+//! # rsg — automatic resource specification generation for resource
+//! selection
+//!
+//! A from-scratch Rust reproduction of Huang, Casanova & Chien,
+//! *"Automatic Resource Specification Generation for Resource
+//! Selection"* (SC 2007; dissertation UCSD 2007). Given a DAG-structured
+//! workflow, the library predicts the resource-collection size,
+//! clock-rate range and scheduling heuristic that minimize application
+//! turn-around time in a large-scale distributed environment, and emits
+//! the prediction as an executable resource specification for three
+//! resource-selection systems: vgES (vgDL), Condor (ClassAds) and
+//! SWORD (XML).
+//!
+//! ## Crates
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`dag`] | `rsg-dag` | DAG model, characteristics, random/Montage/SCEC generators |
+//! | [`platform`] | `rsg-platform` | synthetic LSDE (clusters + topology), resource collections, EC2 cost model |
+//! | [`sched`] | `rsg-sched` | MCP/Greedy/DLS/FCA/FCFS heuristics, schedule validator, scheduling-time model |
+//! | [`core`] | `rsg-core` | knee detection, size & heuristic prediction models, spec generator, alternatives |
+//! | [`select`] | `rsg-select` | vgDL + vgES finder, ClassAds + matchmaker, SWORD XML + engine |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rsg::prelude::*;
+//!
+//! // 1. The application: a Montage mosaic workflow.
+//! let dag = rsg::dag::montage::montage_1629_actual();
+//!
+//! // 2. Train the prediction models (tiny grid for the doctest; use
+//! //    ObservationGrid::fast() or ::paper() for real work).
+//! let grid = ObservationGrid::tiny();
+//! let cfg = CurveConfig::default();
+//! let tables = rsg::core::observation::measure(&grid, &cfg, &[0.001], 0);
+//! let size_model = ThresholdedSizeModel::fit(&tables);
+//! let mut training = rsg::core::heurmodel::HeuristicTraining::fast();
+//! training.sizes = vec![50, 200];
+//! training.instances = 1;
+//! let heur_model = HeuristicPredictionModel::train(&training, &cfg);
+//!
+//! // 3. Generate the specification.
+//! let generator = SpecGenerator::new(size_model, heur_model);
+//! let spec = generator.generate(&dag, &Default::default());
+//! assert!(spec.rc_size >= 1);
+//!
+//! // 4. Render it for all three resource-selection systems.
+//! let vgdl = SpecGenerator::to_vgdl(&spec).to_string();
+//! let classad = SpecGenerator::to_classad(&spec).to_string();
+//! let sword = rsg::select::sword::write_sword(&SpecGenerator::to_sword(&spec));
+//! assert!(vgdl.contains("Clock"));
+//! assert!(classad.contains("Requirements"));
+//! assert!(sword.contains("<request>"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use rsg_core as core;
+pub use rsg_dag as dag;
+pub use rsg_platform as platform;
+pub use rsg_sched as sched;
+pub use rsg_select as select;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use rsg_core::{
+        curve::{turnaround_curve, CurveConfig, RcFamily},
+        knee::find_knee,
+        observation::{KneeTable, ObservationGrid},
+        sizemodel::{SizePredictionModel, ThresholdedSizeModel},
+        specgen::{GeneratorConfig, ResourceSpec, SpecGenerator},
+        utility::UtilityFunction,
+        HeuristicPredictionModel,
+    };
+    pub use rsg_dag::{Dag, DagBuilder, DagStats, RandomDagSpec, TaskId};
+    pub use rsg_platform::{CostModel, Platform, ResourceCollection, ResourceGenSpec};
+    pub use rsg_sched::{evaluate, HeuristicKind, Schedule, SchedTimeModel, TurnaroundReport};
+    pub use rsg_select::{Matchmaker, SwordEngine, VgesFinder};
+}

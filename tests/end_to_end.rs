@@ -1,0 +1,159 @@
+//! End-to-end integration: train models → generate a specification →
+//! execute it against all three resource-selection substrates →
+//! schedule on the bound collection.
+
+use rsg::core::specgen::GeneratorConfig;
+use rsg::prelude::*;
+
+fn trained_generator() -> SpecGenerator {
+    let grid = ObservationGrid::tiny();
+    let cfg = CurveConfig::default();
+    let tables = rsg::core::observation::measure(&grid, &cfg, &[0.001, 0.05], 0);
+    let size_model = ThresholdedSizeModel::fit(&tables);
+    let mut training = rsg::core::heurmodel::HeuristicTraining::fast();
+    training.sizes = vec![50, 200];
+    training.instances = 1;
+    let heur = HeuristicPredictionModel::train(&training, &cfg);
+    SpecGenerator::new(size_model, heur)
+}
+
+fn test_platform() -> Platform {
+    Platform::generate(
+        ResourceGenSpec {
+            clusters: 150,
+            year: 2007,
+            target_hosts: Some(4000),
+        },
+        Default::default(),
+        99,
+    )
+}
+
+#[test]
+fn spec_binds_via_vges_and_schedules() {
+    let generator = trained_generator();
+    let platform = test_platform();
+    let dag = rsg::dag::montage::montage_1629_actual();
+    let spec = generator.generate(
+        &dag,
+        &GeneratorConfig {
+            target_clock_mhz: 2500.0,
+            heterogeneity_tolerance: 0.4,
+            ..Default::default()
+        },
+    );
+
+    let vgdl = SpecGenerator::to_vgdl(&spec);
+    let rc = rsg::select::VgesFinder::default()
+        .find(&platform, &vgdl)
+        .expect("platform satisfies the generated vgDL");
+    assert!(rc.len() >= spec.min_size as usize);
+    assert!(rc.len() <= spec.rc_size as usize);
+    assert!(rc.slowest_clock_mhz() >= spec.clock_mhz.0);
+
+    let report = evaluate(&dag, &rc, spec.heuristic, &SchedTimeModel::default());
+    assert!(report.makespan_s > 0.0);
+    assert!(report.turnaround_s() >= report.makespan_s);
+}
+
+#[test]
+fn spec_binds_via_condor_matchmaker() {
+    let generator = trained_generator();
+    let platform = test_platform();
+    let dag = rsg::dag::workflows::fork_join(3, 50, 15.0, 0.2);
+    let spec = generator.generate(
+        &dag,
+        &GeneratorConfig {
+            target_clock_mhz: 2000.0,
+            heterogeneity_tolerance: 0.5,
+            ..Default::default()
+        },
+    );
+    let ad = SpecGenerator::to_classad(&spec);
+    let mm = Matchmaker::from_platform(&platform);
+    let rc = mm
+        .select_hosts(&ad, &platform)
+        .expect("matchmaker satisfies the generated ClassAd");
+    assert_eq!(rc.len(), spec.rc_size as usize);
+    assert!(rc.slowest_clock_mhz() >= spec.clock_mhz.0);
+    let report = evaluate(&dag, &rc, spec.heuristic, &SchedTimeModel::default());
+    assert!(report.makespan_s.is_finite());
+}
+
+#[test]
+fn spec_binds_via_sword_engine() {
+    let generator = trained_generator();
+    let platform = test_platform();
+    let dag = rsg::dag::workflows::fork_join(2, 40, 15.0, 0.2);
+    let spec = generator.generate(
+        &dag,
+        &GeneratorConfig {
+            target_clock_mhz: 2000.0,
+            heterogeneity_tolerance: 0.5,
+            ..Default::default()
+        },
+    );
+    let req = SpecGenerator::to_sword(&spec);
+    let rc = SwordEngine
+        .select(&platform, &req)
+        .expect("engine satisfies the generated SWORD request");
+    assert_eq!(rc.len(), spec.rc_size as usize);
+    let report = evaluate(&dag, &rc, spec.heuristic, &SchedTimeModel::default());
+    assert!(report.makespan_s.is_finite());
+}
+
+#[test]
+fn generated_specs_round_trip_all_languages() {
+    let generator = trained_generator();
+    let dag = rsg::dag::montage::montage_1629_actual();
+    let spec = generator.generate(&dag, &GeneratorConfig::default());
+
+    let vg = SpecGenerator::to_vgdl(&spec);
+    assert_eq!(rsg::select::vgdl::parse_vgdl(&vg.to_string()).unwrap(), vg);
+
+    let ad = SpecGenerator::to_classad(&spec);
+    assert_eq!(
+        rsg::select::classad::parse_classad(&ad.to_string()).unwrap(),
+        ad
+    );
+
+    let sw = SpecGenerator::to_sword(&spec);
+    assert_eq!(
+        rsg::select::sword::parse_sword(&rsg::select::sword::write_sword(&sw)).unwrap(),
+        sw
+    );
+}
+
+#[test]
+fn negotiation_binds_degraded_spec_when_original_fails() {
+    let generator = trained_generator();
+    // Old universe: nothing fast.
+    let platform = Platform::generate(
+        ResourceGenSpec {
+            clusters: 80,
+            year: 2004,
+            target_hosts: Some(2000),
+        },
+        Default::default(),
+        5,
+    );
+    let dag = rsg::dag::workflows::fork_join(3, 40, 15.0, 0.2);
+    let dags = vec![dag];
+    let spec = generator.generate(
+        &dags[0],
+        &GeneratorConfig {
+            target_clock_mhz: 3500.0,
+            ..Default::default()
+        },
+    );
+    let cfg = CurveConfig::default();
+    let ladder =
+        rsg::core::alternative::alternatives(&spec, &dags, &[3500.0, 3000.0, 2000.0, 1500.0], &cfg);
+    let finder = rsg::select::VgesFinder::default();
+    let bound = rsg::core::alternative::negotiate(&ladder, |s| {
+        finder.find(&platform, &SpecGenerator::to_vgdl(s))
+    });
+    let (idx, rc) = bound.expect("some degraded alternative must bind");
+    assert!(idx > 0, "the 3.5 GHz original cannot bind on a 2004 universe");
+    assert!(!rc.is_empty());
+}

@@ -1,0 +1,148 @@
+//! Failure injection: the schedule validator is the ground-truth oracle
+//! for every heuristic, so it must reliably reject corrupted schedules.
+//! These tests take valid schedules and break them in targeted and in
+//! random ways.
+
+use proptest::prelude::*;
+use rsg::prelude::*;
+use rsg::sched::ExecutionContext;
+
+fn valid_fixture(seed: u64, hosts: usize) -> (rsg::dag::Dag, ResourceCollection, Schedule) {
+    let dag = RandomDagSpec {
+        size: 60,
+        ccr: 0.5,
+        parallelism: 0.5,
+        density: 0.5,
+        regularity: 0.5,
+        mean_comp: 10.0,
+    }
+    .generate(seed);
+    let rc = ResourceCollection::heterogeneous(hosts, 3000.0, 0.3, seed);
+    let ctx = ExecutionContext::new(&dag, &rc);
+    let (s, _) = HeuristicKind::Mcp.run(&ctx);
+    s.validate(&ctx).expect("fixture must be valid");
+    (dag, rc, s)
+}
+
+#[test]
+fn start_time_shift_detected() {
+    let (dag, rc, mut s) = valid_fixture(1, 6);
+    let ctx = ExecutionContext::new(&dag, &rc);
+    // Pull a non-entry task earlier than its inputs allow.
+    let victim = dag
+        .tasks()
+        .find(|t| !dag.parents(*t).is_empty())
+        .unwrap()
+        .index();
+    s.start[victim] = 0.0;
+    s.finish[victim] = ctx.task_time(rsg::dag::TaskId(victim as u32), s.host[victim] as usize);
+    assert!(s.validate(&ctx).is_err());
+}
+
+#[test]
+fn host_swap_detected_or_still_consistent() {
+    // Swapping a task to another host without retiming must violate
+    // either duration (different speed), data arrival or overlap.
+    let (dag, rc, s) = valid_fixture(2, 6);
+    let ctx = ExecutionContext::new(&dag, &rc);
+    let mut corrupted = 0usize;
+    for i in 0..dag.len() {
+        let mut broken = s.clone();
+        broken.host[i] = (broken.host[i] + 1) % rc.len() as u32;
+        if broken.validate(&ctx).is_err() {
+            corrupted += 1;
+        }
+    }
+    // On a heterogeneous RC nearly every blind host swap must trip the
+    // validator (identical-speed idle hosts may accidentally stay legal).
+    assert!(
+        corrupted * 2 > dag.len(),
+        "only {corrupted}/{} swaps detected",
+        dag.len()
+    );
+}
+
+#[test]
+fn truncated_schedule_detected() {
+    let (dag, rc, s) = valid_fixture(3, 4);
+    let ctx = ExecutionContext::new(&dag, &rc);
+    let mut broken = s.clone();
+    broken.host.pop();
+    assert_eq!(broken.validate(&ctx), Err(rsg::sched::ScheduleError::WrongLength));
+    let _ = s;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random single-field corruptions: shrinking any task's start time
+    /// below its data-ready point, or stretching/shrinking its duration,
+    /// must be caught.
+    #[test]
+    fn random_corruptions_detected(
+        seed in 0u64..20,
+        victim_sel in 0usize..1000,
+        mode in 0u8..3,
+        factor in 0.05f64..0.95,
+    ) {
+        let (dag, rc, s) = valid_fixture(seed, 5);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let victim = victim_sel % dag.len();
+        let mut broken = s.clone();
+        match mode {
+            0 => {
+                // Shorten the duration.
+                broken.finish[victim] = broken.start[victim]
+                    + (broken.finish[victim] - broken.start[victim]) * factor;
+            }
+            1 => {
+                // Start before data arrives (only meaningful when the
+                // task has parents and a positive start).
+                if dag.parents(rsg::dag::TaskId(victim as u32)).is_empty()
+                    || s.start[victim] == 0.0
+                {
+                    return Ok(());
+                }
+                let d = broken.finish[victim] - broken.start[victim];
+                broken.start[victim] *= factor;
+                broken.finish[victim] = broken.start[victim] + d;
+            }
+            _ => {
+                // Negative start.
+                let d = broken.finish[victim] - broken.start[victim];
+                broken.start[victim] = -1.0;
+                broken.finish[victim] = broken.start[victim] + d;
+            }
+        }
+        // Mode 1 can accidentally remain legal if the slack was big and
+        // no overlap results; modes 0 and 2 must always be detected.
+        match mode {
+            1 => {}
+            _ => prop_assert!(broken.validate(&ctx).is_err(), "mode {mode} undetected"),
+        }
+    }
+
+    /// Makespan is invariant under the validator: validating never
+    /// mutates, and re-running the same heuristic reproduces the exact
+    /// same schedule (pure function).
+    #[test]
+    fn heuristics_are_pure(seed in 0u64..20, hosts in 1usize..10) {
+        let dag = RandomDagSpec {
+            size: 50,
+            ccr: 0.5,
+            parallelism: 0.5,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 10.0,
+        }
+        .generate(seed);
+        let rc = ResourceCollection::homogeneous(hosts, 1500.0);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        for kind in HeuristicKind::all() {
+            let (a, ops_a) = kind.run(&ctx);
+            let (b, ops_b) = kind.run(&ctx);
+            prop_assert_eq!(&a, &b, "{} not deterministic", kind);
+            prop_assert_eq!(ops_a, ops_b);
+        }
+    }
+}

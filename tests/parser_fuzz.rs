@@ -1,0 +1,55 @@
+//! Fuzz-style property tests: the three specification parsers must
+//! return errors, never panic, on arbitrary input — including inputs
+//! derived from valid documents by random mutation.
+
+use proptest::prelude::*;
+use rsg::select::classad::parse_classad;
+use rsg::select::sword::parse_sword;
+use rsg::select::vgdl::parse_vgdl;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parsers_never_panic_on_garbage(s in "[ -~\\n\\t]{0,200}") {
+        let _ = parse_classad(&s);
+        let _ = parse_vgdl(&s);
+        let _ = parse_sword(&s);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_mutated_valid_docs(
+        cut in 0usize..400,
+        insert in "[\\[\\]{}()<>\"=&|;:,a-z0-9 ]{0,12}",
+    ) {
+        let classad = r#"[ Type = "Job"; Count = 5; Requirements = other.Clock >= 2000 && other.OpSys == "LINUX"; Rank = other.Clock ]"#;
+        let vgdl = r#"VG = TightBagOf(nodes) [10:20] [rank = Nodes] { nodes = [ (Clock >= 2000) && (Memory >= 512) ] }"#;
+        let sword = "<request><group><name>g</name><num_machines>5</num_machines><clock>1.0, 2.0, MAX, MAX, 0.5</clock></group></request>";
+        for doc in [classad, vgdl, sword] {
+            let cut = cut.min(doc.len());
+            // Splice arbitrary text into the document.
+            let mutated = format!("{}{}{}", &doc[..cut], insert, &doc[cut..]);
+            if mutated.is_char_boundary(cut) {
+                let _ = parse_classad(&mutated);
+                let _ = parse_vgdl(&mutated);
+                let _ = parse_sword(&mutated);
+            }
+        }
+    }
+
+    #[test]
+    fn dag_reader_never_panics(s in "[ -~\\n\\t]{0,300}") {
+        let _ = rsg::dag::io::read_dag(&s);
+        let with_header = format!("rsg-dag v1\n{s}");
+        let _ = rsg::dag::io::read_dag(&with_header);
+    }
+
+    #[test]
+    fn model_decoder_never_panics(s in "[ -~\\n\\t]{0,300}") {
+        let _ = rsg::core::SizePredictionModel::from_tsv(&s);
+        let _ = rsg::core::ThresholdedSizeModel::from_tsv(&s);
+        let _ = rsg::core::HeuristicPredictionModel::from_tsv(&s);
+        let with_header = format!("rsg-size-model\tv1\n{s}");
+        let _ = rsg::core::SizePredictionModel::from_tsv(&with_header);
+    }
+}

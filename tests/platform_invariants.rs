@@ -1,0 +1,142 @@
+//! Property tests on the platform substrate and the selection engines —
+//! the invariants every resource-selection result must satisfy.
+
+use proptest::prelude::*;
+use rsg::prelude::*;
+use rsg::select::vgdl::{Aggregate, AggregateKind, CmpOp, NodeConstraint, VgdlSpec};
+
+fn platform(clusters: usize, hosts: usize, seed: u64) -> Platform {
+    Platform::generate(
+        ResourceGenSpec {
+            clusters,
+            year: 2006,
+            target_hosts: Some(hosts),
+        },
+        Default::default(),
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Platform generation invariants: host counts, clock sanity,
+    /// symmetric communication factors ≥ 1 between clusters.
+    #[test]
+    fn platform_basics(seed in 0u64..50, clusters in 5usize..40) {
+        let hosts = clusters * 20;
+        let p = platform(clusters, hosts, seed);
+        prop_assert_eq!(p.total_hosts(), hosts);
+        prop_assert_eq!(p.clusters().len(), clusters);
+        for c in p.clusters() {
+            prop_assert!(c.hosts >= 1);
+            prop_assert!(c.clock_mhz >= 500.0 && c.clock_mhz <= 8000.0);
+        }
+        let a = p.clusters()[0].id;
+        let b = p.clusters()[clusters - 1].id;
+        prop_assert!(p.comm_factor(a, b) >= 1.0);
+        prop_assert!((p.comm_factor(a, b) - p.comm_factor(b, a)).abs() < 1e-9);
+        prop_assert_eq!(p.comm_factor(a, a), 1.0);
+        prop_assert!((p.latency_ms(a, b) - p.latency_ms(b, a)).abs() < 1e-9);
+    }
+
+    /// top_hosts_rc returns exactly k hosts and no faster host was left
+    /// fully unused.
+    #[test]
+    fn top_hosts_exact_and_greedy(seed in 0u64..30, k in 1usize..200) {
+        let p = platform(20, 400, seed);
+        let rc = p.top_hosts_rc(k);
+        prop_assert_eq!(rc.len(), k);
+        let slowest = rc.slowest_clock_mhz();
+        let strictly_faster: usize = p
+            .clusters()
+            .iter()
+            .filter(|c| c.clock_mhz > slowest)
+            .map(|c| c.hosts as usize)
+            .sum();
+        prop_assert!(strictly_faster <= k);
+    }
+
+    /// The vgES finder honours min/max bounds and the clock floor.
+    #[test]
+    fn vges_bounds(seed in 0u64..30, min in 1u32..50, extra in 0u32..200, clock in 800.0f64..3000.0) {
+        let p = platform(30, 900, seed);
+        let spec = VgdlSpec::single(Aggregate {
+            kind: AggregateKind::TightBagOf,
+            var: "n".into(),
+            min,
+            max: min + extra,
+            rank: Some("Nodes".into()),
+            constraints: vec![NodeConstraint::num("Clock", CmpOp::Ge, clock)],
+        });
+        if let Some(rc) = VgesFinder::default().find(&p, &spec) {
+            prop_assert!(rc.len() >= min as usize);
+            prop_assert!(rc.len() <= (min + extra) as usize);
+            prop_assert!(rc.slowest_clock_mhz() >= clock);
+        }
+    }
+
+    /// The SWORD engine returns exactly the requested machine count and
+    /// respects hard attribute floors.
+    #[test]
+    fn sword_counts(seed in 0u64..30, machines in 1u32..100, clock in 800.0f64..2500.0) {
+        use rsg::select::sword::{AttrRange, Bound, SwordGroup, SwordRequest};
+        let p = platform(25, 600, seed);
+        let req = SwordRequest::with_groups(vec![SwordGroup {
+            name: "g".into(),
+            num_machines: machines,
+            attrs: vec![AttrRange {
+                name: "clock".into(),
+                req_min: clock,
+                des_min: clock,
+                des_max: Bound::Max,
+                req_max: Bound::Max,
+                penalty: 0.0,
+            }],
+            os: Some("Linux".into()),
+            region: None,
+        }]);
+        if let Some(rc) = SwordEngine.select(&p, &req) {
+            prop_assert_eq!(rc.len(), machines as usize);
+            prop_assert!(rc.slowest_clock_mhz() >= clock);
+        }
+    }
+
+    /// Matchmaker count requests: bound hosts satisfy the ad's clock
+    /// requirement.
+    #[test]
+    fn matchmaker_counts(seed in 0u64..20, count in 1u32..80, clock in 800.0f64..2500.0) {
+        let p = platform(25, 600, seed);
+        let mm = Matchmaker::from_platform(&p);
+        let ad = rsg::select::classad::parse_classad(&format!(
+            r#"[ Type = "Job"; Count = {count};
+                 Requirements = other.Type == "Machine" && other.Clock >= {clock};
+                 Rank = other.Clock ]"#
+        ))
+        .unwrap();
+        if let Some(rc) = mm.select_hosts(&ad, &p) {
+            prop_assert_eq!(rc.len(), count as usize);
+            prop_assert!(rc.slowest_clock_mhz() >= clock);
+        }
+    }
+
+    /// Model persistence: any trained single-threshold model survives a
+    /// TSV round trip bit-for-bit on predictions. (Grid kept tiny; the
+    /// property is in the codec, not the training.)
+    #[test]
+    fn persisted_predictions_stable(n in 50.0f64..500.0, ccr in 0.0f64..1.0, a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        use std::sync::OnceLock;
+        static MODEL: OnceLock<rsg::core::SizePredictionModel> = OnceLock::new();
+        let model = MODEL.get_or_init(|| {
+            let grid = ObservationGrid::tiny();
+            let tables = rsg::core::observation::measure(
+                &grid, &CurveConfig::default(), &[0.001], 0);
+            rsg::core::SizePredictionModel::fit(&tables[0])
+        });
+        let back = rsg::core::SizePredictionModel::from_tsv(&model.to_tsv()).unwrap();
+        prop_assert_eq!(
+            back.predict_chars(n, ccr, a, b),
+            model.predict_chars(n, ccr, a, b)
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Property-based tests on the cross-crate invariants.
+
+use proptest::prelude::*;
+use rsg::core::knee::{find_knee, find_knees};
+use rsg::prelude::*;
+use rsg::sched::ExecutionContext;
+
+fn dag_spec_strategy() -> impl Strategy<Value = RandomDagSpec> {
+    (
+        10usize..200,
+        0.0f64..2.0,
+        0.0f64..=1.0,
+        0.05f64..=1.0,
+        0.01f64..=1.0,
+        1.0f64..50.0,
+    )
+        .prop_map(|(size, ccr, parallelism, density, regularity, mean_comp)| RandomDagSpec {
+            size,
+            ccr,
+            parallelism,
+            density,
+            regularity,
+            mean_comp,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The random generator always hits the requested size exactly, and
+    /// every non-entry task has parents one level up.
+    #[test]
+    fn generator_structure(spec in dag_spec_strategy(), seed in 0u64..1000) {
+        let dag = spec.generate(seed);
+        prop_assert_eq!(dag.len(), spec.size);
+        for t in dag.tasks() {
+            let lvl = dag.level(t);
+            if lvl == 0 {
+                prop_assert!(dag.parents(t).is_empty());
+            } else {
+                prop_assert!(!dag.parents(t).is_empty());
+                for e in dag.parents(t) {
+                    prop_assert_eq!(dag.level(e.task), lvl - 1);
+                }
+            }
+        }
+        // Level sizes sum to n; width is their max.
+        let sum: u32 = dag.level_sizes().iter().sum();
+        prop_assert_eq!(sum as usize, dag.len());
+        prop_assert_eq!(dag.width(), *dag.level_sizes().iter().max().unwrap());
+    }
+
+    /// Every heuristic produces a schedule the validator accepts, on
+    /// arbitrary DAGs and heterogeneous RCs — the central execution-model
+    /// invariant.
+    #[test]
+    fn all_heuristics_valid(
+        spec in dag_spec_strategy(),
+        seed in 0u64..100,
+        hosts in 1usize..24,
+        het in 0.0f64..0.6,
+        bw_het in 0.0f64..0.6,
+    ) {
+        let dag = spec.generate(seed);
+        let rc = ResourceCollection::heterogeneous(hosts, 3000.0, het, seed)
+            .with_bandwidth_heterogeneity(bw_het, seed ^ 1);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        for kind in HeuristicKind::all() {
+            let (s, ops) = kind.run(&ctx);
+            prop_assert!(s.validate(&ctx).is_ok(), "{} invalid: {:?}", kind, s.validate(&ctx));
+            prop_assert!(ops.0 > 0);
+            prop_assert!(s.makespan() + 1e-9 >= rsg::sched::makespan_lower_bound(&ctx));
+        }
+    }
+
+    /// Knee monotonicity: a higher threshold never yields a larger knee.
+    #[test]
+    fn knee_monotone_in_threshold(points in prop::collection::vec(0.1f64..1000.0, 2..20)) {
+        let mut size = 1usize;
+        let curve = rsg::core::curve::Curve {
+            points: points
+                .iter()
+                .map(|&t| {
+                    let p = (size, t);
+                    size *= 2;
+                    p
+                })
+                .collect(),
+        };
+        let knees = find_knees(&curve, &[0.001, 0.01, 0.05, 0.2]);
+        for w in knees.windows(2) {
+            prop_assert!(w[0] >= w[1], "{:?}", knees);
+        }
+        // The knee is always a sampled size.
+        let k = find_knee(&curve, 0.001);
+        prop_assert!(curve.points.iter().any(|&(s, _)| s == k));
+    }
+
+    /// Turnaround accounting: components are non-negative and sum.
+    #[test]
+    fn turnaround_accounting(spec in dag_spec_strategy(), hosts in 1usize..16) {
+        let dag = spec.generate(0);
+        let rc = ResourceCollection::homogeneous(hosts, 1500.0);
+        let r = evaluate(&dag, &rc, HeuristicKind::Mcp, &SchedTimeModel::default());
+        prop_assert!(r.sched_time_s >= 0.0);
+        prop_assert!(r.makespan_s >= 0.0);
+        prop_assert!((r.turnaround_s() - (r.sched_time_s + r.makespan_s)).abs() < 1e-12);
+    }
+
+    /// Cost model: linear in duration, monotone in size and clock.
+    #[test]
+    fn cost_model_monotonicity(
+        size in 1usize..100,
+        clock in 500.0f64..5000.0,
+        secs in 1.0f64..100_000.0,
+    ) {
+        let m = CostModel::default();
+        let rc = ResourceCollection::homogeneous(size, clock);
+        let c = m.execution_cost(&rc, secs);
+        prop_assert!(c > 0.0);
+        prop_assert!((m.execution_cost(&rc, 2.0 * secs) - 2.0 * c).abs() < 1e-9 * c);
+        let bigger = ResourceCollection::homogeneous(size + 1, clock);
+        prop_assert!(m.execution_cost(&bigger, secs) > c);
+        let faster = ResourceCollection::homogeneous(size, clock * 1.5);
+        prop_assert!(m.execution_cost(&faster, secs) > c);
+    }
+
+    /// The plane fit reproduces exact planar data for arbitrary
+    /// coefficients.
+    #[test]
+    fn planefit_exact(a in -10.0f64..10.0, b in -10.0f64..10.0, c in -10.0f64..10.0) {
+        let truth = rsg::core::planefit::PlaneFit { a, b, c };
+        let mut samples = Vec::new();
+        for &x in &[0.3, 0.5, 0.7, 0.9] {
+            for &y in &[0.0, 0.5, 1.0] {
+                samples.push((x, y, truth.predict(x, y)));
+            }
+        }
+        let fit = rsg::core::planefit::PlaneFit::fit(&samples);
+        prop_assert!((fit.a - a).abs() < 1e-6);
+        prop_assert!((fit.b - b).abs() < 1e-6);
+        prop_assert!((fit.c - c).abs() < 1e-6);
+    }
+
+    /// DAG statistics stay in their defined ranges.
+    #[test]
+    fn stats_ranges(spec in dag_spec_strategy(), seed in 0u64..50) {
+        let dag = spec.generate(seed);
+        let s = DagStats::measure(&dag);
+        prop_assert!(s.parallelism >= 0.0 && s.parallelism <= 1.0);
+        prop_assert!(s.density >= 0.0 && s.density <= 1.0 + 1e-9);
+        prop_assert!(s.regularity <= 1.0 + 1e-9);
+        prop_assert!(s.ccr >= 0.0);
+        prop_assert!(s.mean_comp > 0.0);
+        prop_assert!(s.width >= 1 && (s.width as usize) <= s.size);
+        prop_assert!(s.height >= 1 && (s.height as usize) <= s.size);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// vgDL printer/parser round-trip for arbitrary single-aggregate
+    /// specs.
+    #[test]
+    fn vgdl_round_trip(
+        min in 1u32..100,
+        extra in 0u32..500,
+        clock in 500.0f64..5000.0,
+        kind_pick in 0usize..3,
+    ) {
+        use rsg::select::vgdl::*;
+        let kind = [AggregateKind::ClusterOf, AggregateKind::TightBagOf, AggregateKind::LooseBagOf][kind_pick];
+        let spec = VgdlSpec::single(Aggregate {
+            kind,
+            var: "nodes".into(),
+            min,
+            max: min + extra,
+            rank: Some("Nodes".into()),
+            constraints: vec![
+                NodeConstraint::num("Clock", CmpOp::Ge, clock.round()),
+                NodeConstraint::num("Memory", CmpOp::Ge, 512.0),
+            ],
+        });
+        let printed = spec.to_string();
+        prop_assert_eq!(parse_vgdl(&printed).unwrap(), spec);
+    }
+
+    /// ClassAd printer/parser round-trip over generated requirement
+    /// expressions.
+    #[test]
+    fn classad_round_trip(count in 1.0f64..1000.0, clock in 100.0f64..9000.0) {
+        use rsg::select::classad::*;
+        let mut ad = ClassAd::new();
+        ad.set("Type", Expr::Str("Job".into()));
+        ad.set("Count", Expr::Num(count.round()));
+        ad.set("Requirements", Expr::and_all(vec![
+            Expr::bin(BinOp::Eq, Expr::scoped("other", "OpSys"), Expr::Str("LINUX".into())),
+            Expr::bin(BinOp::Ge, Expr::scoped("other", "Clock"), Expr::Num(clock.round())),
+        ]));
+        ad.set("Rank", Expr::scoped("other", "Clock"));
+        let printed = ad.to_string();
+        prop_assert_eq!(parse_classad(&printed).unwrap(), ad);
+    }
+
+    /// SWORD XML round-trip over generated requests.
+    #[test]
+    fn sword_round_trip(machines in 1u32..500, mem in 64.0f64..8192.0) {
+        use rsg::select::sword::*;
+        let req = SwordRequest::with_groups(vec![SwordGroup {
+            name: "g".into(),
+            num_machines: machines,
+            attrs: vec![AttrRange {
+                name: "free_mem".into(),
+                req_min: mem.round(),
+                des_min: (mem * 2.0).round(),
+                des_max: Bound::Max,
+                req_max: Bound::Max,
+                penalty: 1.0,
+            }],
+            os: Some("Linux".into()),
+            region: Some("North_America".into()),
+        }]);
+        let xml = write_sword(&req);
+        prop_assert_eq!(parse_sword(&xml).unwrap(), req);
+    }
+}

@@ -32,14 +32,10 @@ fn bench_heuristics_vs_rc_size(c: &mut Criterion) {
             HeuristicKind::Fcfs,
             HeuristicKind::Greedy,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), hosts),
-                &hosts,
-                |b, _| {
-                    let ctx = ExecutionContext::new(&dag, &rc);
-                    b.iter(|| black_box(kind.run(&ctx)))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), hosts), &hosts, |b, _| {
+                let ctx = ExecutionContext::new(&dag, &rc);
+                b.iter(|| black_box(kind.run(&ctx)))
+            });
         }
     }
     group.finish();

@@ -37,10 +37,9 @@ fn bench_engines(c: &mut Criterion) {
     });
 
     let finder = VgesFinder::default();
-    let vg = parse_vgdl(
-        "VG = TightBagOf(nodes) [100:500] [rank = Nodes] { nodes = [ Clock >= 2000 ] }",
-    )
-    .unwrap();
+    let vg =
+        parse_vgdl("VG = TightBagOf(nodes) [100:500] [rank = Nodes] { nodes = [ Clock >= 2000 ] }")
+            .unwrap();
     c.bench_function("vges_find_tightbag", |b| {
         b.iter(|| black_box(finder.find(&p, &vg)))
     });

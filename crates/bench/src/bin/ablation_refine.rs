@@ -45,9 +45,8 @@ fn main() {
         });
         // Quality: degradation of each knee vs the searched optimum.
         let opt = optimal_size_search(&dags, coarse, &cfg);
-        let d = |size: usize| {
-            (mean_turnaround(&dags, size, &cfg) / opt.turnaround_s - 1.0).max(0.0)
-        };
+        let d =
+            |size: usize| (mean_turnaround(&dags, size, &cfg) / opt.turnaround_s - 1.0).max(0.0);
         table.row(vec![
             label.to_string(),
             coarse.to_string(),

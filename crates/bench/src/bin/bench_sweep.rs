@@ -1,0 +1,234 @@
+//! End-to-end benchmark of the observation-sweep fast path: runs the
+//! reference sweep ([`rsg_core::observation::measure_naive`]) and the
+//! optimized sweep ([`rsg_core::observation::measure`]) on the `fast`
+//! grid, asserts the knee tables are bit-identical, measures
+//! per-heuristic schedule throughput with and without the placement
+//! kernel, and writes the results to `BENCH_sweep.json`.
+//!
+//! The sweep speedup recorded here is the headline number of the
+//! fast-path work; the run aborts if it falls below 5x so a regression
+//! cannot slip through silently.
+
+use rsg_bench::report::{secs, Table};
+use rsg_core::curve::CurveConfig;
+use rsg_core::observation::{measure, measure_naive, ObservationGrid};
+use rsg_core::THRESHOLD_LADDER;
+use rsg_dag::RandomDagSpec;
+use rsg_platform::ResourceCollection;
+use rsg_sched::{ExecutionContext, HeuristicKind};
+use std::time::Instant;
+
+/// Refinement rounds used by the sweep comparison.
+const REFINE_ROUNDS: u32 = 2;
+
+/// Host counts for the placement-kernel throughput microbenchmark.
+const HOST_COUNTS: [usize; 3] = [10, 100, 1000];
+
+/// One throughput measurement: schedules per second at a host count.
+struct Throughput {
+    heuristic: HeuristicKind,
+    hosts: usize,
+    fast_per_s: f64,
+    naive_per_s: f64,
+}
+
+/// Times `f` adaptively: repeats until at least `min_elapsed` seconds
+/// have accumulated (and at least 3 repetitions ran), then returns
+/// runs-per-second.
+fn runs_per_second<F: FnMut()>(mut f: F, min_elapsed: f64) -> f64 {
+    // Warm-up run, untimed.
+    f();
+    let mut reps = 0u64;
+    let t0 = Instant::now();
+    loop {
+        f();
+        reps += 1;
+        let elapsed = t0.elapsed().as_secs_f64();
+        if reps >= 3 && elapsed >= min_elapsed {
+            return reps as f64 / elapsed;
+        }
+    }
+}
+
+fn kernel_throughput() -> Vec<Throughput> {
+    let dag = RandomDagSpec {
+        size: 300,
+        ccr: 0.1,
+        parallelism: 0.6,
+        density: 0.5,
+        regularity: 0.5,
+        mean_comp: 20.0,
+    }
+    .generate(11);
+    let mut out = Vec::new();
+    for kind in [HeuristicKind::Mcp, HeuristicKind::Dls] {
+        for &hosts in &HOST_COUNTS {
+            let rc = ResourceCollection::homogeneous(hosts, 1500.0);
+            let ctx = ExecutionContext::new(&dag, &rc);
+            // Equal work check first: the fast kernel must reproduce the
+            // naive schedule and op count exactly before we time it.
+            let (s_fast, ops_fast) = kind.run(&ctx);
+            let (s_naive, ops_naive) = kind.run_reference(&ctx);
+            assert_eq!(ops_fast, ops_naive, "{kind} P={hosts}: op counts differ");
+            assert_eq!(
+                (s_fast.host, s_fast.start, s_fast.finish),
+                (s_naive.host, s_naive.start, s_naive.finish),
+                "{kind} P={hosts}: schedules differ"
+            );
+            let fast_per_s = runs_per_second(
+                || {
+                    let _ = kind.run(&ctx);
+                },
+                0.2,
+            );
+            let naive_per_s = runs_per_second(
+                || {
+                    let _ = kind.run_reference(&ctx);
+                },
+                0.2,
+            );
+            out.push(Throughput {
+                heuristic: kind,
+                hosts,
+                fast_per_s,
+                naive_per_s,
+            });
+        }
+    }
+    out
+}
+
+/// Minimal JSON string escaping (the strings here are ASCII labels).
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+fn write_json(
+    path: &str,
+    grid: &ObservationGrid,
+    naive_s: f64,
+    fast_s: f64,
+    identical: bool,
+    throughput: &[Throughput],
+) -> std::io::Result<()> {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"benchmark\": \"observation-sweep fast path\",\n");
+    j.push_str("  \"grid\": {\n");
+    j.push_str(&format!("    \"label\": {},\n", json_str("fast")));
+    j.push_str(&format!("    \"cells\": {},\n", grid.cells()));
+    j.push_str(&format!("    \"instances\": {}\n", grid.instances));
+    j.push_str("  },\n");
+    j.push_str(&format!(
+        "  \"thetas\": [{}],\n",
+        THRESHOLD_LADDER
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    j.push_str(&format!("  \"refine_rounds\": {REFINE_ROUNDS},\n"));
+    j.push_str("  \"sweep\": {\n");
+    j.push_str(&format!("    \"naive_s\": {naive_s},\n"));
+    j.push_str(&format!("    \"fast_s\": {fast_s},\n"));
+    j.push_str(&format!("    \"speedup\": {},\n", naive_s / fast_s));
+    j.push_str(&format!("    \"tables_identical\": {identical}\n"));
+    j.push_str("  },\n");
+    j.push_str("  \"placement_kernel\": [\n");
+    for (i, t) in throughput.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"heuristic\": {}, \"hosts\": {}, \"fast_schedules_per_s\": {}, \
+             \"naive_schedules_per_s\": {}, \"speedup\": {}}}{}\n",
+            json_str(&t.heuristic.to_string()),
+            t.hosts,
+            t.fast_per_s,
+            t.naive_per_s,
+            t.fast_per_s / t.naive_per_s,
+            if i + 1 < throughput.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]\n");
+    j.push_str("}\n");
+    std::fs::write(path, j)
+}
+
+fn main() {
+    let grid = ObservationGrid::fast();
+    let cfg = CurveConfig::default();
+
+    eprintln!(
+        "bench_sweep: {} cells x {} instances, {} thresholds, {} refine rounds",
+        grid.cells(),
+        grid.instances,
+        THRESHOLD_LADDER.len(),
+        REFINE_ROUNDS
+    );
+
+    eprintln!("bench_sweep: running reference sweep (measure_naive)...");
+    let t0 = Instant::now();
+    let naive_tables = measure_naive(&grid, &cfg, &THRESHOLD_LADDER, REFINE_ROUNDS);
+    let naive_s = t0.elapsed().as_secs_f64();
+    eprintln!("bench_sweep: reference sweep took {naive_s:.2}s");
+
+    eprintln!("bench_sweep: running optimized sweep (measure)...");
+    let t0 = Instant::now();
+    let fast_tables = measure(&grid, &cfg, &THRESHOLD_LADDER, REFINE_ROUNDS);
+    let fast_s = t0.elapsed().as_secs_f64();
+    eprintln!("bench_sweep: optimized sweep took {fast_s:.2}s");
+
+    assert_eq!(
+        fast_tables, naive_tables,
+        "optimized sweep diverged from the reference sweep"
+    );
+    let speedup = naive_s / fast_s;
+
+    eprintln!("bench_sweep: measuring placement-kernel throughput...");
+    let throughput = kernel_throughput();
+
+    let mut sweep_table = Table::new(vec!["sweep", "wall-clock (s)", "speedup"]);
+    sweep_table.row(vec![
+        "naive".to_string(),
+        secs(naive_s),
+        "1.00x".to_string(),
+    ]);
+    sweep_table.row(vec![
+        "fast".to_string(),
+        secs(fast_s),
+        format!("{speedup:.2}x"),
+    ]);
+    sweep_table.print("Observation sweep: fast vs naive (bit-identical knee tables)");
+
+    let mut kernel_table = Table::new(vec![
+        "heuristic",
+        "hosts",
+        "fast sched/s",
+        "naive sched/s",
+        "speedup",
+    ]);
+    for t in &throughput {
+        kernel_table.row(vec![
+            t.heuristic.to_string(),
+            t.hosts.to_string(),
+            format!("{:.1}", t.fast_per_s),
+            format!("{:.1}", t.naive_per_s),
+            format!("{:.2}x", t.fast_per_s / t.naive_per_s),
+        ]);
+    }
+    kernel_table.print("Placement-kernel schedule throughput (300-task DAG)");
+
+    write_json(
+        "BENCH_sweep.json",
+        &grid,
+        naive_s,
+        fast_s,
+        true,
+        &throughput,
+    )
+    .expect("failed to write BENCH_sweep.json");
+    eprintln!("bench_sweep: wrote BENCH_sweep.json (sweep speedup {speedup:.2}x)");
+
+    assert!(
+        speedup >= 5.0,
+        "end-to-end sweep speedup {speedup:.2}x is below the required 5x"
+    );
+}

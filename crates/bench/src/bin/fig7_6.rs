@@ -25,7 +25,10 @@ fn main() {
         regularity: 0.8,
         mean_comp: 40.0,
     };
-    println!("Table VII-2 setup: n={}, CCR=0.1, alpha=0.8, clock tiers {:?}", spec.size, clocks);
+    println!(
+        "Table VII-2 setup: n={}, CCR=0.1, alpha=0.8, clock tiers {:?}",
+        spec.size, clocks
+    );
     let dags = instances(spec, scale.instances(), 88);
 
     let mut table = Table::new(

@@ -16,9 +16,8 @@ fn main() {
     let (grid_sizes, grid_ccrs) = strictest.axes();
     let cost = CostModel::default();
 
-    let midpoints = |xs: &[f64]| -> Vec<f64> {
-        xs.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
-    };
+    let midpoints =
+        |xs: &[f64]| -> Vec<f64> { xs.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect() };
     let obs_sizes: Vec<f64> = grid_sizes.to_vec();
     let mid_sizes = midpoints(grid_sizes);
     let obs_ccrs: Vec<f64> = grid_ccrs.to_vec();
@@ -54,8 +53,7 @@ fn main() {
                         regularity: b,
                         mean_comp: 40.0,
                     };
-                    let dags =
-                        instances(spec, scale.instances(), (n as u64) ^ ccr.to_bits());
+                    let dags = instances(spec, scale.instances(), (n as u64) ^ ccr.to_bits());
                     results.push(validate_config(&dags, strictest, &cfg, &cost));
                 }
             }

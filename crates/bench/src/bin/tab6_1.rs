@@ -12,10 +12,7 @@ fn main() {
         ("paper (Table VI-1)", HeuristicTraining::paper()),
     ] {
         let mut table = Table::new(vec!["characteristic", "values"]);
-        table.row(vec![
-            "DAG sizes".to_string(),
-            format!("{:?}", t.sizes),
-        ]);
+        table.row(vec!["DAG sizes".to_string(), format!("{:?}", t.sizes)]);
         table.row(vec!["CCR".to_string(), format!("{:?}", t.ccrs)]);
         table.row(vec![
             "heuristics".to_string(),
@@ -28,15 +25,11 @@ fn main() {
         table.row(vec!["parallelism".to_string(), t.alpha.to_string()]);
         table.row(vec!["regularity".to_string(), t.beta.to_string()]);
         table.row(vec!["density".to_string(), t.density.to_string()]);
-        table.row(vec![
-            "mean comp (s)".to_string(),
-            t.mean_comp.to_string(),
-        ]);
-        table.row(vec![
-            "instances/cell".to_string(),
-            t.instances.to_string(),
-        ]);
-        table.print(&format!("Table VI-1: heuristic-model observation set ({label})"));
+        table.row(vec!["mean comp (s)".to_string(), t.mean_comp.to_string()]);
+        table.row(vec!["instances/cell".to_string(), t.instances.to_string()]);
+        table.print(&format!(
+            "Table VI-1: heuristic-model observation set ({label})"
+        ));
     }
     println!(
         "active scale for the other chapter-VI binaries: {:?}",

@@ -17,7 +17,13 @@ fn main() {
     let heuristics = [HeuristicKind::Mcp, HeuristicKind::Fca, HeuristicKind::Fcfs];
     let base = CurveConfig::default();
 
-    let mut table = Table::new(vec!["size", "heuristic", "H=0 optimal", "H=0.3 optimal", "delta"]);
+    let mut table = Table::new(vec![
+        "size",
+        "heuristic",
+        "H=0 optimal",
+        "H=0.3 optimal",
+        "delta",
+    ]);
     for &n in &sizes {
         let spec = RandomDagSpec {
             size: n,

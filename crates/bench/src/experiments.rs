@@ -180,10 +180,77 @@ pub fn observation_grid(scale: Scale) -> rsg_core::observation::ObservationGrid 
     }
 }
 
+/// A short stable digest of everything the observation sweep depends
+/// on — grid axes, curve configuration, thresholds, refinement — used
+/// to key sweep caches so a config change cannot serve stale tables.
+fn sweep_cache_key(
+    grid: &rsg_core::observation::ObservationGrid,
+    cfg: &CurveConfig,
+    thetas: &[f64],
+    refine_rounds: u32,
+) -> String {
+    let mut desc = format!(
+        "{:?}|{}|model={:?}|fam={:?}|refine={refine_rounds}|thetas={thetas:?}",
+        grid, cfg.heuristic, cfg.time_model, cfg.rc_family,
+    );
+    desc.push('|');
+    // FNV-1a, enough to distinguish configurations in a filename.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in desc.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{h:016x}")
+}
+
+/// Measures (or loads) the observation-sweep knee tables for a grid and
+/// configuration, cached as TSV under
+/// `target/rsg_knee_tables_<key>.tsv` where `<key>` digests the grid,
+/// curve config, thresholds and refinement (delete the file or set
+/// `RSG_NO_CACHE=1` to re-measure).
+pub fn observed_knee_tables(
+    grid: &rsg_core::observation::ObservationGrid,
+    cfg: &CurveConfig,
+    thetas: &[f64],
+    refine_rounds: u32,
+) -> Vec<rsg_core::KneeTable> {
+    let key = sweep_cache_key(grid, cfg, thetas, refine_rounds);
+    let cache = format!("target/rsg_knee_tables_{key}.tsv");
+    let cache_enabled = std::env::var("RSG_NO_CACHE").is_err();
+    if cache_enabled {
+        if let Ok(text) = std::fs::read_to_string(&cache) {
+            match rsg_core::persist::knee_tables_from_tsv(&text) {
+                Ok(tables)
+                    if tables.len() == thetas.len()
+                        && tables
+                            .iter()
+                            .zip(thetas)
+                            .all(|(t, &th)| t.theta == th && t.grid == *grid) =>
+                {
+                    eprintln!("[training] loaded cached knee tables from {cache}");
+                    return tables;
+                }
+                _ => eprintln!("[training] stale knee-table cache {cache}, re-measuring"),
+            }
+        }
+    }
+    eprintln!(
+        "[training] observation sweep on {} configurations x {} instances ...",
+        grid.cells(),
+        grid.instances
+    );
+    let tables = rsg_core::observation::measure(grid, cfg, thetas, refine_rounds);
+    if cache_enabled {
+        let _ = std::fs::create_dir_all("target");
+        let _ = std::fs::write(&cache, rsg_core::persist::knee_tables_to_tsv(&tables));
+    }
+    tables
+}
+
 /// Trains the thresholded size model for the whole threshold ladder at
-/// the given scale, printing progress. Trained models are cached as
-/// TSV under `target/` (delete the file or set `RSG_NO_CACHE=1` to
-/// retrain).
+/// the given scale, printing progress. Both the measured knee tables
+/// and the fitted model are cached as TSV under `target/` (delete the
+/// files or set `RSG_NO_CACHE=1` to retrain).
 pub fn trained_size_model(scale: Scale) -> (rsg_core::ThresholdedSizeModel, CurveConfig) {
     let cfg = default_curve_config();
     let cache = format!(
@@ -200,12 +267,7 @@ pub fn trained_size_model(scale: Scale) -> (rsg_core::ThresholdedSizeModel, Curv
         }
     }
     let grid = observation_grid(scale);
-    eprintln!(
-        "[training] size model on {} configurations x {} instances ...",
-        grid.cells(),
-        grid.instances
-    );
-    let tables = rsg_core::observation::measure(&grid, &cfg, &rsg_core::THRESHOLD_LADDER, 0);
+    let tables = observed_knee_tables(&grid, &cfg, &rsg_core::THRESHOLD_LADDER, 0);
     let model = rsg_core::ThresholdedSizeModel::fit(&tables);
     if cache_enabled {
         let _ = std::fs::create_dir_all("target");

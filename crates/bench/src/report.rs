@@ -75,14 +75,7 @@ impl Table {
                 s.clone()
             }
         };
-        out.push_str(
-            &self
-                .header
-                .iter()
-                .map(&esc)
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&self.header.iter().map(&esc).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(&esc).collect::<Vec<_>>().join(","));
@@ -121,7 +114,9 @@ pub fn secs(x: f64) -> String {
 /// Reads the experiment scale preset from `RSG_SCALE` (`fast` default,
 /// `full` for paper-scale runs).
 pub fn scale_is_full() -> bool {
-    std::env::var("RSG_SCALE").map(|v| v == "full").unwrap_or(false)
+    std::env::var("RSG_SCALE")
+        .map(|v| v == "full")
+        .unwrap_or(false)
 }
 
 #[cfg(test)]

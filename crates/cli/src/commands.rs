@@ -141,8 +141,7 @@ pub fn train(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
         grid.instances
     )?;
     let cfg = CurveConfig::default();
-    let tables =
-        rsg_core::observation::measure(&grid, &cfg, &rsg_core::THRESHOLD_LADDER, 0);
+    let tables = rsg_core::observation::measure(&grid, &cfg, &rsg_core::THRESHOLD_LADDER, 0);
     let model = ThresholdedSizeModel::fit(&tables);
     let text = model.to_tsv();
     match args.opt("out") {
@@ -279,8 +278,9 @@ pub fn dot(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn parse_heuristic(s: &str) -> Result<HeuristicKind, CliError> {
-    HeuristicKind::parse(s)
-        .ok_or_else(|| CliError::Usage(format!("unknown heuristic '{s}' (MCP|DLS|FCA|FCFS|Greedy)")))
+    HeuristicKind::parse(s).ok_or_else(|| {
+        CliError::Usage(format!("unknown heuristic '{s}' (MCP|DLS|FCA|FCFS|Greedy)"))
+    })
 }
 
 /// A degenerate heuristic model that always answers `h` — the CLI's

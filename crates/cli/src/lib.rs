@@ -164,7 +164,15 @@ mod tests {
         let (model_p, dag_p) = (model.to_str().unwrap(), dagf.to_str().unwrap());
         run_ok(&["train", "--grid", "tiny", "--out", model_p]);
         run_ok(&[
-            "gen", "random", "--size", "150", "--ccr", "0.1", "--parallelism", "0.6", "--out",
+            "gen",
+            "random",
+            "--size",
+            "150",
+            "--ccr",
+            "0.1",
+            "--parallelism",
+            "0.6",
+            "--out",
             dag_p,
         ]);
         let p = run_ok(&["predict", "--model", model_p, dag_p]);
@@ -191,7 +199,12 @@ mod tests {
         .unwrap();
         run_ok(&["train", "--grid", "tiny", "--out", model.to_str().unwrap()]);
         run_ok(&[
-            "gen", "random", "--size", "100", "--out", dagf.to_str().unwrap(),
+            "gen",
+            "random",
+            "--size",
+            "100",
+            "--out",
+            dagf.to_str().unwrap(),
         ]);
         let s = run_ok(&[
             "spec",

@@ -1,0 +1,232 @@
+//! Offline shim for the subset of the `criterion` API this workspace
+//! uses: `criterion_group!` / `criterion_main!`, `Criterion`
+//! benchmark groups with `bench_function` / `bench_with_input`, and
+//! `Bencher::iter`.
+//!
+//! The build container has no crates.io access, so the real criterion
+//! cannot be fetched. This shim times each benchmark with a simple
+//! calibrated loop (warm-up, then repeated timed batches) and prints
+//! `name  time: [median]` lines; there is no statistical analysis,
+//! HTML report, or baseline comparison. Good enough to track relative
+//! kernel cost and to keep `cargo bench` compiling and running.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Runs timed closures for one benchmark.
+pub struct Bencher {
+    samples: Vec<f64>,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, collecting per-iteration wall-clock samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count that runs for
+        // at least ~1 ms per batch so timer resolution is irrelevant.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1) as u64;
+
+        let deadline = Instant::now() + self.target;
+        while Instant::now() < deadline || self.samples.len() < 5 {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            self.samples
+                .push(t.elapsed().as_secs_f64() / per_batch as f64);
+            if self.samples.len() >= 1000 {
+                break;
+            }
+        }
+    }
+
+    fn median(&self) -> f64 {
+        let mut s = self.samples.clone();
+        s.sort_by(f64::total_cmp);
+        if s.is_empty() {
+            return f64::NAN;
+        }
+        s[s.len() / 2]
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+fn run_one(name: &str, target: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        target,
+    };
+    f(&mut b);
+    println!("{name:<50} time: [{}]", fmt_time(b.median()));
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Matches the real API; CLI args are ignored in the shim.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Times one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.target, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            target: self.target,
+            _parent: self,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    target: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size hint; the shim only scales its time budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.target = Duration::from_millis((3 * n as u64).clamp(50, 1000));
+        self
+    }
+
+    /// Times one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.target, &mut f);
+        self
+    }
+
+    /// Times one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), self.target, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            target: Duration::from_millis(10),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(5.0).contains(" s"));
+    }
+}

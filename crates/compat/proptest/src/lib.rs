@@ -1,0 +1,416 @@
+//! Offline shim for the subset of the `proptest` API this workspace
+//! uses: the `proptest!` macro over range / regex-class / mapped
+//! strategies, `prop_assert!` / `prop_assert_eq!`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! The build container has no crates.io access, so the real proptest
+//! cannot be fetched. This shim keeps the same test-authoring surface
+//! but runs plain deterministic random sampling (no shrinking): each
+//! test function draws `cases` samples from a generator seeded from the
+//! test's name, so failures are reproducible run-to-run. Regex
+//! strategies support exactly the character-class-with-repetition form
+//! (`"[a-z0-9]{0,12}"`) the fuzz tests use.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic RNG driving one property's cases.
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeded from the property name: stable across runs and platforms.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A value generator (no shrinking in this shim).
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+/// Always-the-same-value strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+
+/// String literals act as regex strategies, restricted to the
+/// `[character class]{lo,hi}` shape.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_regex(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy '{self}'"));
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+/// Parses `[class]{lo,hi}` into (allowed chars, lo, hi). Supports
+/// `\n` / `\t` / `\r` escapes, `\x` for literal specials, and `a-z`
+/// ranges inside the class.
+fn parse_class_regex(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let mut it = pat.chars().peekable();
+    if it.next()? != '[' {
+        return None;
+    }
+    let mut chars: Vec<char> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = it.next()?;
+        let literal = match c {
+            ']' => break,
+            '\\' => Some(match it.next()? {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            }),
+            '-' => {
+                // Range if we have a left endpoint and a right follows.
+                if let Some(lo) = pending.take() {
+                    match it.peek() {
+                        Some(&']') | None => {
+                            chars.push(lo);
+                            Some('-')
+                        }
+                        Some(_) => {
+                            let hi = match it.next()? {
+                                '\\' => match it.next()? {
+                                    'n' => '\n',
+                                    't' => '\t',
+                                    'r' => '\r',
+                                    other => other,
+                                },
+                                other => other,
+                            };
+                            for u in (lo as u32)..=(hi as u32) {
+                                chars.extend(char::from_u32(u));
+                            }
+                            None
+                        }
+                    }
+                } else {
+                    Some('-')
+                }
+            }
+            other => Some(other),
+        };
+        if let Some(prev) = pending.take() {
+            chars.push(prev);
+        }
+        pending = literal;
+    }
+    if let Some(prev) = pending.take() {
+        chars.push(prev);
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    if it.next()? != '{' {
+        return None;
+    }
+    let rest: String = it.collect();
+    let body = rest.strip_suffix('}')?;
+    let (lo, hi) = match body.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = body.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((chars, lo, hi))
+}
+
+/// Collection strategies (subset: `vec` with a size range).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for [`vec`], inclusive on both ends.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestRng};
+}
+
+/// Expands property functions: each becomes a `#[test]` running
+/// `config.cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal recursive expansion of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                // Property bodies may `return Ok(())` early (upstream
+                // proptest runs them as Result-valued closures).
+                let __body = || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                if let ::std::result::Result::Err(e) = __body() {
+                    panic!("property rejected: {e}");
+                }
+            }
+        }
+        $crate::__proptest_fns!{ $cfg; $($rest)* }
+    };
+}
+
+/// `assert!` under the proptest spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` under the proptest spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// `assert_ne!` under the proptest spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_regex_basic() {
+        let (chars, lo, hi) = parse_class_regex("[a-c0-1]{2,5}").unwrap();
+        assert_eq!(chars, vec!['a', 'b', 'c', '0', '1']);
+        assert_eq!((lo, hi), (2, 5));
+    }
+
+    #[test]
+    fn class_regex_escapes_and_printable_range() {
+        let (chars, lo, hi) = parse_class_regex("[ -~\\n\\t]{0,200}").unwrap();
+        assert_eq!((lo, hi), (0, 200));
+        assert!(chars.contains(&' '));
+        assert!(chars.contains(&'~'));
+        assert!(chars.contains(&'A'));
+        assert!(chars.contains(&'\n'));
+        assert!(chars.contains(&'\t'));
+    }
+
+    #[test]
+    fn class_regex_escaped_brackets() {
+        let (chars, _, _) = parse_class_regex("[\\[\\]{}()<>\"=&|;:,a-z0-9 ]{0,12}").unwrap();
+        for c in ['[', ']', '{', '}', '(', ')', '"', '&', 'z', '7', ' '] {
+            assert!(chars.contains(&c), "missing {c:?}");
+        }
+    }
+
+    #[test]
+    fn strategies_sample_in_bounds() {
+        let mut rng = TestRng::deterministic("strategies_sample_in_bounds");
+        for _ in 0..1000 {
+            let x = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&x));
+            let s = "[ab]{1,3}".sample(&mut rng);
+            assert!((1..=3).contains(&s.len()));
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+            let (p, q) = ((0.0f64..1.0), (5u32..6)).sample(&mut rng);
+            assert!((0.0..1.0).contains(&p));
+            assert_eq!(q, 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself expands and runs.
+        #[test]
+        fn macro_expands(x in 0u64..100, y in 0.0f64..1.0) {
+            prop_assert!(x < 100);
+            prop_assert!(y < 1.0, "y = {y}");
+            prop_assert_eq!(x, x);
+        }
+    }
+}

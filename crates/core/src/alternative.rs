@@ -161,7 +161,10 @@ pub fn alternatives(
 
     // Keep the original first; order the degraded tail by predicted
     // turnaround.
-    out[1..].sort_by(|a, b| a.predicted_turnaround_s.total_cmp(&b.predicted_turnaround_s));
+    out[1..].sort_by(|a, b| {
+        a.predicted_turnaround_s
+            .total_cmp(&b.predicted_turnaround_s)
+    });
     out
 }
 

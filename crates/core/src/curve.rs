@@ -7,7 +7,10 @@
 
 use rsg_dag::Dag;
 use rsg_platform::ResourceCollection;
-use rsg_sched::{evaluate, HeuristicKind, SchedTimeModel, TurnaroundReport};
+use rsg_sched::{
+    evaluate, evaluate_prefix, evaluate_reference, HeuristicKind, SchedTimeModel, TurnaroundReport,
+};
+use std::collections::HashMap;
 
 /// A family of resource collections parameterized only by size, so that
 /// curves vary exactly one variable (prefix-stable heterogeneous draws,
@@ -125,6 +128,11 @@ pub fn size_ladder(max: usize) -> Vec<usize> {
 }
 
 /// Mean turnaround of `dags` on RCs of the exact given size.
+///
+/// Builds a fresh RC per call — the simple reference path. Sweeps that
+/// revisit sizes (curves, knee refinement, the optimal-size search)
+/// should go through a [`CurveEvaluator`], which reuses one max-size RC
+/// across all sizes and memoizes results, with bit-identical numbers.
 pub fn mean_turnaround(dags: &[Dag], size: usize, cfg: &CurveConfig) -> f64 {
     let rc = cfg.rc_family.build(size);
     let total: f64 = dags
@@ -132,6 +140,90 @@ pub fn mean_turnaround(dags: &[Dag], size: usize, cfg: &CurveConfig) -> f64 {
         .map(|d| evaluate(d, &rc, cfg.heuristic, &cfg.time_model).turnaround_s())
         .sum();
     total / dags.len() as f64
+}
+
+/// [`mean_turnaround`] through the reference (fast-kernel-free)
+/// heuristic implementations: fresh RC per call, full host scans. The
+/// before-optimization baseline of the sweep benchmark; returns the
+/// same numbers as every optimized path.
+pub fn mean_turnaround_reference(dags: &[Dag], size: usize, cfg: &CurveConfig) -> f64 {
+    let rc = cfg.rc_family.build(size);
+    let total: f64 = dags
+        .iter()
+        .map(|d| evaluate_reference(d, &rc, cfg.heuristic, &cfg.time_model).turnaround_s())
+        .sum();
+    total / dags.len() as f64
+}
+
+/// Memoizing turnaround evaluator over one `(dags, cfg)` pair.
+///
+/// Two reuse layers, both bit-identical to [`mean_turnaround`]:
+///
+/// * **RC prefix reuse** — one maximum-size RC is built and every
+///   smaller size is evaluated as a prefix view of it
+///   ([`evaluate_prefix`]). Valid because [`RcFamily`] draws are
+///   prefix-stable: `build(k)` equals the first `k` hosts of
+///   `build(n)` for any `n ≥ k`.
+/// * **Per-size memoization** — curve sampling, knee refinement (which
+///   bisects over already-sampled neighborhoods, once per threshold)
+///   and the Table V-3 search revisit sizes; each size is scheduled
+///   once.
+pub struct CurveEvaluator<'a> {
+    dags: &'a [Dag],
+    cfg: CurveConfig,
+    rc: ResourceCollection,
+    memo: HashMap<usize, f64>,
+}
+
+impl<'a> CurveEvaluator<'a> {
+    /// Creates an evaluator with an RC pre-built for sizes up to
+    /// `capacity` (it grows on demand past that).
+    pub fn new(dags: &'a [Dag], cfg: &CurveConfig, capacity: usize) -> CurveEvaluator<'a> {
+        assert!(!dags.is_empty());
+        CurveEvaluator {
+            dags,
+            cfg: *cfg,
+            rc: cfg.rc_family.build(capacity.max(1)),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The configuration this evaluator sweeps.
+    pub fn cfg(&self) -> &CurveConfig {
+        &self.cfg
+    }
+
+    /// Mean turnaround of the instance set at `size` (memoized).
+    pub fn mean_turnaround(&mut self, size: usize) -> f64 {
+        if let Some(&t) = self.memo.get(&size) {
+            return t;
+        }
+        if size > self.rc.len() {
+            self.rc = self.cfg.rc_family.build(size);
+        }
+        let total: f64 = self
+            .dags
+            .iter()
+            .map(|d| {
+                evaluate_prefix(d, &self.rc, size, self.cfg.heuristic, &self.cfg.time_model)
+                    .turnaround_s()
+            })
+            .sum();
+        let t = total / self.dags.len() as f64;
+        self.memo.insert(size, t);
+        t
+    }
+
+    /// Samples a curve at explicit sizes (sorted, deduplicated).
+    pub fn curve(&mut self, sizes: &[usize]) -> Curve {
+        let mut points: Vec<(usize, f64)> = sizes
+            .iter()
+            .map(|&s| (s, self.mean_turnaround(s)))
+            .collect();
+        points.sort_by_key(|&(s, _)| s);
+        points.dedup_by_key(|&mut (s, _)| s);
+        Curve { points }
+    }
 }
 
 /// Full report (not just the mean) for a single DAG at one size.
@@ -148,15 +240,10 @@ pub fn turnaround_curve(dags: &[Dag], cfg: &CurveConfig) -> Curve {
     turnaround_curve_sizes(dags, &size_ladder(width), cfg)
 }
 
-/// Samples a curve at explicit sizes.
+/// Samples a curve at explicit sizes (one shared max-size RC).
 pub fn turnaround_curve_sizes(dags: &[Dag], sizes: &[usize], cfg: &CurveConfig) -> Curve {
-    let mut points: Vec<(usize, f64)> = sizes
-        .iter()
-        .map(|&s| (s, mean_turnaround(dags, s, cfg)))
-        .collect();
-    points.sort_by_key(|&(s, _)| s);
-    points.dedup_by_key(|&mut (s, _)| s);
-    Curve { points }
+    let capacity = sizes.iter().copied().max().unwrap_or(1);
+    CurveEvaluator::new(dags, cfg, capacity).curve(sizes)
 }
 
 #[cfg(test)]
@@ -210,6 +297,35 @@ mod tests {
         assert_eq!(c.argmin(), (2, 5.0));
         assert_eq!(c.at(4), Some(5.0));
         assert_eq!(c.at(3), None);
+    }
+
+    #[test]
+    fn evaluator_matches_reference_mean_turnaround() {
+        let ds = dags();
+        // Heterogeneous clocks + bandwidth: the hardest prefix case
+        // (and one where the fast placement kernel declines).
+        let cfg = CurveConfig {
+            rc_family: RcFamily {
+                clock_mhz: 3000.0,
+                heterogeneity: 0.3,
+                bw_heterogeneity: 0.4,
+                seed: 7,
+            },
+            ..CurveConfig::default()
+        };
+        let mut eval = CurveEvaluator::new(&ds, &cfg, 40);
+        for size in [1usize, 3, 17, 40, 64] {
+            let reference = mean_turnaround(&ds, size, &cfg);
+            assert_eq!(eval.mean_turnaround(size), reference, "size {size}");
+            // Memoized second read.
+            assert_eq!(eval.mean_turnaround(size), reference, "size {size}");
+        }
+        // Default (homogeneous, MCP fast path) family too.
+        let cfg = CurveConfig::default();
+        let mut eval = CurveEvaluator::new(&ds, &cfg, 16);
+        for size in [1usize, 8, 16] {
+            assert_eq!(eval.mean_turnaround(size), mean_turnaround(&ds, size, &cfg));
+        }
     }
 
     #[test]

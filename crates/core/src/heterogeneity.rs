@@ -9,8 +9,8 @@
 //! lets the spec generator scale its prediction for a requested
 //! heterogeneity tolerance.
 
-use crate::curve::{mean_turnaround, CurveConfig, RcFamily};
-use crate::optsearch::optimal_size_search;
+use crate::curve::{CurveConfig, CurveEvaluator, RcFamily};
+use crate::optsearch::optimal_size_search_with;
 use rsg_dag::Dag;
 use rsg_platform::CostModel;
 
@@ -38,6 +38,7 @@ pub fn heterogeneity_sweep(
     hs: &[f64],
     cost: &CostModel,
 ) -> Vec<HeterogeneityPoint> {
+    let width = dags.iter().map(|d| d.width() as usize).max().unwrap_or(1);
     hs.iter()
         .map(|&h| {
             let cfg = CurveConfig {
@@ -47,10 +48,11 @@ pub fn heterogeneity_sweep(
                 },
                 ..*base
             };
-            let t_pred = mean_turnaround(dags, homogeneous_prediction, &cfg);
-            let s = optimal_size_search(dags, homogeneous_prediction, &cfg);
-            let c_pred =
-                cost.execution_cost(&cfg.rc_family.build(homogeneous_prediction), t_pred);
+            // Prediction probe and search share one evaluator per H.
+            let mut eval = CurveEvaluator::new(dags, &cfg, width.max(homogeneous_prediction));
+            let t_pred = eval.mean_turnaround(homogeneous_prediction);
+            let s = optimal_size_search_with(&mut eval, homogeneous_prediction, width);
+            let c_pred = cost.execution_cost(&cfg.rc_family.build(homogeneous_prediction), t_pred);
             let c_opt = cost.execution_cost(&cfg.rc_family.build(s.size), s.turnaround_s);
             HeterogeneityPoint {
                 heterogeneity: h,

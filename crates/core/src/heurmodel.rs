@@ -242,15 +242,13 @@ mod tests {
     fn prediction_returns_trained_heuristic() {
         let m = trained();
         let h = m.predict_chars(100.0, 0.1);
-        assert!(
-            [
-                HeuristicKind::Mcp,
-                HeuristicKind::Fca,
-                HeuristicKind::Fcfs,
-                HeuristicKind::Greedy
-            ]
-            .contains(&h)
-        );
+        assert!([
+            HeuristicKind::Mcp,
+            HeuristicKind::Fca,
+            HeuristicKind::Fcfs,
+            HeuristicKind::Greedy
+        ]
+        .contains(&h));
     }
 
     #[test]
@@ -282,8 +280,22 @@ mod tests {
             size,
             ccr: 0.1,
             optimal_turnaround: vec![
-                (HeuristicKind::Mcp, if winner == HeuristicKind::Mcp { 1.0 } else { 2.0 }),
-                (HeuristicKind::Fca, if winner == HeuristicKind::Fca { 1.0 } else { 2.0 }),
+                (
+                    HeuristicKind::Mcp,
+                    if winner == HeuristicKind::Mcp {
+                        1.0
+                    } else {
+                        2.0
+                    },
+                ),
+                (
+                    HeuristicKind::Fca,
+                    if winner == HeuristicKind::Fca {
+                        1.0
+                    } else {
+                        2.0
+                    },
+                ),
             ],
         };
         let m = HeuristicPredictionModel {

@@ -55,7 +55,7 @@ pub mod specgen;
 pub mod utility;
 pub mod validate;
 
-pub use curve::{turnaround_curve, Curve, CurveConfig, RcFamily};
+pub use curve::{turnaround_curve, Curve, CurveConfig, CurveEvaluator, RcFamily};
 pub use heurmodel::HeuristicPredictionModel;
 pub use knee::find_knee;
 pub use observation::{KneeTable, ObservationGrid};

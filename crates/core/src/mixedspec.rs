@@ -79,7 +79,11 @@ impl SpecGenerator {
         let mut aggregates = Vec::new();
         // Sequential portion (if any hosts are needed).
         let base_vgdl = Self::to_vgdl(&spec.base);
-        let (_, base_agg) = base_vgdl.aggregates.into_iter().next().expect("one aggregate");
+        let (_, base_agg) = base_vgdl
+            .aggregates
+            .into_iter()
+            .next()
+            .expect("one aggregate");
         aggregates.push((None, base_agg));
 
         for (k, class) in spec.classes.iter().enumerate() {
@@ -95,11 +99,7 @@ impl SpecGenerator {
                         rank: Some("Clock".into()),
                         constraints: vec![
                             NodeConstraint::num("Clock", CmpOp::Ge, spec.base.clock_mhz.0),
-                            NodeConstraint::num(
-                                "Memory",
-                                CmpOp::Ge,
-                                spec.base.memory_mb as f64,
-                            ),
+                            NodeConstraint::num("Memory", CmpOp::Ge, spec.base.memory_mb as f64),
                         ],
                     },
                 ));
@@ -122,10 +122,7 @@ impl SpecGenerator {
             for _ in 0..class.clusters {
                 let mut port = ClassAd::new();
                 port.set("Label", Expr::attr("cluster"));
-                port.set(
-                    "Rank",
-                    Expr::scoped("cluster", "Clock"),
-                );
+                port.set("Rank", Expr::scoped("cluster", "Clock"));
                 port.set(
                     "Constraint",
                     Expr::and_all(vec![

@@ -6,10 +6,12 @@
 //! parallel with rayon — and stores the per-cell knees for every
 //! threshold of interest.
 
-use crate::curve::{turnaround_curve, CurveConfig};
+use crate::curve::{mean_turnaround_reference, size_ladder, Curve, CurveConfig};
 use crate::knee::{find_knee, refine_knee};
 use rayon::prelude::*;
 use rsg_dag::{Dag, RandomDagSpec};
+use rsg_sched::evaluate_prefix;
+use std::collections::HashMap;
 
 /// The observation-grid axes (Table V-1) and instance count.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +124,29 @@ pub struct KneeTable {
 }
 
 impl KneeTable {
+    /// Rebuilds a table from its parts (the persistence path); the knee
+    /// vector must be in grid-index order and cover every cell.
+    pub fn from_parts(
+        grid: ObservationGrid,
+        theta: f64,
+        knees: Vec<f64>,
+    ) -> Result<KneeTable, String> {
+        if knees.len() != grid.cells() {
+            return Err(format!(
+                "knee table has {} values for a {}-cell grid",
+                knees.len(),
+                grid.cells()
+            ));
+        }
+        Ok(KneeTable { grid, theta, knees })
+    }
+
+    /// The raw knee values in grid-index order (see
+    /// [`ObservationGrid::cells`]).
+    pub fn knees(&self) -> &[f64] {
+        &self.knees
+    }
+
     /// Knee at a cell.
     pub fn knee(&self, si: usize, ci: usize, ai: usize, bi: usize) -> f64 {
         self.knees[self.grid.index(si, ci, ai, bi)]
@@ -141,45 +166,23 @@ impl KneeTable {
     }
 }
 
-/// Measures knee tables for every threshold in `thetas` over the grid.
-/// `refine_rounds > 0` bisects between ladder points for sharper knees.
-pub fn measure(
-    grid: &ObservationGrid,
-    cfg: &CurveConfig,
-    thetas: &[f64],
-    refine_rounds: u32,
-) -> Vec<KneeTable> {
-    let cells: Vec<(usize, usize, usize, usize)> = (0..grid.sizes.len())
+fn cell_list(grid: &ObservationGrid) -> Vec<(usize, usize, usize, usize)> {
+    (0..grid.sizes.len())
         .flat_map(|si| {
             (0..grid.ccrs.len()).flat_map(move |ci| {
                 (0..grid.alphas.len())
                     .flat_map(move |ai| (0..grid.betas.len()).map(move |bi| (si, ci, ai, bi)))
             })
         })
-        .collect();
+        .collect()
+}
 
-    // Per-cell knees for each theta, in parallel over cells.
-    let per_cell: Vec<Vec<f64>> = cells
-        .par_iter()
-        .map(|&(si, ci, ai, bi)| {
-            let dags = grid.instances_of(si, ci, ai, bi);
-            let curve = turnaround_curve(&dags, cfg);
-            thetas
-                .iter()
-                .map(|&theta| {
-                    let k = if refine_rounds > 0 {
-                        refine_knee(&curve, theta, refine_rounds, |s| {
-                            crate::curve::mean_turnaround(&dags, s, cfg)
-                        })
-                    } else {
-                        find_knee(&curve, theta)
-                    };
-                    k as f64
-                })
-                .collect()
-        })
-        .collect();
-
+fn assemble_tables(
+    grid: &ObservationGrid,
+    cells: &[(usize, usize, usize, usize)],
+    per_cell: &[Vec<f64>],
+    thetas: &[f64],
+) -> Vec<KneeTable> {
     thetas
         .iter()
         .enumerate()
@@ -195,6 +198,174 @@ pub fn measure(
             }
         })
         .collect()
+}
+
+/// Measures knee tables for every threshold in `thetas` over the grid.
+/// `refine_rounds > 0` bisects between ladder points for sharper knees.
+///
+/// This is the optimized sweep — bit-identical to [`measure_naive`]:
+///
+/// * parallelism is over `(cell × instance)` tasks, not cells, so the
+///   few expensive cells (large size × high parallelism) cannot
+///   serialize the tail of the sweep;
+/// * one maximum-size RC is built for the whole grid and every
+///   evaluation uses a prefix view of it (prefix-stable families);
+/// * per-cell `(size → mean turnaround)` results are memoized and
+///   shared between curve sampling and knee refinement across all
+///   thresholds;
+/// * MCP/DLS placement goes through the candidate-set kernel
+///   ([`rsg_sched::heuristics::placement`]) where it applies.
+pub fn measure(
+    grid: &ObservationGrid,
+    cfg: &CurveConfig,
+    thetas: &[f64],
+    refine_rounds: u32,
+) -> Vec<KneeTable> {
+    let cells = cell_list(grid);
+    let ninst = grid.instances.max(1);
+    let ntasks = cells.len() * ninst;
+
+    // Phase 1 — generate every DAG instance, in parallel over
+    // (cell × instance). Instance k of a cell keeps its seed
+    // `cell_seed(..) + k` regardless of schedule order.
+    let dags: Vec<Dag> = (0..ntasks)
+        .into_par_iter()
+        .map(|i| {
+            let (si, ci, ai, bi) = cells[i / ninst];
+            let spec = grid.spec(si, ci, ai, bi);
+            spec.generate(cell_seed(si, ci, ai, bi).wrapping_add((i % ninst) as u64))
+        })
+        .collect();
+
+    // Per-cell ladders (bounded by the cell's widest instance) and the
+    // single grid-wide RC every evaluation takes prefixes of.
+    let ladders: Vec<Vec<usize>> = (0..cells.len())
+        .map(|c| {
+            let width = dags[c * ninst..(c + 1) * ninst]
+                .iter()
+                .map(|d| d.width() as usize)
+                .max()
+                .unwrap();
+            size_ladder(width)
+        })
+        .collect();
+    let global_max = ladders
+        .iter()
+        .map(|l| *l.last().unwrap())
+        .max()
+        .unwrap_or(1);
+    let rc = cfg.rc_family.build(global_max);
+
+    // Phase 2 — evaluate each instance over its cell's ladder, in
+    // parallel over (cell × instance).
+    let per_instance: Vec<Vec<f64>> = (0..ntasks)
+        .into_par_iter()
+        .map(|i| {
+            let d = &dags[i];
+            ladders[i / ninst]
+                .iter()
+                .map(|&s| evaluate_prefix(d, &rc, s, cfg.heuristic, &cfg.time_model).turnaround_s())
+                .collect()
+        })
+        .collect();
+
+    // Reduce to per-cell mean curves, summing in instance order (the
+    // same left-to-right fold as the naive per-cell loop).
+    let curves: Vec<Curve> = (0..cells.len())
+        .map(|c| {
+            let points = ladders[c]
+                .iter()
+                .enumerate()
+                .map(|(j, &s)| {
+                    let mut total = 0.0f64;
+                    for k in 0..ninst {
+                        total += per_instance[c * ninst + k][j];
+                    }
+                    (s, total / ninst as f64)
+                })
+                .collect();
+            Curve { points }
+        })
+        .collect();
+
+    // Phase 3 — knees per (cell, theta); refinement evaluations share
+    // one per-cell (size → mean) memo across all thresholds.
+    let per_cell: Vec<Vec<f64>> = (0..cells.len())
+        .into_par_iter()
+        .map(|c| {
+            let curve = &curves[c];
+            let cell_dags = &dags[c * ninst..(c + 1) * ninst];
+            let mut memo: HashMap<usize, f64> = curve.points.iter().copied().collect();
+            thetas
+                .iter()
+                .map(|&theta| {
+                    let k = if refine_rounds > 0 {
+                        refine_knee(curve, theta, refine_rounds, |s| {
+                            *memo.entry(s).or_insert_with(|| {
+                                let total: f64 = cell_dags
+                                    .iter()
+                                    .map(|d| {
+                                        evaluate_prefix(d, &rc, s, cfg.heuristic, &cfg.time_model)
+                                            .turnaround_s()
+                                    })
+                                    .sum();
+                                total / ninst as f64
+                            })
+                        })
+                    } else {
+                        find_knee(curve, theta)
+                    };
+                    k as f64
+                })
+                .collect()
+        })
+        .collect();
+
+    assemble_tables(grid, &cells, &per_cell, thetas)
+}
+
+/// The unoptimized observation sweep: parallel over cells only, a fresh
+/// exact-size RC per evaluation, full host scans in MCP/DLS, no
+/// memoization. Kept as the reference implementation — [`measure`] must
+/// produce bit-identical tables (asserted in tests and by the
+/// `bench_sweep` binary, which also records the speedup between the
+/// two).
+pub fn measure_naive(
+    grid: &ObservationGrid,
+    cfg: &CurveConfig,
+    thetas: &[f64],
+    refine_rounds: u32,
+) -> Vec<KneeTable> {
+    let cells = cell_list(grid);
+
+    // Per-cell knees for each theta, in parallel over cells.
+    let per_cell: Vec<Vec<f64>> = cells
+        .par_iter()
+        .map(|&(si, ci, ai, bi)| {
+            let dags = grid.instances_of(si, ci, ai, bi);
+            let width = dags.iter().map(|d| d.width() as usize).max().unwrap();
+            let points = size_ladder(width)
+                .into_iter()
+                .map(|s| (s, mean_turnaround_reference(&dags, s, cfg)))
+                .collect();
+            let curve = Curve { points };
+            thetas
+                .iter()
+                .map(|&theta| {
+                    let k = if refine_rounds > 0 {
+                        refine_knee(&curve, theta, refine_rounds, |s| {
+                            mean_turnaround_reference(&dags, s, cfg)
+                        })
+                    } else {
+                        find_knee(&curve, theta)
+                    };
+                    k as f64
+                })
+                .collect()
+        })
+        .collect();
+
+    assemble_tables(grid, &cells, &per_cell, thetas)
 }
 
 #[cfg(test)]
@@ -216,6 +387,17 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn fast_measure_matches_naive() {
+        let grid = ObservationGrid::tiny();
+        let cfg = CurveConfig::default();
+        for refine in [0u32, 2] {
+            let fast = measure(&grid, &cfg, &[0.001, 0.05], refine);
+            let naive = measure_naive(&grid, &cfg, &[0.001, 0.05], refine);
+            assert_eq!(fast, naive, "refine_rounds = {refine}");
         }
     }
 
@@ -248,9 +430,7 @@ mod tests {
             for ci in 0..grid.ccrs.len() {
                 for ai in 0..grid.alphas.len() {
                     for bi in 0..grid.betas.len() {
-                        assert!(
-                            tables[1].knee(si, ci, ai, bi) <= tables[0].knee(si, ci, ai, bi)
-                        );
+                        assert!(tables[1].knee(si, ci, ai, bi) <= tables[0].knee(si, ci, ai, bi));
                     }
                 }
             }

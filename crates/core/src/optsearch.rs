@@ -5,7 +5,7 @@
 //! `2.5x`, `3x`, and a geometric halving chain down to 1 — then keeps
 //! the size with the best measured turnaround.
 
-use crate::curve::{mean_turnaround, CurveConfig};
+use crate::curve::{CurveConfig, CurveEvaluator};
 use rsg_dag::Dag;
 
 /// The Table V-3 candidate set around `x`, clamped to `[1, max]`,
@@ -52,20 +52,28 @@ pub struct OptSearchResult {
 
 /// Runs the search around the predicted size `x` for the given DAG
 /// instances.
-pub fn optimal_size_search(
-    dags: &[Dag],
-    predicted: usize,
-    cfg: &CurveConfig,
-) -> OptSearchResult {
+pub fn optimal_size_search(dags: &[Dag], predicted: usize, cfg: &CurveConfig) -> OptSearchResult {
     let width = dags.iter().map(|d| d.width() as usize).max().unwrap_or(1);
-    let cands = candidate_sizes(predicted, width);
+    let mut eval = CurveEvaluator::new(dags, cfg, width);
+    optimal_size_search_with(&mut eval, predicted, width)
+}
+
+/// The same search through a shared [`CurveEvaluator`]: sizes already
+/// sampled by the caller (curves, predicted-size evaluations) are not
+/// re-scheduled. `max` caps the candidates (typically the DAG width).
+pub fn optimal_size_search_with(
+    eval: &mut CurveEvaluator<'_>,
+    predicted: usize,
+    max: usize,
+) -> OptSearchResult {
+    let cands = candidate_sizes(predicted, max);
     let mut best = OptSearchResult {
         size: 1,
         turnaround_s: f64::INFINITY,
         evaluated: cands.len(),
     };
     for &s in &cands {
-        let t = mean_turnaround(dags, s, cfg);
+        let t = eval.mean_turnaround(s);
         if t < best.turnaround_s {
             best.size = s;
             best.turnaround_s = t;
@@ -77,14 +85,14 @@ pub fn optimal_size_search(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::curve::mean_turnaround;
     use rsg_dag::RandomDagSpec;
 
     #[test]
     fn candidates_match_table_v3_example_100() {
         // Table V-3, example 1 (x = 100):
         let expected = vec![
-            1, 2, 4, 7, 13, 25, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150, 200, 250,
-            300,
+            1, 2, 4, 7, 13, 25, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150, 200, 250, 300,
         ];
         let got = candidate_sizes(100, 10_000);
         // The halving chain in the table is 50,25,13(12?),7(6?),...; the
@@ -92,7 +100,9 @@ mod tests {
         // halving gives 50,25,12,6,3,1 — accept the documented
         // divergence on the halving chain but require every
         // percent/multiple candidate to match.
-        for v in [60, 70, 80, 90, 100, 110, 120, 130, 140, 150, 200, 250, 300, 50, 25, 1] {
+        for v in [
+            60, 70, 80, 90, 100, 110, 120, 130, 140, 150, 200, 250, 300, 50, 25, 1,
+        ] {
             assert!(got.contains(&v), "missing candidate {v}: {got:?}");
         }
         let _ = expected;
@@ -129,7 +139,11 @@ mod tests {
         let at_pred = mean_turnaround(&dags, predicted, &cfg);
         assert!(result.turnaround_s <= at_pred + 1e-9);
         // x = 8 yields ~14 distinct candidates after dedup/clamping.
-        assert!(result.evaluated >= 12, "only {} candidates", result.evaluated);
+        assert!(
+            result.evaluated >= 12,
+            "only {} candidates",
+            result.evaluated
+        );
     }
 
     #[test]

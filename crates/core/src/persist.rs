@@ -134,10 +134,7 @@ impl SizePredictionModel {
                 fits.len()
             )));
         }
-        Ok((
-            SizePredictionModel::from_parts(theta, sizes, ccrs, fits),
-            i,
-        ))
+        Ok((SizePredictionModel::from_parts(theta, sizes, ccrs, fits), i))
     }
 
     /// Decodes a single-model document.
@@ -213,7 +210,9 @@ impl crate::heurmodel::HeuristicPredictionModel {
     }
 
     /// Decodes a heuristic-model document.
-    pub fn from_tsv(text: &str) -> Result<crate::heurmodel::HeuristicPredictionModel, PersistError> {
+    pub fn from_tsv(
+        text: &str,
+    ) -> Result<crate::heurmodel::HeuristicPredictionModel, PersistError> {
         use crate::heurmodel::{CellResult, HeuristicPredictionModel};
         use rsg_sched::HeuristicKind;
         let mut lines = text.lines();
@@ -286,6 +285,141 @@ impl crate::heurmodel::HeuristicPredictionModel {
     }
 }
 
+impl crate::observation::KneeTable {
+    /// Serializes one knee table:
+    ///
+    /// ```text
+    /// rsg-knee-table<TAB>v1
+    /// theta<TAB>0.001
+    /// sizes<TAB>100<TAB>300
+    /// ccrs<TAB>...
+    /// alphas<TAB>...
+    /// betas<TAB>...
+    /// grid<TAB><density><TAB><mean_comp><TAB><instances>
+    /// knees<TAB><v0><TAB><v1> ...   (grid-index order)
+    /// end
+    /// ```
+    ///
+    /// Floats print in shortest-round-trip form, so a decode restores
+    /// them bit-for-bit.
+    pub fn to_tsv(&self) -> String {
+        let g = &self.grid;
+        let mut out = String::from("rsg-knee-table\tv1\n");
+        out.push_str(&format!("theta\t{}\n", self.theta));
+        let axis = |out: &mut String, tag: &str, vals: &[f64]| {
+            out.push_str(tag);
+            for v in vals {
+                out.push_str(&format!("\t{v}"));
+            }
+            out.push('\n');
+        };
+        let sizes: Vec<f64> = g.sizes.iter().map(|&s| s as f64).collect();
+        axis(&mut out, "sizes", &sizes);
+        axis(&mut out, "ccrs", &g.ccrs);
+        axis(&mut out, "alphas", &g.alphas);
+        axis(&mut out, "betas", &g.betas);
+        out.push_str(&format!(
+            "grid\t{}\t{}\t{}\n",
+            g.density, g.mean_comp, g.instances
+        ));
+        out.push_str("knees");
+        for v in self.knees() {
+            out.push_str(&format!("\t{v}"));
+        }
+        out.push('\n');
+        out.push_str("end\n");
+        out
+    }
+
+    /// Decodes one knee-table section starting at `lines`; returns the
+    /// table and the number of lines consumed.
+    pub fn from_tsv_lines(
+        lines: &[&str],
+    ) -> Result<(crate::observation::KneeTable, usize), PersistError> {
+        use crate::observation::{KneeTable, ObservationGrid};
+        let mut i = 0usize;
+        let next = |i: &mut usize| -> Result<&str, PersistError> {
+            let l = lines
+                .get(*i)
+                .ok_or_else(|| PersistError("unexpected end".into()))?;
+            *i += 1;
+            Ok(l)
+        };
+        let header = next(&mut i)?;
+        if !header.starts_with("rsg-knee-table\tv1") {
+            return Err(PersistError(format!("bad header '{header}'")));
+        }
+        let field = |line: &str, tag: &str| -> Result<Vec<f64>, PersistError> {
+            line.strip_prefix(tag)
+                .ok_or_else(|| PersistError(format!("missing {tag}")))?
+                .split('\t')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse::<f64>()
+                        .map_err(|_| PersistError(format!("bad {tag} value '{s}'")))
+                })
+                .collect()
+        };
+        let theta = *field(next(&mut i)?, "theta")?
+            .first()
+            .ok_or_else(|| PersistError("missing theta".into()))?;
+        let sizes: Vec<usize> = field(next(&mut i)?, "sizes")?
+            .into_iter()
+            .map(|s| s as usize)
+            .collect();
+        let ccrs = field(next(&mut i)?, "ccrs")?;
+        let alphas = field(next(&mut i)?, "alphas")?;
+        let betas = field(next(&mut i)?, "betas")?;
+        let grid_line = field(next(&mut i)?, "grid")?;
+        if grid_line.len() != 3 {
+            return Err(PersistError("grid line needs 3 values".into()));
+        }
+        let grid = ObservationGrid {
+            sizes,
+            ccrs,
+            alphas,
+            betas,
+            density: grid_line[0],
+            mean_comp: grid_line[1],
+            instances: grid_line[2] as usize,
+        };
+        let knees = field(next(&mut i)?, "knees")?;
+        if next(&mut i)? != "end" {
+            return Err(PersistError("missing end".into()));
+        }
+        let table = KneeTable::from_parts(grid, theta, knees).map_err(PersistError)?;
+        Ok((table, i))
+    }
+}
+
+/// Serializes measured knee tables (one section per threshold, in the
+/// given order).
+pub fn knee_tables_to_tsv(tables: &[crate::observation::KneeTable]) -> String {
+    tables.iter().map(|t| t.to_tsv()).collect()
+}
+
+/// Decodes a knee-table document, preserving section order.
+pub fn knee_tables_from_tsv(
+    text: &str,
+) -> Result<Vec<crate::observation::KneeTable>, PersistError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut tables = Vec::new();
+    let mut pos = 0usize;
+    while pos < lines.len() {
+        if lines[pos].trim().is_empty() {
+            pos += 1;
+            continue;
+        }
+        let (t, used) = crate::observation::KneeTable::from_tsv_lines(&lines[pos..])?;
+        tables.push(t);
+        pos += used;
+    }
+    if tables.is_empty() {
+        return Err(PersistError("no knee tables in document".into()));
+    }
+    Ok(tables)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,23 +485,60 @@ mod tests {
         let text = m.to_tsv();
         let back = crate::heurmodel::HeuristicPredictionModel::from_tsv(&text).unwrap();
         assert_eq!(back, m);
-        assert_eq!(
-            back.predict_chars(120.0, 0.3),
-            m.predict_chars(120.0, 0.3)
-        );
+        assert_eq!(back.predict_chars(120.0, 0.3), m.predict_chars(120.0, 0.3));
     }
 
     #[test]
     fn heuristic_model_corrupt_rejected() {
         assert!(crate::heurmodel::HeuristicPredictionModel::from_tsv("").is_err());
-        assert!(crate::heurmodel::HeuristicPredictionModel::from_tsv(
-            "rsg-heur-model\tv1\nsizes\t10\nccrs\t0.1\nend\n"
-        )
-        .is_err(), "missing cells must be rejected");
+        assert!(
+            crate::heurmodel::HeuristicPredictionModel::from_tsv(
+                "rsg-heur-model\tv1\nsizes\t10\nccrs\t0.1\nend\n"
+            )
+            .is_err(),
+            "missing cells must be rejected"
+        );
         assert!(crate::heurmodel::HeuristicPredictionModel::from_tsv(
             "rsg-heur-model\tv1\nsizes\t10\nccrs\t0.1\ncell\t0\t0\tBogus:1\nend\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn knee_tables_round_trip_bitwise() {
+        let grid = ObservationGrid::tiny();
+        let tables = measure(&grid, &CurveConfig::default(), &[0.001, 0.05], 2);
+        let text = knee_tables_to_tsv(&tables);
+        let back = knee_tables_from_tsv(&text).unwrap();
+        // The decode must restore every field — grid, theta, knees —
+        // exactly, preserving the threshold order.
+        assert_eq!(back, tables);
+    }
+
+    #[test]
+    fn knee_tables_corrupt_rejected() {
+        assert!(knee_tables_from_tsv("").is_err());
+        assert!(knee_tables_from_tsv("garbage\tv1\n").is_err());
+        let grid = ObservationGrid::tiny();
+        let tables = measure(&grid, &CurveConfig::default(), &[0.001], 0);
+        let good = knee_tables_to_tsv(&tables);
+        // Drop one knee value -> cell-count mismatch.
+        let truncated: String = good
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("knees") {
+                    let mut vals: Vec<&str> = rest.split('\t').filter(|s| !s.is_empty()).collect();
+                    vals.pop();
+                    format!("knees\t{}", vals.join("\t"))
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(knee_tables_from_tsv(&truncated).is_err());
+        // A missing terminator is rejected too.
+        assert!(knee_tables_from_tsv(good.trim_end_matches("end\n")).is_err());
     }
 
     #[test]

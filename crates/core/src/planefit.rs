@@ -159,7 +159,10 @@ mod tests {
 
     #[test]
     fn solve3_identity() {
-        let x = solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [5.0, -2.0, 3.0]);
+        let x = solve3(
+            [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            [5.0, -2.0, 3.0],
+        );
         assert_eq!(x, [5.0, -2.0, 3.0]);
     }
 

@@ -102,15 +102,27 @@ mod tests {
     fn fit_recovers_power_law() {
         let pts = vec![
             ScrPoint { scr: 0.5, knee: 71 },
-            ScrPoint { scr: 1.0, knee: 100 },
-            ScrPoint { scr: 2.0, knee: 141 },
-            ScrPoint { scr: 4.0, knee: 200 },
+            ScrPoint {
+                scr: 1.0,
+                knee: 100,
+            },
+            ScrPoint {
+                scr: 2.0,
+                knee: 141,
+            },
+            ScrPoint {
+                scr: 4.0,
+                knee: 200,
+            },
         ];
         let m = ScrModel::fit(&pts);
         assert!((m.gamma - 0.5).abs() < 0.02, "gamma {}", m.gamma);
         assert!((m.k1 - 100.0).abs() < 3.0, "k1 {}", m.k1);
         assert!((m.predict(1.0) - 100.0).abs() < 3.0);
-        assert_eq!(m.rescale(100, 4.0), ((100.0 * 4.0f64.powf(m.gamma)).round()) as usize);
+        assert_eq!(
+            m.rescale(100, 4.0),
+            ((100.0 * 4.0f64.powf(m.gamma)).round()) as usize
+        );
         assert!(m.formula().starts_with("knee(SCR) ="));
     }
 

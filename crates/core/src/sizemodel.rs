@@ -141,9 +141,7 @@ impl ThresholdedSizeModel {
 
     /// The model for the exact threshold, if trained.
     pub fn for_threshold(&self, theta: f64) -> Option<&SizePredictionModel> {
-        self.models
-            .iter()
-            .find(|m| (m.theta - theta).abs() < 1e-12)
+        self.models.iter().find(|m| (m.theta - theta).abs() < 1e-12)
     }
 
     /// The strictest (smallest-θ) model — the paper's 0.1% default.

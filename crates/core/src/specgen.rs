@@ -337,10 +337,7 @@ mod tests {
         let ad_text = ad.to_string();
         assert!(ad_text.contains("Count"));
         assert!(ad_text.contains("other.Clock >="));
-        assert_eq!(
-            rsg_select::classad::parse_classad(&ad_text).unwrap(),
-            ad
-        );
+        assert_eq!(rsg_select::classad::parse_classad(&ad_text).unwrap(), ad);
 
         let sword = SpecGenerator::to_sword(&spec);
         let xml = rsg_select::sword::write_sword(&sword);

@@ -4,8 +4,8 @@
 //! cost — the three Table V-5 metrics — plus the "current practice"
 //! comparison of Table V-7 (DAG width as the RC size).
 
-use crate::curve::{mean_turnaround, CurveConfig};
-use crate::optsearch::optimal_size_search;
+use crate::curve::{mean_turnaround, CurveConfig, CurveEvaluator};
+use crate::optsearch::optimal_size_search_with;
 use crate::sizemodel::SizePredictionModel;
 use rsg_dag::{Dag, DagStats};
 use rsg_platform::CostModel;
@@ -41,8 +41,13 @@ pub fn validate_config(
 ) -> ConfigValidation {
     let stats = DagStats::measure(&dags[0]);
     let predicted = model.predict(&stats);
-    let t_pred = mean_turnaround(dags, predicted, cfg);
-    let search = optimal_size_search(dags, predicted, cfg);
+    // One evaluator for the predicted-size probe and the search: the
+    // search revisits the predicted size, and every size shares one
+    // max-size RC.
+    let width = dags.iter().map(|d| d.width() as usize).max().unwrap_or(1);
+    let mut eval = CurveEvaluator::new(dags, cfg, width.max(predicted));
+    let t_pred = eval.mean_turnaround(predicted);
+    let search = optimal_size_search_with(&mut eval, predicted, width);
     let (optimal, t_opt) = (search.size, search.turnaround_s);
 
     let cost_of = |size: usize, t: f64| cost.execution_cost(&cfg.rc_family.build(size), t);

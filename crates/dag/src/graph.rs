@@ -514,5 +514,3 @@ mod tests {
         assert!((d.total_work() - 80.0).abs() < 1e-12);
     }
 }
-
-

@@ -63,9 +63,7 @@ pub fn read_dag(text: &str) -> Result<Dag, DagIoError> {
         msg: msg.to_string(),
     };
     let mut lines = text.lines().enumerate();
-    let (i, header) = lines
-        .next()
-        .ok_or_else(|| err(1, "empty document"))?;
+    let (i, header) = lines.next().ok_or_else(|| err(1, "empty document"))?;
     if header.trim() != "rsg-dag v1" {
         return Err(err(i + 1, "expected 'rsg-dag v1' header"));
     }

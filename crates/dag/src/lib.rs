@@ -39,8 +39,8 @@ pub mod stats;
 pub mod workflows;
 
 pub use critical::CriticalPathInfo;
-pub use mixed::{MixedDag, ParallelProfile};
 pub use graph::{Dag, DagBuilder, DagError, Edge, TaskId};
+pub use mixed::{MixedDag, ParallelProfile};
 pub use random::RandomDagSpec;
 pub use stats::DagStats;
 

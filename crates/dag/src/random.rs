@@ -143,7 +143,13 @@ impl RandomDagSpec {
         let hi = (tau + dev).max(lo + f64::EPSILON);
 
         let mut sizes: Vec<f64> = (0..h)
-            .map(|_| if dev < 0.5 { tau } else { rng.gen_range(lo..hi) })
+            .map(|_| {
+                if dev < 0.5 {
+                    tau
+                } else {
+                    rng.gen_range(lo..hi)
+                }
+            })
             .collect();
         // Pin one interior level at the maximum positive deviation so the
         // measured β is close to the target.
@@ -336,10 +342,7 @@ mod tests {
             if lvl == 0 {
                 assert!(d.parents(t).is_empty());
             } else {
-                assert!(d
-                    .parents(t)
-                    .iter()
-                    .all(|e| d.level(e.task) == lvl - 1));
+                assert!(d.parents(t).iter().all(|e| d.level(e.task) == lvl - 1));
                 assert!(!d.parents(t).is_empty());
             }
         }

@@ -204,8 +204,7 @@ mod tests {
             target_hosts: None,
         }
         .generate(3);
-        let mean =
-            clusters.iter().map(|c| c.hosts as f64).sum::<f64>() / clusters.len() as f64;
+        let mean = clusters.iter().map(|c| c.hosts as f64).sum::<f64>() / clusters.len() as f64;
         assert!(
             (20.0..55.0).contains(&mean),
             "mean cluster size {mean} should be near the paper's 33.7"

@@ -54,14 +54,16 @@ impl ResourceCollection {
         if let CommModel::PerHostFactor(f) = &comm {
             assert_eq!(f.len(), clocks_mhz.len());
         }
-        if let CommModel::Clustered { host_cluster, k, factors } = &comm {
+        if let CommModel::Clustered {
+            host_cluster,
+            k,
+            factors,
+        } = &comm
+        {
             assert_eq!(host_cluster.len(), clocks_mhz.len());
             assert_eq!(factors.len(), k * k);
         }
-        ResourceCollection {
-            clocks_mhz,
-            comm,
-        }
+        ResourceCollection { clocks_mhz, comm }
     }
 
     /// A homogeneous RC: `size` hosts at `clock_mhz`, homogeneous
@@ -190,7 +192,10 @@ impl ResourceCollection {
 
     /// Slowest clock in the RC, MHz.
     pub fn slowest_clock_mhz(&self) -> f64 {
-        self.clocks_mhz.iter().copied().fold(f64::INFINITY, f64::min)
+        self.clocks_mhz
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Measured clock heterogeneity `1 − min/max`.
@@ -293,8 +298,7 @@ mod tests {
 
     #[test]
     fn bandwidth_heterogeneity_factors() {
-        let rc = ResourceCollection::homogeneous(10, 2800.0)
-            .with_bandwidth_heterogeneity(0.5, 11);
+        let rc = ResourceCollection::homogeneous(10, 2800.0).with_bandwidth_heterogeneity(0.5, 11);
         for i in 0..10 {
             for j in 0..10 {
                 let f = rc.comm_factor(i, j);

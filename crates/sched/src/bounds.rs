@@ -45,9 +45,7 @@ pub fn paper_lower_bound(ctx: &ExecutionContext<'_>) -> f64 {
         bl[t.index()] = dag.comp(t) / fastest + m;
     }
     let _ = info;
-    dag.entries()
-        .map(|t| bl[t.index()])
-        .fold(0.0f64, f64::max)
+    dag.entries().map(|t| bl[t.index()]).fold(0.0f64, f64::max)
 }
 
 #[cfg(test)]

@@ -22,9 +22,33 @@ pub struct ExecutionContext<'a> {
 impl<'a> ExecutionContext<'a> {
     /// Pairs a DAG with an RC.
     pub fn new(dag: &'a Dag, rc: &'a ResourceCollection) -> ExecutionContext<'a> {
+        Self::with_host_limit(dag, rc, rc.len())
+    }
+
+    /// Pairs a DAG with the first `hosts` hosts of `rc` (clamped to
+    /// `[1, rc.len()]`). Because RC families are prefix-stable, this is
+    /// equivalent to `ExecutionContext::new(dag, &rc.prefix(hosts))`
+    /// without cloning the RC — the key to sweeping RC sizes over one
+    /// max-size host family.
+    pub fn with_host_limit(
+        dag: &'a Dag,
+        rc: &'a ResourceCollection,
+        hosts: usize,
+    ) -> ExecutionContext<'a> {
+        let hosts = hosts.clamp(1, rc.len());
         let refclk = dag.reference_clock_mhz();
-        let speed = (0..rc.len()).map(|h| rc.speed_factor(h, refclk)).collect();
+        let speed = (0..hosts).map(|h| rc.speed_factor(h, refclk)).collect();
         ExecutionContext { dag, rc, speed }
+    }
+
+    /// Clock rate of host `h` in MHz (only hosts below [`hosts()`]
+    /// belong to this context).
+    ///
+    /// [`hosts()`]: ExecutionContext::hosts
+    #[inline]
+    pub fn clock_mhz(&self, h: usize) -> f64 {
+        debug_assert!(h < self.hosts());
+        self.rc.clock_mhz(h)
     }
 
     /// Number of hosts.
@@ -96,10 +120,7 @@ mod tests {
     #[test]
     fn task_time_scales_with_clock() {
         let dag = two_task_dag(); // ref clock 1500 MHz
-        let rc = ResourceCollection::new(
-            vec![1500.0, 3000.0],
-            rsg_platform::CommModel::Uniform,
-        );
+        let rc = ResourceCollection::new(vec![1500.0, 3000.0], rsg_platform::CommModel::Uniform);
         let ctx = ExecutionContext::new(&dag, &rc);
         assert!((ctx.task_time(TaskId(0), 0) - 15.0).abs() < 1e-12);
         assert!((ctx.task_time(TaskId(0), 1) - 7.5).abs() < 1e-12);
@@ -127,6 +148,28 @@ mod tests {
         assert!((ctx.data_ready(TaskId(1), 1, &finish, &host_of) - 19.0).abs() < 1e-12);
         // Entry task: zero.
         assert_eq!(ctx.data_ready(TaskId(0), 1, &finish, &host_of), 0.0);
+    }
+
+    #[test]
+    fn host_limit_matches_prefix_rc() {
+        let dag = two_task_dag();
+        let rc = ResourceCollection::heterogeneous(8, 3000.0, 0.4, 11);
+        let prefix = rc.prefix(3);
+        let limited = ExecutionContext::with_host_limit(&dag, &rc, 3);
+        let direct = ExecutionContext::new(&dag, &prefix);
+        assert_eq!(limited.hosts(), 3);
+        for h in 0..3 {
+            assert_eq!(limited.speed(h), direct.speed(h));
+            assert_eq!(limited.clock_mhz(h), direct.clock_mhz(h));
+            assert_eq!(
+                limited.task_time(TaskId(0), h),
+                direct.task_time(TaskId(0), h)
+            );
+        }
+        assert_eq!(limited.comm_time(4.0, 0, 2), direct.comm_time(4.0, 0, 2));
+        // Limit clamps to the RC size.
+        assert_eq!(ExecutionContext::with_host_limit(&dag, &rc, 99).hosts(), 8);
+        assert_eq!(ExecutionContext::with_host_limit(&dag, &rc, 0).hosts(), 1);
     }
 
     #[test]

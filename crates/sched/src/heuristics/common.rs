@@ -68,10 +68,8 @@ pub struct ReadyTracker {
 impl ReadyTracker {
     /// Initializes with the DAG's entry tasks ready.
     pub fn new(dag: &Dag) -> ReadyTracker {
-        let remaining_parents: Vec<u32> = dag
-            .tasks()
-            .map(|t| dag.parents(t).len() as u32)
-            .collect();
+        let remaining_parents: Vec<u32> =
+            dag.tasks().map(|t| dag.parents(t).len() as u32).collect();
         let queue: Vec<TaskId> = dag.entries().collect();
         ReadyTracker {
             remaining_parents,

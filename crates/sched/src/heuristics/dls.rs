@@ -22,15 +22,24 @@
 //! actually done, which is what a careful implementation (like the
 //! authors') would spend.
 
+use super::placement::PlacementIndex;
 use super::{Heuristic, HeuristicKind};
 use crate::context::ExecutionContext;
 use crate::schedule::Schedule;
 use crate::timemodel::OpCount;
 use rsg_dag::{CriticalPathInfo, TaskId};
 
-/// Dynamic Level Scheduling.
+/// Dynamic Level Scheduling. Full-host evaluations go through the
+/// candidate-set placement kernel when it applies (bit-identical
+/// schedules; see [`super::placement`]), the full scan otherwise.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Dls;
+
+/// DLS with the fast placement kernel disabled: every full evaluation
+/// scans all hosts. Reference implementation for differential tests
+/// and benches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DlsNaive;
 
 struct Cand {
     task: TaskId,
@@ -45,125 +54,152 @@ impl Heuristic for Dls {
     }
 
     fn schedule(&self, ctx: &ExecutionContext<'_>) -> (Schedule, OpCount) {
-        let dag = ctx.dag;
-        let n = dag.len();
-        let hosts = ctx.hosts();
-        let mut ops = OpCount::default();
+        schedule_impl(ctx, true)
+    }
+}
 
-        let info = CriticalPathInfo::compute(dag);
-        ops += 2 * (n as u64 + dag.edge_count() as u64);
+impl Heuristic for DlsNaive {
+    fn kind(&self) -> HeuristicKind {
+        HeuristicKind::Dls
+    }
 
-        // Median-speed execution time per task.
-        let median_speed = {
-            let mut sp: Vec<f64> = (0..hosts).map(|h| ctx.speed(h)).collect();
-            sp.sort_by(f64::total_cmp);
-            sp[sp.len() / 2]
-        };
+    fn schedule(&self, ctx: &ExecutionContext<'_>) -> (Schedule, OpCount) {
+        schedule_impl(ctx, false)
+    }
+}
 
-        let mut sched = Schedule::with_capacity(n);
-        let mut host_ready = vec![0.0f64; hosts];
-        let mut remaining_parents: Vec<u32> =
-            dag.tasks().map(|t| dag.parents(t).len() as u32).collect();
+fn schedule_impl(ctx: &ExecutionContext<'_>, use_fast: bool) -> (Schedule, OpCount) {
+    let dag = ctx.dag;
+    let n = dag.len();
+    let hosts = ctx.hosts();
+    let mut ops = OpCount::default();
 
-        // Evaluates DL over all hosts for one task; returns the best.
-        let eval_all = |t: TaskId,
-                        sched: &Schedule,
-                        host_ready: &[f64],
-                        ops: &mut OpCount|
-         -> (f64, usize, f64) {
-            let sl = info.static_level[t.index()];
-            let wbar = dag.comp(t) / median_speed;
-            let mut best = (f64::NEG_INFINITY, 0usize, 0.0f64);
-            for (h, &ready) in host_ready.iter().enumerate() {
-                let start = ready.max(ctx.data_ready(t, h, &sched.finish, &sched.host));
-                let dl = sl - start + (wbar - ctx.task_time(t, h));
-                if dl > best.0 {
-                    best = (dl, h, start);
-                }
-            }
-            *ops += hosts as u64 * (2 + dag.parents(t).len() as u64);
-            best
-        };
+    let info = CriticalPathInfo::compute(dag);
+    ops += 2 * (n as u64 + dag.edge_count() as u64);
 
-        let mut ready: Vec<Cand> = Vec::new();
-        for t in dag.entries() {
-            let (dl, h, st) = eval_all(t, &sched, &host_ready, &mut ops);
-            ready.push(Cand {
-                task: t,
-                best_dl: dl,
-                best_host: h,
-                best_start: st,
-            });
-        }
+    // Median-speed execution time per task.
+    let median_speed = {
+        let mut sp: Vec<f64> = (0..hosts).map(|h| ctx.speed(h)).collect();
+        sp.sort_by(f64::total_cmp);
+        sp[sp.len() / 2]
+    };
 
-        let mut scheduled = 0usize;
-        while scheduled < n {
-            // Commit the globally best (task, host) pair.
-            let (bi, _) = ready
-                .iter()
-                .enumerate()
-                .max_by(|(_, a), (_, b)| {
-                    a.best_dl
-                        .total_cmp(&b.best_dl)
-                        .then(b.task.cmp(&a.task))
-                })
-                .expect("ready set non-empty while tasks remain");
-            ops += ready.len() as u64;
-            let cand = ready.swap_remove(bi);
-            let t = cand.task;
-            let i = t.index();
-            let h = cand.best_host;
-            let start = cand.best_start;
-            let finish = start + ctx.task_time(t, h);
-            sched.host[i] = h as u32;
-            sched.start[i] = start;
-            sched.finish[i] = finish;
-            host_ready[h] = finish;
-            scheduled += 1;
+    let mut sched = Schedule::with_capacity(n);
+    let mut host_ready = vec![0.0f64; hosts];
+    let mut remaining_parents: Vec<u32> =
+        dag.tasks().map(|t| dag.parents(t).len() as u32).collect();
 
-            // Newly ready children: full evaluation.
-            for e in dag.children(t) {
-                let c = e.task;
-                remaining_parents[c.index()] -= 1;
-                if remaining_parents[c.index()] == 0 {
-                    let (dl, bh, st) = eval_all(c, &sched, &host_ready, &mut ops);
-                    ready.push(Cand {
-                        task: c,
-                        best_dl: dl,
-                        best_host: bh,
-                        best_start: st,
-                    });
-                }
-            }
+    let mut index = if use_fast {
+        PlacementIndex::new(ctx)
+    } else {
+        None
+    };
 
-            // Existing candidates: only host h changed. Re-evaluate that
-            // column; tasks whose cached best was h need a full rescan
-            // (their best may have degraded).
-            for cand in ready.iter_mut() {
-                let t2 = cand.task;
-                if cand.best_host == h {
-                    let (dl, bh, st) = eval_all(t2, &sched, &host_ready, &mut ops);
-                    cand.best_dl = dl;
-                    cand.best_host = bh;
-                    cand.best_start = st;
-                } else {
-                    let sl = info.static_level[t2.index()];
-                    let wbar = dag.comp(t2) / median_speed;
-                    let start =
-                        host_ready[h].max(ctx.data_ready(t2, h, &sched.finish, &sched.host));
-                    let dl = sl - start + (wbar - ctx.task_time(t2, h));
-                    ops += 2 + dag.parents(t2).len() as u64;
-                    if dl > cand.best_dl {
-                        cand.best_dl = dl;
-                        cand.best_host = h;
-                        cand.best_start = start;
+    // Evaluates DL over all hosts for one task; returns the best.
+    // The op charge models the full scan either way — the scan is
+    // the phenomenon the paper measures.
+    let eval_all = |t: TaskId,
+                    sched: &Schedule,
+                    host_ready: &[f64],
+                    index: &mut Option<PlacementIndex>,
+                    ops: &mut OpCount|
+     -> (f64, usize, f64) {
+        let sl = info.static_level[t.index()];
+        let wbar = dag.comp(t) / median_speed;
+        let best = match index.as_mut() {
+            Some(ix) => ix.dls_best(ctx, t, sched, host_ready, sl, wbar),
+            None => {
+                let mut best = (f64::NEG_INFINITY, 0usize, 0.0f64);
+                for (h, &ready) in host_ready.iter().enumerate() {
+                    let start = ready.max(ctx.data_ready(t, h, &sched.finish, &sched.host));
+                    let dl = sl - start + (wbar - ctx.task_time(t, h));
+                    if dl > best.0 {
+                        best = (dl, h, start);
                     }
                 }
+                best
+            }
+        };
+        *ops += hosts as u64 * (2 + dag.parents(t).len() as u64);
+        best
+    };
+
+    let mut ready: Vec<Cand> = Vec::new();
+    for t in dag.entries() {
+        let (dl, h, st) = eval_all(t, &sched, &host_ready, &mut index, &mut ops);
+        ready.push(Cand {
+            task: t,
+            best_dl: dl,
+            best_host: h,
+            best_start: st,
+        });
+    }
+
+    let mut scheduled = 0usize;
+    while scheduled < n {
+        // Commit the globally best (task, host) pair.
+        let (bi, _) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.best_dl.total_cmp(&b.best_dl).then(b.task.cmp(&a.task)))
+            .expect("ready set non-empty while tasks remain");
+        ops += ready.len() as u64;
+        let cand = ready.swap_remove(bi);
+        let t = cand.task;
+        let i = t.index();
+        let h = cand.best_host;
+        let start = cand.best_start;
+        let finish = start + ctx.task_time(t, h);
+        sched.host[i] = h as u32;
+        sched.start[i] = start;
+        sched.finish[i] = finish;
+        host_ready[h] = finish;
+        if let Some(ix) = index.as_mut() {
+            ix.update(h, finish);
+        }
+        scheduled += 1;
+
+        // Newly ready children: full evaluation.
+        for e in dag.children(t) {
+            let c = e.task;
+            remaining_parents[c.index()] -= 1;
+            if remaining_parents[c.index()] == 0 {
+                let (dl, bh, st) = eval_all(c, &sched, &host_ready, &mut index, &mut ops);
+                ready.push(Cand {
+                    task: c,
+                    best_dl: dl,
+                    best_host: bh,
+                    best_start: st,
+                });
             }
         }
 
-        (sched, ops)
+        // Existing candidates: only host h changed. Re-evaluate that
+        // column; tasks whose cached best was h need a full rescan
+        // (their best may have degraded).
+        for cand in ready.iter_mut() {
+            let t2 = cand.task;
+            if cand.best_host == h {
+                let (dl, bh, st) = eval_all(t2, &sched, &host_ready, &mut index, &mut ops);
+                cand.best_dl = dl;
+                cand.best_host = bh;
+                cand.best_start = st;
+            } else {
+                let sl = info.static_level[t2.index()];
+                let wbar = dag.comp(t2) / median_speed;
+                let start = host_ready[h].max(ctx.data_ready(t2, h, &sched.finish, &sched.host));
+                let dl = sl - start + (wbar - ctx.task_time(t2, h));
+                ops += 2 + dag.parents(t2).len() as u64;
+                if dl > cand.best_dl {
+                    cand.best_dl = dl;
+                    cand.best_host = h;
+                    cand.best_start = start;
+                }
+            }
+        }
     }
+
+    (sched, ops)
 }
 
 #[cfg(test)]
@@ -193,10 +229,7 @@ mod tests {
     #[test]
     fn dls_prefers_fast_hosts_for_chain() {
         let dag = rsg_dag::workflows::chain(4, 10.0, 0.0);
-        let rc = ResourceCollection::new(
-            vec![1500.0, 6000.0],
-            rsg_platform::CommModel::Uniform,
-        );
+        let rc = ResourceCollection::new(vec![1500.0, 6000.0], rsg_platform::CommModel::Uniform);
         let ctx = ExecutionContext::new(&dag, &rc);
         let (s, _) = Dls.schedule(&ctx);
         s.validate(&ctx).unwrap();
@@ -225,6 +258,38 @@ mod tests {
             dls_ops.0,
             mcp_ops.0
         );
+    }
+
+    #[test]
+    fn fast_kernel_matches_naive_scan() {
+        let rcs = [
+            ResourceCollection::homogeneous(40, 1500.0),
+            ResourceCollection::new(
+                [1500.0, 2800.0, 750.0, 2800.0].repeat(10),
+                rsg_platform::CommModel::Uniform,
+            ),
+        ];
+        for seed in 0..4 {
+            let dag = RandomDagSpec {
+                size: 150,
+                ccr: 1.0,
+                parallelism: 0.6,
+                density: 0.5,
+                regularity: 0.5,
+                mean_comp: 10.0,
+            }
+            .generate(seed);
+            for rc in &rcs {
+                let ctx = ExecutionContext::new(&dag, rc);
+                assert!(super::super::placement::fast_placement_available(&ctx));
+                let (fast, fast_ops) = Dls.schedule(&ctx);
+                let (naive, naive_ops) = DlsNaive.schedule(&ctx);
+                assert_eq!(fast.host, naive.host, "seed {seed}");
+                assert_eq!(fast.start, naive.start, "seed {seed}");
+                assert_eq!(fast.finish, naive.finish, "seed {seed}");
+                assert_eq!(fast_ops, naive_ops, "seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -61,8 +61,9 @@ impl Heuristic for Fca {
         });
         ops += n as u64 * log2_ops(n);
 
-        // Clock tiers, fastest first.
-        let mut tier_clocks: Vec<f64> = ctx.rc.clocks().to_vec();
+        // Clock tiers, fastest first (only the context's hosts — the
+        // RC behind `ctx` may be a larger prefix-shared family).
+        let mut tier_clocks: Vec<f64> = (0..hosts).map(|h| ctx.clock_mhz(h)).collect();
         tier_clocks.sort_by(|a, b| b.total_cmp(a));
         tier_clocks.dedup();
         let tier_of = |clock: f64| -> usize {
@@ -74,7 +75,7 @@ impl Heuristic for Fca {
         let mut tiers: Vec<BinaryHeap<Reverse<(F64, u32)>>> =
             vec![BinaryHeap::new(); tier_clocks.len()];
         for h in 0..hosts {
-            tiers[tier_of(ctx.rc.clock_mhz(h))].push(Reverse((F64(0.0), h as u32)));
+            tiers[tier_of(ctx.clock_mhz(h))].push(Reverse((F64(0.0), h as u32)));
         }
 
         let mut sched = Schedule::with_capacity(n);

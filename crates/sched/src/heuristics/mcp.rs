@@ -18,15 +18,23 @@
 //! turnaround knee of Chapter V.
 
 use super::common::log2_ops;
+use super::placement::PlacementIndex;
 use super::{Heuristic, HeuristicKind};
 use crate::context::ExecutionContext;
 use crate::schedule::Schedule;
 use crate::timemodel::OpCount;
 use rsg_dag::CriticalPathInfo;
 
-/// The Modified Critical Path heuristic.
+/// The Modified Critical Path heuristic. Uses the candidate-set
+/// placement kernel when it applies (bit-identical schedules; see
+/// [`super::placement`]), the full host scan otherwise.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Mcp;
+
+/// MCP with the fast placement kernel disabled: always the full host
+/// scan. Reference implementation for differential tests and benches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct McpNaive;
 
 impl Heuristic for Mcp {
     fn kind(&self) -> HeuristicKind {
@@ -34,65 +42,96 @@ impl Heuristic for Mcp {
     }
 
     fn schedule(&self, ctx: &ExecutionContext<'_>) -> (Schedule, OpCount) {
-        let dag = ctx.dag;
-        let n = dag.len();
-        let hosts = ctx.hosts();
-        let mut ops = OpCount::default();
-
-        let info = CriticalPathInfo::compute(dag);
-        ops += 2 * (n as u64 + dag.edge_count() as u64); // two CP sweeps
-
-        // min-child-ALAP per node (second lexicographic key).
-        let mut min_child_alap = vec![f64::INFINITY; n];
-        for t in dag.tasks() {
-            let mut m = f64::INFINITY;
-            for e in dag.children(t) {
-                m = m.min(info.alap(e.task));
-            }
-            min_child_alap[t.index()] = m;
-        }
-
-        let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_by(|&a, &b| {
-            let (a, b) = (a as usize, b as usize);
-            let ta = rsg_dag::TaskId(a as u32);
-            let tb = rsg_dag::TaskId(b as u32);
-            info.alap(ta)
-                .total_cmp(&info.alap(tb))
-                .then(dag.level(ta).cmp(&dag.level(tb)))
-                .then(min_child_alap[a].total_cmp(&min_child_alap[b]))
-                .then(a.cmp(&b))
-        });
-        ops += n as u64 * log2_ops(n);
-
-        let mut sched = Schedule::with_capacity(n);
-        let mut host_ready = vec![0.0f64; hosts];
-
-        for &ti in &order {
-            let t = rsg_dag::TaskId(ti);
-            let i = t.index();
-            let parents = dag.parents(t).len() as u64;
-            let mut best_finish = f64::INFINITY;
-            let mut best_host = 0usize;
-            let mut best_start = 0.0f64;
-            for (h, &ready) in host_ready.iter().enumerate() {
-                let est = ready.max(ctx.data_ready(t, h, &sched.finish, &sched.host));
-                let fin = est + ctx.task_time(t, h);
-                if fin < best_finish {
-                    best_finish = fin;
-                    best_host = h;
-                    best_start = est;
-                }
-            }
-            ops += hosts as u64 * (1 + parents);
-            sched.host[i] = best_host as u32;
-            sched.start[i] = best_start;
-            sched.finish[i] = best_finish;
-            host_ready[best_host] = best_finish;
-        }
-
-        (sched, ops)
+        schedule_impl(ctx, true)
     }
+}
+
+impl Heuristic for McpNaive {
+    fn kind(&self) -> HeuristicKind {
+        HeuristicKind::Mcp
+    }
+
+    fn schedule(&self, ctx: &ExecutionContext<'_>) -> (Schedule, OpCount) {
+        schedule_impl(ctx, false)
+    }
+}
+
+fn schedule_impl(ctx: &ExecutionContext<'_>, use_fast: bool) -> (Schedule, OpCount) {
+    let dag = ctx.dag;
+    let n = dag.len();
+    let hosts = ctx.hosts();
+    let mut ops = OpCount::default();
+
+    let info = CriticalPathInfo::compute(dag);
+    ops += 2 * (n as u64 + dag.edge_count() as u64); // two CP sweeps
+
+    // min-child-ALAP per node (second lexicographic key).
+    let mut min_child_alap = vec![f64::INFINITY; n];
+    for t in dag.tasks() {
+        let mut m = f64::INFINITY;
+        for e in dag.children(t) {
+            m = m.min(info.alap(e.task));
+        }
+        min_child_alap[t.index()] = m;
+    }
+
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        let (a, b) = (a as usize, b as usize);
+        let ta = rsg_dag::TaskId(a as u32);
+        let tb = rsg_dag::TaskId(b as u32);
+        info.alap(ta)
+            .total_cmp(&info.alap(tb))
+            .then(dag.level(ta).cmp(&dag.level(tb)))
+            .then(min_child_alap[a].total_cmp(&min_child_alap[b]))
+            .then(a.cmp(&b))
+    });
+    ops += n as u64 * log2_ops(n);
+
+    let mut sched = Schedule::with_capacity(n);
+    let mut host_ready = vec![0.0f64; hosts];
+    let mut index = if use_fast {
+        PlacementIndex::new(ctx)
+    } else {
+        None
+    };
+
+    for &ti in &order {
+        let t = rsg_dag::TaskId(ti);
+        let i = t.index();
+        let parents = dag.parents(t).len() as u64;
+        let (best_finish, best_host, best_start) = match index.as_mut() {
+            Some(ix) => ix.mcp_best(ctx, t, &sched, &host_ready),
+            None => {
+                let mut best_finish = f64::INFINITY;
+                let mut best_host = 0usize;
+                let mut best_start = 0.0f64;
+                for (h, &ready) in host_ready.iter().enumerate() {
+                    let est = ready.max(ctx.data_ready(t, h, &sched.finish, &sched.host));
+                    let fin = est + ctx.task_time(t, h);
+                    if fin < best_finish {
+                        best_finish = fin;
+                        best_host = h;
+                        best_start = est;
+                    }
+                }
+                (best_finish, best_host, best_start)
+            }
+        };
+        // Modeled cost of the full scan, regardless of how the
+        // winner was found: the scan *is* the phenomenon the paper
+        // measures, and the knee tables depend on it.
+        ops += hosts as u64 * (1 + parents);
+        sched.host[i] = best_host as u32;
+        sched.start[i] = best_start;
+        sched.finish[i] = best_finish;
+        host_ready[best_host] = best_finish;
+        if let Some(ix) = index.as_mut() {
+            ix.update(best_host, best_finish);
+        }
+    }
+
+    (sched, ops)
 }
 
 #[cfg(test)]
@@ -115,10 +154,7 @@ mod tests {
     #[test]
     fn mcp_prefers_fast_hosts() {
         let dag = rsg_dag::workflows::chain(3, 10.0, 0.0);
-        let rc = ResourceCollection::new(
-            vec![1500.0, 6000.0],
-            rsg_platform::CommModel::Uniform,
-        );
+        let rc = ResourceCollection::new(vec![1500.0, 6000.0], rsg_platform::CommModel::Uniform);
         let ctx = ExecutionContext::new(&dag, &rc);
         let (s, _) = Mcp.schedule(&ctx);
         s.validate(&ctx).unwrap();
@@ -157,16 +193,45 @@ mod tests {
         .generate(4);
         let rc_small = ResourceCollection::homogeneous(10, 1500.0);
         let rc_big = ResourceCollection::homogeneous(100, 1500.0);
-        let ops_small = Mcp
-            .schedule(&ExecutionContext::new(&dag, &rc_small))
-            .1
-             .0;
+        let ops_small = Mcp.schedule(&ExecutionContext::new(&dag, &rc_small)).1 .0;
         let ops_big = Mcp.schedule(&ExecutionContext::new(&dag, &rc_big)).1 .0;
         let ratio = ops_big as f64 / ops_small as f64;
         assert!(
             (5.0..11.0).contains(&ratio),
             "op growth should be ~linear in P, got {ratio}"
         );
+    }
+
+    #[test]
+    fn fast_kernel_matches_naive_scan() {
+        let rcs = [
+            ResourceCollection::homogeneous(40, 1500.0),
+            ResourceCollection::new(
+                [1500.0, 2800.0, 750.0, 2800.0].repeat(10),
+                rsg_platform::CommModel::Uniform,
+            ),
+        ];
+        for seed in 0..4 {
+            let dag = RandomDagSpec {
+                size: 150,
+                ccr: 1.0,
+                parallelism: 0.6,
+                density: 0.5,
+                regularity: 0.5,
+                mean_comp: 10.0,
+            }
+            .generate(seed);
+            for rc in &rcs {
+                let ctx = ExecutionContext::new(&dag, rc);
+                assert!(super::super::placement::fast_placement_available(&ctx));
+                let (fast, fast_ops) = Mcp.schedule(&ctx);
+                let (naive, naive_ops) = McpNaive.schedule(&ctx);
+                assert_eq!(fast.host, naive.host, "seed {seed}");
+                assert_eq!(fast.start, naive.start, "seed {seed}");
+                assert_eq!(fast.finish, naive.finish, "seed {seed}");
+                assert_eq!(fast_ops, naive_ops, "seed {seed}");
+            }
+        }
     }
 
     #[test]

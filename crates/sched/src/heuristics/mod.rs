@@ -11,12 +11,14 @@ mod fca;
 mod fcfs;
 mod greedy;
 mod mcp;
+pub mod placement;
 
-pub use dls::Dls;
+pub use dls::{Dls, DlsNaive};
 pub use fca::Fca;
 pub use fcfs::Fcfs;
 pub use greedy::Greedy;
-pub use mcp::Mcp;
+pub use mcp::{Mcp, McpNaive};
+pub use placement::fast_placement_available;
 
 use crate::context::ExecutionContext;
 use crate::schedule::Schedule;
@@ -98,9 +100,27 @@ impl HeuristicKind {
         }
     }
 
+    /// Instantiates the reference implementation: identical output, but
+    /// with the fast placement kernel disabled for MCP and DLS. Used by
+    /// differential tests and as the before-optimization benchmark
+    /// baseline.
+    pub fn instantiate_reference(self) -> Box<dyn Heuristic> {
+        match self {
+            HeuristicKind::Mcp => Box::new(McpNaive),
+            HeuristicKind::Dls => Box::new(DlsNaive),
+            other => other.instantiate(),
+        }
+    }
+
     /// Runs the heuristic directly.
     pub fn run(self, ctx: &ExecutionContext<'_>) -> (Schedule, OpCount) {
         self.instantiate().schedule(ctx)
+    }
+
+    /// Runs the reference implementation (see
+    /// [`instantiate_reference`](HeuristicKind::instantiate_reference)).
+    pub fn run_reference(self, ctx: &ExecutionContext<'_>) -> (Schedule, OpCount) {
+        self.instantiate_reference().schedule(ctx)
     }
 }
 

@@ -1,0 +1,413 @@
+//! Sub-quadratic placement kernel for the host-scan heuristics.
+//!
+//! MCP and DLS both spend their time in the same inner loop: for each
+//! task, scan every host and pick the one minimizing `max(host_ready,
+//! data_ready) + exec_time` (MCP) or maximizing the dynamic level (DLS,
+//! which for a fixed execution time is the same minimization). That
+//! scan is `O(P · parents)` per task — the `(V + E) · P` growth that
+//! creates the paper's turnaround knee. The *modeled* scheduling cost
+//! must keep that growth (it is the phenomenon under study), but the
+//! simulator's wall-clock does not have to.
+//!
+//! Under homogeneous connectivity ([`CommModel::Uniform`]) the winning
+//! host is always one of a small candidate set:
+//!
+//! * a host holding at least one parent of the task (co-location saves
+//!   the transfer; data-ready differs per such host), or
+//! * per *speed class* (set of hosts with bit-identical speed factors,
+//!   whose execution time and non-parent data-ready `D` are identical):
+//!   - the lowest-indexed host with `ready ≤ D` — it starts at `D`,
+//!     which no other non-parent host in the class can beat, and the
+//!     naive scan's strict-`<` update keeps the lowest index on ties; or
+//!   - if every host in the class is busy past `D`, the host minimizing
+//!     `(ready, index)` lexicographically.
+//!
+//! Each class keeps its hosts (ascending index) in a min segment tree
+//! over ready times, answering both queries in `O(log P)`. Candidates
+//! are then re-evaluated with the naive tie-breaks and bit-identical
+//! float values: the naive per-host data-ready is a running max over
+//! `finish[p] + comm · factor` terms, so it is assembled in `O(1)` per
+//! candidate from per-parent-host maxima plus a top-2 "max excluding
+//! host h" decomposition (a max over any subset split recombines to the
+//! identical value). The whole query costs `O(parents + classes·log P)`
+//! instead of the naive `O(P · parents)`. The one theoretical exception:
+//! if two different ready values collapse to the same finish after the
+//! `+ exec_time` rounding, the naive scan's index tie-break could pick
+//! a host outside the candidate set. The differential property tests
+//! (`tests/fast_kernel_equiv.rs`) check for this empirically; it has
+//! not been observed.
+//!
+//! The kernel declines (returns `None`, callers fall back to the naive
+//! scan) when connectivity is non-uniform — per-host bandwidth factors
+//! make data-ready vary per host — or when there are too many speed
+//! classes for the candidate set to be small (e.g. continuously drawn
+//! heterogeneous clocks, where every host is its own class).
+
+use crate::context::ExecutionContext;
+use crate::schedule::Schedule;
+use rsg_dag::TaskId;
+use rsg_platform::CommModel;
+
+/// A min segment tree over one speed class's host ready times, leaves
+/// in ascending host order (padded to a power of two with `+∞`).
+#[derive(Debug)]
+struct ClassTree {
+    /// Host indices of the class, ascending.
+    hosts: Vec<u32>,
+    /// Leaf capacity (power of two).
+    width: usize,
+    /// `2 * width` nodes; node 1 is the root, leaf `i` is `width + i`.
+    tree: Vec<f64>,
+}
+
+impl ClassTree {
+    fn new(hosts: Vec<u32>) -> ClassTree {
+        let width = hosts.len().next_power_of_two();
+        let mut tree = vec![f64::INFINITY; 2 * width];
+        // Every host starts ready at time 0.
+        for leaf in 0..hosts.len() {
+            tree[width + leaf] = 0.0;
+        }
+        for node in (1..width).rev() {
+            tree[node] = tree[2 * node].min(tree[2 * node + 1]);
+        }
+        ClassTree { hosts, width, tree }
+    }
+
+    fn update(&mut self, leaf: usize, ready: f64) {
+        let mut node = self.width + leaf;
+        self.tree[node] = ready;
+        node /= 2;
+        while node >= 1 {
+            self.tree[node] = self.tree[2 * node].min(self.tree[2 * node + 1]);
+            if node == 1 {
+                break;
+            }
+            node /= 2;
+        }
+    }
+
+    /// Lowest-indexed host with `ready ≤ bound`, if any.
+    fn leftmost_at_most(&self, bound: f64) -> Option<u32> {
+        if self.tree[1] > bound {
+            return None;
+        }
+        let mut node = 1usize;
+        while node < self.width {
+            node = if self.tree[2 * node] <= bound {
+                2 * node
+            } else {
+                2 * node + 1
+            };
+        }
+        Some(self.hosts[node - self.width])
+    }
+
+    /// Host minimizing `(ready, index)` lexicographically.
+    fn min_ready_host(&self) -> u32 {
+        let mut node = 1usize;
+        while node < self.width {
+            // Left preference on ties keeps the lowest host index.
+            node = if self.tree[2 * node] <= self.tree[2 * node + 1] {
+                2 * node
+            } else {
+                2 * node + 1
+            };
+        }
+        self.hosts[node - self.width]
+    }
+}
+
+/// Candidate-set placement index over one execution context.
+///
+/// Mirror of the hosts' ready times: callers must [`update`] it
+/// whenever they change their `host_ready` array.
+///
+/// [`update`]: PlacementIndex::update
+#[derive(Debug)]
+pub struct PlacementIndex {
+    /// `(class, leaf position)` per host.
+    slot_of: Vec<(u32, u32)>,
+    classes: Vec<ClassTree>,
+    /// Scratch: candidate host indices of the current query.
+    cand: Vec<u32>,
+    /// Scratch: query stamp per host (`mark[h] == epoch` ⇔ `h` holds a
+    /// parent of the current task).
+    mark: Vec<u32>,
+    /// Current query stamp.
+    epoch: u32,
+    /// Scratch: per parent host, max co-located arrival
+    /// (`finish + comm · 0.0`) of its parents.
+    on_max: Vec<f64>,
+    /// Scratch: per parent host, max off-host arrival
+    /// (`finish + comm · 1.0`) of its parents.
+    out_max: Vec<f64>,
+    /// Scratch: the parent hosts of the current task.
+    touched: Vec<u32>,
+    /// Host with the largest off-host arrival (`u32::MAX` if none
+    /// exceeds the 0-floor), and the top two off-host arrival maxima.
+    excl_host: u32,
+    excl_v1: f64,
+    excl_v2: f64,
+}
+
+impl PlacementIndex {
+    /// Builds the index, or `None` when the fast path does not apply
+    /// (non-uniform connectivity, or too many speed classes for the
+    /// candidate set to beat the naive scan).
+    pub fn new(ctx: &ExecutionContext<'_>) -> Option<PlacementIndex> {
+        if *ctx.rc.comm_model() != CommModel::Uniform {
+            return None;
+        }
+        let hosts = ctx.hosts();
+        // Group hosts by bit-identical speed factor, preserving index
+        // order within each class.
+        let mut keys: Vec<u64> = Vec::new();
+        let mut members: Vec<Vec<u32>> = Vec::new();
+        let mut slot_of = vec![(0u32, 0u32); hosts];
+        for (h, slot) in slot_of.iter_mut().enumerate() {
+            let bits = ctx.speed(h).to_bits();
+            let class = match keys.iter().position(|&k| k == bits) {
+                Some(c) => c,
+                None => {
+                    keys.push(bits);
+                    members.push(Vec::new());
+                    keys.len() - 1
+                }
+            };
+            *slot = (class as u32, members[class].len() as u32);
+            members[class].push(h as u32);
+        }
+        // With ~P classes the candidate set is as big as the host set;
+        // the naive scan is then cheaper than tree maintenance.
+        if keys.len() * 4 > hosts {
+            return None;
+        }
+        Some(PlacementIndex {
+            slot_of,
+            classes: members.into_iter().map(ClassTree::new).collect(),
+            cand: Vec::new(),
+            mark: vec![0; hosts],
+            epoch: 0,
+            on_max: vec![0.0; hosts],
+            out_max: vec![0.0; hosts],
+            touched: Vec::new(),
+            excl_host: u32::MAX,
+            excl_v1: 0.0,
+            excl_v2: 0.0,
+        })
+    }
+
+    /// Records a new ready time for `host`.
+    pub fn update(&mut self, host: usize, ready: f64) {
+        let (class, leaf) = self.slot_of[host];
+        self.classes[class as usize].update(leaf as usize, ready);
+    }
+
+    /// Fills `self.cand` with the sorted candidate hosts for placing
+    /// `t`: parent holders plus per-class query winners against the
+    /// non-parent data-ready bound `D` (computed with the same float
+    /// operations as the naive scan under uniform connectivity). Also
+    /// builds the per-host arrival maxima that let
+    /// [`data_ready_fast`](Self::data_ready_fast) answer in `O(1)`.
+    fn gather_candidates(&mut self, ctx: &ExecutionContext<'_>, t: TaskId, sched: &Schedule) {
+        self.cand.clear();
+        self.touched.clear();
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for e in ctx.dag.parents(t) {
+            let p = e.task.index();
+            // comm_factor is exactly 1.0 off-host and 0.0 co-located:
+            // both arrivals are bit-identical to the naive
+            // `finish + comm * factor`.
+            let out = sched.finish[p] + e.comm * 1.0;
+            let on = sched.finish[p] + e.comm * 0.0;
+            let ph = sched.host[p] as usize;
+            if self.mark[ph] != epoch {
+                self.mark[ph] = epoch;
+                self.on_max[ph] = on;
+                self.out_max[ph] = out;
+                self.touched.push(ph as u32);
+            } else {
+                if on > self.on_max[ph] {
+                    self.on_max[ph] = on;
+                }
+                if out > self.out_max[ph] {
+                    self.out_max[ph] = out;
+                }
+            }
+        }
+        // Top two per-host off-host maxima: `excl_v1` is the naive
+        // running max over every off-host arrival (0-floored like the
+        // naive fold), `excl_v2` the same excluding `excl_host`.
+        self.excl_host = u32::MAX;
+        self.excl_v1 = 0.0;
+        self.excl_v2 = 0.0;
+        for i in 0..self.touched.len() {
+            let ph = self.touched[i];
+            let v = self.out_max[ph as usize];
+            if v > self.excl_v1 {
+                self.excl_v2 = self.excl_v1;
+                self.excl_v1 = v;
+                self.excl_host = ph;
+            } else if v > self.excl_v2 {
+                self.excl_v2 = v;
+            }
+        }
+        let d = self.excl_v1;
+        self.cand.extend_from_slice(&self.touched);
+        for class in &self.classes {
+            match class.leftmost_at_most(d) {
+                // Starts exactly at D; lowest index wins the naive
+                // strict-`<` tie-break, dominating the rest of the
+                // class.
+                Some(h) => self.cand.push(h),
+                // Whole class busy past D: earliest-ready (then lowest
+                // index) dominates.
+                None => self.cand.push(class.min_ready_host()),
+            }
+        }
+        // Ascending order replays the naive scan's first-wins ties.
+        self.cand.sort_unstable();
+        self.cand.dedup();
+    }
+
+    /// The value `ExecutionContext::data_ready` would compute for the
+    /// current task on host `h`, in `O(1)`: the naive fold is a pure
+    /// 0-floored max over per-parent arrival terms, so recombining the
+    /// per-host subset maxima (excluding `h`'s own off-host terms)
+    /// yields the identical value.
+    #[inline]
+    fn data_ready_fast(&self, h: usize) -> f64 {
+        let mut dr = if self.excl_host == h as u32 {
+            self.excl_v2
+        } else {
+            self.excl_v1
+        };
+        if self.mark[h] == self.epoch && self.on_max[h] > dr {
+            dr = self.on_max[h];
+        }
+        dr
+    }
+
+    /// MCP placement: the `(finish, host, start)` the naive full scan
+    /// would select for `t`.
+    pub fn mcp_best(
+        &mut self,
+        ctx: &ExecutionContext<'_>,
+        t: TaskId,
+        sched: &Schedule,
+        host_ready: &[f64],
+    ) -> (f64, usize, f64) {
+        self.gather_candidates(ctx, t, sched);
+        let mut best_finish = f64::INFINITY;
+        let mut best_host = 0usize;
+        let mut best_start = 0.0f64;
+        for i in 0..self.cand.len() {
+            let h = self.cand[i] as usize;
+            let est = host_ready[h].max(self.data_ready_fast(h));
+            let fin = est + ctx.task_time(t, h);
+            if fin < best_finish {
+                best_finish = fin;
+                best_host = h;
+                best_start = est;
+            }
+        }
+        (best_finish, best_host, best_start)
+    }
+
+    /// DLS evaluation: the `(dynamic level, host, start)` the naive
+    /// full scan would select for `t`, given its static level and
+    /// median-speed execution time.
+    pub fn dls_best(
+        &mut self,
+        ctx: &ExecutionContext<'_>,
+        t: TaskId,
+        sched: &Schedule,
+        host_ready: &[f64],
+        sl: f64,
+        wbar: f64,
+    ) -> (f64, usize, f64) {
+        self.gather_candidates(ctx, t, sched);
+        let mut best = (f64::NEG_INFINITY, 0usize, 0.0f64);
+        for i in 0..self.cand.len() {
+            let h = self.cand[i] as usize;
+            let start = host_ready[h].max(self.data_ready_fast(h));
+            let dl = sl - start + (wbar - ctx.task_time(t, h));
+            if dl > best.0 {
+                best = (dl, h, start);
+            }
+        }
+        best
+    }
+}
+
+/// Whether the fast placement kernel engages for this context (used by
+/// differential tests and benches to confirm what they exercise).
+pub fn fast_placement_available(ctx: &ExecutionContext<'_>) -> bool {
+    PlacementIndex::new(ctx).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_platform::ResourceCollection;
+
+    #[test]
+    fn class_tree_queries() {
+        let mut t = ClassTree::new(vec![3, 5, 8, 9, 12]);
+        // All ready at 0: leftmost ≤ 0 is host 3, min-ready is host 3.
+        assert_eq!(t.leftmost_at_most(0.0), Some(3));
+        assert_eq!(t.min_ready_host(), 3);
+        t.update(0, 10.0);
+        t.update(1, 4.0);
+        t.update(2, 7.0);
+        t.update(3, 4.0);
+        t.update(4, 0.5);
+        assert_eq!(t.leftmost_at_most(0.6), Some(12));
+        assert_eq!(t.leftmost_at_most(0.4), None);
+        assert_eq!(t.leftmost_at_most(5.0), Some(5));
+        assert_eq!(t.min_ready_host(), 12);
+        t.update(4, 100.0);
+        // Tie at 4.0 between hosts 5 and 9: lowest index wins.
+        assert_eq!(t.min_ready_host(), 5);
+    }
+
+    #[test]
+    fn index_declines_when_not_applicable() {
+        let dag = rsg_dag::workflows::bag(4, 10.0);
+        // Non-uniform connectivity.
+        let rc = ResourceCollection::homogeneous(16, 1500.0).with_bandwidth_heterogeneity(0.5, 1);
+        assert!(!fast_placement_available(&ExecutionContext::new(&dag, &rc)));
+        // Continuously heterogeneous clocks: every host its own class.
+        let rc = ResourceCollection::heterogeneous(16, 3000.0, 0.4, 7);
+        assert!(!fast_placement_available(&ExecutionContext::new(&dag, &rc)));
+        // Homogeneous: engages.
+        let rc = ResourceCollection::homogeneous(16, 1500.0);
+        assert!(fast_placement_available(&ExecutionContext::new(&dag, &rc)));
+        // Few classes (space sharing): engages.
+        let rc =
+            ResourceCollection::new([1500.0, 3000.0].repeat(8), rsg_platform::CommModel::Uniform);
+        assert!(fast_placement_available(&ExecutionContext::new(&dag, &rc)));
+    }
+
+    #[test]
+    fn index_mirrors_ready_times() {
+        let dag = rsg_dag::workflows::bag(3, 10.0);
+        let rc = ResourceCollection::homogeneous(8, 1500.0);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let mut idx = PlacementIndex::new(&ctx).unwrap();
+        let sched = Schedule::with_capacity(dag.len());
+        let mut host_ready = vec![0.0f64; 8];
+        for (h, r) in [(0usize, 5.0f64), (1, 3.0), (2, 9.0)] {
+            host_ready[h] = r;
+            idx.update(h, r);
+        }
+        // Entry task, D = 0: hosts 0..=2 are busy, host 3 is the
+        // lowest-indexed idle one.
+        let (fin, host, start) = idx.mcp_best(&ctx, rsg_dag::TaskId(0), &sched, &host_ready);
+        assert_eq!(host, 3);
+        assert_eq!(start, 0.0);
+        assert!((fin - 10.0).abs() < 1e-12);
+    }
+}

@@ -49,7 +49,7 @@ pub use heuristics::{Heuristic, HeuristicKind};
 pub use schedule::{Schedule, ScheduleError};
 pub use simulator::{makespan_stretch, replay, Perturbation};
 pub use timemodel::{OpCount, SchedTimeModel};
-pub use turnaround::{evaluate, TurnaroundReport};
+pub use turnaround::{evaluate, evaluate_prefix, evaluate_reference, TurnaroundReport};
 
 /// Reference scheduler clock (MHz): the paper runs heuristics on
 /// 2.80 GHz Intel Xeon machines (Section III.4.2).

@@ -83,7 +83,10 @@ impl Schedule {
             for w in tasks.windows(2) {
                 let (a, b) = (w[0], w[1]);
                 if self.start[b] + 1e-6 * self.finish[a].max(1.0) < self.finish[a] {
-                    return Err(ScheduleError::HostOverlap(TaskId(a as u32), TaskId(b as u32)));
+                    return Err(ScheduleError::HostOverlap(
+                        TaskId(a as u32),
+                        TaskId(b as u32),
+                    ));
                 }
             }
         }
@@ -134,7 +137,10 @@ mod tests {
         let a = b.add_task(15.0);
         let c = b.add_task(15.0);
         b.add_edge(a, c, 3.0).unwrap();
-        (b.build().unwrap(), ResourceCollection::homogeneous(2, 1500.0))
+        (
+            b.build().unwrap(),
+            ResourceCollection::homogeneous(2, 1500.0),
+        )
     }
 
     #[test]
@@ -161,7 +167,10 @@ mod tests {
             start: vec![0.0, 15.0],
             finish: vec![15.0, 30.0],
         };
-        assert_eq!(bad.validate(&ctx), Err(ScheduleError::DataNotReady(TaskId(1))));
+        assert_eq!(
+            bad.validate(&ctx),
+            Err(ScheduleError::DataNotReady(TaskId(1)))
+        );
         let good = Schedule {
             host: vec![0, 1],
             start: vec![0.0, 18.0],

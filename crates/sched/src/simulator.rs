@@ -57,10 +57,7 @@ impl Perturbation {
     }
 
     fn slowdown_for(&self, host: usize) -> Option<HostSlowdown> {
-        self.host_slowdowns
-            .iter()
-            .copied()
-            .find(|s| s.host == host)
+        self.host_slowdowns.iter().copied().find(|s| s.host == host)
     }
 
     fn comm_factor(&self) -> f64 {

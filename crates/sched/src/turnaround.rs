@@ -49,6 +49,22 @@ pub fn evaluate(
     evaluate_with_schedule(dag, rc, heuristic, model).0
 }
 
+/// Evaluates `heuristic` on the first `size` hosts of `rc` — equivalent
+/// to `evaluate(dag, &rc.prefix(size), …)` but without materializing
+/// the prefix RC. The workhorse of turnaround-vs-size sweeps: one
+/// max-size RC is built per host family and every size borrows a prefix
+/// view of it.
+pub fn evaluate_prefix(
+    dag: &Dag,
+    rc: &ResourceCollection,
+    size: usize,
+    heuristic: HeuristicKind,
+    model: &SchedTimeModel,
+) -> TurnaroundReport {
+    let ctx = ExecutionContext::with_host_limit(dag, rc, size);
+    evaluate_ctx(&ctx, heuristic, model).0
+}
+
 /// Like [`evaluate`] but also returns the schedule.
 pub fn evaluate_with_schedule(
     dag: &Dag,
@@ -57,13 +73,48 @@ pub fn evaluate_with_schedule(
     model: &SchedTimeModel,
 ) -> (TurnaroundReport, Schedule) {
     let ctx = ExecutionContext::new(dag, rc);
+    evaluate_ctx(&ctx, heuristic, model)
+}
+
+/// Like [`evaluate`], but through the reference (fast-kernel-free)
+/// heuristic implementations — the before-optimization baseline of the
+/// sweep benchmark. The report is identical except for `wallclock_s`.
+pub fn evaluate_reference(
+    dag: &Dag,
+    rc: &ResourceCollection,
+    heuristic: HeuristicKind,
+    model: &SchedTimeModel,
+) -> TurnaroundReport {
+    let ctx = ExecutionContext::new(dag, rc);
     let t0 = Instant::now();
-    let (sched, ops) = heuristic.run(&ctx);
+    let (sched, ops) = heuristic.run_reference(&ctx);
     let wallclock_s = t0.elapsed().as_secs_f64();
-    debug_assert!(sched.validate(&ctx).is_ok(), "heuristic produced invalid schedule");
+    TurnaroundReport {
+        heuristic,
+        rc_size: ctx.hosts(),
+        sched_time_s: model.seconds(ops),
+        makespan_s: sched.makespan(),
+        selection_time_s: 0.0,
+        wallclock_s,
+        ops,
+    }
+}
+
+fn evaluate_ctx(
+    ctx: &ExecutionContext<'_>,
+    heuristic: HeuristicKind,
+    model: &SchedTimeModel,
+) -> (TurnaroundReport, Schedule) {
+    let t0 = Instant::now();
+    let (sched, ops) = heuristic.run(ctx);
+    let wallclock_s = t0.elapsed().as_secs_f64();
+    debug_assert!(
+        sched.validate(ctx).is_ok(),
+        "heuristic produced invalid schedule"
+    );
     let report = TurnaroundReport {
         heuristic,
-        rc_size: rc.len(),
+        rc_size: ctx.hosts(),
         sched_time_s: model.seconds(ops),
         makespan_s: sched.makespan(),
         selection_time_s: 0.0,
@@ -110,6 +161,35 @@ mod tests {
         assert!((r.makespan_s - s.makespan()).abs() < 1e-12);
         assert!(r.sched_time_s > 0.0);
         assert_eq!(r.sched_time_s, model.seconds(r.ops));
+    }
+
+    #[test]
+    fn prefix_evaluation_matches_materialized_prefix() {
+        let dag = RandomDagSpec {
+            size: 120,
+            ccr: 0.5,
+            parallelism: 0.6,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 10.0,
+        }
+        .generate(3);
+        let model = SchedTimeModel::default();
+        let rc = ResourceCollection::heterogeneous(64, 3000.0, 0.3, 9)
+            .with_bandwidth_heterogeneity(0.4, 13);
+        for kind in HeuristicKind::all() {
+            for size in [1usize, 5, 23, 64] {
+                let via_prefix = evaluate_prefix(&dag, &rc, size, kind, &model);
+                let materialized = evaluate(&dag, &rc.prefix(size), kind, &model);
+                assert_eq!(via_prefix.rc_size, materialized.rc_size);
+                assert_eq!(via_prefix.ops, materialized.ops, "{kind} P={size}");
+                assert_eq!(
+                    via_prefix.makespan_s, materialized.makespan_s,
+                    "{kind} P={size}"
+                );
+                assert_eq!(via_prefix.sched_time_s, materialized.sched_time_s);
+            }
+        }
     }
 
     #[test]

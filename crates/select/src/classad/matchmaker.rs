@@ -124,9 +124,7 @@ impl Matchmaker {
                 if used[i] {
                     continue;
                 }
-                let env = Env::with_self(port)
-                    .scope(&label, m)
-                    .scope("other", m);
+                let env = Env::with_self(port).scope(&label, m).scope("other", m);
                 let ok = match port.get("Constraint").or(port.get("Requirements")) {
                     Some(e) => eval(e, &env, 0).truthy(),
                     None => true,
@@ -257,10 +255,7 @@ mod tests {
     #[test]
     fn no_match_when_constraints_unsatisfiable() {
         let mm = pool();
-        let req = parse_classad(
-            r#"[ Requirements = other.Arch == "SPARC" ]"#,
-        )
-        .unwrap();
+        let req = parse_classad(r#"[ Requirements = other.Arch == "SPARC" ]"#).unwrap();
         assert!(mm.matchmake(&req).is_none());
     }
 

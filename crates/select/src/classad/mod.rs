@@ -455,8 +455,16 @@ mod tests {
     fn eval_constraint_true() {
         let m = machine();
         let c = Expr::and_all(vec![
-            Expr::bin(BinOp::Eq, Expr::scoped("cpu", "Type"), Expr::Str("Machine".into())),
-            Expr::bin(BinOp::Eq, Expr::scoped("cpu", "Arch"), Expr::Str("OPTERON".into())),
+            Expr::bin(
+                BinOp::Eq,
+                Expr::scoped("cpu", "Type"),
+                Expr::Str("Machine".into()),
+            ),
+            Expr::bin(
+                BinOp::Eq,
+                Expr::scoped("cpu", "Arch"),
+                Expr::Str("OPTERON".into()),
+            ),
             Expr::bin(BinOp::Ge, Expr::scoped("cpu", "Memory"), Expr::Num(1024.0)),
         ]);
         let empty = ClassAd::new();
@@ -522,7 +530,11 @@ mod tests {
             "Requirements",
             Expr::bin(
                 BinOp::And,
-                Expr::bin(BinOp::Eq, Expr::scoped("other", "Arch"), Expr::Str("INTEL".into())),
+                Expr::bin(
+                    BinOp::Eq,
+                    Expr::scoped("other", "Arch"),
+                    Expr::Str("INTEL".into()),
+                ),
                 Expr::bin(BinOp::Ge, Expr::scoped("other", "Memory"), Expr::Num(512.0)),
             ),
         );
@@ -544,11 +556,7 @@ mod tests {
     #[test]
     fn short_circuit_and() {
         // false && undefined -> false (not undefined).
-        let e = Expr::bin(
-            BinOp::And,
-            Expr::Bool(false),
-            Expr::attr("Missing"),
-        );
+        let e = Expr::bin(BinOp::And, Expr::Bool(false), Expr::attr("Missing"));
         let empty = ClassAd::new();
         assert_eq!(eval(&e, &Env::with_self(&empty), 0), Value::Bool(false));
     }

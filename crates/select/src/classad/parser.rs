@@ -182,9 +182,7 @@ impl<'a> Lexer<'a> {
                         _ => (1.0, 0),
                     };
                     self.pos += skip;
-                    let n: f64 = text
-                        .parse()
-                        .map_err(|_| self.error("bad number"))?;
+                    let n: f64 = text.parse().map_err(|_| self.error("bad number"))?;
                     out.push((s0, Tok::Num(n * mult)));
                 }
                 b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
@@ -194,7 +192,9 @@ impl<'a> Lexer<'a> {
                     {
                         self.pos += 1;
                     }
-                    let s = std::str::from_utf8(&self.src[s0..self.pos]).unwrap().to_string();
+                    let s = std::str::from_utf8(&self.src[s0..self.pos])
+                        .unwrap()
+                        .to_string();
                     out.push((s0, Tok::Ident(s)));
                 }
                 _ => return Err(self.error("unexpected character")),

@@ -31,4 +31,4 @@ pub mod vgdl;
 pub use classad::{ClassAd, ClassAdError, Matchmaker};
 pub use selection_time::SelectionTimeModel;
 pub use sword::{SwordEngine, SwordRequest};
-pub use vgdl::{VgesFinder, VgdlError, VgdlSpec};
+pub use vgdl::{VgdlError, VgdlSpec, VgesFinder};

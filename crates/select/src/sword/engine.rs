@@ -94,9 +94,9 @@ impl SwordEngine {
                     } else {
                         None
                     };
-                    match other.and_then(|o| {
-                        group_anchor.iter().find(|(n, _)| n == o).map(|(_, id)| *id)
-                    }) {
+                    match other
+                        .and_then(|o| group_anchor.iter().find(|(n, _)| n == o).map(|(_, id)| *id))
+                    {
                         Some(anchor) => {
                             let lat = platform.latency_ms(anchor, c.id);
                             k.attr.admissible(lat)
@@ -223,7 +223,11 @@ mod tests {
             clock_group("B", 20, 1000.0),
         ]);
         let rc = SwordEngine.select(&p, &req).unwrap();
-        assert!(rc.len() >= 40, "overlapping clusters may merge, {} hosts", rc.len());
+        assert!(
+            rc.len() >= 40,
+            "overlapping clusters may merge, {} hosts",
+            rc.len()
+        );
     }
 
     #[test]

@@ -131,7 +131,11 @@ impl NodeConstraint {
 
     /// Evaluates the constraint against numeric/symbolic attribute
     /// accessors.
-    pub fn satisfied(&self, num_attr: impl Fn(&str) -> Option<f64>, sym_attr: impl Fn(&str) -> Option<String>) -> bool {
+    pub fn satisfied(
+        &self,
+        num_attr: impl Fn(&str) -> Option<f64>,
+        sym_attr: impl Fn(&str) -> Option<String>,
+    ) -> bool {
         match &self.value {
             ConstraintValue::Num(v) => match num_attr(&self.attr) {
                 Some(x) => match self.op {
@@ -181,7 +185,9 @@ impl Aggregate {
                 }
                 _ => None,
             })
-            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
     }
 
     /// Maximum clock constraint if present, MHz.
@@ -195,7 +201,9 @@ impl Aggregate {
                 }
                 _ => None,
             })
-            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
     }
 }
 
@@ -331,9 +339,10 @@ mod tests {
         assert!(c.satisfied(|a| (a == "Clock").then_some(2500.0), |_| None));
         assert!(!c.satisfied(|a| (a == "Clock").then_some(1500.0), |_| None));
         let s = NodeConstraint::sym("Processor", "Opteron");
-        assert!(s.satisfied(|_| None, |a| (a == "Processor").then(|| "OPTERON".to_string())));
+        assert!(s.satisfied(
+            |_| None,
+            |a| (a == "Processor").then(|| "OPTERON".to_string())
+        ));
         assert!(!s.satisfied(|_| None, |_| None));
     }
 }
-
-

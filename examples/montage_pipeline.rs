@@ -32,8 +32,8 @@ fn main() {
     );
 
     // Montage at CCR = 1 (Figure IV-6: balanced communication).
-    let dag = rsg::dag::montage::MontageSpec::m1629(rsg::dag::montage::MontageComm::Ccr(1.0))
-        .generate();
+    let dag =
+        rsg::dag::montage::MontageSpec::m1629(rsg::dag::montage::MontageComm::Ccr(1.0)).generate();
     println!("Application: {} tasks, width {}\n", dag.len(), dag.width());
 
     let time_model = SchedTimeModel::default();

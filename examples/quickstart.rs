@@ -35,7 +35,10 @@ fn main() {
     let generator = SpecGenerator::new(size_model, heur_model);
     let spec = generator.generate(&dag, &GeneratorConfig::default());
     println!("\nGenerated specification:");
-    println!("  RC size        : {} (min acceptable {})", spec.rc_size, spec.min_size);
+    println!(
+        "  RC size        : {} (min acceptable {})",
+        spec.rc_size, spec.min_size
+    );
     println!(
         "  clock range    : {:.0}..{:.0} MHz",
         spec.clock_mhz.0, spec.clock_mhz.1

@@ -75,6 +75,6 @@ pub mod prelude {
     };
     pub use rsg_dag::{Dag, DagBuilder, DagStats, RandomDagSpec, TaskId};
     pub use rsg_platform::{CostModel, Platform, ResourceCollection, ResourceGenSpec};
-    pub use rsg_sched::{evaluate, HeuristicKind, Schedule, SchedTimeModel, TurnaroundReport};
+    pub use rsg_sched::{evaluate, HeuristicKind, SchedTimeModel, Schedule, TurnaroundReport};
     pub use rsg_select::{Matchmaker, SwordEngine, VgesFinder};
 }

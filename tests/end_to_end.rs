@@ -154,6 +154,9 @@ fn negotiation_binds_degraded_spec_when_original_fails() {
         finder.find(&platform, &SpecGenerator::to_vgdl(s))
     });
     let (idx, rc) = bound.expect("some degraded alternative must bind");
-    assert!(idx > 0, "the 3.5 GHz original cannot bind on a 2004 universe");
+    assert!(
+        idx > 0,
+        "the 3.5 GHz original cannot bind on a 2004 universe"
+    );
     assert!(!rc.is_empty());
 }

@@ -68,7 +68,10 @@ fn truncated_schedule_detected() {
     let ctx = ExecutionContext::new(&dag, &rc);
     let mut broken = s.clone();
     broken.host.pop();
-    assert_eq!(broken.validate(&ctx), Err(rsg::sched::ScheduleError::WrongLength));
+    assert_eq!(
+        broken.validate(&ctx),
+        Err(rsg::sched::ScheduleError::WrongLength)
+    );
     let _ = s;
 }
 

@@ -19,8 +19,8 @@ fn chapter4_explicit_selection_beats_implicit() {
         Default::default(),
         1,
     );
-    let dag = rsg::dag::montage::MontageSpec::m1629(rsg::dag::montage::MontageComm::Ccr(1.0))
-        .generate();
+    let dag =
+        rsg::dag::montage::MontageSpec::m1629(rsg::dag::montage::MontageComm::Ccr(1.0)).generate();
     let model = SchedTimeModel::default();
 
     let universe = platform.universe_rc();
@@ -186,7 +186,7 @@ fn chapter5_cited_workflow_shapes() {
     let cfg = CurveConfig::default();
 
     let ligo = rsg::dag::workflows::ligo_like(4, 16, 20.0, 0.5);
-    let knee = find_knee(&turnaround_curve(&[ligo.clone()], &cfg), 0.001) as u32;
+    let knee = find_knee(&turnaround_curve(std::slice::from_ref(&ligo), &cfg), 0.001) as u32;
     assert!(
         knee <= ligo.width(),
         "LIGO knee {knee} must not exceed width {}",
@@ -195,7 +195,7 @@ fn chapter5_cited_workflow_shapes() {
     assert!(knee > 4, "the filter fan-out should want real parallelism");
 
     let cs = rsg::dag::workflows::cybershake_like(24, 30.0, 1.0);
-    let knee = find_knee(&turnaround_curve(&[cs.clone()], &cfg), 0.001) as u32;
+    let knee = find_knee(&turnaround_curve(std::slice::from_ref(&cs), &cfg), 0.001) as u32;
     assert!(
         (12..=24).contains(&knee),
         "CyberShake knee {knee} should approach its 24 independent pipelines"

@@ -14,14 +14,16 @@ fn dag_spec_strategy() -> impl Strategy<Value = RandomDagSpec> {
         0.01f64..=1.0,
         1.0f64..50.0,
     )
-        .prop_map(|(size, ccr, parallelism, density, regularity, mean_comp)| RandomDagSpec {
-            size,
-            ccr,
-            parallelism,
-            density,
-            regularity,
-            mean_comp,
-        })
+        .prop_map(
+            |(size, ccr, parallelism, density, regularity, mean_comp)| RandomDagSpec {
+                size,
+                ccr,
+                parallelism,
+                density,
+                regularity,
+                mean_comp,
+            },
+        )
 }
 
 proptest! {

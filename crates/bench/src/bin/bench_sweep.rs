@@ -5,6 +5,15 @@
 //! per-heuristic schedule throughput with and without the placement
 //! kernel, and writes the results to `BENCH_sweep.json`.
 //!
+//! The timed comparison runs keep observability *disabled* (the
+//! `rsg-obs` layer's documented overhead budget is measured against
+//! these numbers). A third, untimed-for-the-headline sweep then re-runs
+//! `measure` with observability and tracing enabled and asserts the
+//! knee tables are still bit-identical, so instrumentation can never
+//! perturb results. Pass `--obs` to embed the captured
+//! [`rsg_obs::RunReport`] from that instrumented sweep under an `"obs"`
+//! key in `BENCH_sweep.json`.
+//!
 //! The sweep speedup recorded here is the headline number of the
 //! fast-path work; the run aborts if it falls below 5x so a regression
 //! cannot slip through silently.
@@ -103,14 +112,27 @@ fn json_str(s: &str) -> String {
     format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
 }
 
+/// Wall-clock results of the three sweep runs.
+struct SweepTimings {
+    naive_s: f64,
+    fast_s: f64,
+    obs_on_s: f64,
+    identical: bool,
+}
+
 fn write_json(
     path: &str,
     grid: &ObservationGrid,
-    naive_s: f64,
-    fast_s: f64,
-    identical: bool,
+    sweep: &SweepTimings,
     throughput: &[Throughput],
+    obs_report: Option<&rsg_obs::RunReport>,
 ) -> std::io::Result<()> {
+    let SweepTimings {
+        naive_s,
+        fast_s,
+        obs_on_s,
+        identical,
+    } = *sweep;
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str("  \"benchmark\": \"observation-sweep fast path\",\n");
@@ -132,6 +154,11 @@ fn write_json(
     j.push_str(&format!("    \"naive_s\": {naive_s},\n"));
     j.push_str(&format!("    \"fast_s\": {fast_s},\n"));
     j.push_str(&format!("    \"speedup\": {},\n", naive_s / fast_s));
+    j.push_str(&format!("    \"obs_on_s\": {obs_on_s},\n"));
+    j.push_str(&format!(
+        "    \"obs_on_overhead\": {},\n",
+        obs_on_s / fast_s - 1.0
+    ));
     j.push_str(&format!("    \"tables_identical\": {identical}\n"));
     j.push_str("  },\n");
     j.push_str("  \"placement_kernel\": [\n");
@@ -147,12 +174,18 @@ fn write_json(
             if i + 1 < throughput.len() { "," } else { "" }
         ));
     }
-    j.push_str("  ]\n");
+    if let Some(report) = obs_report {
+        j.push_str("  ],\n");
+        j.push_str(&format!("  \"obs\": {}\n", report.to_json().trim_end()));
+    } else {
+        j.push_str("  ]\n");
+    }
     j.push_str("}\n");
     std::fs::write(path, j)
 }
 
 fn main() {
+    let obs_mode = std::env::args().any(|a| a == "--obs");
     let grid = ObservationGrid::fast();
     let cfg = CurveConfig::default();
 
@@ -181,6 +214,28 @@ fn main() {
         "optimized sweep diverged from the reference sweep"
     );
     let speedup = naive_s / fast_s;
+
+    // Instrumentation must never perturb results: re-run the optimized
+    // sweep with observability *and* live tracing enabled and require
+    // bit-identical knee tables.
+    eprintln!("bench_sweep: re-running optimized sweep with obs + trace enabled...");
+    rsg_obs::enable(true);
+    rsg_obs::set_trace(true);
+    rsg_obs::reset();
+    let t0 = Instant::now();
+    let obs_tables = measure(&grid, &cfg, &THRESHOLD_LADDER, REFINE_ROUNDS);
+    let obs_on_s = t0.elapsed().as_secs_f64();
+    rsg_obs::set_trace(false);
+    let obs_report = rsg_obs::RunReport::capture();
+    rsg_obs::enable(false);
+    assert_eq!(
+        obs_tables, fast_tables,
+        "sweep diverged when observability/tracing was enabled"
+    );
+    eprintln!(
+        "bench_sweep: obs+trace sweep took {obs_on_s:.2}s ({:+.1}% vs obs-off)",
+        (obs_on_s / fast_s - 1.0) * 100.0
+    );
 
     eprintln!("bench_sweep: measuring placement-kernel throughput...");
     let throughput = kernel_throughput();
@@ -219,13 +274,24 @@ fn main() {
     write_json(
         "BENCH_sweep.json",
         &grid,
-        naive_s,
-        fast_s,
-        true,
+        &SweepTimings {
+            naive_s,
+            fast_s,
+            obs_on_s,
+            identical: true,
+        },
         &throughput,
+        obs_mode.then_some(&obs_report),
     )
     .expect("failed to write BENCH_sweep.json");
-    eprintln!("bench_sweep: wrote BENCH_sweep.json (sweep speedup {speedup:.2}x)");
+    eprintln!(
+        "bench_sweep: wrote BENCH_sweep.json (sweep speedup {speedup:.2}x{})",
+        if obs_mode {
+            ", run report embedded"
+        } else {
+            ""
+        }
+    );
 
     assert!(
         speedup >= 5.0,

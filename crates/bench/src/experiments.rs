@@ -181,8 +181,12 @@ pub fn observation_grid(scale: Scale) -> rsg_core::observation::ObservationGrid 
 }
 
 /// A short stable digest of everything the observation sweep depends
-/// on — grid axes, curve configuration, thresholds, refinement — used
-/// to key sweep caches so a config change cannot serve stale tables.
+/// on — grid axes, curve configuration, thresholds, refinement, and the
+/// observability configuration — used to key sweep caches so a config
+/// change cannot serve stale tables. The obs fingerprint matters
+/// because a sweep served from cache records no counters or spans: an
+/// instrumented run must not be satisfied by a cache entry written with
+/// observability off (or vice versa).
 fn sweep_cache_key(
     grid: &rsg_core::observation::ObservationGrid,
     cfg: &CurveConfig,
@@ -190,8 +194,12 @@ fn sweep_cache_key(
     refine_rounds: u32,
 ) -> String {
     let mut desc = format!(
-        "{:?}|{}|model={:?}|fam={:?}|refine={refine_rounds}|thetas={thetas:?}",
-        grid, cfg.heuristic, cfg.time_model, cfg.rc_family,
+        "{:?}|{}|model={:?}|fam={:?}|refine={refine_rounds}|thetas={thetas:?}|obs={}",
+        grid,
+        cfg.heuristic,
+        cfg.time_model,
+        cfg.rc_family,
+        rsg_obs::config_fingerprint(),
     );
     desc.push('|');
     // FNV-1a, enough to distinguish configurations in a filename.
@@ -206,7 +214,8 @@ fn sweep_cache_key(
 /// Measures (or loads) the observation-sweep knee tables for a grid and
 /// configuration, cached as TSV under
 /// `target/rsg_knee_tables_<key>.tsv` where `<key>` digests the grid,
-/// curve config, thresholds and refinement (delete the file or set
+/// curve config, thresholds, refinement and the current
+/// [`rsg_obs::config_fingerprint`] (delete the file or set
 /// `RSG_NO_CACHE=1` to re-measure).
 pub fn observed_knee_tables(
     grid: &rsg_core::observation::ObservationGrid,
@@ -341,6 +350,21 @@ mod tests {
         if std::env::var("RSG_SCALE").is_err() {
             assert_eq!(Scale::from_env(), Scale::Fast);
         }
+    }
+
+    #[test]
+    fn sweep_cache_key_tracks_obs_config() {
+        let _guard = rsg_obs::test_guard();
+        let grid = rsg_core::observation::ObservationGrid::tiny();
+        let cfg = default_curve_config();
+        let off = sweep_cache_key(&grid, &cfg, &[0.05], 1);
+        rsg_obs::enable(true);
+        let on = sweep_cache_key(&grid, &cfg, &[0.05], 1);
+        rsg_obs::enable(false);
+        assert_ne!(
+            off, on,
+            "an instrumented sweep must not share a cache entry with an obs-off one"
+        );
     }
 
     #[test]

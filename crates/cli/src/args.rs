@@ -18,15 +18,26 @@ pub struct Args {
 impl Args {
     /// Splits `argv` into positionals and `--key value` options.
     pub fn new(argv: &[String]) -> Args {
+        Self::new_with_flags(argv, &[])
+    }
+
+    /// Like [`Args::new`], but keys listed in `flags` are boolean: they
+    /// do not consume the following token as a value.
+    pub fn new_with_flags(argv: &[String], flags: &[&str]) -> Args {
         let mut positionals = Vec::new();
         let mut options = BTreeMap::new();
         let mut i = 0usize;
         while i < argv.len() {
             let a = &argv[i];
             if let Some(key) = a.strip_prefix("--") {
-                let value = argv.get(i + 1).cloned().unwrap_or_default();
-                options.insert(key.to_string(), value);
-                i += 2;
+                if flags.contains(&key) {
+                    options.insert(key.to_string(), String::new());
+                    i += 1;
+                } else {
+                    let value = argv.get(i + 1).cloned().unwrap_or_default();
+                    options.insert(key.to_string(), value);
+                    i += 2;
+                }
             } else {
                 positionals.push(a.clone());
                 i += 1;
@@ -37,6 +48,11 @@ impl Args {
             options,
             next_positional: 0,
         }
+    }
+
+    /// Whether a boolean flag was present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
     }
 
     /// Next positional argument, if any.
@@ -104,6 +120,20 @@ mod tests {
         assert_eq!(a.int("size", 0).unwrap(), 100);
         assert_eq!(a.opt("out"), Some("f.dag"));
         assert_eq!(a.num("ccr", 1.5).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn boolean_flags_do_not_consume_values() {
+        let v: Vec<String> = ["spec", "--trace", "wf.dag", "--report", "r.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut a = Args::new_with_flags(&v, &["trace"]);
+        assert!(a.flag("trace"));
+        assert!(!a.flag("report-missing"));
+        assert_eq!(a.positional().as_deref(), Some("spec"));
+        assert_eq!(a.positional().as_deref(), Some("wf.dag"));
+        assert_eq!(a.opt("report"), Some("r.json"));
     }
 
     #[test]

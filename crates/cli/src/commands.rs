@@ -179,7 +179,8 @@ pub fn predict(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `rsg spec --model FILE DAGFILE [--lang …] [--clock MHZ] [--het H]`
+/// `rsg spec (--model FILE | --grid tiny|fast) DAGFILE [--lang …]
+/// [--clock MHZ] [--het H]`
 pub fn spec(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     let lang = args.opt("lang").unwrap_or("all").to_string();
     if !["vgdl", "classad", "sword", "all"].contains(&lang.as_str()) {
@@ -187,7 +188,35 @@ pub fn spec(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
             "--lang must be vgdl|classad|sword|all, got '{lang}'"
         )));
     }
-    let model = load_model(args.require("model")?)?;
+    // Size model: a persisted one, or trained inline from a small grid
+    // (with one refinement round, so a single invocation exercises the
+    // whole sweep → knee → fit pipeline).
+    let model = match (args.opt("model"), args.opt("grid")) {
+        (Some(p), _) => load_model(p)?,
+        (None, Some(g)) => {
+            let grid = match g {
+                "tiny" => ObservationGrid::tiny(),
+                "fast" => ObservationGrid::fast(),
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "--grid must be tiny|fast for inline training, got '{other}'"
+                    )))
+                }
+            };
+            let tables = rsg_core::observation::measure(
+                &grid,
+                &CurveConfig::default(),
+                &rsg_core::THRESHOLD_LADDER,
+                1,
+            );
+            ThresholdedSizeModel::fit(&tables)
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "spec needs --model FILE or --grid tiny|fast".into(),
+            ))
+        }
+    };
     let path = args.require_positional("DAG file")?;
     let dag = load_dag(&path)?;
 

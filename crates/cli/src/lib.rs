@@ -68,21 +68,42 @@ USAGE:
   rsg train   [--grid tiny|fast|paper] [--out FILE]
   rsg train-heuristic [--preset fast|paper] [--out FILE]
   rsg predict --model FILE DAGFILE
-  rsg spec    --model FILE DAGFILE [--lang vgdl|classad|sword|all]
+  rsg spec    (--model FILE | --grid tiny|fast) DAGFILE
+              [--lang vgdl|classad|sword|all]
               [--clock MHZ] [--het H] [--heuristic NAME]
               [--heuristic-model FILE]
   rsg dot     FILE [--out FILE]
 
+Global options (any command):
+  --trace          print live span enter/exit lines to stderr
+  --report FILE    write a run report (counters, span timings,
+                   histograms); '.tsv' extension selects TSV, anything
+                   else JSON. Implies collection; a summary table is
+                   appended to the command output.
+
 FILE '-' reads the DAG from stdin.
 ";
 
+/// Boolean (value-less) global flags, shared by every command.
+const GLOBAL_FLAGS: &[&str] = &["trace"];
+
 /// Dispatches a full argument vector (without the program name).
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let mut args = Args::new(argv);
+    let mut args = Args::new_with_flags(argv, GLOBAL_FLAGS);
+    let trace = args.flag("trace");
+    let report_path = args.opt("report").map(str::to_string);
+    let observing = trace || report_path.is_some();
+    if observing {
+        // Fresh data for this run; collection stays on afterwards so a
+        // caller embedding several runs can aggregate across them.
+        rsg_obs::enable(true);
+        rsg_obs::set_trace(trace);
+        rsg_obs::reset();
+    }
     let cmd = args
         .positional()
         .ok_or_else(|| CliError::Usage("missing command".into()))?;
-    match cmd.as_str() {
+    let result = match cmd.as_str() {
         "gen" => commands::gen(&mut args, out),
         "stats" => commands::stats(&mut args, out),
         "curve" => commands::curve(&mut args, out),
@@ -96,7 +117,22 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             Ok(())
         }
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    };
+    if observing && result.is_ok() {
+        let report = rsg_obs::RunReport::capture();
+        if let Some(p) = &report_path {
+            let body = if p.ends_with(".tsv") {
+                report.to_tsv()
+            } else {
+                report.to_json()
+            };
+            std::fs::write(p, body)
+                .map_err(|e| CliError::Failed(format!("cannot write report {p}: {e}")))?;
+        }
+        writeln!(out, "\n--- run report ---")?;
+        out.write_all(report.summary().as_bytes())?;
     }
+    result
 }
 
 #[cfg(test)]

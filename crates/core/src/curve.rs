@@ -6,11 +6,19 @@
 //! host family.
 
 use rsg_dag::Dag;
+use rsg_obs::Counter;
 use rsg_platform::ResourceCollection;
 use rsg_sched::{
     evaluate, evaluate_prefix, evaluate_reference, HeuristicKind, SchedTimeModel, TurnaroundReport,
 };
 use std::collections::HashMap;
+
+/// [`CurveEvaluator`] lookups served from the per-size memo.
+static OBS_CURVE_MEMO_HITS: Counter = Counter::new("core.curve.memo_hits");
+/// [`CurveEvaluator`] lookups that had to schedule (memo misses).
+static OBS_CURVE_MEMO_MISSES: Counter = Counter::new("core.curve.memo_misses");
+/// Times a [`CurveEvaluator`] outgrew its RC and rebuilt it.
+static OBS_CURVE_RC_REBUILDS: Counter = Counter::new("core.curve.rc_rebuilds");
 
 /// A family of resource collections parameterized only by size, so that
 /// curves vary exactly one variable (prefix-stable heterogeneous draws,
@@ -196,9 +204,12 @@ impl<'a> CurveEvaluator<'a> {
     /// Mean turnaround of the instance set at `size` (memoized).
     pub fn mean_turnaround(&mut self, size: usize) -> f64 {
         if let Some(&t) = self.memo.get(&size) {
+            OBS_CURVE_MEMO_HITS.incr();
             return t;
         }
+        OBS_CURVE_MEMO_MISSES.incr();
         if size > self.rc.len() {
+            OBS_CURVE_RC_REBUILDS.incr();
             self.rc = self.cfg.rc_family.build(size);
         }
         let total: f64 = self

@@ -116,6 +116,7 @@ impl HeuristicPredictionModel {
     /// Trains the model: per cell, per heuristic, the minimum of the
     /// turnaround-vs-size curve.
     pub fn train(t: &HeuristicTraining, base: &CurveConfig) -> HeuristicPredictionModel {
+        let _span = rsg_obs::span("train_heuristic");
         let cells: Vec<(usize, f64)> = t
             .sizes
             .iter()

@@ -7,6 +7,14 @@
 //! cost/performance trade-off of Section V.3.2.3.
 
 use crate::curve::Curve;
+use rsg_obs::Counter;
+
+/// Bisection iterations performed by [`refine_knee`] (across all
+/// cells and thresholds of a sweep).
+static OBS_REFINE_ITERS: Counter = Counter::new("core.knee.refine_iterations");
+/// [`refine_knee`] calls that converged (interval closed) before
+/// exhausting their round budget.
+static OBS_REFINE_CONVERGED: Counter = Counter::new("core.knee.refine_converged_early");
 
 /// Finds the knee of a sampled curve for threshold `theta` (e.g. 0.001
 /// for the paper's 0.1%): the smallest sampled size whose turnaround is
@@ -65,8 +73,10 @@ pub fn refine_knee(
         .fold(f64::INFINITY, f64::min);
     for _ in 0..rounds {
         if hi - lo <= 1 {
+            OBS_REFINE_CONVERGED.incr();
             break;
         }
+        OBS_REFINE_ITERS.incr();
         let mid = (lo + hi) / 2;
         let t_mid = eval(mid);
         if target >= t_mid * (1.0 - theta) {

@@ -7,6 +7,10 @@
 
 use crate::curve::{CurveConfig, CurveEvaluator};
 use rsg_dag::Dag;
+use rsg_obs::Counter;
+
+/// Candidate RC sizes evaluated by the Table V-3 search.
+static OBS_OPT_CANDIDATES: Counter = Counter::new("core.optsearch.candidates");
 
 /// The Table V-3 candidate set around `x`, clamped to `[1, max]`,
 /// deduplicated and sorted.
@@ -66,7 +70,9 @@ pub fn optimal_size_search_with(
     predicted: usize,
     max: usize,
 ) -> OptSearchResult {
+    let _span = rsg_obs::span("optsearch");
     let cands = candidate_sizes(predicted, max);
+    OBS_OPT_CANDIDATES.add(cands.len() as u64);
     let mut best = OptSearchResult {
         size: 1,
         turnaround_s: f64::INFINITY,

@@ -394,6 +394,26 @@ impl crate::observation::KneeTable {
 
 /// Serializes measured knee tables (one section per threshold, in the
 /// given order).
+///
+/// Round-trips through [`knee_tables_from_tsv`]:
+///
+/// ```
+/// use rsg_core::observation::{KneeTable, ObservationGrid};
+/// use rsg_core::persist::{knee_tables_from_tsv, knee_tables_to_tsv};
+///
+/// let grid = ObservationGrid {
+///     sizes: vec![100],
+///     ccrs: vec![0.1],
+///     alphas: vec![0.5],
+///     betas: vec![0.5],
+///     density: 0.5,
+///     mean_comp: 10.0,
+///     instances: 1,
+/// };
+/// let table = KneeTable::from_parts(grid, 0.05, vec![24.0]).unwrap();
+/// let tsv = knee_tables_to_tsv(std::slice::from_ref(&table));
+/// assert_eq!(knee_tables_from_tsv(&tsv).unwrap(), vec![table]);
+/// ```
 pub fn knee_tables_to_tsv(tables: &[crate::observation::KneeTable]) -> String {
     tables.iter().map(|t| t.to_tsv()).collect()
 }

@@ -133,6 +133,7 @@ pub struct ThresholdedSizeModel {
 impl ThresholdedSizeModel {
     /// Fits a model per knee table.
     pub fn fit(tables: &[KneeTable]) -> ThresholdedSizeModel {
+        let _span = rsg_obs::span("train_size_model");
         let mut models: Vec<SizePredictionModel> =
             tables.iter().map(SizePredictionModel::fit).collect();
         models.sort_by(|a, b| a.theta.total_cmp(&b.theta));

@@ -11,6 +11,7 @@ use crate::heurmodel::HeuristicPredictionModel;
 use crate::sizemodel::ThresholdedSizeModel;
 use crate::utility::UtilityFunction;
 use rsg_dag::{Dag, DagStats};
+use rsg_obs::Counter;
 use rsg_sched::HeuristicKind;
 use rsg_select::classad::{ClassAd, Expr};
 use rsg_select::sword::{AttrRange, Bound, SwordGroup, SwordRequest};
@@ -101,6 +102,9 @@ impl SpecGenerator {
 
     /// Generates from pre-measured characteristics.
     pub fn generate_from_stats(&self, stats: &DagStats, cfg: &GeneratorConfig) -> ResourceSpec {
+        static OBS_SPECS: Counter = Counter::new("core.specgen.specs_generated");
+        let _span = rsg_obs::span("specgen/predict");
+        OBS_SPECS.incr();
         // Threshold selection: utility over known trade-off rows, else
         // the strictest model.
         let threshold = match (&cfg.utility, cfg.threshold_tradeoffs.is_empty()) {
@@ -161,6 +165,7 @@ impl SpecGenerator {
 
     /// Renders a spec as vgDL (Figure VII-5).
     pub fn to_vgdl(spec: &ResourceSpec) -> VgdlSpec {
+        let _span = rsg_obs::span("specgen/emit_vgdl");
         let mut constraints = vec![NodeConstraint::num("Clock", CmpOp::Ge, spec.clock_mhz.0)];
         if spec.clock_mhz.1.is_finite() {
             constraints.push(NodeConstraint::num("Clock", CmpOp::Le, spec.clock_mhz.1));
@@ -182,6 +187,7 @@ impl SpecGenerator {
 
     /// Renders a spec as a Condor ClassAd request (Figure VII-3).
     pub fn to_classad(spec: &ResourceSpec) -> ClassAd {
+        let _span = rsg_obs::span("specgen/emit_classad");
         let mut ad = ClassAd::new();
         ad.set("Type", Expr::Str("Job".into()));
         ad.set("Count", Expr::Num(spec.rc_size as f64));
@@ -226,6 +232,7 @@ impl SpecGenerator {
 
     /// Renders a spec as a SWORD request (Figure VII-4).
     pub fn to_sword(spec: &ResourceSpec) -> SwordRequest {
+        let _span = rsg_obs::span("specgen/emit_sword");
         let group = SwordGroup {
             name: "rc".into(),
             num_machines: spec.rc_size,

@@ -25,7 +25,7 @@
 //!
 //! Communication: intermediate files range from ~300 bytes to ~4 MB
 //! (Section IV.3.1), negligible at the 10 Gbps reference bandwidth; the
-//! [`MontageSpec::ccr`] knob rescales all edges to a target CCR as the
+//! [`MontageComm::Ccr`] knob rescales all edges to a target CCR as the
 //! paper does in Figures IV-6…IV-8.
 
 use crate::graph::{Dag, DagBuilder, TaskId};

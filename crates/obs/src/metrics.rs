@@ -1,0 +1,392 @@
+//! Monotonic counters and timing histograms.
+//!
+//! Both sinks are designed for the workspace's hot paths: a metric is a
+//! `static` with interior atomics, recording is a single relaxed
+//! atomic-load check when observability is disabled, and a handful of
+//! relaxed read-modify-write operations when enabled. No locks are ever
+//! taken on the record path, so (cell × instance) rayon workers can
+//! hammer the same sink without serializing.
+
+use crate::registry;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A named monotonic counter.
+///
+/// Declare as a `static` and bump it from anywhere; the counter
+/// registers itself with the global registry on first use so that
+/// [`RunReport::capture`](crate::RunReport::capture) only lists metrics
+/// the run actually touched.
+///
+/// ```
+/// static PLACEMENTS: rsg_obs::Counter = rsg_obs::Counter::new("demo.placements");
+/// rsg_obs::enable(true);
+/// PLACEMENTS.add(3);
+/// PLACEMENTS.add(4);
+/// assert_eq!(PLACEMENTS.get(), 7);
+/// rsg_obs::enable(false);
+/// # rsg_obs::reset();
+/// ```
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Creates a counter (const, so it can be a `static`).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n`. A no-op (one relaxed load) while observability is
+    /// disabled.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Convenience for `add(1)`.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter (used by [`crate::reset`]).
+    pub(crate) fn clear(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+
+    fn ensure_registered(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            registry().register_counter(self);
+        }
+    }
+}
+
+/// Number of histogram buckets: bucket `i` holds durations in
+/// `[2^i, 2^(i+1))` nanoseconds (bucket 0 also absorbs 0 ns), bucket
+/// `BUCKETS - 1` absorbs everything ≥ 2^39 ns (~9.2 minutes).
+pub const BUCKETS: usize = 40;
+
+/// The bucket index a duration of `ns` nanoseconds falls into.
+///
+/// ```
+/// use rsg_obs::metrics::bucket_index;
+/// assert_eq!(bucket_index(0), 0);
+/// assert_eq!(bucket_index(1), 0);
+/// assert_eq!(bucket_index(2), 1);
+/// assert_eq!(bucket_index(1023), 9);
+/// assert_eq!(bucket_index(1024), 10);
+/// assert_eq!(bucket_index(u64::MAX), rsg_obs::metrics::BUCKETS - 1);
+/// ```
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    if ns < 2 {
+        0
+    } else {
+        ((63 - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i`, nanoseconds.
+pub fn bucket_lo_ns(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// Exclusive upper bound of bucket `i`, nanoseconds (`u64::MAX` for the
+/// last, absorbing bucket).
+pub fn bucket_hi_ns(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+/// A named timing histogram with power-of-two nanosecond buckets plus
+/// exact count / sum / min / max.
+///
+/// Like [`Counter`], it is a const-constructible `static` whose record
+/// path is entirely relaxed atomics.
+#[derive(Debug)]
+pub struct TimingHistogram {
+    name: &'static str,
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl TimingHistogram {
+    /// Creates a histogram (const, so it can be a `static`).
+    pub const fn new(name: &'static str) -> TimingHistogram {
+        TimingHistogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records a duration in nanoseconds. A no-op (one relaxed load)
+    /// while observability is disabled.
+    #[inline]
+    pub fn record_ns(&'static self, ns: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`].
+    #[inline]
+    pub fn record(&'static self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records a duration given in (possibly fractional) seconds.
+    #[inline]
+    pub fn record_secs(&'static self, s: f64) {
+        if s >= 0.0 && s.is_finite() {
+            self.record_ns((s * 1e9) as u64);
+        }
+    }
+
+    /// A consistent-enough snapshot of the histogram's state. Under
+    /// concurrent writers individual fields may lag each other by a few
+    /// records; totals are exact once writers are quiescent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push(BucketCount {
+                    lo_ns: bucket_lo_ns(i),
+                    hi_ns: bucket_hi_ns(i),
+                    count: c,
+                });
+            }
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            count,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            min_ns: if count == 0 {
+                0
+            } else {
+                self.min_ns.load(Ordering::Relaxed)
+            },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Zeroes the histogram (used by [`crate::reset`]).
+    pub(crate) fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+
+    fn ensure_registered(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            registry().register_histogram(self);
+        }
+    }
+}
+
+/// One non-empty bucket of a [`HistogramSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Inclusive lower bound, nanoseconds.
+    pub lo_ns: u64,
+    /// Exclusive upper bound, nanoseconds.
+    pub hi_ns: u64,
+    /// Records in `[lo_ns, hi_ns)`.
+    pub count: u64,
+}
+
+/// A point-in-time copy of a [`TimingHistogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Total records.
+    pub count: u64,
+    /// Sum of all recorded durations, nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest recorded duration (0 when empty).
+    pub min_ns: u64,
+    /// Largest recorded duration.
+    pub max_ns: u64,
+    /// Non-empty buckets, ascending.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded duration, seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64 / 1e9
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the exclusive upper
+    /// bound of the first bucket whose cumulative count reaches
+    /// `q · count`, in seconds. Exact values are bracketed within a 2×
+    /// bucket, which is plenty for a run summary.
+    pub fn quantile_s(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for b in &self.buckets {
+            cum += b.count;
+            if cum >= target {
+                return (b.hi_ns.min(self.max_ns)) as f64 / 1e9;
+            }
+        }
+        self.max_ns as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static C: Counter = Counter::new("test.metrics.counter");
+    static H: TimingHistogram = TimingHistogram::new("test.metrics.hist");
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index((1 << 21) - 1), 20);
+        // Everything past the last bucket boundary is absorbed.
+        assert_eq!(bucket_index(1 << 45), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_lo_ns(i).max(1)), i);
+            assert!(bucket_lo_ns(i) < bucket_hi_ns(i));
+        }
+    }
+
+    #[test]
+    fn counter_disabled_is_noop_and_enabled_accumulates() {
+        let _guard = crate::test_guard();
+        crate::enable(false);
+        C.add(5);
+        assert_eq!(C.get(), 0, "disabled counter must not move");
+        crate::enable(true);
+        C.add(5);
+        C.incr();
+        assert_eq!(C.get(), 6);
+        crate::enable(false);
+        C.add(100);
+        assert_eq!(C.get(), 6);
+        crate::reset();
+        assert_eq!(C.get(), 0);
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let _guard = crate::test_guard();
+        crate::enable(true);
+        H.clear();
+        for ns in [1u64, 3, 1000, 1500, 1 << 30] {
+            H.record_ns(ns);
+        }
+        let s = H.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum_ns, 1 + 3 + 1000 + 1500 + (1u64 << 30));
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 1 << 30);
+        // 1 → bucket 0; 3 → bucket 1; 1000 → bucket 9; 1500 → bucket 10;
+        // 2^30 → bucket 30.
+        let idx: Vec<u64> = s.buckets.iter().map(|b| b.count).collect();
+        assert_eq!(idx, vec![1, 1, 1, 1, 1]);
+        assert!(s.mean_s() > 0.0);
+        // The p100 quantile brackets the max.
+        assert!(s.quantile_s(1.0) >= 1.0 && s.quantile_s(1.0) <= 2.2);
+        crate::enable(false);
+        crate::reset();
+    }
+
+    #[test]
+    fn quantiles_bracket() {
+        let _guard = crate::test_guard();
+        static Q: TimingHistogram = TimingHistogram::new("test.metrics.quant");
+        crate::enable(true);
+        Q.clear();
+        for _ in 0..99 {
+            Q.record_ns(100);
+        }
+        Q.record_ns(1_000_000);
+        let s = Q.snapshot();
+        // p50 lands in the 100 ns bucket [64, 128).
+        assert!(s.quantile_s(0.5) <= 128e-9);
+        // p100 lands in the 1 ms bucket.
+        assert!(s.quantile_s(1.0) >= 1e-3 / 2.0);
+        crate::enable(false);
+        crate::reset();
+    }
+}

@@ -1,0 +1,418 @@
+//! The [`RunReport`]: a point-in-time aggregation of every span,
+//! counter and histogram the run touched, serializable as JSON (spans
+//! nested into a tree) or flat TSV, plus a human-readable summary
+//! table.
+
+use crate::json;
+use crate::metrics::HistogramSnapshot;
+use crate::registry;
+use crate::span::SpanStat;
+
+/// Everything observed since the last [`crate::reset`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Span aggregates, sorted by path.
+    pub spans: Vec<SpanStat>,
+    /// `(name, value)` counter readings, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl RunReport {
+    /// Snapshots the global registry. Concurrent writers may lag a few
+    /// records; capture after the instrumented work has joined for
+    /// exact totals.
+    pub fn capture() -> RunReport {
+        registry().capture()
+    }
+
+    /// The aggregate of one span path, if it was recorded.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// The value of one counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// The snapshot of one histogram, if it was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the report as JSON: spans nested into a tree by
+    /// path segment, counters as an object, histograms as an array
+    /// (see EXPERIMENTS.md, "Observability", for the schema).
+    pub fn to_json(&self) -> String {
+        let tree = build_tree(&self.spans);
+        let mut j = String::from("{\n");
+        j.push_str("  \"rsg_obs_report\": \"v1\",\n");
+        j.push_str("  \"spans\": ");
+        write_nodes(&mut j, &tree, 1);
+        j.push_str(",\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            j.push_str(&format!("\n    {}: {}", json::escape(name), value));
+        }
+        if !self.counters.is_empty() {
+            j.push_str("\n  ");
+        }
+        j.push_str("},\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            j.push_str(&format!(
+                "\n    {{\"name\": {}, \"count\": {}, \"total_s\": {}, \"mean_s\": {}, \
+                 \"min_s\": {}, \"p50_s\": {}, \"p95_s\": {}, \"max_s\": {}, \"buckets\": [",
+                json::escape(&h.name),
+                h.count,
+                json::num(h.sum_ns as f64 / 1e9),
+                json::num(h.mean_s()),
+                json::num(h.min_ns as f64 / 1e9),
+                json::num(h.quantile_s(0.5)),
+                json::num(h.quantile_s(0.95)),
+                json::num(h.max_ns as f64 / 1e9),
+            ));
+            for (k, b) in h.buckets.iter().enumerate() {
+                if k > 0 {
+                    j.push_str(", ");
+                }
+                j.push_str(&format!(
+                    "{{\"lo_s\": {}, \"hi_s\": {}, \"count\": {}}}",
+                    json::num(b.lo_ns as f64 / 1e9),
+                    json::num(b.hi_ns as f64 / 1e9),
+                    b.count
+                ));
+            }
+            j.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            j.push_str("\n  ");
+        }
+        j.push_str("]\n}\n");
+        j
+    }
+
+    /// Serializes the report as flat, line-oriented TSV (one `span` /
+    /// `counter` / `hist` record per line; nanosecond integers, no
+    /// float formatting loss).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("rsg-obs-report\tv1\n");
+        for s in &self.spans {
+            out.push_str(&format!(
+                "span\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                s.path, s.count, s.total_ns, s.min_ns, s.max_ns, s.threads
+            ));
+        }
+        for (name, value) in &self.counters {
+            out.push_str(&format!("counter\t{name}\t{value}\n"));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "hist\t{}\t{}\t{}\t{}\t{}",
+                h.name, h.count, h.sum_ns, h.min_ns, h.max_ns
+            ));
+            for b in &h.buckets {
+                out.push_str(&format!("\t{}:{}", b.lo_ns, b.count));
+            }
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// A human-readable multi-section summary (printed by the CLI at
+    /// the end of a `--trace`/`--report` run).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("observability: nothing recorded\n");
+            return out;
+        }
+        if !self.spans.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .spans
+                .iter()
+                .map(|s| {
+                    vec![
+                        s.path.clone(),
+                        s.count.to_string(),
+                        format!("{:.4}", s.total_s()),
+                        format!("{:.6}", s.mean_s()),
+                        format!("{:.6}", s.max_ns as f64 / 1e9),
+                        s.threads.to_string(),
+                    ]
+                })
+                .collect();
+            out.push_str(&format_table(
+                "spans",
+                &[
+                    "path",
+                    "count",
+                    "total (s)",
+                    "mean (s)",
+                    "max (s)",
+                    "threads",
+                ],
+                &rows,
+            ));
+        }
+        if !self.counters.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .counters
+                .iter()
+                .map(|(n, v)| vec![n.clone(), v.to_string()])
+                .collect();
+            out.push_str(&format_table("counters", &["name", "value"], &rows));
+        }
+        if !self.histograms.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .histograms
+                .iter()
+                .map(|h| {
+                    vec![
+                        h.name.clone(),
+                        h.count.to_string(),
+                        format!("{:.4}", h.sum_ns as f64 / 1e9),
+                        format!("{:.6}", h.mean_s()),
+                        format!("{:.6}", h.quantile_s(0.5)),
+                        format!("{:.6}", h.quantile_s(0.95)),
+                        format!("{:.6}", h.max_ns as f64 / 1e9),
+                    ]
+                })
+                .collect();
+            out.push_str(&format_table(
+                "timing histograms",
+                &[
+                    "name",
+                    "count",
+                    "total (s)",
+                    "mean (s)",
+                    "~p50 (s)",
+                    "~p95 (s)",
+                    "max (s)",
+                ],
+                &rows,
+            ));
+        }
+        out
+    }
+}
+
+/// One node of the serialized span tree.
+#[derive(Debug)]
+struct TreeNode {
+    name: String,
+    stat: SpanStat,
+    children: Vec<TreeNode>,
+}
+
+/// Nests flat `a/b/c` span paths into a forest. Parents missing from
+/// the input (a child recorded on a worker thread whose parent scope
+/// never closed, say) are synthesized with zeroed stats.
+fn build_tree(spans: &[SpanStat]) -> Vec<TreeNode> {
+    let mut roots: Vec<TreeNode> = Vec::new();
+    for s in spans {
+        let segments: Vec<&str> = s.path.split('/').collect();
+        let mut level = &mut roots;
+        for (depth, seg) in segments.iter().enumerate() {
+            let pos = match level.iter().position(|n| n.name == *seg) {
+                Some(p) => p,
+                None => {
+                    level.push(TreeNode {
+                        name: seg.to_string(),
+                        stat: SpanStat {
+                            path: segments[..=depth].join("/"),
+                            ..SpanStat::default()
+                        },
+                        children: Vec::new(),
+                    });
+                    level.len() - 1
+                }
+            };
+            if depth + 1 == segments.len() {
+                level[pos].stat = s.clone();
+            }
+            level = &mut level[pos].children;
+        }
+    }
+    roots
+}
+
+fn write_nodes(j: &mut String, nodes: &[TreeNode], indent: usize) {
+    let pad = "  ".repeat(indent);
+    if nodes.is_empty() {
+        j.push_str("[]");
+        return;
+    }
+    j.push('[');
+    for (i, n) in nodes.iter().enumerate() {
+        if i > 0 {
+            j.push(',');
+        }
+        j.push_str(&format!(
+            "\n{pad}  {{\"name\": {}, \"path\": {}, \"count\": {}, \"total_s\": {}, \
+             \"mean_s\": {}, \"min_s\": {}, \"max_s\": {}, \"threads\": {}, \"children\": ",
+            json::escape(&n.name),
+            json::escape(&n.stat.path),
+            n.stat.count,
+            json::num(n.stat.total_s()),
+            json::num(n.stat.mean_s()),
+            json::num(n.stat.min_ns as f64 / 1e9),
+            json::num(n.stat.max_ns as f64 / 1e9),
+            n.stat.threads,
+        ));
+        write_nodes(j, &n.children, indent + 1);
+        j.push('}');
+    }
+    j.push_str(&format!("\n{pad}]"));
+}
+
+/// Width-aligned plain-text table with a section title.
+fn format_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut width: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, c) in row.iter().enumerate() {
+            width[i] = width[i].max(c.len());
+        }
+    }
+    let mut out = format!("== {title} ==\n");
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = width[i]));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    line(&mut out, &header_cells);
+    out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::metrics::{Counter, TimingHistogram};
+
+    static REPORT_C: Counter = Counter::new("test.report.counter");
+    static REPORT_H: TimingHistogram = TimingHistogram::new("test.report.hist");
+
+    fn sample_report() -> RunReport {
+        let _a = crate::span("phase");
+        {
+            let _b = crate::span("step");
+        }
+        {
+            let _b = crate::span("step");
+        }
+        REPORT_C.add(42);
+        REPORT_H.record_ns(1500);
+        REPORT_H.record_ns(3000);
+        drop(_a);
+        RunReport::capture()
+    }
+
+    #[test]
+    fn json_form_is_valid_and_nested() {
+        let _guard = crate::test_guard();
+        crate::enable(true);
+        let report = sample_report();
+        let doc = Json::parse(&report.to_json()).expect("report JSON must parse");
+        assert_eq!(doc.get("rsg_obs_report").and_then(Json::as_str), Some("v1"));
+        let spans = doc.get("spans").and_then(Json::as_array).unwrap();
+        let phase = spans
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some("phase"))
+            .expect("phase root");
+        let children = phase.get("children").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            children[0].get("path").and_then(Json::as_str),
+            Some("phase/step")
+        );
+        assert_eq!(children[0].get("count").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("test.report.counter"))
+                .and_then(Json::as_f64),
+            Some(42.0)
+        );
+        let hists = doc.get("histograms").and_then(Json::as_array).unwrap();
+        let h = hists
+            .iter()
+            .find(|h| h.get("name").and_then(Json::as_str) == Some("test.report.hist"))
+            .unwrap();
+        assert_eq!(h.get("count").and_then(Json::as_f64), Some(2.0));
+        crate::enable(false);
+        crate::reset();
+    }
+
+    #[test]
+    fn tsv_and_summary_cover_all_sections() {
+        let _guard = crate::test_guard();
+        crate::enable(true);
+        let report = sample_report();
+        let tsv = report.to_tsv();
+        assert!(tsv.starts_with("rsg-obs-report\tv1\n"));
+        assert!(tsv.contains("span\tphase/step\t2\t"));
+        assert!(tsv.contains("counter\ttest.report.counter\t42\n"));
+        assert!(tsv.contains("hist\ttest.report.hist\t2\t4500\t1500\t3000"));
+        assert!(tsv.ends_with("end\n"));
+        let summary = report.summary();
+        assert!(summary.contains("== spans =="));
+        assert!(summary.contains("== counters =="));
+        assert!(summary.contains("== timing histograms =="));
+        assert!(summary.contains("phase/step"));
+        crate::enable(false);
+        crate::reset();
+    }
+
+    #[test]
+    fn orphan_child_paths_get_synthesized_parents() {
+        let spans = vec![SpanStat {
+            path: "a/b/c".into(),
+            count: 3,
+            total_ns: 9,
+            min_ns: 1,
+            max_ns: 5,
+            threads: 2,
+        }];
+        let tree = build_tree(&spans);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].name, "a");
+        assert_eq!(tree[0].stat.count, 0, "synthesized parent");
+        assert_eq!(tree[0].children[0].children[0].stat.count, 3);
+    }
+
+    #[test]
+    fn empty_report_serializes() {
+        let report = RunReport::default();
+        assert!(report.is_empty());
+        assert!(Json::parse(&report.to_json()).is_ok());
+        assert!(report.summary().contains("nothing recorded"));
+        assert_eq!(report.counter("missing"), 0);
+    }
+}

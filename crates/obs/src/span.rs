@@ -1,0 +1,171 @@
+//! Lightweight span scopes.
+//!
+//! A span measures the wall-clock of a lexical scope and aggregates it
+//! under a `/`-separated path built from the enclosing spans *on the
+//! same thread* (rayon workers start fresh, so spans opened inside a
+//! parallel stage become top-level entries — by design: per-item spans
+//! inside the hot sweep loops should be counters or histograms
+//! instead). Enter/exit events carry the wall-clock offset since the
+//! process's first span and the thread's id; with
+//! [`set_trace`](crate::set_trace) they are printed to stderr as they
+//! happen.
+
+use crate::registry;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A short label for the current thread (`t1`, `t2`, … in creation
+/// order as far as the std `ThreadId` debug format exposes it).
+pub fn thread_label() -> String {
+    let raw = format!("{:?}", std::thread::current().id());
+    let digits: String = raw.chars().filter(|c| c.is_ascii_digit()).collect();
+    format!("t{digits}")
+}
+
+/// Opens a span scope. The returned guard records the elapsed
+/// wall-clock into the global span aggregate when dropped. Zero-cost
+/// (a single relaxed load, no clock read) while observability is
+/// disabled.
+#[must_use = "a span measures the scope it is bound to; drop ends it"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { inner: None };
+    }
+    let path = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(name);
+        s.join("/")
+    });
+    let start = Instant::now();
+    if crate::trace_enabled() {
+        eprintln!(
+            "[trace +{:>10.6}s {:>4}] > {}",
+            crate::epoch_elapsed_s(),
+            thread_label(),
+            path
+        );
+    }
+    SpanGuard {
+        inner: Some(ActiveSpan { path, start }),
+    }
+}
+
+struct ActiveSpan {
+    path: String,
+    start: Instant,
+}
+
+/// Guard returned by [`span`]; ends the span on drop.
+pub struct SpanGuard {
+    inner: Option<ActiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.inner.take() else {
+            return;
+        };
+        let ns = active.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        if crate::trace_enabled() {
+            eprintln!(
+                "[trace +{:>10.6}s {:>4}] < {} ({:.6}s)",
+                crate::epoch_elapsed_s(),
+                thread_label(),
+                active.path,
+                ns as f64 / 1e9
+            );
+        }
+        registry().record_span(&active.path, ns, &thread_label());
+    }
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpanStat {
+    /// Full `/`-separated path.
+    pub path: String,
+    /// Number of completed scopes.
+    pub count: u64,
+    /// Total wall-clock, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest scope, nanoseconds.
+    pub min_ns: u64,
+    /// Longest scope, nanoseconds.
+    pub max_ns: u64,
+    /// Distinct threads that completed this span.
+    pub threads: u64,
+}
+
+impl SpanStat {
+    /// Total wall-clock, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// Mean scope duration, seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64 / 1e9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let _guard = crate::test_guard();
+        crate::enable(true);
+        {
+            let _a = span("outer");
+            {
+                let _b = span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            {
+                let _b = span("inner");
+            }
+        }
+        let report = crate::RunReport::capture();
+        let outer = report.span("outer").expect("outer span");
+        let inner = report.span("outer/inner").expect("nested path");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 2);
+        assert!(inner.min_ns <= inner.max_ns);
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(outer.threads >= 1);
+        crate::enable(false);
+        crate::reset();
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _guard = crate::test_guard();
+        crate::enable(false);
+        {
+            let _a = span("ghost");
+        }
+        crate::enable(true);
+        let report = crate::RunReport::capture();
+        assert!(report.span("ghost").is_none());
+        crate::enable(false);
+        crate::reset();
+    }
+
+    #[test]
+    fn thread_label_is_compact() {
+        let l = thread_label();
+        assert!(l.starts_with('t'));
+    }
+}

@@ -1,0 +1,51 @@
+//! Hammers every obs sink from rayon tasks and checks that the
+//! aggregated totals are exact once the parallel stage has joined.
+//! Runs as its own process, so the global registry is not shared with
+//! other test binaries.
+
+use rayon::prelude::*;
+use rsg_obs::{Counter, RunReport, TimingHistogram};
+
+static HITS: Counter = Counter::new("test.conc.hits");
+static LAT: TimingHistogram = TimingHistogram::new("test.conc.lat");
+
+#[test]
+fn parallel_hammer_totals_are_exact() {
+    rsg_obs::enable(true);
+
+    const TASKS: u64 = 64;
+    const PER_TASK: u64 = 1000;
+
+    (0..TASKS).collect::<Vec<u64>>().par_iter().for_each(|&t| {
+        let _span = rsg_obs::span("hammer");
+        for i in 0..PER_TASK {
+            HITS.incr();
+            // Deterministic spread across several buckets.
+            LAT.record_ns(1 + (t * PER_TASK + i) % 10_000);
+        }
+    });
+
+    let report = RunReport::capture();
+    assert_eq!(report.counter("test.conc.hits"), TASKS * PER_TASK);
+
+    let h = report
+        .histogram("test.conc.lat")
+        .expect("histogram present");
+    assert_eq!(h.count, TASKS * PER_TASK);
+    let bucket_total: u64 = h.buckets.iter().map(|b| b.count).sum();
+    assert_eq!(bucket_total, h.count, "bucket counts sum to total");
+    assert!(h.min_ns >= 1);
+    assert!(h.max_ns < 10_001);
+
+    // Every task completed exactly one top-level span. Worker threads
+    // start with an empty span stack, so all scopes share one path.
+    let s = report.span("hammer").expect("span present");
+    assert_eq!(s.count, TASKS);
+    assert!(s.threads >= 1);
+
+    // The report serializes to valid JSON even with this much data.
+    assert!(rsg_obs::json::Json::parse(&report.to_json()).is_ok());
+
+    rsg_obs::enable(false);
+    rsg_obs::reset();
+}

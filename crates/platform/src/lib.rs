@@ -16,9 +16,9 @@
 //! * [`topology`] — Waxman / Barabási–Albert / hierarchical topology
 //!   generation with link capacity classes, plus pairwise bottleneck
 //!   bandwidth and latency.
-//! * [`platform`] — the merged [`Platform`](platform::Platform): clusters
+//! * [`platform`] — the merged [`Platform`]: clusters
 //!   mapped onto topology nodes.
-//! * [`rc`] — [`ResourceCollection`](rc::ResourceCollection): the host
+//! * [`rc`] — [`ResourceCollection`]: the host
 //!   set handed to a scheduling heuristic, with controlled clock-rate and
 //!   bandwidth heterogeneity.
 //! * [`cost`] — the Amazon-EC2-derived cost model ($0.10/hour per

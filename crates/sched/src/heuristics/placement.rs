@@ -156,7 +156,13 @@ impl PlacementIndex {
     /// (non-uniform connectivity, or too many speed classes for the
     /// candidate set to beat the naive scan).
     pub fn new(ctx: &ExecutionContext<'_>) -> Option<PlacementIndex> {
+        /// Schedules that got the candidate-set fast path.
+        static OBS_FAST: rsg_obs::Counter = rsg_obs::Counter::new("sched.placement.fast_kernel");
+        /// Schedules where the kernel declined (naive host scan).
+        static OBS_DECLINED: rsg_obs::Counter =
+            rsg_obs::Counter::new("sched.placement.naive_fallback");
         if *ctx.rc.comm_model() != CommModel::Uniform {
+            OBS_DECLINED.incr();
             return None;
         }
         let hosts = ctx.hosts();
@@ -181,8 +187,10 @@ impl PlacementIndex {
         // With ~P classes the candidate set is as big as the host set;
         // the naive scan is then cheaper than tree maintenance.
         if keys.len() * 4 > hosts {
+            OBS_DECLINED.incr();
             return None;
         }
+        OBS_FAST.incr();
         Some(PlacementIndex {
             slot_of,
             classes: members.into_iter().map(ClassTree::new).collect(),

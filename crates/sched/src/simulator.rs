@@ -22,6 +22,12 @@
 use crate::context::ExecutionContext;
 use crate::schedule::Schedule;
 use rsg_dag::TaskId;
+use rsg_obs::{Counter, TimingHistogram};
+
+/// Schedule replays performed by the simulator.
+static OBS_REPLAYS: Counter = Counter::new("sched.sim.replays");
+/// Wall-clock of each replay.
+static OBS_REPLAY_WALL: TimingHistogram = TimingHistogram::new("sched.sim.replay_wall");
 
 /// A host slowdown active from `from_s` onward: the host executes at
 /// `factor` times its nominal speed (factor 0.25 = four times slower;
@@ -109,6 +115,7 @@ pub fn replay(
     schedule: &Schedule,
     perturbation: &Perturbation,
 ) -> ReplayOutcome {
+    let t0 = rsg_obs::enabled().then(std::time::Instant::now);
     let dag = ctx.dag;
     let n = dag.len();
     assert_eq!(schedule.host.len(), n, "schedule must cover the DAG");
@@ -180,6 +187,10 @@ pub fn replay(
 
     let makespan = finish.iter().copied().fold(0.0f64, f64::max)
         - start.iter().copied().fold(f64::INFINITY, f64::min).max(0.0);
+    if let Some(t0) = t0 {
+        OBS_REPLAYS.incr();
+        OBS_REPLAY_WALL.record(t0.elapsed());
+    }
     ReplayOutcome {
         start,
         finish,

@@ -8,8 +8,33 @@ use crate::heuristics::HeuristicKind;
 use crate::schedule::Schedule;
 use crate::timemodel::{OpCount, SchedTimeModel};
 use rsg_dag::Dag;
+use rsg_obs::{Counter, TimingHistogram};
 use rsg_platform::ResourceCollection;
 use std::time::Instant;
+
+/// Schedules produced through the optimized evaluation paths.
+static OBS_SCHEDULES: Counter = Counter::new("sched.schedules_evaluated");
+/// Task placements performed (one per task per schedule).
+static OBS_PLACEMENTS: Counter = Counter::new("sched.placements");
+/// Schedules produced through the reference implementations.
+static OBS_SCHEDULES_REF: Counter = Counter::new("sched.schedules_reference");
+
+/// The per-heuristic wall-clock histogram (one `static` per
+/// [`HeuristicKind`], so the hot path stays allocation- and lock-free).
+fn heuristic_wall(kind: HeuristicKind) -> &'static TimingHistogram {
+    static MCP: TimingHistogram = TimingHistogram::new("sched.wall.mcp");
+    static GREEDY: TimingHistogram = TimingHistogram::new("sched.wall.greedy");
+    static DLS: TimingHistogram = TimingHistogram::new("sched.wall.dls");
+    static FCA: TimingHistogram = TimingHistogram::new("sched.wall.fca");
+    static FCFS: TimingHistogram = TimingHistogram::new("sched.wall.fcfs");
+    match kind {
+        HeuristicKind::Mcp => &MCP,
+        HeuristicKind::Greedy => &GREEDY,
+        HeuristicKind::Dls => &DLS,
+        HeuristicKind::Fca => &FCA,
+        HeuristicKind::Fcfs => &FCFS,
+    }
+}
 
 /// Everything measured for one (DAG, RC, heuristic) evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +114,8 @@ pub fn evaluate_reference(
     let t0 = Instant::now();
     let (sched, ops) = heuristic.run_reference(&ctx);
     let wallclock_s = t0.elapsed().as_secs_f64();
+    OBS_SCHEDULES_REF.incr();
+    heuristic_wall(heuristic).record_secs(wallclock_s);
     TurnaroundReport {
         heuristic,
         rc_size: ctx.hosts(),
@@ -108,6 +135,9 @@ fn evaluate_ctx(
     let t0 = Instant::now();
     let (sched, ops) = heuristic.run(ctx);
     let wallclock_s = t0.elapsed().as_secs_f64();
+    OBS_SCHEDULES.incr();
+    OBS_PLACEMENTS.add(ctx.dag.len() as u64);
+    heuristic_wall(heuristic).record_secs(wallclock_s);
     debug_assert!(
         sched.validate(ctx).is_ok(),
         "heuristic produced invalid schedule"

@@ -67,6 +67,9 @@ impl Matchmaker {
     /// to the `other` scope (and vice versa for the machine's own
     /// `Requirements`, when present); ties broken by ad order.
     pub fn matchmake(&self, request: &ClassAd) -> Option<&ClassAd> {
+        static OBS_MATCHES: rsg_obs::Counter = rsg_obs::Counter::new("select.classad.matchmakes");
+        let _span = rsg_obs::span("select/classad_matchmake");
+        OBS_MATCHES.incr();
         let mut best: Option<(&ClassAd, f64)> = None;
         for m in &self.machines {
             if !Self::mutual(request, m) {

@@ -52,6 +52,9 @@ impl SwordEngine {
     /// groups, or `None` when any group or inter-group constraint
     /// cannot be met.
     pub fn select(&self, platform: &Platform, req: &SwordRequest) -> Option<ResourceCollection> {
+        static OBS_SELECTS: rsg_obs::Counter = rsg_obs::Counter::new("select.sword.selects");
+        let _span = rsg_obs::span("select/sword_select");
+        OBS_SELECTS.incr();
         let mut all_picks: Vec<(ClusterId, u32)> = Vec::new();
         let mut group_anchor: Vec<(String, ClusterId)> = Vec::new();
 

@@ -48,6 +48,9 @@ impl VgesFinder {
     /// concatenated; `close` connectives constrain later aggregates to
     /// be within the latency threshold of the first picked cluster.
     pub fn find(&self, platform: &Platform, spec: &VgdlSpec) -> Option<ResourceCollection> {
+        static OBS_FINDS: rsg_obs::Counter = rsg_obs::Counter::new("select.vgdl.finds");
+        let _span = rsg_obs::span("select/vgdl_find");
+        OBS_FINDS.incr();
         let mut all_picks: Vec<(rsg_platform::ClusterId, u32)> = Vec::new();
         let mut anchor: Option<rsg_platform::ClusterId> = None;
         for (prox, agg) in &spec.aggregates {

@@ -2,15 +2,21 @@
 
 use crate::args::Args;
 use crate::CliError;
-use rsg_core::curve::{turnaround_curve, CurveConfig};
+use rsg_core::alternative::{alternatives, attempt_from_outcome, negotiate_with_retry};
+use rsg_core::curve::{turnaround_curve, CurveConfig, RcFamily};
 use rsg_core::heurmodel::{HeuristicPredictionModel, HeuristicTraining};
 use rsg_core::knee::find_knees;
 use rsg_core::observation::ObservationGrid;
 use rsg_core::specgen::{GeneratorConfig, SpecGenerator};
-use rsg_core::ThresholdedSizeModel;
+use rsg_core::{RetryPolicy, ThresholdedSizeModel};
 use rsg_dag::io::{read_dag, to_dot, write_dag};
 use rsg_dag::{Dag, DagStats, RandomDagSpec};
-use rsg_sched::HeuristicKind;
+use rsg_platform::{Platform, ResourceCollection, ResourceGenSpec, TopologySpec};
+use rsg_sched::{
+    evaluate_with_schedule, execute_with_faults, resilient_turnaround, FaultPlanSpec,
+    HeuristicKind, Perturbation, SchedTimeModel,
+};
+use rsg_select::{FlakyConfig, FlakySelector, VgesFinder};
 use std::io::{Read, Write};
 
 fn load_dag(path: &str) -> Result<Dag, CliError> {
@@ -265,6 +271,170 @@ pub fn spec(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
             "{}",
             rsg_select::sword::write_sword(&SpecGenerator::to_sword(&spec))
         )?;
+    }
+    // `--selector-flaky SEED:RATE` (or plain `--negotiate`) binds the
+    // spec against a vgES finder, retrying and degrading on failure.
+    let flaky_cfg = match args.opt("selector-flaky") {
+        Some(v) => {
+            let (seed, rate) = parse_seed_rate("selector-flaky", v)?;
+            Some(FlakyConfig::from_seed_rate(seed, rate))
+        }
+        None if args.flag("negotiate") => Some(FlakyConfig::default()),
+        None => None,
+    };
+    if let Some(cfg) = flaky_cfg {
+        negotiate_spec(&spec, &dag, cfg, out)?;
+    }
+    Ok(())
+}
+
+/// Parses a `SEED:RATE` flag value (e.g. `--faults 7:0.3`).
+fn parse_seed_rate(what: &str, v: &str) -> Result<(u64, f64), CliError> {
+    let bad = || CliError::Usage(format!("--{what} wants SEED:RATE (e.g. 7:0.3), got '{v}'"));
+    let (seed, rate) = v.split_once(':').ok_or_else(bad)?;
+    let seed: u64 = seed.parse().map_err(|_| bad())?;
+    let rate: f64 = rate.parse().map_err(|_| bad())?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(CliError::Usage(format!(
+            "--{what} rate must be in [0, 1], got {rate}"
+        )));
+    }
+    Ok((seed, rate))
+}
+
+/// `rsg chaos FILE [--hosts N] [--clock MHZ] [--het H] [--heuristic H]
+/// [--faults SEED:RATE] [--outages RATE] [--joins K]`
+///
+/// Schedules the DAG, draws a seeded fault plan (host crashes, outage
+/// windows, late joins), executes it through the rescue rescheduler and
+/// reports the resilient turnaround next to the fault-free baseline.
+pub fn chaos(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.require_positional("DAG file")?;
+    let dag = load_dag(&path)?;
+    let hosts = args.int("hosts", 16)? as usize;
+    if hosts == 0 {
+        return Err(CliError::Usage("--hosts must be at least 1".into()));
+    }
+    let heuristic = parse_heuristic(args.opt("heuristic").unwrap_or("MCP"))?;
+    let family = RcFamily {
+        clock_mhz: args.num("clock", rsg_dag::REFERENCE_CLOCK_MHZ)?,
+        heterogeneity: args.num("het", 0.0)?,
+        bw_heterogeneity: 0.0,
+        seed: 42,
+    };
+    let rc: ResourceCollection = family.build(hosts);
+    let (seed, crash_rate) = match args.opt("faults") {
+        Some(v) => parse_seed_rate("faults", v)?,
+        None => (0, 0.0),
+    };
+    let outage_rate = args.num("outages", 0.0)?;
+    let joins = args.int("joins", 0)? as usize;
+
+    let model = SchedTimeModel::default();
+    let (report, schedule) = evaluate_with_schedule(&dag, &rc, heuristic, &model);
+    let plan = FaultPlanSpec {
+        seed,
+        crash_fraction: crash_rate,
+        outage_fraction: outage_rate,
+        joins,
+        horizon_s: (report.makespan_s * 0.9).max(1.0),
+        ..Default::default()
+    }
+    .generate(rc.len());
+    let outcome = execute_with_faults(&dag, &rc, &schedule, &plan, &Perturbation::none())
+        .map_err(|e| CliError::Failed(format!("chaos execution failed: {e}")))?;
+    let res = resilient_turnaround(&report, &outcome, &model);
+
+    writeln!(
+        out,
+        "schedule   {} on {} hosts, makespan {:.2} s",
+        heuristic, hosts, report.makespan_s
+    )?;
+    writeln!(
+        out,
+        "faults     {} crashes, {} outages, {} joins (seed {seed}, rate {crash_rate})",
+        res.stats.crashes, res.stats.outages, res.stats.joins
+    )?;
+    writeln!(
+        out,
+        "rescue     {} in-flight tasks lost, {} tasks re-placed, {:.2} s of work discarded",
+        res.stats.tasks_lost, res.stats.tasks_rescued, res.work_lost_s
+    )?;
+    writeln!(
+        out,
+        "turnaround baseline {:.2} s -> resilient {:.2} s (stretch {:.3}x, recovery {:.2} s)",
+        report.turnaround_s(),
+        res.resilient_turnaround_s(),
+        res.resilient_turnaround_s() / report.turnaround_s(),
+        res.recovery_overhead_s()
+    )?;
+    Ok(())
+}
+
+/// The negotiation tail of `rsg spec`: binds the emitted spec against a
+/// vgES finder over a generated platform, optionally through the flaky
+/// injector, descending the degradation ladder on failure.
+fn negotiate_spec(
+    spec: &rsg_core::ResourceSpec,
+    dag: &Dag,
+    flaky_cfg: FlakyConfig,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let platform = Platform::generate(
+        ResourceGenSpec {
+            clusters: 40,
+            year: 2006,
+            target_hosts: Some(1200),
+        },
+        TopologySpec::default(),
+        11,
+    );
+    let tiers: Vec<f64> = [3000.0, 2500.0, 2000.0]
+        .into_iter()
+        .filter(|&t| t < spec.clock_mhz.1)
+        .collect();
+    let ladder = alternatives(
+        spec,
+        std::slice::from_ref(dag),
+        &tiers,
+        &CurveConfig::default(),
+    );
+    let finder = VgesFinder::default();
+    let mut flaky =
+        FlakySelector::new(flaky_cfg).map_err(|e| CliError::Usage(format!("flaky config: {e}")))?;
+    writeln!(out, "\n--- negotiation ({} rungs) ---", ladder.len())?;
+    let result = negotiate_with_retry(&ladder, &RetryPolicy::default(), |s| {
+        let vg = SpecGenerator::to_vgdl(s);
+        attempt_from_outcome(flaky.select(|| finder.find(&platform, &vg)), s.min_size)
+    });
+    match result {
+        Ok(n) => {
+            let alt = &ladder[n.rung];
+            writeln!(
+                out,
+                "bound rung {} ({:?}) with {} hosts after {} attempts \
+                 ({} transient, {:.1} s backoff, {:.1} s elapsed)",
+                n.rung,
+                alt.degradation,
+                n.value.len(),
+                n.stats.attempts,
+                n.stats.transient_failures,
+                n.stats.backoff_total_s,
+                n.stats.elapsed_s
+            )?;
+        }
+        Err(u) => {
+            writeln!(
+                out,
+                "unfulfillable after {} attempts over {} rungs \
+                 ({} transient, {} rejected, deadline hit: {})",
+                u.stats.attempts,
+                u.stats.rungs_visited,
+                u.stats.transient_failures,
+                u.stats.permanent_rejections,
+                u.deadline_hit
+            )?;
+        }
     }
     Ok(())
 }

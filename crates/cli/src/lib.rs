@@ -72,6 +72,9 @@ USAGE:
               [--lang vgdl|classad|sword|all]
               [--clock MHZ] [--het H] [--heuristic NAME]
               [--heuristic-model FILE]
+              [--negotiate] [--selector-flaky SEED:RATE]
+  rsg chaos   FILE [--hosts N] [--clock MHZ] [--het H] [--heuristic NAME]
+              [--faults SEED:RATE] [--outages RATE] [--joins K]
   rsg dot     FILE [--out FILE]
 
 Global options (any command):
@@ -84,8 +87,9 @@ Global options (any command):
 FILE '-' reads the DAG from stdin.
 ";
 
-/// Boolean (value-less) global flags, shared by every command.
-const GLOBAL_FLAGS: &[&str] = &["trace"];
+/// Boolean (value-less) flags: `--trace` is global, `--negotiate` is
+/// read by `spec` (flag names must be known before parsing).
+const GLOBAL_FLAGS: &[&str] = &["trace", "negotiate"];
 
 /// Dispatches a full argument vector (without the program name).
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -111,6 +115,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "train-heuristic" => commands::train_heuristic(&mut args, out),
         "predict" => commands::predict(&mut args, out),
         "spec" => commands::spec(&mut args, out),
+        "chaos" => commands::chaos(&mut args, out),
         "dot" => commands::dot(&mut args, out),
         "help" | "--help" | "-h" => {
             out.write_all(USAGE.as_bytes())?;
@@ -253,6 +258,106 @@ mod tests {
             "vgdl",
         ]);
         assert!(s.contains("FCFS"), "the persisted winner must be used: {s}");
+    }
+
+    #[test]
+    fn chaos_reports_faults_and_stretch() {
+        let dir = std::env::temp_dir().join("rsg-cli-test-chaos");
+        let _ = std::fs::create_dir_all(&dir);
+        let file = dir.join("wf.dag");
+        let path = file.to_str().unwrap();
+        run_ok(&[
+            "gen", "random", "--size", "80", "--ccr", "0.3", "--seed", "3", "--out", path,
+        ]);
+        // Zero faults: stretch is exactly 1, nothing lost or rescued.
+        let calm = run_ok(&["chaos", path, "--hosts", "8"]);
+        assert!(calm.contains("stretch 1.000x"), "{calm}");
+        assert!(calm.contains("0 crashes, 0 outages, 0 joins"), "{calm}");
+        // Heavy churn: the run still completes and reports recovery.
+        let stormy = run_ok(&[
+            "chaos",
+            path,
+            "--hosts",
+            "8",
+            "--faults",
+            "7:0.4",
+            "--outages",
+            "0.25",
+            "--joins",
+            "1",
+            "--het",
+            "0.3",
+        ]);
+        assert!(stormy.contains("resilient"), "{stormy}");
+        assert!(stormy.contains("1 joins"), "{stormy}");
+        assert!(matches!(
+            run_err(&["chaos", path, "--faults", "nonsense"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["chaos", path, "--faults", "7:1.5"]),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn spec_negotiates_against_flaky_selector() {
+        let dir = std::env::temp_dir().join("rsg-cli-test-neg");
+        let _ = std::fs::create_dir_all(&dir);
+        let model = dir.join("model.tsv");
+        let dagf = dir.join("wf.dag");
+        let (model_p, dag_p) = (model.to_str().unwrap(), dagf.to_str().unwrap());
+        run_ok(&["train", "--grid", "tiny", "--out", model_p]);
+        run_ok(&[
+            "gen", "random", "--size", "100", "--ccr", "0.2", "--out", dag_p,
+        ]);
+        // A reachable clock tier and a healthy selector: binds rung 0.
+        let s = run_ok(&[
+            "spec",
+            "--model",
+            model_p,
+            dag_p,
+            "--lang",
+            "vgdl",
+            "--clock",
+            "1400",
+            "--het",
+            "0.5",
+            "--negotiate",
+        ]);
+        assert!(s.contains("negotiation"), "{s}");
+        assert!(s.contains("bound rung"), "{s}");
+        // Same spec through a deterministic flaky selector still ends
+        // with a verdict (bound or unfulfillable — never a hang).
+        let f = run_ok(&[
+            "spec",
+            "--model",
+            model_p,
+            dag_p,
+            "--lang",
+            "vgdl",
+            "--clock",
+            "1400",
+            "--het",
+            "0.5",
+            "--selector-flaky",
+            "9:0.6",
+        ]);
+        assert!(
+            f.contains("bound rung") || f.contains("unfulfillable"),
+            "{f}"
+        );
+        assert!(matches!(
+            run_err(&[
+                "spec",
+                "--model",
+                model_p,
+                dag_p,
+                "--selector-flaky",
+                "9:2.0"
+            ]),
+            CliError::Usage(_)
+        ));
     }
 
     #[test]

@@ -7,10 +7,25 @@
 //! wider heterogeneity tolerance, (3) the smaller RC size of a more
 //! permissive knee threshold. A negotiation loop walks the ladder
 //! against an actual selector until something binds.
+//!
+//! Two negotiators are provided. [`negotiate`] is the simple walk: one
+//! ask per rung, first bind wins. [`negotiate_with_retry`] is the
+//! robust variant for flaky selectors (see `rsg_select::flaky`): it
+//! distinguishes *transient* failures (injected rejections, timeouts —
+//! retried on the same rung with capped exponential backoff) from
+//! *permanent* ones (the platform genuinely lacks the resources —
+//! descend immediately, re-asking is futile), enforces a per-attempt
+//! deadline and a total negotiation deadline, and terminates in an
+//! explicit [`Unfulfillable`] outcome instead of looping forever. All
+//! time is simulated: latencies and backoffs accumulate on a virtual
+//! clock, so experiments are fast and deterministic.
 
 use crate::curve::{mean_turnaround, CurveConfig, RcFamily};
 use crate::specgen::ResourceSpec;
 use rsg_dag::Dag;
+use rsg_obs::{Counter, TimingHistogram};
+use rsg_platform::ResourceCollection;
+use rsg_select::flaky::SelectionOutcome;
 
 /// How a spec was degraded relative to the original.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,16 +193,288 @@ fn het_of(spec: &ResourceSpec) -> f64 {
 
 /// Walks the alternative ladder against a selector callback until one
 /// binds; returns the bound index and whatever the selector produced.
+///
+/// Each rung is asked exactly once (try-once-then-descend), so a
+/// selector that always rejects terminates after `ladder.len()` asks.
 pub fn negotiate<T>(
     ladder: &[Alternative],
     mut try_bind: impl FnMut(&ResourceSpec) -> Option<T>,
 ) -> Option<(usize, T)> {
-    for (i, alt) in ladder.iter().enumerate() {
-        if let Some(bound) = try_bind(&alt.spec) {
-            return Some((i, bound));
+    let policy = RetryPolicy {
+        max_attempts_per_rung: 1,
+        ..RetryPolicy::default()
+    };
+    negotiate_with_retry(ladder, &policy, |spec| match try_bind(spec) {
+        Some(v) => BindAttempt::Bound {
+            value: v,
+            latency_s: 0.0,
+        },
+        None => BindAttempt::Rejected { latency_s: 0.0 },
+    })
+    .ok()
+    .map(|n| (n.rung, n.value))
+}
+
+/// Negotiation attempts, by the rung's degradation kind.
+fn attempts_counter(d: Degradation) -> &'static Counter {
+    static NONE: Counter = Counter::new("core.negotiate.attempts.original");
+    static CLOCK: Counter = Counter::new("core.negotiate.attempts.slower_clock");
+    static HET: Counter = Counter::new("core.negotiate.attempts.wider_het");
+    static SIZE: Counter = Counter::new("core.negotiate.attempts.smaller_size");
+    match d {
+        Degradation::None => &NONE,
+        Degradation::SlowerClock => &CLOCK,
+        Degradation::WiderHeterogeneity => &HET,
+        Degradation::SmallerSize => &SIZE,
+    }
+}
+
+/// Negotiations that bound a spec.
+static OBS_BOUND: Counter = Counter::new("core.negotiate.bound");
+/// Negotiations that terminated unfulfillable.
+static OBS_UNFULFILLABLE: Counter = Counter::new("core.negotiate.unfulfillable");
+/// Simulated backoff waits.
+static OBS_BACKOFF: TimingHistogram = TimingHistogram::new("core.negotiate.backoff");
+
+/// Retry/backoff/deadline knobs for [`negotiate_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Asks per rung before descending on transient failures (permanent
+    /// rejections descend after one ask regardless). At least 1.
+    pub max_attempts_per_rung: u32,
+    /// First backoff wait, seconds; attempt `k` waits
+    /// `base · 2^(k−1)`, capped.
+    pub backoff_base_s: f64,
+    /// Upper bound on a single backoff wait, seconds.
+    pub backoff_cap_s: f64,
+    /// Per-attempt response deadline: a reply slower than this is
+    /// treated as a transient timeout (even a successful bind — the
+    /// client already gave up), seconds.
+    pub attempt_deadline_s: f64,
+    /// Total simulated-time budget for the whole negotiation, seconds.
+    pub total_deadline_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts_per_rung: 3,
+            backoff_base_s: 0.5,
+            backoff_cap_s: 8.0,
+            attempt_deadline_s: 30.0,
+            total_deadline_s: 300.0,
         }
     }
-    None
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based count of failures
+    /// so far): capped exponential.
+    fn backoff_s(&self, attempt: u32) -> f64 {
+        let exp = self.backoff_base_s * 2f64.powi(attempt.saturating_sub(1) as i32);
+        exp.min(self.backoff_cap_s)
+    }
+}
+
+/// One selector response, as the negotiator sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BindAttempt<T> {
+    /// The spec was bound.
+    Bound {
+        /// What the selector produced.
+        value: T,
+        /// Simulated response latency, seconds.
+        latency_s: f64,
+    },
+    /// A transient failure (injected rejection, timeout, overload):
+    /// retrying the *same* spec may succeed.
+    Transient {
+        /// Seconds burned on the failed ask.
+        latency_s: f64,
+    },
+    /// A permanent rejection (the platform genuinely lacks matching
+    /// resources): descend the ladder, re-asking is futile.
+    Rejected {
+        /// Seconds burned on the failed ask.
+        latency_s: f64,
+    },
+}
+
+/// Converts a flaky-selector outcome into a negotiator attempt:
+/// full fulfillment binds; partial fulfillment binds iff at least
+/// `min_size` hosts were delivered; injected rejections and timeouts
+/// are transient; an unmatched platform is a permanent rejection.
+pub fn attempt_from_outcome(
+    outcome: SelectionOutcome,
+    min_size: u32,
+) -> BindAttempt<ResourceCollection> {
+    match outcome {
+        SelectionOutcome::Fulfilled { rc, latency_s } => BindAttempt::Bound {
+            value: rc,
+            latency_s,
+        },
+        SelectionOutcome::Partial { rc, latency_s, .. } => {
+            if rc.len() >= min_size as usize {
+                BindAttempt::Bound {
+                    value: rc,
+                    latency_s,
+                }
+            } else {
+                BindAttempt::Transient { latency_s }
+            }
+        }
+        SelectionOutcome::Rejected { latency_s } | SelectionOutcome::TimedOut { latency_s } => {
+            BindAttempt::Transient { latency_s }
+        }
+        SelectionOutcome::Unmatched { latency_s } => BindAttempt::Rejected { latency_s },
+    }
+}
+
+/// What a negotiation run did, whichever way it ended.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NegotiationStats {
+    /// Selector asks issued.
+    pub attempts: u64,
+    /// Transient failures seen (including over-deadline replies).
+    pub transient_failures: u64,
+    /// Permanent rejections seen.
+    pub permanent_rejections: u64,
+    /// Ladder rungs visited.
+    pub rungs_visited: usize,
+    /// Simulated seconds spent waiting in backoff.
+    pub backoff_total_s: f64,
+    /// Total simulated negotiation time: latencies + backoffs, seconds.
+    pub elapsed_s: f64,
+}
+
+/// A successful negotiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Negotiated<T> {
+    /// Index of the rung that bound.
+    pub rung: usize,
+    /// What the selector produced.
+    pub value: T,
+    /// How much negotiating it took.
+    pub stats: NegotiationStats,
+}
+
+/// Terminal failure: the ladder is exhausted or the deadline is spent.
+/// No further negotiation can succeed under this policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Unfulfillable {
+    /// How much negotiating was done before giving up.
+    pub stats: NegotiationStats,
+    /// True when the total deadline, not ladder exhaustion, ended the
+    /// negotiation.
+    pub deadline_hit: bool,
+}
+
+impl std::fmt::Display for Unfulfillable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unfulfillable after {} attempts over {} rungs ({:.1}s simulated{})",
+            self.stats.attempts,
+            self.stats.rungs_visited,
+            self.stats.elapsed_s,
+            if self.deadline_hit {
+                ", total deadline hit"
+            } else {
+                ", ladder exhausted"
+            }
+        )
+    }
+}
+
+impl std::error::Error for Unfulfillable {}
+
+/// Walks the ladder against a fallible selector with bounded retries.
+///
+/// Per rung: up to [`RetryPolicy::max_attempts_per_rung`] asks, with
+/// capped exponential backoff between transient failures; a permanent
+/// [`BindAttempt::Rejected`] descends immediately. A reply slower than
+/// the per-attempt deadline counts as transient (latency clamped to the
+/// deadline — the client stopped waiting). The negotiation is bounded:
+/// at most `rungs × max_attempts` asks, and the simulated clock
+/// (latencies + backoffs) must stay under
+/// [`RetryPolicy::total_deadline_s`]. Always terminates with either a
+/// [`Negotiated`] bind or an explicit [`Unfulfillable`].
+pub fn negotiate_with_retry<T>(
+    ladder: &[Alternative],
+    policy: &RetryPolicy,
+    mut try_bind: impl FnMut(&ResourceSpec) -> BindAttempt<T>,
+) -> Result<Negotiated<T>, Unfulfillable> {
+    let max_attempts = policy.max_attempts_per_rung.max(1);
+    let mut stats = NegotiationStats::default();
+    let mut clock_s = 0.0f64;
+
+    for (rung, alt) in ladder.iter().enumerate() {
+        stats.rungs_visited = rung + 1;
+        let mut failures_on_rung = 0u32;
+        for attempt in 1..=max_attempts {
+            if clock_s >= policy.total_deadline_s {
+                stats.elapsed_s = clock_s;
+                OBS_UNFULFILLABLE.incr();
+                return Err(Unfulfillable {
+                    stats,
+                    deadline_hit: true,
+                });
+            }
+            stats.attempts += 1;
+            attempts_counter(alt.degradation).incr();
+            let reply = try_bind(&alt.spec);
+            let (outcome, latency_s) = match reply {
+                BindAttempt::Bound { value, latency_s } => {
+                    if latency_s <= policy.attempt_deadline_s {
+                        clock_s += latency_s;
+                        stats.elapsed_s = clock_s;
+                        OBS_BOUND.incr();
+                        return Ok(Negotiated { rung, value, stats });
+                    }
+                    // The bind arrived after the client gave up.
+                    (BindKind::Transient, policy.attempt_deadline_s)
+                }
+                BindAttempt::Transient { latency_s } => (
+                    BindKind::Transient,
+                    latency_s.min(policy.attempt_deadline_s),
+                ),
+                BindAttempt::Rejected { latency_s } => {
+                    (BindKind::Rejected, latency_s.min(policy.attempt_deadline_s))
+                }
+            };
+            clock_s += latency_s;
+            match outcome {
+                BindKind::Rejected => {
+                    stats.permanent_rejections += 1;
+                    break; // descend: re-asking this rung is futile
+                }
+                BindKind::Transient => {
+                    stats.transient_failures += 1;
+                    failures_on_rung += 1;
+                    if attempt < max_attempts {
+                        let wait = policy.backoff_s(failures_on_rung);
+                        clock_s += wait;
+                        stats.backoff_total_s += wait;
+                        if rsg_obs::enabled() {
+                            OBS_BACKOFF.record_secs(wait);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    stats.elapsed_s = clock_s;
+    OBS_UNFULFILLABLE.incr();
+    Err(Unfulfillable {
+        stats,
+        deadline_hit: false,
+    })
+}
+
+/// Internal failure classification after deadline clamping.
+enum BindKind {
+    Transient,
+    Rejected,
 }
 
 #[cfg(test)]
@@ -265,6 +552,206 @@ mod tests {
         assert!(size >= 1);
         // Selector that always fails.
         assert!(negotiate(&alts, |_| Option::<u32>::None).is_none());
+    }
+
+    #[test]
+    fn always_reject_selector_terminates_unfulfillable() {
+        let ds = dags();
+        let alts = alternatives(
+            &spec(10, 3500.0),
+            &ds,
+            &[3500.0, 3000.0],
+            &CurveConfig::default(),
+        );
+        // Permanent rejections: exactly one ask per rung, then descend.
+        let mut asks = 0u64;
+        let err = negotiate_with_retry(&alts, &RetryPolicy::default(), |_| {
+            asks += 1;
+            BindAttempt::<u32>::Rejected { latency_s: 0.1 }
+        })
+        .unwrap_err();
+        assert_eq!(asks, alts.len() as u64, "permanent rejects must not re-ask");
+        assert_eq!(err.stats.attempts, asks);
+        assert_eq!(err.stats.permanent_rejections, asks);
+        assert_eq!(err.stats.rungs_visited, alts.len());
+        assert!(!err.deadline_hit);
+
+        // Transient failures: bounded by max_attempts_per_rung per rung.
+        let policy = RetryPolicy {
+            max_attempts_per_rung: 3,
+            ..Default::default()
+        };
+        let mut asks = 0u64;
+        let err = negotiate_with_retry(&alts, &policy, |_| {
+            asks += 1;
+            BindAttempt::<u32>::Transient { latency_s: 0.1 }
+        })
+        .unwrap_err();
+        assert_eq!(asks, 3 * alts.len() as u64);
+        assert_eq!(err.stats.transient_failures, asks);
+        assert!(err.stats.backoff_total_s > 0.0);
+        assert!(!err.deadline_hit);
+    }
+
+    #[test]
+    fn transient_then_bind_retries_same_rung_with_backoff() {
+        let ds = dags();
+        let alts = alternatives(
+            &spec(10, 3500.0),
+            &ds,
+            &[3500.0, 3000.0],
+            &CurveConfig::default(),
+        );
+        let mut calls = 0u32;
+        let n = negotiate_with_retry(&alts, &RetryPolicy::default(), |s| {
+            calls += 1;
+            if calls < 3 {
+                BindAttempt::Transient { latency_s: 1.0 }
+            } else {
+                BindAttempt::Bound {
+                    value: s.rc_size,
+                    latency_s: 1.0,
+                }
+            }
+        })
+        .unwrap();
+        // Two transient failures then a bind — all on the original rung.
+        assert_eq!(n.rung, 0);
+        assert_eq!(n.stats.attempts, 3);
+        assert_eq!(n.stats.transient_failures, 2);
+        // Backoff: 0.5 + 1.0; elapsed: 3 x 1.0s latency + 1.5s backoff.
+        assert!((n.stats.backoff_total_s - 1.5).abs() < 1e-12);
+        assert!((n.stats.elapsed_s - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RetryPolicy {
+            backoff_base_s: 0.5,
+            backoff_cap_s: 4.0,
+            ..Default::default()
+        };
+        assert_eq!(p.backoff_s(1), 0.5);
+        assert_eq!(p.backoff_s(2), 1.0);
+        assert_eq!(p.backoff_s(3), 2.0);
+        assert_eq!(p.backoff_s(4), 4.0);
+        assert_eq!(p.backoff_s(10), 4.0, "cap must hold");
+    }
+
+    #[test]
+    fn slow_bind_counts_as_transient_timeout() {
+        let ds = dags();
+        let alts = alternatives(&spec(10, 3500.0), &ds, &[3500.0], &CurveConfig::default());
+        let policy = RetryPolicy {
+            max_attempts_per_rung: 1,
+            attempt_deadline_s: 5.0,
+            ..Default::default()
+        };
+        // Every reply "succeeds" but takes 60s > 5s deadline: the
+        // client never sees a bind.
+        let err = negotiate_with_retry(&alts, &policy, |s| BindAttempt::Bound {
+            value: s.rc_size,
+            latency_s: 60.0,
+        })
+        .unwrap_err();
+        assert_eq!(err.stats.transient_failures, err.stats.attempts);
+        // Each ask burned only the deadline, not the full latency.
+        assert!((err.stats.elapsed_s - 5.0 * err.stats.attempts as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_deadline_terminates_negotiation() {
+        let ds = dags();
+        let alts = alternatives(
+            &spec(10, 3500.0),
+            &ds,
+            &[3500.0, 3000.0],
+            &CurveConfig::default(),
+        );
+        let policy = RetryPolicy {
+            max_attempts_per_rung: 100,
+            backoff_base_s: 10.0,
+            backoff_cap_s: 10.0,
+            total_deadline_s: 35.0,
+            ..Default::default()
+        };
+        let err = negotiate_with_retry(&alts, &policy, |_| BindAttempt::<u32>::Transient {
+            latency_s: 1.0,
+        })
+        .unwrap_err();
+        assert!(err.deadline_hit);
+        // 1s ask + 10s backoff per attempt: the 35s budget allows ~4
+        // asks, far below 100 per rung.
+        assert!(err.stats.attempts <= 5, "attempts {}", err.stats.attempts);
+    }
+
+    #[test]
+    fn attempt_mapping_from_selector_outcomes() {
+        let rc = |n: usize| rsg_platform::ResourceCollection::homogeneous(n, 1500.0);
+        assert!(matches!(
+            attempt_from_outcome(
+                SelectionOutcome::Fulfilled {
+                    rc: rc(10),
+                    latency_s: 0.5
+                },
+                5
+            ),
+            BindAttempt::Bound { .. }
+        ));
+        // Partial above the floor binds; below it is transient.
+        assert!(matches!(
+            attempt_from_outcome(
+                SelectionOutcome::Partial {
+                    rc: rc(6),
+                    found: 10,
+                    latency_s: 0.5
+                },
+                5
+            ),
+            BindAttempt::Bound { .. }
+        ));
+        assert!(matches!(
+            attempt_from_outcome(
+                SelectionOutcome::Partial {
+                    rc: rc(3),
+                    found: 10,
+                    latency_s: 0.5
+                },
+                5
+            ),
+            BindAttempt::Transient { .. }
+        ));
+        assert!(matches!(
+            attempt_from_outcome(SelectionOutcome::Rejected { latency_s: 0.5 }, 5),
+            BindAttempt::Transient { .. }
+        ));
+        assert!(matches!(
+            attempt_from_outcome(SelectionOutcome::TimedOut { latency_s: 60.0 }, 5),
+            BindAttempt::Transient { .. }
+        ));
+        assert!(matches!(
+            attempt_from_outcome(SelectionOutcome::Unmatched { latency_s: 0.5 }, 5),
+            BindAttempt::Rejected { .. }
+        ));
+    }
+
+    #[test]
+    fn legacy_negotiate_still_walks_once_per_rung() {
+        let ds = dags();
+        let alts = alternatives(
+            &spec(10, 3500.0),
+            &ds,
+            &[3500.0, 3000.0],
+            &CurveConfig::default(),
+        );
+        let mut asks = 0usize;
+        let result = negotiate(&alts, |s| {
+            asks += 1;
+            (s.clock_mhz.1 < 3500.0).then_some(s.rc_size)
+        });
+        let (idx, _) = result.unwrap();
+        assert!(idx > 0);
+        assert_eq!(asks, idx + 1, "one ask per rung up to the bind");
     }
 
     #[test]

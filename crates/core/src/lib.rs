@@ -55,6 +55,10 @@ pub mod specgen;
 pub mod utility;
 pub mod validate;
 
+pub use alternative::{
+    attempt_from_outcome, negotiate, negotiate_with_retry, Alternative, BindAttempt, Degradation,
+    Negotiated, NegotiationStats, RetryPolicy, Unfulfillable,
+};
 pub use curve::{turnaround_curve, Curve, CurveConfig, CurveEvaluator, RcFamily};
 pub use heurmodel::HeuristicPredictionModel;
 pub use knee::find_knee;

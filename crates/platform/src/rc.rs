@@ -236,6 +236,52 @@ impl ResourceCollection {
         &self.comm
     }
 
+    /// Extends the RC with late-joining hosts at the given clocks
+    /// (host churn: machines appearing mid-run, Section II.4.1's vgMON
+    /// scenario). Existing hosts keep their indices; joined hosts are
+    /// appended in order and communicate at the reference bandwidth —
+    /// factor 1.0 under [`CommModel::PerHostFactor`], and a fresh
+    /// singleton cluster with unit rows under [`CommModel::Clustered`].
+    pub fn extended(&self, extra_clocks_mhz: &[f64]) -> ResourceCollection {
+        if extra_clocks_mhz.is_empty() {
+            return self.clone();
+        }
+        let mut clocks = self.clocks_mhz.clone();
+        clocks.extend_from_slice(extra_clocks_mhz);
+        let m = extra_clocks_mhz.len();
+        let comm = match &self.comm {
+            CommModel::Uniform => CommModel::Uniform,
+            CommModel::PerHostFactor(f) => {
+                let mut f = f.clone();
+                f.extend(std::iter::repeat_n(1.0, m));
+                CommModel::PerHostFactor(f)
+            }
+            CommModel::Clustered {
+                host_cluster,
+                k,
+                factors,
+            } => {
+                // One new cluster holds every joined host; its rows and
+                // columns in the factor matrix are all 1.0.
+                let nk = k + 1;
+                let mut nf = vec![1.0f64; nk * nk];
+                for i in 0..*k {
+                    for j in 0..*k {
+                        nf[i * nk + j] = factors[i * k + j];
+                    }
+                }
+                let mut hc = host_cluster.clone();
+                hc.extend(std::iter::repeat_n(*k as u32, m));
+                CommModel::Clustered {
+                    host_cluster: hc,
+                    k: nk,
+                    factors: nf,
+                }
+            }
+        };
+        ResourceCollection::new(clocks, comm)
+    }
+
     /// The first `k` hosts as a new RC (used to sweep RC sizes over one
     /// consistent host family). `k` is clamped to the RC size.
     pub fn prefix(&self, k: usize) -> ResourceCollection {
@@ -261,6 +307,47 @@ impl ResourceCollection {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn extended_appends_hosts_preserving_prefix() {
+        let base = ResourceCollection::heterogeneous(6, 3000.0, 0.3, 5)
+            .with_bandwidth_heterogeneity(0.4, 9);
+        let ext = base.extended(&[2000.0, 2500.0]);
+        assert_eq!(ext.len(), 8);
+        for h in 0..6 {
+            assert_eq!(ext.clock_mhz(h), base.clock_mhz(h));
+        }
+        assert_eq!(ext.clock_mhz(6), 2000.0);
+        assert_eq!(ext.clock_mhz(7), 2500.0);
+        // Prefix pairs keep their factors; joined hosts talk at the
+        // reference bandwidth (their per-host factor is 1, and factors
+        // combine by max of endpoints).
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(ext.comm_factor(i, j), base.comm_factor(i, j));
+            }
+        }
+        assert_eq!(ext.comm_factor(6, 7), 1.0);
+        // Empty extension is identity.
+        assert_eq!(base.extended(&[]), base);
+    }
+
+    #[test]
+    fn extended_clustered_adds_unit_cluster() {
+        let rc = ResourceCollection::new(
+            vec![1000.0, 2000.0],
+            CommModel::Clustered {
+                host_cluster: vec![0, 1],
+                k: 2,
+                factors: vec![1.0, 3.0, 3.0, 1.0],
+            },
+        );
+        let ext = rc.extended(&[1500.0]);
+        assert_eq!(ext.comm_factor(0, 1), 3.0);
+        assert_eq!(ext.comm_factor(0, 2), 1.0);
+        assert_eq!(ext.comm_factor(1, 2), 1.0);
+        assert_eq!(ext.comm_factor(2, 2), 0.0);
+    }
 
     #[test]
     fn homogeneous_basics() {

@@ -1,0 +1,691 @@
+//! Fault-injected execution with rescue rescheduling.
+//!
+//! [`execute_with_faults`] replays a static schedule through the same
+//! event-driven engine as [`crate::simulator::replay`], but interleaves
+//! a [`FaultPlan`]: hosts crash permanently,
+//! drop out for a window, or join mid-run. When a host goes down, the
+//! task it was executing is lost (rerun elsewhere) and every not-yet-
+//! started task queued on it is re-placed across the surviving hosts by
+//! a **rescue rescheduler** — an MCP-style re-ranking that picks the
+//! minimum-estimated-finish survivor per orphan and re-inserts rescued
+//! tasks into the per-host queues *in original-schedule priority
+//! order*, which keeps the globally next-to-run task at a queue head
+//! and guarantees forward progress (no rescue deadlock).
+//!
+//! Model assumptions, stated explicitly:
+//!
+//! * **Checkpointed outputs** — a finished task's outputs survive its
+//!   host's failure and transfer to consumers at the normal edge cost.
+//!   Only in-flight work is lost.
+//! * **Serial hosts** — at most one task is in flight per host, so a
+//!   failure loses at most one running task (plus its queue).
+//! * **Fail-stop** — failures are clean: no partial or corrupt results.
+//!
+//! With an empty fault plan the engine is **bit-identical** to
+//! [`replay`](crate::simulator::replay): same candidate scan, same
+//! tie-breaks, same floating-point expressions (enforced by the
+//! differential tests in `tests/chaos_invariants.rs`).
+
+use crate::context::ExecutionContext;
+use crate::fault::{FaultError, FaultEvent, FaultPlan};
+use crate::schedule::Schedule;
+use crate::simulator::{perturbed_duration, Perturbation, PerturbationError};
+use rsg_dag::{Dag, TaskId};
+use rsg_obs::{Counter, TimingHistogram};
+use rsg_platform::ResourceCollection;
+use std::fmt;
+
+/// Chaos executions performed.
+static OBS_RUNS: Counter = Counter::new("sched.chaos.runs");
+/// Host crashes processed.
+static OBS_CRASHES: Counter = Counter::new("sched.chaos.crashes");
+/// Transient outages processed.
+static OBS_OUTAGES: Counter = Counter::new("sched.chaos.outages");
+/// Host joins processed.
+static OBS_JOINS: Counter = Counter::new("sched.chaos.joins");
+/// In-flight tasks lost to failures.
+static OBS_TASKS_LOST: Counter = Counter::new("sched.chaos.tasks_lost");
+/// Rescue placements performed.
+static OBS_RESCUED: Counter = Counter::new("sched.chaos.tasks_rescued");
+/// Wall-clock of each chaos execution.
+static OBS_WALL: TimingHistogram = TimingHistogram::new("sched.chaos.wall");
+
+/// Aggregate fault/recovery statistics of one chaos execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosStats {
+    /// Permanent crashes processed.
+    pub crashes: u64,
+    /// Transient outages processed.
+    pub outages: u64,
+    /// Host joins processed.
+    pub joins: u64,
+    /// In-flight tasks killed mid-execution (their partial work is
+    /// discarded and they rerun elsewhere).
+    pub tasks_lost: u64,
+    /// Rescue placements: every (task, new host) decision made by the
+    /// rescue rescheduler, including re-rescues after repeated faults.
+    pub tasks_rescued: u64,
+    /// Rescue ranking work: (orphan, candidate host) estimated-finish
+    /// evaluations — the recovery analogue of the heuristics' op count.
+    pub rescue_ops: u64,
+}
+
+impl ChaosStats {
+    /// Discarded partial execution converted back to seconds is tracked
+    /// separately because it is an `f64`; see
+    /// [`ChaosOutcome::work_lost_s`].
+    fn record_obs(&self) {
+        OBS_RUNS.incr();
+        OBS_CRASHES.add(self.crashes);
+        OBS_OUTAGES.add(self.outages);
+        OBS_JOINS.add(self.joins);
+        OBS_TASKS_LOST.add(self.tasks_lost);
+        OBS_RESCUED.add(self.tasks_rescued);
+    }
+}
+
+/// Result of a fault-injected execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosOutcome {
+    /// Final start times (of the successful attempt, for rerun tasks).
+    pub start: Vec<f64>,
+    /// Final finish times.
+    pub finish: Vec<f64>,
+    /// Final host of each task (differs from the input schedule where
+    /// the rescue rescheduler moved tasks).
+    pub host: Vec<u32>,
+    /// Makespan of the replayed timeline.
+    pub makespan: f64,
+    /// Total hosts seen: base RC size plus joins.
+    pub hosts_total: usize,
+    /// Seconds of partial execution discarded when in-flight tasks were
+    /// killed.
+    pub work_lost_s: f64,
+    /// Fault/recovery counters.
+    pub stats: ChaosStats,
+}
+
+/// Errors from [`execute_with_faults`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosError {
+    /// The fault plan references hosts outside the base RC.
+    Fault(FaultError),
+    /// The perturbation failed validation.
+    Perturbation(PerturbationError),
+    /// Every host is dead or down and tasks remain — nothing can run.
+    AllHostsDown {
+        /// Time at which the last host went away.
+        at_s: f64,
+    },
+    /// The schedule does not cover the DAG.
+    ScheduleMismatch {
+        /// Tasks in the DAG.
+        tasks: usize,
+        /// Entries in the schedule.
+        schedule_len: usize,
+    },
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::Fault(e) => write!(f, "invalid fault plan: {e}"),
+            ChaosError::Perturbation(e) => write!(f, "invalid perturbation: {e}"),
+            ChaosError::AllHostsDown { at_s } => {
+                write!(
+                    f,
+                    "all hosts dead or down at t={at_s}s with tasks remaining"
+                )
+            }
+            ChaosError::ScheduleMismatch {
+                tasks,
+                schedule_len,
+            } => write!(
+                f,
+                "schedule covers {schedule_len} tasks but the DAG has {tasks}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+impl From<FaultError> for ChaosError {
+    fn from(e: FaultError) -> Self {
+        ChaosError::Fault(e)
+    }
+}
+
+impl From<PerturbationError> for ChaosError {
+    fn from(e: PerturbationError) -> Self {
+        ChaosError::Perturbation(e)
+    }
+}
+
+/// Internal event stream: outages expand into a down/up pair; joins
+/// carry their extended-RC host index.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Up(usize),
+    Crash(usize),
+    Down(usize),
+    Join(usize),
+}
+
+fn event_stream(plan: &FaultPlan, base_hosts: usize) -> Vec<(f64, Ev)> {
+    let mut evs: Vec<(f64, Ev)> = Vec::new();
+    let mut next_join = base_hosts;
+    for e in plan.events() {
+        match *e {
+            FaultEvent::Crash { host, at_s } => evs.push((at_s, Ev::Crash(host))),
+            FaultEvent::Outage {
+                host,
+                from_s,
+                until_s,
+            } => {
+                evs.push((from_s, Ev::Down(host)));
+                evs.push((until_s, Ev::Up(host)));
+            }
+            FaultEvent::Join { at_s, .. } => {
+                evs.push((at_s, Ev::Join(next_join)));
+                next_join += 1;
+            }
+        }
+    }
+    // Deterministic order: time, then recoveries before failures before
+    // joins (a host coming back at t may receive work starting at t),
+    // then host index.
+    let rank = |e: &Ev| -> (u8, usize) {
+        match *e {
+            Ev::Up(h) => (0, h),
+            Ev::Crash(h) => (1, h),
+            Ev::Down(h) => (2, h),
+            Ev::Join(h) => (3, h),
+        }
+    };
+    evs.sort_by(|a, b| {
+        let (ka, ha) = rank(&a.1);
+        let (kb, hb) = rank(&b.1);
+        a.0.total_cmp(&b.0).then(ka.cmp(&kb)).then(ha.cmp(&hb))
+    });
+    evs
+}
+
+/// Replays `schedule` for `dag` on `rc` while injecting `plan`'s faults
+/// and `perturbation`'s slowdowns, rescuing lost work onto survivors.
+///
+/// The schedule must have been computed for `rc` (or a prefix-equal
+/// RC); join hosts extend the collection at reference bandwidth and are
+/// only ever used by rescue placements.
+pub fn execute_with_faults(
+    dag: &Dag,
+    rc: &ResourceCollection,
+    schedule: &Schedule,
+    plan: &FaultPlan,
+    perturbation: &Perturbation,
+) -> Result<ChaosOutcome, ChaosError> {
+    let n = dag.len();
+    if schedule.host.len() != n {
+        return Err(ChaosError::ScheduleMismatch {
+            tasks: n,
+            schedule_len: schedule.host.len(),
+        });
+    }
+    let base_hosts = rc.len();
+    plan.validate_for(base_hosts)?;
+    perturbation.validate()?;
+    let t0 = rsg_obs::enabled().then(std::time::Instant::now);
+
+    // Join hosts extend the RC; with no joins, use the base RC directly
+    // (no clone) so the zero-fault path shares replay's exact context.
+    let joins = plan.join_clocks_mhz();
+    let extended;
+    let rc_full: &ResourceCollection = if joins.is_empty() {
+        rc
+    } else {
+        extended = rc.extended(&joins);
+        &extended
+    };
+    let ctx = ExecutionContext::new(dag, rc_full);
+    let hosts_total = ctx.hosts();
+    let events = event_stream(plan, base_hosts);
+    let comm_stretch = perturbation.comm_factor();
+
+    // Rescue priority: original schedule order. Queues stay sorted by
+    // this key at all times, so the globally next un-run task is always
+    // at its queue's head — the progress invariant.
+    let prio = |i: usize| (schedule.start[i], i);
+
+    // Per-host execution order (identical construction to replay).
+    let mut queue: Vec<Vec<usize>> = vec![Vec::new(); hosts_total];
+    for i in 0..n {
+        queue[schedule.host[i] as usize].push(i);
+    }
+    for tasks in queue.iter_mut() {
+        tasks.sort_by(|&a, &b| {
+            schedule.start[a]
+                .total_cmp(&schedule.start[b])
+                .then(a.cmp(&b))
+        });
+    }
+
+    let mut start = vec![f64::NAN; n];
+    let mut finish = vec![f64::NAN; n];
+    let mut host_of: Vec<u32> = schedule.host.clone();
+    let mut host_ready = vec![0.0f64; hosts_total];
+    let mut next_slot = vec![0usize; hosts_total];
+    let mut done = vec![false; n];
+    // Base hosts start alive; join hosts appear when their event fires.
+    let mut alive: Vec<bool> = (0..hosts_total).map(|h| h < base_hosts).collect();
+    let mut stats = ChaosStats::default();
+    let mut work_lost_s = 0.0f64;
+
+    let mut completed = 0usize;
+    let mut next_ev = 0usize;
+    // Run until every task is committed AND every event is processed:
+    // a commit may start before a later event yet finish after it, so
+    // an event arriving when `completed == n` can still kill an
+    // in-flight task and reopen the run (the tail events then rescue
+    // it). Events that strike after everything finished are no-ops.
+    while completed < n || next_ev < events.len() {
+        // Candidate scan — bit-identical to replay when every host is
+        // alive and no rescue has moved a task.
+        let mut best: Option<(f64, usize, usize)> = None; // (start, host, task)
+        for h in 0..hosts_total {
+            if !alive[h] {
+                continue;
+            }
+            let Some(&i) = queue[h].get(next_slot[h]) else {
+                continue;
+            };
+            let t = TaskId(i as u32);
+            let mut data_ready = 0.0f64;
+            let mut inputs_done = true;
+            for e in dag.parents(t) {
+                let p = e.task.index();
+                if !done[p] {
+                    inputs_done = false;
+                    break;
+                }
+                let from = host_of[p] as usize;
+                let base = ctx.comm_time(e.comm, from, h);
+                let arr = finish[p] + if from == h { 0.0 } else { base * comm_stretch };
+                data_ready = data_ready.max(arr);
+            }
+            if !inputs_done {
+                continue;
+            }
+            let s = host_ready[h].max(data_ready);
+            if best.is_none() || s < best.unwrap().0 {
+                best = Some((s, h, i));
+            }
+        }
+
+        // Interleave: process the next fault event if it strikes at or
+        // before the best candidate's start (or nothing can run yet).
+        // Every committed task therefore starts strictly before any
+        // unprocessed event — the invariant that makes un-committing an
+        // in-flight task safe (its dependents cannot have started).
+        let fire = match (events.get(next_ev), best) {
+            (Some(&(ev_t, _)), Some((s, _, _))) => ev_t <= s,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => {
+                debug_assert!(completed < n, "loop must have exited");
+                return Err(ChaosError::AllHostsDown {
+                    at_s: host_ready.iter().copied().fold(0.0, f64::max),
+                });
+            }
+        };
+
+        if fire {
+            let (ev_t, ev) = events[next_ev];
+            next_ev += 1;
+            match ev {
+                Ev::Join(h) => {
+                    alive[h] = true;
+                    host_ready[h] = ev_t;
+                    stats.joins += 1;
+                }
+                Ev::Up(h) => {
+                    // Crashed hosts stay dead even if a stale outage
+                    // window ends later.
+                    if !alive[h] && events_host_not_crashed_yet(&events, next_ev - 1, h) {
+                        alive[h] = true;
+                        host_ready[h] = ev_t;
+                    }
+                }
+                Ev::Crash(h) | Ev::Down(h) => {
+                    if matches!(ev, Ev::Crash(_)) {
+                        stats.crashes += 1;
+                    } else {
+                        stats.outages += 1;
+                    }
+                    if !alive[h] {
+                        // Crash during an outage, or outage of a dead
+                        // host: queue was already drained.
+                        continue;
+                    }
+                    alive[h] = false;
+                    let mut orphans: Vec<usize> = Vec::new();
+                    // Kill the in-flight task, if any: the last
+                    // committed task on h, still running at ev_t. The
+                    // `host_of` check skips a stale queue entry left by
+                    // an earlier failure of h whose victim was rescued
+                    // elsewhere.
+                    if next_slot[h] > 0 {
+                        let j = queue[h][next_slot[h] - 1];
+                        if done[j] && host_of[j] as usize == h && finish[j] > ev_t {
+                            done[j] = false;
+                            completed -= 1;
+                            work_lost_s += ev_t - start[j];
+                            start[j] = f64::NAN;
+                            finish[j] = f64::NAN;
+                            stats.tasks_lost += 1;
+                            orphans.push(j);
+                        }
+                    }
+                    // Drain the not-yet-started queue.
+                    orphans.extend(queue[h].drain(next_slot[h]..));
+                    if orphans.is_empty() {
+                        continue;
+                    }
+                    // Rescue: re-place orphans on alive hosts in
+                    // original-schedule priority order.
+                    orphans.sort_by(|&a, &b| prio(a).0.total_cmp(&prio(b).0).then(a.cmp(&b)));
+                    if !alive.iter().any(|&a| a) {
+                        return Err(ChaosError::AllHostsDown { at_s: ev_t });
+                    }
+                    for &o in &orphans {
+                        let t = TaskId(o as u32);
+                        // Min estimated finish over survivors:
+                        // availability + queued backlog + execution.
+                        let mut best_h = usize::MAX;
+                        let mut best_eft = f64::INFINITY;
+                        for (g, g_alive) in alive.iter().enumerate() {
+                            if !*g_alive {
+                                continue;
+                            }
+                            stats.rescue_ops += 1;
+                            let backlog: f64 = queue[g][next_slot[g]..]
+                                .iter()
+                                .map(|&q| ctx.task_time(TaskId(q as u32), g))
+                                .sum();
+                            let eft = host_ready[g].max(ev_t) + backlog + ctx.task_time(t, g);
+                            if eft < best_eft {
+                                best_eft = eft;
+                                best_h = g;
+                            }
+                        }
+                        host_of[o] = best_h as u32;
+                        stats.tasks_rescued += 1;
+                        // Insert in priority order among un-run tasks.
+                        let q = &mut queue[best_h];
+                        let at = q[next_slot[best_h]..]
+                            .iter()
+                            .position(|&x| {
+                                prio(o).0.total_cmp(&prio(x).0).then(o.cmp(&x))
+                                    == std::cmp::Ordering::Less
+                            })
+                            .map(|p| p + next_slot[best_h])
+                            .unwrap_or(q.len());
+                        q.insert(at, o);
+                    }
+                }
+            }
+            continue;
+        }
+
+        // Commit the candidate (identical to replay's commit).
+        let (s, h, i) = best.expect("candidate exists when no event fires");
+        let t = TaskId(i as u32);
+        let dur = perturbed_duration(s, ctx.task_time(t, h), perturbation.slowdown_for(h));
+        start[i] = s;
+        finish[i] = s + dur;
+        host_ready[h] = finish[i];
+        next_slot[h] += 1;
+        done[i] = true;
+        completed += 1;
+    }
+
+    // Same makespan expression as replay, for bit-identity.
+    let makespan = finish.iter().copied().fold(0.0f64, f64::max)
+        - start.iter().copied().fold(f64::INFINITY, f64::min).max(0.0);
+
+    stats.record_obs();
+    if let Some(t0) = t0 {
+        OBS_WALL.record(t0.elapsed());
+    }
+    Ok(ChaosOutcome {
+        start,
+        finish,
+        host: host_of,
+        makespan,
+        hosts_total,
+        work_lost_s,
+        stats,
+    })
+}
+
+/// True if host `h` has not crashed in events processed so far (index
+/// `< upto`). Outage recovery must not resurrect a crashed host when a
+/// crash fell inside the outage window.
+fn events_host_not_crashed_yet(events: &[(f64, Ev)], upto: usize, h: usize) -> bool {
+    !events[..upto]
+        .iter()
+        .any(|&(_, e)| matches!(e, Ev::Crash(g) if g == h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlanSpec;
+    use crate::heuristics::HeuristicKind;
+    use crate::simulator::replay;
+    use rsg_dag::RandomDagSpec;
+
+    fn fixture(seed: u64) -> (Dag, ResourceCollection) {
+        let dag = RandomDagSpec {
+            size: 60,
+            ccr: 0.4,
+            parallelism: 0.6,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 10.0,
+        }
+        .generate(seed);
+        let rc = ResourceCollection::heterogeneous(6, 3000.0, 0.3, seed);
+        (dag, rc)
+    }
+
+    #[test]
+    fn zero_fault_run_is_bit_identical_to_replay() {
+        for seed in 0..3 {
+            let (dag, rc) = fixture(seed);
+            let ctx = ExecutionContext::new(&dag, &rc);
+            for kind in HeuristicKind::all() {
+                let (s, _) = kind.run(&ctx);
+                let r = replay(&ctx, &s, &Perturbation::none());
+                let c =
+                    execute_with_faults(&dag, &rc, &s, &FaultPlan::empty(), &Perturbation::none())
+                        .unwrap();
+                assert_eq!(c.start, r.start, "{kind} seed {seed}: starts differ");
+                assert_eq!(c.finish, r.finish);
+                assert_eq!(c.makespan.to_bits(), r.makespan.to_bits());
+                assert_eq!(c.host, s.host);
+                assert_eq!(c.stats, ChaosStats::default());
+                assert_eq!(c.work_lost_s, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_moves_lost_work_to_survivors() {
+        let (dag, rc) = fixture(1);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (s, _) = HeuristicKind::Mcp.run(&ctx);
+        let horizon = s.makespan();
+        // Crash the busiest host early.
+        let victim = s.host[0] as usize;
+        let plan = FaultPlan::new(vec![FaultEvent::Crash {
+            host: victim,
+            at_s: horizon * 0.25,
+        }])
+        .unwrap();
+        let out = execute_with_faults(&dag, &rc, &s, &plan, &Perturbation::none()).unwrap();
+        assert_eq!(out.stats.crashes, 1);
+        assert!(out.stats.tasks_rescued > 0, "nothing was rescued");
+        // Nothing runs on the dead host after the crash.
+        for i in 0..dag.len() {
+            assert!(out.start[i].is_finite());
+            if out.host[i] as usize == victim {
+                assert!(
+                    out.finish[i] <= horizon * 0.25 + 1e-9,
+                    "task {i} ran on the crashed host after the crash"
+                );
+            }
+        }
+        assert!(out.makespan >= s.makespan() - 1e-9);
+    }
+
+    #[test]
+    fn outage_host_recovers_and_is_reusable() {
+        let (dag, rc) = fixture(2);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (s, _) = HeuristicKind::Mcp.run(&ctx);
+        let horizon = s.makespan();
+        let victim = s.host[0] as usize;
+        let plan = FaultPlan::new(vec![FaultEvent::Outage {
+            host: victim,
+            from_s: horizon * 0.1,
+            until_s: horizon * 0.3,
+        }])
+        .unwrap();
+        let out = execute_with_faults(&dag, &rc, &s, &plan, &Perturbation::none()).unwrap();
+        assert_eq!(out.stats.outages, 1);
+        // No task executes inside the outage window on the victim.
+        for i in 0..dag.len() {
+            if out.host[i] as usize == victim {
+                let (a, b) = (out.start[i], out.finish[i]);
+                assert!(
+                    b <= horizon * 0.1 + 1e-9 || a >= horizon * 0.3 - 1e-9,
+                    "task {i} [{a}, {b}] overlaps the outage window"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_host_can_receive_rescued_tasks() {
+        let (dag, rc) = fixture(3);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (s, _) = HeuristicKind::Mcp.run(&ctx);
+        let horizon = s.makespan();
+        // Crash most hosts; add a very fast join so rescue prefers it.
+        let mut events = vec![FaultEvent::Join {
+            clock_mhz: 30000.0,
+            at_s: horizon * 0.1,
+        }];
+        for h in 1..rc.len() {
+            events.push(FaultEvent::Crash {
+                host: h,
+                at_s: horizon * 0.2,
+            });
+        }
+        let plan = FaultPlan::new(events).unwrap();
+        let out = execute_with_faults(&dag, &rc, &s, &plan, &Perturbation::none()).unwrap();
+        assert_eq!(out.hosts_total, rc.len() + 1);
+        assert_eq!(out.stats.joins, 1);
+        let join_host = rc.len() as u32;
+        let on_join = (0..dag.len()).filter(|&i| out.host[i] == join_host).count();
+        assert!(on_join > 0, "rescue never used the joined fast host");
+        // The join host cannot run anything before it joined.
+        for i in 0..dag.len() {
+            if out.host[i] == join_host {
+                assert!(out.start[i] >= horizon * 0.1 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn all_hosts_down_is_an_error() {
+        let (dag, rc) = fixture(4);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (s, _) = HeuristicKind::Mcp.run(&ctx);
+        let events = (0..rc.len())
+            .map(|h| FaultEvent::Crash { host: h, at_s: 0.0 })
+            .collect();
+        let plan = FaultPlan::new(events).unwrap();
+        assert!(matches!(
+            execute_with_faults(&dag, &rc, &s, &plan, &Perturbation::none()),
+            Err(ChaosError::AllHostsDown { .. })
+        ));
+    }
+
+    #[test]
+    fn crash_during_outage_does_not_resurrect() {
+        let (dag, rc) = fixture(5);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (s, _) = HeuristicKind::Mcp.run(&ctx);
+        let horizon = s.makespan();
+        let victim = s.host[0] as usize;
+        let plan = FaultPlan::new(vec![
+            FaultEvent::Outage {
+                host: victim,
+                from_s: horizon * 0.1,
+                until_s: horizon * 0.5,
+            },
+            FaultEvent::Crash {
+                host: victim,
+                at_s: horizon * 0.2,
+            },
+        ])
+        .unwrap();
+        let out = execute_with_faults(&dag, &rc, &s, &plan, &Perturbation::none()).unwrap();
+        // Nothing may start on the victim after the outage began.
+        for i in 0..dag.len() {
+            if out.host[i] as usize == victim {
+                assert!(out.finish[i] <= horizon * 0.1 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_plans_always_complete() {
+        for seed in 0..5 {
+            let (dag, rc) = fixture(seed);
+            let ctx = ExecutionContext::new(&dag, &rc);
+            let (s, _) = HeuristicKind::Mcp.run(&ctx);
+            let plan = FaultPlanSpec {
+                seed,
+                crash_fraction: 0.4,
+                outage_fraction: 0.3,
+                joins: 1,
+                horizon_s: s.makespan().max(1.0),
+                ..Default::default()
+            }
+            .generate(rc.len());
+            let out = execute_with_faults(&dag, &rc, &s, &plan, &Perturbation::none()).unwrap();
+            for i in 0..dag.len() {
+                assert!(out.start[i].is_finite(), "seed {seed}: task {i} lost");
+            }
+            // Causal consistency on final placements.
+            let rc_full = rc.extended(&plan.join_clocks_mhz());
+            for t in dag.tasks() {
+                for e in dag.parents(t) {
+                    let p = e.task.index();
+                    let c = t.index();
+                    let comm = if out.host[p] == out.host[c] {
+                        0.0
+                    } else {
+                        e.comm * rc_full.comm_factor(out.host[p] as usize, out.host[c] as usize)
+                    };
+                    assert!(
+                        out.start[c] + 1e-9 >= out.finish[p] + comm,
+                        "seed {seed}: task {c} starts before parent {p} arrives"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Fault model: host churn during execution (Section II.4.1).
+//!
+//! The paper's monitoring section (vgMON) exists because real LSDEs
+//! lose hosts mid-run — and gain them. This module gives the chaos
+//! engine ([`crate::chaos`]) a first-class, validated description of
+//! that churn:
+//!
+//! * [`FaultEvent::Crash`] — a host fails permanently at time `t`; any
+//!   task running on it is lost and must rerun elsewhere.
+//! * [`FaultEvent::Outage`] — a host is unavailable for `[from, until)`
+//!   (reboot, network partition); the in-flight task is lost, but the
+//!   host rejoins afterwards.
+//! * [`FaultEvent::Join`] — a fresh host appears at time `t` and
+//!   becomes eligible for rescue placements.
+//!
+//! Plans are either hand-built ([`FaultPlan::new`], which validates and
+//! time-sorts the events) or drawn deterministically from a seeded
+//! [`FaultPlanSpec`], so every chaos experiment is reproducible from
+//! `(spec, seed)` alone. Host 0 is treated as the reliable *home node*:
+//! the generator never crashes it or takes it down, guaranteeing the
+//! rescue rescheduler always has at least one survivor to fall back to.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// One scheduled change in host availability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Host `host` fails permanently at `at_s`.
+    Crash {
+        /// Index of the failing host (into the *base* RC).
+        host: usize,
+        /// Failure time, seconds.
+        at_s: f64,
+    },
+    /// Host `host` is down for `[from_s, until_s)`, then recovers.
+    Outage {
+        /// Index of the affected host (into the *base* RC).
+        host: usize,
+        /// Outage start, seconds.
+        from_s: f64,
+        /// Outage end (exclusive), seconds; must exceed `from_s`.
+        until_s: f64,
+    },
+    /// A new host at `clock_mhz` joins the collection at `at_s`.
+    Join {
+        /// Clock rate of the joining host, MHz.
+        clock_mhz: f64,
+        /// Join time, seconds.
+        at_s: f64,
+    },
+}
+
+impl FaultEvent {
+    /// The time the event takes effect.
+    pub fn time_s(&self) -> f64 {
+        match *self {
+            FaultEvent::Crash { at_s, .. } => at_s,
+            FaultEvent::Outage { from_s, .. } => from_s,
+            FaultEvent::Join { at_s, .. } => at_s,
+        }
+    }
+
+    /// Deterministic ordering rank for same-time events: crashes before
+    /// outages before joins, then by host index.
+    fn sort_key(&self) -> (f64, u8, usize) {
+        match *self {
+            FaultEvent::Crash { host, at_s } => (at_s, 0, host),
+            FaultEvent::Outage { host, from_s, .. } => (from_s, 1, host),
+            FaultEvent::Join { at_s, .. } => (at_s, 2, usize::MAX),
+        }
+    }
+
+    fn validate(&self) -> Result<(), FaultError> {
+        let check_time = |t: f64| -> Result<(), FaultError> {
+            if !t.is_finite() {
+                return Err(FaultError::NonFiniteTime(t));
+            }
+            if t < 0.0 {
+                return Err(FaultError::NegativeTime(t));
+            }
+            Ok(())
+        };
+        match *self {
+            FaultEvent::Crash { at_s, .. } => check_time(at_s),
+            FaultEvent::Outage {
+                from_s, until_s, ..
+            } => {
+                check_time(from_s)?;
+                check_time(until_s)?;
+                if until_s <= from_s {
+                    return Err(FaultError::EmptyOutage { from_s, until_s });
+                }
+                Ok(())
+            }
+            FaultEvent::Join { clock_mhz, at_s } => {
+                check_time(at_s)?;
+                if !clock_mhz.is_finite() || clock_mhz <= 0.0 {
+                    return Err(FaultError::BadClock(clock_mhz));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A validated, time-ordered sequence of fault events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults: chaos execution degenerates to plain
+    /// replay (tested bit-identical).
+    pub fn empty() -> FaultPlan {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// Validates and time-sorts `events` into a plan. Rejects
+    /// non-finite or negative times, empty outage windows, non-positive
+    /// join clocks, and duplicate crashes of one host.
+    pub fn new(events: Vec<FaultEvent>) -> Result<FaultPlan, FaultError> {
+        for e in &events {
+            e.validate()?;
+        }
+        let mut crashed: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Crash { host, .. } => Some(*host),
+                _ => None,
+            })
+            .collect();
+        crashed.sort_unstable();
+        for w in crashed.windows(2) {
+            if w[0] == w[1] {
+                return Err(FaultError::DuplicateCrash { host: w[0] });
+            }
+        }
+        let mut events = events;
+        events.sort_by(|a, b| {
+            let (ta, ka, ha) = a.sort_key();
+            let (tb, kb, hb) = b.sort_key();
+            ta.total_cmp(&tb).then(ka.cmp(&kb)).then(ha.cmp(&hb))
+        });
+        Ok(FaultPlan { events })
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Clocks of the joining hosts, in event order. The chaos engine
+    /// appends these to the base RC (see
+    /// `ResourceCollection::extended`).
+    pub fn join_clocks_mhz(&self) -> Vec<f64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Join { clock_mhz, .. } => Some(*clock_mhz),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Checks that every crash/outage targets a host below `hosts` (the
+    /// base RC size).
+    pub fn validate_for(&self, hosts: usize) -> Result<(), FaultError> {
+        for e in &self.events {
+            let h = match e {
+                FaultEvent::Crash { host, .. } | FaultEvent::Outage { host, .. } => *host,
+                FaultEvent::Join { .. } => continue,
+            };
+            if h >= hosts {
+                return Err(FaultError::HostOutOfRange { host: h, hosts });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validation errors for fault events and plans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultError {
+    /// An event time is NaN or infinite.
+    NonFiniteTime(f64),
+    /// An event time is negative.
+    NegativeTime(f64),
+    /// An outage window with `until <= from`.
+    EmptyOutage {
+        /// Outage start, seconds.
+        from_s: f64,
+        /// Outage end, seconds.
+        until_s: f64,
+    },
+    /// A join with a non-finite or non-positive clock.
+    BadClock(f64),
+    /// A crash/outage names a host outside the base RC.
+    HostOutOfRange {
+        /// Offending host index.
+        host: usize,
+        /// Base RC size.
+        hosts: usize,
+    },
+    /// Two crashes target the same host.
+    DuplicateCrash {
+        /// Host crashed twice.
+        host: usize,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::NonFiniteTime(t) => write!(f, "fault time {t} is not finite"),
+            FaultError::NegativeTime(t) => write!(f, "fault time {t} is negative"),
+            FaultError::EmptyOutage { from_s, until_s } => {
+                write!(f, "outage window [{from_s}, {until_s}) is empty")
+            }
+            FaultError::BadClock(c) => write!(f, "join clock {c} MHz is not positive"),
+            FaultError::HostOutOfRange { host, hosts } => {
+                write!(f, "fault targets host {host} but the RC has {hosts} hosts")
+            }
+            FaultError::DuplicateCrash { host } => {
+                write!(f, "host {host} crashes more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Deterministic seeded fault-plan generator: draws crash, outage and
+/// join events over a time horizon. All draws come from one
+/// [`StdRng`] stream, so a `(spec, hosts)` pair always produces the
+/// same plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlanSpec {
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of base hosts that crash permanently, in `[0, 1]`.
+    /// Rounded to a count and capped at `hosts - 1`; host 0 never
+    /// crashes (the home node).
+    pub crash_fraction: f64,
+    /// Fraction of base hosts that suffer one transient outage.
+    pub outage_fraction: f64,
+    /// Mean outage duration as a fraction of the horizon; individual
+    /// outages draw uniformly in `[0.5, 1.5]` times this.
+    pub outage_len_fraction: f64,
+    /// Number of hosts that join during the run.
+    pub joins: usize,
+    /// Clock rate of joining hosts, MHz.
+    pub join_clock_mhz: f64,
+    /// Time horizon the event times are drawn from, seconds (usually
+    /// the fault-free makespan).
+    pub horizon_s: f64,
+}
+
+impl Default for FaultPlanSpec {
+    fn default() -> Self {
+        FaultPlanSpec {
+            seed: 0,
+            crash_fraction: 0.0,
+            outage_fraction: 0.0,
+            outage_len_fraction: 0.25,
+            joins: 0,
+            join_clock_mhz: rsg_dag::REFERENCE_CLOCK_MHZ,
+            horizon_s: 100.0,
+        }
+    }
+}
+
+impl FaultPlanSpec {
+    /// Draws the plan for a base RC of `hosts` hosts.
+    ///
+    /// # Panics
+    /// If the fractions are outside `[0, 1]` or the horizon is not
+    /// positive and finite.
+    pub fn generate(&self, hosts: usize) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&self.crash_fraction),
+            "crash_fraction must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.outage_fraction),
+            "outage_fraction must be in [0, 1]"
+        );
+        assert!(
+            self.horizon_s.is_finite() && self.horizon_s > 0.0,
+            "horizon must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut events = Vec::new();
+
+        // Hosts eligible for failure: everything but the home node.
+        let n_crash =
+            ((self.crash_fraction * hosts as f64).round() as usize).min(hosts.saturating_sub(1));
+        let victims = Self::draw_distinct(&mut rng, hosts, n_crash);
+        for host in victims {
+            events.push(FaultEvent::Crash {
+                host,
+                at_s: rng.gen_range(0.0..self.horizon_s),
+            });
+        }
+
+        let n_outage =
+            ((self.outage_fraction * hosts as f64).round() as usize).min(hosts.saturating_sub(1));
+        let down = Self::draw_distinct(&mut rng, hosts, n_outage);
+        for host in down {
+            let from_s = rng.gen_range(0.0..self.horizon_s);
+            let len = self.horizon_s * self.outage_len_fraction * rng.gen_range(0.5..=1.5);
+            events.push(FaultEvent::Outage {
+                host,
+                from_s,
+                until_s: from_s + len.max(1e-9),
+            });
+        }
+
+        for _ in 0..self.joins {
+            events.push(FaultEvent::Join {
+                clock_mhz: self.join_clock_mhz,
+                at_s: rng.gen_range(0.0..self.horizon_s),
+            });
+        }
+
+        FaultPlan::new(events).expect("generated plans are valid by construction")
+    }
+
+    /// `count` distinct hosts drawn from `1..hosts` (host 0 excluded),
+    /// via a partial Fisher–Yates shuffle.
+    fn draw_distinct(rng: &mut StdRng, hosts: usize, count: usize) -> Vec<usize> {
+        if hosts <= 1 || count == 0 {
+            return Vec::new();
+        }
+        let mut pool: Vec<usize> = (1..hosts).collect();
+        let count = count.min(pool.len());
+        for i in 0..count {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(count);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_and_validates() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::Join {
+                clock_mhz: 2000.0,
+                at_s: 5.0,
+            },
+            FaultEvent::Crash { host: 2, at_s: 1.0 },
+            FaultEvent::Outage {
+                host: 1,
+                from_s: 1.0,
+                until_s: 2.0,
+            },
+        ])
+        .unwrap();
+        let times: Vec<f64> = plan.events().iter().map(|e| e.time_s()).collect();
+        assert_eq!(times, vec![1.0, 1.0, 5.0]);
+        // Crash sorts before same-time outage.
+        assert!(matches!(plan.events()[0], FaultEvent::Crash { .. }));
+        assert_eq!(plan.join_clocks_mhz(), vec![2000.0]);
+        assert!(plan.validate_for(3).is_ok());
+        assert_eq!(
+            plan.validate_for(2),
+            Err(FaultError::HostOutOfRange { host: 2, hosts: 2 })
+        );
+    }
+
+    #[test]
+    fn plan_rejects_bad_events() {
+        assert!(matches!(
+            FaultPlan::new(vec![FaultEvent::Crash {
+                host: 0,
+                at_s: f64::NAN
+            }]),
+            Err(FaultError::NonFiniteTime(_))
+        ));
+        assert!(matches!(
+            FaultPlan::new(vec![FaultEvent::Crash {
+                host: 0,
+                at_s: -1.0
+            }]),
+            Err(FaultError::NegativeTime(_))
+        ));
+        assert!(matches!(
+            FaultPlan::new(vec![FaultEvent::Outage {
+                host: 0,
+                from_s: 3.0,
+                until_s: 3.0
+            }]),
+            Err(FaultError::EmptyOutage { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::new(vec![FaultEvent::Join {
+                clock_mhz: 0.0,
+                at_s: 1.0
+            }]),
+            Err(FaultError::BadClock(_))
+        ));
+        assert!(matches!(
+            FaultPlan::new(vec![
+                FaultEvent::Crash { host: 3, at_s: 1.0 },
+                FaultEvent::Crash { host: 3, at_s: 2.0 }
+            ]),
+            Err(FaultError::DuplicateCrash { host: 3 })
+        ));
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_spares_home_node() {
+        let spec = FaultPlanSpec {
+            seed: 42,
+            crash_fraction: 0.5,
+            outage_fraction: 0.3,
+            joins: 2,
+            horizon_s: 50.0,
+            ..Default::default()
+        };
+        let a = spec.generate(10);
+        let b = spec.generate(10);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for e in a.events() {
+            match e {
+                FaultEvent::Crash { host, at_s } => {
+                    assert_ne!(*host, 0, "home node must never crash");
+                    assert!((0.0..50.0).contains(at_s));
+                }
+                FaultEvent::Outage { host, .. } => assert_ne!(*host, 0),
+                FaultEvent::Join { at_s, .. } => assert!((0.0..50.0).contains(at_s)),
+            }
+        }
+        assert_eq!(a.join_clocks_mhz().len(), 2);
+        // Crash count: round(0.5 * 10) = 5 distinct victims.
+        let crashes = a
+            .events()
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::Crash { .. }))
+            .count();
+        assert_eq!(crashes, 5);
+        // A different seed gives a different plan.
+        let c = FaultPlanSpec { seed: 43, ..spec }.generate(10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn crash_count_capped_below_full_wipeout() {
+        let spec = FaultPlanSpec {
+            seed: 1,
+            crash_fraction: 1.0,
+            horizon_s: 10.0,
+            ..Default::default()
+        };
+        let plan = spec.generate(4);
+        let crashes = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::Crash { .. }))
+            .count();
+        assert_eq!(crashes, 3, "at least one host must survive");
+        // Single-host RC: nothing can fail.
+        assert!(spec.generate(1).is_empty());
+    }
+}

@@ -32,11 +32,19 @@
 //! reference scheduler clock of 2.80 GHz ([`SchedTimeModel`]), exactly
 //! the knob the paper turns in its SCR study (Section V.7). Measured
 //! wall-clock is also recorded.
+//!
+//! The [`fault`] and [`chaos`] modules add the robustness layer: seeded
+//! host-churn plans (crashes, outages, joins) injected into the replay
+//! engine, with a rescue rescheduler that re-places lost work on
+//! survivors and reports a *resilient* turn-around time
+//! ([`turnaround::resilient_turnaround`]).
 
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod chaos;
 pub mod context;
+pub mod fault;
 pub mod heuristics;
 pub mod schedule;
 pub mod simulator;
@@ -44,12 +52,17 @@ pub mod timemodel;
 pub mod turnaround;
 
 pub use bounds::makespan_lower_bound;
+pub use chaos::{execute_with_faults, ChaosError, ChaosOutcome, ChaosStats};
 pub use context::ExecutionContext;
+pub use fault::{FaultError, FaultEvent, FaultPlan, FaultPlanSpec};
 pub use heuristics::{Heuristic, HeuristicKind};
 pub use schedule::{Schedule, ScheduleError};
-pub use simulator::{makespan_stretch, replay, Perturbation};
+pub use simulator::{makespan_stretch, replay, try_replay, Perturbation, PerturbationError};
 pub use timemodel::{OpCount, SchedTimeModel};
-pub use turnaround::{evaluate, evaluate_prefix, evaluate_reference, TurnaroundReport};
+pub use turnaround::{
+    evaluate, evaluate_prefix, evaluate_reference, evaluate_with_schedule, resilient_turnaround,
+    ResilienceReport, TurnaroundReport,
+};
 
 /// Reference scheduler clock (MHz): the paper runs heuristics on
 /// 2.80 GHz Intel Xeon machines (Section III.4.2).

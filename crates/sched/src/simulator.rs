@@ -23,6 +23,7 @@ use crate::context::ExecutionContext;
 use crate::schedule::Schedule;
 use rsg_dag::TaskId;
 use rsg_obs::{Counter, TimingHistogram};
+use std::fmt;
 
 /// Schedule replays performed by the simulator.
 static OBS_REPLAYS: Counter = Counter::new("sched.sim.replays");
@@ -31,8 +32,8 @@ static OBS_REPLAY_WALL: TimingHistogram = TimingHistogram::new("sched.sim.replay
 
 /// A host slowdown active from `from_s` onward: the host executes at
 /// `factor` times its nominal speed (factor 0.25 = four times slower;
-/// factor 0 is forbidden — use a tiny positive factor for "almost
-/// failed").
+/// factor 0 is rejected by [`Perturbation::validate`] — full host
+/// failure is a [`crate::fault::FaultEvent`], not a slowdown).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HostSlowdown {
     /// Host index.
@@ -62,11 +63,37 @@ impl Perturbation {
         }
     }
 
-    fn slowdown_for(&self, host: usize) -> Option<HostSlowdown> {
+    /// Checks every slowdown factor is finite and strictly positive,
+    /// every activation time is finite, and the comm stretch is finite.
+    /// A zero or negative factor would stall the timeline; a NaN
+    /// anywhere silently poisons every downstream start/finish time —
+    /// both now surface as typed errors instead.
+    pub fn validate(&self) -> Result<(), PerturbationError> {
+        for s in &self.host_slowdowns {
+            if !s.factor.is_finite() || s.factor <= 0.0 {
+                return Err(PerturbationError::BadSlowdownFactor {
+                    host: s.host,
+                    factor: s.factor,
+                });
+            }
+            if !s.from_s.is_finite() {
+                return Err(PerturbationError::NonFiniteSlowdownStart {
+                    host: s.host,
+                    from_s: s.from_s,
+                });
+            }
+        }
+        if !self.comm_stretch.is_finite() {
+            return Err(PerturbationError::BadCommStretch(self.comm_stretch));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn slowdown_for(&self, host: usize) -> Option<HostSlowdown> {
         self.host_slowdowns.iter().copied().find(|s| s.host == host)
     }
 
-    fn comm_factor(&self) -> f64 {
+    pub(crate) fn comm_factor(&self) -> f64 {
         if self.comm_stretch < 1.0 {
             1.0
         } else {
@@ -74,6 +101,49 @@ impl Perturbation {
         }
     }
 }
+
+/// Validation errors for a [`Perturbation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PerturbationError {
+    /// A slowdown factor outside `(0, ∞)` (zero stalls the host
+    /// forever; negative/NaN produces nonsense durations).
+    BadSlowdownFactor {
+        /// Host the slowdown targets.
+        host: usize,
+        /// The rejected factor.
+        factor: f64,
+    },
+    /// A slowdown activation time that is NaN or infinite.
+    NonFiniteSlowdownStart {
+        /// Host the slowdown targets.
+        host: usize,
+        /// The rejected activation time.
+        from_s: f64,
+    },
+    /// A comm stretch that is NaN or infinite.
+    BadCommStretch(f64),
+}
+
+impl fmt::Display for PerturbationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerturbationError::BadSlowdownFactor { host, factor } => {
+                write!(
+                    f,
+                    "slowdown factor {factor} for host {host} is not in (0, inf)"
+                )
+            }
+            PerturbationError::NonFiniteSlowdownStart { host, from_s } => {
+                write!(f, "slowdown start {from_s} for host {host} is not finite")
+            }
+            PerturbationError::BadCommStretch(c) => {
+                write!(f, "comm stretch {c} is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PerturbationError {}
 
 /// Result of a replay.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,7 +159,7 @@ pub struct ReplayOutcome {
 /// Execution duration of a task on a host under a slowdown: the work is
 /// `nominal` seconds at full speed; any part executed after `from_s`
 /// proceeds at `factor` speed.
-fn perturbed_duration(start: f64, nominal: f64, slow: Option<HostSlowdown>) -> f64 {
+pub(crate) fn perturbed_duration(start: f64, nominal: f64, slow: Option<HostSlowdown>) -> f64 {
     match slow {
         None => nominal,
         Some(s) => {
@@ -110,11 +180,26 @@ fn perturbed_duration(start: f64, nominal: f64, slow: Option<HostSlowdown>) -> f
 
 /// Replays `schedule` on `ctx` under `perturbation`, keeping host
 /// assignment and per-host task order fixed.
+///
+/// # Panics
+/// On an invalid perturbation (see [`Perturbation::validate`]); use
+/// [`try_replay`] for a fallible variant.
 pub fn replay(
     ctx: &ExecutionContext<'_>,
     schedule: &Schedule,
     perturbation: &Perturbation,
 ) -> ReplayOutcome {
+    try_replay(ctx, schedule, perturbation).unwrap_or_else(|e| panic!("invalid perturbation: {e}"))
+}
+
+/// Fallible [`replay`]: validates the perturbation first and returns a
+/// typed error instead of producing NaN or stalled timelines.
+pub fn try_replay(
+    ctx: &ExecutionContext<'_>,
+    schedule: &Schedule,
+    perturbation: &Perturbation,
+) -> Result<ReplayOutcome, PerturbationError> {
+    perturbation.validate()?;
     let t0 = rsg_obs::enabled().then(std::time::Instant::now);
     let dag = ctx.dag;
     let n = dag.len();
@@ -191,11 +276,11 @@ pub fn replay(
         OBS_REPLAYS.incr();
         OBS_REPLAY_WALL.record(t0.elapsed());
     }
-    ReplayOutcome {
+    Ok(ReplayOutcome {
         start,
         finish,
         makespan,
-    }
+    })
 }
 
 /// Robustness of a schedule: makespan stretch factor under the
@@ -292,6 +377,74 @@ mod tests {
             comm_stretch: 10.0,
         };
         assert!((makespan_stretch(&ctx, &s, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_slowdowns() {
+        let bad = |factor: f64, from_s: f64| Perturbation {
+            host_slowdowns: vec![HostSlowdown {
+                host: 3,
+                from_s,
+                factor,
+            }],
+            comm_stretch: 1.0,
+        };
+        assert_eq!(
+            bad(0.0, 0.0).validate(),
+            Err(PerturbationError::BadSlowdownFactor {
+                host: 3,
+                factor: 0.0
+            })
+        );
+        assert!(matches!(
+            bad(-0.5, 0.0).validate(),
+            Err(PerturbationError::BadSlowdownFactor { host: 3, .. })
+        ));
+        assert!(matches!(
+            bad(f64::NAN, 0.0).validate(),
+            Err(PerturbationError::BadSlowdownFactor { host: 3, .. })
+        ));
+        assert!(matches!(
+            bad(f64::INFINITY, 0.0).validate(),
+            Err(PerturbationError::BadSlowdownFactor { host: 3, .. })
+        ));
+        assert!(matches!(
+            bad(0.5, f64::NAN).validate(),
+            Err(PerturbationError::NonFiniteSlowdownStart { host: 3, .. })
+        ));
+        assert!(matches!(
+            Perturbation {
+                host_slowdowns: vec![],
+                comm_stretch: f64::NAN,
+            }
+            .validate(),
+            Err(PerturbationError::BadCommStretch(_))
+        ));
+        assert_eq!(bad(0.5, 0.0).validate(), Ok(()));
+        // The derived Default (comm_stretch 0) stays valid: replay
+        // clamps sub-unit stretches to 1.
+        assert_eq!(Perturbation::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn try_replay_surfaces_validation_errors() {
+        let (dag, rc) = fixture(3);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (s, _) = HeuristicKind::Mcp.run(&ctx);
+        let p = Perturbation {
+            host_slowdowns: vec![HostSlowdown {
+                host: 0,
+                from_s: 0.0,
+                factor: 0.0,
+            }],
+            comm_stretch: 1.0,
+        };
+        assert!(matches!(
+            try_replay(&ctx, &s, &p),
+            Err(PerturbationError::BadSlowdownFactor { .. })
+        ));
+        let ok = try_replay(&ctx, &s, &Perturbation::none()).unwrap();
+        assert_eq!(ok, replay(&ctx, &s, &Perturbation::none()));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! plus — when explicit resource selection is used — the time spent by
 //! the resource-selection system.
 
+use crate::chaos::ChaosOutcome;
 use crate::context::ExecutionContext;
 use crate::heuristics::HeuristicKind;
 use crate::schedule::Schedule;
@@ -11,6 +12,9 @@ use rsg_dag::Dag;
 use rsg_obs::{Counter, TimingHistogram};
 use rsg_platform::ResourceCollection;
 use std::time::Instant;
+
+/// Recovery wall-clock charged per chaos run (modeled rescue time).
+static OBS_RECOVERY_WALL: TimingHistogram = TimingHistogram::new("sched.chaos.recovery_wall");
 
 /// Schedules produced through the optimized evaluation paths.
 static OBS_SCHEDULES: Counter = Counter::new("sched.schedules_evaluated");
@@ -60,6 +64,66 @@ impl TurnaroundReport {
     pub fn turnaround_s(&self) -> f64 {
         self.sched_time_s + self.makespan_s + self.selection_time_s
     }
+}
+
+/// Turn-around accounting under faults: the fault-free report plus the
+/// chaos-replayed makespan and the modeled cost of the rescue
+/// rescheduler's re-ranking work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// The fault-free evaluation this run degrades from.
+    pub baseline: TurnaroundReport,
+    /// Makespan of the fault-injected, rescued timeline, seconds.
+    pub chaos_makespan_s: f64,
+    /// Modeled time spent re-ranking orphans onto survivors, seconds
+    /// (rescue ops through the same [`SchedTimeModel`] as scheduling).
+    pub rescue_time_s: f64,
+    /// Partial execution discarded when in-flight tasks were killed,
+    /// seconds.
+    pub work_lost_s: f64,
+    /// Fault/recovery counters of the run.
+    pub stats: crate::chaos::ChaosStats,
+}
+
+impl ResilienceReport {
+    /// The robustness figure of merit:
+    /// `selection + scheduling + chaos makespan + rescue time`.
+    pub fn resilient_turnaround_s(&self) -> f64 {
+        self.baseline.sched_time_s
+            + self.baseline.selection_time_s
+            + self.chaos_makespan_s
+            + self.rescue_time_s
+    }
+
+    /// Recovery overhead: how much the faults cost beyond the
+    /// fault-free turnaround (makespan growth + rescue ranking time).
+    /// Exactly zero for a zero-fault run.
+    pub fn recovery_overhead_s(&self) -> f64 {
+        self.chaos_makespan_s - self.baseline.makespan_s + self.rescue_time_s
+    }
+}
+
+/// Combines a fault-free [`TurnaroundReport`] with a
+/// [`ChaosOutcome`] into the resilient turn-around accounting, pricing
+/// the rescue rescheduler's ranking work through `model` and recording
+/// the recovery wall in the `sched.chaos.recovery_wall` histogram.
+pub fn resilient_turnaround(
+    baseline: &TurnaroundReport,
+    outcome: &ChaosOutcome,
+    model: &SchedTimeModel,
+) -> ResilienceReport {
+    let rescue_time_s = model.seconds(OpCount(outcome.stats.rescue_ops));
+    let report = ResilienceReport {
+        baseline: baseline.clone(),
+        chaos_makespan_s: outcome.makespan,
+        rescue_time_s,
+        work_lost_s: outcome.work_lost_s,
+        stats: outcome.stats,
+    };
+    if rsg_obs::enabled() {
+        OBS_RECOVERY_WALL.record_secs(report.recovery_overhead_s().max(0.0));
+    }
+    report
 }
 
 /// Runs `heuristic` on `(dag, rc)` and assembles the report. The
@@ -191,6 +255,55 @@ mod tests {
         assert!((r.makespan_s - s.makespan()).abs() < 1e-12);
         assert!(r.sched_time_s > 0.0);
         assert_eq!(r.sched_time_s, model.seconds(r.ops));
+    }
+
+    #[test]
+    fn resilient_turnaround_prices_recovery() {
+        let dag = RandomDagSpec {
+            size: 60,
+            ccr: 0.4,
+            parallelism: 0.6,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 10.0,
+        }
+        .generate(5);
+        let rc = ResourceCollection::heterogeneous(6, 3000.0, 0.3, 5);
+        let model = SchedTimeModel::default();
+        let (baseline, sched) = evaluate_with_schedule(&dag, &rc, HeuristicKind::Mcp, &model);
+
+        // Zero-fault chaos run: overhead is exactly zero and the
+        // resilient turnaround equals the plain turnaround.
+        let clean = crate::chaos::execute_with_faults(
+            &dag,
+            &rc,
+            &sched,
+            &crate::fault::FaultPlan::empty(),
+            &crate::simulator::Perturbation::none(),
+        )
+        .unwrap();
+        let r0 = resilient_turnaround(&baseline, &clean, &model);
+        assert_eq!(r0.rescue_time_s, 0.0);
+        assert_eq!(r0.recovery_overhead_s(), 0.0);
+        assert_eq!(r0.resilient_turnaround_s(), baseline.turnaround_s());
+
+        // A crash makes recovery cost strictly positive.
+        let plan = crate::fault::FaultPlan::new(vec![crate::fault::FaultEvent::Crash {
+            host: sched.host[0] as usize,
+            at_s: sched.makespan() * 0.25,
+        }])
+        .unwrap();
+        let hit = crate::chaos::execute_with_faults(
+            &dag,
+            &rc,
+            &sched,
+            &plan,
+            &crate::simulator::Perturbation::none(),
+        )
+        .unwrap();
+        let r1 = resilient_turnaround(&baseline, &hit, &model);
+        assert!(r1.rescue_time_s > 0.0);
+        assert!(r1.resilient_turnaround_s() > baseline.turnaround_s());
     }
 
     #[test]

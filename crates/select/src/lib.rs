@@ -20,15 +20,22 @@
 //! A shared [`selection_time`] model accounts for the time the
 //! resource-selection step itself takes, which Chapter IV folds into the
 //! application turn-around time.
+//!
+//! The [`flaky`] module wraps any of the engines in a deterministic
+//! fault injector (rejections, partial fulfillment, latency
+//! spikes/timeouts) for robustness experiments against the retrying
+//! negotiator in `rsg-core`.
 
 #![warn(missing_docs)]
 
 pub mod classad;
+pub mod flaky;
 pub mod selection_time;
 pub mod sword;
 pub mod vgdl;
 
 pub use classad::{ClassAd, ClassAdError, Matchmaker};
+pub use flaky::{FlakyConfig, FlakyError, FlakySelector, FlakyStats, SelectionOutcome};
 pub use selection_time::SelectionTimeModel;
 pub use sword::{SwordEngine, SwordRequest};
 pub use vgdl::{VgdlError, VgdlSpec, VgesFinder};

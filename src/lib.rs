@@ -17,9 +17,9 @@
 //! |---|---|---|
 //! | [`dag`] | `rsg-dag` | DAG model, characteristics, random/Montage/SCEC generators |
 //! | [`platform`] | `rsg-platform` | synthetic LSDE (clusters + topology), resource collections, EC2 cost model |
-//! | [`sched`] | `rsg-sched` | MCP/Greedy/DLS/FCA/FCFS heuristics, schedule validator, scheduling-time model |
-//! | [`core`] | `rsg-core` | knee detection, size & heuristic prediction models, spec generator, alternatives |
-//! | [`select`] | `rsg-select` | vgDL + vgES finder, ClassAds + matchmaker, SWORD XML + engine |
+//! | [`sched`] | `rsg-sched` | MCP/Greedy/DLS/FCA/FCFS heuristics, schedule validator, scheduling-time model, fault model + chaos rescue engine |
+//! | [`core`] | `rsg-core` | knee detection, size & heuristic prediction models, spec generator, alternatives + retrying negotiator |
+//! | [`select`] | `rsg-select` | vgDL + vgES finder, ClassAds + matchmaker, SWORD XML + engine, flaky-selector injector |
 //!
 //! ## Quickstart
 //!
@@ -65,6 +65,10 @@ pub use rsg_select as select;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use rsg_core::{
+        attempt_from_outcome, negotiate_with_retry, BindAttempt, Negotiated, RetryPolicy,
+        Unfulfillable,
+    };
+    pub use rsg_core::{
         curve::{turnaround_curve, CurveConfig, RcFamily},
         knee::find_knee,
         observation::{KneeTable, ObservationGrid},
@@ -75,6 +79,9 @@ pub mod prelude {
     };
     pub use rsg_dag::{Dag, DagBuilder, DagStats, RandomDagSpec, TaskId};
     pub use rsg_platform::{CostModel, Platform, ResourceCollection, ResourceGenSpec};
-    pub use rsg_sched::{evaluate, HeuristicKind, SchedTimeModel, Schedule, TurnaroundReport};
-    pub use rsg_select::{Matchmaker, SwordEngine, VgesFinder};
+    pub use rsg_sched::{
+        evaluate, execute_with_faults, resilient_turnaround, ChaosOutcome, FaultPlan,
+        FaultPlanSpec, HeuristicKind, ResilienceReport, SchedTimeModel, Schedule, TurnaroundReport,
+    };
+    pub use rsg_select::{FlakyConfig, FlakySelector, Matchmaker, SwordEngine, VgesFinder};
 }

@@ -1,0 +1,252 @@
+//! Invariants of fault-injected execution (the chaos engine).
+//!
+//! Two families of guarantees, mirroring the fast-kernel equivalence
+//! suite of PR 1:
+//!
+//! 1. **Differential** — with a zero-fault plan the chaos engine must
+//!    be *bit-identical* to the plain simulator replay, across
+//!    heuristics, seeds, and perturbations (`f64::to_bits` equality,
+//!    not epsilon comparison).
+//! 2. **Rescue safety** — under random DAGs × random fault plans, the
+//!    rescue rescheduler never loses or duplicates a task, keeps the
+//!    timeline causally consistent (every task starts after all its
+//!    inputs arrive on its final host), never executes inside a down
+//!    window or before a host joins, and keeps every host serial.
+
+use proptest::prelude::*;
+use rsg::prelude::*;
+use rsg::sched::{
+    execute_with_faults, replay, ChaosOutcome, ExecutionContext, FaultEvent, FaultPlan,
+    FaultPlanSpec, Perturbation,
+};
+
+fn fixture(seed: u64, size: usize, hosts: usize) -> (rsg::dag::Dag, ResourceCollection) {
+    let dag = RandomDagSpec {
+        size,
+        ccr: 0.4,
+        parallelism: 0.6,
+        density: 0.5,
+        regularity: 0.5,
+        mean_comp: 10.0,
+    }
+    .generate(seed);
+    let rc = ResourceCollection::heterogeneous(hosts, 3000.0, 0.3, seed)
+        .with_bandwidth_heterogeneity(0.4, seed.wrapping_add(7));
+    (dag, rc)
+}
+
+/// Full safety audit of a chaos outcome against its inputs.
+fn audit(
+    dag: &rsg::dag::Dag,
+    rc: &ResourceCollection,
+    plan: &FaultPlan,
+    out: &ChaosOutcome,
+) -> Result<(), String> {
+    let n = dag.len();
+    let rc_full = rc.extended(&plan.join_clocks_mhz());
+
+    // No lost and no duplicated tasks: every task has exactly one
+    // final (start, finish, host) record.
+    for i in 0..n {
+        if !out.start[i].is_finite() || !out.finish[i].is_finite() {
+            return Err(format!("task {i} has no final execution record"));
+        }
+        if out.finish[i] < out.start[i] {
+            return Err(format!("task {i} finishes before it starts"));
+        }
+        if (out.host[i] as usize) >= rc_full.len() {
+            return Err(format!("task {i} placed on unknown host {}", out.host[i]));
+        }
+    }
+
+    // Causal consistency on final placements.
+    for t in dag.tasks() {
+        for e in dag.parents(t) {
+            let p = e.task.index();
+            let c = t.index();
+            let comm = if out.host[p] == out.host[c] {
+                0.0
+            } else {
+                e.comm * rc_full.comm_factor(out.host[p] as usize, out.host[c] as usize)
+            };
+            if out.start[c] + 1e-9 < out.finish[p] + comm {
+                return Err(format!(
+                    "task {c} starts at {} before parent {p} arrives at {}",
+                    out.start[c],
+                    out.finish[p] + comm
+                ));
+            }
+        }
+    }
+
+    // Hosts stay serial: executions on one host never overlap.
+    let mut per_host: Vec<Vec<usize>> = vec![Vec::new(); rc_full.len()];
+    for i in 0..n {
+        per_host[out.host[i] as usize].push(i);
+    }
+    for (h, tasks) in per_host.iter_mut().enumerate() {
+        tasks.sort_by(|&a, &b| out.start[a].total_cmp(&out.start[b]));
+        for w in tasks.windows(2) {
+            if out.start[w[1]] + 1e-9 < out.finish[w[0]] {
+                return Err(format!(
+                    "host {h}: tasks {} and {} overlap in time",
+                    w[0], w[1]
+                ));
+            }
+        }
+    }
+
+    // Faults are respected: nothing runs on a crashed host after the
+    // crash, inside an outage window, or on a join host before it
+    // joins.
+    let mut join_idx = rc.len();
+    for ev in plan.events() {
+        match *ev {
+            FaultEvent::Crash { host, at_s } => {
+                for i in 0..n {
+                    if out.host[i] as usize == host && out.finish[i] > at_s + 1e-9 {
+                        return Err(format!(
+                            "task {i} runs on host {host} past its crash at {at_s}"
+                        ));
+                    }
+                }
+            }
+            FaultEvent::Outage {
+                host,
+                from_s,
+                until_s,
+            } => {
+                for i in 0..n {
+                    if out.host[i] as usize == host {
+                        let overlaps =
+                            out.start[i] < until_s - 1e-9 && out.finish[i] > from_s + 1e-9;
+                        if overlaps {
+                            return Err(format!(
+                                "task {i} [{}, {}] overlaps outage [{from_s}, {until_s}) on \
+                                 host {host}",
+                                out.start[i], out.finish[i]
+                            ));
+                        }
+                    }
+                }
+            }
+            FaultEvent::Join { at_s, .. } => {
+                for i in 0..n {
+                    if out.host[i] as usize == join_idx && out.start[i] + 1e-9 < at_s {
+                        return Err(format!(
+                            "task {i} starts before host {join_idx} joined at {at_s}"
+                        ));
+                    }
+                }
+                join_idx += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn zero_fault_differential_bitwise_identity() {
+    for seed in 0..6u64 {
+        let (dag, rc) = fixture(seed, 70, 6);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        for kind in HeuristicKind::all() {
+            let (s, _) = kind.run(&ctx);
+            for perturbation in [
+                Perturbation::none(),
+                Perturbation {
+                    host_slowdowns: vec![rsg::sched::simulator::HostSlowdown {
+                        host: 0,
+                        from_s: 5.0,
+                        factor: 0.5,
+                    }],
+                    comm_stretch: 2.0,
+                },
+            ] {
+                let r = replay(&ctx, &s, &perturbation);
+                let c = execute_with_faults(&dag, &rc, &s, &FaultPlan::empty(), &perturbation)
+                    .expect("zero-fault run cannot fail");
+                for i in 0..dag.len() {
+                    assert_eq!(
+                        c.start[i].to_bits(),
+                        r.start[i].to_bits(),
+                        "{kind} seed {seed} task {i}: start differs"
+                    );
+                    assert_eq!(
+                        c.finish[i].to_bits(),
+                        r.finish[i].to_bits(),
+                        "{kind} seed {seed} task {i}: finish differs"
+                    );
+                }
+                assert_eq!(c.makespan.to_bits(), r.makespan.to_bits());
+                assert_eq!(c.host, s.host, "zero faults must not move tasks");
+                assert_eq!(c.stats.tasks_rescued, 0);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(28))]
+
+    /// Random DAGs × random fault plans: rescue never loses or
+    /// duplicates a task, stays causally consistent, respects fault
+    /// windows, and keeps hosts serial.
+    #[test]
+    fn rescue_preserves_all_invariants(
+        seed in 0u64..1000,
+        size in 30usize..90,
+        hosts in 3usize..10,
+        crash_pct in 0u32..60,
+        outage_pct in 0u32..40,
+        joins in 0usize..3,
+        heuristic_sel in 0usize..5,
+    ) {
+        let (dag, rc) = fixture(seed, size, hosts);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let kind = HeuristicKind::all()[heuristic_sel % HeuristicKind::all().len()];
+        let (s, _) = kind.run(&ctx);
+        let plan = FaultPlanSpec {
+            seed: seed.wrapping_mul(0x9e37_79b9),
+            crash_fraction: crash_pct as f64 / 100.0,
+            outage_fraction: outage_pct as f64 / 100.0,
+            joins,
+            horizon_s: s.makespan().max(1.0) * 1.2,
+            ..Default::default()
+        }
+        .generate(rc.len());
+        let out = execute_with_faults(&dag, &rc, &s, &plan, &Perturbation::none())
+            .expect("home node survives, so every DAG must complete");
+        if let Err(msg) = audit(&dag, &rc, &plan, &out) {
+            prop_assert!(false, "{kind} seed {seed}: {msg}");
+        }
+        // Rescue only ever moves tasks when something was actually lost.
+        if plan.is_empty() {
+            prop_assert_eq!(out.host.clone(), s.host.clone());
+        }
+    }
+
+    /// Chaos execution is a pure function of its inputs: same DAG, RC,
+    /// schedule, plan, and perturbation give identical outcomes.
+    #[test]
+    fn chaos_execution_is_deterministic(
+        seed in 0u64..500,
+        crash_pct in 0u32..50,
+    ) {
+        let (dag, rc) = fixture(seed, 50, 6);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let (s, _) = HeuristicKind::Mcp.run(&ctx);
+        let plan = FaultPlanSpec {
+            seed,
+            crash_fraction: crash_pct as f64 / 100.0,
+            outage_fraction: 0.2,
+            joins: 1,
+            horizon_s: s.makespan().max(1.0),
+            ..Default::default()
+        }
+        .generate(rc.len());
+        let a = execute_with_faults(&dag, &rc, &s, &plan, &Perturbation::none()).unwrap();
+        let b = execute_with_faults(&dag, &rc, &s, &plan, &Perturbation::none()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -17,10 +17,18 @@
 //! The sweep speedup recorded here is the headline number of the
 //! fast-path work; the run aborts if it falls below 5x so a regression
 //! cannot slip through silently.
+//!
+//! Pass `--checkpoint` to also time a journal-checkpointed sweep
+//! ([`rsg_core::observation::measure_checkpointed`] on a fresh journal,
+//! so every cell is computed *and* fsynced): the tables must stay
+//! bit-identical and the overhead lands in `BENCH_sweep.json` under
+//! `checkpoint_s` / `checkpoint_overhead`.
 
 use rsg_bench::report::{secs, Table};
 use rsg_core::curve::CurveConfig;
-use rsg_core::observation::{measure, measure_naive, ObservationGrid};
+use rsg_core::observation::{
+    measure, measure_checkpointed, measure_naive, CheckpointConfig, ObservationGrid,
+};
 use rsg_core::THRESHOLD_LADDER;
 use rsg_dag::RandomDagSpec;
 use rsg_platform::ResourceCollection;
@@ -117,6 +125,8 @@ struct SweepTimings {
     naive_s: f64,
     fast_s: f64,
     obs_on_s: f64,
+    /// Wall-clock of the journal-checkpointed sweep (`--checkpoint`).
+    checkpoint_s: Option<f64>,
     identical: bool,
 }
 
@@ -131,6 +141,7 @@ fn write_json(
         naive_s,
         fast_s,
         obs_on_s,
+        checkpoint_s,
         identical,
     } = *sweep;
     let mut j = String::new();
@@ -159,6 +170,13 @@ fn write_json(
         "    \"obs_on_overhead\": {},\n",
         obs_on_s / fast_s - 1.0
     ));
+    if let Some(ckpt_s) = checkpoint_s {
+        j.push_str(&format!("    \"checkpoint_s\": {ckpt_s},\n"));
+        j.push_str(&format!(
+            "    \"checkpoint_overhead\": {},\n",
+            ckpt_s / fast_s - 1.0
+        ));
+    }
     j.push_str(&format!("    \"tables_identical\": {identical}\n"));
     j.push_str("  },\n");
     j.push_str("  \"placement_kernel\": [\n");
@@ -186,6 +204,7 @@ fn write_json(
 
 fn main() {
     let obs_mode = std::env::args().any(|a| a == "--obs");
+    let checkpoint_mode = std::env::args().any(|a| a == "--checkpoint");
     let grid = ObservationGrid::fast();
     let cfg = CurveConfig::default();
 
@@ -237,6 +256,30 @@ fn main() {
         (obs_on_s / fast_s - 1.0) * 100.0
     );
 
+    // Optional: a checkpointed sweep on a fresh journal, so every cell
+    // is both computed and fsynced — the worst case for the journal.
+    let checkpoint_s = checkpoint_mode.then(|| {
+        let journal = std::path::PathBuf::from("target/bench_sweep.journal");
+        let _ = std::fs::remove_file(&journal);
+        eprintln!("bench_sweep: running checkpointed sweep (measure_checkpointed)...");
+        let ckpt = CheckpointConfig::new(&journal);
+        let t0 = Instant::now();
+        let ckpt_tables =
+            measure_checkpointed(&grid, &cfg, &THRESHOLD_LADDER, REFINE_ROUNDS, &ckpt)
+                .expect("checkpointed sweep failed");
+        let ckpt_s = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            ckpt_tables, fast_tables,
+            "checkpointed sweep diverged from the plain sweep"
+        );
+        let _ = std::fs::remove_file(&journal);
+        eprintln!(
+            "bench_sweep: checkpointed sweep took {ckpt_s:.2}s ({:+.2}% vs plain)",
+            (ckpt_s / fast_s - 1.0) * 100.0
+        );
+        ckpt_s
+    });
+
     eprintln!("bench_sweep: measuring placement-kernel throughput...");
     let throughput = kernel_throughput();
 
@@ -278,6 +321,7 @@ fn main() {
             naive_s,
             fast_s,
             obs_on_s,
+            checkpoint_s,
             identical: true,
         },
         &throughput,

@@ -193,22 +193,14 @@ fn sweep_cache_key(
     thetas: &[f64],
     refine_rounds: u32,
 ) -> String {
-    let mut desc = format!(
-        "{:?}|{}|model={:?}|fam={:?}|refine={refine_rounds}|thetas={thetas:?}|obs={}",
-        grid,
-        cfg.heuristic,
-        cfg.time_model,
-        cfg.rc_family,
-        rsg_obs::config_fingerprint(),
-    );
-    desc.push('|');
-    // FNV-1a, enough to distinguish configurations in a filename.
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in desc.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    format!("{h:016x}")
+    // The same digest checkpoint journals record in their header
+    // (grid + curve config + thetas + refinement + obs fingerprint +
+    // sweep code version), so cache entries and journals invalidate
+    // together.
+    format!(
+        "{:016x}",
+        rsg_core::sweep_fingerprint(grid, cfg, thetas, refine_rounds)
+    )
 }
 
 /// Measures (or loads) the observation-sweep knee tables for a grid and
@@ -223,37 +215,51 @@ pub fn observed_knee_tables(
     thetas: &[f64],
     refine_rounds: u32,
 ) -> Vec<rsg_core::KneeTable> {
+    let sweep = || {
+        eprintln!(
+            "[training] observation sweep on {} configurations x {} instances ...",
+            grid.cells(),
+            grid.instances
+        );
+        rsg_core::observation::measure(grid, cfg, thetas, refine_rounds)
+    };
+    if std::env::var("RSG_NO_CACHE").is_ok() {
+        return sweep();
+    }
     let key = sweep_cache_key(grid, cfg, thetas, refine_rounds);
-    let cache = format!("target/rsg_knee_tables_{key}.tsv");
-    let cache_enabled = std::env::var("RSG_NO_CACHE").is_err();
-    if cache_enabled {
-        if let Ok(text) = std::fs::read_to_string(&cache) {
-            match rsg_core::persist::knee_tables_from_tsv(&text) {
-                Ok(tables)
-                    if tables.len() == thetas.len()
-                        && tables
-                            .iter()
-                            .zip(thetas)
-                            .all(|(t, &th)| t.theta == th && t.grid == *grid) =>
-                {
-                    eprintln!("[training] loaded cached knee tables from {cache}");
-                    return tables;
-                }
-                _ => eprintln!("[training] stale knee-table cache {cache}, re-measuring"),
+    let cache = std::path::PathBuf::from(format!("target/rsg_knee_tables_{key}.tsv"));
+    // The store quarantines a corrupt or stale entry to `*.corrupt` and
+    // re-measures; a cache problem can never fail the experiment.
+    rsg_core::store::load_or_rebuild(
+        &cache,
+        "knee-tables",
+        |payload| {
+            let tables = rsg_core::persist::knee_tables_from_tsv(payload)?;
+            let matches = tables.len() == thetas.len()
+                && tables
+                    .iter()
+                    .zip(thetas)
+                    .all(|(t, &th)| t.theta == th && t.grid == *grid);
+            if !matches {
+                return Err(rsg_core::StoreError::parse(
+                    "knee-tables",
+                    1,
+                    "cache entry does not match the requested sweep",
+                ));
             }
-        }
-    }
-    eprintln!(
-        "[training] observation sweep on {} configurations x {} instances ...",
-        grid.cells(),
-        grid.instances
-    );
-    let tables = rsg_core::observation::measure(grid, cfg, thetas, refine_rounds);
-    if cache_enabled {
-        let _ = std::fs::create_dir_all("target");
-        let _ = std::fs::write(&cache, rsg_core::persist::knee_tables_to_tsv(&tables));
-    }
-    tables
+            eprintln!(
+                "[training] loaded cached knee tables from {}",
+                cache.display()
+            );
+            Ok(tables)
+        },
+        || {
+            let tables = sweep();
+            let payload = rsg_core::persist::knee_tables_to_tsv(&tables);
+            (tables, payload)
+        },
+        |w| eprintln!("[training] knee-table cache {}: {w}", cache.display()),
+    )
 }
 
 /// Trains the thresholded size model for the whole threshold ladder at
@@ -262,26 +268,34 @@ pub fn observed_knee_tables(
 /// files or set `RSG_NO_CACHE=1` to retrain).
 pub fn trained_size_model(scale: Scale) -> (rsg_core::ThresholdedSizeModel, CurveConfig) {
     let cfg = default_curve_config();
-    let cache = format!(
+    let retrain = || {
+        let grid = observation_grid(scale);
+        let tables = observed_knee_tables(&grid, &cfg, &rsg_core::THRESHOLD_LADDER, 0);
+        let model = rsg_core::ThresholdedSizeModel::fit(&tables);
+        let payload = model.to_tsv();
+        (model, payload)
+    };
+    if std::env::var("RSG_NO_CACHE").is_ok() {
+        return (retrain().0, cfg);
+    }
+    let cache = std::path::PathBuf::from(format!(
         "target/rsg_size_model_{}.tsv",
         if scale == Scale::Full { "full" } else { "fast" }
+    ));
+    let model = rsg_core::store::load_or_rebuild(
+        &cache,
+        "size-model",
+        |payload| {
+            let model = rsg_core::ThresholdedSizeModel::from_tsv(payload)?;
+            eprintln!(
+                "[training] loaded cached size model from {}",
+                cache.display()
+            );
+            Ok(model)
+        },
+        retrain,
+        |w| eprintln!("[training] size-model cache {}: {w}", cache.display()),
     );
-    let cache_enabled = std::env::var("RSG_NO_CACHE").is_err();
-    if cache_enabled {
-        if let Ok(text) = std::fs::read_to_string(&cache) {
-            if let Ok(model) = rsg_core::ThresholdedSizeModel::from_tsv(&text) {
-                eprintln!("[training] loaded cached size model from {cache}");
-                return (model, cfg);
-            }
-        }
-    }
-    let grid = observation_grid(scale);
-    let tables = observed_knee_tables(&grid, &cfg, &rsg_core::THRESHOLD_LADDER, 0);
-    let model = rsg_core::ThresholdedSizeModel::fit(&tables);
-    if cache_enabled {
-        let _ = std::fs::create_dir_all("target");
-        let _ = std::fs::write(&cache, model.to_tsv());
-    }
     (model, cfg)
 }
 
@@ -365,6 +379,40 @@ mod tests {
             off, on,
             "an instrumented sweep must not share a cache entry with an obs-off one"
         );
+    }
+
+    #[test]
+    fn corrupt_sweep_cache_quarantined_and_rebuilt() {
+        // Serialized with other obs-touching tests: the cache key
+        // digests the global obs configuration.
+        let _guard = rsg_obs::test_guard();
+        if std::env::var("RSG_NO_CACHE").is_ok() {
+            return;
+        }
+        let grid = rsg_core::observation::ObservationGrid::tiny();
+        let cfg = default_curve_config();
+        let thetas = [0.02, 0.05];
+        let clean = observed_knee_tables(&grid, &cfg, &thetas, 0);
+        let key = sweep_cache_key(&grid, &cfg, &thetas, 0);
+        let cache = format!("target/rsg_knee_tables_{key}.tsv");
+        let quarantined = format!("{cache}.corrupt");
+        let _ = std::fs::remove_file(&quarantined);
+
+        // Garbage in the cache slot: the sweep must recover — the
+        // entry is quarantined, re-measured, and the result identical.
+        std::fs::write(&cache, "garbage bytes, definitely not an envelope").unwrap();
+        let recovered = observed_knee_tables(&grid, &cfg, &thetas, 0);
+        assert_eq!(recovered, clean);
+        assert!(
+            std::path::Path::new(&quarantined).exists(),
+            "damaged entry must be preserved as {quarantined}"
+        );
+
+        // The rebuilt slot serves loads again (same tables, no sweep:
+        // the envelope now present decodes cleanly).
+        let reloaded = observed_knee_tables(&grid, &cfg, &thetas, 0);
+        assert_eq!(reloaded, clean);
+        let _ = std::fs::remove_file(&quarantined);
     }
 
     #[test]

@@ -19,6 +19,11 @@ use rsg_sched::{
 use rsg_select::{FlakyConfig, FlakySelector, VgesFinder};
 use std::io::{Read, Write};
 
+/// Artifact kind recorded in size-model envelopes.
+const SIZE_MODEL_KIND: &str = "size-model";
+/// Artifact kind recorded in heuristic-model envelopes.
+const HEUR_MODEL_KIND: &str = "heur-model";
+
 fn load_dag(path: &str) -> Result<Dag, CliError> {
     let text = if path == "-" {
         let mut s = String::new();
@@ -26,9 +31,32 @@ fn load_dag(path: &str) -> Result<Dag, CliError> {
         s
     } else {
         std::fs::read_to_string(path)
-            .map_err(|e| CliError::Failed(format!("cannot read {path}: {e}")))?
+            .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?
     };
-    read_dag(&text).map_err(|e| CliError::Failed(e.to_string()))
+    read_dag(&text).map_err(|e| CliError::Decode(format!("{path}: {e}")))
+}
+
+/// Reads a possibly envelope-wrapped artifact file. A bare (legacy)
+/// file is returned as-is; a wrapped one is checksum-verified and must
+/// carry the expected `kind`.
+fn read_maybe_envelope(path: &str, kind: &str) -> Result<String, CliError> {
+    let p = std::path::Path::new(path);
+    let text =
+        std::fs::read_to_string(p).map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    if !rsg_core::store::looks_like_envelope(&text) {
+        return Ok(text);
+    }
+    let (found, payload) =
+        rsg_core::store::unwrap_envelope(&text).map_err(|e| CliError::from(e.with_path(p)))?;
+    if found != kind {
+        return Err(rsg_core::StoreError::Kind {
+            path: path.to_string(),
+            expected: kind.to_string(),
+            found: found.to_string(),
+        }
+        .into());
+    }
+    Ok(payload.to_string())
 }
 
 fn emit(out_path: Option<&str>, content: &str, out: &mut dyn Write) -> Result<(), CliError> {
@@ -128,7 +156,7 @@ pub fn curve(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `rsg train [--grid tiny|fast|paper] [--out FILE]`
+/// `rsg train [--grid tiny|fast|paper] [--out FILE] [--journal FILE]`
 pub fn train(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     let grid = match args.opt("grid").unwrap_or("fast") {
         "tiny" => ObservationGrid::tiny(),
@@ -147,13 +175,26 @@ pub fn train(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
         grid.instances
     )?;
     let cfg = CurveConfig::default();
-    let tables = rsg_core::observation::measure(&grid, &cfg, &rsg_core::THRESHOLD_LADDER, 0);
+    let tables = match args.opt("journal") {
+        Some(j) => {
+            let ckpt = rsg_core::CheckpointConfig::new(j);
+            let tables = rsg_core::observation::measure_checkpointed(
+                &grid,
+                &cfg,
+                &rsg_core::THRESHOLD_LADDER,
+                0,
+                &ckpt,
+            )?;
+            writeln!(out, "sweep checkpointed to {j}")?;
+            tables
+        }
+        None => rsg_core::observation::measure(&grid, &cfg, &rsg_core::THRESHOLD_LADDER, 0),
+    };
     let model = ThresholdedSizeModel::fit(&tables);
     let text = model.to_tsv();
     match args.opt("out") {
         Some(p) => {
-            std::fs::write(p, &text)
-                .map_err(|e| CliError::Failed(format!("cannot write {p}: {e}")))?;
+            rsg_core::store::write_atomic(std::path::Path::new(p), SIZE_MODEL_KIND, &text)?;
             writeln!(out, "model written to {p}")?;
         }
         None => out.write_all(text.as_bytes())?,
@@ -162,9 +203,8 @@ pub fn train(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn load_model(path: &str) -> Result<ThresholdedSizeModel, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Failed(format!("cannot read model {path}: {e}")))?;
-    ThresholdedSizeModel::from_tsv(&text).map_err(|e| CliError::Failed(e.to_string()))
+    let payload = read_maybe_envelope(path, SIZE_MODEL_KIND)?;
+    ThresholdedSizeModel::from_tsv(&payload).map_err(CliError::from)
 }
 
 /// `rsg predict --model FILE DAGFILE`
@@ -231,10 +271,8 @@ pub fn spec(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     // slower step — `fig6_1` at experiment scale).
     let heur_model = match (args.opt("heuristic-model"), args.opt("heuristic")) {
         (Some(path), _) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| CliError::Failed(format!("cannot read {path}: {e}")))?;
-            HeuristicPredictionModel::from_tsv(&text)
-                .map_err(|e| CliError::Failed(e.to_string()))?
+            let payload = read_maybe_envelope(path, HEUR_MODEL_KIND)?;
+            HeuristicPredictionModel::from_tsv(&payload).map_err(CliError::from)?
         }
         (None, Some(h)) => fixed_heuristic_model(parse_heuristic(h)?),
         (None, None) => fixed_heuristic_model(HeuristicKind::Mcp),
@@ -460,13 +498,74 @@ pub fn train_heuristic(args: &mut Args, out: &mut dyn Write) -> Result<(), CliEr
     let text = model.to_tsv();
     match args.opt("out") {
         Some(p) => {
-            std::fs::write(p, &text)
-                .map_err(|e| CliError::Failed(format!("cannot write {p}: {e}")))?;
+            rsg_core::store::write_atomic(std::path::Path::new(p), HEUR_MODEL_KIND, &text)?;
             writeln!(out, "heuristic model written to {p}")?;
         }
         None => out.write_all(text.as_bytes())?,
     }
     Ok(())
+}
+
+/// `rsg store verify PATH...` — read-only integrity check of persisted
+/// artifacts: envelope magic/version/length/checksum, or per-line
+/// checksums for sweep journals. Prints one line per path; the exit
+/// status reflects the first failure found.
+pub fn store(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let action = args.require_positional("store action (verify)")?;
+    if action != "verify" {
+        return Err(CliError::Usage(format!(
+            "unknown store action '{action}' (verify)"
+        )));
+    }
+    let mut paths = Vec::new();
+    while let Some(p) = args.positional() {
+        paths.push(p);
+    }
+    if paths.is_empty() {
+        return Err(CliError::Usage(
+            "store verify needs at least one path".into(),
+        ));
+    }
+    let mut first_err: Option<CliError> = None;
+    for p in &paths {
+        match verify_artifact(p) {
+            Ok(desc) => writeln!(out, "{p}: OK — {desc}")?,
+            Err(e) => {
+                writeln!(out, "{p}: FAILED — {e}")?;
+                if first_err.is_none() {
+                    first_err = Some(e.into());
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Verifies one file: a sweep journal (by magic) or a store envelope.
+fn verify_artifact(path: &str) -> Result<String, rsg_core::StoreError> {
+    let p = std::path::Path::new(path);
+    let text = std::fs::read_to_string(p).map_err(|e| rsg_core::StoreError::io(p, "read", &e))?;
+    if text.starts_with("rsg-sweep-journal\t") {
+        let (fp, thetas, good, bad) = rsg_core::SweepJournal::verify(p)?;
+        if bad > 0 {
+            return Err(rsg_core::StoreError::parse(
+                "sweep-journal",
+                good + 2,
+                format!("{bad} damaged line(s) after {good} good cells"),
+            ));
+        }
+        return Ok(format!(
+            "sweep journal, fingerprint {fp:016x}, {good} cells x {thetas} thetas"
+        ));
+    }
+    let (kind, payload) = rsg_core::store::unwrap_envelope(&text).map_err(|e| e.with_path(p))?;
+    Ok(format!(
+        "artifact '{kind}', {} payload bytes, checksum verified",
+        payload.len()
+    ))
 }
 
 /// `rsg dot FILE [--out FILE]`

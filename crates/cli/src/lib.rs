@@ -23,19 +23,49 @@ pub use args::{ArgError, Args};
 
 use std::io::Write;
 
-/// Errors surfaced to the user.
+/// Errors surfaced to the user. Each class maps to a distinct process
+/// exit code (see [`CliError::exit_code`]) so scripts can react without
+/// scraping stderr.
 #[derive(Debug)]
 pub enum CliError {
-    /// Bad invocation (usage is printed).
+    /// Bad invocation (usage is printed). Exit 2.
     Usage(String),
-    /// Runtime failure (I/O, decode, …).
+    /// The OS refused an I/O operation (missing file, permissions, full
+    /// disk). Exit 3.
+    Io(String),
+    /// A persisted artifact is damaged on disk (bad magic, truncation,
+    /// checksum mismatch). Exit 4.
+    Corrupt(String),
+    /// An artifact read cleanly but does not decode (parse error, wrong
+    /// kind, stale fingerprint). Exit 5.
+    Decode(String),
+    /// Any other runtime failure. Exit 1.
     Failed(String),
+}
+
+impl CliError {
+    /// The process exit code for this error class: usage 2, I/O 3,
+    /// corruption 4, decode 5, everything else 1.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Corrupt(_) => 4,
+            CliError::Decode(_) => 5,
+            CliError::Failed(_) => 1,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(m) => write!(f, "{m}"),
+            CliError::Corrupt(m) => {
+                write!(f, "{m} — quarantine or delete the file and regenerate it")
+            }
+            CliError::Decode(m) => write!(f, "{m}"),
             CliError::Failed(m) => write!(f, "{m}"),
         }
     }
@@ -55,6 +85,21 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<rsg_core::StoreError> for CliError {
+    fn from(e: rsg_core::StoreError) -> Self {
+        use rsg_core::StoreError as S;
+        let msg = e.to_string();
+        match e {
+            S::Io { .. } => CliError::Io(msg),
+            S::BadMagic { .. } | S::Version { .. } | S::Truncated { .. } | S::Checksum { .. } => {
+                CliError::Corrupt(msg)
+            }
+            S::Kind { .. } | S::Parse { .. } | S::Fingerprint { .. } => CliError::Decode(msg),
+            S::Aborted { .. } => CliError::Failed(msg),
+        }
+    }
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 rsg — automatic resource specification generation (SC'07 reproduction)
@@ -65,7 +110,7 @@ USAGE:
   rsg gen montage [--tasks 1629|4469] [--ccr X] [--out FILE]
   rsg stats   FILE
   rsg curve   FILE [--heuristic MCP|DLS|FCA|FCFS|Greedy] [--instances K]
-  rsg train   [--grid tiny|fast|paper] [--out FILE]
+  rsg train   [--grid tiny|fast|paper] [--out FILE] [--journal FILE]
   rsg train-heuristic [--preset fast|paper] [--out FILE]
   rsg predict --model FILE DAGFILE
   rsg spec    (--model FILE | --grid tiny|fast) DAGFILE
@@ -76,6 +121,15 @@ USAGE:
   rsg chaos   FILE [--hosts N] [--clock MHZ] [--het H] [--heuristic NAME]
               [--faults SEED:RATE] [--outages RATE] [--joins K]
   rsg dot     FILE [--out FILE]
+  rsg store   verify PATH...
+
+`rsg train --journal FILE` checkpoints each completed sweep cell to
+FILE; a re-run with the same grid resumes from the first missing cell.
+`rsg store verify` checks the envelope/journal checksums of persisted
+artifacts without modifying them.
+
+Exit codes: 0 ok, 1 failure, 2 usage, 3 I/O, 4 corrupt artifact,
+5 decode error.
 
 Global options (any command):
   --trace          print live span enter/exit lines to stderr
@@ -117,6 +171,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "spec" => commands::spec(&mut args, out),
         "chaos" => commands::chaos(&mut args, out),
         "dot" => commands::dot(&mut args, out),
+        "store" => commands::store(&mut args, out),
         "help" | "--help" | "-h" => {
             out.write_all(USAGE.as_bytes())?;
             Ok(())
@@ -358,6 +413,104 @@ mod tests {
             ]),
             CliError::Usage(_)
         ));
+    }
+
+    #[test]
+    fn store_verify_and_exit_codes() {
+        let dir = std::env::temp_dir().join("rsg-cli-test-store");
+        let _ = std::fs::create_dir_all(&dir);
+        let model = dir.join("model.tsv");
+        let model_p = model.to_str().unwrap();
+        run_ok(&["train", "--grid", "tiny", "--out", model_p]);
+
+        // The trained model is an envelope and verifies.
+        let s = run_ok(&["store", "verify", model_p]);
+        assert!(s.contains("OK"), "{s}");
+        assert!(s.contains("size-model"), "{s}");
+
+        // Flip a payload byte: verify fails with a corruption error
+        // (exit code 4), and loading it is typed, not a panic.
+        let good = std::fs::read_to_string(&model).unwrap();
+        let mut bytes = good.clone().into_bytes();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x01;
+        std::fs::write(&model, bytes).unwrap();
+        let e = run_err(&["store", "verify", model_p]);
+        assert!(matches!(e, CliError::Corrupt(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 4);
+        let dagf = dir.join("wf.dag");
+        run_ok(&[
+            "gen",
+            "random",
+            "--size",
+            "100",
+            "--out",
+            dagf.to_str().unwrap(),
+        ]);
+        let e = run_err(&["predict", "--model", model_p, dagf.to_str().unwrap()]);
+        assert!(matches!(e, CliError::Corrupt(_)), "{e:?}");
+
+        // A bare (legacy) model still loads after stripping the
+        // envelope header.
+        let payload = good.split_once('\n').unwrap().1;
+        std::fs::write(&model, payload).unwrap();
+        let p = run_ok(&["predict", "--model", model_p, dagf.to_str().unwrap()]);
+        assert!(p.contains("threshold"));
+
+        // But a legacy file that is garbage is a decode error (5), and
+        // a missing file an I/O error (3).
+        std::fs::write(&model, "rsg-size-model\tv1\ntheta\tnonsense\n").unwrap();
+        let e = run_err(&["predict", "--model", model_p, dagf.to_str().unwrap()]);
+        assert!(matches!(e, CliError::Decode(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 5);
+        let e = run_err(&[
+            "predict",
+            "--model",
+            "/nonexistent/m.tsv",
+            dagf.to_str().unwrap(),
+        ]);
+        assert!(matches!(e, CliError::Io(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 3);
+
+        // Usage errors for the store command itself.
+        assert!(matches!(run_err(&["store", "verify"]), CliError::Usage(_)));
+        assert!(matches!(
+            run_err(&["store", "frobnicate"]),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn train_journal_checkpoints_and_verifies() {
+        let dir = std::env::temp_dir().join("rsg-cli-test-journal");
+        let _ = std::fs::create_dir_all(&dir);
+        let journal = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&journal);
+        let model = dir.join("model.tsv");
+        let (journal_p, model_p) = (journal.to_str().unwrap(), model.to_str().unwrap());
+        let s = run_ok(&[
+            "train",
+            "--grid",
+            "tiny",
+            "--journal",
+            journal_p,
+            "--out",
+            model_p,
+        ]);
+        assert!(s.contains("checkpointed"), "{s}");
+        // The journal verifies, and a re-run resumes from it.
+        let v = run_ok(&["store", "verify", journal_p, model_p]);
+        assert!(v.contains("sweep journal"), "{v}");
+        assert_eq!(v.matches("OK").count(), 2, "{v}");
+        run_ok(&[
+            "train",
+            "--grid",
+            "tiny",
+            "--journal",
+            journal_p,
+            "--out",
+            model_p,
+        ]);
     }
 
     #[test]

@@ -7,14 +7,14 @@ fn main() -> ExitCode {
     let mut stdout = std::io::stdout().lock();
     match rsg_cli::run(&argv, &mut stdout) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(rsg_cli::CliError::Usage(msg)) => {
-            eprintln!("error: {msg}\n");
+        Err(e @ rsg_cli::CliError::Usage(_)) => {
+            eprintln!("error: {e}\n");
             eprintln!("{}", rsg_cli::USAGE);
-            ExitCode::from(2)
+            ExitCode::from(e.exit_code())
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -26,6 +26,9 @@
 //!   interpolation across DAG size and CCR, one plane per grid cell and
 //!   per threshold.
 //! * [`persist`] — TSV (de)serialization of trained models.
+//! * [`store`] — crash-safe artifact store: checksummed envelopes,
+//!   atomic writes, quarantine-and-rebuild, and the sweep checkpoint
+//!   journal.
 //! * [`optsearch`] — the Table V-3 heuristic that derives the *actual*
 //!   optimal RC size around a prediction.
 //! * [`validate`] — the Table V-5/V-7 validation metrics.
@@ -52,6 +55,7 @@ pub mod planefit;
 pub mod scr;
 pub mod sizemodel;
 pub mod specgen;
+pub mod store;
 pub mod utility;
 pub mod validate;
 
@@ -62,10 +66,13 @@ pub use alternative::{
 pub use curve::{turnaround_curve, Curve, CurveConfig, CurveEvaluator, RcFamily};
 pub use heurmodel::HeuristicPredictionModel;
 pub use knee::find_knee;
-pub use observation::{KneeTable, ObservationGrid};
+pub use observation::{
+    measure_checkpointed, sweep_fingerprint, CheckpointConfig, KneeTable, ObservationGrid,
+};
 pub use planefit::PlaneFit;
 pub use sizemodel::{SizePredictionModel, ThresholdedSizeModel};
 pub use specgen::{ResourceSpec, SpecGenerator};
+pub use store::{StoreError, SweepJournal};
 pub use utility::UtilityFunction;
 
 /// The paper's default knee threshold: 0.1% (Section V.2.2).

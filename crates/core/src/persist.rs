@@ -15,22 +15,22 @@
 //! ```
 //!
 //! A [`ThresholdedSizeModel`] is a concatenation of sections.
+//!
+//! Decoding never trusts its input: every failure is a typed
+//! [`StoreError`] carrying the artifact family and the 1-based line
+//! number of the offending line — never a panic, and never a silently
+//! misplaced value (cell indices are bounds-checked per axis). On-disk
+//! artifacts additionally travel inside the checksummed envelope of
+//! [`crate::store`], which catches byte-level damage before these
+//! decoders ever run.
 
 use crate::planefit::PlaneFit;
 use crate::sizemodel::{SizePredictionModel, ThresholdedSizeModel};
-use std::fmt;
+use crate::store::StoreError;
 
-/// Errors from decoding persisted models.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PersistError(pub String);
-
-impl fmt::Display for PersistError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "model decode error: {}", self.0)
-    }
-}
-
-impl std::error::Error for PersistError {}
+/// Errors from decoding persisted models — an alias for the store-wide
+/// typed taxonomy (the historical name, kept for callers).
+pub type PersistError = StoreError;
 
 impl SizePredictionModel {
     /// Serializes the model.
@@ -59,40 +59,47 @@ impl SizePredictionModel {
     }
 
     /// Decodes one model section starting at `lines`; returns the model
-    /// and the number of lines consumed.
-    pub fn from_tsv_lines(lines: &[&str]) -> Result<(SizePredictionModel, usize), PersistError> {
+    /// and the number of lines consumed. Parse errors report 1-based
+    /// line numbers relative to the start of the slice.
+    pub fn from_tsv_lines(lines: &[&str]) -> Result<(SizePredictionModel, usize), StoreError> {
+        const ART: &str = "size-model";
         let mut i = 0usize;
-        let next = |i: &mut usize| -> Result<&str, PersistError> {
+        let next = |i: &mut usize| -> Result<&str, StoreError> {
             let l = lines
                 .get(*i)
-                .ok_or_else(|| PersistError("unexpected end".into()))?;
+                .ok_or_else(|| StoreError::parse(ART, *i + 1, "unexpected end of document"))?;
             *i += 1;
             Ok(l)
         };
         let header = next(&mut i)?;
         if !header.starts_with("rsg-size-model\tv1") {
-            return Err(PersistError(format!("bad header '{header}'")));
+            return Err(StoreError::parse(ART, i, format!("bad header '{header}'")));
         }
         let theta_line = next(&mut i)?;
         let theta: f64 = theta_line
             .strip_prefix("theta\t")
-            .ok_or_else(|| PersistError("missing theta".into()))?
+            .ok_or_else(|| StoreError::parse(ART, i, "missing theta"))?
             .parse()
-            .map_err(|_| PersistError("bad theta".into()))?;
-        let parse_axis = |line: &str, tag: &str| -> Result<Vec<f64>, PersistError> {
+            .map_err(|_| StoreError::parse(ART, i, "bad theta"))?;
+        let parse_axis = |line: &str, lno: usize, tag: &str| -> Result<Vec<f64>, StoreError> {
             let rest = line
                 .strip_prefix(tag)
-                .ok_or_else(|| PersistError(format!("missing {tag}")))?;
-            rest.split('\t')
+                .ok_or_else(|| StoreError::parse(ART, lno, format!("missing {tag}")))?;
+            let vals: Vec<f64> = rest
+                .split('\t')
                 .filter(|s| !s.is_empty())
                 .map(|s| {
                     s.parse::<f64>()
-                        .map_err(|_| PersistError(format!("bad {tag} value '{s}'")))
+                        .map_err(|_| StoreError::parse(ART, lno, format!("bad {tag} value '{s}'")))
                 })
-                .collect()
+                .collect::<Result<_, _>>()?;
+            if vals.is_empty() {
+                return Err(StoreError::parse(ART, lno, format!("empty {tag} axis")));
+            }
+            Ok(vals)
         };
-        let sizes = parse_axis(next(&mut i)?, "sizes")?;
-        let ccrs = parse_axis(next(&mut i)?, "ccrs")?;
+        let sizes = parse_axis(next(&mut i)?, i, "sizes")?;
+        let ccrs = parse_axis(next(&mut i)?, i, "ccrs")?;
         let mut fits = vec![
             PlaneFit {
                 a: 0.0,
@@ -109,36 +116,51 @@ impl SizePredictionModel {
             }
             let mut parts = line.split('\t');
             if parts.next() != Some("fit") {
-                return Err(PersistError(format!("expected fit line, got '{line}'")));
+                return Err(StoreError::parse(
+                    ART,
+                    i,
+                    format!("expected fit line, got '{line}'"),
+                ));
             }
-            let mut num = || -> Result<f64, PersistError> {
+            let mut num = |lno: usize| -> Result<f64, StoreError> {
                 parts
                     .next()
-                    .ok_or_else(|| PersistError("short fit line".into()))?
+                    .ok_or_else(|| StoreError::parse(ART, lno, "short fit line"))?
                     .parse()
-                    .map_err(|_| PersistError("bad fit number".into()))
+                    .map_err(|_| StoreError::parse(ART, lno, "bad fit number"))
             };
-            let si = num()? as usize;
-            let ci = num()? as usize;
-            let (a, b, c) = (num()?, num()?, num()?);
-            let idx = si * ccrs.len() + ci;
-            if idx >= fits.len() {
-                return Err(PersistError("fit index out of range".into()));
+            let si = num(i)? as usize;
+            let ci = num(i)? as usize;
+            let (a, b, c) = (num(i)?, num(i)?, num(i)?);
+            // Bounds-check each axis separately: a line like
+            // `fit 0 99 …` with a small combined index must not land
+            // in another cell's slot.
+            if si >= sizes.len() || ci >= ccrs.len() {
+                return Err(StoreError::parse(
+                    ART,
+                    i,
+                    format!(
+                        "fit index ({si}, {ci}) outside the {}x{} grid",
+                        sizes.len(),
+                        ccrs.len()
+                    ),
+                ));
             }
-            fits[idx] = PlaneFit { a, b, c };
+            fits[si * ccrs.len() + ci] = PlaneFit { a, b, c };
             seen += 1;
         }
         if seen != fits.len() {
-            return Err(PersistError(format!(
-                "expected {} fits, found {seen}",
-                fits.len()
-            )));
+            return Err(StoreError::parse(
+                ART,
+                i,
+                format!("expected {} fits, found {seen}", fits.len()),
+            ));
         }
         Ok((SizePredictionModel::from_parts(theta, sizes, ccrs, fits), i))
     }
 
     /// Decodes a single-model document.
-    pub fn from_tsv(text: &str) -> Result<SizePredictionModel, PersistError> {
+    pub fn from_tsv(text: &str) -> Result<SizePredictionModel, StoreError> {
         let lines: Vec<&str> = text.lines().collect();
         let (m, _) = Self::from_tsv_lines(&lines)?;
         Ok(m)
@@ -152,7 +174,7 @@ impl ThresholdedSizeModel {
     }
 
     /// Decodes a ladder document.
-    pub fn from_tsv(text: &str) -> Result<ThresholdedSizeModel, PersistError> {
+    pub fn from_tsv(text: &str) -> Result<ThresholdedSizeModel, StoreError> {
         let lines: Vec<&str> = text.lines().collect();
         let mut models = Vec::new();
         let mut pos = 0usize;
@@ -161,12 +183,13 @@ impl ThresholdedSizeModel {
                 pos += 1;
                 continue;
             }
-            let (m, used) = SizePredictionModel::from_tsv_lines(&lines[pos..])?;
+            let (m, used) = SizePredictionModel::from_tsv_lines(&lines[pos..])
+                .map_err(|e| e.with_line_offset(pos))?;
             models.push(m);
             pos += used;
         }
         if models.is_empty() {
-            return Err(PersistError("no models in document".into()));
+            return Err(StoreError::parse("size-model", 1, "no models in document"));
         }
         models.sort_by(|a, b| a.theta.total_cmp(&b.theta));
         Ok(ThresholdedSizeModel { models })
@@ -210,78 +233,99 @@ impl crate::heurmodel::HeuristicPredictionModel {
     }
 
     /// Decodes a heuristic-model document.
-    pub fn from_tsv(
-        text: &str,
-    ) -> Result<crate::heurmodel::HeuristicPredictionModel, PersistError> {
-        use crate::heurmodel::{CellResult, HeuristicPredictionModel};
+    pub fn from_tsv(text: &str) -> Result<crate::heurmodel::HeuristicPredictionModel, StoreError> {
+        use crate::heurmodel::CellResult;
         use rsg_sched::HeuristicKind;
+        const ART: &str = "heur-model";
         let mut lines = text.lines();
-        let header = lines.next().ok_or_else(|| PersistError("empty".into()))?;
+        let header = lines
+            .next()
+            .ok_or_else(|| StoreError::parse(ART, 1, "empty document"))?;
         if !header.starts_with("rsg-heur-model\tv1") {
-            return Err(PersistError(format!("bad header '{header}'")));
+            return Err(StoreError::parse(ART, 1, format!("bad header '{header}'")));
         }
-        let axis = |line: Option<&str>, tag: &str| -> Result<Vec<f64>, PersistError> {
-            let line = line.ok_or_else(|| PersistError(format!("missing {tag}")))?;
-            line.strip_prefix(tag)
-                .ok_or_else(|| PersistError(format!("missing {tag}")))?
+        let axis = |line: Option<&str>, lno: usize, tag: &str| -> Result<Vec<f64>, StoreError> {
+            let line = line.ok_or_else(|| StoreError::parse(ART, lno, format!("missing {tag}")))?;
+            let vals: Vec<f64> = line
+                .strip_prefix(tag)
+                .ok_or_else(|| StoreError::parse(ART, lno, format!("missing {tag}")))?
                 .split('\t')
                 .filter(|s| !s.is_empty())
                 .map(|s| {
                     s.parse::<f64>()
-                        .map_err(|_| PersistError(format!("bad {tag} value '{s}'")))
+                        .map_err(|_| StoreError::parse(ART, lno, format!("bad {tag} value '{s}'")))
                 })
-                .collect()
+                .collect::<Result<_, _>>()?;
+            if vals.is_empty() {
+                return Err(StoreError::parse(ART, lno, format!("empty {tag} axis")));
+            }
+            Ok(vals)
         };
-        let sizes: Vec<usize> = axis(lines.next(), "sizes")?
+        let sizes: Vec<usize> = axis(lines.next(), 2, "sizes")?
             .into_iter()
             .map(|s| s as usize)
             .collect();
-        let ccrs = axis(lines.next(), "ccrs")?;
+        let ccrs = axis(lines.next(), 3, "ccrs")?;
         let mut cells: Vec<Option<CellResult>> = vec![None; sizes.len() * ccrs.len()];
-        for line in lines {
+        for (off, line) in lines.enumerate() {
+            let lno = off + 4;
             if line == "end" {
                 break;
             }
             let mut parts = line.split('\t');
             if parts.next() != Some("cell") {
-                return Err(PersistError(format!("expected cell line, got '{line}'")));
+                return Err(StoreError::parse(
+                    ART,
+                    lno,
+                    format!("expected cell line, got '{line}'"),
+                ));
             }
             let si: usize = parts
                 .next()
                 .and_then(|s| s.parse().ok())
-                .ok_or_else(|| PersistError("bad cell si".into()))?;
+                .ok_or_else(|| StoreError::parse(ART, lno, "bad cell si"))?;
             let ci: usize = parts
                 .next()
                 .and_then(|s| s.parse().ok())
-                .ok_or_else(|| PersistError("bad cell ci".into()))?;
+                .ok_or_else(|| StoreError::parse(ART, lno, "bad cell ci"))?;
             let mut optimal_turnaround = Vec::new();
             for pair in parts {
                 let (name, t) = pair
                     .split_once(':')
-                    .ok_or_else(|| PersistError(format!("bad pair '{pair}'")))?;
-                let h = HeuristicKind::parse(name)
-                    .ok_or_else(|| PersistError(format!("unknown heuristic '{name}'")))?;
+                    .ok_or_else(|| StoreError::parse(ART, lno, format!("bad pair '{pair}'")))?;
+                let h = HeuristicKind::parse(name).ok_or_else(|| {
+                    StoreError::parse(ART, lno, format!("unknown heuristic '{name}'"))
+                })?;
                 let t: f64 = t
                     .parse()
-                    .map_err(|_| PersistError(format!("bad turnaround '{t}'")))?;
+                    .map_err(|_| StoreError::parse(ART, lno, format!("bad turnaround '{t}'")))?;
                 optimal_turnaround.push((h, t));
             }
             if optimal_turnaround.is_empty() {
-                return Err(PersistError("cell with no heuristics".into()));
+                return Err(StoreError::parse(ART, lno, "cell with no heuristics"));
             }
-            let idx = si * ccrs.len() + ci;
-            if idx >= cells.len() {
-                return Err(PersistError("cell index out of range".into()));
+            // Per-axis bounds checks: a bad `ci` with a small combined
+            // index must error, not overwrite a different cell.
+            if si >= sizes.len() || ci >= ccrs.len() {
+                return Err(StoreError::parse(
+                    ART,
+                    lno,
+                    format!(
+                        "cell index ({si}, {ci}) outside the {}x{} grid",
+                        sizes.len(),
+                        ccrs.len()
+                    ),
+                ));
             }
-            cells[idx] = Some(CellResult {
+            cells[si * ccrs.len() + ci] = Some(CellResult {
                 size: sizes[si],
                 ccr: ccrs[ci],
                 optimal_turnaround,
             });
         }
         let cells: Option<Vec<CellResult>> = cells.into_iter().collect();
-        let cells = cells.ok_or_else(|| PersistError("missing cells".into()))?;
-        Ok(HeuristicPredictionModel { sizes, ccrs, cells })
+        let cells = cells.ok_or_else(|| StoreError::parse(ART, 1, "missing cells"))?;
+        Ok(crate::heurmodel::HeuristicPredictionModel { sizes, ccrs, cells })
     }
 }
 
@@ -332,47 +376,49 @@ impl crate::observation::KneeTable {
     }
 
     /// Decodes one knee-table section starting at `lines`; returns the
-    /// table and the number of lines consumed.
+    /// table and the number of lines consumed. Parse errors report
+    /// 1-based line numbers relative to the start of the slice.
     pub fn from_tsv_lines(
         lines: &[&str],
-    ) -> Result<(crate::observation::KneeTable, usize), PersistError> {
+    ) -> Result<(crate::observation::KneeTable, usize), StoreError> {
         use crate::observation::{KneeTable, ObservationGrid};
+        const ART: &str = "knee-table";
         let mut i = 0usize;
-        let next = |i: &mut usize| -> Result<&str, PersistError> {
+        let next = |i: &mut usize| -> Result<&str, StoreError> {
             let l = lines
                 .get(*i)
-                .ok_or_else(|| PersistError("unexpected end".into()))?;
+                .ok_or_else(|| StoreError::parse(ART, *i + 1, "unexpected end of document"))?;
             *i += 1;
             Ok(l)
         };
         let header = next(&mut i)?;
         if !header.starts_with("rsg-knee-table\tv1") {
-            return Err(PersistError(format!("bad header '{header}'")));
+            return Err(StoreError::parse(ART, i, format!("bad header '{header}'")));
         }
-        let field = |line: &str, tag: &str| -> Result<Vec<f64>, PersistError> {
+        let field = |line: &str, lno: usize, tag: &str| -> Result<Vec<f64>, StoreError> {
             line.strip_prefix(tag)
-                .ok_or_else(|| PersistError(format!("missing {tag}")))?
+                .ok_or_else(|| StoreError::parse(ART, lno, format!("missing {tag}")))?
                 .split('\t')
                 .filter(|s| !s.is_empty())
                 .map(|s| {
                     s.parse::<f64>()
-                        .map_err(|_| PersistError(format!("bad {tag} value '{s}'")))
+                        .map_err(|_| StoreError::parse(ART, lno, format!("bad {tag} value '{s}'")))
                 })
                 .collect()
         };
-        let theta = *field(next(&mut i)?, "theta")?
+        let theta = *field(next(&mut i)?, i, "theta")?
             .first()
-            .ok_or_else(|| PersistError("missing theta".into()))?;
-        let sizes: Vec<usize> = field(next(&mut i)?, "sizes")?
+            .ok_or_else(|| StoreError::parse(ART, i, "missing theta"))?;
+        let sizes: Vec<usize> = field(next(&mut i)?, i, "sizes")?
             .into_iter()
             .map(|s| s as usize)
             .collect();
-        let ccrs = field(next(&mut i)?, "ccrs")?;
-        let alphas = field(next(&mut i)?, "alphas")?;
-        let betas = field(next(&mut i)?, "betas")?;
-        let grid_line = field(next(&mut i)?, "grid")?;
+        let ccrs = field(next(&mut i)?, i, "ccrs")?;
+        let alphas = field(next(&mut i)?, i, "alphas")?;
+        let betas = field(next(&mut i)?, i, "betas")?;
+        let grid_line = field(next(&mut i)?, i, "grid")?;
         if grid_line.len() != 3 {
-            return Err(PersistError("grid line needs 3 values".into()));
+            return Err(StoreError::parse(ART, i, "grid line needs 3 values"));
         }
         let grid = ObservationGrid {
             sizes,
@@ -383,11 +429,12 @@ impl crate::observation::KneeTable {
             mean_comp: grid_line[1],
             instances: grid_line[2] as usize,
         };
-        let knees = field(next(&mut i)?, "knees")?;
+        let knees = field(next(&mut i)?, i, "knees")?;
         if next(&mut i)? != "end" {
-            return Err(PersistError("missing end".into()));
+            return Err(StoreError::parse(ART, i, "missing end"));
         }
-        let table = KneeTable::from_parts(grid, theta, knees).map_err(PersistError)?;
+        let table =
+            KneeTable::from_parts(grid, theta, knees).map_err(|e| e.with_line_offset(i - 1))?;
         Ok((table, i))
     }
 }
@@ -419,9 +466,7 @@ pub fn knee_tables_to_tsv(tables: &[crate::observation::KneeTable]) -> String {
 }
 
 /// Decodes a knee-table document, preserving section order.
-pub fn knee_tables_from_tsv(
-    text: &str,
-) -> Result<Vec<crate::observation::KneeTable>, PersistError> {
+pub fn knee_tables_from_tsv(text: &str) -> Result<Vec<crate::observation::KneeTable>, StoreError> {
     let lines: Vec<&str> = text.lines().collect();
     let mut tables = Vec::new();
     let mut pos = 0usize;
@@ -430,12 +475,17 @@ pub fn knee_tables_from_tsv(
             pos += 1;
             continue;
         }
-        let (t, used) = crate::observation::KneeTable::from_tsv_lines(&lines[pos..])?;
+        let (t, used) = crate::observation::KneeTable::from_tsv_lines(&lines[pos..])
+            .map_err(|e| e.with_line_offset(pos))?;
         tables.push(t);
         pos += used;
     }
     if tables.is_empty() {
-        return Err(PersistError("no knee tables in document".into()));
+        return Err(StoreError::parse(
+            "knee-table",
+            1,
+            "no knee tables in document",
+        ));
     }
     Ok(tables)
 }
@@ -494,6 +544,38 @@ mod tests {
         };
         assert!(SizePredictionModel::from_tsv(&truncated).is_err());
         assert!(ThresholdedSizeModel::from_tsv("\n\n").is_err());
+    }
+
+    #[test]
+    fn decode_errors_carry_typed_context() {
+        // An un-parseable theta reports its artifact and line number.
+        let e = SizePredictionModel::from_tsv("rsg-size-model\tv1\ntheta\tbogus\n").unwrap_err();
+        match e {
+            StoreError::Parse { artifact, line, .. } => {
+                assert_eq!(artifact, "size-model");
+                assert_eq!(line, 2);
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        // Empty axes are rejected before they can panic a later
+        // prediction.
+        let e = SizePredictionModel::from_tsv("rsg-size-model\tv1\ntheta\t0.1\nsizes\nccrs\t1\n")
+            .unwrap_err();
+        assert!(e.to_string().contains("empty sizes axis"), "{e}");
+    }
+
+    #[test]
+    fn out_of_range_axis_indices_rejected() {
+        // `fit 0 9 …` has a small combined index on a 2x1 grid (idx 9
+        // would wrap into another row if only the flat bound were
+        // checked) — it must be a typed error, not a misplaced value.
+        let doc = "rsg-size-model\tv1\ntheta\t0.1\nsizes\t10\t20\nccrs\t0.5\n\
+                   fit\t0\t9\t1\t1\t1\nend\n";
+        let e = SizePredictionModel::from_tsv(doc).unwrap_err();
+        assert!(e.to_string().contains("outside"), "{e}");
+        let doc = "rsg-heur-model\tv1\nsizes\t10\t20\nccrs\t0.5\ncell\t0\t9\tMCP:1\nend\n";
+        let e = crate::heurmodel::HeuristicPredictionModel::from_tsv(doc).unwrap_err();
+        assert!(e.to_string().contains("outside"), "{e}");
     }
 
     #[test]

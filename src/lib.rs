@@ -20,6 +20,7 @@
 //! | [`sched`] | `rsg-sched` | MCP/Greedy/DLS/FCA/FCFS heuristics, schedule validator, scheduling-time model, fault model + chaos rescue engine |
 //! | [`core`] | `rsg-core` | knee detection, size & heuristic prediction models, spec generator, alternatives + retrying negotiator |
 //! | [`select`] | `rsg-select` | vgDL + vgES finder, ClassAds + matchmaker, SWORD XML + engine, flaky-selector injector |
+//! | [`obs`] | `rsg-obs` | counters, spans, timing histograms, run reports |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@
 
 pub use rsg_core as core;
 pub use rsg_dag as dag;
+pub use rsg_obs as obs;
 pub use rsg_platform as platform;
 pub use rsg_sched as sched;
 pub use rsg_select as select;

@@ -1,0 +1,383 @@
+//! Typed diagnostics: stable codes, severities and the report
+//! renderers (JSON / TSV / human, mirroring the `rsg-obs` report
+//! formats).
+
+use std::fmt;
+
+/// Diagnostic severity, ordered from least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational — no action required.
+    Info,
+    /// Suspicious but not necessarily wrong.
+    Warn,
+    /// Definitely wrong; `rsg lint` maps any error to a non-zero exit.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label as printed in every output format.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Stable diagnostic codes. Codes are append-only: a released code
+/// never changes meaning, so downstream tooling can match on the
+/// string form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(missing_docs)] // Each variant is documented by `description()`.
+pub enum Code {
+    Dag001,
+    Dag002,
+    Dag003,
+    Dag004,
+    Dag005,
+    Spec001,
+    Spec002,
+    Spec003,
+    Spec004,
+    Spec005,
+    Spec006,
+    Spec007,
+    Spec008,
+    Xlang001,
+    Xlang002,
+    Xlang003,
+    Parse001,
+    Parse002,
+    Parse003,
+    Parse004,
+    Parse005,
+}
+
+impl Code {
+    /// Every code, in report order. The seeded-defect fixture corpus
+    /// must trip each of these at least once (enforced by
+    /// `tests/lint_corpus.rs`).
+    pub const ALL: [Code; 21] = [
+        Code::Dag001,
+        Code::Dag002,
+        Code::Dag003,
+        Code::Dag004,
+        Code::Dag005,
+        Code::Spec001,
+        Code::Spec002,
+        Code::Spec003,
+        Code::Spec004,
+        Code::Spec005,
+        Code::Spec006,
+        Code::Spec007,
+        Code::Spec008,
+        Code::Xlang001,
+        Code::Xlang002,
+        Code::Xlang003,
+        Code::Parse001,
+        Code::Parse002,
+        Code::Parse003,
+        Code::Parse004,
+        Code::Parse005,
+    ];
+
+    /// The stable string form (`DAG001`, `SPEC003`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Dag001 => "DAG001",
+            Code::Dag002 => "DAG002",
+            Code::Dag003 => "DAG003",
+            Code::Dag004 => "DAG004",
+            Code::Dag005 => "DAG005",
+            Code::Spec001 => "SPEC001",
+            Code::Spec002 => "SPEC002",
+            Code::Spec003 => "SPEC003",
+            Code::Spec004 => "SPEC004",
+            Code::Spec005 => "SPEC005",
+            Code::Spec006 => "SPEC006",
+            Code::Spec007 => "SPEC007",
+            Code::Spec008 => "SPEC008",
+            Code::Xlang001 => "XLANG001",
+            Code::Xlang002 => "XLANG002",
+            Code::Xlang003 => "XLANG003",
+            Code::Parse001 => "PARSE001",
+            Code::Parse002 => "PARSE002",
+            Code::Parse003 => "PARSE003",
+            Code::Parse004 => "PARSE004",
+            Code::Parse005 => "PARSE005",
+        }
+    }
+
+    /// One-line description (the ARCHITECTURE.md table row).
+    pub fn description(self) -> &'static str {
+        match self {
+            Code::Dag001 => "workflow DAG contains a cycle",
+            Code::Dag002 => "malformed DAG structure (unknown task, self-edge, duplicate edge)",
+            Code::Dag003 => "invalid task or edge weight (NaN, negative, infinite; zero warns)",
+            Code::Dag004 => "orphan task: no edges touch it while the rest of the DAG is connected",
+            Code::Dag005 => "degenerate width: requested RC size exceeds the DAG's maximum width",
+            Code::Spec001 => "requested RC size is zero",
+            Code::Spec002 => "minimum acceptable size exceeds the requested size",
+            Code::Spec003 => "clock range is inverted (min > max)",
+            Code::Spec004 => "non-finite or non-positive quantity in a spec field",
+            Code::Spec005 => "knee threshold outside (0, 1)",
+            Code::Spec006 => "unsatisfiable against the platform model",
+            Code::Spec007 => "degradation ladder violation (rung not strictly weaker / unordered)",
+            Code::Spec008 => "utility configuration is degenerate (bad weights or trade-off rows)",
+            Code::Xlang001 => "language rendering is missing a required field of the spec",
+            Code::Xlang002 => "renderings in different languages disagree on a shared field",
+            Code::Xlang003 => "spec does not round-trip through its own language rendering",
+            Code::Parse001 => "vgDL parse failure",
+            Code::Parse002 => "ClassAd parse failure",
+            Code::Parse003 => "SWORD XML parse failure",
+            Code::Parse004 => "DAG file parse failure",
+            Code::Parse005 => "native rsg-spec file parse failure",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a code, its severity for this occurrence, the input it
+/// was found in, and a human-oriented detail string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity of this occurrence (some codes downgrade to `Warn` in
+    /// borderline cases, e.g. zero-cost tasks or soft satisfiability).
+    pub severity: Severity,
+    /// Name of the analyzed input (file name or synthetic label).
+    pub subject: String,
+    /// What exactly is wrong, with the offending values.
+    pub detail: String,
+}
+
+impl Diagnostic {
+    /// Error-severity shorthand.
+    pub fn error(code: Code, subject: &str, detail: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            subject: subject.to_string(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Warn-severity shorthand.
+    pub fn warn(code: Code, subject: &str, detail: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warn,
+            subject: subject.to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.code, self.subject, self.detail
+        )
+    }
+}
+
+/// The analyzer's result: every diagnostic, in deterministic order
+/// (inputs in presentation order, checks in code order within each
+/// input).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnalysisReport {
+    /// All findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warn-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// True when no diagnostics at all were produced.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Every distinct code that fired, in `Code::ALL` order.
+    pub fn codes(&self) -> Vec<Code> {
+        Code::ALL
+            .into_iter()
+            .filter(|c| self.diagnostics.iter().any(|d| d.code == *c))
+            .collect()
+    }
+
+    /// JSON rendering (schema mirrors the `rsg-obs` report envelope).
+    pub fn to_json(&self) -> String {
+        use rsg_obs::json::escape;
+        let mut j = String::from("{\n");
+        j.push_str("  \"rsg_analyze_report\": \"v1\",\n");
+        j.push_str(&format!("  \"errors\": {},\n", self.errors()));
+        j.push_str(&format!("  \"warnings\": {},\n", self.warnings()));
+        j.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            j.push_str(&format!(
+                "\n    {{\"code\": {}, \"severity\": {}, \"subject\": {}, \"detail\": {}}}",
+                escape(d.code.as_str()),
+                escape(d.severity.label()),
+                escape(&d.subject),
+                escape(&d.detail)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            j.push_str("\n  ");
+        }
+        j.push_str("]\n}\n");
+        j
+    }
+
+    /// Flat TSV rendering (`rsg-analyze-report` header, one `diag`
+    /// line per finding, `end` trailer — the `rsg-obs` TSV shape).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("rsg-analyze-report\tv1\n");
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "diag\t{}\t{}\t{}\t{}\n",
+                d.code,
+                d.severity,
+                d.subject,
+                d.detail.replace(['\t', '\n'], " ")
+            ));
+        }
+        out.push_str(&format!(
+            "totals\terrors={}\twarnings={}\n",
+            self.errors(),
+            self.warnings()
+        ));
+        out.push_str("end\n");
+        out
+    }
+
+    /// Width-aligned human-readable table.
+    pub fn to_human(&self) -> String {
+        if self.is_clean() {
+            return "== static analysis ==\nno diagnostics\n".to_string();
+        }
+        let header = ["code", "severity", "subject", "detail"];
+        let rows: Vec<[String; 4]> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                [
+                    d.code.to_string(),
+                    d.severity.to_string(),
+                    d.subject.clone(),
+                    d.detail.clone(),
+                ]
+            })
+            .collect();
+        let mut width: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::from("== static analysis ==\n");
+        let mut line = |cells: &[String]| {
+            let mut l = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                l.push_str(&format!("{:<w$}  ", c, w = width[i]));
+            }
+            out.push_str(l.trim_end());
+            out.push('\n');
+        };
+        line(&header.map(str::to_string));
+        for row in &rows {
+            line(row.as_slice());
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s)\n",
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AnalysisReport {
+        AnalysisReport {
+            diagnostics: vec![
+                Diagnostic::error(Code::Dag001, "a.dag", "cycle through tasks 1 -> 2 -> 1"),
+                Diagnostic::warn(Code::Dag003, "a.dag", "task 3 has zero cost"),
+            ],
+        }
+    }
+
+    #[test]
+    fn all_codes_unique_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in Code::ALL {
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+            assert!(!c.description().is_empty());
+        }
+        assert_eq!(seen.len(), Code::ALL.len());
+    }
+
+    #[test]
+    fn counts_and_codes() {
+        let r = sample();
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(!r.is_clean());
+        assert_eq!(r.codes(), vec![Code::Dag001, Code::Dag003]);
+    }
+
+    #[test]
+    fn renders_all_three_formats() {
+        let r = sample();
+        let json = r.to_json();
+        assert!(json.contains("\"rsg_analyze_report\": \"v1\""));
+        assert!(json.contains("\"DAG001\""));
+        assert!(json.contains("\"errors\": 1"));
+        let tsv = r.to_tsv();
+        assert!(tsv.starts_with("rsg-analyze-report\tv1\n"));
+        assert!(tsv.contains("diag\tDAG001\terror\ta.dag\t"));
+        assert!(tsv.ends_with("end\n"));
+        let human = r.to_human();
+        assert!(human.contains("== static analysis =="));
+        assert!(human.contains("1 error(s), 1 warning(s)"));
+        assert_eq!(
+            AnalysisReport::default().to_human(),
+            "== static analysis ==\nno diagnostics\n"
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! The native `rsg-spec v1` file format: a plain-text serialization of
+//! a generated [`rsg_core::ResourceSpec`] together with its utility
+//! configuration and degradation ladder, so the analyzer can lint the
+//! *full* generator output (thresholds, trade-offs, rungs) — none of
+//! which survive into the three target languages.
+//!
+//! ```text
+//! rsg-spec v1
+//! # optional utility configuration
+//! utility 1.0 0.1
+//! tradeoff 0.001 0.0 1.0
+//! # one rung per block; a block with no preceding `rung` line is the
+//! # implicit undegraded request
+//! rung none 1200
+//! size 20
+//! min 5
+//! clock 1000 3600
+//! heuristic MCP
+//! aggregate TightBagOf
+//! threshold 0.001
+//! memory 512
+//! end
+//! ```
+//!
+//! Parsing is syntax-strict but value-lenient: an unknown directive or
+//! an unparseable number is a parse error (`PARSE005`), while
+//! semantically absurd values (NaN clocks, zero sizes, inverted
+//! ranges) decode fine and are left for the semantic lints.
+
+use rsg_core::Degradation;
+
+/// Parse error for the native format (surfaced as `PARSE005`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecFileError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Message.
+    pub msg: String,
+}
+
+impl std::fmt::Display for SpecFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rsg-spec parse error at line {}: {}",
+            self.line, self.msg
+        )
+    }
+}
+
+impl std::error::Error for SpecFileError {}
+
+/// One ladder rung: the degradation that produced it, its predicted
+/// turnaround, and the (raw, unvalidated) spec fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecRung {
+    /// Which knob was degraded to obtain this rung.
+    pub degradation: Degradation,
+    /// Predicted turnaround in seconds, when recorded.
+    pub turnaround_s: Option<f64>,
+    /// Requested RC size.
+    pub size: Option<f64>,
+    /// Minimum acceptable RC size.
+    pub min_size: Option<f64>,
+    /// Clock range (lo, hi), MHz.
+    pub clock: Option<(f64, f64)>,
+    /// Scheduling heuristic name.
+    pub heuristic: Option<String>,
+    /// Aggregate kind keyword.
+    pub aggregate: Option<String>,
+    /// Knee threshold.
+    pub threshold: Option<f64>,
+    /// Memory floor, MB.
+    pub memory_mb: Option<f64>,
+}
+
+impl SpecRung {
+    fn empty(degradation: Degradation, turnaround_s: Option<f64>) -> SpecRung {
+        SpecRung {
+            degradation,
+            turnaround_s,
+            size: None,
+            min_size: None,
+            clock: None,
+            heuristic: None,
+            aggregate: None,
+            threshold: None,
+            memory_mb: None,
+        }
+    }
+}
+
+/// A decoded native spec file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpecDoc {
+    /// `(perf_weight, cost_weight)` when a `utility` line is present.
+    pub utility: Option<(f64, f64)>,
+    /// `(threshold, expected degradation, expected relative cost)`
+    /// rows for the utility to choose from.
+    pub tradeoffs: Vec<(f64, f64, f64)>,
+    /// The ladder, original request first.
+    pub rungs: Vec<SpecRung>,
+}
+
+fn parse_degradation(s: &str) -> Option<Degradation> {
+    match s {
+        "none" => Some(Degradation::None),
+        "slower-clock" => Some(Degradation::SlowerClock),
+        "wider-het" => Some(Degradation::WiderHeterogeneity),
+        "smaller-size" => Some(Degradation::SmallerSize),
+        _ => None,
+    }
+}
+
+/// Keyword form of a degradation, inverse of the `rung` line parser.
+pub fn degradation_keyword(d: Degradation) -> &'static str {
+    match d {
+        Degradation::None => "none",
+        Degradation::SlowerClock => "slower-clock",
+        Degradation::WiderHeterogeneity => "wider-het",
+        Degradation::SmallerSize => "smaller-size",
+    }
+}
+
+/// Parses the `rsg-spec v1` format.
+pub fn parse_spec_doc(text: &str) -> Result<SpecDoc, SpecFileError> {
+    let err = |line: usize, msg: &str| SpecFileError {
+        line,
+        msg: msg.to_string(),
+    };
+    let mut lines = text.lines().enumerate();
+    let header = lines
+        .next()
+        .ok_or_else(|| err(1, "empty document"))?
+        .1
+        .trim();
+    if header != "rsg-spec v1" {
+        return Err(err(1, "missing 'rsg-spec v1' header"));
+    }
+
+    let mut doc = SpecDoc::default();
+    // The rung currently being filled; opened lazily by the first
+    // field line (the implicit undegraded rung) or by a `rung` line.
+    let mut open: Option<SpecRung> = None;
+    let mut saw_end = false;
+
+    for (i, raw) in lines {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let word = it.next().unwrap_or("");
+        let rest: Vec<&str> = it.collect();
+        let num = |s: &str| -> Result<f64, SpecFileError> {
+            s.parse()
+                .map_err(|_| err(lineno, &format!("bad number '{s}'")))
+        };
+        let arity = |want: usize| -> Result<(), SpecFileError> {
+            if rest.len() == want {
+                Ok(())
+            } else {
+                Err(err(
+                    lineno,
+                    &format!("'{word}' takes {want} value(s), got {}", rest.len()),
+                ))
+            }
+        };
+        match word {
+            "utility" => {
+                arity(2)?;
+                doc.utility = Some((num(rest[0])?, num(rest[1])?));
+            }
+            "tradeoff" => {
+                arity(3)?;
+                doc.tradeoffs
+                    .push((num(rest[0])?, num(rest[1])?, num(rest[2])?));
+            }
+            "rung" => {
+                if open.is_some() {
+                    return Err(err(lineno, "'rung' inside an unterminated rung block"));
+                }
+                if rest.is_empty() || rest.len() > 2 {
+                    return Err(err(lineno, "'rung' takes a kind and optional turnaround"));
+                }
+                let kind = parse_degradation(rest[0])
+                    .ok_or_else(|| err(lineno, &format!("unknown degradation '{}'", rest[0])))?;
+                let t = rest.get(1).map(|s| num(s)).transpose()?;
+                open = Some(SpecRung::empty(kind, t));
+            }
+            "end" => {
+                let rung = open
+                    .take()
+                    .ok_or_else(|| err(lineno, "'end' outside a rung block"))?;
+                doc.rungs.push(rung);
+                saw_end = true;
+            }
+            "size" | "min" | "clock" | "heuristic" | "aggregate" | "threshold" | "memory" => {
+                let rung = open.get_or_insert_with(|| SpecRung::empty(Degradation::None, None));
+                match word {
+                    "size" => {
+                        arity(1)?;
+                        rung.size = Some(num(rest[0])?);
+                    }
+                    "min" => {
+                        arity(1)?;
+                        rung.min_size = Some(num(rest[0])?);
+                    }
+                    "clock" => {
+                        arity(2)?;
+                        rung.clock = Some((num(rest[0])?, num(rest[1])?));
+                    }
+                    "heuristic" => {
+                        arity(1)?;
+                        rung.heuristic = Some(rest[0].to_string());
+                    }
+                    "aggregate" => {
+                        arity(1)?;
+                        rung.aggregate = Some(rest[0].to_string());
+                    }
+                    "threshold" => {
+                        arity(1)?;
+                        rung.threshold = Some(num(rest[0])?);
+                    }
+                    "memory" => {
+                        arity(1)?;
+                        rung.memory_mb = Some(num(rest[0])?);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            other => return Err(err(lineno, &format!("unknown directive '{other}'"))),
+        }
+    }
+    if open.is_some() {
+        return Err(err(text.lines().count(), "unterminated rung block"));
+    }
+    if !saw_end {
+        return Err(err(text.lines().count(), "document has no rung block"));
+    }
+    Ok(doc)
+}
+
+/// Renders a [`rsg_core::ResourceSpec`] (plus an optional ladder tail)
+/// in the native format — the writer counterpart used by fixtures and
+/// round-trip tests.
+pub fn write_spec_doc(doc: &SpecDoc) -> String {
+    let mut out = String::from("rsg-spec v1\n");
+    if let Some((p, c)) = doc.utility {
+        out.push_str(&format!("utility {p} {c}\n"));
+    }
+    for (t, d, c) in &doc.tradeoffs {
+        out.push_str(&format!("tradeoff {t} {d} {c}\n"));
+    }
+    for r in &doc.rungs {
+        match r.turnaround_s {
+            Some(t) => out.push_str(&format!(
+                "rung {} {t}\n",
+                degradation_keyword(r.degradation)
+            )),
+            None => out.push_str(&format!("rung {}\n", degradation_keyword(r.degradation))),
+        }
+        if let Some(v) = r.size {
+            out.push_str(&format!("size {v}\n"));
+        }
+        if let Some(v) = r.min_size {
+            out.push_str(&format!("min {v}\n"));
+        }
+        if let Some((lo, hi)) = r.clock {
+            out.push_str(&format!("clock {lo} {hi}\n"));
+        }
+        if let Some(v) = &r.heuristic {
+            out.push_str(&format!("heuristic {v}\n"));
+        }
+        if let Some(v) = &r.aggregate {
+            out.push_str(&format!("aggregate {v}\n"));
+        }
+        if let Some(v) = r.threshold {
+            out.push_str(&format!("threshold {v}\n"));
+        }
+        if let Some(v) = r.memory_mb {
+            out.push_str(&format!("memory {v}\n"));
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "rsg-spec v1\n# demo\nutility 1.0 0.1\ntradeoff 0.001 0.0 1.0\n\
+                       rung none 1200\nsize 20\nmin 5\nclock 1000 3600\nheuristic MCP\n\
+                       aggregate TightBagOf\nthreshold 0.001\nmemory 512\nend\n\
+                       rung smaller-size 1400\nsize 12\nmin 5\nclock 1000 3600\nend\n";
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let doc = parse_spec_doc(DOC).unwrap();
+        assert_eq!(doc.utility, Some((1.0, 0.1)));
+        assert_eq!(doc.tradeoffs, vec![(0.001, 0.0, 1.0)]);
+        assert_eq!(doc.rungs.len(), 2);
+        let r0 = &doc.rungs[0];
+        assert_eq!(r0.degradation, Degradation::None);
+        assert_eq!(r0.turnaround_s, Some(1200.0));
+        assert_eq!(r0.size, Some(20.0));
+        assert_eq!(r0.clock, Some((1000.0, 3600.0)));
+        assert_eq!(r0.heuristic.as_deref(), Some("MCP"));
+        assert_eq!(doc.rungs[1].degradation, Degradation::SmallerSize);
+    }
+
+    #[test]
+    fn implicit_single_rung() {
+        let doc = parse_spec_doc("rsg-spec v1\nsize 8\nclock 1000 3000\nend\n").unwrap();
+        assert_eq!(doc.rungs.len(), 1);
+        assert_eq!(doc.rungs[0].degradation, Degradation::None);
+        assert_eq!(doc.rungs[0].size, Some(8.0));
+    }
+
+    #[test]
+    fn lenient_values_strict_syntax() {
+        // NaN / inverted / zero values decode fine …
+        let doc =
+            parse_spec_doc("rsg-spec v1\nsize 0\nclock NaN 100\nthreshold 2.0\nend\n").unwrap();
+        assert_eq!(doc.rungs[0].size, Some(0.0));
+        assert!(doc.rungs[0].clock.unwrap().0.is_nan());
+        // … while syntax errors do not.
+        for bad in [
+            "size 1\nend\n",                     // missing header
+            "rsg-spec v1\nsize abc\nend\n",      // bad number
+            "rsg-spec v1\nbogus 1\nend\n",       // unknown directive
+            "rsg-spec v1\nsize 1\n",             // unterminated block
+            "rsg-spec v1\nrung sideways\nend\n", // unknown degradation
+            "rsg-spec v1\nutility 1.0\nend\n",   // wrong arity
+            "rsg-spec v1\n",                     // no rung at all
+        ] {
+            assert!(parse_spec_doc(bad).is_err(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn writer_round_trips() {
+        let doc = parse_spec_doc(DOC).unwrap();
+        let re = parse_spec_doc(&write_spec_doc(&doc)).unwrap();
+        assert_eq!(doc, re);
+    }
+}

@@ -1,0 +1,649 @@
+//! Cross-language differential analysis (`XLANG001`–`XLANG003`).
+//!
+//! Every target language captures a different projection of a
+//! [`ResourceSpec`]: vgDL has no heuristic, ClassAds have no aggregate
+//! kind, SWORD keeps only size/clock/memory. The analyzer therefore
+//! reduces each parsed document to a [`SpecView`] — the fields that
+//! language *can* express — and
+//!
+//! * flags renderings that dropped a field their language could have
+//!   kept (`XLANG001`),
+//! * compares the views of documents analyzed together, treating them
+//!   as renderings of the same request (`XLANG002`), and
+//! * re-renders each view through the spec generator's own emitter and
+//!   re-parses it, requiring semantic fixed-point round-trips
+//!   (`XLANG003`).
+
+use crate::diag::{Code, Diagnostic};
+use crate::spec_lints::parse_aggregate;
+use rsg_core::{ResourceSpec, SpecGenerator};
+use rsg_sched::HeuristicKind;
+use rsg_select::classad::{parse_classad, BinOp, ClassAd, Expr};
+use rsg_select::sword::{parse_sword, write_sword, SwordRequest};
+use rsg_select::vgdl::{parse_vgdl, CmpOp, ConstraintValue, VgdlSpec};
+
+/// Which target language a document was written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecLang {
+    /// vgDL (vgES).
+    Vgdl,
+    /// Condor ClassAd.
+    ClassAd,
+    /// SWORD XML.
+    Sword,
+}
+
+impl SpecLang {
+    /// Lower-case label used in diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpecLang::Vgdl => "vgdl",
+            SpecLang::ClassAd => "classad",
+            SpecLang::Sword => "sword",
+        }
+    }
+}
+
+/// The language-independent projection of a spec document: every field
+/// is optional because no single language expresses all of them.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpecView {
+    /// Requested RC size.
+    pub size: Option<f64>,
+    /// Minimum acceptable size.
+    pub min_size: Option<f64>,
+    /// Clock lower bound, MHz.
+    pub clock_lo: Option<f64>,
+    /// Clock upper bound, MHz.
+    pub clock_hi: Option<f64>,
+    /// Memory floor, MB.
+    pub memory_mb: Option<f64>,
+    /// Scheduling heuristic name (ClassAds only).
+    pub heuristic: Option<String>,
+    /// Aggregate kind keyword (vgDL only).
+    pub aggregate: Option<String>,
+}
+
+/// Extracts the view of a parsed vgDL spec. `XLANG001` diagnostics are
+/// appended for fields the rendering should carry but does not.
+pub fn view_from_vgdl(spec: &VgdlSpec, subject: &str, out: &mut Vec<Diagnostic>) -> SpecView {
+    let Some((_, agg)) = spec.aggregates.first() else {
+        out.push(Diagnostic::error(
+            Code::Xlang001,
+            subject,
+            "vgdl rendering has no aggregate",
+        ));
+        return SpecView::default();
+    };
+    let memory = agg
+        .constraints
+        .iter()
+        .find(|c| c.attr.eq_ignore_ascii_case("Memory") && matches!(c.op, CmpOp::Ge | CmpOp::Gt))
+        .and_then(|c| match &c.value {
+            ConstraintValue::Num(v) => Some(*v),
+            ConstraintValue::Sym(_) => None,
+        });
+    let view = SpecView {
+        size: Some(f64::from(agg.max)),
+        min_size: Some(f64::from(agg.min)),
+        clock_lo: agg.min_clock_mhz(),
+        clock_hi: agg.max_clock_mhz(),
+        memory_mb: memory,
+        heuristic: None,
+        aggregate: Some(agg.kind.keyword().to_string()),
+    };
+    if view.clock_lo.is_none() {
+        out.push(Diagnostic::error(
+            Code::Xlang001,
+            subject,
+            "vgdl rendering lacks a Clock lower-bound constraint",
+        ));
+    }
+    if view.memory_mb.is_none() {
+        out.push(Diagnostic::error(
+            Code::Xlang001,
+            subject,
+            "vgdl rendering lacks a Memory floor constraint",
+        ));
+    }
+    view
+}
+
+/// Extracts the view of a parsed ClassAd request.
+pub fn view_from_classad(ad: &ClassAd, subject: &str, out: &mut Vec<Diagnostic>) -> SpecView {
+    let num_attr = |name: &str| match ad.get(name) {
+        Some(Expr::Num(n)) => Some(*n),
+        _ => None,
+    };
+    let mut view = SpecView {
+        size: num_attr("Count"),
+        min_size: num_attr("MinCount"),
+        heuristic: match ad.get("SchedulingHeuristic") {
+            Some(Expr::Str(s)) => Some(s.clone()),
+            _ => None,
+        },
+        ..SpecView::default()
+    };
+    if view.size.is_none() {
+        out.push(Diagnostic::error(
+            Code::Xlang001,
+            subject,
+            "classad rendering lacks a numeric Count attribute",
+        ));
+    }
+    match ad.get("Requirements") {
+        Some(req) => collect_classad_bounds(req, &mut view),
+        None => out.push(Diagnostic::error(
+            Code::Xlang001,
+            subject,
+            "classad rendering lacks a Requirements expression",
+        )),
+    }
+    view
+}
+
+/// Walks a `Requirements` conjunction collecting `other.Clock` /
+/// `other.Memory` bounds.
+fn collect_classad_bounds(e: &Expr, view: &mut SpecView) {
+    match e {
+        Expr::Bin(BinOp::And, l, r) => {
+            collect_classad_bounds(l, view);
+            collect_classad_bounds(r, view);
+        }
+        Expr::Bin(op, l, r) => {
+            let (attr, value) = match (&**l, &**r) {
+                (Expr::Ref(path), Expr::Num(n)) if path.len() == 2 => (&path[1], *n),
+                _ => return,
+            };
+            if attr.eq_ignore_ascii_case("Clock") {
+                match op {
+                    BinOp::Ge | BinOp::Gt => merge_max(&mut view.clock_lo, value),
+                    BinOp::Le | BinOp::Lt => merge_min(&mut view.clock_hi, value),
+                    _ => {}
+                }
+            } else if attr.eq_ignore_ascii_case("Memory") && matches!(op, BinOp::Ge | BinOp::Gt) {
+                merge_max(&mut view.memory_mb, value);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn merge_max(slot: &mut Option<f64>, v: f64) {
+    *slot = Some(slot.map_or(v, |a| a.max(v)));
+}
+
+fn merge_min(slot: &mut Option<f64>, v: f64) {
+    *slot = Some(slot.map_or(v, |a| a.min(v)));
+}
+
+/// Extracts the view of a parsed SWORD request.
+pub fn view_from_sword(req: &SwordRequest, subject: &str, out: &mut Vec<Diagnostic>) -> SpecView {
+    if req.groups.is_empty() {
+        out.push(Diagnostic::error(
+            Code::Xlang001,
+            subject,
+            "sword rendering has no machine group",
+        ));
+        return SpecView::default();
+    }
+    let size: u64 = req.groups.iter().map(|g| u64::from(g.num_machines)).sum();
+    let mut view = SpecView {
+        size: Some(size as f64),
+        ..SpecView::default()
+    };
+    let g = &req.groups[0];
+    match g.attrs.iter().find(|a| a.name == "clock") {
+        Some(clock) => {
+            view.clock_lo = Some(clock.req_min);
+            // The emitter maps the spec's clock ceiling onto the
+            // *desired* minimum (ask for the fastest acceptable tier).
+            view.clock_hi = Some(clock.des_min);
+        }
+        None => out.push(Diagnostic::error(
+            Code::Xlang001,
+            subject,
+            "sword rendering lacks a clock attribute tuple",
+        )),
+    }
+    if let Some(mem) = g.attrs.iter().find(|a| a.name == "free_mem") {
+        view.memory_mb = Some(mem.req_min);
+    }
+    view
+}
+
+/// Lints the basic numeric sanity of a view (the spec-lint family
+/// applied to whatever fields the language managed to express).
+pub fn lint_view(view: &SpecView, subject: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let positive = |name: &str, v: Option<f64>, strict: bool, out: &mut Vec<Diagnostic>| {
+        if let Some(v) = v {
+            if !v.is_finite() || v < 0.0 || (strict && v == 0.0) {
+                out.push(Diagnostic::error(
+                    Code::Spec004,
+                    subject,
+                    format!("{name} is {v}, expected a positive finite value"),
+                ));
+            }
+        }
+    };
+    if view.size == Some(0.0) {
+        out.push(Diagnostic::error(
+            Code::Spec001,
+            subject,
+            "requested RC size is zero",
+        ));
+    } else {
+        positive("size", view.size, true, &mut out);
+    }
+    positive("minimum size", view.min_size, true, &mut out);
+    positive("clock lower bound", view.clock_lo, true, &mut out);
+    positive("clock upper bound", view.clock_hi, true, &mut out);
+    positive("memory floor", view.memory_mb, true, &mut out);
+    if let (Some(min), Some(size)) = (view.min_size, view.size) {
+        if min.is_finite() && size.is_finite() && min > size {
+            out.push(Diagnostic::error(
+                Code::Spec002,
+                subject,
+                format!("minimum size exceeds the request ({min} > {size})"),
+            ));
+        }
+    }
+    if let (Some(lo), Some(hi)) = (view.clock_lo, view.clock_hi) {
+        if lo.is_finite() && hi.is_finite() && lo > hi {
+            out.push(Diagnostic::error(
+                Code::Spec003,
+                subject,
+                format!("clock range is inverted ({lo} > {hi})"),
+            ));
+        }
+    }
+    if let Some(h) = &view.heuristic {
+        if HeuristicKind::parse(h).is_none() {
+            out.push(Diagnostic::error(
+                Code::Spec004,
+                subject,
+                format!("unknown heuristic '{h}'"),
+            ));
+        }
+    }
+    if let Some(a) = &view.aggregate {
+        if parse_aggregate(a).is_none() {
+            out.push(Diagnostic::error(
+                Code::Spec004,
+                subject,
+                format!("unknown aggregate kind '{a}'"),
+            ));
+        }
+    }
+    out
+}
+
+/// Best-effort concretization of a view into a [`ResourceSpec`];
+/// defaults fill the fields the language cannot express.
+pub fn view_to_spec(view: &SpecView) -> ResourceSpec {
+    let to_u32 = |v: Option<f64>| -> Option<u32> {
+        v.filter(|x| x.is_finite() && *x >= 0.0 && *x <= f64::from(u32::MAX))
+            .map(|x| x as u32)
+    };
+    let size = to_u32(view.size).unwrap_or(1);
+    ResourceSpec {
+        rc_size: size,
+        min_size: to_u32(view.min_size).unwrap_or(size),
+        clock_mhz: (
+            view.clock_lo.filter(|v| v.is_finite()).unwrap_or(0.0),
+            view.clock_hi.unwrap_or(f64::INFINITY),
+        ),
+        heuristic: view
+            .heuristic
+            .as_deref()
+            .and_then(HeuristicKind::parse)
+            .unwrap_or(HeuristicKind::Mcp),
+        aggregate: view
+            .aggregate
+            .as_deref()
+            .and_then(parse_aggregate)
+            .unwrap_or(rsg_select::vgdl::AggregateKind::TightBagOf),
+        threshold: rsg_core::DEFAULT_KNEE_THRESHOLD,
+        memory_mb: to_u32(view.memory_mb).unwrap_or(512),
+    }
+}
+
+fn same(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Compares two views on the fields *both* express; each differing
+/// field becomes one entry `(field, left, right)`.
+pub fn view_divergences(a: &SpecView, b: &SpecView) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    let mut num = |name: &str, x: Option<f64>, y: Option<f64>| {
+        if let (Some(x), Some(y)) = (x, y) {
+            if !(same(x, y) || (x.is_nan() && y.is_nan())) {
+                out.push((name.to_string(), x.to_string(), y.to_string()));
+            }
+        }
+    };
+    num("size", a.size, b.size);
+    num("min size", a.min_size, b.min_size);
+    num("clock lower bound", a.clock_lo, b.clock_lo);
+    num("clock upper bound", a.clock_hi, b.clock_hi);
+    num("memory floor", a.memory_mb, b.memory_mb);
+    if let (Some(x), Some(y)) = (&a.heuristic, &b.heuristic) {
+        if !x.eq_ignore_ascii_case(y) {
+            out.push(("heuristic".to_string(), x.clone(), y.clone()));
+        }
+    }
+    if let (Some(x), Some(y)) = (&a.aggregate, &b.aggregate) {
+        if !x.eq_ignore_ascii_case(y) {
+            out.push(("aggregate".to_string(), x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+/// Renders a spec in `lang`, prints it, re-parses it and extracts the
+/// resulting view.
+pub fn render_and_reparse(spec: &ResourceSpec, lang: SpecLang) -> Result<SpecView, String> {
+    let mut scratch = Vec::new();
+    match lang {
+        SpecLang::Vgdl => {
+            let printed = SpecGenerator::to_vgdl(spec).to_string();
+            let parsed = parse_vgdl(&printed).map_err(|e| e.to_string())?;
+            Ok(view_from_vgdl(&parsed, "roundtrip", &mut scratch))
+        }
+        SpecLang::ClassAd => {
+            let printed = SpecGenerator::to_classad(spec).to_string();
+            let parsed = parse_classad(&printed).map_err(|e| e.to_string())?;
+            Ok(view_from_classad(&parsed, "roundtrip", &mut scratch))
+        }
+        SpecLang::Sword => {
+            let printed = write_sword(&SpecGenerator::to_sword(spec));
+            let parsed = parse_sword(&printed).map_err(|e| e.to_string())?;
+            Ok(view_from_sword(&parsed, "roundtrip", &mut scratch))
+        }
+    }
+}
+
+/// `XLANG003` for a parsed document: concretize its view, re-render in
+/// the same language, re-parse, and require the original view to be a
+/// fixed point on the fields it expressed.
+pub fn lint_roundtrip(view: &SpecView, lang: SpecLang, subject: &str) -> Vec<Diagnostic> {
+    let spec = view_to_spec(view);
+    let again = match render_and_reparse(&spec, lang) {
+        Ok(v) => v,
+        Err(e) => {
+            return vec![Diagnostic::error(
+                Code::Xlang003,
+                subject,
+                format!("{} re-rendering failed to re-parse: {e}", lang.label()),
+            )]
+        }
+    };
+    // Only fields the *original* document expressed must survive; the
+    // re-rendering is allowed to add defaults for the rest.
+    let mut masked = again.clone();
+    if view.size.is_none() {
+        masked.size = None;
+    }
+    if view.min_size.is_none() {
+        masked.min_size = None;
+    }
+    if view.clock_lo.is_none() {
+        masked.clock_lo = None;
+    }
+    if view.clock_hi.is_none() {
+        masked.clock_hi = None;
+    }
+    if view.memory_mb.is_none() {
+        masked.memory_mb = None;
+    }
+    if view.heuristic.is_none() {
+        masked.heuristic = None;
+    }
+    if view.aggregate.is_none() {
+        masked.aggregate = None;
+    }
+    view_divergences(view, &masked)
+        .into_iter()
+        .map(|(field, before, after)| {
+            Diagnostic::error(
+                Code::Xlang003,
+                subject,
+                format!(
+                    "{} does not round-trip through {}: {before} becomes {after}",
+                    field,
+                    lang.label()
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Full three-language round-trip check for a concrete spec (used on
+/// generator output): renders in every language and verifies each
+/// language preserves the fields it can express.
+pub fn lint_spec_roundtrip(spec: &ResourceSpec, subject: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for lang in [SpecLang::Vgdl, SpecLang::ClassAd, SpecLang::Sword] {
+        let got = match render_and_reparse(spec, lang) {
+            Ok(v) => v,
+            Err(e) => {
+                out.push(Diagnostic::error(
+                    Code::Xlang003,
+                    subject,
+                    format!("{} rendering failed to re-parse: {e}", lang.label()),
+                ));
+                continue;
+            }
+        };
+        let expected = expected_view(spec, lang);
+        for (field, want, have) in view_divergences(&expected, &got) {
+            out.push(Diagnostic::error(
+                Code::Xlang003,
+                subject,
+                format!(
+                    "{} loses {}: spec has {want}, re-parsed rendering has {have}",
+                    lang.label(),
+                    field
+                ),
+            ));
+        }
+        // Divergence comparison only covers mutually-present fields;
+        // a rendering that *dropped* a field entirely is XLANG001.
+        for (name, missing) in [
+            ("size", expected.size.is_some() && got.size.is_none()),
+            (
+                "min size",
+                expected.min_size.is_some() && got.min_size.is_none(),
+            ),
+            (
+                "clock lower bound",
+                expected.clock_lo.is_some() && got.clock_lo.is_none(),
+            ),
+            (
+                "clock upper bound",
+                expected.clock_hi.is_some() && got.clock_hi.is_none(),
+            ),
+            (
+                "memory floor",
+                expected.memory_mb.is_some() && got.memory_mb.is_none(),
+            ),
+            (
+                "heuristic",
+                expected.heuristic.is_some() && got.heuristic.is_none(),
+            ),
+            (
+                "aggregate",
+                expected.aggregate.is_some() && got.aggregate.is_none(),
+            ),
+        ] {
+            if missing {
+                out.push(Diagnostic::error(
+                    Code::Xlang001,
+                    subject,
+                    format!("{} rendering dropped the {}", lang.label(), name),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The view a faithful rendering of `spec` in `lang` must produce.
+pub fn expected_view(spec: &ResourceSpec, lang: SpecLang) -> SpecView {
+    let clock_hi = spec.clock_mhz.1.is_finite().then_some(spec.clock_mhz.1);
+    match lang {
+        SpecLang::Vgdl => SpecView {
+            size: Some(f64::from(spec.rc_size)),
+            min_size: Some(f64::from(spec.min_size)),
+            clock_lo: Some(spec.clock_mhz.0),
+            clock_hi,
+            memory_mb: Some(f64::from(spec.memory_mb)),
+            heuristic: None,
+            aggregate: Some(spec.aggregate.keyword().to_string()),
+        },
+        SpecLang::ClassAd => SpecView {
+            size: Some(f64::from(spec.rc_size)),
+            min_size: Some(f64::from(spec.min_size)),
+            clock_lo: Some(spec.clock_mhz.0),
+            clock_hi,
+            memory_mb: Some(f64::from(spec.memory_mb)),
+            heuristic: Some(spec.heuristic.name().to_string()),
+            aggregate: None,
+        },
+        SpecLang::Sword => SpecView {
+            size: Some(f64::from(spec.rc_size)),
+            min_size: None,
+            clock_lo: Some(spec.clock_mhz.0),
+            // SWORD keeps the ceiling as the desired minimum, so it is
+            // representable even though the tuple shape differs.
+            clock_hi: Some(spec.clock_mhz.1),
+            memory_mb: Some(f64::from(spec.memory_mb)),
+            heuristic: None,
+            aggregate: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_select::vgdl::AggregateKind;
+
+    fn spec() -> ResourceSpec {
+        ResourceSpec {
+            rc_size: 20,
+            min_size: 5,
+            clock_mhz: (1000.0, 3600.0),
+            heuristic: HeuristicKind::Mcp,
+            aggregate: AggregateKind::TightBagOf,
+            threshold: 0.001,
+            memory_mb: 512,
+        }
+    }
+
+    #[test]
+    fn generator_output_round_trips_all_three_languages() {
+        let diags = lint_spec_roundtrip(&spec(), "s");
+        assert!(diags.is_empty(), "{diags:?}");
+        // And with an unbounded clock ceiling.
+        let mut open = spec();
+        open.clock_mhz = (1000.0, f64::INFINITY);
+        let diags = lint_spec_roundtrip(&open, "s");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn views_agree_across_languages() {
+        let s = spec();
+        let mut sink = Vec::new();
+        let v = view_from_vgdl(
+            &parse_vgdl(&SpecGenerator::to_vgdl(&s).to_string()).unwrap(),
+            "v",
+            &mut sink,
+        );
+        let c = view_from_classad(
+            &parse_classad(&SpecGenerator::to_classad(&s).to_string()).unwrap(),
+            "c",
+            &mut sink,
+        );
+        let w = view_from_sword(
+            &parse_sword(&write_sword(&SpecGenerator::to_sword(&s))).unwrap(),
+            "w",
+            &mut sink,
+        );
+        assert!(sink.is_empty(), "{sink:?}");
+        assert!(view_divergences(&v, &c).is_empty());
+        assert!(view_divergences(&v, &w).is_empty());
+        assert!(view_divergences(&c, &w).is_empty());
+        assert_eq!(c.heuristic.as_deref(), Some("MCP"));
+        assert_eq!(v.aggregate.as_deref(), Some("TightBagOf"));
+    }
+
+    #[test]
+    fn divergent_documents_are_detected() {
+        let mut a = expected_view(&spec(), SpecLang::ClassAd);
+        let b = expected_view(&spec(), SpecLang::ClassAd);
+        a.size = Some(32.0);
+        a.heuristic = Some("DLS".into());
+        let d = view_divergences(&a, &b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].0, "size");
+        assert_eq!(d[1].0, "heuristic");
+    }
+
+    #[test]
+    fn fractional_count_trips_roundtrip() {
+        let mut v = expected_view(&spec(), SpecLang::ClassAd);
+        v.size = Some(5.5);
+        let diags = lint_roundtrip(&v, SpecLang::ClassAd, "s");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == Code::Xlang003 && d.detail.contains("5.5")),
+            "{diags:?}"
+        );
+        // An integral count round-trips.
+        let v = expected_view(&spec(), SpecLang::ClassAd);
+        assert!(lint_roundtrip(&v, SpecLang::ClassAd, "s").is_empty());
+    }
+
+    #[test]
+    fn incomplete_renderings_are_xlang001() {
+        let mut out = Vec::new();
+        let ad = parse_classad("[ Type = \"Job\" ]").unwrap();
+        view_from_classad(&ad, "c", &mut out);
+        assert_eq!(
+            out.iter().filter(|d| d.code == Code::Xlang001).count(),
+            2,
+            "{out:?}"
+        );
+        let mut out = Vec::new();
+        let vg = parse_vgdl("TightBagOf(nodes) [1:2] { nodes = [ Memory >= 512 ] }").unwrap();
+        view_from_vgdl(&vg, "v", &mut out);
+        assert!(out.iter().any(|d| d.detail.contains("Clock")));
+        let mut out = Vec::new();
+        let sw = parse_sword(
+            "<request><group><name>g</name><num_machines>5</num_machines></group></request>",
+        )
+        .unwrap();
+        view_from_sword(&sw, "w", &mut out);
+        assert!(out.iter().any(|d| d.detail.contains("clock")));
+    }
+
+    #[test]
+    fn view_lints_catch_bad_numbers() {
+        let mut v = expected_view(&spec(), SpecLang::ClassAd);
+        v.size = Some(0.0);
+        v.min_size = Some(9.0);
+        v.clock_lo = Some(4000.0);
+        v.clock_hi = Some(1000.0);
+        let codes: Vec<Code> = lint_view(&v, "s").iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::Spec001));
+        assert!(codes.contains(&Code::Spec003));
+    }
+}

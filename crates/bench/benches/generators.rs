@@ -24,7 +24,7 @@ fn bench_random_dag(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 black_box(spec.generate(seed))
-            })
+            });
         });
     }
     group.finish();
@@ -32,7 +32,7 @@ fn bench_random_dag(c: &mut Criterion) {
 
 fn bench_montage(c: &mut Criterion) {
     c.bench_function("montage_4469_generate", |b| {
-        b.iter(|| black_box(MontageSpec::m4469(MontageComm::ActualFiles).generate()))
+        b.iter(|| black_box(MontageSpec::m4469(MontageComm::ActualFiles).generate()));
     });
 }
 
@@ -46,11 +46,11 @@ fn bench_platform(c: &mut Criterion) {
                 TopologySpec::default(),
                 seed,
             ))
-        })
+        });
     });
     c.bench_function("universe_rc_33667_hosts", |b| {
         let p = Platform::paper_universe(1);
-        b.iter(|| black_box(p.universe_rc()))
+        b.iter(|| black_box(p.universe_rc()));
     });
 }
 

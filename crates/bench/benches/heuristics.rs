@@ -34,7 +34,7 @@ fn bench_heuristics_vs_rc_size(c: &mut Criterion) {
         ] {
             group.bench_with_input(BenchmarkId::new(kind.name(), hosts), &hosts, |b, _| {
                 let ctx = ExecutionContext::new(&dag, &rc);
-                b.iter(|| black_box(kind.run(&ctx)))
+                b.iter(|| black_box(kind.run(&ctx)));
             });
         }
     }
@@ -47,7 +47,7 @@ fn bench_dls(c: &mut Criterion) {
     let rc = ResourceCollection::heterogeneous(32, 3000.0, 0.3, 1);
     c.bench_function("dls_200x32", |b| {
         let ctx = ExecutionContext::new(&dag, &rc);
-        b.iter(|| black_box(HeuristicKind::Dls.run(&ctx)))
+        b.iter(|| black_box(HeuristicKind::Dls.run(&ctx)));
     });
 }
 
@@ -59,7 +59,7 @@ fn bench_mcp_vs_dag_size(c: &mut Criterion) {
         let dag = dag(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             let ctx = ExecutionContext::new(&dag, &rc);
-            b.iter(|| black_box(HeuristicKind::Mcp.run(&ctx)))
+            b.iter(|| black_box(HeuristicKind::Mcp.run(&ctx)));
         });
     }
     group.finish();

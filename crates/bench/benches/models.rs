@@ -24,10 +24,10 @@ fn synthetic_curve(points: usize) -> Curve {
 fn bench_knee(c: &mut Criterion) {
     let curve = synthetic_curve(40);
     c.bench_function("find_knee_40pts", |b| {
-        b.iter(|| black_box(find_knee(&curve, 0.001)))
+        b.iter(|| black_box(find_knee(&curve, 0.001)));
     });
     c.bench_function("find_knees_ladder", |b| {
-        b.iter(|| black_box(find_knees(&curve, &rsg_core::THRESHOLD_LADDER)))
+        b.iter(|| black_box(find_knees(&curve, &rsg_core::THRESHOLD_LADDER)));
     });
 }
 
@@ -41,7 +41,7 @@ fn bench_planefit(c: &mut Criterion) {
         }
     }
     c.bench_function("planefit_42samples", |b| {
-        b.iter(|| black_box(PlaneFit::fit(&samples)))
+        b.iter(|| black_box(PlaneFit::fit(&samples)));
     });
 }
 
@@ -52,7 +52,7 @@ fn bench_prediction(c: &mut Criterion) {
     let tables = rsg_core::observation::measure(&grid, &cfg, &[0.001], 0);
     let model = rsg_core::SizePredictionModel::fit(&tables[0]);
     c.bench_function("sizemodel_predict", |b| {
-        b.iter(|| black_box(model.predict_chars(black_box(333.0), 0.2, 0.65, 0.4)))
+        b.iter(|| black_box(model.predict_chars(black_box(333.0), 0.2, 0.65, 0.4)));
     });
 }
 

@@ -33,7 +33,7 @@ fn bench_engines(c: &mut Criterion) {
     )
     .unwrap();
     c.bench_function("matchmaker_select_500_of_10000", |b| {
-        b.iter(|| black_box(mm.select_hosts(&req, &p)))
+        b.iter(|| black_box(mm.select_hosts(&req, &p)));
     });
 
     let finder = VgesFinder::default();
@@ -41,7 +41,7 @@ fn bench_engines(c: &mut Criterion) {
         parse_vgdl("VG = TightBagOf(nodes) [100:500] [rank = Nodes] { nodes = [ Clock >= 2000 ] }")
             .unwrap();
     c.bench_function("vges_find_tightbag", |b| {
-        b.iter(|| black_box(finder.find(&p, &vg)))
+        b.iter(|| black_box(finder.find(&p, &vg)));
     });
 
     let sword = parse_sword(
@@ -57,7 +57,7 @@ fn bench_engines(c: &mut Criterion) {
     )
     .unwrap();
     c.bench_function("sword_select_500_of_10000", |b| {
-        b.iter(|| black_box(SwordEngine.select(&p, &sword)))
+        b.iter(|| black_box(SwordEngine.select(&p, &sword)));
     });
 }
 
@@ -70,7 +70,7 @@ fn bench_parsers(c: &mut Criterion) {
             Constraint = cpu.Arch == "INTEL" && cpu.OpSys == "LINUX" ]
         } ]"#;
     c.bench_function("parse_classad_gangmatch", |b| {
-        b.iter(|| black_box(parse_classad(classad_src).unwrap()))
+        b.iter(|| black_box(parse_classad(classad_src).unwrap()));
     });
 
     let vgdl_src = r#"VG = ClusterOf(nodes) [32:64]
@@ -78,7 +78,7 @@ fn bench_parsers(c: &mut Criterion) {
         close
         TightBagOf(nodes2) [32:128] { nodes2 = [ Clock >= 1000 ] }"#;
     c.bench_function("parse_vgdl_two_aggregates", |b| {
-        b.iter(|| black_box(parse_vgdl(vgdl_src).unwrap()))
+        b.iter(|| black_box(parse_vgdl(vgdl_src).unwrap()));
     });
 
     let sword_req = parse_sword(
@@ -88,7 +88,7 @@ fn bench_parsers(c: &mut Criterion) {
     .unwrap();
     let xml = write_sword(&sword_req);
     c.bench_function("sword_xml_round_trip", |b| {
-        b.iter(|| black_box(parse_sword(&write_sword(black_box(&sword_req))).unwrap()))
+        b.iter(|| black_box(parse_sword(&write_sword(black_box(&sword_req))).unwrap()));
     });
     let _ = xml;
 }

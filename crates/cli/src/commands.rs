@@ -568,6 +568,56 @@ fn verify_artifact(path: &str) -> Result<String, rsg_core::StoreError> {
     ))
 }
 
+/// `rsg lint FILE... [--format human|json|tsv] [--platform]` — static
+/// analysis of spec and DAG files. The document kind is sniffed from
+/// the content; all spec documents in one invocation are treated as
+/// renderings of the same request and cross-checked. Error-level
+/// diagnostics map to exit code 6.
+pub fn lint(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let format = args.opt("format").unwrap_or("human").to_string();
+    if !["human", "json", "tsv"].contains(&format.as_str()) {
+        return Err(CliError::Usage(format!(
+            "--format must be human|json|tsv, got '{format}'"
+        )));
+    }
+    let with_platform = args.flag("platform");
+    let mut inputs = Vec::new();
+    while let Some(p) = args.positional() {
+        let text = std::fs::read_to_string(&p)
+            .map_err(|e| CliError::Io(format!("cannot read {p}: {e}")))?;
+        inputs.push(rsg_analyze::Input::new(&p, &text));
+    }
+    if inputs.is_empty() {
+        return Err(CliError::Usage("lint needs at least one file".into()));
+    }
+    // The satisfiability check runs against the same deterministic
+    // 2006-era platform the negotiation path uses.
+    let platform = with_platform.then(|| {
+        Platform::generate(
+            ResourceGenSpec {
+                clusters: 40,
+                year: 2006,
+                target_hosts: Some(1200),
+            },
+            TopologySpec::default(),
+            11,
+        )
+    });
+    let report = rsg_analyze::analyze(&inputs, platform.as_ref());
+    match format.as_str() {
+        "json" => writeln!(out, "{}", report.to_json())?,
+        "tsv" => write!(out, "{}", report.to_tsv())?,
+        _ => write!(out, "{}", report.to_human())?,
+    }
+    if report.errors() > 0 {
+        return Err(CliError::Lint(format!(
+            "{} error-level diagnostic(s)",
+            report.errors()
+        )));
+    }
+    Ok(())
+}
+
 /// `rsg dot FILE [--out FILE]`
 pub fn dot(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     let path = args.require_positional("DAG file")?;

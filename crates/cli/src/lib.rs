@@ -41,17 +41,20 @@ pub enum CliError {
     Decode(String),
     /// Any other runtime failure. Exit 1.
     Failed(String),
+    /// `rsg lint` found error-level diagnostics. Exit 6.
+    Lint(String),
 }
 
 impl CliError {
     /// The process exit code for this error class: usage 2, I/O 3,
-    /// corruption 4, decode 5, everything else 1.
+    /// corruption 4, decode 5, lint findings 6, everything else 1.
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
             CliError::Io(_) => 3,
             CliError::Corrupt(_) => 4,
             CliError::Decode(_) => 5,
+            CliError::Lint(_) => 6,
             CliError::Failed(_) => 1,
         }
     }
@@ -66,6 +69,7 @@ impl std::fmt::Display for CliError {
                 write!(f, "{m} — quarantine or delete the file and regenerate it")
             }
             CliError::Decode(m) => write!(f, "{m}"),
+            CliError::Lint(m) => write!(f, "{m}"),
             CliError::Failed(m) => write!(f, "{m}"),
         }
     }
@@ -122,14 +126,21 @@ USAGE:
               [--faults SEED:RATE] [--outages RATE] [--joins K]
   rsg dot     FILE [--out FILE]
   rsg store   verify PATH...
+  rsg lint    FILE... [--format human|json|tsv] [--platform]
 
 `rsg train --journal FILE` checkpoints each completed sweep cell to
 FILE; a re-run with the same grid resumes from the first missing cell.
 `rsg store verify` checks the envelope/journal checksums of persisted
 artifacts without modifying them.
+`rsg lint` statically analyzes spec and DAG files (vgDL, ClassAd,
+SWORD XML, rsg-spec, rsg-dag — the kind is sniffed from the content);
+all spec files in one invocation are treated as renderings of the same
+request and cross-checked. `--platform` additionally checks
+satisfiability against a deterministic platform model. Error-level
+diagnostics exit 6.
 
 Exit codes: 0 ok, 1 failure, 2 usage, 3 I/O, 4 corrupt artifact,
-5 decode error.
+5 decode error, 6 lint diagnostics.
 
 Global options (any command):
   --trace          print live span enter/exit lines to stderr
@@ -142,8 +153,9 @@ FILE '-' reads the DAG from stdin.
 ";
 
 /// Boolean (value-less) flags: `--trace` is global, `--negotiate` is
-/// read by `spec` (flag names must be known before parsing).
-const GLOBAL_FLAGS: &[&str] = &["trace", "negotiate"];
+/// read by `spec`, `--platform` by `lint` (flag names must be known
+/// before parsing).
+const GLOBAL_FLAGS: &[&str] = &["trace", "negotiate", "platform"];
 
 /// Dispatches a full argument vector (without the program name).
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -172,6 +184,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "chaos" => commands::chaos(&mut args, out),
         "dot" => commands::dot(&mut args, out),
         "store" => commands::store(&mut args, out),
+        "lint" => commands::lint(&mut args, out),
         "help" | "--help" | "-h" => {
             out.write_all(USAGE.as_bytes())?;
             Ok(())
@@ -518,6 +531,75 @@ mod tests {
         assert!(matches!(
             run_err(&["spec", "--model", "x", "y", "--lang", "klingon"]),
             CliError::Usage(_) | CliError::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn lint_clean_dag_and_spec() {
+        let dir = std::env::temp_dir().join("rsg-cli-test-lint-ok");
+        let _ = std::fs::create_dir_all(&dir);
+        let dagf = dir.join("wf.dag");
+        let dag_p = dagf.to_str().unwrap();
+        run_ok(&[
+            "gen", "random", "--size", "60", "--ccr", "0.2", "--seed", "5", "--out", dag_p,
+        ]);
+        let s = run_ok(&["lint", dag_p]);
+        assert!(s.contains("no diagnostics"), "{s}");
+
+        // A well-formed native spec lints clean in every format, with
+        // and without the platform satisfiability check.
+        let specf = dir.join("rc.spec");
+        std::fs::write(
+            &specf,
+            "rsg-spec v1\nrung none\nsize 20\nmin 10\nclock 1000 3600\n\
+             heuristic MCP\nthreshold 0.95\nmemory 512\nend\n",
+        )
+        .unwrap();
+        let spec_p = specf.to_str().unwrap();
+        let j = run_ok(&["lint", spec_p, "--format", "json", "--platform"]);
+        assert!(j.contains("\"rsg_analyze_report\": \"v1\""), "{j}");
+        assert!(j.contains("\"errors\": 0"), "{j}");
+        let t = run_ok(&["lint", spec_p, "--format", "tsv"]);
+        assert!(t.starts_with("rsg-analyze-report\tv1"), "{t}");
+        assert!(t.ends_with("end\n"), "{t}");
+    }
+
+    #[test]
+    fn lint_errors_exit_6() {
+        let dir = std::env::temp_dir().join("rsg-cli-test-lint-bad");
+        let _ = std::fs::create_dir_all(&dir);
+        // An inverted clock range is an error-level diagnostic.
+        let specf = dir.join("bad.spec");
+        std::fs::write(
+            &specf,
+            "rsg-spec v1\nrung none\nsize 20\nclock 3600 1000\nend\n",
+        )
+        .unwrap();
+        let e = run_err(&["lint", specf.to_str().unwrap()]);
+        assert!(matches!(e, CliError::Lint(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 6);
+
+        // A spec unsatisfiable against the platform model is only an
+        // error when --platform is passed.
+        let unsat = dir.join("unsat.spec");
+        std::fs::write(
+            &unsat,
+            "rsg-spec v1\nrung none\nsize 20\nclock 10000 20000\nend\n",
+        )
+        .unwrap();
+        run_ok(&["lint", unsat.to_str().unwrap()]);
+        let e = run_err(&["lint", unsat.to_str().unwrap(), "--platform"]);
+        assert!(matches!(e, CliError::Lint(_)), "{e:?}");
+
+        // Bad flag values and missing files keep their own exit codes.
+        assert!(matches!(
+            run_err(&["lint", unsat.to_str().unwrap(), "--format", "yaml"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(run_err(&["lint"]), CliError::Usage(_)));
+        assert!(matches!(
+            run_err(&["lint", "/nonexistent/x.spec"]),
+            CliError::Io(_)
         ));
     }
 }

@@ -164,7 +164,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         run_one(&format!("{}/{}", self.name, id.id), self.target, &mut |b| {
-            f(b, input)
+            f(b, input);
         });
         self
     }

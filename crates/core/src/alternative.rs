@@ -128,9 +128,18 @@ pub fn alternatives(
         predicted_turnaround_s: eval(original.rc_size as usize, original.clock_mhz.1, 0.0),
     });
 
-    // 1. Slower clock tiers with compensating size.
+    // 1. Slower clock tiers with compensating size. Tiers are deduped
+    // and ordered descending so repeated inputs cannot produce
+    // duplicate rungs.
     let width = dags.iter().map(|d| d.width() as usize).max().unwrap_or(1);
-    for &tier in clock_tiers.iter().filter(|&&t| t < original.clock_mhz.1) {
+    let mut tiers: Vec<f64> = clock_tiers
+        .iter()
+        .copied()
+        .filter(|&t| t.is_finite() && t > 0.0 && t < original.clock_mhz.1)
+        .collect();
+    tiers.sort_by(|a, b| b.total_cmp(a));
+    tiers.dedup();
+    for tier in tiers {
         let ratio = tier_size_threshold(
             dags,
             original.rc_size as usize,
@@ -151,16 +160,24 @@ pub fn alternatives(
         });
     }
 
-    // 2. Wider heterogeneity at the original tier.
+    // 2. Wider heterogeneity at the original tier — only when the range
+    // actually widens (a request already at the 0.6 cap would otherwise
+    // repeat rung 0 verbatim).
     {
         let wider = (het_of(original) + 0.3).min(0.6);
-        let mut spec = original.clone();
-        spec.clock_mhz = (original.clock_mhz.1 * (1.0 - wider), original.clock_mhz.1);
-        out.push(Alternative {
-            spec,
-            degradation: Degradation::WiderHeterogeneity,
-            predicted_turnaround_s: eval(original.rc_size as usize, original.clock_mhz.1, wider),
-        });
+        if wider > het_of(original) + 1e-9 {
+            let mut spec = original.clone();
+            spec.clock_mhz = (original.clock_mhz.1 * (1.0 - wider), original.clock_mhz.1);
+            out.push(Alternative {
+                spec,
+                degradation: Degradation::WiderHeterogeneity,
+                predicted_turnaround_s: eval(
+                    original.rc_size as usize,
+                    original.clock_mhz.1,
+                    wider,
+                ),
+            });
+        }
     }
 
     // 3. Smaller size (the spec's own min_size floor).
@@ -180,6 +197,70 @@ pub fn alternatives(
         a.predicted_turnaround_s
             .total_cmp(&b.predicted_turnaround_s)
     });
+    debug_assert!(
+        ladder_violations(&out).is_empty(),
+        "alternatives() built an inconsistent ladder: {:?}",
+        ladder_violations(&out)
+    );
+    out
+}
+
+/// Checks the structural invariants of a degradation ladder and
+/// describes every violated one (empty for a healthy ladder): the first
+/// rung is the undegraded original, every later rung is strictly weaker
+/// than it along its declared degradation axis, the tail is ordered by
+/// predicted turnaround, no rung repeats another's spec, and all
+/// predictions are finite. `alternatives()` asserts this in debug
+/// builds; `rsg-analyze` maps violations onto the SPEC007 diagnostic.
+pub fn ladder_violations(ladder: &[Alternative]) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(first) = ladder.first() else {
+        out.push("ladder is empty".to_string());
+        return out;
+    };
+    if first.degradation != Degradation::None {
+        out.push(format!(
+            "rung 0 must be the undegraded original, got {:?}",
+            first.degradation
+        ));
+    }
+    let orig = &first.spec;
+    for (i, alt) in ladder.iter().enumerate() {
+        if !alt.predicted_turnaround_s.is_finite() {
+            out.push(format!("rung {i}: non-finite predicted turnaround"));
+        }
+        if i == 0 {
+            continue;
+        }
+        let weaker = match alt.degradation {
+            Degradation::None => {
+                out.push(format!("rung {i}: duplicate undegraded rung"));
+                continue;
+            }
+            Degradation::SlowerClock => alt.spec.clock_mhz.1 < orig.clock_mhz.1,
+            Degradation::WiderHeterogeneity => het_of(&alt.spec) > het_of(orig) + 1e-12,
+            Degradation::SmallerSize => alt.spec.rc_size < orig.rc_size,
+        };
+        if !weaker {
+            out.push(format!(
+                "rung {i} ({:?}) is not strictly weaker than the original",
+                alt.degradation
+            ));
+        }
+    }
+    for w in ladder.windows(2).enumerate().skip(1) {
+        let (i, pair) = w;
+        if pair[0].predicted_turnaround_s > pair[1].predicted_turnaround_s + 1e-9 {
+            out.push(format!("degraded tail unordered at rungs {i}..{}", i + 1));
+        }
+    }
+    for (i, a) in ladder.iter().enumerate() {
+        for (j, b) in ladder.iter().enumerate().skip(i + 1) {
+            if a.spec == b.spec {
+                out.push(format!("rungs {i} and {j} carry identical specs"));
+            }
+        }
+    }
     out
 }
 
@@ -528,6 +609,83 @@ mod tests {
         for w in alts[1..].windows(2) {
             assert!(w[0].predicted_turnaround_s <= w[1].predicted_turnaround_s + 1e-9);
         }
+    }
+
+    #[test]
+    fn ladder_survives_duplicate_tiers_and_capped_het() {
+        let ds = dags();
+        // Duplicate and unordered tier inputs must not produce
+        // duplicate rungs.
+        let alts = alternatives(
+            &spec(10, 3500.0),
+            &ds,
+            &[3000.0, 3500.0, 3000.0, 3000.0],
+            &CurveConfig::default(),
+        );
+        assert_eq!(
+            alts.iter()
+                .filter(|a| a.degradation == Degradation::SlowerClock)
+                .count(),
+            1
+        );
+        assert!(ladder_violations(&alts).is_empty());
+        // A request already at the 0.6 heterogeneity cap gets no
+        // wider-heterogeneity rung (it would repeat the original).
+        let mut capped = spec(10, 3500.0);
+        capped.clock_mhz = (3500.0 * 0.4, 3500.0);
+        let alts = alternatives(&capped, &ds, &[3000.0], &CurveConfig::default());
+        assert!(!alts
+            .iter()
+            .any(|a| a.degradation == Degradation::WiderHeterogeneity));
+        assert!(ladder_violations(&alts).is_empty());
+    }
+
+    #[test]
+    fn ladder_violations_flag_each_defect() {
+        let ds = dags();
+        let alts = alternatives(
+            &spec(10, 3500.0),
+            &ds,
+            &[3500.0, 3000.0],
+            &CurveConfig::default(),
+        );
+        assert!(ladder_violations(&alts).is_empty());
+        assert_eq!(ladder_violations(&[]), vec!["ladder is empty"]);
+
+        // First rung degraded.
+        let mut bad = alts.clone();
+        bad[0].degradation = Degradation::SmallerSize;
+        assert!(ladder_violations(&bad)
+            .iter()
+            .any(|v| v.contains("undegraded original")));
+
+        // A rung that is not weaker than the original.
+        let mut bad = alts.clone();
+        if let Some(r) = bad
+            .iter_mut()
+            .find(|a| a.degradation == Degradation::SlowerClock)
+        {
+            r.spec.clock_mhz = (3500.0, 3600.0);
+        }
+        assert!(ladder_violations(&bad)
+            .iter()
+            .any(|v| v.contains("not strictly weaker")));
+
+        // Unordered tail.
+        let mut bad = alts.clone();
+        let n = bad.len();
+        bad[1].predicted_turnaround_s = bad[n - 1].predicted_turnaround_s + 100.0;
+        assert!(ladder_violations(&bad)
+            .iter()
+            .any(|v| v.contains("unordered")));
+
+        // Duplicate specs.
+        let mut bad = alts;
+        let clone = bad[0].spec.clone();
+        bad[1].spec = clone;
+        assert!(ladder_violations(&bad)
+            .iter()
+            .any(|v| v.contains("identical specs")));
     }
 
     #[test]

@@ -60,8 +60,8 @@ pub mod utility;
 pub mod validate;
 
 pub use alternative::{
-    attempt_from_outcome, negotiate, negotiate_with_retry, Alternative, BindAttempt, Degradation,
-    Negotiated, NegotiationStats, RetryPolicy, Unfulfillable,
+    attempt_from_outcome, ladder_violations, negotiate, negotiate_with_retry, Alternative,
+    BindAttempt, Degradation, Negotiated, NegotiationStats, RetryPolicy, Unfulfillable,
 };
 pub use curve::{turnaround_curve, Curve, CurveConfig, CurveEvaluator, RcFamily};
 pub use heurmodel::HeuristicPredictionModel;
@@ -71,7 +71,7 @@ pub use observation::{
 };
 pub use planefit::PlaneFit;
 pub use sizemodel::{SizePredictionModel, ThresholdedSizeModel};
-pub use specgen::{ResourceSpec, SpecGenerator};
+pub use specgen::{ResourceSpec, SpecGenerator, SpecViolation};
 pub use store::{StoreError, SweepJournal};
 pub use utility::UtilityFunction;
 

@@ -38,6 +38,72 @@ pub struct ResourceSpec {
     pub memory_mb: u32,
 }
 
+/// A semantic defect in a [`ResourceSpec`] — the single source of truth
+/// for the basic well-formedness rules. `rsg-analyze` maps each
+/// violation onto a stable diagnostic code (SPEC001–SPEC005); the
+/// generator itself checks them behind
+/// [`GeneratorConfig::validate_output`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpecViolation {
+    /// `rc_size == 0`: an empty collection can run nothing.
+    ZeroSize,
+    /// `min_size > rc_size`: the floor exceeds the request.
+    MinExceedsSize,
+    /// `clock_mhz.0 > clock_mhz.1`: inverted clock range.
+    ClockInverted,
+    /// A clock bound is NaN, infinite at the lower end, or ≤ 0.
+    BadClock,
+    /// `memory_mb == 0`: no host can satisfy a zero-memory floor
+    /// meaningfully; it always indicates a defaulting bug.
+    ZeroMemory,
+    /// `threshold` outside `(0, 1)` — thresholds are fractions of
+    /// turnaround degradation.
+    ThresholdOutOfRange,
+}
+
+impl std::fmt::Display for SpecViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecViolation::ZeroSize => write!(f, "requested RC size is zero"),
+            SpecViolation::MinExceedsSize => write!(f, "min_size exceeds rc_size"),
+            SpecViolation::ClockInverted => write!(f, "clock range is inverted (min > max)"),
+            SpecViolation::BadClock => write!(f, "clock bound is non-finite or non-positive"),
+            SpecViolation::ZeroMemory => write!(f, "memory floor is zero"),
+            SpecViolation::ThresholdOutOfRange => {
+                write!(f, "knee threshold outside (0, 1)")
+            }
+        }
+    }
+}
+
+impl ResourceSpec {
+    /// Checks the basic semantic well-formedness rules and returns
+    /// every violated one (empty for a healthy spec). Deterministic
+    /// order: the order of the checks below.
+    pub fn violations(&self) -> Vec<SpecViolation> {
+        let mut out = Vec::new();
+        if self.rc_size == 0 {
+            out.push(SpecViolation::ZeroSize);
+        }
+        if self.min_size > self.rc_size {
+            out.push(SpecViolation::MinExceedsSize);
+        }
+        let (lo, hi) = self.clock_mhz;
+        if lo.is_nan() || hi.is_nan() || lo.is_infinite() || lo <= 0.0 || hi <= 0.0 {
+            out.push(SpecViolation::BadClock);
+        } else if lo > hi {
+            out.push(SpecViolation::ClockInverted);
+        }
+        if self.memory_mb == 0 {
+            out.push(SpecViolation::ZeroMemory);
+        }
+        if !self.threshold.is_finite() || self.threshold <= 0.0 || self.threshold >= 1.0 {
+            out.push(SpecViolation::ThresholdOutOfRange);
+        }
+        out
+    }
+}
+
 /// Platform/application assumptions the generator needs beyond the
 /// models (Table VII-2-ish knobs).
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +123,11 @@ pub struct GeneratorConfig {
     pub threshold_tradeoffs: Vec<(f64, f64, f64)>,
     /// Memory floor, MB.
     pub memory_mb: u32,
+    /// When set, the generator re-checks its own output with
+    /// [`ResourceSpec::violations`]: a violation increments the
+    /// `core.specgen.validation_failures` counter and aborts debug
+    /// builds (a generated spec must never be malformed).
+    pub validate_output: bool,
 }
 
 impl Default for GeneratorConfig {
@@ -67,6 +138,7 @@ impl Default for GeneratorConfig {
             utility: None,
             threshold_tradeoffs: Vec::new(),
             memory_mb: 512,
+            validate_output: false,
         }
     }
 }
@@ -149,7 +221,7 @@ impl SpecGenerator {
             AggregateKind::LooseBagOf
         };
 
-        ResourceSpec {
+        let spec = ResourceSpec {
             rc_size: size,
             min_size,
             clock_mhz: (
@@ -160,7 +232,19 @@ impl SpecGenerator {
             aggregate,
             threshold,
             memory_mb: cfg.memory_mb,
+        };
+        if cfg.validate_output {
+            static OBS_INVALID: Counter = Counter::new("core.specgen.validation_failures");
+            let violations = spec.violations();
+            if !violations.is_empty() {
+                OBS_INVALID.incr();
+            }
+            debug_assert!(
+                violations.is_empty(),
+                "generated spec violates its own invariants: {violations:?}"
+            );
         }
+        spec
     }
 
     /// Renders a spec as vgDL (Figure VII-5).
@@ -350,6 +434,39 @@ mod tests {
         let xml = rsg_select::sword::write_sword(&sword);
         assert!(xml.contains("<num_machines>"));
         assert_eq!(rsg_select::sword::parse_sword(&xml).unwrap(), sword);
+    }
+
+    #[test]
+    fn violations_catch_each_defect_class() {
+        let gen = generator();
+        let dag = rsg_dag::workflows::fork_join(2, 10, 5.0, 0.1);
+        let cfg = GeneratorConfig {
+            validate_output: true,
+            ..Default::default()
+        };
+        let good = gen.generate(&dag, &cfg);
+        assert!(good.violations().is_empty(), "{:?}", good.violations());
+
+        let mut s = good.clone();
+        s.rc_size = 0;
+        assert!(s.violations().contains(&SpecViolation::ZeroSize));
+        assert!(s.violations().contains(&SpecViolation::MinExceedsSize));
+
+        let mut s = good.clone();
+        s.clock_mhz = (3500.0, 2000.0);
+        assert_eq!(s.violations(), vec![SpecViolation::ClockInverted]);
+
+        let mut s = good.clone();
+        s.clock_mhz = (f64::NAN, 3500.0);
+        assert_eq!(s.violations(), vec![SpecViolation::BadClock]);
+
+        let mut s = good.clone();
+        s.memory_mb = 0;
+        assert_eq!(s.violations(), vec![SpecViolation::ZeroMemory]);
+
+        let mut s = good;
+        s.threshold = 1.5;
+        assert_eq!(s.violations(), vec![SpecViolation::ThresholdOutOfRange]);
     }
 
     #[test]

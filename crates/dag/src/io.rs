@@ -36,6 +36,129 @@ impl fmt::Display for DagIoError {
 
 impl std::error::Error for DagIoError {}
 
+/// A syntactically-decoded DAG document before any structural
+/// validation: task costs and edges exactly as written, including
+/// cycles, dangling endpoints and non-finite costs that
+/// [`DagBuilder::build`] would reject. This is the input to static
+/// analysis (`rsg-analyze`), which turns structural defects into
+/// diagnostics instead of hard errors.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RawDag {
+    /// `name` directive, if present.
+    pub name: String,
+    /// `refclock` directive, if present.
+    pub ref_clock_mhz: Option<f64>,
+    /// Task costs by dense id (index = task id).
+    pub tasks: Vec<f64>,
+    /// `(parent, child, cost)` edges exactly as written; endpoints may
+    /// be out of range.
+    pub edges: Vec<(u32, u32, f64)>,
+}
+
+impl RawDag {
+    /// Validates the raw document through [`DagBuilder`], returning the
+    /// first structural error if any.
+    pub fn build(&self) -> Result<Dag, crate::graph::DagError> {
+        let mut b = DagBuilder::new();
+        if !self.name.is_empty() {
+            b.name(self.name.clone());
+        }
+        if let Some(c) = self.ref_clock_mhz {
+            b.reference_clock_mhz(c);
+        }
+        for &c in &self.tasks {
+            b.add_task(c);
+        }
+        for &(p, c, w) in &self.edges {
+            b.add_edge(TaskId(p), TaskId(c), w)?;
+        }
+        b.build()
+    }
+}
+
+/// Decodes the text format without structural validation: syntax errors
+/// (bad directives, non-numeric fields, missing `end`) still fail, but
+/// cycles, dangling edge endpoints, self-edges, duplicate edges and
+/// non-finite costs are preserved in the returned [`RawDag`] so a
+/// static analyzer can report them all instead of stopping at the
+/// first.
+pub fn read_dag_raw(text: &str) -> Result<RawDag, DagIoError> {
+    let err = |line: usize, msg: &str| DagIoError {
+        line,
+        msg: msg.to_string(),
+    };
+    let mut lines = text.lines().enumerate();
+    let (i, header) = lines.next().ok_or_else(|| err(1, "empty document"))?;
+    if header.trim() != "rsg-dag v1" {
+        return Err(err(i + 1, "expected 'rsg-dag v1' header"));
+    }
+    let mut raw = RawDag::default();
+    let mut saw_end = false;
+    for (i, line_raw) in lines {
+        let line = line_raw.trim();
+        let lno = i + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("name") => raw.name = parts.collect::<Vec<_>>().join(" "),
+            Some("refclock") => {
+                let v: f64 = parts
+                    .next()
+                    .ok_or_else(|| err(lno, "refclock needs a value"))?
+                    .parse()
+                    .map_err(|_| err(lno, "bad refclock"))?;
+                raw.ref_clock_mhz = Some(v);
+            }
+            Some("task") => {
+                let id: u32 = parts
+                    .next()
+                    .ok_or_else(|| err(lno, "task needs an id"))?
+                    .parse()
+                    .map_err(|_| err(lno, "bad task id"))?;
+                if id as usize != raw.tasks.len() {
+                    return Err(err(lno, "task ids must be dense and in order"));
+                }
+                let comp: f64 = parts
+                    .next()
+                    .ok_or_else(|| err(lno, "task needs a cost"))?
+                    .parse()
+                    .map_err(|_| err(lno, "bad task cost"))?;
+                raw.tasks.push(comp);
+            }
+            Some("edge") => {
+                let mut field = |what: &str| -> Result<String, DagIoError> {
+                    parts
+                        .next()
+                        .map(str::to_string)
+                        .ok_or_else(|| err(lno, what))
+                };
+                let p: u32 = field("edge needs a parent id")?
+                    .parse()
+                    .map_err(|_| err(lno, "bad edge parent id"))?;
+                let c: u32 = field("edge needs a child id")?
+                    .parse()
+                    .map_err(|_| err(lno, "bad edge child id"))?;
+                let w: f64 = field("edge needs a cost")?
+                    .parse()
+                    .map_err(|_| err(lno, "bad edge cost"))?;
+                raw.edges.push((p, c, w));
+            }
+            Some("end") => {
+                saw_end = true;
+                break;
+            }
+            Some(other) => return Err(err(lno, &format!("unknown directive '{other}'"))),
+            None => unreachable!(),
+        }
+    }
+    if !saw_end {
+        return Err(err(text.lines().count(), "missing 'end'"));
+    }
+    Ok(raw)
+}
+
 /// Serializes a DAG to the text format.
 pub fn write_dag(dag: &Dag) -> String {
     let mut out = String::with_capacity(dag.len() * 16);
@@ -224,6 +347,34 @@ mod tests {
             assert!(dot.contains(&format!("t{} ", t.0)) || dot.contains(&format!("t{} [", t.0)));
         }
         assert_eq!(dot.matches("->").count(), dag.edge_count());
+    }
+
+    #[test]
+    fn raw_read_preserves_structural_defects() {
+        // A cycle, a dangling endpoint, a self-edge and a NaN cost all
+        // survive raw decoding (build() would reject each of them).
+        let text = "rsg-dag v1\ntask 0 5\ntask 1 NaN\nedge 0 1 0.5\nedge 1 0 0.5\n\
+                    edge 9 0 1\nedge 0 0 1\nend\n";
+        let raw = read_dag_raw(text).unwrap();
+        assert_eq!(raw.tasks.len(), 2);
+        assert!(raw.tasks[1].is_nan());
+        assert_eq!(raw.edges.len(), 4);
+        assert!(raw.build().is_err());
+        assert!(read_dag(text).is_err());
+        // Syntax errors still fail raw decoding.
+        assert!(read_dag_raw("rsg-dag v1\ntask 0\nend\n").is_err());
+        assert!(read_dag_raw("rsg-dag v1\ntask 0 5\n").is_err());
+    }
+
+    #[test]
+    fn raw_read_agrees_with_read_dag_on_valid_docs() {
+        let dag = crate::workflows::fork_join(2, 5, 4.0, 0.2);
+        let text = write_dag(&dag);
+        let raw = read_dag_raw(&text).unwrap();
+        assert_eq!(raw.tasks.len(), dag.len());
+        assert_eq!(raw.edges.len(), dag.edge_count());
+        let rebuilt = raw.build().unwrap();
+        assert_eq!(rebuilt.level_sizes(), dag.level_sizes());
     }
 
     #[test]

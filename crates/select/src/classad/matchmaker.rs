@@ -110,9 +110,8 @@ impl Matchmaker {
     /// machine maximizing the port's `Rank` under its `Constraint`.
     /// Returns `None` if any port cannot be satisfied.
     pub fn gangmatch(&self, request: &ClassAd) -> Option<Vec<&ClassAd>> {
-        let ports = match request.get("Ports") {
-            Some(Expr::AdList(ports)) => ports,
-            _ => return None,
+        let Some(Expr::AdList(ports)) = request.get("Ports") else {
+            return None;
         };
         let mut used = vec![false; self.machines.len()];
         let mut bound = Vec::with_capacity(ports.len());

@@ -173,7 +173,8 @@ impl<'a> Lexer<'a> {
                         }
                         self.pos += 1;
                     }
-                    let text = std::str::from_utf8(&self.src[s0..self.pos]).unwrap();
+                    let text = std::str::from_utf8(&self.src[s0..self.pos])
+                        .map_err(|_| self.error("non-UTF-8 number"))?;
                     // Magnitude suffixes: 100M, 4K, 2G.
                     let (mult, skip) = match self.src.get(self.pos) {
                         Some(b'K') | Some(b'k') => (1024.0, 1),
@@ -193,8 +194,8 @@ impl<'a> Lexer<'a> {
                         self.pos += 1;
                     }
                     let s = std::str::from_utf8(&self.src[s0..self.pos])
-                        .unwrap()
-                        .to_string();
+                        .map(str::to_string)
+                        .map_err(|_| self.error("non-UTF-8 identifier"))?;
                     out.push((s0, Tok::Ident(s)));
                 }
                 _ => return Err(self.error("unexpected character")),
@@ -248,9 +249,8 @@ impl Parser {
                     break;
                 }
                 Some(Tok::Ident(_)) => {
-                    let name = match self.next() {
-                        Some(Tok::Ident(n)) => n,
-                        _ => unreachable!(),
+                    let Some(Tok::Ident(name)) = self.next() else {
+                        unreachable!()
                     };
                     self.expect(&Tok::Assign, "expected '='")?;
                     let e = self.expr()?;

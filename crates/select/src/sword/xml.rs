@@ -232,8 +232,11 @@ impl<'a> XmlCursor<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
-            self.pos += 1;
+        while let Some(c) = self.src[self.pos..].chars().next() {
+            if !c.is_whitespace() {
+                break;
+            }
+            self.pos += c.len_utf8();
         }
     }
 

@@ -56,9 +56,9 @@ impl<'a> Cursor<'a> {
         if self.pos == s0 {
             return Err(self.err("expected identifier"));
         }
-        Ok(std::str::from_utf8(&self.src[s0..self.pos])
-            .unwrap()
-            .to_string())
+        std::str::from_utf8(&self.src[s0..self.pos])
+            .map(str::to_string)
+            .map_err(|_| self.err("non-UTF-8 identifier"))
     }
 
     fn number(&mut self) -> Result<f64, VgdlError> {
@@ -73,7 +73,7 @@ impl<'a> Cursor<'a> {
             return Err(self.err("expected number"));
         }
         std::str::from_utf8(&self.src[s0..self.pos])
-            .unwrap()
+            .map_err(|_| self.err("non-UTF-8 number"))?
             .parse()
             .map_err(|_| self.err("bad number"))
     }
@@ -214,7 +214,9 @@ fn parse_constraint(c: &mut Cursor<'_>) -> Result<NodeConstraint, VgdlError> {
         if c.pos >= c.src.len() {
             return Err(c.err("unterminated string"));
         }
-        let s = std::str::from_utf8(&c.src[s0..c.pos]).unwrap().to_string();
+        let s = std::str::from_utf8(&c.src[s0..c.pos])
+            .map_err(|_| c.err("non-UTF-8 string literal"))?
+            .to_string();
         c.pos += 1;
         ConstraintValue::Sym(s)
     } else {

@@ -21,6 +21,7 @@
 //! | [`core`] | `rsg-core` | knee detection, size & heuristic prediction models, spec generator, alternatives + retrying negotiator |
 //! | [`select`] | `rsg-select` | vgDL + vgES finder, ClassAds + matchmaker, SWORD XML + engine, flaky-selector injector |
 //! | [`obs`] | `rsg-obs` | counters, spans, timing histograms, run reports |
+//! | [`analyze`] | `rsg-analyze` | static analyzer: DAG lints, spec semantic lints, cross-language round-trip checks |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+pub use rsg_analyze as analyze;
 pub use rsg_core as core;
 pub use rsg_dag as dag;
 pub use rsg_obs as obs;
@@ -66,6 +68,7 @@ pub use rsg_select as select;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    pub use rsg_analyze::{analyze, AnalysisReport, Code, Diagnostic, Input, Severity};
     pub use rsg_core::{
         attempt_from_outcome, negotiate_with_retry, BindAttempt, Negotiated, RetryPolicy,
         Unfulfillable,

@@ -59,10 +59,35 @@ proptest! {
     }
 
     #[test]
+    fn parsers_never_panic_on_unicode_mutations(
+        cut in 0usize..400,
+        insert in "[\u{2028}\u{00A0}\u{1F600}\u{FEFF}äß中 \"<>\\[\\]{}=]{0,8}",
+    ) {
+        // Multi-byte whitespace (U+2028, U+00A0), a BOM, emoji and
+        // accented letters spliced into valid documents: the byte-level
+        // cursors must reject these with typed errors, never slice off
+        // a char boundary.
+        let classad = r#"[ Type = "Job"; Count = 5; Requirements = other.Clock >= 2000; Rank = other.Clock ]"#;
+        let vgdl = r#"VG = TightBagOf(nodes) [10:20] { nodes = [ Clock >= 2000 ] }"#;
+        let sword = "<request><group><name>g</name><num_machines>5</num_machines><clock>1.0, 2.0, MAX, MAX, 0.5</clock></group></request>";
+        for doc in [classad, vgdl, sword] {
+            let cut = cut.min(doc.len());
+            if doc.is_char_boundary(cut) {
+                let mutated = format!("{}{}{}", &doc[..cut], insert, &doc[cut..]);
+                let _ = parse_classad(&mutated);
+                let _ = parse_vgdl(&mutated);
+                let _ = parse_sword(&mutated);
+            }
+        }
+    }
+
+    #[test]
     fn dag_reader_never_panics(s in "[ -~\\n\\t]{0,300}") {
         let _ = rsg::dag::io::read_dag(&s);
+        let _ = rsg::dag::io::read_dag_raw(&s);
         let with_header = format!("rsg-dag v1\n{s}");
         let _ = rsg::dag::io::read_dag(&with_header);
+        let _ = rsg::dag::io::read_dag_raw(&with_header);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Property tests on the analyzer's central promise: every spec the
+//! generator emits is diagnostic-free and survives a semantic
+//! round-trip through all three target languages.
+
+use proptest::prelude::*;
+use rsg::analyze::{lint_resource_spec, lint_spec_roundtrip};
+use rsg::core::curve::CurveConfig;
+use rsg::core::heurmodel::HeuristicTraining;
+use rsg::core::observation::ObservationGrid;
+use rsg::prelude::*;
+use std::sync::OnceLock;
+
+/// A real (tiny-grid) generator, trained once for the whole test
+/// binary — the property runs against genuine model output, not a
+/// hand-built spec.
+fn generator() -> &'static SpecGenerator {
+    static GEN: OnceLock<SpecGenerator> = OnceLock::new();
+    GEN.get_or_init(|| {
+        let cfg = CurveConfig::default();
+        let tables = rsg::core::observation::measure(
+            &ObservationGrid::tiny(),
+            &cfg,
+            &rsg::core::THRESHOLD_LADDER,
+            0,
+        );
+        let size_model = ThresholdedSizeModel::fit(&tables);
+        let mut training = HeuristicTraining::fast();
+        training.sizes = vec![50, 200];
+        training.instances = 1;
+        let heur_model = HeuristicPredictionModel::train(&training, &cfg);
+        SpecGenerator::new(size_model, heur_model)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generator output lints clean (with the generator's own output
+    /// validation enabled) and round-trips vgDL, ClassAds and SWORD.
+    #[test]
+    fn generated_specs_are_diagnostic_free_and_round_trip(
+        size in 20usize..250,
+        ccr in 0.01f64..1.5,
+        parallelism in 0.2f64..0.9,
+        seed in 0u64..500,
+        target_clock in 800.0f64..4000.0,
+        het in 0.0f64..0.9,
+    ) {
+        let dag = RandomDagSpec {
+            size,
+            ccr,
+            parallelism,
+            density: 0.5,
+            regularity: 0.5,
+            mean_comp: 40.0,
+        }
+        .generate(seed);
+        let cfg = GeneratorConfig {
+            target_clock_mhz: target_clock,
+            heterogeneity_tolerance: het,
+            validate_output: true,
+            ..Default::default()
+        };
+        let spec = generator().generate(&dag, &cfg);
+        let diags = lint_resource_spec(&spec, "generated");
+        prop_assert!(diags.is_empty(), "{spec:?}: {diags:?}");
+        let diags = lint_spec_roundtrip(&spec, "generated");
+        prop_assert!(diags.is_empty(), "{spec:?}: {diags:?}");
+    }
+}

@@ -51,6 +51,7 @@ pub enum Code {
     Spec006,
     Spec007,
     Spec008,
+    Spec009,
     Xlang001,
     Xlang002,
     Xlang003,
@@ -65,7 +66,7 @@ impl Code {
     /// Every code, in report order. The seeded-defect fixture corpus
     /// must trip each of these at least once (enforced by
     /// `tests/lint_corpus.rs`).
-    pub const ALL: [Code; 21] = [
+    pub const ALL: [Code; 22] = [
         Code::Dag001,
         Code::Dag002,
         Code::Dag003,
@@ -79,6 +80,7 @@ impl Code {
         Code::Spec006,
         Code::Spec007,
         Code::Spec008,
+        Code::Spec009,
         Code::Xlang001,
         Code::Xlang002,
         Code::Xlang003,
@@ -105,6 +107,7 @@ impl Code {
             Code::Spec006 => "SPEC006",
             Code::Spec007 => "SPEC007",
             Code::Spec008 => "SPEC008",
+            Code::Spec009 => "SPEC009",
             Code::Xlang001 => "XLANG001",
             Code::Xlang002 => "XLANG002",
             Code::Xlang003 => "XLANG003",
@@ -132,6 +135,7 @@ impl Code {
             Code::Spec006 => "unsatisfiable against the platform model",
             Code::Spec007 => "degradation ladder violation (rung not strictly weaker / unordered)",
             Code::Spec008 => "utility configuration is degenerate (bad weights or trade-off rows)",
+            Code::Spec009 => "requested host count exceeds the platform's total host population",
             Code::Xlang001 => "language rendering is missing a required field of the spec",
             Code::Xlang002 => "renderings in different languages disagree on a shared field",
             Code::Xlang003 => "spec does not round-trip through its own language rendering",

@@ -9,9 +9,9 @@
 //! * **DAG lints** (`DAG001`–`DAG005`) — cycles as diagnostics instead
 //!   of panics, malformed structure, invalid weights, orphan tasks,
 //!   and requested-size-vs-width degeneracy.
-//! * **Spec lints** (`SPEC001`–`SPEC008`) — bounds/unit sanity,
-//!   platform satisfiability, degradation-ladder monotonicity,
-//!   utility-config sanity.
+//! * **Spec lints** (`SPEC001`–`SPEC009`) — bounds/unit sanity,
+//!   platform satisfiability (including the population ceiling),
+//!   degradation-ladder monotonicity, utility-config sanity.
 //! * **Cross-language analysis** (`XLANG001`–`XLANG003`) — every
 //!   document is reduced to a [`SpecView`]; views from co-analyzed
 //!   documents must agree on shared fields, and each view must be a
@@ -33,7 +33,7 @@ pub mod xlang;
 
 pub use dag_lints::lint_dag;
 pub use diag::{AnalysisReport, Code, Diagnostic, Severity};
-pub use spec_lints::{lint_resource_spec, lint_satisfiability, lint_spec_doc};
+pub use spec_lints::{lint_population, lint_resource_spec, lint_satisfiability, lint_spec_doc};
 pub use specfile::{parse_spec_doc, write_spec_doc, SpecDoc, SpecFileError, SpecRung};
 pub use xlang::{
     expected_view, lint_roundtrip, lint_spec_roundtrip, lint_view, view_divergences, SpecLang,
@@ -221,7 +221,7 @@ pub fn analyze(inputs: &[Input], platform: Option<&Platform>) -> AnalysisReport 
     AnalysisReport { diagnostics }
 }
 
-/// SPEC006 for a view, when it expresses enough to check.
+/// SPEC006/SPEC009 for a view, when it expresses enough to check.
 fn lint_view_satisfiability(
     view: &SpecView,
     platform: Option<&Platform>,
@@ -229,17 +229,22 @@ fn lint_view_satisfiability(
     out: &mut Vec<Diagnostic>,
 ) {
     let Some(platform) = platform else { return };
-    if view.size.is_none() || view.clock_lo.is_none() {
+    if view.size.is_none() {
         return;
     }
     // Only check views whose numerics are sane; the sanity lints
     // already reported the rest.
-    if lint_view(view, subject).is_empty() {
-        out.extend(lint_satisfiability(
-            &xlang::view_to_spec(view),
-            platform,
-            subject,
-        ));
+    if !lint_view(view, subject).is_empty() {
+        return;
+    }
+    let spec = xlang::view_to_spec(view);
+    if view.clock_lo.is_none() {
+        // No clock window: the per-constraint SPEC006 breakdown cannot
+        // run, but the population ceiling (SPEC009) does not depend on
+        // it.
+        out.extend(spec_lints::lint_population(&spec, platform, subject));
+    } else {
+        out.extend(lint_satisfiability(&spec, platform, subject));
     }
 }
 

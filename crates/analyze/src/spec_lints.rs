@@ -1,4 +1,4 @@
-//! Spec semantic lint family (`SPEC001`–`SPEC008`): bounds and unit
+//! Spec semantic lint family (`SPEC001`–`SPEC009`): bounds and unit
 //! sanity, platform satisfiability, degradation-ladder monotonicity
 //! and utility-configuration sanity.
 
@@ -27,15 +27,46 @@ pub fn lint_resource_spec(spec: &ResourceSpec, subject: &str) -> Vec<Diagnostic>
         .collect()
 }
 
+/// `SPEC009`: the requested host count exceeds the platform model's
+/// *total* host population, before any clock or memory filtering. Such
+/// a request can never be bound by any selector on this platform, so
+/// the diagnostic is always an error. Unlike `SPEC006` the check does
+/// not read the spec's clock window, so it also applies to renderings
+/// that omit one.
+pub fn lint_population(spec: &ResourceSpec, platform: &Platform, subject: &str) -> Vec<Diagnostic> {
+    let population: u64 = platform.clusters().iter().map(|c| u64::from(c.hosts)).sum();
+    let needed = u64::from(spec.rc_size.max(spec.min_size));
+    if needed > population {
+        vec![Diagnostic::error(
+            Code::Spec009,
+            subject,
+            format!(
+                "requested {needed} hosts but the platform's total population is \
+                 {population} — unsatisfiable regardless of clock or memory constraints"
+            ),
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
 /// `SPEC006`: counts hosts in the platform model that satisfy the
 /// spec's clock window and memory floor. Fewer matching hosts than
 /// `min_size` is an error (no selector can bind the request); fewer
 /// than `rc_size` is a warning (only a degraded bind is possible).
+///
+/// Fails fast with `SPEC009` alone when the request exceeds the
+/// platform's entire population — the per-constraint breakdown is
+/// noise once no filter could ever help.
 pub fn lint_satisfiability(
     spec: &ResourceSpec,
     platform: &Platform,
     subject: &str,
 ) -> Vec<Diagnostic> {
+    let population = lint_population(spec, platform, subject);
+    if !population.is_empty() {
+        return population;
+    }
     let (lo, hi) = spec.clock_mhz;
     let matching: u64 = platform
         .clusters()
@@ -358,6 +389,35 @@ mod tests {
         );
         // Without a platform model the check is skipped.
         assert!(!codes(&lint_spec_doc(&doc, "s", None)).contains(&Code::Spec006));
+    }
+
+    #[test]
+    fn population_ceiling_is_spec009_and_fails_fast() {
+        // 10000 hosts against a 1200-host platform: SPEC009, and only
+        // SPEC009 — the per-constraint SPEC006 breakdown is suppressed.
+        let doc = parse_spec_doc("rsg-spec v1\nsize 10000\nmin 5\nclock 1000 4000\nend\n").unwrap();
+        let diags = lint_spec_doc(&doc, "s", Some(&platform()));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == Code::Spec009 && d.severity == crate::diag::Severity::Error),
+            "{diags:?}"
+        );
+        assert!(!codes(&diags).contains(&Code::Spec006), "{diags:?}");
+        // A request within the population is judged by SPEC006 alone.
+        let doc2 = parse_spec_doc("rsg-spec v1\nsize 20\nmin 5\nclock 1000 4000\nend\n").unwrap();
+        assert!(!codes(&lint_spec_doc(&doc2, "s", Some(&platform()))).contains(&Code::Spec009));
+        // The standalone check reads only the size fields.
+        let spec = rung_to_spec(
+            &parse_spec_doc("rsg-spec v1\nsize 2000\nend\n")
+                .unwrap()
+                .rungs[0],
+        )
+        .unwrap();
+        assert_eq!(
+            codes(&lint_population(&spec, &platform(), "s")),
+            [Code::Spec009]
+        );
     }
 
     #[test]

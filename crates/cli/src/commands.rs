@@ -156,18 +156,73 @@ pub fn curve(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `rsg train [--grid tiny|fast|paper] [--out FILE] [--journal FILE]`
-pub fn train(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let grid = match args.opt("grid").unwrap_or("fast") {
-        "tiny" => ObservationGrid::tiny(),
-        "fast" => ObservationGrid::fast(),
-        "paper" => ObservationGrid::paper(),
-        other => {
-            return Err(CliError::Usage(format!(
-                "--grid must be tiny|fast|paper, got '{other}'"
-            )))
+/// Grid selection shared by `train` and its shard workers.
+fn grid_by_name(label: &str) -> Result<ObservationGrid, CliError> {
+    match label {
+        "tiny" => Ok(ObservationGrid::tiny()),
+        "fast" => Ok(ObservationGrid::fast()),
+        "paper" => Ok(ObservationGrid::paper()),
+        other => Err(CliError::Usage(format!(
+            "--grid must be tiny|fast|paper, got '{other}'"
+        ))),
+    }
+}
+
+/// Runs the sweep sharded over `count` worker processes, each invoking
+/// this same binary's hidden `train-shard` subcommand on a disjoint
+/// cell subset with its own journal, then merges the shard journals.
+fn sharded_sweep(
+    grid: &rsg_core::ObservationGrid,
+    label: &str,
+    journal: &str,
+    count: usize,
+    out: &mut dyn Write,
+) -> Result<Vec<rsg_core::KneeTable>, CliError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::Failed(format!("cannot locate own executable: {e}")))?;
+    let mut children = Vec::with_capacity(count);
+    for i in 0..count {
+        let child = std::process::Command::new(&exe)
+            .args([
+                "train-shard",
+                "--grid",
+                label,
+                "--journal",
+                journal,
+                "--shard",
+                &format!("{i}/{count}"),
+            ])
+            .stdout(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| CliError::Failed(format!("cannot spawn shard {i}/{count}: {e}")))?;
+        children.push(child);
+    }
+    for (i, mut child) in children.into_iter().enumerate() {
+        let status = child
+            .wait()
+            .map_err(|e| CliError::Failed(format!("shard {i}/{count}: {e}")))?;
+        if !status.success() {
+            return Err(CliError::Failed(format!(
+                "shard {i}/{count} exited with {status}; rerun to resume from its journal"
+            )));
         }
-    };
+    }
+    writeln!(out, "merging {count} shard journals ...")?;
+    Ok(rsg_core::merge_shards(
+        grid,
+        &CurveConfig::default(),
+        &rsg_core::THRESHOLD_LADDER,
+        0,
+        std::path::Path::new(journal),
+        count,
+    )?)
+}
+
+/// `rsg train [--grid tiny|fast|paper] [--out FILE] [--journal FILE]
+/// [--shards N]`
+pub fn train(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let label = args.opt("grid").unwrap_or("fast").to_string();
+    let grid = grid_by_name(&label)?;
     writeln!(
         out,
         "training on {} configurations x {} instances ...",
@@ -175,8 +230,31 @@ pub fn train(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
         grid.instances
     )?;
     let cfg = CurveConfig::default();
-    let tables = match args.opt("journal") {
-        Some(j) => {
+    let shards = match args.opt("shards") {
+        None => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                return Err(CliError::Usage(format!(
+                    "--shards expects a positive integer, got '{v}'"
+                )))
+            }
+        },
+    };
+    let tables = match (shards, args.opt("journal")) {
+        (Some(_), None) => {
+            return Err(CliError::Usage(
+                "--shards requires --journal BASE (shard journals are \
+                 derived from the base path)"
+                    .into(),
+            ))
+        }
+        (Some(n), Some(j)) => {
+            let tables = sharded_sweep(&grid, &label, j, n, out)?;
+            writeln!(out, "sweep sharded {n} ways, journals at {j}.shard*")?;
+            tables
+        }
+        (None, Some(j)) => {
             let ckpt = rsg_core::CheckpointConfig::new(j);
             let tables = rsg_core::observation::measure_checkpointed(
                 &grid,
@@ -188,7 +266,7 @@ pub fn train(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
             writeln!(out, "sweep checkpointed to {j}")?;
             tables
         }
-        None => rsg_core::observation::measure(&grid, &cfg, &rsg_core::THRESHOLD_LADDER, 0),
+        (None, None) => rsg_core::observation::measure(&grid, &cfg, &rsg_core::THRESHOLD_LADDER, 0),
     };
     let model = ThresholdedSizeModel::fit(&tables);
     let text = model.to_tsv();
@@ -199,6 +277,38 @@ pub fn train(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
         }
         None => out.write_all(text.as_bytes())?,
     }
+    Ok(())
+}
+
+/// `rsg train-shard --grid tiny|fast|paper --journal BASE --shard i/N`
+///
+/// Hidden worker subcommand behind `rsg train --shards N`: computes one
+/// shard's cells of the sweep into `<BASE>.shard<i>-of-<N>` and exits.
+/// Resumable — a rerun skips cells already journaled.
+pub fn train_shard(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let grid = grid_by_name(args.require("grid")?)?;
+    let journal = args.require("journal")?;
+    let spec = args.require("shard")?;
+    let shard = spec
+        .split_once('/')
+        .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)))
+        .filter(|&(i, n)| n > 0 && i < n)
+        .map(|(index, count)| rsg_core::ShardSpec { index, count })
+        .ok_or_else(|| CliError::Usage(format!("--shard expects i/N with i < N, got '{spec}'")))?;
+    let ckpt = rsg_core::CheckpointConfig::new(journal);
+    let computed = rsg_core::measure_shard(
+        &grid,
+        &CurveConfig::default(),
+        &rsg_core::THRESHOLD_LADDER,
+        0,
+        &ckpt,
+        shard,
+    )?;
+    writeln!(
+        out,
+        "shard {}/{}: {computed} cells computed",
+        shard.index, shard.count
+    )?;
     Ok(())
 }
 

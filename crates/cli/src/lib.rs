@@ -115,6 +115,7 @@ USAGE:
   rsg stats   FILE
   rsg curve   FILE [--heuristic MCP|DLS|FCA|FCFS|Greedy] [--instances K]
   rsg train   [--grid tiny|fast|paper] [--out FILE] [--journal FILE]
+              [--shards N]
   rsg train-heuristic [--preset fast|paper] [--out FILE]
   rsg predict --model FILE DAGFILE
   rsg spec    (--model FILE | --grid tiny|fast) DAGFILE
@@ -130,6 +131,9 @@ USAGE:
 
 `rsg train --journal FILE` checkpoints each completed sweep cell to
 FILE; a re-run with the same grid resumes from the first missing cell.
+`rsg train --shards N --journal BASE` partitions the sweep across N
+worker processes, each journaling its cells to BASE.shard<i>-of-<N>;
+the shard journals are merged (and a killed shard resumed) on rerun.
 `rsg store verify` checks the envelope/journal checksums of persisted
 artifacts without modifying them.
 `rsg lint` statically analyzes spec and DAG files (vgDL, ClassAd,
@@ -178,6 +182,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "stats" => commands::stats(&mut args, out),
         "curve" => commands::curve(&mut args, out),
         "train" => commands::train(&mut args, out),
+        "train-shard" => commands::train_shard(&mut args, out),
         "train-heuristic" => commands::train_heuristic(&mut args, out),
         "predict" => commands::predict(&mut args, out),
         "spec" => commands::spec(&mut args, out),
@@ -235,6 +240,50 @@ mod tests {
     fn unknown_command_is_usage_error() {
         assert!(matches!(run_err(&["frobnicate"]), CliError::Usage(_)));
         assert!(matches!(run_err(&[]), CliError::Usage(_)));
+    }
+
+    /// Sharded-train argument validation must fail before any worker
+    /// process is spawned (no side effects from a bad invocation).
+    #[test]
+    fn sharded_train_usage_errors() {
+        let e = run_err(&["train", "--grid", "tiny", "--shards", "2"]);
+        assert!(
+            matches!(e, CliError::Usage(ref m) if m.contains("--journal")),
+            "{e:?}"
+        );
+        assert!(matches!(
+            run_err(&["train", "--grid", "tiny", "--shards", "0", "--journal", "j"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["train", "--grid", "tiny", "--shards", "x", "--journal", "j"]),
+            CliError::Usage(_)
+        ));
+        // Worker subcommand: shard index out of range.
+        assert!(matches!(
+            run_err(&[
+                "train-shard",
+                "--grid",
+                "tiny",
+                "--journal",
+                "j",
+                "--shard",
+                "2/2"
+            ]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&[
+                "train-shard",
+                "--grid",
+                "tiny",
+                "--journal",
+                "j",
+                "--shard",
+                "nope"
+            ]),
+            CliError::Usage(_)
+        ));
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use cluster::{Arch, Cluster, ClusterId};
 pub use cost::CostModel;
 pub use generator::ResourceGenSpec;
 pub use platform::Platform;
-pub use rc::{CommModel, ResourceCollection};
+pub use rc::{ClockClasses, CommModel, ResourceCollection};
 pub use topology::{Topology, TopologySpec};
 
 /// Reference bandwidth (bits/s) all communication costs are expressed

@@ -9,6 +9,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Communication-cost scaling between RC hosts.
 ///
@@ -36,11 +38,125 @@ pub enum CommModel {
     },
 }
 
+/// Struct-of-arrays partition of an RC's hosts into *clock classes*:
+/// groups of hosts with bit-identical clock rates, classes in
+/// first-appearance order, members ascending by host index. Because
+/// task execution time is `comp / (clock / refclk)`, hosts of one clock
+/// class have bit-identical speed factors and execution times under any
+/// DAG reference clock — which is what lets the placement kernel reason
+/// per class instead of per host.
+///
+/// The partition is *prefix-stable*: restricting to the first `p` hosts
+/// keeps every class index and every member's rank unchanged (members
+/// are ascending, so a prefix of the RC sees a prefix of each class's
+/// member list, and classes keep their first-appearance order).
+#[derive(Debug, Default)]
+pub struct ClockClasses {
+    /// Class index per host.
+    class_of: Vec<u32>,
+    /// Rank of each host within its class's ascending member list.
+    rank_in_class: Vec<u32>,
+    /// Member host indices per class, ascending.
+    members: Vec<Vec<u32>>,
+}
+
+impl ClockClasses {
+    fn build(clocks: &[f64]) -> ClockClasses {
+        let mut keys: Vec<u64> = Vec::new();
+        let mut members: Vec<Vec<u32>> = Vec::new();
+        let mut class_of = Vec::with_capacity(clocks.len());
+        let mut rank_in_class = Vec::with_capacity(clocks.len());
+        for (h, c) in clocks.iter().enumerate() {
+            let bits = c.to_bits();
+            let class = match keys.iter().position(|&k| k == bits) {
+                Some(c) => c,
+                None => {
+                    keys.push(bits);
+                    members.push(Vec::new());
+                    keys.len() - 1
+                }
+            };
+            class_of.push(class as u32);
+            rank_in_class.push(members[class].len() as u32);
+            members[class].push(h as u32);
+        }
+        ClockClasses {
+            class_of,
+            rank_in_class,
+            members,
+        }
+    }
+
+    /// Number of distinct clock classes over the whole RC.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `(class, rank-in-class)` of a host. The rank equals the host's
+    /// leaf position in any prefix that contains it.
+    #[inline]
+    pub fn slot(&self, host: usize) -> (u32, u32) {
+        (self.class_of[host], self.rank_in_class[host])
+    }
+
+    /// Number of classes with at least one member among the first
+    /// `hosts` hosts. Classes are in first-appearance order, so these
+    /// are exactly classes `0..classes_in_prefix(hosts)`.
+    pub fn classes_in_prefix(&self, hosts: usize) -> usize {
+        self.members.partition_point(|m| (m[0] as usize) < hosts)
+    }
+
+    /// Members of `class` among the first `hosts` hosts (ascending).
+    pub fn members_in_prefix(&self, class: usize, hosts: usize) -> &[u32] {
+        let m = &self.members[class];
+        &m[..m.partition_point(|&h| (h as usize) < hosts)]
+    }
+}
+
+/// Lazily-built derived views of an RC, shared by clones. The `uid`
+/// identifies the (immutable) clock vector: schedulers key their
+/// thread-local scratch caches on it. Mutating constructors
+/// ([`ResourceCollection::with_bandwidth_heterogeneity`]) only touch the
+/// communication model, which none of the cached views depend on.
+#[derive(Debug)]
+struct RcCaches {
+    uid: u64,
+    classes: OnceLock<Arc<ClockClasses>>,
+    /// `(dag_ref_clock_mhz bits, speed factors)` pairs.
+    speeds: Mutex<Vec<(u64, Arc<[f64]>)>>,
+}
+
+fn fresh_caches() -> Arc<RcCaches> {
+    static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+    Arc::new(RcCaches {
+        uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+        classes: OnceLock::new(),
+        speeds: Mutex::new(Vec::new()),
+    })
+}
+
 /// A set of hosts on which an application can be scheduled.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct ResourceCollection {
     clocks_mhz: Vec<f64>,
     comm: CommModel,
+    caches: Arc<RcCaches>,
+}
+
+impl std::fmt::Debug for ResourceCollection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResourceCollection")
+            .field("clocks_mhz", &self.clocks_mhz)
+            .field("comm", &self.comm)
+            .finish()
+    }
+}
+
+impl PartialEq for ResourceCollection {
+    fn eq(&self, other: &Self) -> bool {
+        self.clocks_mhz == other.clocks_mhz && self.comm == other.comm
+    }
 }
 
 impl ResourceCollection {
@@ -63,7 +179,55 @@ impl ResourceCollection {
             assert_eq!(host_cluster.len(), clocks_mhz.len());
             assert_eq!(factors.len(), k * k);
         }
-        ResourceCollection { clocks_mhz, comm }
+        ResourceCollection {
+            clocks_mhz,
+            comm,
+            caches: fresh_caches(),
+        }
+    }
+
+    /// Stable identity of this RC's clock vector. Clones share the uid
+    /// (clock vectors are immutable after construction); every
+    /// constructor that builds a new clock vector mints a new one.
+    /// Schedulers key thread-local scratch caches on `(uid, …)`.
+    #[inline]
+    pub fn uid(&self) -> u64 {
+        self.caches.uid
+    }
+
+    /// The clock-class partition (see [`ClockClasses`]), built lazily
+    /// once per RC and shared by clones.
+    pub fn clock_classes(&self) -> Arc<ClockClasses> {
+        self.caches
+            .classes
+            .get_or_init(|| Arc::new(ClockClasses::build(&self.clocks_mhz)))
+            .clone()
+    }
+
+    /// Flat speed factors of every host relative to a DAG reference
+    /// clock — `speed_factor(h, refclk)` for all `h` as one contiguous
+    /// array, cached per reference clock and shared by clones. The
+    /// values are bit-identical to per-host [`speed_factor`] calls.
+    ///
+    /// [`speed_factor`]: ResourceCollection::speed_factor
+    pub fn speed_factors(&self, dag_ref_clock_mhz: f64) -> Arc<[f64]> {
+        let key = dag_ref_clock_mhz.to_bits();
+        let mut cache = self.caches.speeds.lock().unwrap();
+        if let Some((_, v)) = cache.iter().find(|(k, _)| *k == key) {
+            return v.clone();
+        }
+        let v: Arc<[f64]> = self
+            .clocks_mhz
+            .iter()
+            .map(|c| c / dag_ref_clock_mhz)
+            .collect();
+        // A given RC only ever meets a handful of reference clocks;
+        // the bound is a leak guard, not a working-set limit.
+        if cache.len() >= 16 {
+            cache.clear();
+        }
+        cache.push((key, v.clone()));
+        v
     }
 
     /// A homogeneous RC: `size` hosts at `clock_mhz`, homogeneous
@@ -446,6 +610,49 @@ mod tests {
         // Virtual processors of the same physical host share a cluster.
         assert_eq!(rc.comm_factor(0, 1), 1.0);
         assert_eq!(rc.comm_factor(0, 2), 4.0);
+    }
+
+    #[test]
+    fn clock_classes_partition_and_prefix_stability() {
+        let rc = ResourceCollection::new(
+            vec![1500.0, 2800.0, 1500.0, 750.0, 2800.0, 1500.0],
+            CommModel::Uniform,
+        );
+        let cc = rc.clock_classes();
+        assert_eq!(cc.count(), 3);
+        // First-appearance order: 1500 -> 0, 2800 -> 1, 750 -> 2.
+        assert_eq!(cc.slot(0), (0, 0));
+        assert_eq!(cc.slot(1), (1, 0));
+        assert_eq!(cc.slot(2), (0, 1));
+        assert_eq!(cc.slot(3), (2, 0));
+        assert_eq!(cc.slot(4), (1, 1));
+        assert_eq!(cc.slot(5), (0, 2));
+        assert_eq!(cc.members_in_prefix(0, 6), &[0, 2, 5]);
+        // Prefix restriction: same classes, truncated member lists.
+        assert_eq!(cc.classes_in_prefix(1), 1);
+        assert_eq!(cc.classes_in_prefix(2), 2);
+        assert_eq!(cc.classes_in_prefix(4), 3);
+        assert_eq!(cc.members_in_prefix(0, 3), &[0, 2]);
+        assert_eq!(cc.members_in_prefix(1, 3), &[1]);
+        assert_eq!(cc.members_in_prefix(2, 3), &[] as &[u32]);
+        // Clones share the partition and the uid; new RCs do not.
+        let clone = rc.clone();
+        assert_eq!(clone.uid(), rc.uid());
+        let other = rc.prefix(6);
+        assert_ne!(other.uid(), rc.uid());
+    }
+
+    #[test]
+    fn speed_factors_match_per_host_queries() {
+        let rc = ResourceCollection::heterogeneous(20, 3000.0, 0.4, 2);
+        let flat = rc.speed_factors(1500.0);
+        assert_eq!(flat.len(), 20);
+        for h in 0..20 {
+            assert_eq!(flat[h].to_bits(), rc.speed_factor(h, 1500.0).to_bits());
+        }
+        // Cached: the same Arc comes back.
+        assert!(Arc::ptr_eq(&flat, &rc.speed_factors(1500.0)));
+        assert!(!Arc::ptr_eq(&flat, &rc.speed_factors(2800.0)));
     }
 
     #[test]

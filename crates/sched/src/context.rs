@@ -8,15 +8,24 @@
 
 use rsg_dag::{Dag, TaskId};
 use rsg_platform::ResourceCollection;
+use std::sync::Arc;
 
 /// A scheduling problem instance: `(dag, rc)` plus precomputed speed
 /// factors.
+///
+/// The speed factors live in one flat, contiguous `f64` array over the
+/// *whole* RC, cached inside the RC and shared by every context built
+/// on it ([`ResourceCollection::speed_factors`]): constructing a
+/// context is O(1) after the first build, and prefix-limited contexts
+/// (the sweep's RC-size ladder) are just a smaller `hosts` bound over
+/// the same array.
 pub struct ExecutionContext<'a> {
     /// The workflow to schedule.
     pub dag: &'a Dag,
     /// The resource collection to schedule onto.
     pub rc: &'a ResourceCollection,
-    speed: Vec<f64>,
+    speeds: Arc<[f64]>,
+    hosts: usize,
 }
 
 impl<'a> ExecutionContext<'a> {
@@ -36,9 +45,13 @@ impl<'a> ExecutionContext<'a> {
         hosts: usize,
     ) -> ExecutionContext<'a> {
         let hosts = hosts.clamp(1, rc.len());
-        let refclk = dag.reference_clock_mhz();
-        let speed = (0..hosts).map(|h| rc.speed_factor(h, refclk)).collect();
-        ExecutionContext { dag, rc, speed }
+        let speeds = rc.speed_factors(dag.reference_clock_mhz());
+        ExecutionContext {
+            dag,
+            rc,
+            speeds,
+            hosts,
+        }
     }
 
     /// Clock rate of host `h` in MHz (only hosts below [`hosts()`]
@@ -54,19 +67,30 @@ impl<'a> ExecutionContext<'a> {
     /// Number of hosts.
     #[inline]
     pub fn hosts(&self) -> usize {
-        self.speed.len()
+        self.hosts
     }
 
     /// Execution time of task `t` on host `h`, seconds.
     #[inline]
     pub fn task_time(&self, t: TaskId, h: usize) -> f64 {
-        self.dag.comp(t) / self.speed[h]
+        debug_assert!(h < self.hosts);
+        self.dag.comp(t) / self.speeds[h]
     }
 
     /// Speed factor of host `h` relative to the DAG reference clock.
     #[inline]
     pub fn speed(&self, h: usize) -> f64 {
-        self.speed[h]
+        debug_assert!(h < self.hosts);
+        self.speeds[h]
+    }
+
+    /// All speed factors of this context as one flat slice (length
+    /// [`hosts()`]), for branch-free min/argmin scans.
+    ///
+    /// [`hosts()`]: ExecutionContext::hosts
+    #[inline]
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds[..self.hosts]
     }
 
     /// Transfer time of an edge with reference cost `comm` seconds from
@@ -94,8 +118,8 @@ impl<'a> ExecutionContext<'a> {
     /// Index of (one of) the fastest hosts.
     pub fn fastest_host(&self) -> usize {
         let mut best = 0usize;
-        for h in 1..self.speed.len() {
-            if self.speed[h] > self.speed[best] {
+        for h in 1..self.hosts {
+            if self.speeds[h] > self.speeds[best] {
                 best = h;
             }
         }

@@ -1,5 +1,25 @@
 //! Shared machinery for the list schedulers: totally ordered f64 keys,
 //! host heaps, and ready-task propagation.
+//!
+//! # Host-scaling audit (10k–100k hosts)
+//!
+//! Of the five heuristics, only MCP and DLS rescan the host dimension
+//! per task — they get the candidate-set kernel, the loop-swapped flat
+//! scans, and (DLS) the incremental dynamic-level maintenance in
+//! [`placement`](super::placement) / [`dls`](super::dls). The others
+//! are already incremental in character and need no restructuring:
+//!
+//! * **FCFS / greedy** place each task on the earliest-ready host via
+//!   [`HostHeap`]: one `O(P)` build per schedule, `O(log P)` per task.
+//!   Per-task cost is sublinear in hosts by construction.
+//! * **FCA** partitions hosts once per schedule (`O(P)`) and then works
+//!   on the fixed per-cluster assignment; its per-task work is
+//!   `O(parents)`, independent of `P`.
+//!
+//! Their only host-dimension allocations are the one-shot heap/partition
+//! builds, amortized over the whole schedule — pooling them would save
+//! one `Vec` build per schedule without changing the asymptotics, so
+//! they deliberately stay on plain allocations for clarity.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

@@ -18,7 +18,8 @@
 //! turnaround knee of Chapter V.
 
 use super::common::log2_ops;
-use super::placement::PlacementIndex;
+use super::placement::{self, PlacementIndex};
+use super::scratch;
 use super::{Heuristic, HeuristicKind};
 use crate::context::ExecutionContext;
 use crate::schedule::Schedule;
@@ -89,45 +90,71 @@ fn schedule_impl(ctx: &ExecutionContext<'_>, use_fast: bool) -> (Schedule, OpCou
     ops += n as u64 * log2_ops(n);
 
     let mut sched = Schedule::with_capacity(n);
-    let mut host_ready = vec![0.0f64; hosts];
-    let mut index = if use_fast {
-        PlacementIndex::new(ctx)
-    } else {
-        None
-    };
-
-    for &ti in &order {
-        let t = rsg_dag::TaskId(ti);
-        let i = t.index();
-        let parents = dag.parents(t).len() as u64;
-        let (best_finish, best_host, best_start) = match index.as_mut() {
-            Some(ix) => ix.mcp_best(ctx, t, &sched, &host_ready),
-            None => {
-                let mut best_finish = f64::INFINITY;
-                let mut best_host = 0usize;
-                let mut best_start = 0.0f64;
-                for (h, &ready) in host_ready.iter().enumerate() {
-                    let est = ready.max(ctx.data_ready(t, h, &sched.finish, &sched.host));
-                    let fin = est + ctx.task_time(t, h);
-                    if fin < best_finish {
-                        best_finish = fin;
-                        best_host = h;
-                        best_start = est;
-                    }
-                }
-                (best_finish, best_host, best_start)
-            }
+    if use_fast {
+        // Fast path: pooled host-ready array (zero steady-state
+        // allocation), candidate-set kernel when it engages, the
+        // loop-swapped flat scan otherwise. Both are bit-identical to
+        // the reference scan below.
+        let mut host_ready = scratch::take_ready(hosts);
+        let mut index = PlacementIndex::new(ctx);
+        let mut flat = if index.is_none() {
+            Some(scratch::take_flat())
+        } else {
+            None
         };
-        // Modeled cost of the full scan, regardless of how the
-        // winner was found: the scan *is* the phenomenon the paper
-        // measures, and the knee tables depend on it.
-        ops += hosts as u64 * (1 + parents);
-        sched.host[i] = best_host as u32;
-        sched.start[i] = best_start;
-        sched.finish[i] = best_finish;
-        host_ready[best_host] = best_finish;
-        if let Some(ix) = index.as_mut() {
-            ix.update(best_host, best_finish);
+        for &ti in &order {
+            let t = rsg_dag::TaskId(ti);
+            let i = t.index();
+            let parents = dag.parents(t).len() as u64;
+            let (best_finish, best_host, best_start) = match index.as_mut() {
+                Some(ix) => ix.mcp_best(ctx, t, &sched, &host_ready),
+                None => placement::mcp_flat_best(
+                    ctx,
+                    t,
+                    &sched,
+                    &host_ready,
+                    flat.as_mut()
+                        .expect("flat buffer on declined path")
+                        .get(hosts),
+                ),
+            };
+            // Modeled cost of the full scan, regardless of how the
+            // winner was found: the scan *is* the phenomenon the paper
+            // measures, and the knee tables depend on it.
+            ops += hosts as u64 * (1 + parents);
+            sched.host[i] = best_host as u32;
+            sched.start[i] = best_start;
+            sched.finish[i] = best_finish;
+            host_ready.set(best_host, best_finish);
+            if let Some(ix) = index.as_mut() {
+                ix.update(best_host, best_finish);
+            }
+        }
+    } else {
+        // Reference scan: one pass over hosts per task, data-ready
+        // folded per host. Kept verbatim as the differential baseline.
+        let mut host_ready = vec![0.0f64; hosts];
+        for &ti in &order {
+            let t = rsg_dag::TaskId(ti);
+            let i = t.index();
+            let parents = dag.parents(t).len() as u64;
+            let mut best_finish = f64::INFINITY;
+            let mut best_host = 0usize;
+            let mut best_start = 0.0f64;
+            for (h, &ready) in host_ready.iter().enumerate() {
+                let est = ready.max(ctx.data_ready(t, h, &sched.finish, &sched.host));
+                let fin = est + ctx.task_time(t, h);
+                if fin < best_finish {
+                    best_finish = fin;
+                    best_host = h;
+                    best_start = est;
+                }
+            }
+            ops += hosts as u64 * (1 + parents);
+            sched.host[i] = best_host as u32;
+            sched.start[i] = best_start;
+            sched.finish[i] = best_finish;
+            host_ready[best_host] = best_finish;
         }
     }
 

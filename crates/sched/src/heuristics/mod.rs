@@ -12,6 +12,7 @@ mod fcfs;
 mod greedy;
 mod mcp;
 pub mod placement;
+mod scratch;
 
 pub use dls::{Dls, DlsNaive};
 pub use fca::Fca;

@@ -20,6 +20,7 @@ const INSTANT_ALLOWLIST: &[&str] = &[
     "crates/obs/src/lib.rs",               // span/report timing
     "crates/obs/src/span.rs",              // span timing
     "crates/sched/src/chaos.rs",           // negotiation elapsed/backoff
+    "crates/sched/src/heuristics/scratch.rs", // bank-reset histogram, obs-gated
     "crates/sched/src/turnaround.rs",      // scheduling-time measurement
     "crates/sched/src/simulator.rs",       // scheduling-time measurement
 ];

@@ -1,0 +1,164 @@
+//! From-scratch differential property test for the incremental DLS
+//! dynamic-level maintenance.
+//!
+//! `Dls` keeps per-candidate dynamic levels cached across placement
+//! steps (heap + per-host buckets, rescanning only the committed host's
+//! bucket). The test oracle here shares *nothing* with that machinery:
+//! after every placement it recomputes each ready candidate's dynamic
+//! level over all hosts from scratch and commits the argmax. If the
+//! incremental caches ever held a stale level — a decayed column not
+//! rescanned, a bucket entry left behind after a best-host move — the
+//! two sequences would diverge at the first affected placement and the
+//! schedules would differ. Exercised across arbitrary placement
+//! sequences (random DAGs) on uniform/fast-kernel, heterogeneous-clock,
+//! and heterogeneous-bandwidth collections, i.e. both the candidate-set
+//! kernel and the flat-scan paths.
+
+use proptest::prelude::*;
+use rsg::prelude::*;
+use rsg::sched::heuristics::{Dls, DlsNaive};
+use rsg::sched::{ExecutionContext, Heuristic, Schedule};
+
+/// Dynamic-level scheduling with zero incremental state: every step
+/// recomputes every ready candidate's level over every host. Mirrors
+/// the Sih & Lee selection rule (highest level; lowest host, then
+/// lowest task id on ties) and nothing else.
+fn schedule_from_scratch(ctx: &ExecutionContext<'_>) -> Schedule {
+    let dag = ctx.dag;
+    let n = dag.len();
+    let hosts = ctx.hosts();
+
+    let info = rsg::dag::CriticalPathInfo::compute(dag);
+    let median_speed = {
+        let mut sp: Vec<f64> = (0..hosts).map(|h| ctx.speed(h)).collect();
+        sp.sort_by(f64::total_cmp);
+        sp[sp.len() / 2]
+    };
+
+    let mut sched = Schedule::with_capacity(n);
+    let mut host_ready = vec![0.0f64; hosts];
+    let mut remaining_parents: Vec<u32> =
+        dag.tasks().map(|t| dag.parents(t).len() as u32).collect();
+    let mut ready: Vec<rsg::dag::TaskId> = dag.entries().collect();
+
+    for _ in 0..n {
+        // Recompute every (candidate, host) level from current state.
+        let mut best: Option<(f64, rsg::dag::TaskId, usize, f64)> = None;
+        for &t in &ready {
+            let sl = info.static_level[t.index()];
+            let wbar = dag.comp(t) / median_speed;
+            let mut tb = (f64::NEG_INFINITY, 0usize, 0.0f64);
+            for (h, &ready_t) in host_ready.iter().enumerate() {
+                let start = ready_t.max(ctx.data_ready(t, h, &sched.finish, &sched.host));
+                let dl = sl - start + (wbar - ctx.task_time(t, h));
+                if dl > tb.0 {
+                    tb = (dl, h, start);
+                }
+            }
+            let better = match best {
+                None => true,
+                Some((bd, bt, _, _)) => dl_wins(tb.0, t, bd, bt),
+            };
+            if better {
+                best = Some((tb.0, t, tb.1, tb.2));
+            }
+        }
+        let (_, t, h, start) = best.expect("ready set non-empty while tasks remain");
+        ready.retain(|&r| r != t);
+
+        let i = t.index();
+        let finish = start + ctx.task_time(t, h);
+        sched.host[i] = h as u32;
+        sched.start[i] = start;
+        sched.finish[i] = finish;
+        host_ready[h] = finish;
+
+        for e in dag.children(t) {
+            let c = e.task;
+            remaining_parents[c.index()] -= 1;
+            if remaining_parents[c.index()] == 0 {
+                ready.push(c);
+            }
+        }
+    }
+    sched
+}
+
+/// Selection order: highest dynamic level, lowest task id on ties.
+fn dl_wins(dl: f64, t: rsg::dag::TaskId, best_dl: f64, best_t: rsg::dag::TaskId) -> bool {
+    match dl.total_cmp(&best_dl) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => t < best_t,
+    }
+}
+
+fn dag_spec_strategy() -> impl Strategy<Value = RandomDagSpec> {
+    (
+        5usize..80,
+        0.0f64..2.0,
+        0.0f64..=1.0,
+        0.05f64..=1.0,
+        0.01f64..=1.0,
+        1.0f64..50.0,
+    )
+        .prop_map(
+            |(size, ccr, parallelism, density, regularity, mean_comp)| RandomDagSpec {
+                size,
+                ccr,
+                parallelism,
+                density,
+                regularity,
+                mean_comp,
+            },
+        )
+}
+
+/// The three RC shapes that route DLS down its distinct code paths:
+/// few-class uniform (candidate-set kernel), heterogeneous clocks
+/// (flat scan), heterogeneous bandwidth (flat scan, clustered comm).
+fn build_rc(shape: u8, hosts: usize, het: f64, seed: u64) -> ResourceCollection {
+    match shape {
+        0 => {
+            let pool = [1500.0f64, 2800.0, 750.0];
+            let classes = 1 + (seed % 3) as usize;
+            let hosts = classes * 4 + hosts;
+            let clocks: Vec<f64> = (0..hosts).map(|h| pool[h % classes]).collect();
+            ResourceCollection::new(clocks, rsg::platform::CommModel::Uniform)
+        }
+        1 => ResourceCollection::heterogeneous(hosts.max(1), 3000.0, het, seed),
+        _ => ResourceCollection::heterogeneous(hosts.max(1), 3000.0, het, seed)
+            .with_bandwidth_heterogeneity(0.3, seed ^ 7),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After arbitrary placement sequences, the incremental levels must
+    /// drive exactly the placements a full from-scratch recomputation
+    /// drives — and so must the cached-candidate reference.
+    #[test]
+    fn incremental_dls_matches_from_scratch_recomputation(
+        spec in dag_spec_strategy(),
+        seed in 0u64..1000,
+        shape in 0u8..3,
+        hosts in 1usize..24,
+        het in 0.05f64..0.6,
+        rc_seed in 0u64..100,
+    ) {
+        let rc = build_rc(shape, hosts, het, rc_seed);
+        let dag = spec.generate(seed);
+        let ctx = ExecutionContext::new(&dag, &rc);
+        let oracle = schedule_from_scratch(&ctx);
+        let (incremental, inc_ops) = Dls.schedule(&ctx);
+        prop_assert_eq!(&incremental.host, &oracle.host, "host placement");
+        prop_assert_eq!(&incremental.start, &oracle.start, "start times");
+        prop_assert_eq!(&incremental.finish, &oracle.finish, "finish times");
+        // And the cached reference agrees on ops too (the oracle has no
+        // op model — it performs a different amount of real work).
+        let (reference, ref_ops) = DlsNaive.schedule(&ctx);
+        prop_assert_eq!(&reference.host, &oracle.host);
+        prop_assert_eq!(inc_ops, ref_ops);
+    }
+}

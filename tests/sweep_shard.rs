@@ -1,0 +1,151 @@
+//! Kill-and-resume integration test for the *sharded* observation
+//! sweep: two worker processes split the grid by `cell % shards`, one
+//! is killed mid-shard (injected cell budget) and its journal tail torn
+//! (simulated crash mid-append); after resuming the dead shard, the
+//! merged knee tables must be byte-identical to a single-process sweep.
+//!
+//! The worker side reuses this test binary: `shard_worker_entry` is a
+//! no-op unless `RSG_SHARD_WORKER=i/N` is set, and the parent spawns
+//! `current_exe() shard_worker_entry --exact` with the environment set —
+//! a real OS process per shard, coordinating only through the shard
+//! journals, exactly like `rsg train --shards N`.
+
+use rsg::core::curve::CurveConfig;
+use rsg::core::observation::{
+    measure, measure_shard, merge_shards, shard_journal_path, CheckpointConfig, ObservationGrid,
+    ShardSpec,
+};
+use rsg::core::persist::knee_tables_to_tsv;
+use rsg::core::store::StoreError;
+use std::path::Path;
+
+/// Sweep parameters shared by the parent and every worker process —
+/// they must agree or the shard journals quarantine on fingerprint.
+const THETAS: [f64; 2] = [0.001, 0.05];
+const REFINE: u32 = 1;
+const SHARDS: usize = 2;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("rsg-shard-{tag}-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&d);
+    d
+}
+
+/// Worker half: computes one shard of the tiny-grid sweep when invoked
+/// by the parent test with `RSG_SHARD_WORKER` set; inert otherwise. An
+/// injected-budget abort is a *successful* exit — it models the worker
+/// being killed after journaling some cells.
+#[test]
+fn shard_worker_entry() {
+    let Ok(spec) = std::env::var("RSG_SHARD_WORKER") else {
+        return;
+    };
+    let base = std::env::var("RSG_SHARD_JOURNAL").expect("RSG_SHARD_JOURNAL set");
+    let (i, n) = spec.split_once('/').expect("worker spec i/N");
+    let shard = ShardSpec {
+        index: i.parse().unwrap(),
+        count: n.parse().unwrap(),
+    };
+    let mut ckpt = CheckpointConfig::new(&base);
+    if let Ok(b) = std::env::var("RSG_SHARD_BUDGET") {
+        ckpt.cell_budget = Some(b.parse().unwrap());
+    }
+    let grid = ObservationGrid::tiny();
+    let cfg = CurveConfig::default();
+    match measure_shard(&grid, &cfg, &THETAS, REFINE, &ckpt, shard) {
+        Ok(_) => {}
+        Err(StoreError::Aborted { .. }) => {} // the simulated kill
+        Err(other) => panic!("shard worker {spec} failed: {other}"),
+    }
+}
+
+fn spawn_worker(base: &Path, spec: &str, budget: Option<usize>) -> std::process::Child {
+    let exe = std::env::current_exe().unwrap();
+    let mut cmd = std::process::Command::new(exe);
+    cmd.args(["shard_worker_entry", "--exact", "--quiet"])
+        .env("RSG_SHARD_WORKER", spec)
+        .env("RSG_SHARD_JOURNAL", base);
+    match budget {
+        Some(b) => cmd.env("RSG_SHARD_BUDGET", b.to_string()),
+        None => cmd.env_remove("RSG_SHARD_BUDGET"),
+    };
+    cmd.stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn shard worker")
+}
+
+fn wait_ok(mut child: std::process::Child, what: &str) {
+    let status = child.wait().unwrap();
+    assert!(status.success(), "{what} exited with {status}");
+}
+
+#[test]
+fn sharded_sweep_survives_worker_kill_and_merges_bit_identical() {
+    let _guard = rsg::obs::test_guard();
+    let grid = ObservationGrid::tiny();
+    let cfg = CurveConfig::default();
+
+    // Ground truth: the uninterrupted single-process sweep.
+    let clean_tsv = knee_tables_to_tsv(&measure(&grid, &cfg, &THETAS, REFINE));
+
+    let base = tmpdir("kill").join("sweep.journal");
+    for i in 0..SHARDS {
+        let _ = std::fs::remove_file(shard_journal_path(
+            &base,
+            ShardSpec {
+                index: i,
+                count: SHARDS,
+            },
+        ));
+    }
+
+    // Both shards run concurrently as real OS processes. Shard 0 is
+    // "killed" after one cell (injected budget); shard 1 completes.
+    let w0 = spawn_worker(&base, &format!("0/{SHARDS}"), Some(1));
+    let w1 = spawn_worker(&base, &format!("1/{SHARDS}"), None);
+    wait_ok(w0, "shard 0 (budgeted)");
+    wait_ok(w1, "shard 1");
+
+    // Tear the dead shard's journal tail: crash mid-append.
+    {
+        use std::io::Write;
+        let path = shard_journal_path(
+            &base,
+            ShardSpec {
+                index: 0,
+                count: SHARDS,
+            },
+        );
+        let mut f = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+        f.write_all(b"cell\t999\t4.0").unwrap();
+    }
+
+    // The merge must refuse the incomplete sweep with coverage counts,
+    // not fabricate tables.
+    let err = merge_shards(&grid, &cfg, &THETAS, REFINE, &base, SHARDS).unwrap_err();
+    match err {
+        StoreError::Aborted { completed, total } => {
+            assert_eq!(total, grid.cells());
+            assert!(
+                completed < total,
+                "merge saw {completed}/{total}, expected missing cells"
+            );
+        }
+        other => panic!("expected an abort from the merge, got {other:?}"),
+    }
+
+    // Rerun the dead shard without the budget: it resumes past the
+    // journaled cell (and the torn tail) and finishes its subset.
+    wait_ok(
+        spawn_worker(&base, &format!("0/{SHARDS}"), None),
+        "shard 0 (resumed)",
+    );
+
+    let merged = merge_shards(&grid, &cfg, &THETAS, REFINE, &base, SHARDS).unwrap();
+    assert_eq!(
+        knee_tables_to_tsv(&merged),
+        clean_tsv,
+        "merged shard tables must serialize byte-identically to a \
+         single-process sweep"
+    );
+}

@@ -19,10 +19,7 @@ use rsg_sched::{
 use rsg_select::{FlakyConfig, FlakySelector, VgesFinder};
 use std::io::{Read, Write};
 
-/// Artifact kind recorded in size-model envelopes.
-const SIZE_MODEL_KIND: &str = "size-model";
-/// Artifact kind recorded in heuristic-model envelopes.
-const HEUR_MODEL_KIND: &str = "heur-model";
+use rsg_core::persist::{HEUR_MODEL_KIND, SIZE_MODEL_KIND};
 
 fn load_dag(path: &str) -> Result<Dag, CliError> {
     let text = if path == "-" {
@@ -34,29 +31,6 @@ fn load_dag(path: &str) -> Result<Dag, CliError> {
             .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?
     };
     read_dag(&text).map_err(|e| CliError::Decode(format!("{path}: {e}")))
-}
-
-/// Reads a possibly envelope-wrapped artifact file. A bare (legacy)
-/// file is returned as-is; a wrapped one is checksum-verified and must
-/// carry the expected `kind`.
-fn read_maybe_envelope(path: &str, kind: &str) -> Result<String, CliError> {
-    let p = std::path::Path::new(path);
-    let text =
-        std::fs::read_to_string(p).map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
-    if !rsg_core::store::looks_like_envelope(&text) {
-        return Ok(text);
-    }
-    let (found, payload) =
-        rsg_core::store::unwrap_envelope(&text).map_err(|e| CliError::from(e.with_path(p)))?;
-    if found != kind {
-        return Err(rsg_core::StoreError::Kind {
-            path: path.to_string(),
-            expected: kind.to_string(),
-            found: found.to_string(),
-        }
-        .into());
-    }
-    Ok(payload.to_string())
 }
 
 fn emit(out_path: Option<&str>, content: &str, out: &mut dyn Write) -> Result<(), CliError> {
@@ -313,8 +287,7 @@ pub fn train_shard(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError>
 }
 
 fn load_model(path: &str) -> Result<ThresholdedSizeModel, CliError> {
-    let payload = read_maybe_envelope(path, SIZE_MODEL_KIND)?;
-    ThresholdedSizeModel::from_tsv(&payload).map_err(CliError::from)
+    rsg_core::persist::load_size_model(std::path::Path::new(path)).map_err(CliError::from)
 }
 
 /// `rsg predict --model FILE DAGFILE`
@@ -380,12 +353,10 @@ pub fn spec(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     // defaulting to MCP (training a full heuristic model is a separate,
     // slower step — `fig6_1` at experiment scale).
     let heur_model = match (args.opt("heuristic-model"), args.opt("heuristic")) {
-        (Some(path), _) => {
-            let payload = read_maybe_envelope(path, HEUR_MODEL_KIND)?;
-            HeuristicPredictionModel::from_tsv(&payload).map_err(CliError::from)?
-        }
-        (None, Some(h)) => fixed_heuristic_model(parse_heuristic(h)?),
-        (None, None) => fixed_heuristic_model(HeuristicKind::Mcp),
+        (Some(path), _) => rsg_core::persist::load_heuristic_model(std::path::Path::new(path))
+            .map_err(CliError::from)?,
+        (None, Some(h)) => HeuristicPredictionModel::fixed(parse_heuristic(h)?),
+        (None, None) => HeuristicPredictionModel::fixed(HeuristicKind::Mcp),
     };
     let generator = SpecGenerator::new(model, heur_model);
     let cfg = GeneratorConfig {
@@ -741,20 +712,62 @@ fn parse_heuristic(s: &str) -> Result<HeuristicKind, CliError> {
     })
 }
 
-/// A degenerate heuristic model that always answers `h` — the CLI's
-/// default when no trained heuristic model is supplied.
-fn fixed_heuristic_model(h: HeuristicKind) -> HeuristicPredictionModel {
-    let training = HeuristicTraining {
-        sizes: vec![1],
-        ccrs: vec![0.0],
-        heuristics: vec![h],
-        alpha: 0.5,
-        beta: 0.5,
-        instances: 1,
-        mean_comp: 1.0,
-        density: 0.5,
-    };
-    // Train on a single trivial cell — milliseconds — so predict()
-    // always returns `h`.
-    HeuristicPredictionModel::train(&training, &CurveConfig::default())
+/// `rsg serve --models DIR [--addr A] [--workers N] [--queue N]
+/// [--deadline-s S]`: load the model registry once, then answer
+/// requests until the process is killed.
+pub fn serve(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let models = args
+        .opt("models")
+        .ok_or_else(|| CliError::Usage("serve needs --models DIR".into()))?
+        .to_string();
+    let mut cfg = rsg_serve::ServeConfig::default();
+    if let Some(a) = args.opt("addr") {
+        cfg.addr = a.to_string();
+    }
+    if let Some(w) = args.opt("workers") {
+        cfg.workers = w
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| CliError::Usage(format!("bad --workers '{w}'")))?;
+    }
+    if let Some(q) = args.opt("queue") {
+        cfg.queue_depth = q
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| CliError::Usage(format!("bad --queue '{q}'")))?;
+    }
+    if let Some(d) = args.opt("deadline-s") {
+        cfg.default_deadline_s = d
+            .parse::<f64>()
+            .ok()
+            .filter(|&s| s > 0.0 && s.is_finite())
+            .ok_or_else(|| CliError::Usage(format!("bad --deadline-s '{d}'")))?;
+    }
+    let registry =
+        rsg_serve::ModelRegistry::load(std::path::Path::new(&models)).map_err(CliError::from)?;
+    writeln!(
+        out,
+        "loaded size model {} ({} thresholds), heuristic model {}",
+        registry.size_model_path.as_deref().unwrap_or("inline"),
+        registry.size_model.models.len(),
+        registry
+            .heuristic_model_path
+            .as_deref()
+            .unwrap_or("fixed MCP fallback"),
+    )?;
+    let server = rsg_serve::Server::spawn(&cfg, registry)
+        .map_err(|e| CliError::Io(format!("cannot bind {}: {e}", cfg.addr)))?;
+    writeln!(
+        out,
+        "rsg-serve listening on http://{} ({} workers, queue {}, default deadline {:.0}s)",
+        server.addr(),
+        cfg.workers,
+        cfg.queue_depth,
+        cfg.default_deadline_s
+    )?;
+    out.flush()?;
+    server.join();
+    Ok(())
 }

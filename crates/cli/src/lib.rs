@@ -128,6 +128,8 @@ USAGE:
   rsg dot     FILE [--out FILE]
   rsg store   verify PATH...
   rsg lint    FILE... [--format human|json|tsv] [--platform]
+  rsg serve   --models DIR [--addr HOST:PORT] [--workers N]
+              [--queue N] [--deadline-s S]
 
 `rsg train --journal FILE` checkpoints each completed sweep cell to
 FILE; a re-run with the same grid resumes from the first missing cell.
@@ -142,6 +144,11 @@ all spec files in one invocation are treated as renderings of the same
 request and cross-checked. `--platform` additionally checks
 satisfiability against a deterministic platform model. Error-level
 diagnostics exit 6.
+
+`rsg serve` starts a long-lived HTTP/JSON service answering /spec,
+/predict, /lint, /metrics and /healthz from models loaded once out of
+--models DIR (size_model*.tsv required, heur_model*.tsv optional); see
+docs/API.md for the wire format and docs/OPERATIONS.md for running it.
 
 Exit codes: 0 ok, 1 failure, 2 usage, 3 I/O, 4 corrupt artifact,
 5 decode error, 6 lint diagnostics.
@@ -190,6 +197,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "dot" => commands::dot(&mut args, out),
         "store" => commands::store(&mut args, out),
         "lint" => commands::lint(&mut args, out),
+        "serve" => commands::serve(&mut args, out),
         "help" | "--help" | "-h" => {
             out.write_all(USAGE.as_bytes())?;
             Ok(())

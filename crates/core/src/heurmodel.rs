@@ -162,6 +162,25 @@ impl HeuristicPredictionModel {
         }
     }
 
+    /// A degenerate single-cell model that always predicts `h` — the
+    /// default when no trained heuristic model is supplied (the CLI and
+    /// the serving registry both fall back to this; construction is
+    /// free, no training runs). It still emits the `train_heuristic`
+    /// span so run reports show the heuristic-model stage regardless of
+    /// which path produced the model.
+    pub fn fixed(h: HeuristicKind) -> HeuristicPredictionModel {
+        let _span = rsg_obs::span("train_heuristic");
+        HeuristicPredictionModel {
+            sizes: vec![1],
+            ccrs: vec![0.0],
+            cells: vec![CellResult {
+                size: 1,
+                ccr: 0.0,
+                optimal_turnaround: vec![(h, 0.0)],
+            }],
+        }
+    }
+
     /// Cell at grid indices.
     pub fn cell(&self, si: usize, ci: usize) -> &CellResult {
         &self.cells[si * self.ccrs.len() + ci]

@@ -490,6 +490,49 @@ pub fn knee_tables_from_tsv(text: &str) -> Result<Vec<crate::observation::KneeTa
     Ok(tables)
 }
 
+/// Artifact kind recorded in size-model envelopes (`rsg train --out`).
+pub const SIZE_MODEL_KIND: &str = "size-model";
+
+/// Artifact kind recorded in heuristic-model envelopes
+/// (`rsg train-heuristic --out`).
+pub const HEUR_MODEL_KIND: &str = "heur-model";
+
+/// Reads a possibly envelope-wrapped artifact file. A bare (legacy)
+/// file is returned as-is; a wrapped one is checksum-verified and must
+/// carry the expected `kind`. This is the single on-disk read path for
+/// trained models, shared by the CLI and the serving registry.
+pub fn read_model_payload(path: &std::path::Path, kind: &str) -> Result<String, StoreError> {
+    let text = std::fs::read_to_string(path).map_err(|e| StoreError::io(path, "read model", &e))?;
+    if !crate::store::looks_like_envelope(&text) {
+        return Ok(text);
+    }
+    let (found, payload) = crate::store::unwrap_envelope(&text).map_err(|e| e.with_path(path))?;
+    if found != kind {
+        return Err(StoreError::Kind {
+            path: path.display().to_string(),
+            expected: kind.to_string(),
+            found: found.to_string(),
+        });
+    }
+    Ok(payload.to_string())
+}
+
+/// Loads a [`ThresholdedSizeModel`] from disk, verifying the store
+/// envelope when present.
+pub fn load_size_model(path: &std::path::Path) -> Result<ThresholdedSizeModel, StoreError> {
+    let payload = read_model_payload(path, SIZE_MODEL_KIND)?;
+    ThresholdedSizeModel::from_tsv(&payload)
+}
+
+/// Loads a [`crate::heurmodel::HeuristicPredictionModel`] from disk,
+/// verifying the store envelope when present.
+pub fn load_heuristic_model(
+    path: &std::path::Path,
+) -> Result<crate::heurmodel::HeuristicPredictionModel, StoreError> {
+    let payload = read_model_payload(path, HEUR_MODEL_KIND)?;
+    crate::heurmodel::HeuristicPredictionModel::from_tsv(&payload)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

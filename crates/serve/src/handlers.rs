@@ -1,0 +1,960 @@
+//! Endpoint handlers: JSON in, JSON out.
+//!
+//! Every request is linted **before** it is served: a submitted DAG
+//! runs through `rsg-analyze` first, and error-level diagnostics come
+//! back as structured 4xx bodies (parse failures as 400, semantic
+//! defects as 422) instead of a spec generated from garbage. The happy
+//! path then runs the exact same code the CLI runs —
+//! [`SpecGenerator`] over the registry's models — which is what makes
+//! a served `/spec` response byte-identical to `rsg spec` output for
+//! the same input and models.
+
+use crate::deadline::Deadline;
+use crate::http::{HttpRequest, HttpResponse};
+use crate::registry::ModelRegistry;
+use rsg_analyze::{AnalysisReport, Diagnostic, Input};
+use rsg_core::alternative::{alternatives, attempt_from_outcome, negotiate_with_retry};
+use rsg_core::curve::CurveConfig;
+use rsg_core::heurmodel::HeuristicPredictionModel;
+use rsg_core::specgen::{GeneratorConfig, SpecGenerator};
+use rsg_core::RetryPolicy;
+use rsg_dag::io::read_dag;
+use rsg_dag::{Dag, DagStats};
+use rsg_obs::json::{escape, num, Json};
+use rsg_obs::{Counter, RunReport, TimingHistogram};
+use rsg_platform::{Platform, ResourceGenSpec, TopologySpec};
+use rsg_sched::HeuristicKind;
+use rsg_select::{FlakyConfig, FlakySelector, VgesFinder};
+use std::sync::{Arc, OnceLock};
+
+static REQ_SPEC: Counter = Counter::new("serve.requests.spec");
+static REQ_PREDICT: Counter = Counter::new("serve.requests.predict");
+static REQ_LINT: Counter = Counter::new("serve.requests.lint");
+static REQ_HEALTHZ: Counter = Counter::new("serve.requests.healthz");
+static REQ_METRICS: Counter = Counter::new("serve.requests.metrics");
+static LINT_REJECTED: Counter = Counter::new("serve.lint.rejected");
+static DEADLINE_EXPIRED: Counter = Counter::new("serve.deadline.expired");
+static HANDLER_LATENCY: TimingHistogram = TimingHistogram::new("serve.latency.handler");
+
+/// Shared, immutable per-process serving state: the model registry and
+/// the lazily built negotiation platform. Cloned `Arc`s of this hang
+/// off every worker.
+pub struct ServerContext {
+    registry: Arc<ModelRegistry>,
+    default_deadline_s: f64,
+    generator: SpecGenerator,
+    platform: OnceLock<Platform>,
+}
+
+impl ServerContext {
+    /// Builds the context; the generator is assembled once from the
+    /// registry's models.
+    pub fn new(registry: ModelRegistry, default_deadline_s: f64) -> ServerContext {
+        let generator = SpecGenerator::new(
+            registry.size_model.clone(),
+            registry.heuristic_model.clone(),
+        );
+        ServerContext {
+            registry: Arc::new(registry),
+            default_deadline_s,
+            generator,
+            platform: OnceLock::new(),
+        }
+    }
+
+    /// The per-request wall-clock budget used when a request body does
+    /// not carry its own `deadline_s`.
+    pub fn default_deadline_s(&self) -> f64 {
+        self.default_deadline_s
+    }
+
+    /// The model registry answering this process's requests.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The deterministic 2006-era platform the negotiation path binds
+    /// against (the same one `rsg spec --negotiate` and `rsg lint
+    /// --platform` use). Built on first use, then cached hot.
+    fn platform(&self) -> &Platform {
+        self.platform.get_or_init(|| {
+            Platform::generate(
+                ResourceGenSpec {
+                    clusters: 40,
+                    year: 2006,
+                    target_hosts: Some(1200),
+                },
+                TopologySpec::default(),
+                11,
+            )
+        })
+    }
+}
+
+/// Routes one parsed request to its handler. `accepted` is the
+/// deadline stamped when the connection was accepted; POST bodies may
+/// narrow (or widen) its budget via `deadline_s`.
+pub fn handle(ctx: &ServerContext, req: &HttpRequest, accepted: &Deadline) -> HttpResponse {
+    let started = Deadline::start(f64::INFINITY);
+    let resp = route(ctx, req, accepted);
+    HANDLER_LATENCY.record_secs(started.elapsed_s());
+    resp
+}
+
+fn route(ctx: &ServerContext, req: &HttpRequest, accepted: &Deadline) -> HttpResponse {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            REQ_HEALTHZ.incr();
+            healthz(ctx)
+        }
+        ("GET", "/metrics") => {
+            REQ_METRICS.incr();
+            metrics()
+        }
+        ("POST", "/spec") => {
+            REQ_SPEC.incr();
+            with_deadline(ctx, req, accepted, spec_endpoint)
+        }
+        ("POST", "/predict") => {
+            REQ_PREDICT.incr();
+            with_deadline(ctx, req, accepted, predict_endpoint)
+        }
+        ("POST", "/lint") => {
+            REQ_LINT.incr();
+            with_deadline(ctx, req, accepted, lint_endpoint)
+        }
+        (_, "/healthz" | "/metrics") => error(405, "method", "use GET for this endpoint", &[]),
+        (_, "/spec" | "/predict" | "/lint") => error(
+            405,
+            "method",
+            "use POST with a JSON body for this endpoint",
+            &[],
+        ),
+        (_, path) => error(404, "not-found", &format!("no such endpoint: {path}"), &[]),
+    }
+}
+
+/// Parses the JSON body, applies the request's own `deadline_s` (still
+/// measured from accept), answers 504 when the budget is already
+/// spent, and otherwise dispatches.
+fn with_deadline(
+    ctx: &ServerContext,
+    req: &HttpRequest,
+    accepted: &Deadline,
+    f: impl FnOnce(&ServerContext, &Json, &Deadline) -> HttpResponse,
+) -> HttpResponse {
+    let body = match Json::parse(&req.body) {
+        Ok(v @ Json::Obj(_)) => v,
+        Ok(_) => return error(400, "usage", "request body must be a JSON object", &[]),
+        Err(e) => {
+            return error(
+                400,
+                "usage",
+                &format!("request body is not valid JSON: {e}"),
+                &[],
+            )
+        }
+    };
+    let deadline = match body.get("deadline_s").and_then(Json::as_f64) {
+        Some(s) => accepted.with_budget(s),
+        None => *accepted,
+    };
+    if deadline.expired() {
+        DEADLINE_EXPIRED.incr();
+        let mut resp = error(
+            504,
+            "deadline",
+            &format!(
+                "request deadline of {:.3} s expired after {:.3} s (queue wait included)",
+                deadline.budget_s(),
+                deadline.elapsed_s()
+            ),
+            &[],
+        );
+        resp.retry_after_s = Some(1);
+        return resp;
+    }
+    f(ctx, &body, &deadline)
+}
+
+// ---------------------------------------------------------------- spec
+
+fn spec_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> HttpResponse {
+    let (stats, dag) = match request_stats(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    // Heuristic override mirrors `rsg spec --heuristic NAME`.
+    let spec = match body.get("heuristic").and_then(Json::as_str) {
+        Some(name) => {
+            let Some(h) = HeuristicKind::parse(name) else {
+                return error(
+                    400,
+                    "usage",
+                    &format!("unknown heuristic '{name}' (MCP|DLS|FCA|FCFS|Greedy)"),
+                    &[],
+                );
+            };
+            let generator = SpecGenerator::new(
+                ctx.registry.size_model.clone(),
+                HeuristicPredictionModel::fixed(h),
+            );
+            generator.generate_from_stats(&stats, &generator_config(body))
+        }
+        None => ctx
+            .generator
+            .generate_from_stats(&stats, &generator_config(body)),
+    };
+
+    let vgdl = SpecGenerator::to_vgdl(&spec);
+    let classad = SpecGenerator::to_classad(&spec);
+    let sword = rsg_select::sword::write_sword(&SpecGenerator::to_sword(&spec));
+    // This summary string is byte-identical to the first line `rsg
+    // spec` prints — the e2e test depends on that.
+    let summary = format!(
+        "RC size {} (min {}), clocks {:.0}..{:.0} MHz, heuristic {}, threshold {:.1}%",
+        spec.rc_size,
+        spec.min_size,
+        spec.clock_mhz.0,
+        spec.clock_mhz.1,
+        spec.heuristic,
+        spec.threshold * 100.0
+    );
+
+    let negotiation = match (body.get("negotiate"), &dag) {
+        (Some(Json::Bool(true)), Some(dag)) => match negotiate(ctx, &spec, dag, body, deadline) {
+            Ok(n) => Some(n),
+            Err(resp) => return resp,
+        },
+        (Some(Json::Bool(true)), None) => {
+            return error(
+                400,
+                "usage",
+                "negotiation needs a full 'dag' (alternatives are grounded on the DAG)",
+                &[],
+            )
+        }
+        _ => None,
+    };
+
+    let mut out = String::from("{");
+    out.push_str(&format!("\"summary\": {}", escape(&summary)));
+    out.push_str(&format!(
+        ", \"heuristic\": {}",
+        escape(spec.heuristic.name())
+    ));
+    out.push_str(&format!(", \"rc_size\": {}", spec.rc_size));
+    out.push_str(&format!(", \"min_size\": {}", spec.min_size));
+    out.push_str(&format!(", \"threshold\": {}", num(spec.threshold)));
+    out.push_str(&format!(
+        ", \"clock_mhz\": [{}, {}]",
+        num(spec.clock_mhz.0),
+        num(spec.clock_mhz.1)
+    ));
+    out.push_str(&format!(", \"memory_mb\": {}", spec.memory_mb));
+    out.push_str(&format!(
+        ", \"aggregate\": {}",
+        escape(&format!("{:?}", spec.aggregate))
+    ));
+    out.push_str(&format!(", \"knee_ladder\": {}", knee_ladder(ctx, &stats)));
+    out.push_str(&format!(
+        ", \"over_provision\": {{\"width\": {}, \"rc_over_min\": {}}}",
+        stats.width,
+        num(f64::from(spec.rc_size) / f64::from(spec.min_size.max(1)))
+    ));
+    out.push_str(&format!(
+        ", \"renderings\": {{\"vgdl\": {}, \"classad\": {}, \"sword\": {}}}",
+        escape(&vgdl.to_string()),
+        escape(&classad.to_string()),
+        escape(&sword)
+    ));
+    if let Some(n) = negotiation {
+        out.push_str(&format!(", \"negotiation\": {n}"));
+    }
+    push_meta_and_report(&mut out, body, deadline);
+    out.push('}');
+    HttpResponse::json(200, out)
+}
+
+/// The generator knobs a request body may set; the defaults are the
+/// CLI's defaults, so an empty body reproduces `rsg spec` exactly.
+fn generator_config(body: &Json) -> GeneratorConfig {
+    let mut cfg = GeneratorConfig {
+        target_clock_mhz: body
+            .get("clock_mhz")
+            .and_then(Json::as_f64)
+            .unwrap_or(3500.0),
+        heterogeneity_tolerance: body
+            .get("heterogeneity")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        ..Default::default()
+    };
+    if let Some(m) = body.get("memory_mb").and_then(Json::as_f64) {
+        if m >= 1.0 && m.is_finite() {
+            cfg.memory_mb = m as u32;
+        }
+    }
+    cfg
+}
+
+/// Per-threshold knee predictions — the `rsg predict` table as JSON.
+fn knee_ladder(ctx: &ServerContext, stats: &DagStats) -> String {
+    let mut out = String::from("[");
+    for (i, m) in ctx.registry.size_model.models.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"threshold\": {}, \"rc_size\": {}}}",
+            num(m.theta),
+            m.predict(stats)
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Binds the generated spec against the vgES finder over the cached
+/// platform, walking the degradation ladder with retries. The
+/// request's remaining wall budget seeds the negotiator's total
+/// simulated-time deadline, so an almost-expired request cannot start
+/// an open-ended negotiation.
+fn negotiate(
+    ctx: &ServerContext,
+    spec: &rsg_core::ResourceSpec,
+    dag: &Dag,
+    body: &Json,
+    deadline: &Deadline,
+) -> Result<String, HttpResponse> {
+    let flaky_cfg = match body.get("flaky") {
+        Some(f) => {
+            let seed = f.get("seed").and_then(Json::as_f64).unwrap_or(0.0);
+            let rate = f.get("rate").and_then(Json::as_f64).unwrap_or(0.0);
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(error(400, "usage", "flaky.rate must be in [0, 1]", &[]));
+            }
+            FlakyConfig::from_seed_rate(seed as u64, rate)
+        }
+        None => FlakyConfig::default(),
+    };
+    let mut flaky = FlakySelector::new(flaky_cfg)
+        .map_err(|e| error(400, "usage", &format!("flaky config: {e}"), &[]))?;
+    let tiers: Vec<f64> = [3000.0, 2500.0, 2000.0]
+        .into_iter()
+        .filter(|&t| t < spec.clock_mhz.1)
+        .collect();
+    let ladder = alternatives(
+        spec,
+        std::slice::from_ref(dag),
+        &tiers,
+        &CurveConfig::default(),
+    );
+    let finder = VgesFinder::default();
+    let platform = ctx.platform();
+    let policy = RetryPolicy {
+        total_deadline_s: deadline
+            .remaining_s()
+            .min(RetryPolicy::default().total_deadline_s),
+        ..RetryPolicy::default()
+    };
+    let result = negotiate_with_retry(&ladder, &policy, |s| {
+        let vg = SpecGenerator::to_vgdl(s);
+        attempt_from_outcome(flaky.select(|| finder.find(platform, &vg)), s.min_size)
+    });
+    Ok(match result {
+        Ok(n) => format!(
+            "{{\"bound\": true, \"rung\": {}, \"degradation\": {}, \"hosts\": {}, \
+             \"attempts\": {}, \"transient_failures\": {}, \"backoff_total_s\": {}, \
+             \"elapsed_s\": {}}}",
+            n.rung,
+            escape(&format!("{:?}", ladder[n.rung].degradation)),
+            n.value.len(),
+            n.stats.attempts,
+            n.stats.transient_failures,
+            num(n.stats.backoff_total_s),
+            num(n.stats.elapsed_s)
+        ),
+        Err(u) => format!(
+            "{{\"bound\": false, \"attempts\": {}, \"rungs_visited\": {}, \
+             \"transient_failures\": {}, \"permanent_rejections\": {}, \
+             \"deadline_hit\": {}}}",
+            u.stats.attempts,
+            u.stats.rungs_visited,
+            u.stats.transient_failures,
+            u.stats.permanent_rejections,
+            u.deadline_hit
+        ),
+    })
+}
+
+// ------------------------------------------------------------- predict
+
+fn predict_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> HttpResponse {
+    let (stats, _) = match request_stats(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let heuristic = ctx.registry.heuristic_model.predict(&stats);
+    let mut out = String::from("{");
+    out.push_str(&format!("\"heuristic\": {}", escape(heuristic.name())));
+    out.push_str(&format!(", \"knee_ladder\": {}", knee_ladder(ctx, &stats)));
+    out.push_str(&format!(
+        ", \"stats\": {{\"size\": {}, \"width\": {}, \"ccr\": {}, \"parallelism\": {}, \
+         \"density\": {}, \"regularity\": {}, \"mean_comp\": {}}}",
+        stats.size,
+        stats.width,
+        num(stats.ccr),
+        num(stats.parallelism),
+        num(stats.density),
+        num(stats.regularity),
+        num(stats.mean_comp)
+    ));
+    push_meta_and_report(&mut out, body, deadline);
+    out.push('}');
+    HttpResponse::json(200, out)
+}
+
+// ---------------------------------------------------------------- lint
+
+fn lint_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> HttpResponse {
+    let Some(docs) = body.get("documents").and_then(Json::as_array) else {
+        return error(
+            400,
+            "usage",
+            "lint needs a 'documents' array of {name, text} objects",
+            &[],
+        );
+    };
+    let mut inputs = Vec::with_capacity(docs.len());
+    for (i, d) in docs.iter().enumerate() {
+        let name = d
+            .get("name")
+            .and_then(Json::as_str)
+            .map_or_else(|| format!("document-{i}"), str::to_string);
+        let Some(text) = d.get("text").and_then(Json::as_str) else {
+            return error(
+                400,
+                "usage",
+                &format!("document '{name}' has no 'text'"),
+                &[],
+            );
+        };
+        inputs.push(Input::new(&name, text));
+    }
+    if inputs.is_empty() {
+        return error(400, "usage", "lint needs at least one document", &[]);
+    }
+    let with_platform = matches!(body.get("platform"), Some(Json::Bool(true)));
+    let platform = with_platform.then(|| ctx.platform());
+    let report = rsg_analyze::analyze(&inputs, platform);
+    if report.errors() > 0 {
+        LINT_REJECTED.incr();
+        return error(
+            422,
+            "lint",
+            &format!("{} error-level diagnostic(s)", report.errors()),
+            &report.diagnostics,
+        );
+    }
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"errors\": 0, \"warnings\": {}, \"diagnostics\": {}",
+        report.warnings(),
+        diagnostics_json(&report.diagnostics)
+    ));
+    push_meta_and_report(&mut out, body, deadline);
+    out.push('}');
+    HttpResponse::json(200, out)
+}
+
+// ------------------------------------------------- healthz and metrics
+
+fn healthz(ctx: &ServerContext) -> HttpResponse {
+    let r = ctx.registry();
+    let thresholds: Vec<String> = r.size_model.models.iter().map(|m| num(m.theta)).collect();
+    let size_src = r.size_model_path.as_deref().unwrap_or("inline");
+    let heur_src = r
+        .heuristic_model_path
+        .clone()
+        .unwrap_or_else(|| "fixed".to_string());
+    let body = format!(
+        "{{\"status\": \"ok\", \"models\": {{\"size_model\": {}, \"heuristic_model\": {}, \
+         \"thresholds\": [{}]}}, \"endpoints\": [\"/spec\", \"/predict\", \"/lint\", \
+         \"/metrics\", \"/healthz\"]}}",
+        escape(size_src),
+        escape(&heur_src),
+        thresholds.join(", ")
+    );
+    HttpResponse::json(200, body)
+}
+
+/// Snapshot of every `serve.*` counter and histogram. Histograms carry
+/// mean and bracketed p50/p99/p999 (2× bucket resolution, as
+/// documented on [`rsg_obs::HistogramSnapshot::quantile_s`]).
+fn metrics() -> HttpResponse {
+    let report = RunReport::capture();
+    let mut out = String::from("{\"counters\": {");
+    let mut first = true;
+    for (name, value) in report
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("serve."))
+    {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!("{}: {}", escape(name), value));
+    }
+    out.push_str("}, \"histograms\": {");
+    let mut first = true;
+    for h in report
+        .histograms
+        .iter()
+        .filter(|h| h.name.starts_with("serve."))
+    {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!(
+            "{}: {{\"count\": {}, \"mean_s\": {}, \"p50_s\": {}, \"p99_s\": {}, \
+             \"p999_s\": {}, \"max_s\": {}}}",
+            escape(&h.name),
+            h.count,
+            num(h.mean_s()),
+            num(h.quantile_s(0.50)),
+            num(h.quantile_s(0.99)),
+            num(h.quantile_s(0.999)),
+            num(h.max_ns as f64 / 1e9)
+        ));
+    }
+    out.push_str("}}");
+    HttpResponse::json(200, out)
+}
+
+// ------------------------------------------------------- shared pieces
+
+/// Extracts the DAG characteristics a request describes: either a full
+/// `rsg-dag v1` document under `"dag"` (linted before anything else)
+/// or the paper's six characteristics under `"characteristics"`.
+fn request_stats(body: &Json) -> Result<(DagStats, Option<Dag>), HttpResponse> {
+    if let Some(text) = body.get("dag").and_then(Json::as_str) {
+        // Lint first: parse failures are 400, semantic defects 422.
+        let report = rsg_analyze::analyze(&[Input::new("request.dag", text)], None);
+        if report.errors() > 0 {
+            LINT_REJECTED.incr();
+            let parse_failure = report
+                .diagnostics
+                .iter()
+                .any(|d| d.code.as_str().starts_with("PARSE"));
+            let status = if parse_failure { 400 } else { 422 };
+            return Err(error(
+                status,
+                "lint",
+                &format!(
+                    "request DAG rejected: {} error-level diagnostic(s)",
+                    report.errors()
+                ),
+                &report.diagnostics,
+            ));
+        }
+        let dag = read_dag(text)
+            .map_err(|e| error(400, "usage", &format!("cannot parse 'dag': {e}"), &[]))?;
+        return Ok((DagStats::measure(&dag), Some(dag)));
+    }
+    if let Some(c) = body.get("characteristics") {
+        return Ok((stats_from_characteristics(c)?, None));
+    }
+    Err(error(
+        400,
+        "usage",
+        "request needs either 'dag' (an rsg-dag v1 document) or 'characteristics'",
+        &[],
+    ))
+}
+
+/// Builds a [`DagStats`] from the six explicit characteristics. Height
+/// and width are derived from size and parallelism (`τ = n^α`) unless
+/// `width` is given explicitly; the width caps the predicted RC size
+/// exactly as it does for a measured DAG.
+fn stats_from_characteristics(c: &Json) -> Result<DagStats, HttpResponse> {
+    let need = |key: &str| -> Result<f64, HttpResponse> {
+        c.get(key)
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| {
+                error(
+                    400,
+                    "usage",
+                    &format!("characteristics need a finite numeric '{key}'"),
+                    &[],
+                )
+            })
+    };
+    let size = need("size")?;
+    if size < 1.0 {
+        return Err(error(
+            400,
+            "usage",
+            "characteristics.size must be at least 1",
+            &[],
+        ));
+    }
+    let ccr = need("ccr")?;
+    let parallelism = need("parallelism")?;
+    let density = need("density")?;
+    let regularity = need("regularity")?;
+    let mean_comp = need("mean_comp")?;
+    let tau = size.powf(parallelism.clamp(0.0, 1.0)).max(1.0);
+    let width = match c.get("width").and_then(Json::as_f64) {
+        Some(w) if w.is_finite() && w >= 1.0 => w as u32,
+        _ => tau.ceil() as u32,
+    };
+    let height = (size / tau).round().max(1.0) as u32;
+    Ok(DagStats {
+        size: size as usize,
+        height,
+        tasks_per_level: tau,
+        width,
+        ccr,
+        parallelism,
+        density,
+        regularity,
+        mean_comp,
+    })
+}
+
+/// Appends the response `meta` object (and, when the request asked for
+/// one with `"report": true`, a full `rsg-obs` run-report snapshot).
+fn push_meta_and_report(out: &mut String, body: &Json, deadline: &Deadline) {
+    out.push_str(&format!(
+        ", \"meta\": {{\"elapsed_s\": {}, \"deadline_s\": {}}}",
+        num(deadline.elapsed_s()),
+        num(deadline.budget_s())
+    ));
+    if matches!(body.get("report"), Some(Json::Bool(true))) {
+        let report = RunReport::capture().to_json();
+        out.push_str(&format!(", \"report\": {}", report.trim_end()));
+    }
+}
+
+/// The structured error body shared by every endpoint:
+/// `{"error": {"status", "kind", "message", "diagnostics"}}`.
+fn error(status: u16, kind: &str, message: &str, diagnostics: &[Diagnostic]) -> HttpResponse {
+    let mut body = format!(
+        "{{\"error\": {{\"status\": {status}, \"kind\": {}, \"message\": {}",
+        escape(kind),
+        escape(message)
+    );
+    if !diagnostics.is_empty() {
+        body.push_str(&format!(
+            ", \"diagnostics\": {}",
+            diagnostics_json(diagnostics)
+        ));
+    }
+    body.push_str("}}");
+    HttpResponse::json(status, body)
+}
+
+fn diagnostics_json(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"code\": {}, \"severity\": {}, \"subject\": {}, \"detail\": {}}}",
+            escape(d.code.as_str()),
+            escape(d.severity.label()),
+            escape(&d.subject),
+            escape(&d.detail)
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// The canned overload response the acceptor writes when the admission
+/// queue is full — built without touching the request at all.
+pub fn overload_response() -> HttpResponse {
+    let mut resp = error(
+        503,
+        "overload",
+        "admission queue is full; retry shortly",
+        &[],
+    );
+    resp.retry_after_s = Some(1);
+    resp
+}
+
+/// The response for a request whose deadline expired while it sat in
+/// the admission queue.
+pub fn queue_deadline_response(deadline: &Deadline) -> HttpResponse {
+    DEADLINE_EXPIRED.incr();
+    let mut resp = error(
+        504,
+        "deadline",
+        &format!(
+            "request spent its whole {:.3} s budget queued ({:.3} s)",
+            deadline.budget_s(),
+            deadline.elapsed_s()
+        ),
+        &[],
+    );
+    resp.retry_after_s = Some(1);
+    resp
+}
+
+/// Maps a request-read failure onto a structured 4xx.
+pub fn bad_request_response(e: &crate::http::HttpError) -> HttpResponse {
+    match e {
+        crate::http::HttpError::TooLarge(n) => error(
+            413,
+            "usage",
+            &format!("request body of {n} bytes exceeds the limit"),
+            &[],
+        ),
+        other => error(400, "usage", &other.to_string(), &[]),
+    }
+}
+
+/// Re-exported for tests: did the report rejct anything? (Unused in
+/// production paths.)
+#[doc(hidden)]
+pub fn analysis_is_clean(report: &AnalysisReport) -> bool {
+    report.errors() == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_core::observation::{measure, ObservationGrid};
+    use rsg_core::ThresholdedSizeModel;
+
+    fn ctx() -> ServerContext {
+        let tables = measure(
+            &ObservationGrid::tiny(),
+            &CurveConfig::default(),
+            &rsg_core::THRESHOLD_LADDER,
+            0,
+        );
+        let registry = ModelRegistry::from_models(
+            ThresholdedSizeModel::fit(&tables),
+            HeuristicPredictionModel::fixed(HeuristicKind::Mcp),
+        );
+        ServerContext::new(registry, 30.0)
+    }
+
+    fn post(ctx: &ServerContext, path: &str, body: &str) -> HttpResponse {
+        let req = HttpRequest {
+            method: "POST".into(),
+            path: path.into(),
+            body: body.into(),
+        };
+        handle(ctx, &req, &Deadline::start(30.0))
+    }
+
+    fn dag_text() -> String {
+        let dag = rsg_dag::RandomDagSpec {
+            size: 80,
+            ccr: 0.2,
+            parallelism: 0.6,
+            density: 0.5,
+            regularity: 0.7,
+            mean_comp: 20.0,
+        }
+        .generate(7);
+        rsg_dag::io::write_dag(&dag)
+    }
+
+    #[test]
+    fn spec_from_dag_matches_generator_output() {
+        let ctx = ctx();
+        let body = format!("{{\"dag\": {}}}", escape(&dag_text()));
+        let resp = post(&ctx, "/spec", &body);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        assert!(v
+            .get("summary")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("RC size "));
+        let renders = v.get("renderings").unwrap();
+        assert!(renders
+            .get("vgdl")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("Clock >="));
+        assert!(renders
+            .get("classad")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("Count"));
+        assert!(renders
+            .get("sword")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("<num_machines>"));
+        let ladder = v.get("knee_ladder").and_then(Json::as_array).unwrap();
+        assert_eq!(ladder.len(), rsg_core::THRESHOLD_LADDER.len());
+    }
+
+    #[test]
+    fn spec_from_characteristics_works_without_a_dag() {
+        let ctx = ctx();
+        let resp = post(
+            &ctx,
+            "/spec",
+            "{\"characteristics\": {\"size\": 200, \"ccr\": 0.1, \"parallelism\": 0.6, \
+             \"density\": 0.5, \"regularity\": 0.8, \"mean_comp\": 20}}",
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        assert!(v.get("rc_size").and_then(Json::as_f64).unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn malformed_dag_is_a_structured_400() {
+        let ctx = ctx();
+        let resp = post(
+            &ctx,
+            "/spec",
+            "{\"dag\": \"rsg-dag v1\\ntask zero\\nend\\n\"}",
+        );
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        let diags = v
+            .get("error")
+            .and_then(|e| e.get("diagnostics"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert!(diags
+            .iter()
+            .any(|d| d.get("code").and_then(Json::as_str) == Some("PARSE004")));
+    }
+
+    #[test]
+    fn semantically_bad_dag_is_a_422() {
+        // A cyclic DAG parses but fails the DAG lints.
+        let ctx = ctx();
+        let cyclic = "rsg-dag v1\ntask 0 1.0\ntask 1 1.0\nedge 0 1 0.1\nedge 1 0 0.1\nend\n";
+        let resp = post(&ctx, "/spec", &format!("{{\"dag\": {}}}", escape(cyclic)));
+        assert_eq!(resp.status, 422, "{}", resp.body);
+        assert!(resp.body.contains("DAG001"), "{}", resp.body);
+    }
+
+    #[test]
+    fn expired_deadline_is_a_504() {
+        let ctx = ctx();
+        let body = format!("{{\"dag\": {}, \"deadline_s\": 0.0}}", escape(&dag_text()));
+        let resp = post(&ctx, "/spec", &body);
+        assert_eq!(resp.status, 504, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("deadline")
+        );
+        assert_eq!(resp.retry_after_s, Some(1));
+    }
+
+    #[test]
+    fn negotiation_binds_against_the_platform() {
+        let ctx = ctx();
+        let body = format!(
+            "{{\"dag\": {}, \"clock_mhz\": 1400, \"heterogeneity\": 0.5, \"negotiate\": true}}",
+            escape(&dag_text())
+        );
+        let resp = post(&ctx, "/spec", &body);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        let n = v.get("negotiation").expect("negotiation block");
+        assert_eq!(n.get("bound"), Some(&Json::Bool(true)), "{}", resp.body);
+    }
+
+    #[test]
+    fn predict_returns_heuristic_and_ladder() {
+        let ctx = ctx();
+        let resp = post(
+            &ctx,
+            "/predict",
+            "{\"characteristics\": {\"size\": 500, \"ccr\": 0.3, \"parallelism\": 0.5, \
+             \"density\": 0.5, \"regularity\": 0.8, \"mean_comp\": 40}}",
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("heuristic").and_then(Json::as_str), Some("MCP"));
+        assert!(!v
+            .get("knee_ladder")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn lint_endpoint_mirrors_cli_semantics() {
+        let ctx = ctx();
+        // Clean spec document: 200.
+        let ok = post(
+            &ctx,
+            "/lint",
+            "{\"documents\": [{\"name\": \"rc.spec\", \"text\": \"rsg-spec v1\\nrung none\\n\
+             size 20\\nmin 10\\nclock 1000 3600\\nheuristic MCP\\nthreshold 0.95\\n\
+             memory 512\\nend\\n\"}]}",
+        );
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        // Inverted clock range: 422 with the diagnostic attached.
+        let bad = post(
+            &ctx,
+            "/lint",
+            "{\"documents\": [{\"name\": \"bad.spec\", \"text\": \"rsg-spec v1\\nrung none\\n\
+             size 20\\nclock 3600 1000\\nend\\n\"}]}",
+        );
+        assert_eq!(bad.status, 422, "{}", bad.body);
+        assert!(bad.body.contains("SPEC003"), "{}", bad.body);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_typed() {
+        let ctx = ctx();
+        let req = HttpRequest {
+            method: "GET".into(),
+            path: "/nope".into(),
+            body: String::new(),
+        };
+        assert_eq!(handle(&ctx, &req, &Deadline::start(30.0)).status, 404);
+        let req = HttpRequest {
+            method: "DELETE".into(),
+            path: "/spec".into(),
+            body: String::new(),
+        };
+        assert_eq!(handle(&ctx, &req, &Deadline::start(30.0)).status, 405);
+        let resp = post(&ctx, "/spec", "not json");
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn healthz_and_metrics_render() {
+        let ctx = ctx();
+        let req = HttpRequest {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            body: String::new(),
+        };
+        let resp = handle(&ctx, &req, &Deadline::start(30.0));
+        assert_eq!(resp.status, 200);
+        let v = Json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        let req = HttpRequest {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            body: String::new(),
+        };
+        let resp = handle(&ctx, &req, &Deadline::start(30.0));
+        assert_eq!(resp.status, 200);
+        assert!(Json::parse(&resp.body).is_ok(), "{}", resp.body);
+    }
+}

@@ -1,0 +1,38 @@
+//! `rsg-serve` — a long-lived HTTP/JSON specification service.
+//!
+//! Everything the one-shot CLI does per invocation — load models,
+//! lint the input, predict the knee, choose a heuristic, render
+//! vgDL / ClassAds / SWORD — this crate does per *request*, from
+//! models loaded once and shared hot across a worker pool:
+//!
+//! - [`registry::ModelRegistry`] loads the size and heuristic models
+//!   through the same envelope-verified store path as the CLI, so a
+//!   served response is byte-identical to a CLI run over the same
+//!   files.
+//! - [`server::Server`] is the acceptor + bounded-queue + worker-pool
+//!   loop; admission control answers 503 before a worker is tied up.
+//! - [`deadline::Deadline`] stamps every connection at accept and is
+//!   the crate's only wall-clock site; the budget covers queue wait
+//!   and seeds the negotiator's simulated-time deadline.
+//! - [`handlers`] routes `/spec`, `/predict`, `/lint`, `/metrics`
+//!   and `/healthz`, linting every submitted DAG with `rsg-analyze`
+//!   before serving it and mapping diagnostics onto structured 4xx
+//!   bodies.
+//!
+//! The wire format is documented in `docs/API.md`; running and tuning
+//! a server is documented in `docs/OPERATIONS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deadline;
+pub mod handlers;
+pub mod http;
+pub mod registry;
+pub mod server;
+
+pub use deadline::Deadline;
+pub use handlers::ServerContext;
+pub use http::{HttpRequest, HttpResponse};
+pub use registry::ModelRegistry;
+pub use server::{ServeConfig, Server};

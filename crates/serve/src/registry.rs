@@ -1,0 +1,176 @@
+//! The hot model registry.
+//!
+//! A serving process loads its models **once**, through the same
+//! envelope-verified store path the CLI uses
+//! ([`rsg_core::persist`]), and then shares them immutably behind an
+//! `Arc` across the worker pool. There is no in-place hot reload:
+//! models are plain values, so "reload" is "restart the process with
+//! the new model directory" (see `docs/OPERATIONS.md` for the
+//! operational recipe) — which is also what keeps every response
+//! byte-identical to a CLI run against the same files.
+
+use rsg_core::heurmodel::HeuristicPredictionModel;
+use rsg_core::persist;
+use rsg_core::{StoreError, ThresholdedSizeModel};
+use rsg_sched::HeuristicKind;
+use std::path::Path;
+
+/// The models a serving process answers from, plus their provenance.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    /// Size prediction model (one plane-fit model per knee threshold).
+    pub size_model: ThresholdedSizeModel,
+    /// Heuristic prediction model; a degenerate always-MCP model when
+    /// the directory ships none.
+    pub heuristic_model: HeuristicPredictionModel,
+    /// Path the size model was loaded from (`None` for in-memory).
+    pub size_model_path: Option<String>,
+    /// Path the heuristic model was loaded from (`None` when the
+    /// fixed fallback is in use).
+    pub heuristic_model_path: Option<String>,
+}
+
+impl ModelRegistry {
+    /// Wraps already-built models (used by benchmarks and tests that
+    /// train inline instead of loading from disk).
+    pub fn from_models(
+        size_model: ThresholdedSizeModel,
+        heuristic_model: HeuristicPredictionModel,
+    ) -> ModelRegistry {
+        ModelRegistry {
+            size_model,
+            heuristic_model,
+            size_model_path: None,
+            heuristic_model_path: None,
+        }
+    }
+
+    /// Loads the registry from a model directory.
+    ///
+    /// Layout: the directory must contain exactly one size model —
+    /// `size_model.tsv` preferred, else the lexicographically first
+    /// file matching `size_model*.tsv` — and may contain a heuristic
+    /// model (`heur_model.tsv`, else first `heur_model*.tsv`). Both
+    /// may be bare TSV or store envelopes; envelopes are
+    /// checksum-verified and must carry the right artifact kind.
+    /// Without a heuristic model the registry falls back to
+    /// [`HeuristicPredictionModel::fixed`]`(Mcp)`, mirroring the
+    /// `rsg spec` default.
+    pub fn load(dir: &Path) -> Result<ModelRegistry, StoreError> {
+        let size_path = find_model(dir, "size_model")?.ok_or_else(|| {
+            StoreError::io(
+                dir,
+                "locate size model",
+                &std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    "no size_model*.tsv in the model directory",
+                ),
+            )
+        })?;
+        let size_model = persist::load_size_model(&size_path)?;
+        let (heuristic_model, heuristic_model_path) = match find_model(dir, "heur_model")? {
+            Some(p) => {
+                let m = persist::load_heuristic_model(&p)?;
+                (m, Some(p.display().to_string()))
+            }
+            None => (HeuristicPredictionModel::fixed(HeuristicKind::Mcp), None),
+        };
+        Ok(ModelRegistry {
+            size_model,
+            heuristic_model,
+            size_model_path: Some(size_path.display().to_string()),
+            heuristic_model_path,
+        })
+    }
+}
+
+/// Finds `<prefix>.tsv`, else the lexicographically first
+/// `<prefix>*.tsv`, in `dir`.
+fn find_model(dir: &Path, prefix: &str) -> Result<Option<std::path::PathBuf>, StoreError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| StoreError::io(dir, "list models", &e))?;
+    let mut names: Vec<String> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io(dir, "list models", &e))?;
+        if let Some(name) = entry.file_name().to_str() {
+            if name.starts_with(prefix) && name.ends_with(".tsv") {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    let exact = format!("{prefix}.tsv");
+    let chosen = if names.contains(&exact) {
+        Some(exact)
+    } else {
+        names.into_iter().next()
+    };
+    Ok(chosen.map(|n| dir.join(n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_core::curve::CurveConfig;
+    use rsg_core::observation::{measure, ObservationGrid};
+
+    fn tiny_size_model() -> ThresholdedSizeModel {
+        let tables = measure(
+            &ObservationGrid::tiny(),
+            &CurveConfig::default(),
+            &rsg_core::THRESHOLD_LADDER,
+            0,
+        );
+        ThresholdedSizeModel::fit(&tables)
+    }
+
+    #[test]
+    fn loads_from_directory_and_prefers_exact_name() {
+        let dir = std::env::temp_dir().join("rsg-serve-test-registry");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = tiny_size_model();
+        rsg_core::store::write_atomic(
+            &dir.join("size_model_other.tsv"),
+            persist::SIZE_MODEL_KIND,
+            &model.to_tsv(),
+        )
+        .unwrap();
+        // Only the variant file: it is found.
+        let r = ModelRegistry::load(&dir).unwrap();
+        assert!(r.size_model_path.unwrap().ends_with("size_model_other.tsv"));
+        assert!(r.heuristic_model_path.is_none());
+        // The exact name wins once present.
+        rsg_core::store::write_atomic(
+            &dir.join("size_model.tsv"),
+            persist::SIZE_MODEL_KIND,
+            &model.to_tsv(),
+        )
+        .unwrap();
+        let r = ModelRegistry::load(&dir).unwrap();
+        assert!(r.size_model_path.unwrap().ends_with("/size_model.tsv"));
+    }
+
+    #[test]
+    fn missing_size_model_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("rsg-serve-test-registry-empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let e = ModelRegistry::load(&dir).unwrap_err();
+        assert!(matches!(e, StoreError::Io { .. }), "{e:?}");
+    }
+
+    #[test]
+    fn corrupt_envelope_fails_loudly() {
+        let dir = std::env::temp_dir().join("rsg-serve-test-registry-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = tiny_size_model();
+        let path = dir.join("size_model.tsv");
+        rsg_core::store::write_atomic(&path, persist::SIZE_MODEL_KIND, &model.to_tsv()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x01;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(ModelRegistry::load(&dir).is_err());
+    }
+}

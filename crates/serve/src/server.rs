@@ -1,0 +1,319 @@
+//! The serving loop: acceptor, bounded admission queue, worker pool.
+//!
+//! One acceptor thread stamps each accepted connection with a
+//! [`Deadline`] and pushes it onto a bounded queue
+//! (`std::sync::mpsc::sync_channel`). When the queue is full the
+//! acceptor answers a canned 503 with `Retry-After` itself — admission
+//! control happens *before* a worker is tied up. Workers pull
+//! connections off the shared queue, re-check the deadline (a request
+//! may have spent its whole budget queued), parse, handle, respond,
+//! and close. Shutdown is cooperative: flip the stop flag, then poke
+//! the acceptor with a self-connection so `accept()` returns.
+
+use crate::deadline::Deadline;
+use crate::handlers::{self, ServerContext};
+use crate::http::{read_request, write_response, HttpError};
+use crate::registry::ModelRegistry;
+use rsg_obs::{Counter, TimingHistogram};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+static ACCEPTED: Counter = Counter::new("serve.accepted");
+static REJECTED_QUEUE_FULL: Counter = Counter::new("serve.rejected.queue_full");
+static RESP_OK: Counter = Counter::new("serve.responses.ok");
+static RESP_CLIENT_ERROR: Counter = Counter::new("serve.responses.client_error");
+static RESP_SERVER_ERROR: Counter = Counter::new("serve.responses.server_error");
+static QUEUE_WAIT: TimingHistogram = TimingHistogram::new("serve.latency.queue_wait");
+static REQUEST_LATENCY: TimingHistogram = TimingHistogram::new("serve.latency.request");
+
+/// Tunables for a serving process. The defaults match what
+/// `rsg serve` uses when the flags are omitted; `docs/OPERATIONS.md`
+/// documents how to pick them.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878`. Port `0` picks an
+    /// ephemeral port (used by tests and the benchmark).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Admission queue depth; connections beyond this are answered
+    /// with an immediate 503.
+    pub queue_depth: usize,
+    /// Default per-request wall budget when a body carries no
+    /// `deadline_s`, measured from connection accept.
+    pub default_deadline_s: f64,
+    /// Largest accepted request body, bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            default_deadline_s: 30.0,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// A running server: the acceptor plus its worker pool.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listen socket, spawns the pool, and returns
+    /// immediately. Enables `rsg-obs` recording so the `serve.*`
+    /// metrics behind `/metrics` are live.
+    pub fn spawn(cfg: &ServeConfig, registry: ModelRegistry) -> io::Result<Server> {
+        rsg_obs::enable(true);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let ctx = Arc::new(ServerContext::new(registry, cfg.default_deadline_s));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::sync_channel::<(TcpStream, Deadline)>(cfg.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let ctx = Arc::clone(&ctx);
+            let max_body = cfg.max_body_bytes;
+            workers.push(std::thread::spawn(move || worker_loop(&rx, &ctx, max_body)));
+        }
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let default_deadline_s = cfg.default_deadline_s;
+            std::thread::spawn(move || accept_loop(&listener, &tx, &stop, default_deadline_s))
+        };
+
+        Ok(Server {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port `0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the pool, and joins every thread.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor out of `accept()` with a throwaway
+        // connection; ignore failure (the listener may already be
+        // gone).
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // The acceptor dropped `tx` on exit, so workers see the
+        // channel close once the queue drains.
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the server is shut down from another thread (or
+    /// the process dies). Used by the `rsg serve` CLI foreground path.
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &SyncSender<(TcpStream, Deadline)>,
+    stop: &AtomicBool,
+    default_deadline_s: f64,
+) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        ACCEPTED.incr();
+        let deadline = Deadline::start(default_deadline_s);
+        match tx.try_send((stream, deadline)) {
+            Ok(()) => {}
+            Err(TrySendError::Full((mut stream, _))) => {
+                REJECTED_QUEUE_FULL.incr();
+                RESP_SERVER_ERROR.incr();
+                let _ = write_response(&mut stream, &handlers::overload_response());
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<(TcpStream, Deadline)>>, ctx: &ServerContext, max_body: usize) {
+    loop {
+        // Hold the lock only for the dequeue itself.
+        let next = {
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok((mut stream, deadline)) = next else {
+            return; // channel closed: shutdown
+        };
+        QUEUE_WAIT.record_secs(deadline.elapsed_s());
+        serve_connection(ctx, &mut stream, &deadline, max_body);
+        REQUEST_LATENCY.record_secs(deadline.elapsed_s());
+    }
+}
+
+/// Handles exactly one request on `stream` and closes it.
+fn serve_connection(
+    ctx: &ServerContext,
+    stream: &mut TcpStream,
+    deadline: &Deadline,
+    max_body: usize,
+) {
+    // A request that spent its entire default budget queued is shed
+    // here, before any parsing work.
+    if deadline.expired() {
+        RESP_SERVER_ERROR.incr();
+        let _ = write_response(stream, &handlers::queue_deadline_response(deadline));
+        return;
+    }
+    // Socket timeouts bound how long a slow or stalled client can
+    // hold a worker: the remaining request budget, floored at 1 s so
+    // a nearly-spent deadline still gets a clean 504 over a cut
+    // connection.
+    let io_budget = Duration::from_secs_f64(deadline.remaining_s().max(1.0));
+    let _ = stream.set_read_timeout(Some(io_budget));
+    let _ = stream.set_write_timeout(Some(io_budget));
+
+    let resp = match read_request(stream, max_body) {
+        Ok(req) => handlers::handle(ctx, &req, deadline),
+        Err(HttpError::Io(_)) => {
+            // The client went away; nothing useful to write.
+            RESP_CLIENT_ERROR.incr();
+            return;
+        }
+        Err(e) => handlers::bad_request_response(&e),
+    };
+    match resp.status {
+        200..=399 => RESP_OK.incr(),
+        400..=499 => RESP_CLIENT_ERROR.incr(),
+        _ => RESP_SERVER_ERROR.incr(),
+    }
+    let _ = write_response(stream, &resp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_core::curve::CurveConfig;
+    use rsg_core::heurmodel::HeuristicPredictionModel;
+    use rsg_core::observation::{measure, ObservationGrid};
+    use rsg_core::ThresholdedSizeModel;
+    use rsg_sched::HeuristicKind;
+    use std::io::{Read, Write};
+
+    fn test_registry() -> ModelRegistry {
+        let tables = measure(
+            &ObservationGrid::tiny(),
+            &CurveConfig::default(),
+            &rsg_core::THRESHOLD_LADDER,
+            0,
+        );
+        ModelRegistry::from_models(
+            ThresholdedSizeModel::fit(&tables),
+            HeuristicPredictionModel::fixed(HeuristicKind::Mcp),
+        )
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        read_reply(&mut s)
+    }
+
+    fn read_reply(s: &mut TcpStream) -> (u16, String) {
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw
+            .split(' ')
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .expect("status line");
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn boots_serves_healthz_and_shuts_down() {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let mut server = Server::spawn(&cfg, test_registry()).unwrap();
+        let (status, body) = get(server.addr(), "/healthz");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\": \"ok\""), "{body}");
+        server.shutdown();
+        // Idempotent.
+        server.shutdown();
+    }
+
+    #[test]
+    fn spec_roundtrip_over_a_real_socket() {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let server = Server::spawn(&cfg, test_registry()).unwrap();
+        let body = "{\"characteristics\": {\"size\": 100, \"ccr\": 0.2, \"parallelism\": 0.6, \
+                    \"density\": 0.5, \"regularity\": 0.7, \"mean_comp\": 25}}";
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        write!(
+            s,
+            "POST /spec HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
+        let (status, reply) = read_reply(&mut s);
+        assert_eq!(status, 200, "{reply}");
+        assert!(reply.contains("\"rc_size\""), "{reply}");
+    }
+}

@@ -65,6 +65,7 @@ pub use rsg_obs as obs;
 pub use rsg_platform as platform;
 pub use rsg_sched as sched;
 pub use rsg_select as select;
+pub use rsg_serve as serve;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
@@ -89,4 +90,5 @@ pub mod prelude {
         FaultPlanSpec, HeuristicKind, ResilienceReport, SchedTimeModel, Schedule, TurnaroundReport,
     };
     pub use rsg_select::{FlakyConfig, FlakySelector, Matchmaker, SwordEngine, VgesFinder};
+    pub use rsg_serve::{ModelRegistry, ServeConfig, Server};
 }

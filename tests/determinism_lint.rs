@@ -15,7 +15,9 @@ use std::path::{Path, PathBuf};
 /// persisted artifact. Each entry has been reviewed to do only the
 /// former.
 const INSTANT_ALLOWLIST: &[&str] = &[
+    "crates/bench/src/bin/bench_serve.rs", // load-generator latency timing
     "crates/bench/src/bin/bench_sweep.rs", // bench wall-time reporting
+    "crates/serve/src/deadline.rs",        // request deadline stamping (sole serve clock site)
     "crates/core/src/store.rs",            // write-duration telemetry
     "crates/obs/src/lib.rs",               // span/report timing
     "crates/obs/src/span.rs",              // span timing

@@ -1,0 +1,106 @@
+//! Doc-drift gate: every `rsg` invocation the README and the serve
+//! docs show must use subcommands and flags that actually exist in
+//! the CLI's own usage text. A renamed or removed flag fails here, at
+//! the doc that still advertises it, instead of in a user's shell.
+
+use std::path::Path;
+
+/// Extracts `rsg` argument vectors from a markdown document's code
+/// fences: lines invoking the binary directly (`rsg …`) or through
+/// cargo (`cargo run … --bin rsg -- …`). Backslash-continued lines
+/// are joined first.
+fn rsg_invocations(doc: &str) -> Vec<String> {
+    let mut joined: Vec<String> = Vec::new();
+    let mut pending = String::new();
+    let mut in_fence = false;
+    for line in doc.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence {
+            continue;
+        }
+        let line = line.trim();
+        if let Some(head) = line.strip_suffix('\\') {
+            pending.push_str(head);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(line);
+        joined.push(std::mem::take(&mut pending));
+    }
+    joined
+        .into_iter()
+        .filter_map(|l| {
+            if let Some((_, tail)) = l.split_once("--bin rsg -- ") {
+                Some(tail.to_string())
+            } else {
+                l.strip_prefix("rsg ").map(str::to_string)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn documented_rsg_commands_and_flags_exist_in_the_cli_usage() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let usage = rsg_cli::USAGE;
+    let docs = ["README.md", "docs/API.md", "docs/OPERATIONS.md"];
+    let mut invocations = 0usize;
+    for doc_name in docs {
+        let doc = std::fs::read_to_string(root.join(doc_name)).unwrap();
+        for inv in rsg_invocations(&doc) {
+            invocations += 1;
+            let mut words = inv.split_whitespace();
+            let cmd = words.next().unwrap_or_default();
+            assert!(
+                usage.contains(&format!("rsg {cmd}")),
+                "{doc_name} documents `rsg {cmd}` but the usage text has no such command:\n  {inv}"
+            );
+            for word in words {
+                let flag = word.trim_end_matches(|c: char| !c.is_ascii_alphanumeric());
+                if !flag.starts_with("--") {
+                    continue;
+                }
+                assert!(
+                    usage.contains(flag),
+                    "{doc_name} documents `{flag}` (in `rsg {cmd}`) but the usage text does \
+                     not mention it:\n  {inv}"
+                );
+            }
+        }
+    }
+    // The gate must actually be gating something.
+    assert!(
+        invocations >= 10,
+        "only {invocations} rsg invocations found across {docs:?} — extraction looks broken"
+    );
+}
+
+/// The reverse direction: every subcommand the usage text advertises
+/// has a dispatcher arm in the CLI source (checked statically — some
+/// commands do real work when invoked bare).
+#[test]
+fn usage_subcommands_are_all_dispatched() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let dispatcher = std::fs::read_to_string(root.join("crates/cli/src/lib.rs")).unwrap();
+    let mut checked = 0usize;
+    for line in rsg_cli::USAGE.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("rsg ") else {
+            continue;
+        };
+        let Some(cmd) = rest.split_whitespace().next() else {
+            continue;
+        };
+        if !cmd.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+            continue;
+        }
+        checked += 1;
+        assert!(
+            dispatcher.contains(&format!("\"{cmd}\" =>")),
+            "usage text advertises `rsg {cmd}` but the dispatcher has no arm for it"
+        );
+    }
+    assert!(checked >= 10, "only {checked} subcommands found in USAGE");
+}

@@ -1,0 +1,156 @@
+//! `docs/API.md` must not drift from the server: every `curl` example
+//! in the document is parsed out of its code fence and replayed
+//! verbatim against a live `rsg-serve` instance, and the `# => NNN`
+//! trailer on each command is asserted against the real status code.
+
+use rsg::obs::json::Json;
+use rsg::serve::{ModelRegistry, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+
+/// One replayable example: method, path, body, expected status.
+#[derive(Debug)]
+struct CurlExample {
+    line_no: usize,
+    method: String,
+    path: String,
+    body: String,
+    expect: u16,
+}
+
+/// Extracts every `curl … # => NNN` line from the document's code
+/// fences. The parser understands exactly the subset the doc uses:
+/// `-s`, `-X POST`, a single-quoted `-d '…'` body, and a
+/// `http://127.0.0.1:7878/<path>` URL.
+fn parse_examples(doc: &str) -> Vec<CurlExample> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (i, line) in doc.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        let trimmed = line.trim();
+        if !in_fence || !trimmed.starts_with("curl ") {
+            continue;
+        }
+        let (cmd, annotation) = trimmed
+            .rsplit_once('#')
+            .unwrap_or_else(|| panic!("API.md line {}: curl example without # => NNN", i + 1));
+        let expect: u16 = annotation
+            .trim()
+            .strip_prefix("=>")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                panic!(
+                    "API.md line {}: bad status annotation '{annotation}'",
+                    i + 1
+                )
+            });
+        let method = if cmd.contains("-X POST") {
+            "POST"
+        } else {
+            "GET"
+        };
+        let url_start = cmd
+            .find("http://")
+            .unwrap_or_else(|| panic!("API.md line {}: no URL", i + 1));
+        let url: String = cmd[url_start..]
+            .chars()
+            .take_while(|c| !c.is_whitespace() && *c != '\'')
+            .collect();
+        let path = url
+            .splitn(4, '/')
+            .nth(3)
+            .map(|p| format!("/{p}"))
+            .unwrap_or_else(|| panic!("API.md line {}: URL {url} has no path", i + 1));
+        let body = match cmd.find("-d '") {
+            Some(d) => {
+                let rest = &cmd[d + 4..];
+                let end = rest
+                    .rfind('\'')
+                    .unwrap_or_else(|| panic!("API.md line {}: unterminated -d quote", i + 1));
+                rest[..end].to_string()
+            }
+            None => String::new(),
+        };
+        out.push(CurlExample {
+            line_no: i + 1,
+            method: method.to_string(),
+            path,
+            body,
+            expect,
+        });
+    }
+    out
+}
+
+fn request(addr: SocketAddr, ex: &CurlExample) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(
+        s,
+        "{} {} HTTP/1.1\r\nHost: docs\r\nContent-Length: {}\r\n\r\n{}",
+        ex.method,
+        ex.path,
+        ex.body.len(),
+        ex.body
+    )
+    .expect("send");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn every_curl_example_in_api_md_replays_with_its_documented_status() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let doc = std::fs::read_to_string(root.join("docs/API.md")).expect("docs/API.md");
+    let examples = parse_examples(&doc);
+    assert!(
+        examples.len() >= 6,
+        "expected at least one example per endpoint, found {examples:?}"
+    );
+    let endpoints: Vec<&str> = examples.iter().map(|e| e.path.as_str()).collect();
+    for required in ["/healthz", "/spec", "/predict", "/lint", "/metrics"] {
+        assert!(
+            endpoints.contains(&required),
+            "API.md has no curl example for {required}"
+        );
+    }
+
+    // The examples run against the shipped pre-trained model, exactly
+    // as the doc's `--models models` invocation would.
+    let registry =
+        ModelRegistry::load(&root.join("models")).expect("shipped models/ directory loads");
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::spawn(&cfg, registry).expect("server boots");
+    for ex in &examples {
+        let (status, body) = request(server.addr(), ex);
+        assert_eq!(
+            status, ex.expect,
+            "API.md line {}: {} {} answered {status}, doc says {} — body: {body}",
+            ex.line_no, ex.method, ex.path, ex.expect
+        );
+        assert!(
+            Json::parse(&body).is_ok(),
+            "API.md line {}: response body is not valid JSON: {body}",
+            ex.line_no
+        );
+    }
+    server.shutdown();
+}

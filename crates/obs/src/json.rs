@@ -77,11 +77,15 @@ impl Json {
     }
 
     /// Parses a complete JSON document (trailing non-whitespace is an
-    /// error).
+    /// error). Nesting deeper than [`MAX_DEPTH`] is rejected: the
+    /// parser is recursive-descent and also parses untrusted request
+    /// bodies (rsg-serve), so depth must be bounded well below the
+    /// thread stack.
     pub fn parse(src: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
             bytes: src.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -139,9 +143,16 @@ pub fn num(v: f64) -> String {
     }
 }
 
+/// Maximum container nesting depth [`Json::parse`] accepts. Each level
+/// costs one `value()` stack frame, so 128 keeps even a small worker
+/// stack comfortably clear of overflow while allowing any document the
+/// workspace realistically produces.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -180,6 +191,14 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
             Some(b'{') => self.object(),
@@ -194,11 +213,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -214,6 +235,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -222,11 +244,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -237,6 +261,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -365,6 +390,23 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // At the limit: fine.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        // One past the limit: a typed error.
+        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let err = Json::parse(&over).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{err}");
+        // Mixed containers count too, and a hostile half-megabyte of
+        // open brackets must come back as an error, not an abort.
+        assert!(Json::parse(&"[{\"k\":".repeat(MAX_DEPTH)).is_err());
+        assert!(Json::parse(&"[".repeat(512 * 1024)).is_err());
+        // Siblings do not accumulate depth.
+        assert!(Json::parse(&format!("[{}1]", "[1],".repeat(200))).is_ok());
     }
 
     #[test]

@@ -102,7 +102,11 @@ pub fn handle(ctx: &ServerContext, req: &HttpRequest, accepted: &Deadline) -> Ht
 }
 
 fn route(ctx: &ServerContext, req: &HttpRequest, accepted: &Deadline) -> HttpResponse {
-    match (req.method.as_str(), req.path.as_str()) {
+    // `req.path` carries the query string verbatim; no endpoint takes
+    // query parameters, but probes like `GET /healthz?probe=1` are
+    // routine from load balancers, so match on the path alone.
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
             REQ_HEALTHZ.incr();
             healthz(ctx)
@@ -123,6 +127,10 @@ fn route(ctx: &ServerContext, req: &HttpRequest, accepted: &Deadline) -> HttpRes
             REQ_LINT.incr();
             with_deadline(ctx, req, accepted, lint_endpoint)
         }
+        // Test-only route for exercising worker panic isolation over a
+        // real socket; compiled out of release builds.
+        #[cfg(test)]
+        ("POST", "/__test/panic") => panic!("test-injected handler panic"),
         (_, "/healthz" | "/metrics") => error(405, "method", "use GET for this endpoint", &[]),
         (_, "/spec" | "/predict" | "/lint") => error(
             405,
@@ -689,6 +697,17 @@ pub fn overload_response() -> HttpResponse {
     resp
 }
 
+/// The canned 500 a worker writes after catching a handler panic —
+/// built without touching any request state (it may be poisoned).
+pub fn panic_response() -> HttpResponse {
+    error(
+        500,
+        "internal",
+        "the request handler panicked; the failure is counted in serve.panics",
+        &[],
+    )
+}
+
 /// The response for a request whose deadline expired while it sat in
 /// the admission queue.
 pub fn queue_deadline_response(deadline: &Deadline) -> HttpResponse {
@@ -934,6 +953,37 @@ mod tests {
         assert_eq!(handle(&ctx, &req, &Deadline::start(30.0)).status, 405);
         let resp = post(&ctx, "/spec", "not json");
         assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn query_strings_are_ignored_when_routing() {
+        // LB/k8s probes routinely append query params; they must not
+        // turn a live endpoint into a 404.
+        let ctx = ctx();
+        for path in ["/healthz?probe=1", "/metrics?format=json"] {
+            let req = HttpRequest {
+                method: "GET".into(),
+                path: path.into(),
+                body: String::new(),
+            };
+            let resp = handle(&ctx, &req, &Deadline::start(30.0));
+            assert_eq!(resp.status, 200, "{path}: {}", resp.body);
+        }
+        let resp = post(
+            &ctx,
+            "/spec?verbose=1",
+            "{\"characteristics\": {\"size\": 50, \"ccr\": 0.2, \"parallelism\": 0.5, \
+             \"density\": 0.5, \"regularity\": 0.8, \"mean_comp\": 10}}",
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+
+    #[test]
+    fn deep_json_body_is_a_400_not_a_crash() {
+        let ctx = ctx();
+        let resp = post(&ctx, "/spec", &"[".repeat(300 * 1024));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("not valid JSON"), "{}", resp.body);
     }
 
     #[test]

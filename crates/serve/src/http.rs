@@ -14,7 +14,8 @@ use std::io::{Read, Write};
 pub struct HttpRequest {
     /// Request method (`GET`, `POST`, …), as sent.
     pub method: String,
-    /// Request path, query string included verbatim.
+    /// Request path, query string included verbatim (routing ignores
+    /// the query string; no endpoint takes query parameters).
     pub path: String,
     /// Request body (UTF-8; empty when absent).
     pub body: String,

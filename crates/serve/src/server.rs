@@ -24,6 +24,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 static ACCEPTED: Counter = Counter::new("serve.accepted");
+static ACCEPT_ERRORS: Counter = Counter::new("serve.accept_errors");
+static WORKER_PANICS: Counter = Counter::new("serve.panics");
 static REJECTED_QUEUE_FULL: Counter = Counter::new("serve.rejected.queue_full");
 static RESP_OK: Counter = Counter::new("serve.responses.ok");
 static RESP_CLIENT_ERROR: Counter = Counter::new("serve.responses.client_error");
@@ -160,6 +162,11 @@ fn accept_loop(
             if stop.load(Ordering::SeqCst) {
                 return;
             }
+            // Persistent accept errors (EMFILE under fd exhaustion is
+            // the classic) must not turn the acceptor into a hot
+            // busy-loop: count them and back off briefly.
+            ACCEPT_ERRORS.incr();
+            std::thread::sleep(Duration::from_millis(50));
             continue;
         };
         if stop.load(Ordering::SeqCst) {
@@ -172,6 +179,10 @@ fn accept_loop(
             Err(TrySendError::Full((mut stream, _))) => {
                 REJECTED_QUEUE_FULL.incr();
                 RESP_SERVER_ERROR.incr();
+                // This write happens on the acceptor thread; a client
+                // with a zero receive window must not be able to stall
+                // all admission, so bound it.
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
                 let _ = write_response(&mut stream, &handlers::overload_response());
             }
             Err(TrySendError::Disconnected(_)) => return,
@@ -190,7 +201,18 @@ fn worker_loop(rx: &Mutex<Receiver<(TcpStream, Deadline)>>, ctx: &ServerContext,
             return; // channel closed: shutdown
         };
         QUEUE_WAIT.record_secs(deadline.elapsed_s());
-        serve_connection(ctx, &mut stream, &deadline, max_body);
+        // A panic in handler code (fed attacker-controlled input) must
+        // not kill the worker: catch it, answer 500, keep serving.
+        // `AssertUnwindSafe` is fine here because the stream is closed
+        // right after and the shared context is immutable.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_connection(ctx, &mut stream, &deadline, max_body);
+        }));
+        if outcome.is_err() {
+            WORKER_PANICS.incr();
+            RESP_SERVER_ERROR.incr();
+            let _ = write_response(&mut stream, &handlers::panic_response());
+        }
         REQUEST_LATENCY.record_secs(deadline.elapsed_s());
     }
 }
@@ -292,6 +314,26 @@ mod tests {
         server.shutdown();
         // Idempotent.
         server.shutdown();
+    }
+
+    #[test]
+    fn a_handler_panic_answers_500_and_the_worker_survives() {
+        // One worker: if the panic killed it, the follow-up request
+        // would hang with nothing draining the queue.
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::spawn(&cfg, test_registry()).unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        write!(s, "POST /__test/panic HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let (status, body) = read_reply(&mut s);
+        assert_eq!(status, 500, "{body}");
+        assert!(body.contains("panicked"), "{body}");
+        // The lone worker is still alive and serving.
+        let (status, _) = get(server.addr(), "/healthz");
+        assert_eq!(status, 200);
     }
 
     #[test]

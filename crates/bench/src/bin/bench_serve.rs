@@ -11,6 +11,24 @@
 //! Writes `BENCH_serve.json` with requests/s and p50/p99/p999 per
 //! concurrency level. Pass `--quick` for the CI-scale run (fewer
 //! requests, smaller levels); both modes sweep at least three levels.
+//!
+//! `--chaos` switches to the seeded socket-level fault-injection
+//! harness ([`rsg_serve::chaostcp`]) instead of the load sweep:
+//!
+//! ```text
+//! bench_serve --chaos [--seed N] [--deadline-s S]
+//!             [--target HOST:PORT]          # external daemon (CI)
+//!             [--admin HOST:PORT]           # reload-under-load cycle
+//!             [--reload-dir DIR] [--drain]  # …with these models; then drain
+//! ```
+//!
+//! Without `--target` it boots an in-process daemon. With `--admin`
+//! (and `--reload-dir`) it also runs a reload-under-load cycle —
+//! concurrent `/spec` clients must see zero failures across repeated
+//! `/admin/reload`s, including a deliberately bad model dir that must
+//! roll back — and, with `--drain`, finishes by draining the daemon.
+//! Exits nonzero on any contract violation, which is what the CI
+//! chaos-smoke step keys off.
 
 use rsg_bench::report::Table;
 use rsg_core::curve::CurveConfig;
@@ -98,7 +116,209 @@ fn run_level(addr: SocketAddr, clients: usize, requests: usize) -> Level {
     }
 }
 
+/// One `/spec` request that tolerates nothing: any non-200, short
+/// read, or connect failure is returned as an error string.
+fn checked_request(addr: SocketAddr) -> Result<(), String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    write!(
+        s,
+        "POST /spec HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{}",
+        BODY.len(),
+        BODY
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    let mut reply = String::new();
+    s.read_to_string(&mut reply)
+        .map_err(|e| format!("read: {e}"))?;
+    if reply.starts_with("HTTP/1.1 200") {
+        Ok(())
+    } else {
+        Err(format!(
+            "non-200: {}",
+            reply.lines().next().unwrap_or("<empty>")
+        ))
+    }
+}
+
+/// POST to the admin surface; returns the status line.
+fn admin_post(addr: SocketAddr, path: &str, body: &str) -> Result<String, String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect admin: {e}"))?;
+    s.set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    write!(
+        s,
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    let mut reply = String::new();
+    s.read_to_string(&mut reply)
+        .map_err(|e| format!("read: {e}"))?;
+    Ok(reply.lines().next().unwrap_or("").to_string())
+}
+
+/// Reload-under-load: concurrent `/spec` clients while `cycles`
+/// reloads land (one of them a deliberately bad directory that must
+/// roll back). Returns the list of violations.
+fn reload_under_load(
+    addr: SocketAddr,
+    admin: SocketAddr,
+    reload_dir: &str,
+    cycles: usize,
+) -> Vec<String> {
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let failures = std::sync::Mutex::new(Vec::<String>::new());
+    std::thread::scope(|scope| {
+        for client in 0..4 {
+            let stop = &stop;
+            let failures = &failures;
+            scope.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    if let Err(e) = checked_request(addr) {
+                        failures
+                            .lock()
+                            .unwrap()
+                            .push(format!("client {client}: {e}"));
+                    }
+                }
+            });
+        }
+        for cycle in 0..cycles {
+            // Every third cycle aims at a bad directory: the reload
+            // must fail with a 500 and the clients must never notice.
+            let (dir, want) = if cycle % 3 == 2 {
+                ("/nonexistent/rsg-chaos-models", "HTTP/1.1 500")
+            } else {
+                (reload_dir, "HTTP/1.1 200")
+            };
+            match admin_post(admin, "/admin/reload", &format!("{{\"dir\": \"{dir}\"}}")) {
+                Ok(status) if status.starts_with(want) => {}
+                Ok(status) => failures.lock().unwrap().push(format!(
+                    "reload cycle {cycle}: got '{status}', want '{want}'"
+                )),
+                Err(e) => failures
+                    .lock()
+                    .unwrap()
+                    .push(format!("reload cycle {cycle}: {e}")),
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    });
+    failures.into_inner().unwrap()
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The `--chaos` entry point; returns the process exit code.
+fn chaos_main() -> i32 {
+    let seed = arg_value("--seed")
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0xC0FF_EE00);
+    let deadline_s = arg_value("--deadline-s")
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(2.0);
+    let target = arg_value("--target");
+    let admin = arg_value("--admin");
+    let reload_dir = arg_value("--reload-dir");
+    let drain = std::env::args().any(|a| a == "--drain");
+
+    // Either drive an external daemon (CI) or boot one in-process.
+    let mut local: Option<Server> = None;
+    let addr: SocketAddr = match &target {
+        Some(t) => t.parse().expect("bad --target address"),
+        None => {
+            eprintln!("bench_serve --chaos: training models (tiny grid)…");
+            let tables = measure(
+                &ObservationGrid::tiny(),
+                &CurveConfig::default(),
+                &rsg_core::THRESHOLD_LADDER,
+                0,
+            );
+            let registry = ModelRegistry::from_models(
+                ThresholdedSizeModel::fit(&tables),
+                HeuristicPredictionModel::fixed(HeuristicKind::Mcp),
+            );
+            let cfg = ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                default_deadline_s: deadline_s,
+                ..ServeConfig::default()
+            };
+            let server = Server::spawn(&cfg, registry).expect("spawn server");
+            let a = server.addr();
+            local = Some(server);
+            a
+        }
+    };
+
+    let chaos_cfg = rsg_serve::ChaosConfig {
+        seed,
+        deadline_hint_s: deadline_s,
+        read_timeout_s: 15.0,
+        connections_per_fault: 3,
+    };
+    eprintln!("bench_serve --chaos: seed {seed}, target {addr}, deadline hint {deadline_s}s");
+    let report = match rsg_serve::chaostcp::run_chaos(addr, &chaos_cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_serve --chaos: {e}");
+            return 1;
+        }
+    };
+    eprint!("{}", report.render());
+    let mut failed = !report.passed();
+
+    if let (Some(admin), Some(dir)) = (&admin, &reload_dir) {
+        let admin: SocketAddr = admin.parse().expect("bad --admin address");
+        eprintln!("bench_serve --chaos: reload-under-load cycle against {admin}…");
+        let violations = reload_under_load(addr, admin, dir, 6);
+        if violations.is_empty() {
+            eprintln!("  ok   reload-under-load       6 cycle(s), zero dropped requests");
+        } else {
+            failed = true;
+            eprintln!("  FAIL reload-under-load");
+            for v in &violations {
+                eprintln!("       - {v}");
+            }
+        }
+        if drain {
+            match admin_post(admin, "/admin/drain", "") {
+                Ok(status) if status.starts_with("HTTP/1.1 200") => {
+                    eprintln!("  ok   drain acknowledged");
+                }
+                other => {
+                    failed = true;
+                    eprintln!("  FAIL drain: {other:?}");
+                }
+            }
+        }
+    }
+
+    if let Some(mut server) = local {
+        server.shutdown();
+    }
+    if failed {
+        eprintln!("bench_serve --chaos: FAILED (seed {seed})");
+        1
+    } else {
+        eprintln!("bench_serve --chaos: passed (seed {seed})");
+        0
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--chaos") {
+        std::process::exit(chaos_main());
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     let (levels, per_level): (&[usize], usize) = if quick {
         (&[1, 2, 4], 60)

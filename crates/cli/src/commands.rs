@@ -712,9 +712,10 @@ fn parse_heuristic(s: &str) -> Result<HeuristicKind, CliError> {
     })
 }
 
-/// `rsg serve --models DIR [--addr A] [--workers N] [--queue N]
-/// [--deadline-s S]`: load the model registry once, then answer
-/// requests until the process is killed.
+/// `rsg serve --models DIR [--addr A] [--admin-addr A] [--workers N]
+/// [--queue N] [--deadline-s S]`: load the model registry as
+/// generation 1, then answer requests until the process is killed or
+/// drained through the admin surface.
 pub fn serve(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     let models = args
         .opt("models")
@@ -723,6 +724,9 @@ pub fn serve(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut cfg = rsg_serve::ServeConfig::default();
     if let Some(a) = args.opt("addr") {
         cfg.addr = a.to_string();
+    }
+    if let Some(a) = args.opt("admin-addr") {
+        cfg.admin_addr = Some(a.to_string());
     }
     if let Some(w) = args.opt("workers") {
         cfg.workers = w
@@ -767,6 +771,12 @@ pub fn serve(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
         cfg.queue_depth,
         cfg.default_deadline_s
     )?;
+    if let Some(admin) = server.admin_addr() {
+        writeln!(
+            out,
+            "admin surface on http://{admin} (loopback only: /admin/reload, /admin/drain)"
+        )?;
+    }
     out.flush()?;
     server.join();
     Ok(())

@@ -128,8 +128,8 @@ USAGE:
   rsg dot     FILE [--out FILE]
   rsg store   verify PATH...
   rsg lint    FILE... [--format human|json|tsv] [--platform]
-  rsg serve   --models DIR [--addr HOST:PORT] [--workers N]
-              [--queue N] [--deadline-s S]
+  rsg serve   --models DIR [--addr HOST:PORT] [--admin-addr HOST:PORT]
+              [--workers N] [--queue N] [--deadline-s S]
 
 `rsg train --journal FILE` checkpoints each completed sweep cell to
 FILE; a re-run with the same grid resumes from the first missing cell.
@@ -146,9 +146,12 @@ satisfiability against a deterministic platform model. Error-level
 diagnostics exit 6.
 
 `rsg serve` starts a long-lived HTTP/JSON service answering /spec,
-/predict, /lint, /metrics and /healthz from models loaded once out of
---models DIR (size_model*.tsv required, heur_model*.tsv optional); see
-docs/API.md for the wire format and docs/OPERATIONS.md for running it.
+/predict, /lint, /metrics, /healthz and /readyz from models loaded as
+generation 1 out of --models DIR (size_model*.tsv required,
+heur_model*.tsv optional). `--admin-addr` (loopback only) adds
+/admin/reload (hot model swap with rollback) and /admin/drain
+(graceful shutdown); see docs/API.md for the wire format and
+docs/OPERATIONS.md for running, reloading and draining it.
 
 Exit codes: 0 ok, 1 failure, 2 usage, 3 I/O, 4 corrupt artifact,
 5 decode error, 6 lint diagnostics.

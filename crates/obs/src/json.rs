@@ -398,7 +398,11 @@ mod tests {
         let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
         assert!(Json::parse(&ok).is_ok());
         // One past the limit: a typed error.
-        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
         let err = Json::parse(&over).unwrap_err();
         assert!(err.msg.contains("nesting"), "{err}");
         // Mixed containers count too, and a hostile half-megabyte of

@@ -1,10 +1,13 @@
 //! Per-request wall-clock deadlines.
 //!
-//! This module is the **only** place in the serving stack that reads
-//! the wall clock (`Instant::now`); everything else receives a
-//! [`Deadline`] and asks it questions. Confining the clock here keeps
-//! the rest of the crate deterministic and testable — the workspace
-//! determinism lint enforces the confinement by file path.
+//! This module is where the *request path* reads the wall clock
+//! (`Instant::now`); everything downstream receives a [`Deadline`]
+//! and asks it questions. The only other clock site in the crate is
+//! the drain-completion wait in [`crate::lifecycle`], which times out
+//! a blocking shutdown and never feeds request handling. Confining
+//! the clock keeps the rest of the crate deterministic and testable —
+//! the workspace determinism lint enforces the confinement by file
+//! path.
 //!
 //! A deadline is stamped once, when a connection is *accepted*, so the
 //! budget covers queue wait as well as parsing and handling: a request

@@ -8,10 +8,20 @@
 //! [`SpecGenerator`] over the registry's models — which is what makes
 //! a served `/spec` response byte-identical to `rsg spec` output for
 //! the same input and models.
+//!
+//! Every model-endpoint request clones one `Arc<`[`Generation`]`>` at
+//! dispatch and answers entirely from it, so a hot reload landing
+//! mid-request can never mix two model sets in one response. The
+//! lifecycle trio — [`ModelStore`], [`Lifecycle`], [`ShedState`] —
+//! hangs off the shared [`ServerContext`]; `/readyz` and `/metrics`
+//! report it, and the shed gate consults it after routing but before
+//! any model work.
 
 use crate::deadline::Deadline;
 use crate::http::{HttpRequest, HttpResponse};
-use crate::registry::ModelRegistry;
+use crate::lifecycle::Lifecycle;
+use crate::registry::{Generation, ModelRegistry, ModelStore, ReloadOutcome};
+use crate::shed::{ShedLevel, ShedState, SHED_DEGRADED, SHED_EARLY};
 use rsg_analyze::{AnalysisReport, Diagnostic, Input};
 use rsg_core::alternative::{alternatives, attempt_from_outcome, negotiate_with_retry};
 use rsg_core::curve::CurveConfig;
@@ -25,39 +35,61 @@ use rsg_obs::{Counter, RunReport, TimingHistogram};
 use rsg_platform::{Platform, ResourceGenSpec, TopologySpec};
 use rsg_sched::HeuristicKind;
 use rsg_select::{FlakyConfig, FlakySelector, VgesFinder};
-use std::sync::{Arc, OnceLock};
+use std::sync::OnceLock;
 
 static REQ_SPEC: Counter = Counter::new("serve.requests.spec");
 static REQ_PREDICT: Counter = Counter::new("serve.requests.predict");
 static REQ_LINT: Counter = Counter::new("serve.requests.lint");
 static REQ_HEALTHZ: Counter = Counter::new("serve.requests.healthz");
+static REQ_READYZ: Counter = Counter::new("serve.requests.readyz");
 static REQ_METRICS: Counter = Counter::new("serve.requests.metrics");
+static REQ_ADMIN: Counter = Counter::new("serve.requests.admin");
 static LINT_REJECTED: Counter = Counter::new("serve.lint.rejected");
 static DEADLINE_EXPIRED: Counter = Counter::new("serve.deadline.expired");
 static HANDLER_LATENCY: TimingHistogram = TimingHistogram::new("serve.latency.handler");
 
-/// Shared, immutable per-process serving state: the model registry and
-/// the lazily built negotiation platform. Cloned `Arc`s of this hang
-/// off every worker.
+/// Default brownout threshold: smoothed queue wait, seconds.
+pub const DEFAULT_BROWNOUT_AT_S: f64 = 0.5;
+/// Default shed threshold: smoothed queue wait, seconds.
+pub const DEFAULT_SHED_AT_S: f64 = 2.0;
+
+/// Shared per-process serving state: the generation-stamped model
+/// store, the admission lifecycle, the shed state, and the lazily
+/// built negotiation platform. One `Arc` of this hangs off every
+/// worker; the models themselves rotate inside the store.
 pub struct ServerContext {
-    registry: Arc<ModelRegistry>,
+    store: ModelStore,
+    lifecycle: Lifecycle,
+    shed: ShedState,
     default_deadline_s: f64,
-    generator: SpecGenerator,
     platform: OnceLock<Platform>,
 }
 
 impl ServerContext {
-    /// Builds the context; the generator is assembled once from the
-    /// registry's models.
+    /// Builds the context with the default shed thresholds; the boot
+    /// registry becomes generation 1.
     pub fn new(registry: ModelRegistry, default_deadline_s: f64) -> ServerContext {
-        let generator = SpecGenerator::new(
-            registry.size_model.clone(),
-            registry.heuristic_model.clone(),
-        );
-        ServerContext {
-            registry: Arc::new(registry),
+        ServerContext::with_shedding(
+            registry,
             default_deadline_s,
-            generator,
+            DEFAULT_BROWNOUT_AT_S,
+            DEFAULT_SHED_AT_S,
+        )
+    }
+
+    /// Builds the context with explicit brownout/shed queue-wait
+    /// thresholds (seconds; `0` disables that level).
+    pub fn with_shedding(
+        registry: ModelRegistry,
+        default_deadline_s: f64,
+        brownout_at_s: f64,
+        shed_at_s: f64,
+    ) -> ServerContext {
+        ServerContext {
+            store: ModelStore::new(registry),
+            lifecycle: Lifecycle::new(),
+            shed: ShedState::new(brownout_at_s, shed_at_s),
+            default_deadline_s,
             platform: OnceLock::new(),
         }
     }
@@ -68,9 +100,20 @@ impl ServerContext {
         self.default_deadline_s
     }
 
-    /// The model registry answering this process's requests.
-    pub fn registry(&self) -> &ModelRegistry {
-        &self.registry
+    /// The generation-stamped model store answering this process's
+    /// requests.
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// Admission lifecycle (running/draining plus pending count).
+    pub fn lifecycle(&self) -> &Lifecycle {
+        &self.lifecycle
+    }
+
+    /// Adaptive shed state fed by the worker loop.
+    pub fn shed(&self) -> &ShedState {
+        &self.shed
     }
 
     /// The deterministic 2006-era platform the negotiation path binds
@@ -111,27 +154,33 @@ fn route(ctx: &ServerContext, req: &HttpRequest, accepted: &Deadline) -> HttpRes
             REQ_HEALTHZ.incr();
             healthz(ctx)
         }
+        ("GET", "/readyz") => {
+            REQ_READYZ.incr();
+            readyz(ctx)
+        }
         ("GET", "/metrics") => {
             REQ_METRICS.incr();
-            metrics()
+            metrics(ctx)
         }
         ("POST", "/spec") => {
             REQ_SPEC.incr();
-            with_deadline(ctx, req, accepted, spec_endpoint)
+            shed_gate(ctx).unwrap_or_else(|| with_deadline(ctx, req, accepted, spec_endpoint))
         }
         ("POST", "/predict") => {
             REQ_PREDICT.incr();
-            with_deadline(ctx, req, accepted, predict_endpoint)
+            shed_gate(ctx).unwrap_or_else(|| with_deadline(ctx, req, accepted, predict_endpoint))
         }
         ("POST", "/lint") => {
             REQ_LINT.incr();
-            with_deadline(ctx, req, accepted, lint_endpoint)
+            shed_gate(ctx).unwrap_or_else(|| with_deadline(ctx, req, accepted, lint_endpoint))
         }
         // Test-only route for exercising worker panic isolation over a
         // real socket; compiled out of release builds.
         #[cfg(test)]
         ("POST", "/__test/panic") => panic!("test-injected handler panic"),
-        (_, "/healthz" | "/metrics") => error(405, "method", "use GET for this endpoint", &[]),
+        (_, "/healthz" | "/readyz" | "/metrics") => {
+            error(405, "method", "use GET for this endpoint", &[])
+        }
         (_, "/spec" | "/predict" | "/lint") => error(
             405,
             "method",
@@ -139,6 +188,30 @@ fn route(ctx: &ServerContext, req: &HttpRequest, accepted: &Deadline) -> HttpRes
             &[],
         ),
         (_, path) => error(404, "not-found", &format!("no such endpoint: {path}"), &[]),
+    }
+}
+
+/// The shed gate for model endpoints: under [`ShedLevel::Shed`] the
+/// request is refused before any parsing or model work, with a
+/// `Retry-After` from the observed drain rate. Probes never pass
+/// through here, so an overloaded process stays observable.
+fn shed_gate(ctx: &ServerContext) -> Option<HttpResponse> {
+    if ctx.shed.level() == ShedLevel::Shed {
+        SHED_EARLY.incr();
+        Some(shed_response(ctx))
+    } else {
+        None
+    }
+}
+
+/// Whether model endpoints should run degraded (extras disabled)
+/// right now, counting the request once when they should.
+fn browned_out(ctx: &ServerContext) -> bool {
+    if ctx.shed.level() >= ShedLevel::Brownout {
+        SHED_DEGRADED.incr();
+        true
+    } else {
+        false
     }
 }
 
@@ -188,6 +261,8 @@ fn with_deadline(
 // ---------------------------------------------------------------- spec
 
 fn spec_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> HttpResponse {
+    let generation = ctx.store.current();
+    let degraded = browned_out(ctx);
     let (stats, dag) = match request_stats(body) {
         Ok(v) => v,
         Err(resp) => return resp,
@@ -204,12 +279,12 @@ fn spec_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> HttpR
                 );
             };
             let generator = SpecGenerator::new(
-                ctx.registry.size_model.clone(),
+                generation.registry.size_model.clone(),
                 HeuristicPredictionModel::fixed(h),
             );
             generator.generate_from_stats(&stats, &generator_config(body))
         }
-        None => ctx
+        None => generation
             .generator
             .generate_from_stats(&stats, &generator_config(body)),
     };
@@ -230,10 +305,12 @@ fn spec_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> HttpR
     );
 
     let negotiation = match (body.get("negotiate"), &dag) {
-        (Some(Json::Bool(true)), Some(dag)) => match negotiate(ctx, &spec, dag, body, deadline) {
-            Ok(n) => Some(n),
-            Err(resp) => return resp,
-        },
+        (Some(Json::Bool(true)), Some(dag)) => {
+            match negotiate(ctx, &spec, dag, body, deadline, degraded) {
+                Ok(n) => Some(n),
+                Err(resp) => return resp,
+            }
+        }
         (Some(Json::Bool(true)), None) => {
             return error(
                 400,
@@ -264,7 +341,10 @@ fn spec_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> HttpR
         ", \"aggregate\": {}",
         escape(&format!("{:?}", spec.aggregate))
     ));
-    out.push_str(&format!(", \"knee_ladder\": {}", knee_ladder(ctx, &stats)));
+    out.push_str(&format!(
+        ", \"knee_ladder\": {}",
+        knee_ladder(&generation, &stats)
+    ));
     out.push_str(&format!(
         ", \"over_provision\": {{\"width\": {}, \"rc_over_min\": {}}}",
         stats.width,
@@ -279,7 +359,7 @@ fn spec_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> HttpR
     if let Some(n) = negotiation {
         out.push_str(&format!(", \"negotiation\": {n}"));
     }
-    push_meta_and_report(&mut out, body, deadline);
+    push_meta_and_report(&mut out, body, deadline, &generation, degraded);
     out.push('}');
     HttpResponse::json(200, out)
 }
@@ -307,9 +387,9 @@ fn generator_config(body: &Json) -> GeneratorConfig {
 }
 
 /// Per-threshold knee predictions — the `rsg predict` table as JSON.
-fn knee_ladder(ctx: &ServerContext, stats: &DagStats) -> String {
+fn knee_ladder(generation: &Generation, stats: &DagStats) -> String {
     let mut out = String::from("[");
-    for (i, m) in ctx.registry.size_model.models.iter().enumerate() {
+    for (i, m) in generation.registry.size_model.models.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
@@ -327,13 +407,15 @@ fn knee_ladder(ctx: &ServerContext, stats: &DagStats) -> String {
 /// platform, walking the degradation ladder with retries. The
 /// request's remaining wall budget seeds the negotiator's total
 /// simulated-time deadline, so an almost-expired request cannot start
-/// an open-ended negotiation.
+/// an open-ended negotiation. Under brownout the retry ladder
+/// collapses to one attempt per rung — the first expense shed.
 fn negotiate(
     ctx: &ServerContext,
     spec: &rsg_core::ResourceSpec,
     dag: &Dag,
     body: &Json,
     deadline: &Deadline,
+    degraded: bool,
 ) -> Result<String, HttpResponse> {
     let flaky_cfg = match body.get("flaky") {
         Some(f) => {
@@ -360,12 +442,15 @@ fn negotiate(
     );
     let finder = VgesFinder::default();
     let platform = ctx.platform();
-    let policy = RetryPolicy {
+    let mut policy = RetryPolicy {
         total_deadline_s: deadline
             .remaining_s()
             .min(RetryPolicy::default().total_deadline_s),
         ..RetryPolicy::default()
     };
+    if degraded {
+        policy.max_attempts_per_rung = 1;
+    }
     let result = negotiate_with_retry(&ladder, &policy, |s| {
         let vg = SpecGenerator::to_vgdl(s);
         attempt_from_outcome(flaky.select(|| finder.find(platform, &vg)), s.min_size)
@@ -399,14 +484,19 @@ fn negotiate(
 // ------------------------------------------------------------- predict
 
 fn predict_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> HttpResponse {
+    let generation = ctx.store.current();
+    let degraded = browned_out(ctx);
     let (stats, _) = match request_stats(body) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
-    let heuristic = ctx.registry.heuristic_model.predict(&stats);
+    let heuristic = generation.registry.heuristic_model.predict(&stats);
     let mut out = String::from("{");
     out.push_str(&format!("\"heuristic\": {}", escape(heuristic.name())));
-    out.push_str(&format!(", \"knee_ladder\": {}", knee_ladder(ctx, &stats)));
+    out.push_str(&format!(
+        ", \"knee_ladder\": {}",
+        knee_ladder(&generation, &stats)
+    ));
     out.push_str(&format!(
         ", \"stats\": {{\"size\": {}, \"width\": {}, \"ccr\": {}, \"parallelism\": {}, \
          \"density\": {}, \"regularity\": {}, \"mean_comp\": {}}}",
@@ -418,7 +508,7 @@ fn predict_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> Ht
         num(stats.regularity),
         num(stats.mean_comp)
     ));
-    push_meta_and_report(&mut out, body, deadline);
+    push_meta_and_report(&mut out, body, deadline, &generation, degraded);
     out.push('}');
     HttpResponse::json(200, out)
 }
@@ -426,6 +516,8 @@ fn predict_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> Ht
 // ---------------------------------------------------------------- lint
 
 fn lint_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> HttpResponse {
+    let generation = ctx.store.current();
+    let degraded = browned_out(ctx);
     let Some(docs) = body.get("documents").and_then(Json::as_array) else {
         return error(
             400,
@@ -471,15 +563,19 @@ fn lint_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> HttpR
         report.warnings(),
         diagnostics_json(&report.diagnostics)
     ));
-    push_meta_and_report(&mut out, body, deadline);
+    push_meta_and_report(&mut out, body, deadline, &generation, degraded);
     out.push('}');
     HttpResponse::json(200, out)
 }
 
-// ------------------------------------------------- healthz and metrics
+// -------------------------------------- healthz, readyz and metrics
 
+/// Pure liveness: answers 200 whenever the process can parse and
+/// route at all, regardless of drain/reload/shed state. Load
+/// balancers that want routability must probe `/readyz` instead.
 fn healthz(ctx: &ServerContext) -> HttpResponse {
-    let r = ctx.registry();
+    let generation = ctx.store.current();
+    let r = &generation.registry;
     let thresholds: Vec<String> = r.size_model.models.iter().map(|m| num(m.theta)).collect();
     let size_src = r.size_model_path.as_deref().unwrap_or("inline");
     let heur_src = r
@@ -487,9 +583,10 @@ fn healthz(ctx: &ServerContext) -> HttpResponse {
         .clone()
         .unwrap_or_else(|| "fixed".to_string());
     let body = format!(
-        "{{\"status\": \"ok\", \"models\": {{\"size_model\": {}, \"heuristic_model\": {}, \
-         \"thresholds\": [{}]}}, \"endpoints\": [\"/spec\", \"/predict\", \"/lint\", \
-         \"/metrics\", \"/healthz\"]}}",
+        "{{\"status\": \"ok\", \"generation\": {}, \"models\": {{\"size_model\": {}, \
+         \"heuristic_model\": {}, \"thresholds\": [{}]}}, \"endpoints\": [\"/spec\", \
+         \"/predict\", \"/lint\", \"/metrics\", \"/healthz\", \"/readyz\"]}}",
+        generation.number,
         escape(size_src),
         escape(&heur_src),
         thresholds.join(", ")
@@ -497,10 +594,42 @@ fn healthz(ctx: &ServerContext) -> HttpResponse {
     HttpResponse::json(200, body)
 }
 
-/// Snapshot of every `serve.*` counter and histogram. Histograms carry
-/// mean and bracketed p50/p99/p999 (2× bucket resolution, as
-/// documented on [`rsg_obs::HistogramSnapshot::quantile_s`]).
-fn metrics() -> HttpResponse {
+/// Readiness: 200 only while the process is running, not mid-reload,
+/// and not shedding — anything else is a 503 with `Retry-After`, so
+/// load balancers stop routing *before* a drain completes rather than
+/// after the socket dies.
+fn readyz(ctx: &ServerContext) -> HttpResponse {
+    let draining = ctx.lifecycle.draining();
+    let reloading = ctx.store.reloading();
+    let level = ctx.shed.level();
+    let ready = !draining && !reloading && level != ShedLevel::Shed;
+    let body = format!(
+        "{{\"ready\": {}, \"state\": {}, \"reloading\": {}, \"shed\": {}, \
+         \"generation\": {}, \"pending\": {}}}",
+        ready,
+        escape(ctx.lifecycle.state().label()),
+        reloading,
+        escape(level.label()),
+        ctx.store.generation(),
+        ctx.lifecycle.pending()
+    );
+    let mut resp = HttpResponse::json(if ready { 200 } else { 503 }, body);
+    if !ready {
+        resp.retry_after_s = Some(if level == ShedLevel::Shed {
+            ctx.shed.retry_after_s(ctx.lifecycle.pending())
+        } else {
+            1
+        });
+    }
+    resp
+}
+
+/// Snapshot of every `serve.*` counter and histogram, plus the
+/// lifecycle block (state, pending, both generations, shed level and
+/// the last reload outcome). Histograms carry mean and bracketed
+/// p50/p99/p999 (2× bucket resolution, as documented on
+/// [`rsg_obs::HistogramSnapshot::quantile_s`]).
+fn metrics(ctx: &ServerContext) -> HttpResponse {
     let report = RunReport::capture();
     let mut out = String::from("{\"counters\": {");
     let mut first = true;
@@ -538,8 +667,116 @@ fn metrics() -> HttpResponse {
             num(h.max_ns as f64 / 1e9)
         ));
     }
+    out.push_str("}, \"lifecycle\": {");
+    out.push_str(&format!(
+        "\"state\": {}, \"pending\": {}, \"generation\": {}, \"previous_generation\": {}, \
+         \"reloading\": {}, \"shed_level\": {}, \"queue_wait_ewma_s\": {}, \
+         \"service_ewma_s\": {}, \"last_reload\": {}",
+        escape(ctx.lifecycle.state().label()),
+        ctx.lifecycle.pending(),
+        ctx.store.generation(),
+        ctx.store.previous_generation(),
+        ctx.store.reloading(),
+        escape(ctx.shed.level().label()),
+        num(ctx.shed.queue_wait_ewma_s()),
+        num(ctx.shed.service_ewma_s()),
+        reload_outcome_json(&ctx.store.last_outcome())
+    ));
     out.push_str("}}");
     HttpResponse::json(200, out)
+}
+
+fn reload_outcome_json(outcome: &ReloadOutcome) -> String {
+    match outcome {
+        ReloadOutcome::Never => "{\"outcome\": \"never\"}".to_string(),
+        ReloadOutcome::Swapped { from, to } => {
+            format!("{{\"outcome\": \"swapped\", \"from\": {from}, \"to\": {to}}}")
+        }
+        ReloadOutcome::RolledBack { kept, error } => format!(
+            "{{\"outcome\": \"rolled-back\", \"kept\": {kept}, \"error\": {}}}",
+            escape(error)
+        ),
+    }
+}
+
+// ------------------------------------------------------- admin surface
+
+/// Routes one request on the loopback-only admin listener. Reload and
+/// drain are POST-only; everything else 404s so the admin port leaks
+/// nothing beyond its two verbs.
+pub fn handle_admin(ctx: &ServerContext, req: &HttpRequest) -> HttpResponse {
+    REQ_ADMIN.incr();
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("POST", "/admin/reload") => admin_reload(ctx, req),
+        ("POST", "/admin/drain") => admin_drain(ctx),
+        (_, "/admin/reload" | "/admin/drain") => {
+            error(405, "method", "use POST for admin endpoints", &[])
+        }
+        (_, path) => error(
+            404,
+            "not-found",
+            &format!("no such admin endpoint: {path}"),
+            &[],
+        ),
+    }
+}
+
+/// `POST /admin/reload {"dir": "<model dir>"}`: loads, lints and swaps
+/// in a new model generation; on any failure the old generation keeps
+/// serving and the error comes back as a structured 500.
+fn admin_reload(ctx: &ServerContext, req: &HttpRequest) -> HttpResponse {
+    let dir = match Json::parse(&req.body) {
+        Ok(v @ Json::Obj(_)) => match v.get("dir").and_then(Json::as_str) {
+            Some(d) if !d.is_empty() => d.to_string(),
+            _ => {
+                return error(
+                    400,
+                    "usage",
+                    "reload needs {\"dir\": \"<model directory>\"}",
+                    &[],
+                )
+            }
+        },
+        _ => return error(400, "usage", "request body must be a JSON object", &[]),
+    };
+    match ctx.store.reload(std::path::Path::new(&dir)) {
+        Ok(generation) => HttpResponse::json(
+            200,
+            format!(
+                "{{\"reloaded\": true, \"generation\": {}, \"previous_generation\": {}, \
+                 \"dir\": {}}}",
+                generation.number,
+                ctx.store.previous_generation(),
+                escape(&dir)
+            ),
+        ),
+        Err(e) => error(
+            500,
+            "reload",
+            &format!(
+                "reload rejected; generation {} kept serving: {e}",
+                ctx.store.generation()
+            ),
+            &[],
+        ),
+    }
+}
+
+/// `POST /admin/drain`: flips the lifecycle into draining and
+/// acknowledges. The serving loop notices, refuses new admissions,
+/// finishes what is in flight, and exits; the caller polls the process
+/// (or this socket) to see it go.
+fn admin_drain(ctx: &ServerContext) -> HttpResponse {
+    let flipped = ctx.lifecycle.begin_drain();
+    HttpResponse::json(
+        200,
+        format!(
+            "{{\"draining\": true, \"first_request\": {}, \"pending\": {}}}",
+            flipped,
+            ctx.lifecycle.pending()
+        ),
+    )
 }
 
 // ------------------------------------------------------- shared pieces
@@ -634,15 +871,30 @@ fn stats_from_characteristics(c: &Json) -> Result<DagStats, HttpResponse> {
     })
 }
 
-/// Appends the response `meta` object (and, when the request asked for
-/// one with `"report": true`, a full `rsg-obs` run-report snapshot).
-fn push_meta_and_report(out: &mut String, body: &Json, deadline: &Deadline) {
+/// Appends the response `meta` object — elapsed, deadline, the answer
+/// generation and (under brownout) a `"degraded": true` marker — and,
+/// when the request asked for one with `"report": true` and the
+/// process is not browned out, a full `rsg-obs` run-report snapshot.
+/// Skipping the report under brownout is the cheapest extra to shed:
+/// capturing it walks every registered histogram.
+fn push_meta_and_report(
+    out: &mut String,
+    body: &Json,
+    deadline: &Deadline,
+    generation: &Generation,
+    degraded: bool,
+) {
     out.push_str(&format!(
-        ", \"meta\": {{\"elapsed_s\": {}, \"deadline_s\": {}}}",
+        ", \"meta\": {{\"elapsed_s\": {}, \"deadline_s\": {}, \"generation\": {}",
         num(deadline.elapsed_s()),
-        num(deadline.budget_s())
+        num(deadline.budget_s()),
+        generation.number
     ));
-    if matches!(body.get("report"), Some(Json::Bool(true))) {
+    if degraded {
+        out.push_str(", \"degraded\": true");
+    }
+    out.push('}');
+    if !degraded && matches!(body.get("report"), Some(Json::Bool(true))) {
         let report = RunReport::capture().to_json();
         out.push_str(&format!(", \"report\": {}", report.trim_end()));
     }
@@ -697,6 +949,33 @@ pub fn overload_response() -> HttpResponse {
     resp
 }
 
+/// The canned 503 the acceptor writes while draining — new work is
+/// refused so the pending count can only fall.
+pub fn draining_response() -> HttpResponse {
+    let mut resp = error(
+        503,
+        "draining",
+        "this instance is draining for shutdown; retry against another instance",
+        &[],
+    );
+    resp.retry_after_s = Some(1);
+    resp
+}
+
+/// The shed-gate 503: refused before any model work, with a
+/// `Retry-After` telling the client when the observed backlog will
+/// have drained.
+pub fn shed_response(ctx: &ServerContext) -> HttpResponse {
+    let mut resp = error(
+        503,
+        "shed",
+        "shedding load: queue wait exceeds the shed threshold; retry after the backlog drains",
+        &[],
+    );
+    resp.retry_after_s = Some(ctx.shed().retry_after_s(ctx.lifecycle().pending()));
+    resp
+}
+
 /// The canned 500 a worker writes after catching a handler panic —
 /// built without touching any request state (it may be poisoned).
 pub fn panic_response() -> HttpResponse {
@@ -726,13 +1005,27 @@ pub fn queue_deadline_response(deadline: &Deadline) -> HttpResponse {
     resp
 }
 
-/// Maps a request-read failure onto a structured 4xx.
+/// Maps a request-read failure onto a structured 4xx: oversized bodies
+/// to 413, oversized header blocks to 431, read timeouts (slowloris,
+/// stalled uploads) to 408, everything else to 400.
 pub fn bad_request_response(e: &crate::http::HttpError) -> HttpResponse {
     match e {
         crate::http::HttpError::TooLarge(n) => error(
             413,
             "usage",
             &format!("request body of {n} bytes exceeds the limit"),
+            &[],
+        ),
+        crate::http::HttpError::HeadersTooLarge(what) => error(
+            431,
+            "usage",
+            &format!("request header block exceeds the limit: {what}"),
+            &[],
+        ),
+        crate::http::HttpError::Timeout => error(
+            408,
+            "timeout",
+            "the request did not arrive in full before the read deadline",
             &[],
         ),
         other => error(400, "usage", &other.to_string(), &[]),
@@ -818,6 +1111,11 @@ mod tests {
             .contains("<num_machines>"));
         let ladder = v.get("knee_ladder").and_then(Json::as_array).unwrap();
         assert_eq!(ladder.len(), rsg_core::THRESHOLD_LADDER.len());
+        // Every response names the generation that answered it.
+        assert_eq!(
+            v.get("meta").and_then(|m| m.get("generation")),
+            Some(&Json::Num(1.0))
+        );
     }
 
     #[test]
@@ -1005,6 +1303,149 @@ mod tests {
         };
         let resp = handle(&ctx, &req, &Deadline::start(30.0));
         assert_eq!(resp.status, 200);
-        assert!(Json::parse(&resp.body).is_ok(), "{}", resp.body);
+        let v = Json::parse(&resp.body).expect("metrics is valid JSON");
+        let lc = v.get("lifecycle").expect("lifecycle block");
+        assert_eq!(lc.get("state").and_then(Json::as_str), Some("running"));
+        assert_eq!(lc.get("generation"), Some(&Json::Num(1.0)));
+        assert_eq!(lc.get("previous_generation"), Some(&Json::Num(0.0)));
+        assert_eq!(
+            lc.get("last_reload")
+                .and_then(|r| r.get("outcome"))
+                .and_then(Json::as_str),
+            Some("never")
+        );
+    }
+
+    #[test]
+    fn readyz_reflects_drain_and_reload_state() {
+        let ctx = ctx();
+        let req = HttpRequest {
+            method: "GET".into(),
+            path: "/readyz".into(),
+            body: String::new(),
+        };
+        let resp = handle(&ctx, &req, &Deadline::start(30.0));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("ready"), Some(&Json::Bool(true)));
+        // Draining flips readiness to 503 while liveness stays 200.
+        ctx.lifecycle().begin_drain();
+        let resp = handle(&ctx, &req, &Deadline::start(30.0));
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        assert_eq!(resp.retry_after_s, Some(1));
+        let v = Json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("state").and_then(Json::as_str), Some("draining"));
+        let live = HttpRequest {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            body: String::new(),
+        };
+        assert_eq!(handle(&ctx, &live, &Deadline::start(30.0)).status, 200);
+    }
+
+    #[test]
+    fn shed_gate_refuses_model_work_but_not_probes() {
+        let ctx = ctx();
+        // Push the queue-wait EWMA far past the shed threshold.
+        for _ in 0..64 {
+            ctx.shed().observe_queue_wait(10.0);
+            ctx.shed().observe_service(0.5);
+        }
+        for _ in 0..4 {
+            ctx.lifecycle().admit();
+        }
+        let resp = post(
+            &ctx,
+            "/spec",
+            "{\"characteristics\": {\"size\": 50, \"ccr\": 0.2, \"parallelism\": 0.5, \
+             \"density\": 0.5, \"regularity\": 0.8, \"mean_comp\": 10}}",
+        );
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        assert!(resp.body.contains("\"shed\""), "{}", resp.body);
+        let ra = resp.retry_after_s.expect("shed carries Retry-After");
+        assert!((1..=60).contains(&ra), "retry-after {ra}");
+        // Probes still answer.
+        for path in ["/healthz", "/metrics"] {
+            let req = HttpRequest {
+                method: "GET".into(),
+                path: path.into(),
+                body: String::new(),
+            };
+            assert_eq!(handle(&ctx, &req, &Deadline::start(30.0)).status, 200);
+        }
+        for _ in 0..4 {
+            ctx.lifecycle().finish();
+        }
+    }
+
+    #[test]
+    fn brownout_disables_the_report_extra() {
+        let ctx = ctx();
+        // Sit between brownout and shed.
+        for _ in 0..64 {
+            ctx.shed().observe_queue_wait(1.0);
+        }
+        assert_eq!(ctx.shed().level(), ShedLevel::Brownout);
+        let resp = post(
+            &ctx,
+            "/spec",
+            "{\"report\": true, \"characteristics\": {\"size\": 50, \"ccr\": 0.2, \
+             \"parallelism\": 0.5, \"density\": 0.5, \"regularity\": 0.8, \"mean_comp\": 10}}",
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        assert!(
+            v.get("report").is_none(),
+            "report must be shed: {}",
+            resp.body
+        );
+        assert_eq!(
+            v.get("meta").and_then(|m| m.get("degraded")),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn admin_surface_reloads_and_drains() {
+        let ctx = ctx();
+        // Unknown admin path and wrong method are typed.
+        let req = HttpRequest {
+            method: "GET".into(),
+            path: "/admin/reload".into(),
+            body: String::new(),
+        };
+        assert_eq!(handle_admin(&ctx, &req).status, 405);
+        let req = HttpRequest {
+            method: "POST".into(),
+            path: "/admin/nope".into(),
+            body: String::new(),
+        };
+        assert_eq!(handle_admin(&ctx, &req).status, 404);
+        // Reload without a dir is a 400; with a bad dir a 500 that
+        // names the kept generation.
+        let req = HttpRequest {
+            method: "POST".into(),
+            path: "/admin/reload".into(),
+            body: "{}".into(),
+        };
+        assert_eq!(handle_admin(&ctx, &req).status, 400);
+        let req = HttpRequest {
+            method: "POST".into(),
+            path: "/admin/reload".into(),
+            body: "{\"dir\": \"/nonexistent/rsg-models\"}".into(),
+        };
+        let resp = handle_admin(&ctx, &req);
+        assert_eq!(resp.status, 500, "{}", resp.body);
+        assert!(resp.body.contains("generation 1 kept"), "{}", resp.body);
+        assert_eq!(ctx.store().generation(), 1);
+        // Drain acknowledges and flips the lifecycle.
+        let req = HttpRequest {
+            method: "POST".into(),
+            path: "/admin/drain".into(),
+            body: String::new(),
+        };
+        let resp = handle_admin(&ctx, &req);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(ctx.lifecycle().draining());
     }
 }

@@ -8,31 +8,52 @@
 //! - [`registry::ModelRegistry`] loads the size and heuristic models
 //!   through the same envelope-verified store path as the CLI, so a
 //!   served response is byte-identical to a CLI run over the same
-//!   files.
+//!   files. [`registry::ModelStore`] wraps it in a generation-stamped
+//!   holder so `/admin/reload` can swap in new models — validated
+//!   first, rolled back on any failure — without dropping a request.
 //! - [`server::Server`] is the acceptor + bounded-queue + worker-pool
-//!   loop; admission control answers 503 before a worker is tied up.
-//! - [`deadline::Deadline`] stamps every connection at accept and is
-//!   the crate's only wall-clock site; the budget covers queue wait
-//!   and seeds the negotiator's simulated-time deadline.
-//! - [`handlers`] routes `/spec`, `/predict`, `/lint`, `/metrics`
-//!   and `/healthz`, linting every submitted DAG with `rsg-analyze`
-//!   before serving it and mapping diagnostics onto structured 4xx
-//!   bodies.
+//!   loop; admission control answers 503 before a worker is tied up,
+//!   and an optional loopback-only admin listener speaks
+//!   `/admin/reload` and `/admin/drain`.
+//! - [`lifecycle::Lifecycle`] tracks running/draining plus the pending
+//!   request count, so a drain can refuse new work and provably finish
+//!   what is in flight before the process exits.
+//! - [`shed::ShedState`] grades queue-wait pressure into
+//!   normal/brownout/shed: expensive extras are disabled before any
+//!   request is refused, and refusals carry a `Retry-After` derived
+//!   from the observed drain rate.
+//! - [`deadline::Deadline`] stamps every connection at accept; the
+//!   budget covers queue wait, bounds the request *read* (slowloris
+//!   gets a 408), and seeds the negotiator's simulated-time deadline.
+//! - [`handlers`] routes `/spec`, `/predict`, `/lint`, `/metrics`,
+//!   `/healthz` and `/readyz`, linting every submitted DAG with
+//!   `rsg-analyze` before serving it and mapping diagnostics onto
+//!   structured 4xx bodies.
+//! - [`chaostcp`] is the seeded socket-level chaos harness that
+//!   drives all of the above hostile paths against a real daemon
+//!   (`bench_serve --chaos`, and the CI chaos-smoke step).
 //!
-//! The wire format is documented in `docs/API.md`; running and tuning
-//! a server is documented in `docs/OPERATIONS.md`.
+//! The wire format is documented in `docs/API.md`; running, draining,
+//! reloading and tuning a server is documented in
+//! `docs/OPERATIONS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaostcp;
 pub mod deadline;
 pub mod handlers;
 pub mod http;
+pub mod lifecycle;
 pub mod registry;
 pub mod server;
+pub mod shed;
 
+pub use chaostcp::{ChaosConfig, ChaosReport};
 pub use deadline::Deadline;
 pub use handlers::ServerContext;
 pub use http::{HttpRequest, HttpResponse};
-pub use registry::ModelRegistry;
+pub use lifecycle::{Lifecycle, ServiceState};
+pub use registry::{Generation, ModelRegistry, ModelStore, ReloadOutcome};
 pub use server::{ServeConfig, Server};
+pub use shed::{ShedLevel, ShedState};

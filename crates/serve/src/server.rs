@@ -1,18 +1,26 @@
-//! The serving loop: acceptor, bounded admission queue, worker pool.
+//! The serving loop: acceptor, bounded admission queue, worker pool,
+//! and the loopback-only admin surface.
 //!
 //! One acceptor thread stamps each accepted connection with a
 //! [`Deadline`] and pushes it onto a bounded queue
-//! (`std::sync::mpsc::sync_channel`). When the queue is full the
-//! acceptor answers a canned 503 with `Retry-After` itself — admission
-//! control happens *before* a worker is tied up. Workers pull
-//! connections off the shared queue, re-check the deadline (a request
-//! may have spent its whole budget queued), parse, handle, respond,
-//! and close. Shutdown is cooperative: flip the stop flag, then poke
-//! the acceptor with a self-connection so `accept()` returns.
+//! (`std::sync::mpsc::sync_channel`). When the queue is full — or the
+//! process is draining — the acceptor answers a canned 503 with
+//! `Retry-After` itself — admission control happens *before* a worker
+//! is tied up. Workers pull connections off the shared queue, re-check
+//! the deadline (a request may have spent its whole budget queued),
+//! parse under that deadline (so a slowloris drip gets a 408, not a
+//! held worker), handle, respond, feed the shed EWMAs, and close.
+//!
+//! The optional admin listener binds a **loopback-only** address and
+//! speaks two verbs: `POST /admin/reload` (hot model swap with
+//! rollback) and `POST /admin/drain` (stop admissions, finish what is
+//! in flight, then exit through the same cooperative shutdown the stop
+//! flag drives). Shutdown is cooperative: flip the stop flag, then
+//! poke the listeners with a self-connection so `accept()` returns.
 
 use crate::deadline::Deadline;
 use crate::handlers::{self, ServerContext};
-use crate::http::{read_request, write_response, HttpError};
+use crate::http::{read_request, read_request_with_deadline, write_response, HttpError};
 use crate::registry::ModelRegistry;
 use rsg_obs::{Counter, TimingHistogram};
 use std::io;
@@ -27,11 +35,16 @@ static ACCEPTED: Counter = Counter::new("serve.accepted");
 static ACCEPT_ERRORS: Counter = Counter::new("serve.accept_errors");
 static WORKER_PANICS: Counter = Counter::new("serve.panics");
 static REJECTED_QUEUE_FULL: Counter = Counter::new("serve.rejected.queue_full");
+static REJECTED_DRAINING: Counter = Counter::new("serve.rejected.draining");
 static RESP_OK: Counter = Counter::new("serve.responses.ok");
 static RESP_CLIENT_ERROR: Counter = Counter::new("serve.responses.client_error");
 static RESP_SERVER_ERROR: Counter = Counter::new("serve.responses.server_error");
 static QUEUE_WAIT: TimingHistogram = TimingHistogram::new("serve.latency.queue_wait");
 static REQUEST_LATENCY: TimingHistogram = TimingHistogram::new("serve.latency.request");
+
+/// Largest accepted admin request body (a reload body is one short
+/// path; anything bigger is hostile).
+const ADMIN_MAX_BODY: usize = 64 * 1024;
 
 /// Tunables for a serving process. The defaults match what
 /// `rsg serve` uses when the flags are omitted; `docs/OPERATIONS.md`
@@ -41,6 +54,10 @@ pub struct ServeConfig {
     /// Listen address, e.g. `127.0.0.1:7878`. Port `0` picks an
     /// ephemeral port (used by tests and the benchmark).
     pub addr: String,
+    /// Admin listen address (`/admin/reload`, `/admin/drain`). Must
+    /// resolve to a loopback IP; `None` disables the admin surface
+    /// entirely (the PR 7 behavior).
+    pub admin_addr: Option<String>,
     /// Worker threads handling requests.
     pub workers: usize,
     /// Admission queue depth; connections beyond this are answered
@@ -51,37 +68,57 @@ pub struct ServeConfig {
     pub default_deadline_s: f64,
     /// Largest accepted request body, bytes.
     pub max_body_bytes: usize,
+    /// Smoothed queue wait (seconds) at which the brownout level
+    /// disables expensive extras. `0` disables brownout.
+    pub brownout_at_s: f64,
+    /// Smoothed queue wait (seconds) at which model endpoints are shed
+    /// with 503 + adaptive `Retry-After`. `0` disables shedding.
+    pub shed_at_s: f64,
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:7878".to_string(),
+            admin_addr: None,
             workers: 4,
             queue_depth: 64,
             default_deadline_s: 30.0,
             max_body_bytes: 1 << 20,
+            brownout_at_s: handlers::DEFAULT_BROWNOUT_AT_S,
+            shed_at_s: handlers::DEFAULT_SHED_AT_S,
         }
     }
 }
 
-/// A running server: the acceptor plus its worker pool.
+/// A running server: the acceptor plus its worker pool, and the admin
+/// listener when one is configured.
 pub struct Server {
     addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
+    ctx: Arc<ServerContext>,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    admin: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds the listen socket, spawns the pool, and returns
+    /// Binds the listen socket(s), spawns the pool, and returns
     /// immediately. Enables `rsg-obs` recording so the `serve.*`
-    /// metrics behind `/metrics` are live.
+    /// metrics behind `/metrics` are live. Fails if `admin_addr` is
+    /// set and does not resolve to a loopback IP — the admin surface
+    /// must never be reachable off-host.
     pub fn spawn(cfg: &ServeConfig, registry: ModelRegistry) -> io::Result<Server> {
         rsg_obs::enable(true);
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let ctx = Arc::new(ServerContext::new(registry, cfg.default_deadline_s));
+        let ctx = Arc::new(ServerContext::with_shedding(
+            registry,
+            cfg.default_deadline_s,
+            cfg.brownout_at_s,
+            cfg.shed_at_s,
+        ));
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = std::sync::mpsc::sync_channel::<(TcpStream, Deadline)>(cfg.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
@@ -96,14 +133,42 @@ impl Server {
 
         let acceptor = {
             let stop = Arc::clone(&stop);
+            let ctx = Arc::clone(&ctx);
             let default_deadline_s = cfg.default_deadline_s;
-            std::thread::spawn(move || accept_loop(&listener, &tx, &stop, default_deadline_s))
+            std::thread::spawn(move || accept_loop(&listener, &tx, &stop, &ctx, default_deadline_s))
+        };
+
+        let (admin_addr, admin) = match &cfg.admin_addr {
+            Some(spec) => {
+                let admin_listener = TcpListener::bind(spec)?;
+                let bound = admin_listener.local_addr()?;
+                if !bound.ip().is_loopback() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("admin address {bound} is not loopback; refusing to expose admin endpoints"),
+                    ));
+                }
+                let stop = Arc::clone(&stop);
+                let ctx = Arc::clone(&ctx);
+                // In-flight requests are bounded by their own deadlines;
+                // the drain waits that out plus write slack, then stops
+                // regardless so a wedged worker cannot pin the process.
+                let drain_wait = Duration::from_secs_f64(cfg.default_deadline_s.max(1.0) + 5.0);
+                let handle = std::thread::spawn(move || {
+                    admin_loop(&admin_listener, &ctx, &stop, addr, drain_wait);
+                });
+                (Some(bound), Some(handle))
+            }
+            None => (None, None),
         };
 
         Ok(Server {
             addr,
+            admin_addr,
+            ctx,
             stop,
             acceptor: Some(acceptor),
+            admin,
             workers,
         })
     }
@@ -113,17 +178,32 @@ impl Server {
         self.addr
     }
 
+    /// The bound admin address, when the admin surface is enabled.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
+    }
+
+    /// The shared serving context (lifecycle, model store, shed state).
+    pub fn context(&self) -> &Arc<ServerContext> {
+        &self.ctx
+    }
+
     /// Stops accepting, drains the pool, and joins every thread.
     /// Idempotent.
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the acceptor out of `accept()` with a throwaway
-        // connection; ignore failure (the listener may already be
-        // gone).
+        // Wake the listeners out of `accept()` with throwaway
+        // connections; ignore failure (they may already be gone).
         let _ = TcpStream::connect(self.addr);
+        if let Some(admin) = self.admin_addr {
+            let _ = TcpStream::connect(admin);
+        }
         if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.admin.take() {
             let _ = h.join();
         }
         // The acceptor dropped `tx` on exit, so workers see the
@@ -133,10 +213,14 @@ impl Server {
         }
     }
 
-    /// Blocks until the server is shut down from another thread (or
-    /// the process dies). Used by the `rsg serve` CLI foreground path.
+    /// Blocks until the server is shut down from another thread, a
+    /// drain completes, or the process dies. Used by the `rsg serve`
+    /// CLI foreground path.
     pub fn join(mut self) {
         if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.admin.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -155,6 +239,7 @@ fn accept_loop(
     listener: &TcpListener,
     tx: &SyncSender<(TcpStream, Deadline)>,
     stop: &AtomicBool,
+    ctx: &ServerContext,
     default_deadline_s: f64,
 ) {
     loop {
@@ -173,10 +258,23 @@ fn accept_loop(
             return;
         }
         ACCEPTED.incr();
+        // Draining: refuse admission before the request touches the
+        // queue, so the pending count can only fall and the drain
+        // terminates.
+        if ctx.lifecycle().draining() {
+            REJECTED_DRAINING.incr();
+            RESP_SERVER_ERROR.incr();
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let _ = write_response(&mut stream, &handlers::draining_response());
+            continue;
+        }
         let deadline = Deadline::start(default_deadline_s);
+        ctx.lifecycle().admit();
         match tx.try_send((stream, deadline)) {
             Ok(()) => {}
             Err(TrySendError::Full((mut stream, _))) => {
+                ctx.lifecycle().retract();
                 REJECTED_QUEUE_FULL.incr();
                 RESP_SERVER_ERROR.incr();
                 // This write happens on the acceptor thread; a client
@@ -185,7 +283,10 @@ fn accept_loop(
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
                 let _ = write_response(&mut stream, &handlers::overload_response());
             }
-            Err(TrySendError::Disconnected(_)) => return,
+            Err(TrySendError::Disconnected(_)) => {
+                ctx.lifecycle().retract();
+                return;
+            }
         }
     }
 }
@@ -200,7 +301,9 @@ fn worker_loop(rx: &Mutex<Receiver<(TcpStream, Deadline)>>, ctx: &ServerContext,
         let Ok((mut stream, deadline)) = next else {
             return; // channel closed: shutdown
         };
-        QUEUE_WAIT.record_secs(deadline.elapsed_s());
+        let wait_s = deadline.elapsed_s();
+        QUEUE_WAIT.record_secs(wait_s);
+        ctx.shed().observe_queue_wait(wait_s);
         // A panic in handler code (fed attacker-controlled input) must
         // not kill the worker: catch it, answer 500, keep serving.
         // `AssertUnwindSafe` is fine here because the stream is closed
@@ -213,6 +316,11 @@ fn worker_loop(rx: &Mutex<Receiver<(TcpStream, Deadline)>>, ctx: &ServerContext,
             RESP_SERVER_ERROR.incr();
             let _ = write_response(&mut stream, &handlers::panic_response());
         }
+        ctx.shed().observe_service(deadline.elapsed_s() - wait_s);
+        // Exactly one finish per dequeued connection — served, shed,
+        // timed out, or panicked — so `pending == 0` really means
+        // drained.
+        ctx.lifecycle().finish();
         REQUEST_LATENCY.record_secs(deadline.elapsed_s());
     }
 }
@@ -231,15 +339,15 @@ fn serve_connection(
         let _ = write_response(stream, &handlers::queue_deadline_response(deadline));
         return;
     }
-    // Socket timeouts bound how long a slow or stalled client can
-    // hold a worker: the remaining request budget, floored at 1 s so
-    // a nearly-spent deadline still gets a clean 504 over a cut
-    // connection.
+    // Socket timeouts bound how long any single read can stall; the
+    // deadline check between reads inside the request reader bounds
+    // the *total* drip time, so a slowloris client gets a 408 when the
+    // budget runs out even if every individual byte arrives "in time".
     let io_budget = Duration::from_secs_f64(deadline.remaining_s().max(1.0));
     let _ = stream.set_read_timeout(Some(io_budget));
     let _ = stream.set_write_timeout(Some(io_budget));
 
-    let resp = match read_request(stream, max_body) {
+    let resp = match read_request_with_deadline(stream, max_body, Some(deadline)) {
         Ok(req) => handlers::handle(ctx, &req, deadline),
         Err(HttpError::Io(_)) => {
             // The client went away; nothing useful to write.
@@ -254,6 +362,56 @@ fn serve_connection(
         _ => RESP_SERVER_ERROR.incr(),
     }
     let _ = write_response(stream, &resp);
+}
+
+/// The admin surface: one thread, loopback only, two verbs. A drain
+/// request is acknowledged first; then this thread waits for the
+/// pending count to hit zero (bounded by `drain_wait`) and flips the
+/// same stop flag [`Server::shutdown`] uses, so a drained process
+/// exits through the ordinary cooperative path.
+fn admin_loop(
+    listener: &TcpListener,
+    ctx: &ServerContext,
+    stop: &AtomicBool,
+    main_addr: SocketAddr,
+    drain_wait: Duration,
+) {
+    loop {
+        let Ok((mut stream, peer)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            ACCEPT_ERRORS.incr();
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Belt and braces on top of the loopback bind: a connection
+        // that somehow arrives from off-host is dropped unanswered.
+        if !peer.ip().is_loopback() {
+            continue;
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let resp = match read_request(&mut stream, ADMIN_MAX_BODY) {
+            Ok(req) => handlers::handle_admin(ctx, &req),
+            Err(HttpError::Io(_)) => continue,
+            Err(e) => handlers::bad_request_response(&e),
+        };
+        let _ = write_response(&mut stream, &resp);
+        drop(stream);
+        if ctx.lifecycle().draining() {
+            // The acceptor is already refusing admissions; once the
+            // in-flight work is gone (or the bounded wait expires),
+            // stop the process cleanly.
+            ctx.lifecycle().await_drained(drain_wait);
+            stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(main_addr);
+            return;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +440,18 @@ mod tests {
     fn get(addr: SocketAddr, path: &str) -> (u16, String) {
         let mut s = TcpStream::connect(addr).unwrap();
         write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        read_reply(&mut s)
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(
+            s,
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
         read_reply(&mut s)
     }
 
@@ -334,6 +504,8 @@ mod tests {
         // The lone worker is still alive and serving.
         let (status, _) = get(server.addr(), "/healthz");
         assert_eq!(status, 200);
+        // And the panic path kept the lifecycle accounting balanced.
+        assert_eq!(server.context().lifecycle().pending(), 0);
     }
 
     #[test]
@@ -346,16 +518,96 @@ mod tests {
         let server = Server::spawn(&cfg, test_registry()).unwrap();
         let body = "{\"characteristics\": {\"size\": 100, \"ccr\": 0.2, \"parallelism\": 0.6, \
                     \"density\": 0.5, \"regularity\": 0.7, \"mean_comp\": 25}}";
-        let mut s = TcpStream::connect(server.addr()).unwrap();
-        write!(
-            s,
-            "POST /spec HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
-            body.len(),
-            body
-        )
-        .unwrap();
-        let (status, reply) = read_reply(&mut s);
+        let (status, reply) = post(server.addr(), "/spec", body);
         assert_eq!(status, 200, "{reply}");
         assert!(reply.contains("\"rc_size\""), "{reply}");
+    }
+
+    #[test]
+    fn slow_header_drip_is_a_408_not_a_hang() {
+        // A short default deadline so the test is quick; the drip
+        // keeps each single read under the socket timeout, so only the
+        // deadline re-check inside the reader can catch it.
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            default_deadline_s: 1.0,
+            ..ServeConfig::default()
+        };
+        let server = Server::spawn(&cfg, test_registry()).unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        write!(s, "GET /healthz HT").unwrap();
+        for _ in 0..8 {
+            std::thread::sleep(Duration::from_millis(250));
+            if write!(s, "T").is_err() {
+                break; // server already gave up on us — also fine
+            }
+        }
+        let mut raw = String::new();
+        let _ = s.read_to_string(&mut raw);
+        assert!(
+            raw.starts_with("HTTP/1.1 408") || raw.is_empty(),
+            "expected 408 or a clean close, got: {raw}"
+        );
+        // The lone worker survived and is serving again.
+        let (status, _) = get(server.addr(), "/healthz");
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn admin_surface_reloads_and_refuses_non_loopback_bind() {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            admin_addr: Some("127.0.0.1:0".to_string()),
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::spawn(&cfg, test_registry()).unwrap();
+        let admin = server.admin_addr().expect("admin surface bound");
+        // Admin endpoints do not exist on the public port…
+        let (status, _) = post(server.addr(), "/admin/drain", "");
+        assert_eq!(status, 404);
+        // …and a failed reload on the admin port keeps generation 1.
+        let (status, body) = post(admin, "/admin/reload", "{\"dir\": \"/nonexistent\"}");
+        assert_eq!(status, 500, "{body}");
+        assert_eq!(server.context().store().generation(), 1);
+        // A non-loopback admin bind is refused outright.
+        let bad = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            admin_addr: Some("0.0.0.0:0".to_string()),
+            ..ServeConfig::default()
+        };
+        assert!(Server::spawn(&bad, test_registry()).is_err());
+    }
+
+    #[test]
+    fn drain_refuses_new_work_finishes_in_flight_and_exits() {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            admin_addr: Some("127.0.0.1:0".to_string()),
+            workers: 2,
+            default_deadline_s: 5.0,
+            ..ServeConfig::default()
+        };
+        let server = Server::spawn(&cfg, test_registry()).unwrap();
+        let admin = server.admin_addr().unwrap();
+        let addr = server.addr();
+        let (status, body) = post(admin, "/admin/drain", "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"draining\": true"), "{body}");
+        // New work is refused with a 503 while the drain completes
+        // (the acceptor may also already be gone — both are clean).
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = write!(s, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            let mut raw = String::new();
+            let _ = s.read_to_string(&mut raw);
+            assert!(
+                raw.is_empty() || raw.starts_with("HTTP/1.1 503"),
+                "got: {raw}"
+            );
+        }
+        // The whole server exits by itself — join() returns.
+        server.join();
     }
 }

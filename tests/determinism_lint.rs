@@ -17,7 +17,8 @@ use std::path::{Path, PathBuf};
 const INSTANT_ALLOWLIST: &[&str] = &[
     "crates/bench/src/bin/bench_serve.rs", // load-generator latency timing
     "crates/bench/src/bin/bench_sweep.rs", // bench wall-time reporting
-    "crates/serve/src/deadline.rs",        // request deadline stamping (sole serve clock site)
+    "crates/serve/src/deadline.rs",        // request deadline stamping
+    "crates/serve/src/lifecycle.rs",       // drain-completion timeout wait
     "crates/core/src/store.rs",            // write-duration telemetry
     "crates/obs/src/lib.rs",               // span/report timing
     "crates/obs/src/span.rs",              // span timing

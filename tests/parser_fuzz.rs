@@ -10,6 +10,31 @@ use rsg::core::store;
 use rsg::select::classad::parse_classad;
 use rsg::select::sword::parse_sword;
 use rsg::select::vgdl::parse_vgdl;
+use rsg::serve::http::read_request;
+use std::io::Read as IoRead;
+
+/// Serves a byte buffer in fixed-size fragments, so the HTTP reader
+/// sees torn request lines and CRLF pairs split across reads — the
+/// same shapes a hostile or merely slow TCP peer produces.
+struct Torn<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    chunk: usize,
+}
+
+impl IoRead for Torn<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self
+            .bytes
+            .len()
+            .saturating_sub(self.at)
+            .min(self.chunk)
+            .min(buf.len());
+        buf[..n].copy_from_slice(&self.bytes[self.at..self.at + n]);
+        self.at += n;
+        Ok(n)
+    }
+}
 
 /// A valid single-table knee document (built once, deterministically).
 fn valid_knee_doc() -> String {
@@ -121,6 +146,55 @@ proptest! {
         let _ = rsg::core::SweepJournal::verify(&path);
         std::fs::write(&path, format!("rsg-sweep-journal\tv1\tdeadbeef\t2\n{s}")).unwrap();
         let _ = rsg::core::SweepJournal::verify(&path);
+    }
+
+    #[test]
+    fn http_reader_never_panics_on_garbage(
+        s in "[ -~\\r\\n\\t]{0,400}",
+        chunk in 1usize..9,
+    ) {
+        // Arbitrary printable bytes, delivered whole and in torn
+        // fragments: the request reader must return a typed HttpError
+        // or a request — never panic, never loop.
+        let _ = read_request(&mut s.as_bytes(), 1024);
+        let mut torn = Torn { bytes: s.as_bytes(), at: 0, chunk };
+        let _ = read_request(&mut torn, 1024);
+    }
+
+    #[test]
+    fn http_reader_never_panics_on_mutated_valid_requests(
+        cut in 0usize..120,
+        insert in "[ -~]{0,10}",
+        chunk in 1usize..9,
+        content_length in "[0-9]{0,24}",
+    ) {
+        let body = "{\"dag\": \"x\"}";
+        let valid = format!(
+            "POST /spec HTTP/1.1\r\nHost: f\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        // Splice garbage into a valid request, and separately truncate
+        // it at an arbitrary byte: both must classify cleanly.
+        let cut = cut.min(valid.len());
+        let mutated = format!("{}{}{}", &valid[..cut], insert, &valid[cut..]);
+        for text in [mutated.as_str(), &valid[..cut]] {
+            let _ = read_request(&mut text.as_bytes(), 1024);
+            let mut torn = Torn { bytes: text.as_bytes(), at: 0, chunk };
+            let _ = read_request(&mut torn, 1024);
+        }
+        // Oversized and unparseable Content-Length values: huge decimal
+        // strings must yield TooLarge or Malformed, never an attempt to
+        // allocate the declared size.
+        let evil = format!(
+            "POST /spec HTTP/1.1\r\nHost: f\r\nContent-Length: {content_length}\r\n\r\nx"
+        );
+        match read_request(&mut evil.as_bytes(), 1024) {
+            Ok(req) => prop_assert!(req.body.len() <= 1024),
+            Err(e) => {
+                let shown = format!("{e}");
+                prop_assert!(!shown.is_empty());
+            }
+        }
     }
 
     #[test]

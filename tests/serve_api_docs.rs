@@ -116,31 +116,53 @@ fn request(addr: SocketAddr, ex: &CurlExample) -> (u16, String) {
 fn every_curl_example_in_api_md_replays_with_its_documented_status() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let doc = std::fs::read_to_string(root.join("docs/API.md")).expect("docs/API.md");
-    let examples = parse_examples(&doc);
+    let mut examples = parse_examples(&doc);
     assert!(
         examples.len() >= 6,
         "expected at least one example per endpoint, found {examples:?}"
     );
     let endpoints: Vec<&str> = examples.iter().map(|e| e.path.as_str()).collect();
-    for required in ["/healthz", "/spec", "/predict", "/lint", "/metrics"] {
+    for required in [
+        "/healthz",
+        "/readyz",
+        "/spec",
+        "/predict",
+        "/lint",
+        "/metrics",
+        "/admin/reload",
+        "/admin/drain",
+    ] {
         assert!(
             endpoints.contains(&required),
             "API.md has no curl example for {required}"
         );
     }
 
+    // `/admin/drain` shuts the daemon down, so it must replay last —
+    // regardless of where the doc places its section.
+    examples.sort_by_key(|e| e.path == "/admin/drain");
+
     // The examples run against the shipped pre-trained model, exactly
-    // as the doc's `--models models` invocation would.
+    // as the doc's `--models models --admin-addr …` invocation would.
     let registry =
         ModelRegistry::load(&root.join("models")).expect("shipped models/ directory loads");
     let cfg = ServeConfig {
         addr: "127.0.0.1:0".to_string(),
+        admin_addr: Some("127.0.0.1:0".to_string()),
         workers: 2,
         ..ServeConfig::default()
     };
-    let mut server = Server::spawn(&cfg, registry).expect("server boots");
+    let server = Server::spawn(&cfg, registry).expect("server boots");
+    let admin = server.admin_addr().expect("admin listener bound");
     for ex in &examples {
-        let (status, body) = request(server.addr(), ex);
+        // The doc uses port 7878 for serving and 7879 for admin; the
+        // replay routes by path instead of trusting the example port.
+        let addr = if ex.path.starts_with("/admin/") {
+            admin
+        } else {
+            server.addr()
+        };
+        let (status, body) = request(addr, ex);
         assert_eq!(
             status, ex.expect,
             "API.md line {}: {} {} answered {status}, doc says {} — body: {body}",
@@ -152,5 +174,7 @@ fn every_curl_example_in_api_md_replays_with_its_documented_status() {
             ex.line_no
         );
     }
-    server.shutdown();
+    // The drain example just ran: the daemon must now wind itself
+    // down without any call to shutdown().
+    server.join();
 }

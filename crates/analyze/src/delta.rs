@@ -1,0 +1,353 @@
+//! Lints over live platform-delta batches.
+//!
+//! The serving tier validates every `/admin/platform` batch here
+//! *before* the push engine applies it: a batch that fails any
+//! error-level delta lint is refused wholesale (422, rolled back), so
+//! a corrupt or hostile delta can never mutate the tracked platform.
+//!
+//! Delta lints are deliberately **not** part of the spec/DAG
+//! [`Code`](crate::Code) taxonomy — those codes describe documents a
+//! user submits for analysis, each with a seeded defect fixture in the
+//! lint corpus. Delta diagnostics describe an operator-facing admin
+//! payload and carry their own `DELTA00x` code space.
+
+use rsg_core::push::DeltaRecord;
+use rsg_platform::delta::{DeltaError, PlatformDelta};
+use rsg_platform::{CostModel, Platform};
+use std::collections::BTreeMap;
+
+/// Stable codes for delta-batch diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaCode {
+    /// DELTA001 — a sequence number of zero (the stream starts at 1).
+    ZeroSeq,
+    /// DELTA002 — two records in one batch share a sequence number but
+    /// carry different payloads (same-payload duplicates are legal
+    /// idempotent redelivery).
+    ConflictingSeq,
+    /// DELTA003 — a delta names a cluster outside the platform.
+    UnknownCluster,
+    /// DELTA004 — host arithmetic would empty a cluster or exceed the
+    /// physical ceiling.
+    BadHostCount,
+    /// DELTA005 — a clock, bandwidth factor or price outside the
+    /// physical envelope (how a bit-flipped float usually presents).
+    BadValue,
+}
+
+impl DeltaCode {
+    /// The stable `DELTA00x` string for reports and error bodies.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeltaCode::ZeroSeq => "DELTA001",
+            DeltaCode::ConflictingSeq => "DELTA002",
+            DeltaCode::UnknownCluster => "DELTA003",
+            DeltaCode::BadHostCount => "DELTA004",
+            DeltaCode::BadValue => "DELTA005",
+        }
+    }
+}
+
+/// One finding over a delta batch. All delta diagnostics are
+/// error-severity: there is no "warn and apply anyway" for a payload
+/// that mutates the tracked platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaDiagnostic {
+    /// Stable code.
+    pub code: DeltaCode,
+    /// Which record (by sequence number) tripped the lint.
+    pub seq: u64,
+    /// What exactly is wrong, with the offending values.
+    pub detail: String,
+}
+
+fn code_for(e: &DeltaError) -> DeltaCode {
+    match e {
+        DeltaError::UnknownCluster(_) => DeltaCode::UnknownCluster,
+        DeltaError::BadHostCount(_) | DeltaError::HostUnderflow { .. } => DeltaCode::BadHostCount,
+        DeltaError::Parse(_)
+        | DeltaError::BadClock(_)
+        | DeltaError::BadFactor(_)
+        | DeltaError::BadPrice(_) => DeltaCode::BadValue,
+    }
+}
+
+/// Lints a delta batch against the current platform state.
+///
+/// `applied_seq` is the engine's highest contiguously applied sequence
+/// number: records at or below it are duplicates by definition and are
+/// skipped (idempotent redelivery is legal, not a lint). Records
+/// contiguous with the applied prefix are validated against a scratch
+/// copy of the platform with every earlier in-batch record already
+/// applied — so intra-batch arithmetic (join 5, then leave 3) checks
+/// against the state it will actually see. Records beyond a gap can
+/// only be checked structurally (cluster bounds and float envelopes);
+/// their host arithmetic is re-validated by the engine when the gap
+/// fills.
+pub fn lint_delta_batch(
+    records: &[DeltaRecord],
+    platform: &Platform,
+    applied_seq: u64,
+) -> Vec<DeltaDiagnostic> {
+    let mut out = Vec::new();
+    let mut by_seq: BTreeMap<u64, PlatformDelta> = BTreeMap::new();
+    for rec in records {
+        if rec.seq == 0 {
+            out.push(DeltaDiagnostic {
+                code: DeltaCode::ZeroSeq,
+                seq: 0,
+                detail: "sequence numbers start at 1".to_string(),
+            });
+            continue;
+        }
+        match by_seq.get(&rec.seq) {
+            Some(prev) if *prev != rec.delta => out.push(DeltaDiagnostic {
+                code: DeltaCode::ConflictingSeq,
+                seq: rec.seq,
+                detail: format!(
+                    "seq {} appears twice with different payloads ({} vs {})",
+                    rec.seq,
+                    prev.to_tsv(),
+                    rec.delta.to_tsv()
+                ),
+            }),
+            Some(_) => {} // identical duplicate: legal redelivery
+            None => {
+                by_seq.insert(rec.seq, rec.delta);
+            }
+        }
+    }
+
+    let mut scratch = platform.clone();
+    let mut cost = CostModel::default();
+    let mut next = applied_seq + 1;
+    for (&seq, delta) in &by_seq {
+        if seq <= applied_seq {
+            continue; // duplicate of already-applied history
+        }
+        if seq == next {
+            // Contiguous: full stateful validation via a scratch apply.
+            match delta.apply(&mut scratch, &mut cost) {
+                Ok(()) => next += 1,
+                Err(e) => out.push(DeltaDiagnostic {
+                    code: code_for(&e),
+                    seq,
+                    detail: e.to_string(),
+                }),
+            }
+        } else {
+            // Beyond a gap: structural checks only.
+            if let Err(e) = structural_check(delta, platform) {
+                out.push(DeltaDiagnostic {
+                    code: code_for(&e),
+                    seq,
+                    detail: e.to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The state-independent subset of delta validation: cluster index in
+/// range, floats inside the physical envelope, host counts non-zero.
+/// Host *arithmetic* (underflow/overflow against the live count) is
+/// skipped — the intervening gap records will have changed it.
+fn structural_check(delta: &PlatformDelta, platform: &Platform) -> Result<(), DeltaError> {
+    match *delta {
+        PlatformDelta::HostJoin { cluster, hosts }
+        | PlatformDelta::HostLeave { cluster, hosts } => {
+            if cluster.index() >= platform.clusters().len() {
+                return Err(DeltaError::UnknownCluster(cluster.0));
+            }
+            if hosts == 0 {
+                return Err(DeltaError::BadHostCount("count of 0".to_string()));
+            }
+            Ok(())
+        }
+        PlatformDelta::ClockDrift { .. }
+        | PlatformDelta::BandwidthDrift { .. }
+        | PlatformDelta::PriceChange { .. } => delta.validate(platform),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_platform::{ClusterId, ResourceGenSpec, TopologySpec};
+
+    fn platform() -> Platform {
+        Platform::generate(
+            ResourceGenSpec {
+                clusters: 8,
+                year: 2006,
+                target_hosts: Some(200),
+            },
+            TopologySpec::default(),
+            5,
+        )
+    }
+
+    fn rec(seq: u64, delta: PlatformDelta) -> DeltaRecord {
+        DeltaRecord { seq, delta }
+    }
+
+    #[test]
+    fn clean_batch_lints_silently() {
+        let p = platform();
+        let batch = [
+            rec(
+                1,
+                PlatformDelta::HostJoin {
+                    cluster: ClusterId(0),
+                    hosts: 2,
+                },
+            ),
+            rec(
+                2,
+                PlatformDelta::PriceChange {
+                    dollars_per_hour: 0.2,
+                },
+            ),
+        ];
+        assert!(lint_delta_batch(&batch, &p, 0).is_empty());
+    }
+
+    #[test]
+    fn every_code_trips() {
+        let p = platform();
+        let cases: Vec<(DeltaCode, Vec<DeltaRecord>)> = vec![
+            (
+                DeltaCode::ZeroSeq,
+                vec![rec(
+                    0,
+                    PlatformDelta::PriceChange {
+                        dollars_per_hour: 0.2,
+                    },
+                )],
+            ),
+            (
+                DeltaCode::ConflictingSeq,
+                vec![
+                    rec(
+                        1,
+                        PlatformDelta::PriceChange {
+                            dollars_per_hour: 0.2,
+                        },
+                    ),
+                    rec(
+                        1,
+                        PlatformDelta::PriceChange {
+                            dollars_per_hour: 0.3,
+                        },
+                    ),
+                ],
+            ),
+            (
+                DeltaCode::UnknownCluster,
+                vec![rec(
+                    1,
+                    PlatformDelta::HostJoin {
+                        cluster: ClusterId(999),
+                        hosts: 1,
+                    },
+                )],
+            ),
+            (
+                DeltaCode::BadHostCount,
+                vec![rec(
+                    1,
+                    PlatformDelta::HostLeave {
+                        cluster: ClusterId(0),
+                        hosts: u32::MAX,
+                    },
+                )],
+            ),
+            (
+                DeltaCode::BadValue,
+                vec![rec(
+                    1,
+                    PlatformDelta::ClockDrift {
+                        cluster: ClusterId(0),
+                        clock_mhz: -5.0,
+                    },
+                )],
+            ),
+        ];
+        for (code, batch) in cases {
+            let diags = lint_delta_batch(&batch, &p, 0);
+            assert!(
+                diags.iter().any(|d| d.code == code),
+                "{code:?} should trip: {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_of_applied_history_are_legal() {
+        let p = platform();
+        let batch = [rec(
+            3,
+            PlatformDelta::HostLeave {
+                cluster: ClusterId(0),
+                hosts: u32::MAX, // would be invalid, but seq ≤ applied
+            },
+        )];
+        assert!(lint_delta_batch(&batch, &p, 5).is_empty());
+    }
+
+    #[test]
+    fn intra_batch_arithmetic_checks_against_staged_state() {
+        let p = platform();
+        let hosts = p.clusters()[2].hosts;
+        // Join 5 then leave (hosts + 4): only valid because the join
+        // lands first in the staged state.
+        let batch = [
+            rec(
+                1,
+                PlatformDelta::HostJoin {
+                    cluster: ClusterId(2),
+                    hosts: 5,
+                },
+            ),
+            rec(
+                2,
+                PlatformDelta::HostLeave {
+                    cluster: ClusterId(2),
+                    hosts: hosts + 4,
+                },
+            ),
+        ];
+        assert!(lint_delta_batch(&batch, &p, 0).is_empty());
+        // Without the join, the leave must trip BadHostCount.
+        let diags = lint_delta_batch(&batch[1..], &p, 1);
+        assert!(diags.iter().any(|d| d.code == DeltaCode::BadHostCount));
+    }
+
+    #[test]
+    fn gapped_records_get_structural_checks_only() {
+        let p = platform();
+        let batch = [
+            // seq 5 with applied_seq 0: beyond the gap. Host arithmetic
+            // is deferred, but a bad cluster or float still trips.
+            rec(
+                5,
+                PlatformDelta::HostLeave {
+                    cluster: ClusterId(0),
+                    hosts: u32::MAX,
+                },
+            ),
+            rec(
+                6,
+                PlatformDelta::BandwidthDrift {
+                    cluster: ClusterId(999),
+                    factor: 0.5,
+                },
+            ),
+        ];
+        let diags = lint_delta_batch(&batch, &p, 0);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DeltaCode::UnknownCluster);
+        assert_eq!(diags[0].seq, 6);
+    }
+}

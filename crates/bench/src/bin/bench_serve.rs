@@ -23,12 +23,15 @@
 //! ```
 //!
 //! Without `--target` it boots an in-process daemon. With `--admin`
-//! (and `--reload-dir`) it also runs a reload-under-load cycle —
-//! concurrent `/spec` clients must see zero failures across repeated
-//! `/admin/reload`s, including a deliberately bad model dir that must
-//! roll back — and, with `--drain`, finishes by draining the daemon.
-//! Exits nonzero on any contract violation, which is what the CI
-//! chaos-smoke step keys off.
+//! it also runs (a) a reload-under-load cycle when `--reload-dir` is
+//! given — concurrent `/spec` clients must see zero failures across
+//! repeated `/admin/reload`s, including a deliberately bad model dir
+//! that must roll back — and (b) the delta-stream fault scenarios
+//! against `/admin/platform`: corrupt record, duplicate flood,
+//! out-of-order burst, and deltas landing mid-reload, after which the
+//! daemon must still be alive and fully convergent. With `--drain` it
+//! finishes by draining the daemon. Exits nonzero on any contract
+//! violation, which is what the CI chaos-smoke step keys off.
 
 use rsg_bench::report::Table;
 use rsg_core::curve::CurveConfig;
@@ -144,6 +147,11 @@ fn checked_request(addr: SocketAddr) -> Result<(), String> {
 
 /// POST to the admin surface; returns the status line.
 fn admin_post(addr: SocketAddr, path: &str, body: &str) -> Result<String, String> {
+    admin_post_full(addr, path, body).map(|(status, _)| status)
+}
+
+/// POST to the admin surface; returns (status line, body).
+fn admin_post_full(addr: SocketAddr, path: &str, body: &str) -> Result<(String, String), String> {
     let mut s = TcpStream::connect(addr).map_err(|e| format!("connect admin: {e}"))?;
     s.set_read_timeout(Some(std::time::Duration::from_secs(60)))
         .map_err(|e| format!("timeout: {e}"))?;
@@ -157,7 +165,147 @@ fn admin_post(addr: SocketAddr, path: &str, body: &str) -> Result<String, String
     let mut reply = String::new();
     s.read_to_string(&mut reply)
         .map_err(|e| format!("read: {e}"))?;
-    Ok(reply.lines().next().unwrap_or("").to_string())
+    let status = reply.lines().next().unwrap_or("").to_string();
+    let body = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// One price-change delta batch body (cheap: dirties no sweep cells,
+/// so the scenarios stress the delta pipeline, not the kernel).
+fn price_batch(seqs: &[u64]) -> String {
+    let deltas: Vec<String> = seqs
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"seq\": {s}, \"delta\": \"price\\t0.{:02}\"}}",
+                10 + s % 80
+            )
+        })
+        .collect();
+    format!("{{\"deltas\": [{}]}}", deltas.join(", "))
+}
+
+/// Delta-stream fault scenarios against a live daemon's
+/// `/admin/platform`: a corrupt record (422, nothing applied), a
+/// duplicate flood (idempotent), an out-of-order burst (parked then
+/// drained), and deltas landing during `/admin/reload`s. The daemon
+/// must stay alive and end fully convergent (lag 0). Assumes a fresh
+/// daemon (delta sequence starts at 1). Returns violations.
+fn delta_scenarios(addr: SocketAddr, admin: SocketAddr, reload_dir: Option<&str>) -> Vec<String> {
+    let mut violations = Vec::new();
+    fn check(
+        violations: &mut Vec<String>,
+        name: &str,
+        got: Result<(String, String), String>,
+        want: &str,
+        body_has: &str,
+    ) {
+        match got {
+            Ok((status, body)) if status.starts_with(want) && body.contains(body_has) => {}
+            Ok((status, body)) => violations.push(format!(
+                "{name}: got '{status}' body '{}', want '{want}' containing '{body_has}'",
+                body.chars().take(200).collect::<String>()
+            )),
+            Err(e) => violations.push(format!("{name}: {e}")),
+        }
+    }
+
+    // Corrupt record: refused wholesale, nothing applied.
+    check(
+        &mut violations,
+        "corrupt-record",
+        admin_post_full(
+            admin,
+            "/admin/platform",
+            "{\"deltas\": [{\"seq\": 1, \"delta\": \"price\\tNaN\"}]}",
+        ),
+        "HTTP/1.1 422",
+        "DELTA",
+    );
+
+    // Duplicate flood: the same two records, many times over.
+    check(
+        &mut violations,
+        "duplicate-flood-first",
+        admin_post_full(admin, "/admin/platform", &price_batch(&[1, 2])),
+        "HTTP/1.1 200",
+        "\"applied\": 2",
+    );
+    for i in 0..10 {
+        check(
+            &mut violations,
+            &format!("duplicate-flood-{i}"),
+            admin_post_full(admin, "/admin/platform", &price_batch(&[1, 2])),
+            "HTTP/1.1 200",
+            "\"duplicates\": 2",
+        );
+    }
+
+    // Out-of-order burst: 5 and 4 park, 3 drains the chain.
+    check(
+        &mut violations,
+        "out-of-order-park",
+        admin_post_full(admin, "/admin/platform", &price_batch(&[5, 4])),
+        "HTTP/1.1 200",
+        "\"parked\": 2",
+    );
+    check(
+        &mut violations,
+        "out-of-order-drain",
+        admin_post_full(admin, "/admin/platform", &price_batch(&[3])),
+        "HTTP/1.1 200",
+        "\"resynced\": true",
+    );
+
+    // Deltas during reloads: both admin verbs interleaved must all
+    // succeed, and the stream must stay contiguous.
+    std::thread::scope(|scope| {
+        let reloads = scope.spawn(|| {
+            let mut local = Vec::new();
+            if let Some(dir) = reload_dir {
+                for i in 0..3 {
+                    match admin_post(admin, "/admin/reload", &format!("{{\"dir\": \"{dir}\"}}")) {
+                        Ok(status) if status.starts_with("HTTP/1.1 200") => {}
+                        other => local.push(format!("delta-during-reload reload {i}: {other:?}")),
+                    }
+                }
+            }
+            local
+        });
+        for seq in 6..=10u64 {
+            check(
+                &mut violations,
+                &format!("delta-during-reload-seq{seq}"),
+                admin_post_full(admin, "/admin/platform", &price_batch(&[seq])),
+                "HTTP/1.1 200",
+                "\"applied\": 1",
+            );
+        }
+        violations.extend(reloads.join().expect("reload thread"));
+    });
+
+    // Convergent and alive: lag 0 on the final stamp, /readyz green.
+    check(
+        &mut violations,
+        "final-convergence",
+        admin_post_full(admin, "/admin/platform", "{\"audit\": {\"sample\": 4}}"),
+        "HTTP/1.1 200",
+        "\"lag\": 0",
+    );
+    check(
+        &mut violations,
+        "final-audit-clean",
+        admin_post_full(admin, "/admin/platform", "{\"audit\": {\"sample\": 4}}"),
+        "HTTP/1.1 200",
+        "\"divergent\": 0",
+    );
+    if let Err(e) = checked_request(addr) {
+        violations.push(format!("daemon dead after delta scenarios: {e}"));
+    }
+    violations
 }
 
 /// Reload-under-load: concurrent `/spec` clients while `cycles`
@@ -277,15 +425,31 @@ fn chaos_main() -> i32 {
     eprint!("{}", report.render());
     let mut failed = !report.passed();
 
-    if let (Some(admin), Some(dir)) = (&admin, &reload_dir) {
+    if let Some(admin) = &admin {
         let admin: SocketAddr = admin.parse().expect("bad --admin address");
-        eprintln!("bench_serve --chaos: reload-under-load cycle against {admin}…");
-        let violations = reload_under_load(addr, admin, dir, 6);
+        if let Some(dir) = &reload_dir {
+            eprintln!("bench_serve --chaos: reload-under-load cycle against {admin}…");
+            let violations = reload_under_load(addr, admin, dir, 6);
+            if violations.is_empty() {
+                eprintln!("  ok   reload-under-load       6 cycle(s), zero dropped requests");
+            } else {
+                failed = true;
+                eprintln!("  FAIL reload-under-load");
+                for v in &violations {
+                    eprintln!("       - {v}");
+                }
+            }
+        }
+        eprintln!("bench_serve --chaos: delta-stream scenarios against {admin}…");
+        let violations = delta_scenarios(addr, admin, reload_dir.as_deref());
         if violations.is_empty() {
-            eprintln!("  ok   reload-under-load       6 cycle(s), zero dropped requests");
+            eprintln!(
+                "  ok   delta-stream           corrupt / duplicate-flood / out-of-order / \
+                 reload-interleave, convergent"
+            );
         } else {
             failed = true;
-            eprintln!("  FAIL reload-under-load");
+            eprintln!("  FAIL delta-stream");
             for v in &violations {
                 eprintln!("       - {v}");
             }

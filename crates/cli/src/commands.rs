@@ -589,8 +589,10 @@ pub fn train_heuristic(args: &mut Args, out: &mut dyn Write) -> Result<(), CliEr
 
 /// `rsg store verify PATH...` — read-only integrity check of persisted
 /// artifacts: envelope magic/version/length/checksum, or per-line
-/// checksums for sweep journals. Prints one line per path; the exit
-/// status reflects the first failure found.
+/// checksums for sweep and platform-delta journals. A path whose
+/// `.shard<i>-of-<N>` siblings exist (a sharded sweep) has every shard
+/// verified too. Prints one line per file; the exit status reflects
+/// the first failure found.
 pub fn store(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     let action = args.require_positional("store action (verify)")?;
     if action != "verify" {
@@ -600,7 +602,14 @@ pub fn store(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
     let mut paths = Vec::new();
     while let Some(p) = args.positional() {
-        paths.push(p);
+        for sibling in shard_siblings(&p) {
+            if !paths.contains(&sibling) {
+                paths.push(sibling);
+            }
+        }
+        if !paths.contains(&p) {
+            paths.push(p);
+        }
     }
     if paths.is_empty() {
         return Err(CliError::Usage(
@@ -625,7 +634,39 @@ pub fn store(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
 }
 
-/// Verifies one file: a sweep journal (by magic) or a store envelope.
+/// Expands a sharded sweep's journals: `BASE` names shards
+/// `BASE.shard<i>-of-<N>` in the same directory (the layout
+/// [`rsg_core::shard_journal_path`] writes), so verifying the base
+/// path should cover every shard a partitioned `rsg train` produced.
+/// Returns the existing siblings in name order; never errors — a path
+/// in an unreadable directory just expands to nothing.
+fn shard_siblings(path: &str) -> Vec<String> {
+    let p = std::path::Path::new(path);
+    let (Some(dir), Some(name)) = (p.parent(), p.file_name().map(|n| n.to_string_lossy())) else {
+        return Vec::new();
+    };
+    let prefix = format!("{name}.shard");
+    let Ok(entries) = std::fs::read_dir(if dir.as_os_str().is_empty() {
+        std::path::Path::new(".")
+    } else {
+        dir
+    }) else {
+        return Vec::new();
+    };
+    let mut out: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let fname = e.file_name().to_string_lossy().into_owned();
+            (fname.starts_with(&prefix) && fname.contains("-of-"))
+                .then(|| dir.join(&fname).to_string_lossy().into_owned())
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Verifies one file: a sweep journal or delta journal (by magic) or a
+/// store envelope.
 fn verify_artifact(path: &str) -> Result<String, rsg_core::StoreError> {
     let p = std::path::Path::new(path);
     let text = std::fs::read_to_string(p).map_err(|e| rsg_core::StoreError::io(p, "read", &e))?;
@@ -640,6 +681,19 @@ fn verify_artifact(path: &str) -> Result<String, rsg_core::StoreError> {
         }
         return Ok(format!(
             "sweep journal, fingerprint {fp:016x}, {good} cells x {thetas} thetas"
+        ));
+    }
+    if text.starts_with("rsg-delta-journal\t") {
+        let (fp, good, bad) = rsg_core::DeltaJournal::verify(p)?;
+        if bad > 0 {
+            return Err(rsg_core::StoreError::parse(
+                "delta-journal",
+                good + 2,
+                format!("{bad} damaged record(s) after {good} good deltas"),
+            ));
+        }
+        return Ok(format!(
+            "delta journal, fingerprint {fp:016x}, {good} deltas"
         ));
     }
     let (kind, payload) = rsg_core::store::unwrap_envelope(&text).map_err(|e| e.with_path(p))?;
@@ -713,9 +767,10 @@ fn parse_heuristic(s: &str) -> Result<HeuristicKind, CliError> {
 }
 
 /// `rsg serve --models DIR [--addr A] [--admin-addr A] [--workers N]
-/// [--queue N] [--deadline-s S]`: load the model registry as
-/// generation 1, then answer requests until the process is killed or
-/// drained through the admin surface.
+/// [--queue N] [--deadline-s S] [--max-staleness S]
+/// [--delta-journal FILE]`: load the model registry as generation 1,
+/// then answer requests until the process is killed or drained through
+/// the admin surface.
 pub fn serve(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     let models = args
         .opt("models")
@@ -749,6 +804,17 @@ pub fn serve(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
             .filter(|&s| s > 0.0 && s.is_finite())
             .ok_or_else(|| CliError::Usage(format!("bad --deadline-s '{d}'")))?;
     }
+    if let Some(s) = args.opt("max-staleness") {
+        cfg.max_staleness_s = Some(
+            s.parse::<f64>()
+                .ok()
+                .filter(|&v| v > 0.0 && v.is_finite())
+                .ok_or_else(|| CliError::Usage(format!("bad --max-staleness '{s}'")))?,
+        );
+    }
+    if let Some(p) = args.opt("delta-journal") {
+        cfg.delta_journal = Some(std::path::PathBuf::from(p));
+    }
     let registry =
         rsg_serve::ModelRegistry::load(std::path::Path::new(&models)).map_err(CliError::from)?;
     writeln!(
@@ -774,7 +840,8 @@ pub fn serve(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(admin) = server.admin_addr() {
         writeln!(
             out,
-            "admin surface on http://{admin} (loopback only: /admin/reload, /admin/drain)"
+            "admin surface on http://{admin} (loopback only: /admin/reload, /admin/drain, \
+             /admin/platform)"
         )?;
     }
     out.flush()?;

@@ -130,6 +130,7 @@ USAGE:
   rsg lint    FILE... [--format human|json|tsv] [--platform]
   rsg serve   --models DIR [--addr HOST:PORT] [--admin-addr HOST:PORT]
               [--workers N] [--queue N] [--deadline-s S]
+              [--max-staleness S] [--delta-journal FILE]
 
 `rsg train --journal FILE` checkpoints each completed sweep cell to
 FILE; a re-run with the same grid resumes from the first missing cell.
@@ -137,7 +138,9 @@ FILE; a re-run with the same grid resumes from the first missing cell.
 worker processes, each journaling its cells to BASE.shard<i>-of-<N>;
 the shard journals are merged (and a killed shard resumed) on rerun.
 `rsg store verify` checks the envelope/journal checksums of persisted
-artifacts without modifying them.
+artifacts without modifying them; it understands store envelopes,
+sweep journals (expanding their .shard<i>-of-<N> siblings when given
+the base path) and platform delta journals.
 `rsg lint` statically analyzes spec and DAG files (vgDL, ClassAd,
 SWORD XML, rsg-spec, rsg-dag — the kind is sniffed from the content);
 all spec files in one invocation are treated as renderings of the same
@@ -149,9 +152,12 @@ diagnostics exit 6.
 /predict, /lint, /metrics, /healthz and /readyz from models loaded as
 generation 1 out of --models DIR (size_model*.tsv required,
 heur_model*.tsv optional). `--admin-addr` (loopback only) adds
-/admin/reload (hot model swap with rollback) and /admin/drain
-(graceful shutdown); see docs/API.md for the wire format and
-docs/OPERATIONS.md for running, reloading and draining it.
+/admin/reload (hot model swap with rollback), /admin/drain (graceful
+shutdown) and /admin/platform (live platform delta batches).
+`--max-staleness S` flips /readyz to 503 once a delta-sequence gap has
+been open longer than S seconds; `--delta-journal FILE` makes accepted
+deltas durable and replays them on boot. See docs/API.md for the wire
+format and docs/OPERATIONS.md for running, reloading and draining it.
 
 Exit codes: 0 ok, 1 failure, 2 usage, 3 I/O, 4 corrupt artifact,
 5 decode error, 6 lint diagnostics.
@@ -551,6 +557,60 @@ mod tests {
             run_err(&["store", "frobnicate"]),
             CliError::Usage(_)
         ));
+    }
+
+    #[test]
+    fn store_verify_covers_delta_and_sharded_journals() {
+        use rsg_core::push::{DeltaJournal, DeltaRecord};
+        use rsg_platform::delta::PlatformDelta;
+        let dir =
+            std::env::temp_dir().join(format!("rsg-cli-test-journals-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A delta journal verifies by magic, reporting its record count.
+        let dj = dir.join("deltas.journal");
+        let j = DeltaJournal::open(&dj, 0xdead_beef).unwrap();
+        for seq in 1..=3u64 {
+            j.append(&DeltaRecord {
+                seq,
+                delta: PlatformDelta::PriceChange {
+                    dollars_per_hour: 0.1 * seq as f64,
+                },
+            })
+            .unwrap();
+        }
+        drop(j);
+        let s = run_ok(&["store", "verify", dj.to_str().unwrap()]);
+        assert!(s.contains("delta journal"), "{s}");
+        assert!(s.contains("3 deltas"), "{s}");
+
+        // Flip a byte in the last record: decode error (5), and the
+        // report names the damage.
+        let mut bytes = std::fs::read(&dj).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x01;
+        std::fs::write(&dj, bytes).unwrap();
+        let e = run_err(&["store", "verify", dj.to_str().unwrap()]);
+        assert!(matches!(e, CliError::Decode(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 5);
+
+        // Verifying a sharded sweep's base path expands to the shard
+        // siblings; a damaged shard fails the whole verification.
+        let base = dir.join("sweep.journal");
+        let header = |fp: u64| format!("rsg-sweep-journal\tv1\t{fp:016x}\t6\n");
+        std::fs::write(&base, header(0xabc)).unwrap();
+        let s0 = dir.join("sweep.journal.shard0-of-2");
+        let s1 = dir.join("sweep.journal.shard1-of-2");
+        std::fs::write(&s0, header(0xabc)).unwrap();
+        std::fs::write(&s1, header(0xabc)).unwrap();
+        let s = run_ok(&["store", "verify", base.to_str().unwrap()]);
+        assert_eq!(s.matches("OK").count(), 3, "{s}");
+        assert!(s.contains("shard0-of-2"), "{s}");
+        std::fs::write(&s1, "rsg-sweep-journal\tGARBAGE\n").unwrap();
+        let e = run_err(&["store", "verify", base.to_str().unwrap()]);
+        assert_eq!(e.exit_code(), 4, "{e:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod observation;
 pub mod optsearch;
 pub mod persist;
 pub mod planefit;
+pub mod push;
 pub mod scr;
 pub mod sizemodel;
 pub mod specgen;
@@ -71,6 +72,10 @@ pub use observation::{
     CheckpointConfig, KneeTable, ObservationGrid, ShardSpec,
 };
 pub use planefit::PlaneFit;
+pub use push::{
+    measure_on_platform, AuditReport, BatchOutcome, DeltaJournal, DeltaRecord, PushEngine,
+    Staleness,
+};
 pub use sizemodel::{SizePredictionModel, ThresholdedSizeModel};
 pub use specgen::{ResourceSpec, SpecGenerator, SpecViolation};
 pub use store::{StoreError, SweepJournal};

@@ -1,0 +1,1158 @@
+//! Push-mode incremental recomputation with self-healing reconciliation.
+//!
+//! The paper sweeps a *static* platform snapshot; a long-lived service
+//! tracks a live grid where hosts join and leave, clocks and bandwidths
+//! drift, and prices change. A full resweep per change is unaffordable
+//! and a missed change is silently wrong, so this module maintains the
+//! model state — sweep cells, knee tables, planar fits, the cost
+//! model — as an explicit dependency DAG keyed by the sweep fingerprint
+//! (the same digest the checkpoint journals record), and propagates
+//! [`PlatformDelta`]s through it, dirtying and recomputing only the
+//! cells whose platform footprint actually changed.
+//!
+//! Robustness is the headline contract, in three layers:
+//!
+//! * **Transport** — deltas arrive through [`DeltaJournal`], a
+//!   checksummed append-only journal with the same discipline as the
+//!   sweep checkpoint journal: torn tails truncate back to the last
+//!   good record, a damaged or mismatched header quarantines the file
+//!   to `*.corrupt`, and every record carries a sequence number so the
+//!   engine can detect duplicates, reorderings and gaps instead of
+//!   trusting delivery order.
+//! * **Apply** — [`PushEngine::submit_batch`] is transactional:
+//!   every delta in a batch is validated against a scratch copy of the
+//!   platform before anything is committed, so one bad record rolls
+//!   back the whole batch. Duplicates (seq ≤ applied) are idempotently
+//!   skipped; out-of-order records are parked in a bounded buffer until
+//!   the gap fills (quarantine-and-resync, never a panic); the
+//!   [`Staleness`] stamp (applied seq + lag) rides on every answer so
+//!   a consumer always knows how current the state is.
+//! * **Audit** — [`PushEngine::audit`] periodically recomputes a
+//!   seeded random sample of cells from scratch off the live platform
+//!   and asserts bit-identity against the incremental state. Any
+//!   divergence quarantines the cell, forces a selective recompute,
+//!   and bumps `push.divergence` — the engine heals itself rather than
+//!   serving the wrong number.
+//!
+//! Bit-identity between the incremental state and a from-scratch
+//! resweep ([`measure_on_platform`]) is structural, not numerical luck:
+//! both paths derive each cell's [`RcFamily`] from the platform with
+//! the same function and evaluate the cell with the same
+//! `compute_cell` kernel, and cells are mutually independent.
+
+use crate::curve::{CurveConfig, RcFamily};
+use crate::observation::{
+    assemble_tables, cell_list, compute_cell_rc, prepare, sweep_fingerprint, KneeTable,
+    ObservationGrid, SweepInputs,
+};
+use crate::sizemodel::ThresholdedSizeModel;
+use crate::store::{fnv1a, quarantine, JournalRecovery, StoreError};
+use rayon::prelude::*;
+use rsg_obs::Counter;
+use rsg_platform::delta::{DeltaError, PlatformDelta};
+use rsg_platform::{CostModel, Platform};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Deltas applied to the live platform (post-dedup, post-ordering).
+static OBS_DELTAS_APPLIED: Counter = Counter::new("push.deltas_applied");
+/// Duplicate deltas (seq ≤ applied or already parked) skipped idempotently.
+static OBS_DELTAS_DUPLICATE: Counter = Counter::new("push.deltas_duplicate");
+/// Out-of-order deltas parked awaiting a gap fill.
+static OBS_DELTAS_PARKED: Counter = Counter::new("push.deltas_parked");
+/// Deltas dropped as invalid or unparkable (bounded buffer overflow).
+static OBS_DELTAS_REJECTED: Counter = Counter::new("push.deltas_rejected");
+/// Cells dirtied by delta propagation.
+static OBS_CELLS_DIRTIED: Counter = Counter::new("push.cells_dirtied");
+/// Cells recomputed (delta propagation + divergence repair).
+static OBS_CELLS_RECOMPUTED: Counter = Counter::new("push.cells_recomputed");
+/// Anti-entropy audit passes run.
+static OBS_AUDITS: Counter = Counter::new("push.audits");
+/// Audited cells whose incremental state diverged from scratch.
+static OBS_DIVERGENCE: Counter = Counter::new("push.divergence");
+/// Batches that closed a pre-existing sequence gap.
+static OBS_RESYNCS: Counter = Counter::new("push.resyncs");
+
+/// Version tag folded into the delta-journal header fingerprint check.
+const DELTA_JOURNAL_VERSION: &str = "v1";
+
+/// Out-of-order records the engine will park before refusing more. A
+/// hostile stream of far-future sequence numbers fills this buffer and
+/// then gets rejected record-by-record — it can never exhaust memory.
+pub const MAX_PARKED: usize = 4096;
+
+/// One sequenced platform delta, as carried by the journal and the
+/// admin endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaRecord {
+    /// Position in the delta stream; starts at 1, strictly increasing
+    /// at the source.
+    pub seq: u64,
+    /// The platform change itself.
+    pub delta: PlatformDelta,
+}
+
+/// An append-only, self-checksummed journal of [`DeltaRecord`]s — the
+/// durable transport between a platform-monitoring source and the
+/// [`PushEngine`]. Same discipline as the sweep checkpoint journal:
+/// matching header → replay every record whose checksum verifies,
+/// truncating a torn tail back to the last good line; mismatched or
+/// damaged header → quarantine to `*.corrupt` and start fresh.
+#[derive(Debug)]
+pub struct DeltaJournal {
+    path: PathBuf,
+    recovered: Vec<DeltaRecord>,
+    recovery: JournalRecovery,
+    file: Mutex<File>,
+}
+
+impl DeltaJournal {
+    /// The on-disk magic that identifies a delta journal.
+    pub const MAGIC: &'static str = "rsg-delta-journal";
+
+    fn header(fingerprint: u64) -> String {
+        format!(
+            "{}\t{DELTA_JOURNAL_VERSION}\t{fingerprint:016x}\n",
+            Self::MAGIC
+        )
+    }
+
+    /// Opens (or creates) the journal at `path` for an engine whose
+    /// configuration digests to `fingerprint`. On
+    /// [`JournalRecovery::Resumed`], [`recovered`](Self::recovered)
+    /// holds every intact record in file order (duplicates and
+    /// reorderings included — the engine's apply path owns those).
+    pub fn open(path: &Path, fingerprint: u64) -> Result<DeltaJournal, StoreError> {
+        let mut recovered = Vec::new();
+        let mut recovery = JournalRecovery::Fresh;
+        let mut good_bytes = 0usize;
+
+        match std::fs::read_to_string(path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(StoreError::io(path, "read", &e)),
+            Ok(text) => match Self::replay(&text, fingerprint) {
+                Ok((records, valid_len)) => {
+                    good_bytes = valid_len;
+                    recovery = JournalRecovery::Resumed {
+                        cells: records.len(),
+                    };
+                    recovered = records;
+                }
+                Err(_) => {
+                    quarantine(path);
+                    recovery = JournalRecovery::Quarantined;
+                }
+            },
+        }
+
+        if recovery == JournalRecovery::Fresh || recovery == JournalRecovery::Quarantined {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| StoreError::io(path, "create parent of", &e))?;
+            }
+            let mut f = File::create(path).map_err(|e| StoreError::io(path, "create", &e))?;
+            f.write_all(Self::header(fingerprint).as_bytes())
+                .map_err(|e| StoreError::io(path, "write", &e))?;
+            f.sync_all()
+                .map_err(|e| StoreError::io(path, "fsync", &e))?;
+            return Ok(DeltaJournal {
+                path: path.to_path_buf(),
+                recovered,
+                recovery,
+                file: Mutex::new(f),
+            });
+        }
+
+        // Truncate any torn tail, then reopen for appending.
+        let f = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, "open", &e))?;
+        f.set_len(good_bytes as u64)
+            .map_err(|e| StoreError::io(path, "truncate", &e))?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, "open", &e))?;
+        Ok(DeltaJournal {
+            path: path.to_path_buf(),
+            recovered,
+            recovery,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Parses journal text; returns the intact records and the byte
+    /// length of the valid prefix. A damaged *header* is an error
+    /// (quarantine); a damaged *record* merely ends the valid prefix.
+    fn replay(text: &str, fingerprint: u64) -> Result<(Vec<DeltaRecord>, usize), StoreError> {
+        let (header, _) = text.split_once('\n').ok_or_else(|| StoreError::BadMagic {
+            path: String::new(),
+            found: text.chars().take(40).collect(),
+        })?;
+        let fields: Vec<&str> = header.split('\t').collect();
+        if fields.first() != Some(&Self::MAGIC) {
+            return Err(StoreError::BadMagic {
+                path: String::new(),
+                found: header.chars().take(40).collect(),
+            });
+        }
+        if fields.get(1) != Some(&DELTA_JOURNAL_VERSION) {
+            return Err(StoreError::Version {
+                path: String::new(),
+                found: fields.get(1).unwrap_or(&"").to_string(),
+            });
+        }
+        let found_fp = fields
+            .get(2)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| StoreError::parse("delta-journal", 1, "bad fingerprint field"))?;
+        if found_fp != fingerprint {
+            return Err(StoreError::Fingerprint {
+                path: String::new(),
+                expected: fingerprint,
+                found: found_fp,
+            });
+        }
+
+        let mut records = Vec::new();
+        let mut good = header.len() + 1;
+        for line in text[good..].split_inclusive('\n') {
+            let body = line.strip_suffix('\n');
+            match body.and_then(Self::parse_line) {
+                Some(rec) => {
+                    records.push(rec);
+                    good += line.len();
+                }
+                None => break, // torn or damaged tail
+            }
+        }
+        Ok((records, good))
+    }
+
+    /// Parses one `delta` line, verifying its trailing checksum. The
+    /// sequence number must parse as `u64` — a hostile or bit-flipped
+    /// seq field fails here and classifies the line as damaged.
+    fn parse_line(line: &str) -> Option<DeltaRecord> {
+        let (prefix, sum) = line.rsplit_once('\t')?;
+        let expected = u64::from_str_radix(sum, 16).ok()?;
+        if fnv1a(prefix.as_bytes()) != expected {
+            return None;
+        }
+        let rest = prefix.strip_prefix("delta\t")?;
+        let (seq_field, delta_tsv) = rest.split_once('\t')?;
+        let seq: u64 = seq_field.parse().ok()?;
+        let delta = PlatformDelta::from_tsv(delta_tsv).ok()?;
+        Some(DeltaRecord { seq, delta })
+    }
+
+    /// The records recovered by replay, in file order.
+    pub fn recovered(&self) -> &[DeltaRecord] {
+        &self.recovered
+    }
+
+    /// What [`DeltaJournal::open`] found on disk (`cells` counts
+    /// recovered delta records).
+    pub fn recovery(&self) -> JournalRecovery {
+        self.recovery
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Durably appends one record (write + fsync under the journal
+    /// lock).
+    pub fn append(&self, rec: &DeltaRecord) -> Result<(), StoreError> {
+        let prefix = format!("delta\t{}\t{}", rec.seq, rec.delta.to_tsv());
+        let line = format!("{prefix}\t{:016x}\n", fnv1a(prefix.as_bytes()));
+        let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        f.write_all(line.as_bytes())
+            .map_err(|e| StoreError::io(&self.path, "append to", &e))?;
+        f.sync_data()
+            .map_err(|e| StoreError::io(&self.path, "fsync", &e))?;
+        Ok(())
+    }
+
+    /// Read-only validation of a delta journal (used by `rsg store
+    /// verify`): checks magic, version and every record checksum
+    /// without truncating or quarantining anything. Returns
+    /// `(fingerprint, valid records, damaged tail lines)`.
+    pub fn verify(path: &Path) -> Result<(u64, usize, usize), StoreError> {
+        let text = std::fs::read_to_string(path).map_err(|e| StoreError::io(path, "read", &e))?;
+        let (header, rest) = text.split_once('\n').ok_or_else(|| StoreError::BadMagic {
+            path: path.display().to_string(),
+            found: text.chars().take(40).collect(),
+        })?;
+        let fields: Vec<&str> = header.split('\t').collect();
+        if fields.first() != Some(&Self::MAGIC) {
+            return Err(StoreError::BadMagic {
+                path: path.display().to_string(),
+                found: header.chars().take(40).collect(),
+            });
+        }
+        if fields.get(1) != Some(&DELTA_JOURNAL_VERSION) {
+            return Err(StoreError::Version {
+                path: path.display().to_string(),
+                found: fields.get(1).unwrap_or(&"").to_string(),
+            });
+        }
+        let fp = fields
+            .get(2)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| {
+                StoreError::parse("delta-journal", 1, "bad fingerprint field").with_path(path)
+            })?;
+        let mut good = 0usize;
+        let mut bad = 0usize;
+        for line in rest.split_inclusive('\n') {
+            let ok = line.strip_suffix('\n').and_then(Self::parse_line).is_some();
+            if ok && bad == 0 {
+                good += 1;
+            } else if !line.trim().is_empty() {
+                bad += 1;
+            }
+        }
+        Ok((fp, good, bad))
+    }
+}
+
+/// Lifecycle of one node in the model dependency DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Consistent with the current platform.
+    Clean,
+    /// Invalidated by a delta; awaiting recompute.
+    Dirty,
+    /// Failed an anti-entropy audit; excluded until selectively
+    /// recomputed.
+    Quarantined,
+}
+
+/// What a dependency-DAG node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// One sweep cell (index into the grid's cell list).
+    Cell(usize),
+    /// The assembled knee tables (one per θ), downstream of every cell.
+    Tables,
+    /// The planar fits / thresholded size model, downstream of the
+    /// tables.
+    Fit,
+    /// The resource cost model, downstream of price deltas only.
+    Cost,
+}
+
+/// One node of the model dependency DAG: a stable key (derived from the
+/// sweep fingerprint), what it models, which nodes it depends on, and
+/// its lifecycle state.
+#[derive(Debug, Clone)]
+pub struct DepNode {
+    /// Stable identity: `fnv1a("{sweep_fp}|{kind}")` — ties every node
+    /// to the sweep configuration the journals are keyed by.
+    pub key: u64,
+    /// What the node models.
+    pub kind: NodeKind,
+    /// Indices (into the engine's node list) this node depends on.
+    pub deps: Vec<usize>,
+    /// Current lifecycle state.
+    pub state: NodeState,
+}
+
+/// How current the engine's answers are: the last applied delta
+/// sequence number and how many known deltas are still unapplied
+/// (parked behind a gap). Wall-clock age is layered on by the serving
+/// tier — the engine itself is clock-free so replay stays
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Staleness {
+    /// Highest contiguously applied sequence number.
+    pub applied_seq: u64,
+    /// Highest sequence number ever seen (applied or parked).
+    pub highest_seen: u64,
+    /// `highest_seen - applied_seq`: 0 means fully current.
+    pub lag: u64,
+}
+
+/// What one [`PushEngine::submit_batch`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchOutcome {
+    /// Records applied to the platform (batch + drained parked).
+    pub applied: usize,
+    /// Records skipped as duplicates.
+    pub duplicates: usize,
+    /// Records parked awaiting a gap fill.
+    pub parked: usize,
+    /// Previously parked records dropped at drain time (invalid against
+    /// the state the gap fill produced).
+    pub rejected: usize,
+    /// Cells dirtied by the applied deltas.
+    pub dirtied: usize,
+    /// Cells recomputed (== dirtied; recompute is eager).
+    pub recomputed: usize,
+    /// Whether this batch closed a pre-existing sequence gap.
+    pub resynced: bool,
+}
+
+/// What one [`PushEngine::audit`] pass found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AuditReport {
+    /// Cells recomputed from scratch and compared.
+    pub checked: usize,
+    /// Cells whose incremental state diverged (each was quarantined and
+    /// selectively recomputed before this call returned).
+    pub divergent: usize,
+}
+
+/// Derives the [`RcFamily`] a cell of capacity `cap` sees on
+/// `platform`: walk clusters fastest-first until the prefix holds `cap`
+/// hosts (the cell's *footprint*), then summarize the prefix as a
+/// family — fastest clock as the nominal clock, clock spread as
+/// heterogeneity, worst intra-footprint communication factor as
+/// bandwidth heterogeneity. Deltas outside the footprint leave the
+/// family — and therefore the cell — untouched; that locality is what
+/// makes single-cluster deltas cheap.
+///
+/// Both the incremental engine and [`measure_on_platform`] call this
+/// exact function, so their per-cell inputs are bit-identical by
+/// construction.
+pub fn derive_family(platform: &Platform, base: &CurveConfig, cap: usize) -> RcFamily {
+    let order = platform.clusters_by_clock_desc();
+    let clusters = platform.clusters();
+    let mut prefix = Vec::new();
+    let mut hosts = 0usize;
+    for id in order {
+        prefix.push(id);
+        hosts += clusters[id.index()].hosts as usize;
+        if hosts >= cap {
+            break;
+        }
+    }
+    let fastest = clusters[prefix[0].index()].clock_mhz;
+    let slowest = clusters[prefix[prefix.len() - 1].index()].clock_mhz;
+    let heterogeneity = (1.0 - slowest / fastest).clamp(0.0, 0.95);
+    let mut max_cf = 1.0f64;
+    for (i, &a) in prefix.iter().enumerate() {
+        for &b in prefix.iter().skip(i + 1) {
+            max_cf = max_cf.max(platform.comm_factor(a, b));
+        }
+    }
+    let bw_heterogeneity = (1.0 - 1.0 / max_cf).clamp(0.0, 0.95);
+    RcFamily {
+        clock_mhz: fastest,
+        heterogeneity,
+        bw_heterogeneity,
+        seed: base.rc_family.seed,
+    }
+}
+
+/// From-scratch platform-aware sweep: every cell evaluated against the
+/// RC its footprint on `platform` implies. This is the reference the
+/// anti-entropy audit and the convergence tests compare the incremental
+/// state against — and the expensive thing [`PushEngine`] exists to
+/// avoid rerunning per delta.
+pub fn measure_on_platform(
+    grid: &ObservationGrid,
+    cfg: &CurveConfig,
+    thetas: &[f64],
+    refine_rounds: u32,
+    platform: &Platform,
+) -> Vec<KneeTable> {
+    let inputs = prepare(grid, cfg);
+    let per_cell: Vec<Vec<f64>> = (0..inputs.cells.len())
+        .into_par_iter()
+        .map(|c| {
+            let cap = *inputs.ladders[c].last().unwrap();
+            let fam = derive_family(platform, cfg, cap);
+            compute_cell_rc(&inputs, cfg, thetas, refine_rounds, c, &fam.build(cap))
+        })
+        .collect();
+    assemble_tables(grid, &inputs.cells, &per_cell, thetas)
+}
+
+/// The push-mode incremental recomputation engine. See the module docs
+/// for the contract; see [`PushEngine::submit_batch`] for the delta
+/// path and [`PushEngine::audit`] for the reconciliation path.
+pub struct PushEngine {
+    grid: ObservationGrid,
+    cfg: CurveConfig,
+    thetas: Vec<f64>,
+    refine_rounds: u32,
+    fingerprint: u64,
+    inputs: SweepInputs,
+    platform: Platform,
+    cost: CostModel,
+    families: Vec<RcFamily>,
+    per_cell: Vec<Vec<f64>>,
+    tables: Vec<KneeTable>,
+    model: ThresholdedSizeModel,
+    nodes: Vec<DepNode>,
+    applied_seq: u64,
+    highest_seen: u64,
+    pending: BTreeMap<u64, DeltaRecord>,
+}
+
+impl PushEngine {
+    /// Builds the engine with a full initial sweep of `platform` — the
+    /// last full sweep it ever needs while the journal stays healthy.
+    pub fn new(
+        grid: ObservationGrid,
+        cfg: CurveConfig,
+        thetas: Vec<f64>,
+        refine_rounds: u32,
+        platform: Platform,
+        cost: CostModel,
+    ) -> PushEngine {
+        let fingerprint = sweep_fingerprint(&grid, &cfg, &thetas, refine_rounds);
+        let inputs = prepare(&grid, &cfg);
+        let ncells = inputs.cells.len();
+        let families: Vec<RcFamily> = (0..ncells)
+            .map(|c| derive_family(&platform, &cfg, *inputs.ladders[c].last().unwrap()))
+            .collect();
+        let per_cell: Vec<Vec<f64>> = (0..ncells)
+            .into_par_iter()
+            .map(|c| {
+                let cap = *inputs.ladders[c].last().unwrap();
+                compute_cell_rc(
+                    &inputs,
+                    &cfg,
+                    &thetas,
+                    refine_rounds,
+                    c,
+                    &families[c].build(cap),
+                )
+            })
+            .collect();
+        let tables = assemble_tables(&grid, &inputs.cells, &per_cell, &thetas);
+        let model = ThresholdedSizeModel::fit(&tables);
+
+        // The explicit dependency DAG: cells feed the tables, the
+        // tables feed the fit; the cost model stands alone under price
+        // deltas. Keys fold the sweep fingerprint so a node's identity
+        // changes exactly when the journals' identity does.
+        let key = |tag: &str| fnv1a(format!("{fingerprint:016x}|{tag}").as_bytes());
+        let mut nodes: Vec<DepNode> = (0..ncells)
+            .map(|c| DepNode {
+                key: key(&format!("cell/{c}")),
+                kind: NodeKind::Cell(c),
+                deps: Vec::new(),
+                state: NodeState::Clean,
+            })
+            .collect();
+        nodes.push(DepNode {
+            key: key("tables"),
+            kind: NodeKind::Tables,
+            deps: (0..ncells).collect(),
+            state: NodeState::Clean,
+        });
+        nodes.push(DepNode {
+            key: key("fit"),
+            kind: NodeKind::Fit,
+            deps: vec![ncells],
+            state: NodeState::Clean,
+        });
+        nodes.push(DepNode {
+            key: key("cost"),
+            kind: NodeKind::Cost,
+            deps: Vec::new(),
+            state: NodeState::Clean,
+        });
+
+        PushEngine {
+            grid,
+            cfg,
+            thetas,
+            refine_rounds,
+            fingerprint,
+            inputs,
+            platform,
+            cost,
+            families,
+            per_cell,
+            tables,
+            model,
+            nodes,
+            applied_seq: 0,
+            highest_seen: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// The engine's sweep fingerprint — the digest its delta journal
+    /// and dependency-DAG node keys are derived from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The current (delta-tracked) platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The current cost model.
+    pub fn cost(&self) -> CostModel {
+        self.cost
+    }
+
+    /// The knee tables consistent with every applied delta.
+    pub fn tables(&self) -> &[KneeTable] {
+        &self.tables
+    }
+
+    /// The thresholded size model fitted to [`tables`](Self::tables).
+    pub fn model(&self) -> &ThresholdedSizeModel {
+        &self.model
+    }
+
+    /// The dependency DAG (cells, tables, fit, cost) for introspection.
+    pub fn nodes(&self) -> &[DepNode] {
+        &self.nodes
+    }
+
+    /// Number of sweep cells under management.
+    pub fn cells(&self) -> usize {
+        self.inputs.cells.len()
+    }
+
+    /// How current the engine is. `lag > 0` means a sequence gap is
+    /// open: the source must re-deliver the missing records (resync) —
+    /// until then answers are stale-but-stamped, never wrong.
+    pub fn staleness(&self) -> Staleness {
+        Staleness {
+            applied_seq: self.applied_seq,
+            highest_seen: self.highest_seen,
+            lag: self.highest_seen - self.applied_seq,
+        }
+    }
+
+    /// The lowest missing sequence number, when a gap is open.
+    pub fn gap(&self) -> Option<u64> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.applied_seq + 1)
+        }
+    }
+
+    /// Applies a batch of delta records transactionally.
+    ///
+    /// Classification per record: `seq ≤ applied` (or already parked)
+    /// → duplicate, skipped idempotently; contiguous with the applied
+    /// prefix → applied (possibly draining parked records behind it);
+    /// future → parked (bounded by [`MAX_PARKED`]; overflow rejects the
+    /// record, never grows memory).
+    ///
+    /// Validation is all-or-nothing for the *incoming* records: every
+    /// delta that would apply is first checked against a scratch copy
+    /// of the platform, and any failure returns `Err` with no state
+    /// change at all — the serving tier maps this to a 422 with the
+    /// batch rolled back. A *previously parked* record that turns out
+    /// invalid when its gap finally fills is dropped and its sequence
+    /// number skipped (`push.deltas_rejected`) — a poisoned record must
+    /// not wedge the stream forever.
+    ///
+    /// On success the dirty set is recomputed eagerly: per-cell
+    /// families are rederived from the mutated platform and exactly the
+    /// cells whose family changed are recomputed, then the downstream
+    /// tables and fit rebuilt.
+    pub fn submit_batch(&mut self, records: &[DeltaRecord]) -> Result<BatchOutcome, DeltaError> {
+        let mut out = BatchOutcome::default();
+        let gap_was_open = !self.pending.is_empty();
+
+        // Stage everything on scratch copies; commit only on success.
+        let mut platform = self.platform.clone();
+        let mut cost = self.cost;
+        let mut pending = self.pending.clone();
+        let mut applied_seq = self.applied_seq;
+        let mut highest_seen = self.highest_seen;
+        let mut applied_any = false;
+
+        let mut incoming: Vec<DeltaRecord> = records.to_vec();
+        incoming.sort_by_key(|r| r.seq);
+
+        for rec in &incoming {
+            highest_seen = highest_seen.max(rec.seq);
+            if rec.seq <= applied_seq || pending.contains_key(&rec.seq) {
+                out.duplicates += 1;
+                continue;
+            }
+            if rec.seq == applied_seq + 1 {
+                // Incoming and contiguous: strict validation — any
+                // failure rejects the whole batch.
+                rec.delta.apply(&mut platform, &mut cost)?;
+                applied_seq = rec.seq;
+                out.applied += 1;
+                applied_any = true;
+                // Drain parked records now contiguous. These were
+                // accepted in an earlier batch; if the state the gap
+                // fill produced makes one invalid, drop it and move on
+                // rather than wedging the stream.
+                while let Some(next) = pending.remove(&(applied_seq + 1)) {
+                    match next.delta.apply(&mut platform, &mut cost) {
+                        Ok(()) => {
+                            out.applied += 1;
+                            applied_any = true;
+                        }
+                        Err(_) => out.rejected += 1,
+                    }
+                    applied_seq = next.seq;
+                }
+            } else {
+                // Future record: park it (bounded).
+                if pending.len() >= MAX_PARKED {
+                    out.rejected += 1;
+                } else {
+                    // Structural validation only — range checks against
+                    // the platform happen at drain time, once the
+                    // intervening records have shaped the state.
+                    pending.insert(rec.seq, *rec);
+                    out.parked += 1;
+                }
+            }
+        }
+
+        // Commit.
+        self.platform = platform;
+        self.cost = cost;
+        self.pending = pending;
+        self.applied_seq = applied_seq;
+        self.highest_seen = highest_seen;
+
+        OBS_DELTAS_APPLIED.add(out.applied as u64);
+        OBS_DELTAS_DUPLICATE.add(out.duplicates as u64);
+        OBS_DELTAS_PARKED.add(out.parked as u64);
+        OBS_DELTAS_REJECTED.add(out.rejected as u64);
+        // A resync completes when a batch drains a previously parked
+        // buffer: the gap that forced the quarantine is closed.
+        if gap_was_open && applied_any && self.pending.is_empty() {
+            out.resynced = true;
+            OBS_RESYNCS.incr();
+        }
+
+        if applied_any {
+            let (dirtied, recomputed) = self.propagate();
+            out.dirtied = dirtied;
+            out.recomputed = recomputed;
+        }
+        Ok(out)
+    }
+
+    /// Rederives every cell's family from the current platform, marks
+    /// the changed ones dirty in the dependency DAG, recomputes exactly
+    /// those, and rebuilds the downstream tables and fit. Returns
+    /// `(dirtied, recomputed)`.
+    fn propagate(&mut self) -> (usize, usize) {
+        let ncells = self.inputs.cells.len();
+        let fresh: Vec<RcFamily> = (0..ncells)
+            .map(|c| {
+                derive_family(
+                    &self.platform,
+                    &self.cfg,
+                    *self.inputs.ladders[c].last().unwrap(),
+                )
+            })
+            .collect();
+        let dirty: Vec<usize> = (0..ncells)
+            .filter(|&c| fresh[c] != self.families[c])
+            .collect();
+        for &c in &dirty {
+            self.nodes[c].state = NodeState::Dirty;
+        }
+        if !dirty.is_empty() {
+            let tables_node = ncells;
+            self.nodes[tables_node].state = NodeState::Dirty;
+            self.nodes[tables_node + 1].state = NodeState::Dirty;
+        }
+        OBS_CELLS_DIRTIED.add(dirty.len() as u64);
+
+        self.families = fresh;
+        let recomputed: Vec<(usize, Vec<f64>)> = dirty
+            .par_iter()
+            .map(|&c| {
+                let cap = *self.inputs.ladders[c].last().unwrap();
+                (
+                    c,
+                    compute_cell_rc(
+                        &self.inputs,
+                        &self.cfg,
+                        &self.thetas,
+                        self.refine_rounds,
+                        c,
+                        &self.families[c].build(cap),
+                    ),
+                )
+            })
+            .collect();
+        for (c, knees) in recomputed {
+            self.per_cell[c] = knees;
+            self.nodes[c].state = NodeState::Clean;
+        }
+        OBS_CELLS_RECOMPUTED.add(dirty.len() as u64);
+
+        if !dirty.is_empty() {
+            self.rebuild_downstream();
+        }
+        (dirty.len(), dirty.len())
+    }
+
+    /// Rebuilds the tables and fit nodes from the per-cell state.
+    fn rebuild_downstream(&mut self) {
+        let ncells = self.inputs.cells.len();
+        self.tables = assemble_tables(&self.grid, &self.inputs.cells, &self.per_cell, &self.thetas);
+        self.model = ThresholdedSizeModel::fit(&self.tables);
+        self.nodes[ncells].state = NodeState::Clean;
+        self.nodes[ncells + 1].state = NodeState::Clean;
+    }
+
+    /// Anti-entropy audit: recomputes a seeded random sample of cells
+    /// from scratch off the live platform and compares bit-for-bit
+    /// against the incremental state. A divergent cell is quarantined,
+    /// selectively recomputed from the fresh value, and counted in
+    /// `push.divergence`; the downstream tables and fit are rebuilt
+    /// before the call returns, so the engine never keeps serving a
+    /// number it knows to be wrong.
+    ///
+    /// The sample is deterministic in `(fingerprint, applied_seq,
+    /// salt)` — two replicas auditing at the same point check the same
+    /// cells.
+    pub fn audit(&mut self, sample: usize, salt: u64) -> AuditReport {
+        OBS_AUDITS.incr();
+        let ncells = self.inputs.cells.len();
+        let mut state = self
+            .fingerprint
+            .wrapping_add(self.applied_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(salt);
+        let mut picked = std::collections::BTreeSet::new();
+        for _ in 0..sample.min(ncells) * 4 {
+            // splitmix64 step
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            picked.insert((z % ncells as u64) as usize);
+            if picked.len() >= sample.min(ncells) {
+                break;
+            }
+        }
+
+        let mut report = AuditReport {
+            checked: picked.len(),
+            divergent: 0,
+        };
+        let mut repaired = false;
+        for c in picked {
+            let cap = *self.inputs.ladders[c].last().unwrap();
+            let fam = derive_family(&self.platform, &self.cfg, cap);
+            let fresh = compute_cell_rc(
+                &self.inputs,
+                &self.cfg,
+                &self.thetas,
+                self.refine_rounds,
+                c,
+                &fam.build(cap),
+            );
+            let identical = fresh.len() == self.per_cell[c].len()
+                && fresh
+                    .iter()
+                    .zip(&self.per_cell[c])
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !identical {
+                self.nodes[c].state = NodeState::Quarantined;
+                OBS_DIVERGENCE.incr();
+                report.divergent += 1;
+                self.per_cell[c] = fresh;
+                self.families[c] = fam;
+                self.nodes[c].state = NodeState::Clean;
+                OBS_CELLS_RECOMPUTED.incr();
+                repaired = true;
+            }
+        }
+        if repaired {
+            self.rebuild_downstream();
+        }
+        report
+    }
+
+    /// Test / drill hook: corrupts one cell's incremental state in a
+    /// way only the anti-entropy audit can detect (the dependency DAG
+    /// still reads `Clean`). Used by the convergence tests and the
+    /// chaos bench to prove the audit actually repairs divergence.
+    pub fn poison_cell(&mut self, c: usize) {
+        for k in &mut self.per_cell[c] {
+            *k += 1.0;
+        }
+        self.rebuild_downstream();
+    }
+}
+
+/// The cell list of a grid, exposed for tools that want to label cells
+/// the way the engine indexes them.
+pub fn engine_cell_list(grid: &ObservationGrid) -> Vec<(usize, usize, usize, usize)> {
+    cell_list(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::THRESHOLD_LADDER;
+    use rsg_platform::{ClusterId, ResourceGenSpec, TopologySpec};
+
+    fn tiny_platform() -> Platform {
+        Platform::generate(
+            ResourceGenSpec {
+                clusters: 12,
+                year: 2006,
+                target_hosts: Some(420),
+            },
+            TopologySpec::default(),
+            11,
+        )
+    }
+
+    fn engine() -> PushEngine {
+        PushEngine::new(
+            ObservationGrid::tiny(),
+            CurveConfig::default(),
+            THRESHOLD_LADDER.to_vec(),
+            0,
+            tiny_platform(),
+            CostModel::default(),
+        )
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("rsg-push-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn initial_state_matches_from_scratch() {
+        let eng = engine();
+        let reference = measure_on_platform(
+            &ObservationGrid::tiny(),
+            &CurveConfig::default(),
+            &THRESHOLD_LADDER,
+            0,
+            &tiny_platform(),
+        );
+        assert_eq!(eng.tables(), &reference[..]);
+    }
+
+    #[test]
+    fn duplicate_and_out_of_order_records_converge() {
+        let mut eng = engine();
+        let slowest = *eng.platform().clusters_by_clock_desc().last().unwrap();
+        let fastest = eng.platform().clusters_by_clock_desc()[0];
+        let r1 = DeltaRecord {
+            seq: 1,
+            delta: PlatformDelta::HostJoin {
+                cluster: slowest,
+                hosts: 3,
+            },
+        };
+        let r2 = DeltaRecord {
+            seq: 2,
+            delta: PlatformDelta::ClockDrift {
+                cluster: fastest,
+                clock_mhz: eng.platform().clusters()[fastest.index()].clock_mhz + 100.0,
+            },
+        };
+        let r3 = DeltaRecord {
+            seq: 3,
+            delta: PlatformDelta::PriceChange {
+                dollars_per_hour: 0.2,
+            },
+        };
+        // Deliver out of order with duplicates: 3, 1, 3, 2, 1.
+        let out = eng.submit_batch(&[r3, r1]).unwrap();
+        assert_eq!(out.applied, 1); // r1
+        assert_eq!(out.parked, 1); // r3
+        assert_eq!(eng.staleness().lag, 2);
+        assert_eq!(eng.gap(), Some(2));
+        let out = eng.submit_batch(&[r3, r2, r1]).unwrap();
+        assert_eq!(out.applied, 2); // r2 + drained r3
+        assert_eq!(out.duplicates, 2);
+        assert!(out.resynced);
+        assert_eq!(eng.staleness().lag, 0);
+        assert_eq!(eng.gap(), None);
+        assert_eq!(eng.cost().dollars_per_hour, 0.2);
+
+        // Incremental state now matches a from-scratch sweep of the
+        // final platform, bit for bit.
+        let reference = measure_on_platform(
+            &ObservationGrid::tiny(),
+            &CurveConfig::default(),
+            &THRESHOLD_LADDER,
+            0,
+            eng.platform(),
+        );
+        assert_eq!(eng.tables(), &reference[..]);
+    }
+
+    #[test]
+    fn bad_delta_rolls_back_whole_batch() {
+        let mut eng = engine();
+        let before_seq = eng.staleness().applied_seq;
+        let slowest = *eng.platform().clusters_by_clock_desc().last().unwrap();
+        let good = DeltaRecord {
+            seq: 1,
+            delta: PlatformDelta::HostJoin {
+                cluster: slowest,
+                hosts: 1,
+            },
+        };
+        let bad = DeltaRecord {
+            seq: 2,
+            delta: PlatformDelta::ClockDrift {
+                cluster: ClusterId(0),
+                clock_mhz: f64::INFINITY,
+            },
+        };
+        let err = eng.submit_batch(&[good, bad]).unwrap_err();
+        assert!(matches!(err, DeltaError::BadClock(_)));
+        // Nothing committed — not even the good record.
+        assert_eq!(eng.staleness().applied_seq, before_seq);
+        assert_eq!(eng.staleness().lag, 0);
+    }
+
+    #[test]
+    fn audit_detects_and_repairs_poison() {
+        let mut eng = engine();
+        eng.poison_cell(0);
+        // Audit the whole grid so cell 0 is certainly sampled.
+        let report = eng.audit(eng.cells(), 7);
+        assert_eq!(report.divergent, 1);
+        let reference = measure_on_platform(
+            &ObservationGrid::tiny(),
+            &CurveConfig::default(),
+            &THRESHOLD_LADDER,
+            0,
+            eng.platform(),
+        );
+        assert_eq!(eng.tables(), &reference[..]);
+        // A second audit finds nothing.
+        let report = eng.audit(eng.cells(), 7);
+        assert_eq!(report.divergent, 0);
+    }
+
+    #[test]
+    fn out_of_footprint_delta_dirties_nothing() {
+        let mut eng = engine();
+        // The slowest cluster is outside every cell's footprint (caps
+        // are small relative to the fast prefix), so shrinking it is
+        // invisible to the models.
+        let slowest = *eng.platform().clusters_by_clock_desc().last().unwrap();
+        let rec = DeltaRecord {
+            seq: 1,
+            delta: PlatformDelta::HostLeave {
+                cluster: slowest,
+                hosts: 1,
+            },
+        };
+        let out = eng.submit_batch(&[rec]).unwrap();
+        assert_eq!(out.applied, 1);
+        assert_eq!(out.dirtied, 0);
+        assert_eq!(out.recomputed, 0);
+    }
+
+    #[test]
+    fn parked_buffer_is_bounded() {
+        let mut eng = engine();
+        let slowest = *eng.platform().clusters_by_clock_desc().last().unwrap();
+        let far: Vec<DeltaRecord> = (0..MAX_PARKED as u64 + 10)
+            .map(|i| DeltaRecord {
+                seq: 1_000_000 + i,
+                delta: PlatformDelta::HostJoin {
+                    cluster: slowest,
+                    hosts: 1,
+                },
+            })
+            .collect();
+        let out = eng.submit_batch(&far).unwrap();
+        assert_eq!(out.parked, MAX_PARKED);
+        assert_eq!(out.rejected, 10);
+        assert_eq!(out.applied, 0);
+    }
+
+    #[test]
+    fn journal_round_trip_and_torn_tail() {
+        let dir = tmpdir("journal");
+        let path = dir.join("deltas.journal");
+        let fp = 0xDEAD_BEEF_u64;
+        let j = DeltaJournal::open(&path, fp).unwrap();
+        assert_eq!(j.recovery(), JournalRecovery::Fresh);
+        let recs = [
+            DeltaRecord {
+                seq: 1,
+                delta: PlatformDelta::HostJoin {
+                    cluster: ClusterId(2),
+                    hosts: 4,
+                },
+            },
+            DeltaRecord {
+                seq: 2,
+                delta: PlatformDelta::PriceChange {
+                    dollars_per_hour: 0.15,
+                },
+            },
+        ];
+        for r in &recs {
+            j.append(r).unwrap();
+        }
+        drop(j);
+
+        // Tear the tail mid-record.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"delta\t3\tprice\t0.").unwrap();
+        }
+        let (vfp, good, bad) = DeltaJournal::verify(&path).unwrap();
+        assert_eq!(vfp, fp);
+        assert_eq!(good, 2);
+        assert_eq!(bad, 1);
+
+        let j = DeltaJournal::open(&path, fp).unwrap();
+        assert_eq!(j.recovery(), JournalRecovery::Resumed { cells: 2 });
+        assert_eq!(j.recovered(), &recs[..]);
+        drop(j);
+
+        // Wrong fingerprint quarantines.
+        let j = DeltaJournal::open(&path, fp ^ 1).unwrap();
+        assert_eq!(j.recovery(), JournalRecovery::Quarantined);
+        assert!(std::fs::read_dir(&dir).unwrap().any(|e| e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .contains("corrupt")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_rejects_hostile_lines() {
+        let dir = tmpdir("hostile");
+        let path = dir.join("deltas.journal");
+        let fp = 0x1234_u64;
+        // Valid header, hostile bodies: bad checksum, bad seq, bad TSV.
+        let header = format!("rsg-delta-journal\tv1\t{fp:016x}\n");
+        for tail in [
+            "delta\t1\tprice\t0.1\t0000000000000000\n",
+            "delta\t99999999999999999999999\tprice\t0.1\tdeadbeef\n",
+            "delta\t-1\tprice\t0.1\tdeadbeef\n",
+            "garbage\n",
+        ] {
+            std::fs::write(&path, format!("{header}{tail}")).unwrap();
+            let (_, good, bad) = DeltaJournal::verify(&path).unwrap();
+            assert_eq!(good, 0, "{tail:?}");
+            assert_eq!(bad, 1, "{tail:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,6 +25,14 @@ use crate::cluster::{Arch, Cluster, ClusterId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Slowest commodity clock the generator will emit, MHz. Doubles as
+/// the validation floor for live clock-drift deltas.
+pub const MIN_CLOCK_MHZ: f64 = 800.0;
+
+/// Fastest commodity clock the generator will emit, MHz. Doubles as
+/// the validation ceiling for live clock-drift deltas.
+pub const MAX_CLOCK_MHZ: f64 = 32_000.0;
+
 /// Parameters of the synthetic compute-resource generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceGenSpec {
@@ -61,7 +69,7 @@ impl ResourceGenSpec {
         let base_year = 2005i32;
         let growth: f64 = 1.30;
         let dy = year as i32 - base_year;
-        (3200.0 * growth.powi(dy)).clamp(800.0, 32_000.0)
+        (3200.0 * growth.powi(dy)).clamp(MIN_CLOCK_MHZ, MAX_CLOCK_MHZ)
     }
 
     /// Generates the cluster list. Deterministic for a given

@@ -23,11 +23,16 @@
 //!   bandwidth heterogeneity.
 //! * [`cost`] — the Amazon-EC2-derived cost model ($0.10/hour per
 //!   1.7 GHz instance, clock-scaled).
+//! * [`delta`] — live platform change records
+//!   ([`PlatformDelta`]): host join/leave, clock and
+//!   bandwidth drift, price changes, with validation and transactional
+//!   apply for the push-mode incremental engine.
 
 #![warn(missing_docs)]
 
 pub mod cluster;
 pub mod cost;
+pub mod delta;
 pub mod generator;
 pub mod platform;
 pub mod rc;
@@ -35,6 +40,7 @@ pub mod topology;
 
 pub use cluster::{Arch, Cluster, ClusterId};
 pub use cost::CostModel;
+pub use delta::{DeltaError, PlatformDelta};
 pub use generator::ResourceGenSpec;
 pub use platform::Platform;
 pub use rc::{ClockClasses, CommModel, ResourceCollection};

@@ -20,18 +20,21 @@
 use crate::deadline::Deadline;
 use crate::http::{HttpRequest, HttpResponse};
 use crate::lifecycle::Lifecycle;
+use crate::push::{PushTracker, SubmitError, SubmitOutcome};
 use crate::registry::{Generation, ModelRegistry, ModelStore, ReloadOutcome};
 use crate::shed::{ShedLevel, ShedState, SHED_DEGRADED, SHED_EARLY};
-use rsg_analyze::{AnalysisReport, Diagnostic, Input};
+use rsg_analyze::{AnalysisReport, DeltaDiagnostic, Diagnostic, Input};
 use rsg_core::alternative::{alternatives, attempt_from_outcome, negotiate_with_retry};
 use rsg_core::curve::CurveConfig;
 use rsg_core::heurmodel::HeuristicPredictionModel;
+use rsg_core::push::{DeltaRecord, Staleness};
 use rsg_core::specgen::{GeneratorConfig, SpecGenerator};
 use rsg_core::RetryPolicy;
 use rsg_dag::io::read_dag;
 use rsg_dag::{Dag, DagStats};
 use rsg_obs::json::{escape, num, Json};
 use rsg_obs::{Counter, RunReport, TimingHistogram};
+use rsg_platform::delta::PlatformDelta;
 use rsg_platform::{Platform, ResourceGenSpec, TopologySpec};
 use rsg_sched::HeuristicKind;
 use rsg_select::{FlakyConfig, FlakySelector, VgesFinder};
@@ -63,6 +66,13 @@ pub struct ServerContext {
     shed: ShedState,
     default_deadline_s: f64,
     platform: OnceLock<Platform>,
+    /// Live platform tracker, built on first `/admin/platform` batch
+    /// (the initial sweep is paid once, and only by deployments that
+    /// actually stream deltas). `Err` pins the boot failure so every
+    /// later batch reports it instead of retrying a broken journal.
+    push: OnceLock<Result<PushTracker, String>>,
+    max_staleness_s: Option<f64>,
+    delta_journal: Option<std::path::PathBuf>,
 }
 
 impl ServerContext {
@@ -91,7 +101,55 @@ impl ServerContext {
             shed: ShedState::new(brownout_at_s, shed_at_s),
             default_deadline_s,
             platform: OnceLock::new(),
+            push: OnceLock::new(),
+            max_staleness_s: None,
+            delta_journal: None,
         }
+    }
+
+    /// Configures live platform tracking: the `/readyz` staleness bound
+    /// (`None` disables the 503) and an optional durable delta journal.
+    /// Call before the context is shared; the tracker itself is still
+    /// built lazily on the first delta batch.
+    pub fn configure_push(
+        &mut self,
+        max_staleness_s: Option<f64>,
+        delta_journal: Option<std::path::PathBuf>,
+    ) {
+        self.max_staleness_s = max_staleness_s;
+        self.delta_journal = delta_journal;
+    }
+
+    /// The staleness bound `/readyz` enforces, when configured.
+    pub fn max_staleness_s(&self) -> Option<f64> {
+        self.max_staleness_s
+    }
+
+    /// The live platform tracker, built (and its journal replayed) on
+    /// first use. A boot failure is sticky and structured, never a
+    /// panic.
+    fn tracker(&self) -> Result<&PushTracker, &str> {
+        self.push
+            .get_or_init(|| PushTracker::new(self.delta_journal.clone()).map_err(|e| e.to_string()))
+            .as_ref()
+            .map_err(String::as_str)
+    }
+
+    /// Current staleness stamp and wall-clock age, if the tracker has
+    /// been built. `None` means no delta has ever arrived: answers are
+    /// definitionally fresh.
+    pub fn push_staleness(&self) -> Option<(Staleness, f64)> {
+        match self.push.get() {
+            Some(Ok(t)) => Some(t.staleness()),
+            _ => None,
+        }
+    }
+
+    /// Test hook: force-builds the tracker so staleness paths can be
+    /// exercised without a real delta batch.
+    #[doc(hidden)]
+    pub fn force_tracker(&self) -> Result<&PushTracker, &str> {
+        self.tracker()
     }
 
     /// The per-request wall-clock budget used when a request body does
@@ -359,7 +417,7 @@ fn spec_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> HttpR
     if let Some(n) = negotiation {
         out.push_str(&format!(", \"negotiation\": {n}"));
     }
-    push_meta_and_report(&mut out, body, deadline, &generation, degraded);
+    push_meta_and_report(ctx, &mut out, body, deadline, &generation, degraded);
     out.push('}');
     HttpResponse::json(200, out)
 }
@@ -508,7 +566,7 @@ fn predict_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> Ht
         num(stats.regularity),
         num(stats.mean_comp)
     ));
-    push_meta_and_report(&mut out, body, deadline, &generation, degraded);
+    push_meta_and_report(ctx, &mut out, body, deadline, &generation, degraded);
     out.push('}');
     HttpResponse::json(200, out)
 }
@@ -563,7 +621,7 @@ fn lint_endpoint(ctx: &ServerContext, body: &Json, deadline: &Deadline) -> HttpR
         report.warnings(),
         diagnostics_json(&report.diagnostics)
     ));
-    push_meta_and_report(&mut out, body, deadline, &generation, degraded);
+    push_meta_and_report(ctx, &mut out, body, deadline, &generation, degraded);
     out.push('}');
     HttpResponse::json(200, out)
 }
@@ -602,16 +660,27 @@ fn readyz(ctx: &ServerContext) -> HttpResponse {
     let draining = ctx.lifecycle.draining();
     let reloading = ctx.store.reloading();
     let level = ctx.shed.level();
-    let ready = !draining && !reloading && level != ShedLevel::Shed;
+    let staleness = ctx.push_staleness();
+    // Staleness flips readiness only past the configured bound: a
+    // stale-but-flagged answer keeps flowing (every response carries
+    // its stamp), but load balancers stop routing here once the gap
+    // has been open longer than the operator tolerates.
+    let stale = match (ctx.max_staleness_s, &staleness) {
+        (Some(bound), Some((_, age_s))) => *age_s > bound,
+        _ => false,
+    };
+    let ready = !draining && !reloading && level != ShedLevel::Shed && !stale;
     let body = format!(
         "{{\"ready\": {}, \"state\": {}, \"reloading\": {}, \"shed\": {}, \
-         \"generation\": {}, \"pending\": {}}}",
+         \"generation\": {}, \"pending\": {}, \"stale\": {}, \"staleness\": {}}}",
         ready,
         escape(ctx.lifecycle.state().label()),
         reloading,
         escape(level.label()),
         ctx.store.generation(),
-        ctx.lifecycle.pending()
+        ctx.lifecycle.pending(),
+        stale,
+        staleness_json(staleness)
     );
     let mut resp = HttpResponse::json(if ready { 200 } else { 503 }, body);
     if !ready {
@@ -636,7 +705,7 @@ fn metrics(ctx: &ServerContext) -> HttpResponse {
     for (name, value) in report
         .counters
         .iter()
-        .filter(|(n, _)| n.starts_with("serve."))
+        .filter(|(n, _)| n.starts_with("serve.") || n.starts_with("push."))
     {
         if !first {
             out.push_str(", ");
@@ -701,16 +770,17 @@ fn reload_outcome_json(outcome: &ReloadOutcome) -> String {
 
 // ------------------------------------------------------- admin surface
 
-/// Routes one request on the loopback-only admin listener. Reload and
-/// drain are POST-only; everything else 404s so the admin port leaks
-/// nothing beyond its two verbs.
+/// Routes one request on the loopback-only admin listener. Reload,
+/// drain and platform deltas are POST-only; everything else 404s so
+/// the admin port leaks nothing beyond its three verbs.
 pub fn handle_admin(ctx: &ServerContext, req: &HttpRequest) -> HttpResponse {
     REQ_ADMIN.incr();
     let path = req.path.split('?').next().unwrap_or("");
     match (req.method.as_str(), path) {
         ("POST", "/admin/reload") => admin_reload(ctx, req),
         ("POST", "/admin/drain") => admin_drain(ctx),
-        (_, "/admin/reload" | "/admin/drain") => {
+        ("POST", "/admin/platform") => admin_platform(ctx, req),
+        (_, "/admin/reload" | "/admin/drain" | "/admin/platform") => {
             error(405, "method", "use POST for admin endpoints", &[])
         }
         (_, path) => error(
@@ -776,6 +846,182 @@ fn admin_drain(ctx: &ServerContext) -> HttpResponse {
             flipped,
             ctx.lifecycle.pending()
         ),
+    )
+}
+
+/// `POST /admin/platform {"deltas": [{"seq": 1, "delta": "host-join\t3\t5"}, ...]}`:
+/// applies one platform-delta batch through the push engine. The batch
+/// is linted first (`rsg-analyze` delta lints); any error-level finding
+/// refuses the whole batch with a 422 and **no** state change. An
+/// optional `"audit": {"sample": N, "salt": N}` runs an explicit
+/// anti-entropy pass (alone, or after the batch applies).
+fn admin_platform(ctx: &ServerContext, req: &HttpRequest) -> HttpResponse {
+    let body = match Json::parse(&req.body) {
+        Ok(v @ Json::Obj(_)) => v,
+        Ok(_) => return error(400, "usage", "request body must be a JSON object", &[]),
+        Err(e) => {
+            return error(
+                400,
+                "usage",
+                &format!("request body is not valid JSON: {e}"),
+                &[],
+            )
+        }
+    };
+    let deltas = body.get("deltas").and_then(Json::as_array);
+    let audit_req = body.get("audit");
+    if deltas.is_none() && audit_req.is_none() {
+        return error(
+            400,
+            "usage",
+            "platform needs {\"deltas\": [{\"seq\", \"delta\"}, ...]} and/or {\"audit\": {...}}",
+            &[],
+        );
+    }
+    let records = match parse_delta_records(deltas.unwrap_or(&[])) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let tracker = match ctx.tracker() {
+        Ok(t) => t,
+        Err(e) => {
+            return error(
+                500,
+                "push",
+                &format!("platform tracker failed to start: {e}"),
+                &[],
+            )
+        }
+    };
+    let mut out = String::from("{\"accepted\": true");
+    if !records.is_empty() {
+        match tracker.submit(&records) {
+            Ok(outcome) => push_submit_outcome(&mut out, &outcome),
+            Err(SubmitError::Lint(diags)) => {
+                return delta_error(
+                    422,
+                    "delta",
+                    &format!(
+                        "delta batch rejected: {} error-level diagnostic(s); nothing was applied",
+                        diags.len()
+                    ),
+                    &diags,
+                )
+            }
+            Err(SubmitError::Journal(e)) => {
+                return error(
+                    500,
+                    "journal",
+                    &format!("delta journal write failed; nothing was applied: {e}"),
+                    &[],
+                )
+            }
+        }
+    }
+    if let Some(a) = audit_req {
+        let sample = a
+            .get("sample")
+            .and_then(Json::as_f64)
+            .map_or(crate::push::AUDIT_SAMPLE, |v| v.max(1.0) as usize);
+        let salt = a.get("salt").and_then(Json::as_f64).map_or(0.0, f64::abs) as u64;
+        let report = tracker.audit(sample, salt);
+        out.push_str(&format!(
+            ", \"audit\": {{\"checked\": {}, \"divergent\": {}}}",
+            report.checked, report.divergent
+        ));
+    }
+    let (staleness, age_s) = tracker.staleness();
+    out.push_str(&format!(
+        ", \"staleness\": {}}}",
+        staleness_json(Some((staleness, age_s)))
+    ));
+    HttpResponse::json(200, out)
+}
+
+/// Decodes the `"deltas"` array: each element needs an integral
+/// `"seq"` ≥ 1 that fits a u64 and a `"delta"` TSV string in the
+/// journal record grammar. A malformed element is a 400 (the envelope
+/// is wrong); a well-formed delta with bad *values* is left to the
+/// lints, which answer 422.
+fn parse_delta_records(deltas: &[Json]) -> Result<Vec<DeltaRecord>, HttpResponse> {
+    let mut records = Vec::with_capacity(deltas.len());
+    for (i, d) in deltas.iter().enumerate() {
+        let seq = match d.get("seq").and_then(Json::as_f64) {
+            Some(s) if s.is_finite() && s >= 0.0 && s.fract() == 0.0 && s <= 2f64.powi(53) => {
+                s as u64
+            }
+            _ => {
+                return Err(error(
+                    400,
+                    "usage",
+                    &format!("deltas[{i}].seq must be a non-negative integer"),
+                    &[],
+                ))
+            }
+        };
+        let Some(tsv) = d.get("delta").and_then(Json::as_str) else {
+            return Err(error(
+                400,
+                "usage",
+                &format!("deltas[{i}].delta must be a TSV delta string"),
+                &[],
+            ));
+        };
+        let delta = match PlatformDelta::from_tsv(tsv) {
+            Ok(delta) => delta,
+            Err(e) => {
+                return Err(delta_error(
+                    422,
+                    "delta",
+                    &format!("deltas[{i}] does not parse; nothing was applied"),
+                    &[DeltaDiagnostic {
+                        code: rsg_analyze::DeltaCode::BadValue,
+                        seq,
+                        detail: e.to_string(),
+                    }],
+                ))
+            }
+        };
+        records.push(DeltaRecord { seq, delta });
+    }
+    Ok(records)
+}
+
+/// Appends one accepted batch's outcome fields to the response body.
+fn push_submit_outcome(out: &mut String, outcome: &SubmitOutcome) {
+    let b = outcome.batch;
+    out.push_str(&format!(
+        ", \"applied\": {}, \"duplicates\": {}, \"parked\": {}, \"rejected\": {}, \
+         \"dirtied\": {}, \"recomputed\": {}, \"resynced\": {}",
+        b.applied, b.duplicates, b.parked, b.rejected, b.dirtied, b.recomputed, b.resynced
+    ));
+    if let Some(a) = outcome.audit {
+        out.push_str(&format!(
+            ", \"auto_audit\": {{\"checked\": {}, \"divergent\": {}}}",
+            a.checked, a.divergent
+        ));
+    }
+}
+
+/// Renders the staleness stamp every response carries: the highest
+/// contiguously applied delta sequence, how many deltas are known but
+/// unapplied (`lag`), and how long the oldest gap has been open.
+/// `None` (no tracker, no deltas ever) renders as fully fresh.
+fn staleness_json(staleness: Option<(Staleness, f64)>) -> String {
+    let (s, age_s) = staleness.unwrap_or((
+        Staleness {
+            applied_seq: 0,
+            highest_seen: 0,
+            lag: 0,
+        },
+        0.0,
+    ));
+    format!(
+        "{{\"applied_seq\": {}, \"highest_seen\": {}, \"lag\": {}, \"age_s\": {}}}",
+        s.applied_seq,
+        s.highest_seen,
+        s.lag,
+        num(age_s)
     )
 }
 
@@ -872,12 +1118,14 @@ fn stats_from_characteristics(c: &Json) -> Result<DagStats, HttpResponse> {
 }
 
 /// Appends the response `meta` object — elapsed, deadline, the answer
-/// generation and (under brownout) a `"degraded": true` marker — and,
+/// generation, the platform staleness stamp and (under brownout) a
+/// `"degraded": true` marker — and,
 /// when the request asked for one with `"report": true` and the
 /// process is not browned out, a full `rsg-obs` run-report snapshot.
 /// Skipping the report under brownout is the cheapest extra to shed:
 /// capturing it walks every registered histogram.
 fn push_meta_and_report(
+    ctx: &ServerContext,
     out: &mut String,
     body: &Json,
     deadline: &Deadline,
@@ -885,10 +1133,12 @@ fn push_meta_and_report(
     degraded: bool,
 ) {
     out.push_str(&format!(
-        ", \"meta\": {{\"elapsed_s\": {}, \"deadline_s\": {}, \"generation\": {}",
+        ", \"meta\": {{\"elapsed_s\": {}, \"deadline_s\": {}, \"generation\": {}, \
+         \"staleness\": {}",
         num(deadline.elapsed_s()),
         num(deadline.budget_s()),
-        generation.number
+        generation.number,
+        staleness_json(ctx.push_staleness())
     ));
     if degraded {
         out.push_str(", \"degraded\": true");
@@ -913,6 +1163,40 @@ fn error(status: u16, kind: &str, message: &str, diagnostics: &[Diagnostic]) -> 
             ", \"diagnostics\": {}",
             diagnostics_json(diagnostics)
         ));
+    }
+    body.push_str("}}");
+    HttpResponse::json(status, body)
+}
+
+/// The structured error body for delta-batch refusals — same shape as
+/// [`error`], but the diagnostics carry `DELTA00x` codes and sequence
+/// numbers instead of lint subjects. All delta diagnostics are
+/// error-severity by construction.
+fn delta_error(
+    status: u16,
+    kind: &str,
+    message: &str,
+    diagnostics: &[DeltaDiagnostic],
+) -> HttpResponse {
+    let mut body = format!(
+        "{{\"error\": {{\"status\": {status}, \"kind\": {}, \"message\": {}",
+        escape(kind),
+        escape(message)
+    );
+    if !diagnostics.is_empty() {
+        body.push_str(", \"diagnostics\": [");
+        for (i, d) in diagnostics.iter().enumerate() {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            body.push_str(&format!(
+                "{{\"code\": {}, \"severity\": \"error\", \"seq\": {}, \"detail\": {}}}",
+                escape(d.code.as_str()),
+                d.seq,
+                escape(&d.detail)
+            ));
+        }
+        body.push(']');
     }
     body.push_str("}}");
     HttpResponse::json(status, body)
@@ -1079,6 +1363,23 @@ mod tests {
         }
         .generate(7);
         rsg_dag::io::write_dag(&dag)
+    }
+
+    #[test]
+    fn queue_full_rejection_is_a_structured_error() {
+        // Contract for the acceptor's canned overload 503: built with
+        // zero request state, yet still the full structured error body
+        // — a shed client must be able to machine-parse the refusal
+        // exactly like any other error, and must get a Retry-After.
+        let resp = overload_response();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after_s, Some(1));
+        let v = Json::parse(&resp.body).expect("overload body is valid JSON");
+        let err = v.get("error").expect("structured error envelope");
+        assert_eq!(err.get("status").and_then(Json::as_f64), Some(503.0));
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("overload"));
+        let msg = err.get("message").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("queue"), "message names the queue: {msg}");
     }
 
     #[test]

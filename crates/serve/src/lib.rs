@@ -29,6 +29,11 @@
 //!   `/healthz` and `/readyz`, linting every submitted DAG with
 //!   `rsg-analyze` before serving it and mapping diagnostics onto
 //!   structured 4xx bodies.
+//! - [`push`] tracks a *live* platform: `/admin/platform` delta
+//!   batches are linted, journaled, and propagated through the core
+//!   incremental-recomputation engine; every answer carries a
+//!   staleness stamp and `/readyz` flips once staleness exceeds the
+//!   configured bound.
 //! - [`chaostcp`] is the seeded socket-level chaos harness that
 //!   drives all of the above hostile paths against a real daemon
 //!   (`bench_serve --chaos`, and the CI chaos-smoke step).
@@ -45,6 +50,7 @@ pub mod deadline;
 pub mod handlers;
 pub mod http;
 pub mod lifecycle;
+pub mod push;
 pub mod registry;
 pub mod server;
 pub mod shed;
@@ -54,6 +60,7 @@ pub use deadline::Deadline;
 pub use handlers::ServerContext;
 pub use http::{HttpRequest, HttpResponse};
 pub use lifecycle::{Lifecycle, ServiceState};
+pub use push::{PushTracker, SubmitError, SubmitOutcome};
 pub use registry::{Generation, ModelRegistry, ModelStore, ReloadOutcome};
 pub use server::{ServeConfig, Server};
 pub use shed::{ShedLevel, ShedState};

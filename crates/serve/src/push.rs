@@ -1,0 +1,262 @@
+//! Live platform tracking for the serving tier.
+//!
+//! [`PushTracker`] wraps the core [`PushEngine`] with everything the
+//! daemon needs around it: delta-batch linting (via `rsg-analyze`, so
+//! a bad batch is refused before any state mutates), an optional
+//! durable [`DeltaJournal`] replayed on boot, wall-clock staleness
+//! (the engine itself is clock-free; the tracker stamps gap age so
+//! `/readyz` can flip once answers get too stale), and an automatic
+//! anti-entropy audit cadence — every [`AUDIT_EVERY_BATCHES`]th batch
+//! triggers a seeded sample audit without any operator timer.
+//!
+//! The tracker is built lazily on first use: a daemon that never sees
+//! a delta never pays for the initial sweep.
+
+use rsg_analyze::{lint_delta_batch, DeltaDiagnostic};
+use rsg_core::observation::ObservationGrid;
+use rsg_core::push::{AuditReport, BatchOutcome, DeltaJournal, DeltaRecord, PushEngine, Staleness};
+use rsg_core::{CurveConfig, StoreError, THRESHOLD_LADDER};
+use rsg_platform::{CostModel, Platform, ResourceGenSpec, TopologySpec};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A full audit pass is forced after this many accepted delta batches —
+/// the "periodic" in periodic anti-entropy, counted in batches rather
+/// than wall time so the cadence is deterministic under test.
+pub const AUDIT_EVERY_BATCHES: u64 = 16;
+
+/// Cells sampled by one automatic audit pass (explicit audits pick
+/// their own sample size).
+pub const AUDIT_SAMPLE: usize = 4;
+
+/// Why a delta batch was refused.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The batch tripped error-level delta lints; nothing was applied.
+    Lint(Vec<DeltaDiagnostic>),
+    /// The journal could not durably record the batch; nothing was
+    /// applied (durability before apply, so a replay never misses
+    /// state the models already absorbed).
+    Journal(StoreError),
+}
+
+/// Everything one accepted batch produced, for the admin response.
+#[derive(Debug, Clone, Copy)]
+pub struct SubmitOutcome {
+    /// What the engine did with the records.
+    pub batch: BatchOutcome,
+    /// Staleness after the batch.
+    pub staleness: Staleness,
+    /// The automatic audit, when this batch crossed the cadence.
+    pub audit: Option<AuditReport>,
+}
+
+/// Serving-tier wrapper around the push engine: lint → journal →
+/// apply → audit cadence, plus wall-clock gap age.
+pub struct PushTracker {
+    engine: Mutex<PushEngine>,
+    journal: Option<DeltaJournal>,
+    /// When the currently open sequence gap was first observed; `None`
+    /// while fully contiguous. Drives the staleness age.
+    gap_since: Mutex<Option<Instant>>,
+    batches: Mutex<u64>,
+}
+
+impl PushTracker {
+    /// Builds the tracker over the deterministic negotiation platform
+    /// (the same 40-cluster / 1200-host universe the CLI and the
+    /// negotiation path bind against) with the tiny observation grid —
+    /// small enough that the initial sweep is a boot-time cost, real
+    /// enough that every delta path exercises the full kernel. When
+    /// `journal_path` is set, the journal is opened (torn tails
+    /// truncated, corrupt files quarantined) and every recovered
+    /// record replayed through the engine.
+    pub fn new(journal_path: Option<PathBuf>) -> Result<PushTracker, StoreError> {
+        let platform = Platform::generate(
+            ResourceGenSpec {
+                clusters: 40,
+                year: 2006,
+                target_hosts: Some(1200),
+            },
+            TopologySpec::default(),
+            11,
+        );
+        let mut engine = PushEngine::new(
+            ObservationGrid::tiny(),
+            CurveConfig::default(),
+            THRESHOLD_LADDER.to_vec(),
+            0,
+            platform,
+            CostModel::default(),
+        );
+        let journal = match journal_path {
+            Some(p) => {
+                let j = DeltaJournal::open(&p, engine.fingerprint())?;
+                // Replay is idempotent: duplicates and reorderings in
+                // the recovered stream are the engine's bread and
+                // butter. A record the replay cannot apply is dropped
+                // by the engine's own quarantine rules, never a panic.
+                let recovered: Vec<DeltaRecord> = j.recovered().to_vec();
+                if !recovered.is_empty() {
+                    let _ = engine.submit_batch(&recovered);
+                }
+                Some(j)
+            }
+            None => None,
+        };
+        let gap_open = engine.gap().is_some();
+        Ok(PushTracker {
+            engine: Mutex::new(engine),
+            journal,
+            gap_since: Mutex::new(gap_open.then(Instant::now)),
+            batches: Mutex::new(0),
+        })
+    }
+
+    /// Lints, journals and applies one delta batch. Any error-level
+    /// lint refuses the whole batch (422 upstream) with no state
+    /// change; journal failures likewise refuse before apply. On
+    /// success the gap clock and audit cadence advance.
+    pub fn submit(&self, records: &[DeltaRecord]) -> Result<SubmitOutcome, SubmitError> {
+        let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+        let diags = lint_delta_batch(records, engine.platform(), engine.staleness().applied_seq);
+        if !diags.is_empty() {
+            return Err(SubmitError::Lint(diags));
+        }
+        if let Some(j) = &self.journal {
+            for rec in records {
+                if let Err(e) = j.append(rec) {
+                    return Err(SubmitError::Journal(e));
+                }
+            }
+        }
+        // Lint covered everything submit_batch validates, so an Err
+        // here would be a logic bug; surface it as a lint-shaped
+        // refusal rather than panicking the worker.
+        let batch = match engine.submit_batch(records) {
+            Ok(b) => b,
+            Err(e) => {
+                return Err(SubmitError::Lint(vec![DeltaDiagnostic {
+                    code: rsg_analyze::DeltaCode::BadValue,
+                    seq: 0,
+                    detail: e.to_string(),
+                }]))
+            }
+        };
+        let staleness = engine.staleness();
+        self.note_gap(staleness.lag > 0);
+
+        let mut audit = None;
+        {
+            let mut batches = self.batches.lock().unwrap_or_else(|e| e.into_inner());
+            *batches += 1;
+            if (*batches).is_multiple_of(AUDIT_EVERY_BATCHES) {
+                audit = Some(engine.audit(AUDIT_SAMPLE, *batches));
+            }
+        }
+        Ok(SubmitOutcome {
+            batch,
+            staleness,
+            audit,
+        })
+    }
+
+    /// Runs an explicit anti-entropy audit over `sample` cells.
+    pub fn audit(&self, sample: usize, salt: u64) -> AuditReport {
+        let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+        engine.audit(sample, salt)
+    }
+
+    /// Current staleness stamp plus wall-clock age: `age_s` is how long
+    /// the oldest unapplied delta has been waiting (0 while fully
+    /// contiguous). Wrong answers are impossible either way — age only
+    /// measures how far behind the live platform the answers run.
+    pub fn staleness(&self) -> (Staleness, f64) {
+        let engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+        let staleness = engine.staleness();
+        let gap = self.gap_since.lock().unwrap_or_else(|e| e.into_inner());
+        let age_s = gap.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        (staleness, age_s)
+    }
+
+    /// Test hook: poisons one engine cell so an audit has something to
+    /// find (see [`PushEngine::poison_cell`]).
+    #[doc(hidden)]
+    pub fn poison_cell(&self, c: usize) {
+        let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+        engine.poison_cell(c);
+    }
+
+    fn note_gap(&self, open: bool) {
+        let mut gap = self.gap_since.lock().unwrap_or_else(|e| e.into_inner());
+        match (open, gap.is_some()) {
+            (true, false) => *gap = Some(Instant::now()),
+            (false, true) => *gap = None,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_platform::delta::PlatformDelta;
+    use rsg_platform::ClusterId;
+
+    #[test]
+    fn tracker_lints_journals_and_tracks_gaps() {
+        let dir = std::env::temp_dir().join(format!("rsg-tracker-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("deltas.journal");
+
+        let tracker = PushTracker::new(Some(path.clone())).unwrap();
+        // Bad batch → lint refusal, no state change.
+        let bad = [DeltaRecord {
+            seq: 1,
+            delta: PlatformDelta::ClockDrift {
+                cluster: ClusterId(0),
+                clock_mhz: f64::NAN,
+            },
+        }];
+        assert!(matches!(
+            tracker.submit(&bad),
+            Err(SubmitError::Lint(ref d)) if !d.is_empty()
+        ));
+        assert_eq!(tracker.staleness().0.applied_seq, 0);
+
+        // Gapped batch → parked, staleness age starts ticking.
+        let gapped = [DeltaRecord {
+            seq: 2,
+            delta: PlatformDelta::PriceChange {
+                dollars_per_hour: 0.2,
+            },
+        }];
+        let out = tracker.submit(&gapped).unwrap();
+        assert_eq!(out.batch.parked, 1);
+        assert_eq!(out.staleness.lag, 2);
+
+        // Fill the gap → contiguous again, age resets.
+        let fill = [DeltaRecord {
+            seq: 1,
+            delta: PlatformDelta::PriceChange {
+                dollars_per_hour: 0.15,
+            },
+        }];
+        let out = tracker.submit(&fill).unwrap();
+        assert_eq!(out.batch.applied, 2);
+        assert!(out.batch.resynced);
+        let (staleness, age_s) = tracker.staleness();
+        assert_eq!(staleness.lag, 0);
+        assert_eq!(age_s, 0.0);
+        drop(tracker);
+
+        // A rebuilt tracker replays the journal to the same state.
+        let tracker = PushTracker::new(Some(path)).unwrap();
+        let (staleness, _) = tracker.staleness();
+        assert_eq!(staleness.applied_seq, 2);
+        assert_eq!(staleness.lag, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -74,6 +74,14 @@ pub struct ServeConfig {
     /// Smoothed queue wait (seconds) at which model endpoints are shed
     /// with 503 + adaptive `Retry-After`. `0` disables shedding.
     pub shed_at_s: f64,
+    /// Staleness bound (seconds): once a delta-sequence gap has been
+    /// open longer than this, `/readyz` answers 503 (answers keep
+    /// flowing, flagged via `meta.staleness`). `None` disables the
+    /// readiness flip.
+    pub max_staleness_s: Option<f64>,
+    /// Durable delta journal path for `/admin/platform` batches;
+    /// replayed on boot. `None` keeps platform tracking memory-only.
+    pub delta_journal: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +95,8 @@ impl Default for ServeConfig {
             max_body_bytes: 1 << 20,
             brownout_at_s: handlers::DEFAULT_BROWNOUT_AT_S,
             shed_at_s: handlers::DEFAULT_SHED_AT_S,
+            max_staleness_s: None,
+            delta_journal: None,
         }
     }
 }
@@ -113,12 +123,14 @@ impl Server {
         rsg_obs::enable(true);
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let ctx = Arc::new(ServerContext::with_shedding(
+        let mut ctx = ServerContext::with_shedding(
             registry,
             cfg.default_deadline_s,
             cfg.brownout_at_s,
             cfg.shed_at_s,
-        ));
+        );
+        ctx.configure_push(cfg.max_staleness_s, cfg.delta_journal.clone());
+        let ctx = Arc::new(ctx);
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = std::sync::mpsc::sync_channel::<(TcpStream, Deadline)>(cfg.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
@@ -521,6 +533,74 @@ mod tests {
         let (status, reply) = post(server.addr(), "/spec", body);
         assert_eq!(status, 200, "{reply}");
         assert!(reply.contains("\"rc_size\""), "{reply}");
+    }
+
+    #[test]
+    fn platform_deltas_flow_and_staleness_gates_readiness() {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            admin_addr: Some("127.0.0.1:0".to_string()),
+            workers: 2,
+            max_staleness_s: Some(0.05),
+            ..ServeConfig::default()
+        };
+        let server = Server::spawn(&cfg, test_registry()).unwrap();
+        let admin = server.admin_addr().expect("admin listener");
+
+        // A bad delta batch is refused wholesale with DELTA00x
+        // diagnostics and no state change.
+        let (status, reply) = post(
+            admin,
+            "/admin/platform",
+            "{\"deltas\": [{\"seq\": 1, \"delta\": \"clock-drift\\t0\\tNaN\"}]}",
+        );
+        assert_eq!(status, 422, "{reply}");
+        assert!(reply.contains("DELTA005"), "{reply}");
+
+        // A clean contiguous batch applies.
+        let (status, reply) = post(
+            admin,
+            "/admin/platform",
+            "{\"deltas\": [{\"seq\": 1, \"delta\": \"price\\t0.25\"}]}",
+        );
+        assert_eq!(status, 200, "{reply}");
+        assert!(reply.contains("\"applied\": 1"), "{reply}");
+        assert!(reply.contains("\"lag\": 0"), "{reply}");
+
+        // A gapped batch parks; answers keep flowing with the stamp,
+        // and once the gap outlives the bound, /readyz flips 503.
+        let (status, reply) = post(
+            admin,
+            "/admin/platform",
+            "{\"deltas\": [{\"seq\": 3, \"delta\": \"price\\t0.30\"}]}",
+        );
+        assert_eq!(status, 200, "{reply}");
+        assert!(reply.contains("\"parked\": 1"), "{reply}");
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        let (status, reply) = get(server.addr(), "/readyz");
+        assert_eq!(status, 503, "{reply}");
+        assert!(reply.contains("\"stale\": true"), "{reply}");
+        let body = "{\"characteristics\": {\"size\": 100, \"ccr\": 0.2, \"parallelism\": 0.6, \
+                    \"density\": 0.5, \"regularity\": 0.7, \"mean_comp\": 25}}";
+        let (status, reply) = post(server.addr(), "/spec", body);
+        assert_eq!(status, 200, "{reply}");
+        assert!(reply.contains("\"staleness\""), "{reply}");
+        assert!(reply.contains("\"lag\": 2"), "{reply}");
+
+        // Filling the gap restores readiness and the push.* counters
+        // show up on /metrics.
+        let (status, reply) = post(
+            admin,
+            "/admin/platform",
+            "{\"deltas\": [{\"seq\": 2, \"delta\": \"price\\t0.28\"}]}",
+        );
+        assert_eq!(status, 200, "{reply}");
+        assert!(reply.contains("\"resynced\": true"), "{reply}");
+        let (status, reply) = get(server.addr(), "/readyz");
+        assert_eq!(status, 200, "{reply}");
+        let (status, reply) = get(server.addr(), "/metrics");
+        assert_eq!(status, 200, "{reply}");
+        assert!(reply.contains("push.deltas_applied"), "{reply}");
     }
 
     #[test]

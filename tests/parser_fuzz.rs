@@ -149,6 +149,70 @@ proptest! {
     }
 
     #[test]
+    fn delta_journal_never_panics(
+        s in "[ -~\\n\\t]{0,300}",
+        seq in "[-0-9a-fx.]{0,24}",
+        flip in 0usize..400,
+    ) {
+        // The delta journal shares the torn-tail contract with the
+        // sweep journal: arbitrary bytes, truncations, bit-flips and
+        // hostile sequence numbers must classify as a clean recovery
+        // prefix or a typed StoreError — never a panic. Replay is
+        // exercised through the read-only verifier (same line parser).
+        let dir = std::env::temp_dir()
+            .join(format!("rsg-fuzz-delta-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("d.journal");
+        std::fs::write(&path, &s).unwrap();
+        let _ = rsg::core::DeltaJournal::verify(&path);
+        // Same garbage under a well-formed header: the body parser,
+        // not the header sniffer, has to hold the line.
+        std::fs::write(
+            &path,
+            format!("rsg-delta-journal\tv1\t00000000deadbeef\n{s}"),
+        ).unwrap();
+        let _ = rsg::core::DeltaJournal::verify(&path);
+        // Hostile sequence-number field spliced into an otherwise
+        // plausible record line (checksum will not match — that must
+        // truncate, not crash).
+        std::fs::write(
+            &path,
+            format!(
+                "rsg-delta-journal\tv1\t00000000deadbeef\n\
+                 delta\t{seq}\tprice\t0.5\t0123456789abcdef\n"
+            ),
+        ).unwrap();
+        let _ = rsg::core::DeltaJournal::verify(&path);
+        // Bit-flip a byte of a genuinely valid journal: verify must
+        // report the damage (or a shortened clean prefix), not panic.
+        let fp = 0x1234_5678_9abc_def0u64;
+        {
+            let j = rsg::core::DeltaJournal::open(&path, fp).unwrap();
+            for (i, tsv) in ["price\t0.25", "clock-drift\t0\t2400", "price\t0.75"]
+                .iter()
+                .enumerate()
+            {
+                let d = rsg::platform::PlatformDelta::from_tsv(tsv).unwrap();
+                j.append(&rsg::core::DeltaRecord { seq: i as u64 + 1, delta: d })
+                    .unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = flip % bytes.len();
+        bytes[at] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let _ = rsg::core::DeltaJournal::verify(&path);
+    }
+
+    #[test]
+    fn platform_delta_parser_never_panics(s in "[ -~\\n\\t]{0,120}") {
+        let _ = rsg::platform::PlatformDelta::from_tsv(&s);
+        for head in ["host-join\t", "host-leave\t", "clock-drift\t", "bw-drift\t", "price\t"] {
+            let _ = rsg::platform::PlatformDelta::from_tsv(&format!("{head}{s}"));
+        }
+    }
+
+    #[test]
     fn http_reader_never_panics_on_garbage(
         s in "[ -~\\r\\n\\t]{0,400}",
         chunk in 1usize..9,

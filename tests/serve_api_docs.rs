@@ -130,6 +130,7 @@ fn every_curl_example_in_api_md_replays_with_its_documented_status() {
         "/lint",
         "/metrics",
         "/admin/reload",
+        "/admin/platform",
         "/admin/drain",
     ] {
         assert!(

@@ -21,9 +21,10 @@ use std::collections::BTreeMap;
 pub enum DeltaCode {
     /// DELTA001 — a sequence number of zero (the stream starts at 1).
     ZeroSeq,
-    /// DELTA002 — two records in one batch share a sequence number but
-    /// carry different payloads (same-payload duplicates are legal
-    /// idempotent redelivery).
+    /// DELTA002 — two records share a sequence number but carry
+    /// different payloads, either within one batch or against a record
+    /// the engine has already parked (same-payload duplicates are
+    /// legal idempotent redelivery).
     ConflictingSeq,
     /// DELTA003 — a delta names a cluster outside the platform.
     UnknownCluster,
@@ -61,8 +62,13 @@ pub struct DeltaDiagnostic {
     pub detail: String,
 }
 
-fn code_for(e: &DeltaError) -> DeltaCode {
+/// The stable `DELTA00x` code a [`DeltaError`] reports under — shared
+/// by the batch lints here and by the serving tier when the engine
+/// itself refuses a batch (it validates state the lints cannot see,
+/// such as its parked buffer).
+pub fn code_for(e: &DeltaError) -> DeltaCode {
     match e {
+        DeltaError::ConflictingSeq(_) => DeltaCode::ConflictingSeq,
         DeltaError::UnknownCluster(_) => DeltaCode::UnknownCluster,
         DeltaError::BadHostCount(_) | DeltaError::HostUnderflow { .. } => DeltaCode::BadHostCount,
         DeltaError::Parse(_)

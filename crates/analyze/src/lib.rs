@@ -33,7 +33,7 @@ pub mod specfile;
 pub mod xlang;
 
 pub use dag_lints::lint_dag;
-pub use delta::{lint_delta_batch, DeltaCode, DeltaDiagnostic};
+pub use delta::{code_for, lint_delta_batch, DeltaCode, DeltaDiagnostic};
 pub use diag::{AnalysisReport, Code, Diagnostic, Severity};
 pub use spec_lints::{lint_population, lint_resource_spec, lint_satisfiability, lint_spec_doc};
 pub use specfile::{parse_spec_doc, write_spec_doc, SpecDoc, SpecFileError, SpecRung};

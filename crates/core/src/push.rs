@@ -265,17 +265,47 @@ impl DeltaJournal {
         &self.path
     }
 
+    fn encode(rec: &DeltaRecord) -> String {
+        let prefix = format!("delta\t{}\t{}", rec.seq, rec.delta.to_tsv());
+        format!("{prefix}\t{:016x}\n", fnv1a(prefix.as_bytes()))
+    }
+
     /// Durably appends one record (write + fsync under the journal
     /// lock).
     pub fn append(&self, rec: &DeltaRecord) -> Result<(), StoreError> {
-        let prefix = format!("delta\t{}\t{}", rec.seq, rec.delta.to_tsv());
-        let line = format!("{prefix}\t{:016x}\n", fnv1a(prefix.as_bytes()));
+        let line = Self::encode(rec);
         let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
         f.write_all(line.as_bytes())
             .map_err(|e| StoreError::io(&self.path, "append to", &e))?;
         f.sync_data()
             .map_err(|e| StoreError::io(&self.path, "fsync", &e))?;
         Ok(())
+    }
+
+    /// Durably appends a whole batch as one write + one fsync. On any
+    /// error the file is truncated back to its pre-append length
+    /// (best-effort), so a failed append never leaves a partial batch
+    /// behind — the journal either holds the whole batch or none of it.
+    pub fn append_batch(&self, recs: &[DeltaRecord]) -> Result<(), StoreError> {
+        let mut buf = String::new();
+        for rec in recs {
+            buf.push_str(&Self::encode(rec));
+        }
+        let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let rollback = f.metadata().map(|m| m.len()).ok();
+        let res = f
+            .write_all(buf.as_bytes())
+            .map_err(|e| StoreError::io(&self.path, "append to", &e))
+            .and_then(|()| {
+                f.sync_data()
+                    .map_err(|e| StoreError::io(&self.path, "fsync", &e))
+            });
+        if res.is_err() {
+            if let Some(len) = rollback {
+                let _ = f.set_len(len);
+            }
+        }
+        res
     }
 
     /// Read-only validation of a delta journal (used by `rsg store
@@ -372,7 +402,10 @@ pub struct DepNode {
 pub struct Staleness {
     /// Highest contiguously applied sequence number.
     pub applied_seq: u64,
-    /// Highest sequence number ever seen (applied or parked).
+    /// Highest sequence number ever *accepted* — applied or parked.
+    /// Records the engine rejected (parked-buffer overflow) do not
+    /// count: the caller was told they were refused, so they must not
+    /// inflate the lag until they are actually redelivered.
     pub highest_seen: u64,
     /// `highest_seen - applied_seq`: 0 means fully current.
     pub lag: u64,
@@ -640,11 +673,15 @@ impl PushEngine {
 
     /// Applies a batch of delta records transactionally.
     ///
-    /// Classification per record: `seq ≤ applied` (or already parked)
-    /// → duplicate, skipped idempotently; contiguous with the applied
-    /// prefix → applied (possibly draining parked records behind it);
-    /// future → parked (bounded by [`MAX_PARKED`]; overflow rejects the
-    /// record, never grows memory).
+    /// Classification per record: `seq ≤ applied`, or already parked
+    /// with the *same* payload → duplicate, skipped idempotently;
+    /// already parked with a *different* payload → the source is
+    /// contradicting itself, and the whole batch is refused with
+    /// [`DeltaError::ConflictingSeq`] rather than silently picking a
+    /// side; contiguous with the applied prefix → applied (possibly
+    /// draining parked records behind it); future → parked (bounded by
+    /// [`MAX_PARKED`]; overflow rejects the record, never grows
+    /// memory, and does not advance `highest_seen`).
     ///
     /// Validation is all-or-nothing for the *incoming* records: every
     /// delta that would apply is first checked against a scratch copy
@@ -675,16 +712,26 @@ impl PushEngine {
         incoming.sort_by_key(|r| r.seq);
 
         for rec in &incoming {
-            highest_seen = highest_seen.max(rec.seq);
-            if rec.seq <= applied_seq || pending.contains_key(&rec.seq) {
+            if rec.seq <= applied_seq {
                 out.duplicates += 1;
                 continue;
+            }
+            if let Some(parked) = pending.get(&rec.seq) {
+                if parked.delta == rec.delta {
+                    out.duplicates += 1;
+                    continue;
+                }
+                // Same seq, different payload: a correction the
+                // first-write-wins park would silently discard. Refuse
+                // the batch so the conflict is surfaced instead.
+                return Err(DeltaError::ConflictingSeq(rec.seq));
             }
             if rec.seq == applied_seq + 1 {
                 // Incoming and contiguous: strict validation — any
                 // failure rejects the whole batch.
                 rec.delta.apply(&mut platform, &mut cost)?;
                 applied_seq = rec.seq;
+                highest_seen = highest_seen.max(rec.seq);
                 out.applied += 1;
                 applied_any = true;
                 // Drain parked records now contiguous. These were
@@ -700,18 +747,21 @@ impl PushEngine {
                         Err(_) => out.rejected += 1,
                     }
                     applied_seq = next.seq;
+                    highest_seen = highest_seen.max(next.seq);
                 }
+            } else if pending.len() >= MAX_PARKED {
+                // Overflow: the record is refused, so it must not
+                // ratchet highest_seen — a rejected seq the caller was
+                // told about would otherwise count as lag forever.
+                out.rejected += 1;
             } else {
-                // Future record: park it (bounded).
-                if pending.len() >= MAX_PARKED {
-                    out.rejected += 1;
-                } else {
-                    // Structural validation only — range checks against
-                    // the platform happen at drain time, once the
-                    // intervening records have shaped the state.
-                    pending.insert(rec.seq, *rec);
-                    out.parked += 1;
-                }
+                // Future record: park it (bounded). Structural
+                // validation only — range checks against the platform
+                // happen at drain time, once the intervening records
+                // have shaped the state.
+                pending.insert(rec.seq, *rec);
+                out.parked += 1;
+                highest_seen = highest_seen.max(rec.seq);
             }
         }
 
@@ -1079,6 +1129,41 @@ mod tests {
         assert_eq!(out.parked, MAX_PARKED);
         assert_eq!(out.rejected, 10);
         assert_eq!(out.applied, 0);
+        // Rejected records do not ratchet highest_seen: the lag counts
+        // only what was actually accepted (applied or parked).
+        let s = eng.staleness();
+        assert_eq!(s.highest_seen, 1_000_000 + MAX_PARKED as u64 - 1);
+    }
+
+    #[test]
+    fn conflicting_parked_payload_rejects_the_batch() {
+        let mut eng = engine();
+        let parked = DeltaRecord {
+            seq: 5,
+            delta: PlatformDelta::PriceChange {
+                dollars_per_hour: 0.2,
+            },
+        };
+        let out = eng.submit_batch(&[parked]).unwrap();
+        assert_eq!(out.parked, 1);
+
+        // Same payload redelivered: legal idempotent duplicate.
+        let out = eng.submit_batch(&[parked]).unwrap();
+        assert_eq!(out.duplicates, 1);
+
+        // Different payload under the same seq: the source contradicts
+        // itself — refuse the batch, don't silently keep either side.
+        let conflict = DeltaRecord {
+            seq: 5,
+            delta: PlatformDelta::PriceChange {
+                dollars_per_hour: 0.9,
+            },
+        };
+        let err = eng.submit_batch(&[conflict]).unwrap_err();
+        assert_eq!(err, DeltaError::ConflictingSeq(5));
+        // Nothing changed: the original parked record is still there.
+        assert_eq!(eng.staleness().highest_seen, 5);
+        assert_eq!(eng.gap(), Some(1));
     }
 
     #[test]

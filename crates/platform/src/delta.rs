@@ -97,6 +97,11 @@ pub enum DeltaError {
     BadFactor(f64),
     /// A price that is non-finite or non-positive.
     BadPrice(f64),
+    /// A redelivered sequence number carries a different payload than
+    /// the record already accepted under it — the source is
+    /// contradicting itself, and first-write-wins would silently pick
+    /// one side.
+    ConflictingSeq(u64),
 }
 
 impl fmt::Display for DeltaError {
@@ -122,6 +127,10 @@ impl fmt::Display for DeltaError {
                 "bandwidth factor {x} outside (0, {MAX_BANDWIDTH_FACTOR}]"
             ),
             DeltaError::BadPrice(p) => write!(f, "price {p} $/h is not positive and finite"),
+            DeltaError::ConflictingSeq(seq) => write!(
+                f,
+                "seq {seq} redelivered with a different payload than the record already accepted under it"
+            ),
         }
     }
 }

@@ -912,7 +912,11 @@ fn admin_platform(ctx: &ServerContext, req: &HttpRequest) -> HttpResponse {
                 return error(
                     500,
                     "journal",
-                    &format!("delta journal write failed; nothing was applied: {e}"),
+                    &format!(
+                        "delta batch applied in memory but the journal write failed; \
+                         redeliver the batch (idempotent) once the journal is healthy \
+                         to restore durability: {e}"
+                    ),
                     &[],
                 )
             }

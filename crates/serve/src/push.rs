@@ -12,14 +12,22 @@
 //! The tracker is built lazily on first use: a daemon that never sees
 //! a delta never pays for the initial sweep.
 
-use rsg_analyze::{lint_delta_batch, DeltaDiagnostic};
+use rsg_analyze::{code_for, lint_delta_batch, DeltaDiagnostic};
 use rsg_core::observation::ObservationGrid;
 use rsg_core::push::{AuditReport, BatchOutcome, DeltaJournal, DeltaRecord, PushEngine, Staleness};
 use rsg_core::{CurveConfig, StoreError, THRESHOLD_LADDER};
+use rsg_obs::Counter;
+use rsg_platform::delta::DeltaError;
 use rsg_platform::{CostModel, Platform, ResourceGenSpec, TopologySpec};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 use std::time::Instant;
+
+/// Recovered journal records the boot replay had to drop (each one was
+/// individually refused by the engine — e.g. a record that was
+/// drain-dropped live and is just as invalid on replay). Nonzero after
+/// boot is survivable but worth an operator's look.
+static OBS_REPLAY_DROPPED: Counter = Counter::new("push.replay_dropped");
 
 /// A full audit pass is forced after this many accepted delta batches —
 /// the "periodic" in periodic anti-entropy, counted in batches rather
@@ -33,11 +41,16 @@ pub const AUDIT_SAMPLE: usize = 4;
 /// Why a delta batch was refused.
 #[derive(Debug)]
 pub enum SubmitError {
-    /// The batch tripped error-level delta lints; nothing was applied.
+    /// The batch tripped error-level delta lints, or the engine itself
+    /// refused it (it validates state the lints cannot see — its
+    /// parked buffer); nothing was applied.
     Lint(Vec<DeltaDiagnostic>),
-    /// The journal could not durably record the batch; nothing was
-    /// applied (durability before apply, so a replay never misses
-    /// state the models already absorbed).
+    /// The engine applied the batch but the journal could not durably
+    /// record it. The in-memory state (and every answer) already
+    /// reflects the batch; redelivering it once the journal is healthy
+    /// is safe (idempotent) and restores durability. Journaling happens
+    /// *after* apply so the journal can never hold records the engine
+    /// refused — replay never resurrects a rejected batch.
     Journal(StoreError),
 }
 
@@ -52,11 +65,16 @@ pub struct SubmitOutcome {
     pub audit: Option<AuditReport>,
 }
 
-/// Serving-tier wrapper around the push engine: lint → journal →
-/// apply → audit cadence, plus wall-clock gap age.
+/// Serving-tier wrapper around the push engine: lint → apply →
+/// journal → audit cadence, plus wall-clock gap age.
 pub struct PushTracker {
     engine: Mutex<PushEngine>,
     journal: Option<DeltaJournal>,
+    /// Snapshot of the engine's staleness stamp, refreshed at the end
+    /// of every accepted batch. Answer threads read this instead of
+    /// locking the engine, so a long recompute (which holds the engine
+    /// lock) never blocks `/spec`, `/predict`, `/lint` or `/readyz`.
+    stamp: RwLock<Staleness>,
     /// When the currently open sequence gap was first observed; `None`
     /// while fully contiguous. Drives the staleness age.
     gap_since: Mutex<Option<Instant>>,
@@ -93,59 +111,78 @@ impl PushTracker {
         let journal = match journal_path {
             Some(p) => {
                 let j = DeltaJournal::open(&p, engine.fingerprint())?;
-                // Replay is idempotent: duplicates and reorderings in
-                // the recovered stream are the engine's bread and
-                // butter. A record the replay cannot apply is dropped
-                // by the engine's own quarantine rules, never a panic.
+                // Replay record-by-record, in file order, with the same
+                // tolerance the live drain path has: a recovered record
+                // the engine refuses (e.g. one that was drain-dropped
+                // live and is just as invalid replayed) is dropped and
+                // counted, never allowed to poison the rest of the
+                // replay. Replaying the whole file as one batch would
+                // give such a record strict batch validation and roll
+                // back *everything* — durable state silently gone.
                 let recovered: Vec<DeltaRecord> = j.recovered().to_vec();
-                if !recovered.is_empty() {
-                    let _ = engine.submit_batch(&recovered);
+                let mut dropped = 0u64;
+                for rec in &recovered {
+                    if engine.submit_batch(std::slice::from_ref(rec)).is_err() {
+                        dropped += 1;
+                    }
                 }
+                OBS_REPLAY_DROPPED.add(dropped);
                 Some(j)
             }
             None => None,
         };
         let gap_open = engine.gap().is_some();
+        let stamp = engine.staleness();
         Ok(PushTracker {
             engine: Mutex::new(engine),
             journal,
+            stamp: RwLock::new(stamp),
             gap_since: Mutex::new(gap_open.then(Instant::now)),
             batches: Mutex::new(0),
         })
     }
 
-    /// Lints, journals and applies one delta batch. Any error-level
-    /// lint refuses the whole batch (422 upstream) with no state
-    /// change; journal failures likewise refuse before apply. On
-    /// success the gap clock and audit cadence advance.
+    /// Lints, applies and journals one delta batch. Any error-level
+    /// lint — or an engine refusal — rejects the whole batch (422
+    /// upstream) with no state change. Journaling happens only *after*
+    /// the engine accepts, so the journal never records a batch the
+    /// caller was told was refused; a journal-write failure after apply
+    /// is reported as [`SubmitError::Journal`] (redeliver to restore
+    /// durability — idempotent). On success the staleness snapshot, gap
+    /// clock and audit cadence advance.
     pub fn submit(&self, records: &[DeltaRecord]) -> Result<SubmitOutcome, SubmitError> {
         let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
         let diags = lint_delta_batch(records, engine.platform(), engine.staleness().applied_seq);
         if !diags.is_empty() {
             return Err(SubmitError::Lint(diags));
         }
-        if let Some(j) = &self.journal {
-            for rec in records {
-                if let Err(e) = j.append(rec) {
-                    return Err(SubmitError::Journal(e));
-                }
-            }
-        }
-        // Lint covered everything submit_batch validates, so an Err
-        // here would be a logic bug; surface it as a lint-shaped
-        // refusal rather than panicking the worker.
+        // The engine can still refuse what the lints passed: it sees
+        // state they cannot — a gap fill drains parked records that
+        // reshape the platform under later in-batch records, and a
+        // redelivered seq can conflict with a parked payload. Either
+        // way the engine is transactional: nothing was applied.
         let batch = match engine.submit_batch(records) {
             Ok(b) => b,
             Err(e) => {
+                let seq = match e {
+                    DeltaError::ConflictingSeq(s) => s,
+                    _ => 0,
+                };
                 return Err(SubmitError::Lint(vec![DeltaDiagnostic {
-                    code: rsg_analyze::DeltaCode::BadValue,
-                    seq: 0,
+                    code: code_for(&e),
+                    seq,
                     detail: e.to_string(),
-                }]))
+                }]));
             }
         };
         let staleness = engine.staleness();
-        self.note_gap(staleness.lag > 0);
+        *self.stamp.write().unwrap_or_else(|e| e.into_inner()) = staleness;
+        self.note_gap(engine.gap().is_some());
+        if let Some(j) = &self.journal {
+            if let Err(e) = j.append_batch(records) {
+                return Err(SubmitError::Journal(e));
+            }
+        }
 
         let mut audit = None;
         {
@@ -172,9 +209,12 @@ impl PushTracker {
     /// the oldest unapplied delta has been waiting (0 while fully
     /// contiguous). Wrong answers are impossible either way — age only
     /// measures how far behind the live platform the answers run.
+    ///
+    /// Reads the cached snapshot, never the engine lock — a batch
+    /// mid-recompute cannot stall the answer path that calls this on
+    /// every response.
     pub fn staleness(&self) -> (Staleness, f64) {
-        let engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
-        let staleness = engine.staleness();
+        let staleness = *self.stamp.read().unwrap_or_else(|e| e.into_inner());
         let gap = self.gap_since.lock().unwrap_or_else(|e| e.into_inner());
         let age_s = gap.map_or(0.0, |t| t.elapsed().as_secs_f64());
         (staleness, age_s)
@@ -257,6 +297,103 @@ mod tests {
         let (staleness, _) = tracker.staleness();
         assert_eq!(staleness.applied_seq, 2);
         assert_eq!(staleness.lag, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn conflicting_parked_redelivery_maps_to_delta002() {
+        let tracker = PushTracker::new(None).unwrap();
+        let parked = [DeltaRecord {
+            seq: 2,
+            delta: PlatformDelta::PriceChange {
+                dollars_per_hour: 0.2,
+            },
+        }];
+        assert_eq!(tracker.submit(&parked).unwrap().batch.parked, 1);
+        let conflict = [DeltaRecord {
+            seq: 2,
+            delta: PlatformDelta::PriceChange {
+                dollars_per_hour: 0.9,
+            },
+        }];
+        match tracker.submit(&conflict) {
+            Err(SubmitError::Lint(diags)) => {
+                assert_eq!(diags.len(), 1);
+                assert_eq!(diags[0].code, rsg_analyze::DeltaCode::ConflictingSeq);
+                assert_eq!(diags[0].seq, 2);
+            }
+            other => panic!("expected a DELTA002 refusal, got {other:?}"),
+        }
+        // The refusal changed nothing: the original record still parks.
+        assert_eq!(tracker.staleness().0.highest_seen, 2);
+    }
+
+    /// The review scenario: a parked record that turns invalid when its
+    /// gap fills is drain-dropped live and the stream continues. The
+    /// journal holds both records, so a naive whole-batch replay would
+    /// give the dropped record strict validation, error, and roll back
+    /// the entire recovered state. Record-by-record replay must land on
+    /// exactly the live outcome instead.
+    #[test]
+    fn replay_tolerates_drain_dropped_records() {
+        let dir = std::env::temp_dir().join(format!("rsg-tracker-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("deltas.journal");
+
+        // Same platform the tracker builds, to read real host counts.
+        let platform = Platform::generate(
+            ResourceGenSpec {
+                clusters: 40,
+                year: 2006,
+                target_hosts: Some(1200),
+            },
+            TopologySpec::default(),
+            11,
+        );
+        let (c, have) = platform
+            .clusters()
+            .iter()
+            .enumerate()
+            .map(|(i, cl)| (i, cl.hosts))
+            .find(|&(_, h)| h >= 4)
+            .expect("a cluster with at least 4 hosts");
+        let c = ClusterId(c as u32);
+
+        let tracker = PushTracker::new(Some(path.clone())).unwrap();
+        // seq 2 parks; it is valid against the *current* platform but
+        // will underflow once seq 1 shrinks the cluster.
+        let out = tracker
+            .submit(&[DeltaRecord {
+                seq: 2,
+                delta: PlatformDelta::HostLeave {
+                    cluster: c,
+                    hosts: have - 1,
+                },
+            }])
+            .unwrap();
+        assert_eq!(out.batch.parked, 1);
+        // seq 1 fills the gap and shrinks the cluster, so draining
+        // seq 2 underflows: it is dropped and the stream continues.
+        let out = tracker
+            .submit(&[DeltaRecord {
+                seq: 1,
+                delta: PlatformDelta::HostLeave { cluster: c, hosts: 2 },
+            }])
+            .unwrap();
+        assert_eq!(out.batch.applied, 1);
+        assert_eq!(out.batch.rejected, 1);
+        let (live, _) = tracker.staleness();
+        assert_eq!(live.applied_seq, 2);
+        assert_eq!(live.lag, 0);
+        drop(tracker);
+
+        // Reboot: the replay must reproduce the live state, not roll
+        // back to seq 0 because the drain-dropped record re-errors.
+        let tracker = PushTracker::new(Some(path)).unwrap();
+        let (replayed, age_s) = tracker.staleness();
+        assert_eq!(replayed, live);
+        assert_eq!(age_s, 0.0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

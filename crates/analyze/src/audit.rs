@@ -1,0 +1,548 @@
+//! `rsg audit`: whole-deployment static verification of the artifact
+//! graph.
+//!
+//! Every artifact the pipeline emits — size/heuristic models, knee
+//! tables, sweep journals, the platform file, delta journals, rendered
+//! specs — already checks *itself* (store checksums, `rsg lint`, the
+//! push engine's validation). What nothing checked until now is the
+//! *graph*: whether the artifacts sitting together in one deployment
+//! tree are mutually consistent at the moment `rsg serve` would boot
+//! on them. This module audits the tree offline:
+//!
+//! * the fingerprint chain — a delta journal keyed to a different
+//!   engine configuration, or sweep-journal shards that disagree with
+//!   each other, are errors *before* boot, not quarantines at runtime;
+//! * a **static delta-stream fold** ([`StaticFold`]) that abstractly
+//!   replays the delta journals onto the platform without constructing
+//!   a `PushEngine` — same classification, same refusals, bit-identical
+//!   final state (proved by the differential test in
+//!   `tests/audit_fold_equiv.rs`) — surfacing open sequence gaps,
+//!   conflicting redeliveries, records the fold must refuse, and
+//!   clamp-saturating drifts;
+//! * whether the **post-fold** platform still satisfies every spec in
+//!   the corpus, reusing the SPEC satisfiability model — a stream of
+//!   perfectly valid host-leave deltas that strands a committed spec is
+//!   a deployment bug no per-file check can see;
+//! * `MODEL00x` lints on the models themselves (see
+//!   [`model_lints`](crate::model_lints)).
+//!
+//! Findings reuse the [`AnalysisReport`] taxonomy under the `AUDIT` and
+//! `MODEL` families, so `rsg audit` renders and exits exactly like
+//! `rsg lint`.
+
+use crate::artifact_lints::{classify, relative_subject, Artifact, ArtifactKind};
+use crate::diag::{AnalysisReport, Code, Diagnostic, Severity};
+use crate::model_lints::{lint_heuristic_model, lint_size_model};
+use crate::{analyze, Input};
+use rsg_core::observation::{sweep_fingerprint, ObservationGrid};
+use rsg_core::push::{DeltaJournal, DeltaRecord, MAX_PARKED};
+use rsg_core::{CurveConfig, SweepJournal, THRESHOLD_LADDER};
+use rsg_platform::delta::DeltaError;
+use rsg_platform::{CostModel, Platform, PlatformFile};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+static OBS_AUDITS: rsg_obs::Counter = rsg_obs::Counter::new("audit.trees");
+static OBS_AUDIT_ARTIFACTS: rsg_obs::Counter = rsg_obs::Counter::new("audit.artifacts");
+
+/// What one [`StaticFold::submit_batch`] call did — the abstract
+/// counterpart of the push engine's `BatchOutcome`, minus the recompute
+/// counters (`dirtied`/`recomputed`) the fold deliberately does not
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FoldOutcome {
+    /// Records applied to the platform (batch + drained parked).
+    pub applied: usize,
+    /// Records skipped as duplicates.
+    pub duplicates: usize,
+    /// Records parked awaiting a gap fill.
+    pub parked: usize,
+    /// Previously parked records dropped at drain time, plus records
+    /// refused by parked-buffer overflow.
+    pub rejected: usize,
+    /// Whether this batch closed a pre-existing sequence gap.
+    pub resynced: bool,
+}
+
+/// One record the tolerant replay dropped, with why.
+#[derive(Debug, Clone)]
+pub struct FoldRefusal {
+    /// Sequence number of the refused record.
+    pub seq: u64,
+    /// The error the fold (and therefore the engine) reports.
+    pub error: DeltaError,
+}
+
+/// The abstract delta-stream fold: the push engine's exact
+/// classification and platform state machine with the model recompute
+/// stripped out. `submit_batch` mirrors `PushEngine::submit_batch`
+/// line for line — sorting, duplicate/conflict/park classification,
+/// transactional batch refusal, drain-time drops, the
+/// `highest_seen` ratchet rules and the parked-buffer bound — so an
+/// offline audit can predict precisely what a boot-time replay will do
+/// without paying for a single sweep cell.
+#[derive(Debug, Clone)]
+pub struct StaticFold {
+    platform: Platform,
+    cost: CostModel,
+    pending: BTreeMap<u64, DeltaRecord>,
+    applied_seq: u64,
+    highest_seen: u64,
+}
+
+impl StaticFold {
+    /// Starts the fold at sequence zero over a base platform.
+    pub fn new(platform: Platform, cost: CostModel) -> StaticFold {
+        StaticFold {
+            platform,
+            cost,
+            pending: BTreeMap::new(),
+            applied_seq: 0,
+            highest_seen: 0,
+        }
+    }
+
+    /// The folded platform so far.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The folded cost model so far.
+    pub fn cost(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Highest contiguously applied sequence number.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Highest sequence number ever accepted (applied or parked).
+    pub fn highest_seen(&self) -> u64 {
+        self.highest_seen
+    }
+
+    /// The lowest missing sequence number, when a gap is open.
+    pub fn gap(&self) -> Option<u64> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.applied_seq + 1)
+        }
+    }
+
+    /// `highest_seen - applied_seq`: 0 means fully current.
+    pub fn lag(&self) -> u64 {
+        self.highest_seen - self.applied_seq
+    }
+
+    /// Folds one batch with the push engine's exact transactional
+    /// semantics: any failure of an *incoming* contiguous record
+    /// refuses the whole batch with no state change; a *previously
+    /// parked* record that fails at drain time is dropped and its
+    /// sequence number skipped.
+    pub fn submit_batch(&mut self, records: &[DeltaRecord]) -> Result<FoldOutcome, DeltaError> {
+        let mut out = FoldOutcome::default();
+        let gap_was_open = !self.pending.is_empty();
+
+        let mut platform = self.platform.clone();
+        let mut cost = self.cost;
+        let mut pending = self.pending.clone();
+        let mut applied_seq = self.applied_seq;
+        let mut highest_seen = self.highest_seen;
+        let mut applied_any = false;
+
+        let mut incoming: Vec<DeltaRecord> = records.to_vec();
+        incoming.sort_by_key(|r| r.seq);
+
+        for rec in &incoming {
+            if rec.seq <= applied_seq {
+                out.duplicates += 1;
+                continue;
+            }
+            if let Some(parked) = pending.get(&rec.seq) {
+                if parked.delta == rec.delta {
+                    out.duplicates += 1;
+                    continue;
+                }
+                return Err(DeltaError::ConflictingSeq(rec.seq));
+            }
+            if rec.seq == applied_seq + 1 {
+                rec.delta.apply(&mut platform, &mut cost)?;
+                applied_seq = rec.seq;
+                highest_seen = highest_seen.max(rec.seq);
+                out.applied += 1;
+                applied_any = true;
+                while let Some(next) = pending.remove(&(applied_seq + 1)) {
+                    match next.delta.apply(&mut platform, &mut cost) {
+                        Ok(()) => {
+                            out.applied += 1;
+                            applied_any = true;
+                        }
+                        Err(_) => out.rejected += 1,
+                    }
+                    applied_seq = next.seq;
+                    highest_seen = highest_seen.max(next.seq);
+                }
+            } else if pending.len() >= MAX_PARKED {
+                out.rejected += 1;
+            } else {
+                pending.insert(rec.seq, *rec);
+                out.parked += 1;
+                highest_seen = highest_seen.max(rec.seq);
+            }
+        }
+
+        self.platform = platform;
+        self.cost = cost;
+        self.pending = pending;
+        self.applied_seq = applied_seq;
+        self.highest_seen = highest_seen;
+
+        if gap_was_open && applied_any && self.pending.is_empty() {
+            out.resynced = true;
+        }
+        Ok(out)
+    }
+
+    /// Folds a journal's records with the boot-replay discipline: one
+    /// record per batch, in file order, refusals dropped and collected
+    /// instead of poisoning the rest of the stream — exactly what the
+    /// serving tier's tracker does when it replays a recovered journal.
+    pub fn replay(&mut self, records: &[DeltaRecord]) -> Vec<FoldRefusal> {
+        let mut refused = Vec::new();
+        for rec in records {
+            if let Err(error) = self.submit_batch(std::slice::from_ref(rec)) {
+                refused.push(FoldRefusal {
+                    seq: rec.seq,
+                    error,
+                });
+            }
+        }
+        refused
+    }
+}
+
+/// The engine configuration fingerprint `rsg serve` keys its delta
+/// journal with: the tiny observation grid, default curve
+/// configuration and the paper's threshold ladder at refinement depth
+/// zero. A delta journal in a deployment tree that carries any other
+/// fingerprint will be quarantined at boot.
+pub fn serve_engine_fingerprint() -> u64 {
+    sweep_fingerprint(
+        &ObservationGrid::tiny(),
+        &CurveConfig::default(),
+        &THRESHOLD_LADDER,
+        0,
+    )
+}
+
+/// Audits one deployment tree rooted at `root`. Only I/O on the root
+/// itself (missing directory, permission failure on the walk) is an
+/// `Err`; everything found *inside* the tree — including unreadable or
+/// corrupt artifacts — is a diagnostic.
+pub fn audit_tree(root: &Path) -> std::io::Result<AnalysisReport> {
+    let _span = rsg_obs::span("audit_tree");
+    OBS_AUDITS.incr();
+    let artifacts = classify(root)?;
+    OBS_AUDIT_ARTIFACTS.add(artifacts.len() as u64);
+    let mut diagnostics = Vec::new();
+
+    // 1. Platform: the recorded file when the tree ships one, else the
+    //    deterministic serving-tier universe.
+    let platform_files: Vec<&Artifact> = artifacts
+        .iter()
+        .filter(|a| a.kind == ArtifactKind::PlatformFile)
+        .collect();
+    let mut base_platform = None;
+    for a in &platform_files {
+        match PlatformFile::from_tsv(&a.text) {
+            Ok(pf) => {
+                if base_platform.is_none() {
+                    base_platform = Some(pf.realize());
+                } else {
+                    diagnostics.push(Diagnostic::warn(
+                        Code::Audit002,
+                        &a.subject,
+                        "tree carries more than one platform file; only the first \
+                         (in path order) binds the audit",
+                    ));
+                }
+            }
+            Err(e) => {
+                diagnostics.push(Diagnostic::error(Code::Audit002, &a.subject, e.to_string()))
+            }
+        }
+    }
+    let base_platform = base_platform.unwrap_or_else(|| PlatformFile::serve_default().realize());
+
+    // 2. Models: the registry discovery rule must find a size model, and
+    //    every model artifact must decode and pass the MODEL lints.
+    diagnostics.extend(lint_models(root, &artifacts, &base_platform));
+
+    // 3. Sweep journals: per-file integrity plus the shard-set
+    //    fingerprint agreement no single-file check can do.
+    diagnostics.extend(lint_sweep_journals(&artifacts));
+
+    // 4. Delta journals: fingerprint binding, then the static fold in
+    //    path order (segments of one stream — cross-journal duplicate
+    //    and conflict semantics come free from the fold).
+    let (fold, delta_diags) = fold_delta_journals(&artifacts, &base_platform);
+    diagnostics.extend(delta_diags);
+
+    // 5. Spec corpus: full document lints against the base platform,
+    //    then the cross-artifact question — does the *post-fold*
+    //    platform still satisfy every spec the corpus commits to?
+    diagnostics.extend(lint_spec_corpus(&artifacts, &base_platform, &fold));
+
+    Ok(AnalysisReport { diagnostics })
+}
+
+fn lint_models(root: &Path, artifacts: &[Artifact], platform: &Platform) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let model_dir = if root.join("models").is_dir() {
+        root.join("models")
+    } else {
+        root.to_path_buf()
+    };
+    if discoverable_size_model(&model_dir).is_none() {
+        out.push(Diagnostic::error(
+            Code::Audit001,
+            &relative_subject(root, &model_dir),
+            "no size model the registry can discover (size_model.tsv or \
+             size_model*.tsv); rsg serve --models on this tree will refuse to boot",
+        ));
+    }
+    for a in artifacts {
+        match a.kind {
+            ArtifactKind::SizeModel => match rsg_core::persist::load_size_model(&a.path) {
+                Ok(model) => out.extend(lint_size_model(&model, platform, &a.subject)),
+                Err(e) => out.push(Diagnostic::error(Code::Audit002, &a.subject, e.to_string())),
+            },
+            ArtifactKind::HeurModel => match rsg_core::persist::load_heuristic_model(&a.path) {
+                Ok(model) => out.extend(lint_heuristic_model(&model, &a.subject)),
+                Err(e) => out.push(Diagnostic::error(Code::Audit002, &a.subject, e.to_string())),
+            },
+            ArtifactKind::KneeTables => {
+                if let Err(e) = rsg_core::persist::knee_tables_from_tsv(&a.text) {
+                    out.push(Diagnostic::error(Code::Audit002, &a.subject, e.to_string()));
+                }
+            }
+            ArtifactKind::DamagedEnvelope => {
+                out.push(Diagnostic::error(
+                    Code::Audit002,
+                    &a.subject,
+                    a.text.clone(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Mirrors `ModelRegistry`'s size-model discovery: exact
+/// `size_model.tsv` preferred, else the lexicographically first
+/// `size_model*.tsv`.
+fn discoverable_size_model(dir: &Path) -> Option<PathBuf> {
+    let exact = dir.join("size_model.tsv");
+    if exact.is_file() {
+        return Some(exact);
+    }
+    let mut candidates: Vec<PathBuf> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_file()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("size_model") && n.ends_with(".tsv"))
+        })
+        .collect();
+    candidates.sort();
+    candidates.into_iter().next()
+}
+
+fn lint_sweep_journals(artifacts: &[Artifact]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut fingerprints: Vec<(String, u64)> = Vec::new();
+    for a in artifacts
+        .iter()
+        .filter(|a| a.kind == ArtifactKind::SweepJournal)
+    {
+        match SweepJournal::verify(&a.path) {
+            Ok((fp, _thetas, good, bad)) => {
+                if bad > 0 {
+                    out.push(Diagnostic::warn(
+                        Code::Audit008,
+                        &a.subject,
+                        format!(
+                            "torn tail: {bad} damaged line(s) after {good} intact cell(s); \
+                             resume will truncate them"
+                        ),
+                    ));
+                }
+                fingerprints.push((a.subject.clone(), fp));
+            }
+            Err(e) => out.push(Diagnostic::error(Code::Audit002, &a.subject, e.to_string())),
+        }
+    }
+    // Shard agreement: every sweep journal in one tree must digest the
+    // same sweep, or a shard merge will quarantine the stragglers.
+    if let Some((first_subject, first_fp)) = fingerprints.first().cloned() {
+        for (subject, fp) in fingerprints.iter().skip(1) {
+            if *fp != first_fp {
+                out.push(Diagnostic::error(
+                    Code::Audit003,
+                    subject,
+                    format!(
+                        "sweep fingerprint {fp:016x} disagrees with sibling \
+                         {first_subject} ({first_fp:016x}); these shards are not \
+                         from the same sweep"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn fold_delta_journals(
+    artifacts: &[Artifact],
+    base_platform: &Platform,
+) -> (StaticFold, Vec<Diagnostic>) {
+    let mut out = Vec::new();
+    let mut fold = StaticFold::new(base_platform.clone(), CostModel::default());
+    let expected_fp = serve_engine_fingerprint();
+    let mut last_subject = None;
+    for a in artifacts
+        .iter()
+        .filter(|a| a.kind == ArtifactKind::DeltaJournal)
+    {
+        let (fp, records, damaged) = match DeltaJournal::read_records(&a.path) {
+            Ok(t) => t,
+            Err(e) => {
+                out.push(Diagnostic::error(Code::Audit002, &a.subject, e.to_string()));
+                continue;
+            }
+        };
+        if fp != expected_fp {
+            out.push(Diagnostic::error(
+                Code::Audit003,
+                &a.subject,
+                format!(
+                    "journal fingerprint {fp:016x} does not bind to the serving \
+                     engine ({expected_fp:016x}); rsg serve would quarantine this \
+                     journal and lose its history"
+                ),
+            ));
+            continue;
+        }
+        if damaged > 0 {
+            out.push(Diagnostic::warn(
+                Code::Audit008,
+                &a.subject,
+                format!(
+                    "torn tail: {damaged} damaged line(s) after {} intact record(s); \
+                     boot will truncate them",
+                    records.len()
+                ),
+            ));
+        }
+        for rec in &records {
+            if rec.delta.saturates_clock_clamp() {
+                out.push(Diagnostic::warn(
+                    Code::Audit009,
+                    &a.subject,
+                    format!(
+                        "seq {}: clock drift pinned to the physical clamp boundary \
+                         ({}); the source is likely clamping an out-of-range reading",
+                        rec.seq,
+                        rec.delta.to_tsv()
+                    ),
+                ));
+            }
+        }
+        for refusal in fold.replay(&records) {
+            let (code, verb) = match refusal.error {
+                DeltaError::ConflictingSeq(_) => (Code::Audit005, "conflicting redelivery"),
+                _ => (Code::Audit006, "invalid record"),
+            };
+            out.push(Diagnostic::error(
+                code,
+                &a.subject,
+                format!(
+                    "seq {}: {verb} dropped at boot replay: {}",
+                    refusal.seq, refusal.error
+                ),
+            ));
+        }
+        last_subject = Some(a.subject.clone());
+    }
+    if let (Some(subject), Some(missing)) = (last_subject, fold.gap()) {
+        out.push(Diagnostic::error(
+            Code::Audit004,
+            &subject,
+            format!(
+                "delta stream ends with an open gap: seq {missing} never arrived, \
+                 leaving the platform {} update(s) behind (applied through {})",
+                fold.lag(),
+                fold.applied_seq()
+            ),
+        ));
+    }
+    (fold, out)
+}
+
+fn lint_spec_corpus(
+    artifacts: &[Artifact],
+    base_platform: &Platform,
+    fold: &StaticFold,
+) -> Vec<Diagnostic> {
+    let specs: Vec<&Artifact> = artifacts
+        .iter()
+        .filter(|a| a.kind == ArtifactKind::Spec)
+        .collect();
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let inputs: Vec<Input> = specs
+        .iter()
+        .map(|a| Input::new(&a.subject, &a.text))
+        .collect();
+    let base = analyze(&inputs, Some(base_platform));
+    let mut out = base.diagnostics.clone();
+    if fold.applied_seq() == 0 {
+        return out; // no delta stream moved the platform
+    }
+    let folded_platform = fold.platform();
+    let folded = analyze(&inputs, Some(folded_platform));
+    for d in &folded.diagnostics {
+        let satisfiability = matches!(d.code, Code::Spec006 | Code::Spec009);
+        // A regression is a satisfiability *error* that the base
+        // platform did not produce for the same document under the
+        // same code (details carry platform-dependent numbers, so
+        // equality on them would misread a changed message as new).
+        let regressed = satisfiability
+            && d.severity == Severity::Error
+            && !base.diagnostics.iter().any(|b| {
+                b.code == d.code && b.subject == d.subject && b.severity == Severity::Error
+            });
+        if regressed {
+            out.push(Diagnostic::error(
+                Code::Audit007,
+                &d.subject,
+                format!(
+                    "satisfiable against the recorded platform, but not after \
+                     folding the delta stream ({} hosts -> {}): {} {}",
+                    base_platform.total_hosts(),
+                    folded_platform.total_hosts(),
+                    d.code,
+                    d.detail
+                ),
+            ));
+        }
+    }
+    out
+}

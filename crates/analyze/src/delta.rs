@@ -56,6 +56,12 @@ impl DeltaCode {
 pub struct DeltaDiagnostic {
     /// Stable code.
     pub code: DeltaCode,
+    /// Where the batch came from: the originating journal file path
+    /// for replayed/audited streams, or the admin endpoint label for
+    /// live submissions. Multi-source batches used to be attributable
+    /// only by sequence number; the subject makes every finding name
+    /// its source directly.
+    pub subject: String,
     /// Which record (by sequence number) tripped the lint.
     pub seq: u64,
     /// What exactly is wrong, with the offending values.
@@ -94,6 +100,7 @@ pub fn lint_delta_batch(
     records: &[DeltaRecord],
     platform: &Platform,
     applied_seq: u64,
+    subject: &str,
 ) -> Vec<DeltaDiagnostic> {
     let mut out = Vec::new();
     let mut by_seq: BTreeMap<u64, PlatformDelta> = BTreeMap::new();
@@ -101,6 +108,7 @@ pub fn lint_delta_batch(
         if rec.seq == 0 {
             out.push(DeltaDiagnostic {
                 code: DeltaCode::ZeroSeq,
+                subject: subject.to_string(),
                 seq: 0,
                 detail: "sequence numbers start at 1".to_string(),
             });
@@ -109,6 +117,7 @@ pub fn lint_delta_batch(
         match by_seq.get(&rec.seq) {
             Some(prev) if *prev != rec.delta => out.push(DeltaDiagnostic {
                 code: DeltaCode::ConflictingSeq,
+                subject: subject.to_string(),
                 seq: rec.seq,
                 detail: format!(
                     "seq {} appears twice with different payloads ({} vs {})",
@@ -137,6 +146,7 @@ pub fn lint_delta_batch(
                 Ok(()) => next += 1,
                 Err(e) => out.push(DeltaDiagnostic {
                     code: code_for(&e),
+                    subject: subject.to_string(),
                     seq,
                     detail: e.to_string(),
                 }),
@@ -146,6 +156,7 @@ pub fn lint_delta_batch(
             if let Err(e) = structural_check(delta, platform) {
                 out.push(DeltaDiagnostic {
                     code: code_for(&e),
+                    subject: subject.to_string(),
                     seq,
                     detail: e.to_string(),
                 });
@@ -216,7 +227,7 @@ mod tests {
                 },
             ),
         ];
-        assert!(lint_delta_batch(&batch, &p, 0).is_empty());
+        assert!(lint_delta_batch(&batch, &p, 0, "test-batch").is_empty());
     }
 
     #[test]
@@ -281,7 +292,7 @@ mod tests {
             ),
         ];
         for (code, batch) in cases {
-            let diags = lint_delta_batch(&batch, &p, 0);
+            let diags = lint_delta_batch(&batch, &p, 0, "test-batch");
             assert!(
                 diags.iter().any(|d| d.code == code),
                 "{code:?} should trip: {diags:?}"
@@ -299,7 +310,7 @@ mod tests {
                 hosts: u32::MAX, // would be invalid, but seq ≤ applied
             },
         )];
-        assert!(lint_delta_batch(&batch, &p, 5).is_empty());
+        assert!(lint_delta_batch(&batch, &p, 5, "test-batch").is_empty());
     }
 
     #[test]
@@ -324,9 +335,9 @@ mod tests {
                 },
             ),
         ];
-        assert!(lint_delta_batch(&batch, &p, 0).is_empty());
+        assert!(lint_delta_batch(&batch, &p, 0, "test-batch").is_empty());
         // Without the join, the leave must trip BadHostCount.
-        let diags = lint_delta_batch(&batch[1..], &p, 1);
+        let diags = lint_delta_batch(&batch[1..], &p, 1, "test-batch");
         assert!(diags.iter().any(|d| d.code == DeltaCode::BadHostCount));
     }
 
@@ -351,7 +362,7 @@ mod tests {
                 },
             ),
         ];
-        let diags = lint_delta_batch(&batch, &p, 0);
+        let diags = lint_delta_batch(&batch, &p, 0, "test-batch");
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, DeltaCode::UnknownCluster);
         assert_eq!(diags[0].seq, 6);

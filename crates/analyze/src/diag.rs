@@ -60,13 +60,28 @@ pub enum Code {
     Parse003,
     Parse004,
     Parse005,
+    Audit001,
+    Audit002,
+    Audit003,
+    Audit004,
+    Audit005,
+    Audit006,
+    Audit007,
+    Audit008,
+    Audit009,
+    Model001,
+    Model002,
+    Model003,
+    Model004,
 }
 
 impl Code {
-    /// Every code, in report order. The seeded-defect fixture corpus
-    /// must trip each of these at least once (enforced by
-    /// `tests/lint_corpus.rs`).
-    pub const ALL: [Code; 22] = [
+    /// Every code, in report order. The document families
+    /// (`DAG`/`SPEC`/`XLANG`/`PARSE`) are exercised by the seeded
+    /// defect corpus in `tests/lint_corpus.rs`; the deployment families
+    /// (`AUDIT`/`MODEL`) by the defect trees in
+    /// `tests/audit_corpus.rs`.
+    pub const ALL: [Code; 35] = [
         Code::Dag001,
         Code::Dag002,
         Code::Dag003,
@@ -89,7 +104,28 @@ impl Code {
         Code::Parse003,
         Code::Parse004,
         Code::Parse005,
+        Code::Audit001,
+        Code::Audit002,
+        Code::Audit003,
+        Code::Audit004,
+        Code::Audit005,
+        Code::Audit006,
+        Code::Audit007,
+        Code::Audit008,
+        Code::Audit009,
+        Code::Model001,
+        Code::Model002,
+        Code::Model003,
+        Code::Model004,
     ];
+
+    /// The family prefix of the code's string form (`"DAG"`, `"AUDIT"`,
+    /// …). Families partition the corpus responsibilities: each fixture
+    /// suite asserts full coverage of its own families only.
+    pub fn family(self) -> &'static str {
+        let s = self.as_str();
+        s.trim_end_matches(|c: char| c.is_ascii_digit())
+    }
 
     /// The stable string form (`DAG001`, `SPEC003`, …).
     pub fn as_str(self) -> &'static str {
@@ -116,6 +152,19 @@ impl Code {
             Code::Parse003 => "PARSE003",
             Code::Parse004 => "PARSE004",
             Code::Parse005 => "PARSE005",
+            Code::Audit001 => "AUDIT001",
+            Code::Audit002 => "AUDIT002",
+            Code::Audit003 => "AUDIT003",
+            Code::Audit004 => "AUDIT004",
+            Code::Audit005 => "AUDIT005",
+            Code::Audit006 => "AUDIT006",
+            Code::Audit007 => "AUDIT007",
+            Code::Audit008 => "AUDIT008",
+            Code::Audit009 => "AUDIT009",
+            Code::Model001 => "MODEL001",
+            Code::Model002 => "MODEL002",
+            Code::Model003 => "MODEL003",
+            Code::Model004 => "MODEL004",
         }
     }
 
@@ -144,6 +193,23 @@ impl Code {
             Code::Parse003 => "SWORD XML parse failure",
             Code::Parse004 => "DAG file parse failure",
             Code::Parse005 => "native rsg-spec file parse failure",
+            Code::Audit001 => "deployment tree is missing a required artifact",
+            Code::Audit002 => "artifact is corrupt, inconsistent or undecodable",
+            Code::Audit003 => "fingerprint chain broken: journal does not bind to this deployment",
+            Code::Audit004 => "delta stream ends with an open sequence gap",
+            Code::Audit005 => {
+                "delta stream redelivers a sequence number with a conflicting payload"
+            }
+            Code::Audit006 => "delta stream carries a record the platform fold must refuse",
+            Code::Audit007 => "post-fold platform no longer satisfies a spec in the corpus",
+            Code::Audit008 => "journal carries a torn or damaged tail",
+            Code::Audit009 => "clock drift saturates the physical clamp boundary",
+            Code::Model001 => "planar-fit coefficient is non-finite or absurdly large",
+            Code::Model002 => "knee predictions are not monotone across the threshold ladder",
+            Code::Model003 => {
+                "model grid axes are degenerate (unsorted, non-finite or non-positive)"
+            }
+            Code::Model004 => "model extrapolates past the platform population",
         }
     }
 }

@@ -25,16 +25,22 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact_lints;
+pub mod audit;
 pub mod dag_lints;
 pub mod delta;
 pub mod diag;
+pub mod model_lints;
 pub mod spec_lints;
 pub mod specfile;
 pub mod xlang;
 
+pub use artifact_lints::{classify, Artifact, ArtifactKind};
+pub use audit::{audit_tree, serve_engine_fingerprint, FoldOutcome, StaticFold};
 pub use dag_lints::lint_dag;
 pub use delta::{code_for, lint_delta_batch, DeltaCode, DeltaDiagnostic};
 pub use diag::{AnalysisReport, Code, Diagnostic, Severity};
+pub use model_lints::{lint_heuristic_model, lint_size_model};
 pub use spec_lints::{lint_population, lint_resource_spec, lint_satisfiability, lint_spec_doc};
 pub use specfile::{parse_spec_doc, write_spec_doc, SpecDoc, SpecFileError, SpecRung};
 pub use xlang::{

@@ -319,7 +319,7 @@ pub fn rung_to_spec(rung: &SpecRung) -> Option<ResourceSpec> {
             .and_then(parse_aggregate)
             .unwrap_or(AggregateKind::TightBagOf),
         threshold: rung.threshold.unwrap_or(rsg_core::DEFAULT_KNEE_THRESHOLD),
-        memory_mb: rung.memory_mb.map(|m| m as u32).unwrap_or(512),
+        memory_mb: rung.memory_mb.map_or(512, |m| m as u32),
     })
 }
 

@@ -46,7 +46,7 @@ fn main() {
     for &s in &sizes {
         let mut row = vec![s.to_string()];
         for c in &curves {
-            row.push(c.at(s).map(secs).unwrap_or_else(|| "-".into()));
+            row.push(c.at(s).map_or_else(|| "-".into(), secs));
         }
         table.row(row);
     }

@@ -41,9 +41,9 @@ fn main() {
         ("mid sizes x obs CCR", &mid_sizes, &obs_ccrs),
         ("mid sizes x mid CCR", &mid_sizes, &mid_ccrs),
     ] {
-        for &n in sizes.iter() {
+        for &n in sizes {
             let mut results: Vec<ConfigValidation> = Vec::new();
-            for &ccr in ccrs.iter() {
+            for &ccr in ccrs {
                 for &(a, b) in &combos {
                     let spec = RandomDagSpec {
                         size: n as usize,

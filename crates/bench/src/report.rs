@@ -114,9 +114,7 @@ pub fn secs(x: f64) -> String {
 /// Reads the experiment scale preset from `RSG_SCALE` (`fast` default,
 /// `full` for paper-scale runs).
 pub fn scale_is_full() -> bool {
-    std::env::var("RSG_SCALE")
-        .map(|v| v == "full")
-        .unwrap_or(false)
+    std::env::var("RSG_SCALE").is_ok_and(|v| v == "full")
 }
 
 #[cfg(test)]

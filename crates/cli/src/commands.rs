@@ -753,6 +753,39 @@ pub fn lint(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `rsg audit DIR [--format human|json|tsv]` — whole-deployment static
+/// verification of the artifact graph. Same format options and exit
+/// discipline as `rsg lint`: error-level diagnostics exit 6.
+pub fn audit(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let format = args.opt("format").unwrap_or("human").to_string();
+    if !["human", "json", "tsv"].contains(&format.as_str()) {
+        return Err(CliError::Usage(format!(
+            "--format must be human|json|tsv, got '{format}'"
+        )));
+    }
+    let dir = args
+        .positional()
+        .ok_or_else(|| CliError::Usage("audit needs a deployment directory".into()))?;
+    let root = std::path::Path::new(&dir);
+    if !root.is_dir() {
+        return Err(CliError::Io(format!("{dir} is not a directory")));
+    }
+    let report = rsg_analyze::audit_tree(root)
+        .map_err(|e| CliError::Io(format!("cannot walk {dir}: {e}")))?;
+    match format.as_str() {
+        "json" => writeln!(out, "{}", report.to_json())?,
+        "tsv" => write!(out, "{}", report.to_tsv())?,
+        _ => write!(out, "{}", report.to_human())?,
+    }
+    if report.errors() > 0 {
+        return Err(CliError::Lint(format!(
+            "{} error-level diagnostic(s)",
+            report.errors()
+        )));
+    }
+    Ok(())
+}
+
 /// `rsg dot FILE [--out FILE]`
 pub fn dot(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     let path = args.require_positional("DAG file")?;
@@ -814,6 +847,29 @@ pub fn serve(args: &mut Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
     if let Some(p) = args.opt("delta-journal") {
         cfg.delta_journal = Some(std::path::PathBuf::from(p));
+    }
+    if args.flag("preflight") {
+        // Audit the deployment tree before binding anything: a tree
+        // that fails the audit refuses to boot (structured diagnostics
+        // on stderr, lint exit code); warnings are surfaced and served
+        // through.
+        let report = rsg_analyze::audit_tree(std::path::Path::new(&models))
+            .map_err(|e| CliError::Io(format!("preflight: cannot walk {models}: {e}")))?;
+        if !report.is_clean() {
+            eprint!("{}", report.to_tsv());
+        }
+        if report.errors() > 0 {
+            return Err(CliError::Lint(format!(
+                "preflight: {} error-level diagnostic(s) in {models}; refusing to boot",
+                report.errors()
+            )));
+        }
+        writeln!(
+            out,
+            "preflight: {} clean ({} warning(s))",
+            models,
+            report.warnings()
+        )?;
     }
     let registry =
         rsg_serve::ModelRegistry::load(std::path::Path::new(&models)).map_err(CliError::from)?;

@@ -128,9 +128,10 @@ USAGE:
   rsg dot     FILE [--out FILE]
   rsg store   verify PATH...
   rsg lint    FILE... [--format human|json|tsv] [--platform]
+  rsg audit   DIR [--format human|json|tsv]
   rsg serve   --models DIR [--addr HOST:PORT] [--admin-addr HOST:PORT]
               [--workers N] [--queue N] [--deadline-s S]
-              [--max-staleness S] [--delta-journal FILE]
+              [--max-staleness S] [--delta-journal FILE] [--preflight]
 
 `rsg train --journal FILE` checkpoints each completed sweep cell to
 FILE; a re-run with the same grid resumes from the first missing cell.
@@ -148,6 +149,14 @@ request and cross-checked. `--platform` additionally checks
 satisfiability against a deterministic platform model. Error-level
 diagnostics exit 6.
 
+`rsg audit` statically verifies a whole deployment tree — models,
+platform file, sweep/delta journals, spec corpus — as one artifact
+graph: fingerprint-chain binding, an abstract fold of the delta
+stream onto the platform (gaps, conflicts, refusals, clamp
+saturation), post-fold spec satisfiability, and MODEL00x sanity lints
+on the trained models. Same report formats and exit discipline as
+`rsg lint`.
+
 `rsg serve` starts a long-lived HTTP/JSON service answering /spec,
 /predict, /lint, /metrics, /healthz and /readyz from models loaded as
 generation 1 out of --models DIR (size_model*.tsv required,
@@ -156,7 +165,10 @@ heur_model*.tsv optional). `--admin-addr` (loopback only) adds
 shutdown) and /admin/platform (live platform delta batches).
 `--max-staleness S` flips /readyz to 503 once a delta-sequence gap has
 been open longer than S seconds; `--delta-journal FILE` makes accepted
-deltas durable and replays them on boot. See docs/API.md for the wire
+deltas durable and replays them on boot. `--preflight` audits the
+--models tree before binding a socket: error-level findings refuse to
+boot (exit 6, report on stderr), warnings are printed and served
+through. See docs/API.md for the wire
 format and docs/OPERATIONS.md for running, reloading and draining it.
 
 Exit codes: 0 ok, 1 failure, 2 usage, 3 I/O, 4 corrupt artifact,
@@ -173,9 +185,9 @@ FILE '-' reads the DAG from stdin.
 ";
 
 /// Boolean (value-less) flags: `--trace` is global, `--negotiate` is
-/// read by `spec`, `--platform` by `lint` (flag names must be known
-/// before parsing).
-const GLOBAL_FLAGS: &[&str] = &["trace", "negotiate", "platform"];
+/// read by `spec`, `--platform` by `lint`, `--preflight` by `serve`
+/// (flag names must be known before parsing).
+const GLOBAL_FLAGS: &[&str] = &["trace", "negotiate", "platform", "preflight"];
 
 /// Dispatches a full argument vector (without the program name).
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -206,6 +218,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "dot" => commands::dot(&mut args, out),
         "store" => commands::store(&mut args, out),
         "lint" => commands::lint(&mut args, out),
+        "audit" => commands::audit(&mut args, out),
         "serve" => commands::serve(&mut args, out),
         "help" | "--help" | "-h" => {
             out.write_all(USAGE.as_bytes())?;

@@ -1,0 +1,91 @@
+//! Lock-in tests for diagnostic attribution and exit codes on the
+//! analysis commands.
+//!
+//! `rsg lint` over a multi-file batch must attribute every diagnostic
+//! to the originating file path exactly as the caller spelled it — an
+//! operator piping `--format tsv` into a dashboard keys on that column,
+//! and an index or basename would collide across directories. `rsg
+//! audit` must hold the same exit-code contract as `lint`: 0 on a clean
+//! tree, 6 when error-level diagnostics exist.
+
+use rsg_cli::CliError;
+use std::path::{Path, PathBuf};
+
+fn run(args: &[&str]) -> (String, Result<(), CliError>) {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    let result = rsg_cli::run(&argv, &mut out);
+    (String::from_utf8(out).unwrap(), result)
+}
+
+/// The workspace-level audit fixture corpus.
+fn audit_fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/audit")
+}
+
+#[test]
+fn batch_lint_attributes_every_diagnostic_to_its_file() {
+    let dir = std::env::temp_dir().join(format!("rsg-lint-subjects-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("a")).unwrap();
+    std::fs::create_dir_all(dir.join("b")).unwrap();
+    // Same file name in two directories: only the full path the caller
+    // passed can tell the two diagnostics apart.
+    let zero = "rsg-spec v1\nrung none\nsize 0\nmin 0\nclock 1000 2000\nmemory 512\nend\n";
+    let inverted = "rsg-spec v1\nrung none\nsize 4\nmin 2\nclock 3000 1000\nmemory 512\nend\n";
+    let pa = dir.join("a/request.spec");
+    let pb = dir.join("b/request.spec");
+    std::fs::write(&pa, zero).unwrap();
+    std::fs::write(&pb, inverted).unwrap();
+    let (pa, pb) = (
+        pa.to_str().unwrap().to_string(),
+        pb.to_str().unwrap().to_string(),
+    );
+
+    let (out, result) = run(&["lint", &pa, &pb, "--format", "tsv"]);
+    match result {
+        Err(e @ CliError::Lint(_)) => assert_eq!(e.exit_code(), 6),
+        other => panic!("defective batch must exit 6, got {other:?}"),
+    }
+    let diag_subjects: Vec<&str> = out
+        .lines()
+        .filter(|l| l.starts_with("diag\t"))
+        .map(|l| l.split('\t').nth(3).unwrap())
+        .collect();
+    assert!(!diag_subjects.is_empty(), "no diagnostics in:\n{out}");
+    assert!(
+        diag_subjects.iter().all(|s| *s == pa || *s == pb),
+        "every diagnostic subject must be one of the two input paths:\n{out}"
+    );
+    assert!(
+        diag_subjects.contains(&pa.as_str()) && diag_subjects.contains(&pb.as_str()),
+        "both defective files must be attributed:\n{out}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn audit_exits_zero_on_the_clean_tree() {
+    let clean = audit_fixtures().join("clean");
+    let (out, result) = run(&["audit", clean.to_str().unwrap()]);
+    result.unwrap_or_else(|e| panic!("clean tree must audit clean: {e}\n{out}"));
+    assert!(out.contains("no diagnostics"), "{out}");
+}
+
+#[test]
+fn audit_exits_six_on_a_defective_tree() {
+    let bad = audit_fixtures().join("defect/AUDIT004_sequence_gap");
+    let (out, result) = run(&["audit", bad.to_str().unwrap(), "--format", "tsv"]);
+    match result {
+        Err(e @ CliError::Lint(_)) => assert_eq!(e.exit_code(), 6),
+        other => panic!("defective tree must exit 6, got {other:?}"),
+    }
+    assert!(out.contains("AUDIT004"), "{out}");
+}
+
+#[test]
+fn audit_refuses_a_missing_directory() {
+    let (_, result) = run(&["audit", "/no/such/deployment"]);
+    assert!(matches!(result, Err(CliError::Io(_))), "{result:?}");
+}

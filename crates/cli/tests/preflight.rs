@@ -1,0 +1,98 @@
+//! End-to-end test of `rsg serve --preflight`: the real binary, a real
+//! deployment tree. A tree that fails the audit must refuse to boot —
+//! structured TSV diagnostics on stderr, the lint exit code, and no
+//! socket ever bound — while a clean tree must report the preflight
+//! verdict and then come up serving.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+fn audit_fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/audit")
+}
+
+#[test]
+fn preflight_refuses_to_boot_a_defective_tree() {
+    let bad = audit_fixtures().join("defect/AUDIT004_sequence_gap");
+    let output = Command::new(env!("CARGO_BIN_EXE_rsg"))
+        .args(["serve", "--models", bad.to_str().unwrap(), "--preflight"])
+        .output()
+        .expect("spawn rsg serve");
+    assert_eq!(
+        output.status.code(),
+        Some(6),
+        "preflight failure must use the lint exit code"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    // Structured diagnostics, machine-splittable, before the refusal.
+    assert!(
+        stderr.contains("rsg-analyze-report\tv1"),
+        "stderr must carry the TSV report header:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("diag\tAUDIT004\terror\t"),
+        "stderr must name the failing artifact:\n{stderr}"
+    );
+    assert!(stderr.contains("refusing to boot"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        !stdout.contains("listening"),
+        "a refused boot must never bind a socket:\n{stdout}"
+    );
+}
+
+#[test]
+fn preflight_boots_and_serves_a_clean_tree() {
+    let clean = audit_fixtures().join("clean");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rsg"))
+        .args([
+            "serve",
+            "--models",
+            clean.to_str().unwrap(),
+            "--preflight",
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rsg serve");
+
+    // Stdout is line-buffered; read until the server announces its
+    // socket (or EOF, which means it died early).
+    let mut lines = Vec::new();
+    let mut listening = None;
+    let reader = BufReader::new(child.stdout.take().unwrap());
+    for line in reader.lines() {
+        let line = line.expect("read server stdout");
+        if line.contains("listening on http://") {
+            listening = Some(line.clone());
+            lines.push(line);
+            break;
+        }
+        lines.push(line);
+    }
+    let boot_log = lines.join("\n");
+    let listening = listening.unwrap_or_else(|| {
+        let _ = child.kill();
+        panic!("server never announced its socket:\n{boot_log}")
+    });
+
+    // The preflight verdict must precede the bind, and the socket must
+    // actually answer.
+    assert!(
+        lines[0].starts_with("preflight:") && lines[0].contains("clean"),
+        "first boot line must be the preflight verdict:\n{boot_log}"
+    );
+    let addr = listening
+        .split("http://")
+        .nth(1)
+        .and_then(|r| r.split_whitespace().next())
+        .expect("addr in the listening line")
+        .to_string();
+    let alive = std::net::TcpStream::connect(&addr).is_ok();
+    let _ = child.kill();
+    let _ = child.wait();
+    assert!(alive, "could not connect to {addr}:\n{boot_log}");
+}

@@ -62,7 +62,7 @@ fn fmt_time(seconds: f64) -> String {
     } else if seconds < 1.0 {
         format!("{:.2} ms", seconds * 1e3)
     } else {
-        format!("{:.2} s", seconds)
+        format!("{seconds:.2} s")
     }
 }
 

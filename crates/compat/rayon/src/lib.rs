@@ -16,9 +16,7 @@ use std::sync::Mutex;
 
 /// Maximum worker threads (actual = min(items, this)).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 thread_local! {

@@ -79,8 +79,7 @@ impl HeterogeneityAdjustment {
         let base = points
             .iter()
             .find(|p| p.heterogeneity == 0.0)
-            .map(|p| p.optimal_size as f64)
-            .unwrap_or_else(|| points[0].optimal_size as f64)
+            .map_or_else(|| points[0].optimal_size as f64, |p| p.optimal_size as f64)
             .max(1.0);
         // Least squares through origin on y = size/base − 1 vs H.
         let mut num = 0.0;

@@ -220,8 +220,7 @@ fn nearest(xs: &[f64], x: f64) -> usize {
     xs.iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| (*a - x).abs().total_cmp(&(*b - x).abs()))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+        .map_or(0, |(i, _)| i)
 }
 
 fn nearest_log(xs: &[usize], x: f64) -> usize {
@@ -233,8 +232,7 @@ fn nearest_log(xs: &[usize], x: f64) -> usize {
                 .abs()
                 .total_cmp(&(((**b as f64).ln()) - lx).abs())
         })
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+        .map_or(0, |(i, _)| i)
 }
 
 #[cfg(test)]

@@ -88,7 +88,7 @@ impl SpecGenerator {
 
         for (k, class) in spec.classes.iter().enumerate() {
             for c in 0..class.clusters {
-                let var = format!("c{}_{}", k, c);
+                let var = format!("c{k}_{c}");
                 aggregates.push((
                     Some(Proximity::Close),
                     Aggregate {

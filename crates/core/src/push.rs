@@ -349,6 +349,32 @@ impl DeltaJournal {
         }
         Ok((fp, good, bad))
     }
+
+    /// Read-only decode of a delta journal: the header fingerprint,
+    /// every intact record in file order, and the count of damaged
+    /// lines after the valid prefix. Unlike [`open`](Self::open) this
+    /// never truncates, quarantines or creates anything — it is the
+    /// introspection surface an offline auditor folds from. Same header
+    /// strictness as [`verify`](Self::verify); the caller decides what
+    /// a fingerprint mismatch means.
+    pub fn read_records(path: &Path) -> Result<(u64, Vec<DeltaRecord>, usize), StoreError> {
+        let (fp, _, _) = Self::verify(path)?;
+        let text = std::fs::read_to_string(path).map_err(|e| StoreError::io(path, "read", &e))?;
+        let rest = text.split_once('\n').map_or("", |(_, r)| r);
+        let mut records = Vec::new();
+        let mut damaged = 0usize;
+        for line in rest.split_inclusive('\n') {
+            match line.strip_suffix('\n').and_then(Self::parse_line) {
+                Some(rec) if damaged == 0 => records.push(rec),
+                _ => {
+                    if !line.trim().is_empty() {
+                        damaged += 1;
+                    }
+                }
+            }
+        }
+        Ok((fp, records, damaged))
+    }
 }
 
 /// Lifecycle of one node in the model dependency DAG.

@@ -116,7 +116,7 @@ impl RandomDagSpec {
             let prev = &levels[i - 1];
             let k = ((self.density * prev.len() as f64).round() as usize).clamp(1, prev.len());
             for &child in &levels[i] {
-                for &parent in sample_distinct(prev, k, rng).iter() {
+                for &parent in &sample_distinct(prev, k, rng) {
                     let jitter = rng.gen_range(0.75..1.25);
                     let w_c = self.ccr * comp[parent.index()] * jitter;
                     b.add_edge(parent, child, w_c)

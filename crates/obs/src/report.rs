@@ -37,8 +37,7 @@ impl RunReport {
         self.counters
             .iter()
             .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
-            .unwrap_or(0)
+            .map_or(0, |(_, v)| *v)
     }
 
     /// The snapshot of one histogram, if it was recorded.

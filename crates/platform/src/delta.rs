@@ -284,6 +284,36 @@ impl PlatformDelta {
         }
         Ok(())
     }
+
+    /// Pure preview: validates the delta against `platform` and returns
+    /// the state it *would* produce, without mutating either input.
+    /// This is what lets a static analyzer fold a delta stream onto a
+    /// platform with the exact semantics of [`apply`](Self::apply) —
+    /// same bounds, same errors — while the inputs stay shareable.
+    pub fn preview(
+        &self,
+        platform: &Platform,
+        cost: &CostModel,
+    ) -> Result<(Platform, CostModel), DeltaError> {
+        let mut p = platform.clone();
+        let mut c = *cost;
+        self.apply(&mut p, &mut c)?;
+        Ok((p, c))
+    }
+
+    /// Whether the delta lands exactly on a physical clamp boundary
+    /// (`MIN_CLOCK_MHZ` / `MAX_CLOCK_MHZ`). Such a record is *valid*,
+    /// but a source that reports a clock pinned to the envelope edge is
+    /// usually clamping an out-of-range reading upstream — worth a
+    /// warning from an offline audit, never a runtime refusal.
+    pub fn saturates_clock_clamp(&self) -> bool {
+        match *self {
+            PlatformDelta::ClockDrift { clock_mhz, .. } => {
+                clock_mhz == MIN_CLOCK_MHZ || clock_mhz == MAX_CLOCK_MHZ
+            }
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]

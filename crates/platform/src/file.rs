@@ -1,0 +1,300 @@
+//! The platform file: a declarative, versioned record of *how a
+//! platform was generated*, realizable bit-identically on load.
+//!
+//! A deployment tree wants to pin the platform its models and delta
+//! journals were built against, but serializing 40 clusters × hosts ×
+//! clocks × a full topology would be a second source of truth that can
+//! silently diverge from the generator. Instead the file records the
+//! generator inputs — [`ResourceGenSpec`], [`TopologySpec`], seed —
+//! plus a derived summary (cluster count, total hosts) that
+//! [`PlatformFile::realize`] cross-checks, so a file edited by hand or
+//! decoded against a drifted generator fails loudly instead of
+//! describing a platform that no longer exists.
+//!
+//! Format (TSV, one directive per line; fields joined by a single
+//! tab, shown here as `<TAB>`):
+//!
+//! ```text
+//! rsg-platform<TAB>v1
+//! gen<TAB>{clusters}<TAB>{year}<TAB>{target_hosts|-}
+//! topology<TAB>{waxman|barabasi-albert|hierarchical}<TAB>{alpha}<TAB>{beta}<TAB>{ba_links}
+//! seed<TAB>{seed}
+//! summary<TAB>{clusters}<TAB>{total_hosts}
+//! end
+//! ```
+
+use crate::generator::ResourceGenSpec;
+use crate::platform::Platform;
+use crate::topology::{EdgeModel, TopologySpec};
+use std::fmt;
+
+/// Header magic of a platform file.
+pub const PLATFORM_FILE_MAGIC: &str = "rsg-platform";
+const PLATFORM_FILE_VERSION: &str = "v1";
+
+/// A decode failure, with the 1-based line it happened on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformFileError {
+    /// 1-based line number of the offending directive.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for PlatformFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "platform file line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for PlatformFileError {}
+
+fn err(line: usize, msg: impl Into<String>) -> PlatformFileError {
+    PlatformFileError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// The generator inputs a platform file records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformFile {
+    /// Cluster population parameters.
+    pub gen: ResourceGenSpec,
+    /// Topology parameters (`nodes` is ignored — [`Platform::generate`]
+    /// always sets it to the cluster count).
+    pub topo: TopologySpec,
+    /// Shared generation seed.
+    pub seed: u64,
+}
+
+impl PlatformFile {
+    /// The deterministic serving-tier platform: the same 40-cluster /
+    /// 1200-host universe `rsg serve`'s push tracker and the CLI
+    /// negotiation path bind against. A deployment tree without a
+    /// platform file is audited against this.
+    pub fn serve_default() -> PlatformFile {
+        PlatformFile {
+            gen: ResourceGenSpec {
+                clusters: 40,
+                year: 2006,
+                target_hosts: Some(1200),
+            },
+            topo: TopologySpec::default(),
+            seed: 11,
+        }
+    }
+
+    /// Generates the platform this file describes. Deterministic: the
+    /// same file always realizes the same platform.
+    pub fn realize(&self) -> Platform {
+        Platform::generate(self.gen, self.topo, self.seed)
+    }
+
+    /// Serializes the file, including the derived summary line.
+    pub fn to_tsv(&self) -> String {
+        let platform = self.realize();
+        let target = match self.gen.target_hosts {
+            Some(t) => t.to_string(),
+            None => "-".to_string(),
+        };
+        let model = match self.topo.model {
+            EdgeModel::Waxman => "waxman",
+            EdgeModel::BarabasiAlbert => "barabasi-albert",
+            EdgeModel::Hierarchical => "hierarchical",
+        };
+        format!(
+            "{PLATFORM_FILE_MAGIC}\t{PLATFORM_FILE_VERSION}\n\
+             gen\t{}\t{}\t{target}\n\
+             topology\t{model}\t{}\t{}\t{}\n\
+             seed\t{}\n\
+             summary\t{}\t{}\n\
+             end\n",
+            self.gen.clusters,
+            self.gen.year,
+            self.topo.waxman_alpha,
+            self.topo.waxman_beta,
+            self.topo.ba_links,
+            self.seed,
+            platform.clusters().len(),
+            platform.total_hosts(),
+        )
+    }
+
+    /// Decodes and cross-checks a platform file. The `summary` line
+    /// must match what the recorded generator inputs actually realize;
+    /// a mismatch means the file was edited or the generator changed
+    /// underneath it, and either way the platform it claims no longer
+    /// exists.
+    pub fn from_tsv(text: &str) -> Result<PlatformFile, PlatformFileError> {
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+        let (ln, header) = lines.next().ok_or_else(|| err(1, "empty file"))?;
+        let mut h = header.split('\t');
+        if h.next() != Some(PLATFORM_FILE_MAGIC) {
+            return Err(err(ln, format!("bad magic (want {PLATFORM_FILE_MAGIC})")));
+        }
+        let version = h.next().unwrap_or("");
+        if version != PLATFORM_FILE_VERSION {
+            return Err(err(ln, format!("unsupported version '{version}'")));
+        }
+
+        let mut gen: Option<ResourceGenSpec> = None;
+        let mut topo: Option<TopologySpec> = None;
+        let mut seed: Option<u64> = None;
+        let mut summary: Option<(usize, usize)> = None;
+        let mut ended = false;
+        for (ln, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if ended {
+                return Err(err(ln, "content after end"));
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            match fields[0] {
+                "gen" => {
+                    if fields.len() != 4 {
+                        return Err(err(ln, "gen needs clusters, year, target_hosts"));
+                    }
+                    let clusters: usize = fields[1]
+                        .parse()
+                        .map_err(|_| err(ln, "bad cluster count"))?;
+                    if clusters == 0 {
+                        return Err(err(ln, "cluster count must be positive"));
+                    }
+                    let year: u32 = fields[2].parse().map_err(|_| err(ln, "bad year"))?;
+                    let target_hosts = match fields[3] {
+                        "-" => None,
+                        t => Some(t.parse().map_err(|_| err(ln, "bad target_hosts"))?),
+                    };
+                    gen = Some(ResourceGenSpec {
+                        clusters,
+                        year,
+                        target_hosts,
+                    });
+                }
+                "topology" => {
+                    if fields.len() != 5 {
+                        return Err(err(ln, "topology needs model, alpha, beta, ba_links"));
+                    }
+                    let model = match fields[1] {
+                        "waxman" => EdgeModel::Waxman,
+                        "barabasi-albert" => EdgeModel::BarabasiAlbert,
+                        "hierarchical" => EdgeModel::Hierarchical,
+                        other => return Err(err(ln, format!("unknown edge model '{other}'"))),
+                    };
+                    let waxman_alpha: f64 = fields[2].parse().map_err(|_| err(ln, "bad alpha"))?;
+                    let waxman_beta: f64 = fields[3].parse().map_err(|_| err(ln, "bad beta"))?;
+                    if !waxman_alpha.is_finite() || !waxman_beta.is_finite() {
+                        return Err(err(ln, "non-finite topology parameter"));
+                    }
+                    let ba_links: usize = fields[4].parse().map_err(|_| err(ln, "bad ba_links"))?;
+                    topo = Some(TopologySpec {
+                        nodes: 0, // overwritten by Platform::generate
+                        model,
+                        waxman_alpha,
+                        waxman_beta,
+                        ba_links,
+                    });
+                }
+                "seed" => {
+                    if fields.len() != 2 {
+                        return Err(err(ln, "seed needs one value"));
+                    }
+                    seed = Some(fields[1].parse().map_err(|_| err(ln, "bad seed"))?);
+                }
+                "summary" => {
+                    if fields.len() != 3 {
+                        return Err(err(ln, "summary needs clusters, total_hosts"));
+                    }
+                    let c: usize = fields[1]
+                        .parse()
+                        .map_err(|_| err(ln, "bad summary cluster count"))?;
+                    let h: usize = fields[2]
+                        .parse()
+                        .map_err(|_| err(ln, "bad summary host count"))?;
+                    summary = Some((c, h));
+                }
+                "end" => ended = true,
+                other => return Err(err(ln, format!("unknown directive '{other}'"))),
+            }
+        }
+        if !ended {
+            return Err(err(text.lines().count(), "missing end directive"));
+        }
+        let file = PlatformFile {
+            gen: gen.ok_or_else(|| err(1, "missing gen directive"))?,
+            topo: topo.ok_or_else(|| err(1, "missing topology directive"))?,
+            seed: seed.ok_or_else(|| err(1, "missing seed directive"))?,
+        };
+        let (sc, sh) = summary.ok_or_else(|| err(1, "missing summary directive"))?;
+        let realized = file.realize();
+        if realized.clusters().len() != sc || realized.total_hosts() != sh {
+            return Err(err(
+                1,
+                format!(
+                    "summary mismatch: file claims {sc} clusters / {sh} hosts, \
+                     generator realizes {} / {}",
+                    realized.clusters().len(),
+                    realized.total_hosts()
+                ),
+            ));
+        }
+        Ok(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_realizes_deterministically() {
+        let file = PlatformFile::serve_default();
+        let tsv = file.to_tsv();
+        let back = PlatformFile::from_tsv(&tsv).unwrap();
+        // `topo.nodes` is generator-owned and deliberately not
+        // serialized; everything else must survive the round trip.
+        assert_eq!(back.gen, file.gen);
+        assert_eq!(back.seed, file.seed);
+        assert_eq!(back.topo.model, file.topo.model);
+        assert_eq!(back.topo.waxman_alpha, file.topo.waxman_alpha);
+        let a = file.realize();
+        let b = back.realize();
+        assert_eq!(a.clusters(), b.clusters());
+        assert_eq!(a.total_hosts(), 1200);
+        assert_eq!(a.clusters().len(), 40);
+    }
+
+    #[test]
+    fn none_target_round_trips() {
+        let file = PlatformFile {
+            gen: ResourceGenSpec {
+                clusters: 12,
+                year: 2006,
+                target_hosts: None,
+            },
+            topo: TopologySpec::default(),
+            seed: 7,
+        };
+        let back = PlatformFile::from_tsv(&file.to_tsv()).unwrap();
+        assert_eq!(back.gen.target_hosts, None);
+    }
+
+    #[test]
+    fn summary_mismatch_refused() {
+        let mut tsv = PlatformFile::serve_default().to_tsv();
+        tsv = tsv.replace("summary\t40\t1200", "summary\t40\t1300");
+        let e = PlatformFile::from_tsv(&tsv).unwrap_err();
+        assert!(e.msg.contains("summary mismatch"), "{e}");
+    }
+
+    #[test]
+    fn decode_errors_carry_lines() {
+        assert!(PlatformFile::from_tsv("nope\tv1\n").is_err());
+        let e = PlatformFile::from_tsv("rsg-platform\tv1\ngen\tx\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let missing = "rsg-platform\tv1\nseed\t1\nend\n";
+        assert!(PlatformFile::from_tsv(missing).is_err());
+    }
+}

@@ -33,6 +33,7 @@
 pub mod cluster;
 pub mod cost;
 pub mod delta;
+pub mod file;
 pub mod generator;
 pub mod platform;
 pub mod rc;
@@ -41,6 +42,7 @@ pub mod topology;
 pub use cluster::{Arch, Cluster, ClusterId};
 pub use cost::CostModel;
 pub use delta::{DeltaError, PlatformDelta};
+pub use file::{PlatformFile, PlatformFileError};
 pub use generator::ResourceGenSpec;
 pub use platform::Platform;
 pub use rc::{ClockClasses, CommModel, ResourceCollection};

@@ -261,7 +261,7 @@ pub fn execute_with_faults(
     for i in 0..n {
         queue[schedule.host[i] as usize].push(i);
     }
-    for tasks in queue.iter_mut() {
+    for tasks in &mut queue {
         tasks.sort_by(|&a, &b| {
             schedule.start[a]
                 .total_cmp(&schedule.start[b])
@@ -427,8 +427,7 @@ pub fn execute_with_faults(
                                 prio(o).0.total_cmp(&prio(x).0).then(o.cmp(&x))
                                     == std::cmp::Ordering::Less
                             })
-                            .map(|p| p + next_slot[best_h])
-                            .unwrap_or(q.len());
+                            .map_or(q.len(), |p| p + next_slot[best_h]);
                         q.insert(at, o);
                     }
                 }

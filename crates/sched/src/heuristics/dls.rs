@@ -370,7 +370,7 @@ fn schedule_reference(ctx: &ExecutionContext<'_>) -> (Schedule, OpCount) {
         // Existing candidates: only host h changed. Re-evaluate that
         // column; tasks whose cached best was h need a full rescan
         // (their best may have degraded).
-        for cand in ready.iter_mut() {
+        for cand in &mut ready {
             let t2 = cand.task;
             if cand.best_host == h {
                 let (dl, bh, st) = eval_all(t2, &sched, &host_ready, &mut ops);

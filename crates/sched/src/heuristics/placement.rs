@@ -405,7 +405,7 @@ fn fill_data_ready(ctx: &ExecutionContext<'_>, t: TaskId, sched: &Schedule, dr: 
                 // so both arrivals are the naive `fin + comm * factor`.
                 let off = fin + e.comm * 1.0;
                 let on = fin + e.comm * 0.0;
-                for x in dr[..ph].iter_mut() {
+                for x in &mut dr[..ph] {
                     if off > *x {
                         *x = off;
                     }
@@ -413,7 +413,7 @@ fn fill_data_ready(ctx: &ExecutionContext<'_>, t: TaskId, sched: &Schedule, dr: 
                 if on > dr[ph] {
                     dr[ph] = on;
                 }
-                for x in dr[ph + 1..].iter_mut() {
+                for x in &mut dr[ph + 1..] {
                     if off > *x {
                         *x = off;
                     }

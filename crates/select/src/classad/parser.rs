@@ -228,7 +228,7 @@ impl Parser {
     }
 
     fn err(&self, msg: &str) -> ClassAdError {
-        let pos = self.toks.get(self.pos).map(|(p, _)| *p).unwrap_or(0);
+        let pos = self.toks.get(self.pos).map_or(0, |(p, _)| *p);
         ClassAdError::Parse(pos, msg.to_string())
     }
 

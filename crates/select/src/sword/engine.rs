@@ -81,8 +81,7 @@ impl SwordEngine {
                 let already = all_picks
                     .iter()
                     .find(|(id, _)| *id == c.id)
-                    .map(|&(_, n)| n as usize)
-                    .unwrap_or(0);
+                    .map_or(0, |&(_, n)| n as usize);
                 let free = (c.hosts as usize).saturating_sub(already);
                 if free == 0 {
                     continue;

@@ -68,7 +68,7 @@ pub fn write_sword(req: &SwordRequest) -> String {
 
 fn fmt_num(x: f64) -> String {
     if x.fract() == 0.0 && x.abs() < 1e12 {
-        format!("{:.1}", x)
+        format!("{x:.1}")
     } else {
         format!("{x}")
     }

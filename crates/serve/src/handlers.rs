@@ -980,6 +980,7 @@ fn parse_delta_records(deltas: &[Json]) -> Result<Vec<DeltaRecord>, HttpResponse
                     &format!("deltas[{i}] does not parse; nothing was applied"),
                     &[DeltaDiagnostic {
                         code: rsg_analyze::DeltaCode::BadValue,
+                        subject: "/admin/platform".to_string(),
                         seq,
                         detail: e.to_string(),
                     }],
@@ -1194,8 +1195,10 @@ fn delta_error(
                 body.push_str(", ");
             }
             body.push_str(&format!(
-                "{{\"code\": {}, \"severity\": \"error\", \"seq\": {}, \"detail\": {}}}",
+                "{{\"code\": {}, \"severity\": \"error\", \"subject\": {}, \"seq\": {}, \
+                 \"detail\": {}}}",
                 escape(d.code.as_str()),
+                escape(&d.subject),
                 d.seq,
                 escape(&d.detail)
             ));

@@ -79,6 +79,9 @@ pub struct PushTracker {
     /// while fully contiguous. Drives the staleness age.
     gap_since: Mutex<Option<Instant>>,
     batches: Mutex<u64>,
+    /// Subject every delta diagnostic from this tracker carries: the
+    /// journal path when one is configured, else the admin endpoint.
+    subject: String,
 }
 
 impl PushTracker {
@@ -91,6 +94,10 @@ impl PushTracker {
     /// truncated, corrupt files quarantined) and every recovered
     /// record replayed through the engine.
     pub fn new(journal_path: Option<PathBuf>) -> Result<PushTracker, StoreError> {
+        let subject = journal_path.as_deref().map_or_else(
+            || "/admin/platform".to_string(),
+            |p| p.display().to_string(),
+        );
         let platform = Platform::generate(
             ResourceGenSpec {
                 clusters: 40,
@@ -138,6 +145,7 @@ impl PushTracker {
             journal,
             stamp: RwLock::new(stamp),
             gap_since: Mutex::new(gap_open.then(Instant::now)),
+            subject,
             batches: Mutex::new(0),
         })
     }
@@ -152,7 +160,13 @@ impl PushTracker {
     /// clock and audit cadence advance.
     pub fn submit(&self, records: &[DeltaRecord]) -> Result<SubmitOutcome, SubmitError> {
         let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
-        let diags = lint_delta_batch(records, engine.platform(), engine.staleness().applied_seq);
+        let subject = self.subject.clone();
+        let diags = lint_delta_batch(
+            records,
+            engine.platform(),
+            engine.staleness().applied_seq,
+            &subject,
+        );
         if !diags.is_empty() {
             return Err(SubmitError::Lint(diags));
         }
@@ -170,6 +184,7 @@ impl PushTracker {
                 };
                 return Err(SubmitError::Lint(vec![DeltaDiagnostic {
                     code: code_for(&e),
+                    subject,
                     seq,
                     detail: e.to_string(),
                 }]));
@@ -260,10 +275,21 @@ mod tests {
                 clock_mhz: f64::NAN,
             },
         }];
-        assert!(matches!(
-            tracker.submit(&bad),
-            Err(SubmitError::Lint(ref d)) if !d.is_empty()
-        ));
+        match tracker.submit(&bad) {
+            Err(SubmitError::Lint(diags)) => {
+                assert!(!diags.is_empty());
+                // Journal-backed trackers attribute every refusal to
+                // the journal file, so multi-stream operators can tell
+                // which stream misbehaved.
+                assert!(
+                    diags
+                        .iter()
+                        .all(|d| d.subject == path.display().to_string()),
+                    "{diags:?}"
+                );
+            }
+            other => panic!("expected a lint refusal, got {other:?}"),
+        }
         assert_eq!(tracker.staleness().0.applied_seq, 0);
 
         // Gapped batch → parked, staleness age starts ticking.
@@ -321,6 +347,8 @@ mod tests {
                 assert_eq!(diags.len(), 1);
                 assert_eq!(diags[0].code, rsg_analyze::DeltaCode::ConflictingSeq);
                 assert_eq!(diags[0].seq, 2);
+                // Journal-less trackers attribute to the live endpoint.
+                assert_eq!(diags[0].subject, "/admin/platform");
             }
             other => panic!("expected a DELTA002 refusal, got {other:?}"),
         }
@@ -378,7 +406,10 @@ mod tests {
         let out = tracker
             .submit(&[DeltaRecord {
                 seq: 1,
-                delta: PlatformDelta::HostLeave { cluster: c, hosts: 2 },
+                delta: PlatformDelta::HostLeave {
+                    cluster: c,
+                    hosts: 2,
+                },
             }])
             .unwrap();
         assert_eq!(out.batch.applied, 1);

@@ -78,6 +78,11 @@ impl ModelRegistry {
     /// [`HeuristicPredictionModel::fixed`]`(Mcp)`, mirroring the
     /// `rsg spec` default.
     pub fn load(dir: &Path) -> Result<ModelRegistry, StoreError> {
+        // A whole deployment tree keeps its models under `models/`;
+        // pointing --models at the tree root must find them there (the
+        // same rule `rsg audit` checks as AUDIT001).
+        let models = dir.join("models");
+        let dir = if models.is_dir() { &models } else { dir };
         let size_path = find_model(dir, "size_model")?.ok_or_else(|| {
             StoreError::io(
                 dir,
@@ -320,8 +325,10 @@ fn lint_candidate(candidate: &Generation) -> Result<(), String> {
             .diagnostics
             .iter()
             .find(|d| d.severity.label() == "error")
-            .map(|d| format!("{}: {}", d.code.as_str(), d.detail))
-            .unwrap_or_else(|| "unknown diagnostic".to_string());
+            .map_or_else(
+                || "unknown diagnostic".to_string(),
+                |d| format!("{}: {}", d.code.as_str(), d.detail),
+            );
         return Err(format!(
             "candidate model renders rejected specifications ({} error(s); first: {first})",
             report.errors()

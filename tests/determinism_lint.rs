@@ -39,14 +39,19 @@ const HASHMAP_ALLOWLIST: &[&str] = &[
     "crates/core/src/observation.rs", // curve-point memo, keyed lookups only
 ];
 
-/// Collects every `.rs` file under `crates/` and `src/`, skipping the
-/// vendored compat shims (external API surface, not ours to lint).
+/// Collects every `.rs` file under `crates/`, `src/` and `tests/`,
+/// skipping the vendored compat shims (external API surface, not ours
+/// to lint) and this lint itself (its needle strings are not uses).
 fn rust_sources() -> Vec<PathBuf> {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut out = Vec::new();
     walk(&root.join("crates"), &mut out);
     walk(&root.join("src"), &mut out);
-    out.retain(|p| !rel(p).starts_with("crates/compat/"));
+    walk(&root.join("tests"), &mut out);
+    out.retain(|p| {
+        let r = rel(p);
+        !r.starts_with("crates/compat/") && r != "tests/determinism_lint.rs"
+    });
     assert!(out.len() > 20, "source walk looks broken: {out:?}");
     out
 }

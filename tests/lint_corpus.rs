@@ -59,6 +59,11 @@ fn defect_corpus_trips_every_code() {
     let report = defect_report();
     let tripped = report.codes();
     for code in Code::ALL {
+        // AUDIT/MODEL codes need a deployment *tree*, not a document
+        // corpus; tests/audit_corpus.rs owns their coverage.
+        if matches!(code.family(), "AUDIT" | "MODEL") {
+            continue;
+        }
         assert!(
             tripped.contains(&code),
             "{code} never tripped; got {tripped:?}"

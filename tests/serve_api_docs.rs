@@ -61,11 +61,10 @@ fn parse_examples(doc: &str) -> Vec<CurlExample> {
             .chars()
             .take_while(|c| !c.is_whitespace() && *c != '\'')
             .collect();
-        let path = url
-            .splitn(4, '/')
-            .nth(3)
-            .map(|p| format!("/{p}"))
-            .unwrap_or_else(|| panic!("API.md line {}: URL {url} has no path", i + 1));
+        let path = url.splitn(4, '/').nth(3).map_or_else(
+            || panic!("API.md line {}: URL {url} has no path", i + 1),
+            |p| format!("/{p}"),
+        );
         let body = match cmd.find("-d '") {
             Some(d) => {
                 let rest = &cmd[d + 4..];
